@@ -1,0 +1,139 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! - **access strategy**: the paper's practical SL1/SL3 alternation vs the
+//!   pseudocode's round-robin vs the degenerate single-list strategies;
+//! - **bound mode**: the paper's verbatim termination bound vs the
+//!   tightened coupled bound + bound-based segment dismissal;
+//! - **street aggregate**: Definition 3's max vs the alternatives
+//!   (evaluated through the exhaustive baseline);
+//! - **Φs source**: deriving the street keyword vector from photos vs POIs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soi_bench::{bench_city, EPS, RHO};
+use soi_core::describe::{ContextBuilder, PhiSource};
+use soi_core::soi::{run_baseline, run_soi, AccessStrategy, SoiConfig, StreetAggregate};
+use std::hint::black_box;
+
+fn bench_access_strategies(c: &mut Criterion) {
+    let city = bench_city();
+    let query = city.query(3, 20);
+    let mut group = c.benchmark_group("ablation_access_strategy");
+    group.sample_size(20);
+    for strategy in AccessStrategy::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, &strategy| {
+                let config = SoiConfig {
+                    strategy,
+                    ..Default::default()
+                };
+                b.iter(|| {
+                    black_box(run_soi(
+                        &city.dataset.network,
+                        &city.dataset.pois,
+                        &city.index,
+                        &query,
+                        &config,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bound_modes(c: &mut Criterion) {
+    let city = bench_city();
+    let mut group = c.benchmark_group("ablation_bounds");
+    group.sample_size(20);
+    for k in [10usize, 50] {
+        let query = city.query(3, k);
+        for (name, paper_bounds_only) in [("tightened", false), ("paper-verbatim", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, k),
+                &paper_bounds_only,
+                |b, &paper_bounds_only| {
+                    let config = SoiConfig {
+                        paper_bounds_only,
+                        ..Default::default()
+                    };
+                    b.iter(|| {
+                        black_box(run_soi(
+                            &city.dataset.network,
+                            &city.dataset.pois,
+                            &city.index,
+                            &query,
+                            &config,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_street_aggregates(c: &mut Criterion) {
+    let city = bench_city();
+    let query = city.query(3, 20);
+    let mut group = c.benchmark_group("ablation_street_aggregate");
+    group.sample_size(20);
+    for aggregate in [
+        StreetAggregate::Max,
+        StreetAggregate::Mean,
+        StreetAggregate::LengthWeighted,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(aggregate.name()),
+            &aggregate,
+            |b, &aggregate| {
+                b.iter(|| {
+                    black_box(run_baseline(
+                        &city.dataset.network,
+                        &city.dataset.pois,
+                        &city.index,
+                        &query,
+                        aggregate,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_phi_sources(c: &mut Criterion) {
+    let city = bench_city();
+    let street = city.top_shop_context().street;
+    let mut group = c.benchmark_group("ablation_phi_source");
+    group.sample_size(10);
+    for phi_source in [PhiSource::Photos, PhiSource::Pois, PhiSource::PhotosAndPois] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(phi_source.name()),
+            &phi_source,
+            |b, &phi_source| {
+                let builder = ContextBuilder {
+                    network: &city.dataset.network,
+                    photos: &city.dataset.photos,
+                    photo_grid: &city.photo_grid,
+                    pois: Some(&city.dataset.pois),
+                    eps: EPS,
+                    rho: RHO,
+                    phi_source,
+                };
+                b.iter(|| black_box(builder.build(street)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_access_strategies,
+    bench_bound_modes,
+    bench_street_aggregates,
+    bench_phi_sources
+);
+criterion_main!(benches);

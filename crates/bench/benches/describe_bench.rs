@@ -1,0 +1,64 @@
+//! Diversified photo-selection benchmarks (the microbenchmark version of
+//! the paper's Figure 6): ST_Rel+Div vs the naive greedy baseline, varying
+//! k, λ, and w.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soi_bench::bench_city;
+use soi_core::describe::{greedy_select, st_rel_div, DescribeParams};
+use std::hint::black_box;
+
+fn bench_vary_k(c: &mut Criterion) {
+    let city = bench_city();
+    let ctx = city.top_shop_context();
+    let mut group = c.benchmark_group("describe_vary_k");
+    group.sample_size(20);
+    for k in [5usize, 20, 40] {
+        let params = DescribeParams::new(k, 0.5, 0.5).unwrap();
+        group.bench_with_input(BenchmarkId::new("ST_Rel+Div", k), &k, |b, _| {
+            b.iter(|| black_box(st_rel_div(&ctx, &city.dataset.photos, &params)))
+        });
+        group.bench_with_input(BenchmarkId::new("BL", k), &k, |b, _| {
+            b.iter(|| black_box(greedy_select(&ctx, &city.dataset.photos, &params)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vary_lambda(c: &mut Criterion) {
+    let city = bench_city();
+    let ctx = city.top_shop_context();
+    let mut group = c.benchmark_group("describe_vary_lambda");
+    group.sample_size(20);
+    for lambda in [0.0f64, 0.5, 1.0] {
+        let params = DescribeParams::new(20, lambda, 0.5).unwrap();
+        let label = format!("{lambda:.2}");
+        group.bench_with_input(BenchmarkId::new("ST_Rel+Div", &label), &lambda, |b, _| {
+            b.iter(|| black_box(st_rel_div(&ctx, &city.dataset.photos, &params)))
+        });
+        group.bench_with_input(BenchmarkId::new("BL", &label), &lambda, |b, _| {
+            b.iter(|| black_box(greedy_select(&ctx, &city.dataset.photos, &params)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vary_w(c: &mut Criterion) {
+    let city = bench_city();
+    let ctx = city.top_shop_context();
+    let mut group = c.benchmark_group("describe_vary_w");
+    group.sample_size(20);
+    for w in [0.0f64, 0.5, 1.0] {
+        let params = DescribeParams::new(20, 0.5, w).unwrap();
+        let label = format!("{w:.2}");
+        group.bench_with_input(BenchmarkId::new("ST_Rel+Div", &label), &w, |b, _| {
+            b.iter(|| black_box(st_rel_div(&ctx, &city.dataset.photos, &params)))
+        });
+        group.bench_with_input(BenchmarkId::new("BL", &label), &w, |b, _| {
+            b.iter(|| black_box(greedy_select(&ctx, &city.dataset.photos, &params)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vary_k, bench_vary_lambda, bench_vary_w);
+criterion_main!(benches);

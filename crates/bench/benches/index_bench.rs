@@ -1,0 +1,84 @@
+//! Index construction and maintenance benchmarks: the offline structures
+//! of Sec. 3.2.1 / 4.2.1 and the query-time context building.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soi_bench::{bench_city, CELL, EPS, RHO};
+use soi_core::describe::{ContextBuilder, PhiSource};
+use soi_index::{DiversificationIndex, EpsilonMaps, PhotoGrid, PoiIndex};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let city = bench_city();
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_function("poi_index", |b| {
+        b.iter(|| {
+            black_box(PoiIndex::build(
+                &city.dataset.network,
+                &city.dataset.pois,
+                CELL,
+            ))
+        })
+    });
+    group.bench_function("photo_grid", |b| {
+        b.iter(|| {
+            black_box(PhotoGrid::build(
+                &city.dataset.network,
+                &city.dataset.photos,
+                CELL,
+            ))
+        })
+    });
+    group.bench_function("eager_epsilon_maps", |b| {
+        b.iter(|| {
+            black_box(EpsilonMaps::build(
+                &city.dataset.network,
+                &city.index,
+                EPS,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_query_time_structures(c: &mut Criterion) {
+    let city = bench_city();
+    let ctx = city.top_shop_context();
+    let mut group = c.benchmark_group("query_time_structures");
+    group.sample_size(20);
+    group.bench_function("street_context", |b| {
+        let builder = ContextBuilder {
+            network: &city.dataset.network,
+            photos: &city.dataset.photos,
+            photo_grid: &city.photo_grid,
+            pois: Some(&city.dataset.pois),
+            eps: EPS,
+            rho: RHO,
+            phi_source: PhiSource::Photos,
+        };
+        b.iter(|| black_box(builder.build(ctx.street)))
+    });
+    group.bench_function("diversification_index", |b| {
+        b.iter(|| {
+            black_box(DiversificationIndex::build(
+                &city.dataset.photos,
+                &ctx.members,
+                RHO,
+            ))
+        })
+    });
+    group.bench_function("photos_near_street", |b| {
+        b.iter(|| {
+            black_box(city.photo_grid.photos_near_street(
+                &city.dataset.network,
+                &city.dataset.photos,
+                ctx.street,
+                EPS,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query_time_structures);
+criterion_main!(benches);

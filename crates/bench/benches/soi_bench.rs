@@ -1,0 +1,75 @@
+//! k-SOI identification benchmarks (the microbenchmark version of the
+//! paper's Figure 4): the SOI algorithm vs the BL full-scan baseline,
+//! varying k and |Ψ|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soi_bench::bench_city;
+use soi_core::soi::{run_baseline, run_soi, SoiConfig, StreetAggregate};
+use std::hint::black_box;
+
+fn bench_vary_k(c: &mut Criterion) {
+    let city = bench_city();
+    let mut group = c.benchmark_group("soi_vary_k");
+    group.sample_size(20);
+    for k in [10usize, 50, 200] {
+        let query = city.query(3, k);
+        group.bench_with_input(BenchmarkId::new("SOI", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(run_soi(
+                    &city.dataset.network,
+                    &city.dataset.pois,
+                    &city.index,
+                    &query,
+                    &SoiConfig::default(),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("BL", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(run_baseline(
+                    &city.dataset.network,
+                    &city.dataset.pois,
+                    &city.index,
+                    &query,
+                    StreetAggregate::Max,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vary_keywords(c: &mut Criterion) {
+    let city = bench_city();
+    let mut group = c.benchmark_group("soi_vary_keywords");
+    group.sample_size(20);
+    for num_kw in 1usize..=4 {
+        let query = city.query(num_kw, 50);
+        group.bench_with_input(BenchmarkId::new("SOI", num_kw), &num_kw, |b, _| {
+            b.iter(|| {
+                black_box(run_soi(
+                    &city.dataset.network,
+                    &city.dataset.pois,
+                    &city.index,
+                    &query,
+                    &SoiConfig::default(),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("BL", num_kw), &num_kw, |b, _| {
+            b.iter(|| {
+                black_box(run_baseline(
+                    &city.dataset.network,
+                    &city.dataset.pois,
+                    &city.index,
+                    &query,
+                    StreetAggregate::Max,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vary_k, bench_vary_keywords);
+criterion_main!(benches);

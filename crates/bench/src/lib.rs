@@ -1,0 +1,104 @@
+//! Shared fixtures for the streets-of-interest benchmarks.
+//!
+//! Each bench binary regenerates (deterministically) a small synthetic city
+//! and its indexes. The scale is intentionally modest so `cargo bench`
+//! finishes in minutes; the experiment harness (`soi-experiments`) is the
+//! place for paper-scale sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use soi_core::describe::{ContextBuilder, PhiSource, StreetContext};
+use soi_core::soi::{run_soi, SoiConfig, SoiQuery};
+use soi_data::Dataset;
+use soi_datagen::GroundTruth;
+use soi_index::{PhotoGrid, PoiIndex};
+
+/// The paper's ε (0.0005° ≈ 55 m).
+pub const EPS: f64 = 0.0005;
+/// The paper's ρ.
+pub const RHO: f64 = 0.0001;
+/// Grid cell size used for the POI and photo grids.
+pub const CELL: f64 = 2.0 * EPS;
+/// City scale used by the benches.
+pub const BENCH_SCALE: f64 = 0.05;
+
+/// A generated city with its indexes, ready to query.
+pub struct BenchCity {
+    /// The dataset.
+    pub dataset: Dataset,
+    /// Planted ground truth.
+    pub truth: GroundTruth,
+    /// POI index.
+    pub index: PoiIndex,
+    /// Photo grid.
+    pub photo_grid: PhotoGrid,
+}
+
+/// Builds the benchmark city (a Berlin-like preset at [`BENCH_SCALE`]).
+pub fn bench_city() -> BenchCity {
+    let (dataset, truth) = soi_datagen::generate(&soi_datagen::berlin(BENCH_SCALE));
+    let index = PoiIndex::build(&dataset.network, &dataset.pois, CELL);
+    let photo_grid = PhotoGrid::build(&dataset.network, &dataset.photos, CELL);
+    BenchCity {
+        dataset,
+        truth,
+        index,
+        photo_grid,
+    }
+}
+
+impl BenchCity {
+    /// A validated k-SOI query over the benchmark keyword prefix.
+    pub fn query(&self, num_keywords: usize, k: usize) -> SoiQuery {
+        let all = ["religion", "education", "food", "services"];
+        SoiQuery::new(
+            self.dataset.query_keywords(&all[..num_keywords.clamp(1, 4)]),
+            k,
+            EPS,
+        )
+        .expect("valid query")
+    }
+
+    /// The description context of the top "shop" street.
+    pub fn top_shop_context(&self) -> StreetContext {
+        let query = SoiQuery::new(self.dataset.query_keywords(&["shop"]), 1, EPS)
+            .expect("valid query");
+        let top = run_soi(
+            &self.dataset.network,
+            &self.dataset.pois,
+            &self.index,
+            &query,
+            &SoiConfig::default(),
+        )
+        .results
+        .first()
+        .map(|r| r.street)
+        .or_else(|| self.truth.for_category("shop").first().copied())
+        .expect("shop street exists");
+        ContextBuilder {
+            network: &self.dataset.network,
+            photos: &self.dataset.photos,
+            photo_grid: &self.photo_grid,
+            pois: Some(&self.dataset.pois),
+            eps: EPS,
+            rho: RHO,
+            phi_source: PhiSource::Photos,
+        }
+        .build(top)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_city_builds_and_queries() {
+        let city = bench_city();
+        let q = city.query(2, 5);
+        assert_eq!(q.k, 5);
+        let ctx = city.top_shop_context();
+        assert!(!ctx.members.is_empty());
+    }
+}

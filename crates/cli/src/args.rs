@@ -1,0 +1,102 @@
+//! Minimal command-line argument parsing (no external dependencies).
+
+use soi_common::{Result, SoiError};
+use std::collections::BTreeMap;
+
+/// Parsed invocation: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` pairs.
+    options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses an argument list (without the program name).
+    ///
+    /// Grammar: `<command> (--key value)*`. Flags without values are not
+    /// supported (every option takes a value).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args> {
+        let mut it = args.into_iter();
+        let command = it
+            .next()
+            .ok_or_else(|| SoiError::invalid("missing subcommand; try `soi help`"))?;
+        let mut options = BTreeMap::new();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(SoiError::invalid(format!(
+                    "unexpected positional argument {key:?}"
+                )));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| SoiError::invalid(format!("option --{name} needs a value")))?;
+            if options.insert(name.to_string(), value).is_some() {
+                return Err(SoiError::invalid(format!("option --{name} given twice")));
+            }
+        }
+        Ok(Args { command, options })
+    }
+
+    /// A required string option.
+    pub fn require(&self, name: &str) -> Result<&str> {
+        self.options
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| SoiError::invalid(format!("missing required option --{name}")))
+    }
+
+    /// An optional string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// An optional parsed option with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse::<T>().map_err(|_| {
+                SoiError::invalid(format!("option --{name} has invalid value {raw:?}"))
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = parse(&["query", "--k", "10", "--keywords", "shop,food"]).unwrap();
+        assert_eq!(a.command, "query");
+        assert_eq!(a.require("k").unwrap(), "10");
+        assert_eq!(a.get("keywords"), Some("shop,food"));
+        assert_eq!(a.get("missing"), None);
+        assert_eq!(a.get_parsed("k", 0usize).unwrap(), 10);
+        assert_eq!(a.get_parsed("eps", 0.5f64).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["query", "stray"]).is_err());
+        assert!(parse(&["query", "--k"]).is_err());
+        assert!(parse(&["query", "--k", "1", "--k", "2"]).is_err());
+        assert!(parse(&["query", "--k", "x"])
+            .unwrap()
+            .get_parsed("k", 0usize)
+            .is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = parse(&["stats"]).unwrap();
+        assert!(a.require("data").is_err());
+    }
+}

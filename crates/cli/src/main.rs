@@ -1,0 +1,404 @@
+//! `soi` — command-line interface to the streets-of-interest library.
+//!
+//! ```text
+//! soi generate --city london --scale 0.05 --out data/london
+//! soi stats    --data data/london
+//! soi query    --data data/london --keywords shop --k 10
+//! soi describe --data data/london --keywords shop --photos 5
+//! soi route    --data data/london --keywords food --k 8
+//! ```
+
+mod args;
+
+use args::Args;
+use soi_common::{Result, SoiError};
+use soi_core::describe::{st_rel_div, ContextBuilder, DescribeParams, PhiSource};
+use soi_core::route::{improve_route_2opt, route_length, sketch_route};
+use soi_core::soi::{run_baseline, run_soi, SoiConfig, SoiOutcome, SoiQuery, StreetAggregate};
+use soi_data::Dataset;
+use soi_index::{IrTree, PhotoGrid, PoiIndex};
+use soi_network::NetworkStats;
+
+const DEFAULT_EPS: f64 = 0.0005;
+const DEFAULT_RHO: f64 = 0.0001;
+const POI_CELL: f64 = 2.0 * DEFAULT_EPS;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(raw: Vec<String>) -> Result<()> {
+    if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" {
+        print_help();
+        return Ok(());
+    }
+    let args = Args::parse(raw)?;
+    match args.command.as_str() {
+        "generate" => cmd_generate(&args),
+        "stats" => cmd_stats(&args),
+        "query" => cmd_query(&args),
+        "describe" => cmd_describe(&args),
+        "route" => cmd_route(&args),
+        "export" => cmd_export(&args),
+        "poi" => cmd_poi(&args),
+        other => Err(SoiError::invalid(format!(
+            "unknown command {other:?}; try `soi help`"
+        ))),
+    }
+}
+
+fn print_help() {
+    println!(
+        "soi — identify and describe Streets of Interest (EDBT 2016)\n\n\
+         USAGE: soi <command> [--option value]...\n\n\
+         COMMANDS\n\
+         generate  --city london|berlin|vienna --out DIR [--scale 0.05] [--seed N]\n\
+         \u{20}          Generate a synthetic city dataset and save it.\n\
+         stats     --data DIR\n\
+         \u{20}          Print dataset statistics (paper Table 1 columns).\n\
+         query     --data DIR --keywords w1,w2 [--k 10] [--eps 0.0005] [--algo soi|bl]\n\
+         \u{20}          Run a k-SOI query and print the ranked streets.\n\
+         describe  --data DIR --keywords w1,w2 [--photos 5] [--lambda 0.5] [--w 0.5]\n\
+         \u{20}          [--rho 0.0001] [--street NAME]\n\
+         \u{20}          Select a diversified photo summary for the top street\n\
+         \u{20}          (or a named street).\n\
+         route     --data DIR --keywords w1,w2 [--k 8] [--eps 0.0005]\n\
+         \u{20}          Sketch an exploration route over the top-k streets.\n\
+         export    --data DIR --keywords w1,w2 --out FILE.geojson [--k 10]\n\
+         \u{20}          [--photos 5] Export the top-k streets (and a photo\n\
+         \u{20}          summary of the winner) as GeoJSON for any web map.\n\
+         poi       --data DIR --keywords w1,w2 --at X,Y [--k 5] [--match any|all]\n\
+         \u{20}          Single-POI retrieval: the k nearest POIs matching the\n\
+         \u{20}          keywords (hybrid spatio-textual R-tree)."
+    );
+}
+
+fn load(args: &Args) -> Result<Dataset> {
+    soi_data::io::load_dataset(args.require("data")?)
+}
+
+fn parse_keywords(dataset: &Dataset, args: &Args) -> Result<soi_text::KeywordSet> {
+    let raw = args.require("keywords")?;
+    let words: Vec<&str> = raw.split(',').map(str::trim).filter(|w| !w.is_empty()).collect();
+    if words.is_empty() {
+        return Err(SoiError::invalid("--keywords must name at least one keyword"));
+    }
+    let set = dataset.query_keywords(&words);
+    if set.is_empty() {
+        eprintln!("note: none of the keywords occur in this dataset");
+    }
+    Ok(set)
+}
+
+fn cmd_generate(args: &Args) -> Result<()> {
+    let city = args.require("city")?;
+    let out = args.require("out")?;
+    let scale: f64 = args.get_parsed("scale", 0.05)?;
+    let mut config = match city {
+        "london" => soi_datagen::london(scale),
+        "berlin" => soi_datagen::berlin(scale),
+        "vienna" => soi_datagen::vienna(scale),
+        other => {
+            return Err(SoiError::invalid(format!(
+                "unknown city {other:?} (expected london, berlin, or vienna)"
+            )))
+        }
+    };
+    if let Some(seed) = args.get("seed") {
+        config.seed = seed
+            .parse()
+            .map_err(|_| SoiError::invalid("--seed must be an integer"))?;
+    }
+    eprintln!(
+        "generating {} at scale {scale} ({} POIs, {} photos)...",
+        config.name, config.n_pois, config.n_photos
+    );
+    let (dataset, truth) = soi_datagen::generate(&config);
+    soi_data::io::save_dataset(&dataset, out)?;
+    println!(
+        "wrote {} to {out}: {} segments, {} streets, {} POIs, {} photos",
+        dataset.name,
+        dataset.network.num_segments(),
+        dataset.network.num_streets(),
+        dataset.pois.len(),
+        dataset.photos.len()
+    );
+    for (category, streets) in &truth.destinations {
+        let names: Vec<&str> = streets
+            .iter()
+            .map(|&s| dataset.network.street(s).name.as_str())
+            .collect();
+        println!("planted {category} destinations: {}", names.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<()> {
+    let dataset = load(args)?;
+    let stats = NetworkStats::of(&dataset.network);
+    println!("dataset: {}", dataset.name);
+    println!("{stats}");
+    println!("POIs:     {}", dataset.pois.len());
+    println!("photos:   {}", dataset.photos.len());
+    println!("keywords: {}", dataset.vocab.len());
+    Ok(())
+}
+
+fn print_outcome(dataset: &Dataset, outcome: &SoiOutcome) {
+    println!("rank  interest      mass  street");
+    for (i, r) in outcome.results.iter().enumerate() {
+        println!(
+            "{:>4}  {:>12.1}  {:>6.1}  {}",
+            i + 1,
+            r.interest,
+            r.best_segment_mass,
+            dataset.network.street(r.street).name
+        );
+    }
+    let t = &outcome.stats.timer;
+    eprintln!(
+        "({} results in {:?}; construction {:?}, filtering {:?}, refinement {:?})",
+        outcome.results.len(),
+        t.total(),
+        t.duration("construction"),
+        t.duration("filtering"),
+        t.duration("refinement"),
+    );
+}
+
+fn cmd_query(args: &Args) -> Result<()> {
+    let dataset = load(args)?;
+    let keywords = parse_keywords(&dataset, args)?;
+    let k: usize = args.get_parsed("k", 10)?;
+    let eps: f64 = args.get_parsed("eps", DEFAULT_EPS)?;
+    let query = SoiQuery::new(keywords, k, eps)?;
+    let index = PoiIndex::build(&dataset.network, &dataset.pois, 2.0 * eps);
+    let outcome = match args.get("algo").unwrap_or("soi") {
+        "soi" => run_soi(
+            &dataset.network,
+            &dataset.pois,
+            &index,
+            &query,
+            &SoiConfig::default(),
+        ),
+        "bl" => run_baseline(
+            &dataset.network,
+            &dataset.pois,
+            &index,
+            &query,
+            StreetAggregate::Max,
+        ),
+        other => return Err(SoiError::invalid(format!("unknown --algo {other:?}"))),
+    };
+    print_outcome(&dataset, &outcome);
+    Ok(())
+}
+
+fn top_street(
+    dataset: &Dataset,
+    index: &PoiIndex,
+    keywords: soi_text::KeywordSet,
+    eps: f64,
+) -> Result<soi_common::StreetId> {
+    let query = SoiQuery::new(keywords, 1, eps)?;
+    let out = run_soi(
+        &dataset.network,
+        &dataset.pois,
+        index,
+        &query,
+        &SoiConfig::default(),
+    );
+    out.results
+        .first()
+        .map(|r| r.street)
+        .ok_or_else(|| SoiError::not_found("no street matches the query keywords"))
+}
+
+fn cmd_describe(args: &Args) -> Result<()> {
+    let dataset = load(args)?;
+    let eps: f64 = args.get_parsed("eps", DEFAULT_EPS)?;
+    let rho: f64 = args.get_parsed("rho", DEFAULT_RHO)?;
+    let k: usize = args.get_parsed("photos", 5)?;
+    let lambda: f64 = args.get_parsed("lambda", 0.5)?;
+    let w: f64 = args.get_parsed("w", 0.5)?;
+
+    let street = match args.get("street") {
+        Some(name) => dataset
+            .street_by_name(name)
+            .ok_or_else(|| SoiError::not_found(format!("street {name:?}")))?,
+        None => {
+            let keywords = parse_keywords(&dataset, args)?;
+            let index = PoiIndex::build(&dataset.network, &dataset.pois, POI_CELL);
+            top_street(&dataset, &index, keywords, eps)?
+        }
+    };
+
+    let photo_grid = PhotoGrid::build(&dataset.network, &dataset.photos, POI_CELL);
+    let ctx = ContextBuilder {
+        network: &dataset.network,
+        photos: &dataset.photos,
+        photo_grid: &photo_grid,
+        pois: Some(&dataset.pois),
+        eps,
+        rho,
+        phi_source: PhiSource::Photos,
+    }
+    .build(street);
+    let params = DescribeParams::new(k, lambda, w)?;
+    let out = st_rel_div(&ctx, &dataset.photos, &params);
+
+    println!(
+        "street: {} ({} photos within ε)",
+        dataset.network.street(street).name,
+        ctx.members.len()
+    );
+    println!("summary of {} photos (F = {:.4}):", out.selected.len(), out.objective);
+    for &pid in &out.selected {
+        let photo = dataset.photos.get(pid);
+        let tags: Vec<&str> = photo
+            .tags
+            .iter()
+            .filter_map(|t| dataset.vocab.term(t))
+            .collect();
+        println!(
+            "  photo #{} at ({:.5}, {:.5}) tags: {}",
+            pid.raw(),
+            photo.pos.x,
+            photo.pos.y,
+            tags.join(", ")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_export(args: &Args) -> Result<()> {
+    let dataset = load(args)?;
+    let out = args.require("out")?;
+    let keywords = parse_keywords(&dataset, args)?;
+    let k: usize = args.get_parsed("k", 10)?;
+    let n_photos: usize = args.get_parsed("photos", 5)?;
+    let eps: f64 = args.get_parsed("eps", DEFAULT_EPS)?;
+
+    let index = PoiIndex::build(&dataset.network, &dataset.pois, 2.0 * eps);
+    let query = SoiQuery::new(keywords, k, eps)?;
+    let outcome = run_soi(
+        &dataset.network,
+        &dataset.pois,
+        &index,
+        &query,
+        &SoiConfig::default(),
+    );
+    let ranked: Vec<(soi_common::StreetId, f64)> = outcome
+        .results
+        .iter()
+        .map(|r| (r.street, r.interest))
+        .collect();
+    let streets_doc = soi_data::geojson::ranked_streets_to_geojson(&dataset.network, &ranked);
+    std::fs::write(out, &streets_doc)?;
+    println!("wrote {} streets to {out}", ranked.len());
+
+    if let Some(&(top, _)) = ranked.first() {
+        let photo_grid = PhotoGrid::build(&dataset.network, &dataset.photos, POI_CELL);
+        let ctx = ContextBuilder {
+            network: &dataset.network,
+            photos: &dataset.photos,
+            photo_grid: &photo_grid,
+            pois: Some(&dataset.pois),
+            eps,
+            rho: DEFAULT_RHO,
+            phi_source: PhiSource::Photos,
+        }
+        .build(top);
+        if !ctx.members.is_empty() {
+            let params = DescribeParams::new(n_photos, 0.5, 0.5)?;
+            let summary = st_rel_div(&ctx, &dataset.photos, &params);
+            let photo_doc = soi_data::geojson::photos_to_geojson(&dataset, &summary.selected);
+            let photo_path = format!("{out}.photos.geojson");
+            std::fs::write(&photo_path, &photo_doc)?;
+            println!(
+                "wrote {}-photo summary of {:?} to {photo_path}",
+                summary.selected.len(),
+                dataset.network.street(top).name
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_poi(args: &Args) -> Result<()> {
+    let dataset = load(args)?;
+    let keywords = parse_keywords(&dataset, args)?;
+    let k: usize = args.get_parsed("k", 5)?;
+    let at = args.require("at")?;
+    let (x, y) = at
+        .split_once(',')
+        .and_then(|(a, b)| Some((a.trim().parse::<f64>().ok()?, b.trim().parse::<f64>().ok()?)))
+        .ok_or_else(|| SoiError::invalid("--at must be X,Y coordinates"))?;
+    let q = soi_geo::Point::new(x, y);
+
+    let tree = IrTree::build(&dataset.pois);
+    let hits = match args.get("match").unwrap_or("any") {
+        "all" => tree.top_k_containing_all(q, &keywords, k),
+        "any" => tree.top_k_relevant(q, &keywords, k),
+        other => return Err(SoiError::invalid(format!("unknown --match {other:?}"))),
+    };
+    println!("rank  distance    poi   keywords");
+    for (i, (pid, dist)) in hits.iter().enumerate() {
+        let poi = dataset.pois.get(*pid);
+        let kws: Vec<&str> = poi
+            .keywords
+            .iter()
+            .filter_map(|kw| dataset.vocab.term(kw))
+            .collect();
+        println!("{:>4}  {:<10.6}  #{:<4} {}", i + 1, dist, pid.raw(), kws.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_route(args: &Args) -> Result<()> {
+    let dataset = load(args)?;
+    let keywords = parse_keywords(&dataset, args)?;
+    let k: usize = args.get_parsed("k", 8)?;
+    let eps: f64 = args.get_parsed("eps", DEFAULT_EPS)?;
+    let query = SoiQuery::new(keywords, k, eps)?;
+    let index = PoiIndex::build(&dataset.network, &dataset.pois, 2.0 * eps);
+    let out = run_soi(
+        &dataset.network,
+        &dataset.pois,
+        &index,
+        &query,
+        &SoiConfig::default(),
+    );
+    let mut route = sketch_route(&dataset.network, &out.results);
+    let greedy_len = route_length(&dataset.network, &route);
+    let improved_len = improve_route_2opt(&dataset.network, &mut route);
+    println!(
+        "suggested exploration route ({} stops, {:.5}° walk{}):",
+        route.len(),
+        improved_len,
+        if improved_len + 1e-12 < greedy_len {
+            format!(", 2-opt saved {:.5}°", greedy_len - improved_len)
+        } else {
+            String::new()
+        }
+    );
+    for (i, street) in route.iter().enumerate() {
+        let interest = out
+            .results
+            .iter()
+            .find(|r| r.street == *street)
+            .map(|r| r.interest)
+            .unwrap_or(0.0);
+        println!(
+            "{:>3}. {} (interest {:.1})",
+            i + 1,
+            dataset.network.street(*street).name,
+            interest
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,151 @@
+//! End-to-end tests of the `soi` binary: generate a dataset into a temp
+//! dir, then exercise every subcommand through the real executable.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::OnceLock;
+
+fn soi(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_soi"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Generates the shared test dataset once per test binary run.
+fn dataset_dir() -> &'static str {
+    static DIR: OnceLock<PathBuf> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("soi_cli_test_{}", std::process::id()));
+        let out = soi(&[
+            "generate",
+            "--city",
+            "vienna",
+            "--scale",
+            "0.01",
+            "--out",
+            dir.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "generate failed: {}", stderr(&out));
+        dir
+    })
+    .to_str()
+    .unwrap()
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let out = soi(&["help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for cmd in ["generate", "stats", "query", "describe", "route", "export", "poi"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = soi(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn missing_required_option_fails() {
+    let out = soi(&["stats"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--data"));
+}
+
+#[test]
+fn stats_prints_counts() {
+    let out = soi(&["stats", "--data", dataset_dir()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("dataset: vienna"));
+    assert!(text.contains("segments:"));
+    assert!(text.contains("POIs:"));
+}
+
+#[test]
+fn query_ranks_streets_and_agrees_with_baseline() {
+    let a = soi(&["query", "--data", dataset_dir(), "--keywords", "shop", "--k", "5"]);
+    assert!(a.status.success(), "{}", stderr(&a));
+    let soi_out = stdout(&a);
+    assert!(soi_out.lines().count() >= 2, "no results: {soi_out}");
+
+    let b = soi(&[
+        "query", "--data", dataset_dir(), "--keywords", "shop", "--k", "5", "--algo", "bl",
+    ]);
+    assert!(b.status.success());
+    // Both algorithms print the same ranked street table.
+    assert_eq!(soi_out, stdout(&b));
+}
+
+#[test]
+fn describe_selects_photos() {
+    let out = soi(&[
+        "describe", "--data", dataset_dir(), "--keywords", "shop", "--photos", "3",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("summary of 3 photos"));
+    assert_eq!(text.matches("photo #").count(), 3);
+}
+
+#[test]
+fn route_visits_streets() {
+    let out = soi(&["route", "--data", dataset_dir(), "--keywords", "food", "--k", "4"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("suggested exploration route"));
+}
+
+#[test]
+fn export_writes_valid_geojson() {
+    let path = std::env::temp_dir().join(format!("soi_cli_export_{}.geojson", std::process::id()));
+    let out = soi(&[
+        "export",
+        "--data",
+        dataset_dir(),
+        "--keywords",
+        "shop",
+        "--k",
+        "3",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let doc = std::fs::read_to_string(&path).unwrap();
+    assert!(doc.starts_with("{\"type\":\"FeatureCollection\""));
+    assert!(doc.contains("\"interest\""));
+    let photos = std::fs::read_to_string(format!("{}.photos.geojson", path.display())).unwrap();
+    assert!(photos.contains("\"photo_id\""));
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(format!("{}.photos.geojson", path.display())).ok();
+}
+
+#[test]
+fn poi_query_returns_nearest_relevant() {
+    let out = soi(&[
+        "poi", "--data", dataset_dir(), "--keywords", "food", "--at", "0.01,0.01", "--k", "3",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("rank"));
+    assert!(text.contains("food"));
+}
+
+#[test]
+fn generate_rejects_unknown_city() {
+    let out = soi(&["generate", "--city", "atlantis", "--out", "/tmp/nowhere"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown city"));
+}

@@ -1,0 +1,109 @@
+//! The workspace error type.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, SoiError>;
+
+/// Errors produced by the streets-of-interest crates.
+#[derive(Debug)]
+pub enum SoiError {
+    /// An I/O failure while reading or writing datasets.
+    Io(std::io::Error),
+    /// A malformed record in a dataset file: `(line number, message)`.
+    Parse {
+        /// 1-based line number of the offending record (0 if unknown).
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An invalid argument or inconsistent input to an API.
+    InvalidInput(String),
+    /// A referenced entity does not exist.
+    NotFound(String),
+}
+
+impl SoiError {
+    /// Convenience constructor for [`SoiError::InvalidInput`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        SoiError::InvalidInput(message.into())
+    }
+
+    /// Convenience constructor for [`SoiError::Parse`].
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        SoiError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SoiError::NotFound`].
+    pub fn not_found(message: impl Into<String>) -> Self {
+        SoiError::NotFound(message.into())
+    }
+}
+
+impl fmt::Display for SoiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoiError::Io(e) => write!(f, "I/O error: {e}"),
+            SoiError::Parse { line, message } => {
+                if *line == 0 {
+                    write!(f, "parse error: {message}")
+                } else {
+                    write!(f, "parse error at line {line}: {message}")
+                }
+            }
+            SoiError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            SoiError::NotFound(m) => write!(f, "not found: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SoiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SoiError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SoiError {
+    fn from(e: std::io::Error) -> Self {
+        SoiError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            SoiError::invalid("epsilon must be positive").to_string(),
+            "invalid input: epsilon must be positive"
+        );
+        assert_eq!(
+            SoiError::parse(3, "expected 4 fields").to_string(),
+            "parse error at line 3: expected 4 fields"
+        );
+        assert_eq!(
+            SoiError::parse(0, "empty file").to_string(),
+            "parse error: empty file"
+        );
+        assert_eq!(
+            SoiError::not_found("street 7").to_string(),
+            "not found: street 7"
+        );
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err: SoiError = io.into();
+        assert!(err.to_string().contains("gone"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,144 @@
+//! An FxHash-style hasher and hash-map/set aliases.
+//!
+//! The workspace's hot paths hash small integer keys (grid cell keys, segment
+//! and POI ids) millions of times per query. The standard library's SipHash
+//! is robust against hash-flooding but slow for such keys; the Fx algorithm
+//! (popularised by Firefox and rustc) is a simple multiply-xor mix that is
+//! dramatically faster for integers. None of the data hashed here is
+//! attacker-controlled, so the weaker collision resistance is acceptable.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The 64-bit Fx multiplication constant (derived from the golden ratio).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// Rotation amount used by the Fx mix step.
+const ROTATE: u32 = 5;
+
+/// A fast, non-cryptographic hasher suitable for integer-keyed maps.
+///
+/// Implements the same algorithm as `rustc-hash`'s classic `FxHasher`:
+/// for each input word, `hash = (hash.rotate_left(5) ^ word) * SEED`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            // Mix in the length so that zero-padded tails of different
+            // lengths do not collide trivially.
+            self.add_to_hash(rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`] instances.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the fast Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the fast Fx hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(value: T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_one(42u32), hash_one(42u32));
+        assert_eq!(hash_one("street"), hash_one("street"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_one(1u64), hash_one(2u64));
+        assert_ne!(hash_one((1u32, 2u32)), hash_one((2u32, 1u32)));
+    }
+
+    #[test]
+    fn distinguishes_zero_padded_tails() {
+        // "a" and "a\0" byte strings must not collide even though the tail
+        // chunk zero-pads to the same 8-byte word.
+        let mut h1 = FxHasher::default();
+        h1.write(b"a");
+        let mut h2 = FxHasher::default();
+        h2.write(b"a\0");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(7, "seven");
+        map.insert(11, "eleven");
+        assert_eq!(map.get(&7), Some(&"seven"));
+
+        let mut set: FxHashSet<(i32, i32)> = FxHashSet::default();
+        set.insert((3, 4));
+        assert!(set.contains(&(3, 4)));
+        assert!(!set.contains(&(4, 3)));
+    }
+
+    #[test]
+    fn empty_input_hashes_to_default() {
+        let h = FxHasher::default();
+        assert_eq!(h.finish(), 0);
+    }
+}

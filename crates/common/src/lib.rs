@@ -1,0 +1,32 @@
+//! Shared utilities for the streets-of-interest workspace.
+//!
+//! This crate holds the small, dependency-free building blocks used by every
+//! other crate in the workspace:
+//!
+//! - [`fxhash`]: an FxHash-style fast hasher plus [`FxHashMap`]/[`FxHashSet`]
+//!   aliases, for the hot integer-keyed maps (grid cell keys, segment ids).
+//! - [`ids`]: strongly typed `u32` identifiers ([`PoiId`], [`SegmentId`], …)
+//!   so that ids of different entity kinds cannot be confused.
+//! - [`ord`]: [`OrderedF64`], a total order over non-NaN floats used for
+//!   ranking scores deterministically.
+//! - [`timing`]: [`Stopwatch`] and [`PhaseTimer`] for the per-phase runtime
+//!   breakdowns reported by the experiment harness (paper Fig. 4).
+//! - [`topk`]: deterministic top-k selection helpers.
+//! - [`error`]: the workspace error type.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod fxhash;
+pub mod ids;
+pub mod ord;
+pub mod timing;
+pub mod topk;
+
+pub use error::{Result, SoiError};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use ids::{CellId, KeywordId, NodeId, PhotoId, PoiId, SegmentId, StreetId};
+pub use ord::OrderedF64;
+pub use timing::{PhaseTimer, Stopwatch};
+pub use topk::{top_k_by_score, ScoredItem, TopKTracker};

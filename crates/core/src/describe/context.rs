@@ -1,0 +1,237 @@
+//! Per-street description context.
+//!
+//! Bundles everything the measures of Section 4.1.2 need about one street:
+//! its photo set `Rs`, its keyword frequency vector `Φs`, the normaliser
+//! `maxD(s)` (diagonal of the ε-buffered street MBR, Definition 5), the
+//! neighbourhood radius ρ, and the per-street diversification grid index.
+
+use soi_common::{PhotoId, StreetId};
+use soi_data::{PhotoCollection, PoiCollection};
+use soi_index::{DiversificationIndex, PhotoGrid};
+use soi_network::RoadNetwork;
+use soi_text::FreqVector;
+
+/// Where the street keyword frequency vector `Φs` is derived from.
+///
+/// The paper notes "there are many ways to derive the keyword frequency
+/// vector of a street; for example … from the keywords of its neighboring
+/// POIs and/or photos" (Sec. 4.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PhiSource {
+    /// Tag frequencies of the street's photos `Rs` (default).
+    #[default]
+    Photos,
+    /// Keyword frequencies of POIs within ε of the street.
+    Pois,
+    /// Sum of both.
+    PhotosAndPois,
+}
+
+impl PhiSource {
+    /// Name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhiSource::Photos => "photos",
+            PhiSource::Pois => "pois",
+            PhiSource::PhotosAndPois => "photos+pois",
+        }
+    }
+}
+
+/// The description context of one street.
+#[derive(Debug)]
+pub struct StreetContext {
+    /// The street being described.
+    pub street: StreetId,
+    /// `Rs`: photos within ε of the street, ascending by id.
+    pub members: Vec<PhotoId>,
+    /// The street keyword frequency vector `Φs`.
+    pub phi: FreqVector,
+    /// `maxD(s)`: the diagonal of the street MBR expanded by ε.
+    pub max_d: f64,
+    /// The neighbourhood radius ρ of Definition 4.
+    pub rho: f64,
+    /// The per-street grid index (cell side ρ/2).
+    pub index: DiversificationIndex,
+}
+
+/// Inputs shared across street-context constructions.
+#[derive(Clone, Copy)]
+pub struct ContextBuilder<'a> {
+    /// The road network.
+    pub network: &'a RoadNetwork,
+    /// All photos of the dataset.
+    pub photos: &'a PhotoCollection,
+    /// The dataset-wide photo grid (for extracting `Rs`).
+    pub photo_grid: &'a PhotoGrid,
+    /// POIs, if `Φs` should draw on them.
+    pub pois: Option<&'a PoiCollection>,
+    /// Distance threshold ε (photo-to-street association).
+    pub eps: f64,
+    /// Neighbourhood radius ρ (spatial relevance).
+    pub rho: f64,
+    /// Source of `Φs`.
+    pub phi_source: PhiSource,
+}
+
+impl ContextBuilder<'_> {
+    /// Builds the description context for `street`.
+    ///
+    /// # Panics
+    /// Panics if `phi_source` requires POIs but none were provided.
+    pub fn build(&self, street: StreetId) -> StreetContext {
+        let members =
+            self.photo_grid
+                .photos_near_street(self.network, self.photos, street, self.eps);
+
+        let mut phi = FreqVector::new();
+        if matches!(self.phi_source, PhiSource::Photos | PhiSource::PhotosAndPois) {
+            for &pid in &members {
+                for tag in self.photos.get(pid).tags.iter() {
+                    phi.increment(tag);
+                }
+            }
+        }
+        if matches!(self.phi_source, PhiSource::Pois | PhiSource::PhotosAndPois) {
+            let pois = self
+                .pois
+                .expect("PhiSource requires POIs but ContextBuilder.pois is None");
+            for poi in pois.iter() {
+                if self.network.dist_point_to_street(poi.pos, street) <= self.eps {
+                    for k in poi.keywords.iter() {
+                        phi.add(k, poi.weight);
+                    }
+                }
+            }
+        }
+
+        let max_d = self
+            .network
+            .street_mbr(street)
+            .map(|mbr| mbr.expand(self.eps).diagonal())
+            .unwrap_or(0.0);
+
+        let index = DiversificationIndex::build(self.photos, &members, self.rho);
+
+        StreetContext {
+            street,
+            members,
+            phi,
+            max_d,
+            rho: self.rho,
+            index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_common::KeywordId;
+    use soi_geo::Point;
+    use soi_text::KeywordSet;
+
+    fn tags(ids: &[u32]) -> KeywordSet {
+        KeywordSet::from_ids(ids.iter().map(|&i| KeywordId(i)))
+    }
+
+    fn setup() -> (RoadNetwork, PhotoCollection, PoiCollection) {
+        let mut b = RoadNetwork::builder();
+        b.add_street_from_points("Main", &[Point::new(0.0, 0.0), Point::new(10.0, 0.0)]);
+        let network = b.build().unwrap();
+        let mut photos = PhotoCollection::new();
+        photos.add(Point::new(1.0, 0.2), tags(&[0, 1]));
+        photos.add(Point::new(2.0, -0.3), tags(&[1]));
+        photos.add(Point::new(5.0, 8.0), tags(&[2])); // too far
+        let mut pois = PoiCollection::new();
+        pois.add(Point::new(3.0, 0.1), tags(&[5]));
+        pois.add(Point::new(3.0, 7.0), tags(&[6])); // too far
+        (network, photos, pois)
+    }
+
+    #[test]
+    fn members_and_phi_from_photos() {
+        let (network, photos, _) = setup();
+        let grid = PhotoGrid::build(&network, &photos, 1.0);
+        let builder = ContextBuilder {
+            network: &network,
+            photos: &photos,
+            photo_grid: &grid,
+            pois: None,
+            eps: 0.5,
+            rho: 0.2,
+            phi_source: PhiSource::Photos,
+        };
+        let ctx = builder.build(StreetId(0));
+        assert_eq!(ctx.members.len(), 2);
+        // Tag 1 appears twice, tag 0 once, tag 2 not at all.
+        assert_eq!(ctx.phi.weight(KeywordId(1)), 2.0);
+        assert_eq!(ctx.phi.weight(KeywordId(0)), 1.0);
+        assert_eq!(ctx.phi.weight(KeywordId(2)), 0.0);
+        assert_eq!(ctx.phi.l1_norm(), 3.0);
+        assert_eq!(ctx.index.num_photos(), 2);
+    }
+
+    #[test]
+    fn phi_from_pois() {
+        let (network, photos, pois) = setup();
+        let grid = PhotoGrid::build(&network, &photos, 1.0);
+        let builder = ContextBuilder {
+            network: &network,
+            photos: &photos,
+            photo_grid: &grid,
+            pois: Some(&pois),
+            eps: 0.5,
+            rho: 0.2,
+            phi_source: PhiSource::Pois,
+        };
+        let ctx = builder.build(StreetId(0));
+        assert_eq!(ctx.phi.weight(KeywordId(5)), 1.0);
+        assert_eq!(ctx.phi.weight(KeywordId(6)), 0.0);
+        assert_eq!(ctx.phi.weight(KeywordId(1)), 0.0);
+    }
+
+    #[test]
+    fn phi_from_both_sums() {
+        let (network, photos, pois) = setup();
+        let grid = PhotoGrid::build(&network, &photos, 1.0);
+        let builder = ContextBuilder {
+            network: &network,
+            photos: &photos,
+            photo_grid: &grid,
+            pois: Some(&pois),
+            eps: 0.5,
+            rho: 0.2,
+            phi_source: PhiSource::PhotosAndPois,
+        };
+        let ctx = builder.build(StreetId(0));
+        assert_eq!(ctx.phi.weight(KeywordId(1)), 2.0);
+        assert_eq!(ctx.phi.weight(KeywordId(5)), 1.0);
+    }
+
+    #[test]
+    fn max_d_is_buffered_mbr_diagonal() {
+        let (network, photos, _) = setup();
+        let grid = PhotoGrid::build(&network, &photos, 1.0);
+        let builder = ContextBuilder {
+            network: &network,
+            photos: &photos,
+            photo_grid: &grid,
+            pois: None,
+            eps: 0.5,
+            rho: 0.2,
+            phi_source: PhiSource::Photos,
+        };
+        let ctx = builder.build(StreetId(0));
+        // MBR is the segment itself (10 x 0), expanded by 0.5 -> 11 x 1.
+        let expect = (11.0f64 * 11.0 + 1.0).sqrt();
+        assert!((ctx.max_d - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_source_names() {
+        assert_eq!(PhiSource::Photos.name(), "photos");
+        assert_eq!(PhiSource::Pois.name(), "pois");
+        assert_eq!(PhiSource::PhotosAndPois.name(), "photos+pois");
+    }
+}

@@ -1,0 +1,175 @@
+//! The naive greedy `mmr` baseline (the paper's BL for Sec. 5.2.2).
+//!
+//! Builds the summary incrementally, evaluating the exact `mmr` of *every*
+//! remaining photo at each step. `O(k²·|Rs|)` measure evaluations. Serves
+//! both as the performance baseline and as the correctness oracle for
+//! [`st_rel_div()`](crate::describe::st_rel_div()): both algorithms implement
+//! the same greedy with identical tie-breaking (higher `mmr`, then lower
+//! photo id), so their outputs must match exactly.
+
+use crate::describe::context::StreetContext;
+use crate::describe::objective::{mmr, objective};
+use crate::describe::{DescribeOutcome, DescribeParams, DescribeStats};
+use soi_common::{FxHashSet, PhotoId};
+use soi_data::PhotoCollection;
+
+/// Greedily selects up to `params.k` photos maximising `mmr` at each step.
+pub fn greedy_select(
+    ctx: &StreetContext,
+    photos: &PhotoCollection,
+    params: &DescribeParams,
+) -> DescribeOutcome {
+    let mut stats = DescribeStats::default();
+    stats.timer.enter("select");
+
+    let mut selected: Vec<PhotoId> = Vec::with_capacity(params.k.min(ctx.members.len()));
+    let mut chosen: FxHashSet<PhotoId> = FxHashSet::default();
+
+    while selected.len() < params.k && chosen.len() < ctx.members.len() {
+        let mut best: Option<(f64, PhotoId)> = None;
+        for &r in &ctx.members {
+            if chosen.contains(&r) {
+                continue;
+            }
+            let v = mmr(ctx, photos, params, r, &selected);
+            stats.photos_evaluated += 1;
+            let better = match best {
+                None => true,
+                Some((bv, bid)) => v > bv || (v == bv && r < bid),
+            };
+            if better {
+                best = Some((v, r));
+            }
+        }
+        let (_, next) = best.expect("candidates remain");
+        selected.push(next);
+        chosen.insert(next);
+    }
+
+    stats.timer.stop();
+    let objective = objective(ctx, photos, params, &selected);
+    DescribeOutcome {
+        selected,
+        objective,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::context::{ContextBuilder, PhiSource};
+    use crate::describe::measures;
+    use soi_common::{KeywordId, StreetId};
+    use soi_geo::Point;
+    use soi_index::PhotoGrid;
+    use soi_network::RoadNetwork;
+    use soi_text::KeywordSet;
+
+    fn tags(ids: &[u32]) -> KeywordSet {
+        KeywordSet::from_ids(ids.iter().map(|&i| KeywordId(i)))
+    }
+
+    fn setup() -> (PhotoCollection, StreetContext) {
+        let mut b = RoadNetwork::builder();
+        b.add_street_from_points("Main", &[Point::new(0.0, 0.0), Point::new(10.0, 0.0)]);
+        let network = b.build().unwrap();
+        let mut photos = PhotoCollection::new();
+        // Dense popular cluster with repeated tags (high rel).
+        photos.add(Point::new(1.0, 0.0), tags(&[0, 1]));
+        photos.add(Point::new(1.1, 0.0), tags(&[0, 1]));
+        photos.add(Point::new(1.2, 0.0), tags(&[0]));
+        // Distant, differently tagged photos (high div).
+        photos.add(Point::new(9.0, 0.0), tags(&[2]));
+        photos.add(Point::new(5.0, 0.3), tags(&[3]));
+        let grid = PhotoGrid::build(&network, &photos, 1.0);
+        let ctx = ContextBuilder {
+            network: &network,
+            photos: &photos,
+            photo_grid: &grid,
+            pois: None,
+            eps: 0.5,
+            rho: 0.4,
+            phi_source: PhiSource::Photos,
+        }
+        .build(StreetId(0));
+        (photos, ctx)
+    }
+
+    #[test]
+    fn pure_relevance_picks_top_rel_photos() {
+        let (photos, ctx) = setup();
+        let params = DescribeParams::new(2, 0.0, 0.5).unwrap();
+        let out = greedy_select(&ctx, &photos, &params);
+        // With lambda = 0 the greedy is exactly top-k by rel.
+        let mut by_rel: Vec<(f64, PhotoId)> = ctx
+            .members
+            .iter()
+            .map(|&r| (measures::rel(&ctx, &photos, 0.5, r), r))
+            .collect();
+        by_rel.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let expect: Vec<PhotoId> = by_rel.iter().take(2).map(|&(_, r)| r).collect();
+        assert_eq!(out.selected, expect);
+    }
+
+    #[test]
+    fn diversity_spreads_selection() {
+        let (photos, ctx) = setup();
+        let params = DescribeParams::new(3, 0.9, 0.5).unwrap();
+        let out = greedy_select(&ctx, &photos, &params);
+        assert_eq!(out.selected.len(), 3);
+        // The three near-duplicates must not all be chosen.
+        let cluster_count = out
+            .selected
+            .iter()
+            .filter(|r| r.index() <= 2)
+            .count();
+        assert!(cluster_count <= 2, "selected {:?}", out.selected);
+    }
+
+    #[test]
+    fn k_larger_than_members_returns_all() {
+        let (photos, ctx) = setup();
+        let params = DescribeParams::new(50, 0.5, 0.5).unwrap();
+        let out = greedy_select(&ctx, &photos, &params);
+        assert_eq!(out.selected.len(), ctx.members.len());
+        // No duplicates.
+        let mut ids = out.selected.clone();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), ctx.members.len());
+    }
+
+    #[test]
+    fn objective_reported_matches_recomputation() {
+        let (photos, ctx) = setup();
+        let params = DescribeParams::new(3, 0.5, 0.5).unwrap();
+        let out = greedy_select(&ctx, &photos, &params);
+        let f = objective(&ctx, &photos, &params, &out.selected);
+        assert_eq!(out.objective, f);
+        assert!(out.stats.photos_evaluated > 0);
+    }
+
+    #[test]
+    fn empty_members_returns_empty() {
+        let (photos, _) = setup();
+        let mut b = RoadNetwork::builder();
+        b.add_street_from_points("Empty", &[Point::new(100.0, 100.0), Point::new(101.0, 100.0)]);
+        let network = b.build().unwrap();
+        let grid = PhotoGrid::build(&network, &photos, 1.0);
+        let ctx = ContextBuilder {
+            network: &network,
+            photos: &photos,
+            photo_grid: &grid,
+            pois: None,
+            eps: 0.5,
+            rho: 0.4,
+            phi_source: PhiSource::Photos,
+        }
+        .build(StreetId(0));
+        let params = DescribeParams::new(3, 0.5, 0.5).unwrap();
+        let out = greedy_select(&ctx, &photos, &params);
+        assert!(out.selected.is_empty());
+        assert_eq!(out.objective, 0.0);
+    }
+}

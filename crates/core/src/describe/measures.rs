@@ -1,0 +1,173 @@
+//! Spatio-textual relevance and diversity measures (Definitions 4–7).
+
+use crate::describe::context::StreetContext;
+use soi_common::PhotoId;
+use soi_data::PhotoCollection;
+
+/// Spatial relevance (Definition 4): the fraction of `Rs` within
+/// neighbourhood radius ρ of photo `r` (including `r` itself, per Eq. 6).
+///
+/// Returns 0 for an empty `Rs`.
+pub fn spatial_rel(ctx: &StreetContext, photos: &PhotoCollection, r: PhotoId) -> f64 {
+    let n = ctx.index.num_photos();
+    if n == 0 {
+        return 0.0;
+    }
+    let center = photos.get(r).pos;
+    ctx.index.count_within(photos, center, ctx.rho) as f64 / n as f64
+}
+
+/// Textual relevance (Definition 6): `Σ_{ψ∈Ψr} Φs(ψ) / ‖Φs‖₁`.
+///
+/// Returns 0 when `Φs` is all-zero.
+pub fn textual_rel(ctx: &StreetContext, photos: &PhotoCollection, r: PhotoId) -> f64 {
+    let l1 = ctx.phi.l1_norm();
+    if l1 == 0.0 {
+        return 0.0;
+    }
+    ctx.phi.sum_over(&photos.get(r).tags) / l1
+}
+
+/// Spatial diversity (Definition 5): `dist(r, r′) / maxD(s)`.
+///
+/// Returns 0 when `maxD(s)` is 0 (degenerate street).
+pub fn spatial_div(
+    ctx: &StreetContext,
+    photos: &PhotoCollection,
+    r: PhotoId,
+    r2: PhotoId,
+) -> f64 {
+    if ctx.max_d == 0.0 {
+        return 0.0;
+    }
+    photos.get(r).pos.dist(photos.get(r2).pos) / ctx.max_d
+}
+
+/// Textual diversity (Definition 7): the Jaccard distance of the tag sets.
+pub fn textual_div(photos: &PhotoCollection, r: PhotoId, r2: PhotoId) -> f64 {
+    photos.get(r).tags.jaccard_distance(&photos.get(r2).tags)
+}
+
+/// Combined per-photo relevance: `w·spatial_rel + (1−w)·textual_rel`
+/// (the per-item summand of Eq. 4).
+pub fn rel(ctx: &StreetContext, photos: &PhotoCollection, w: f64, r: PhotoId) -> f64 {
+    w * spatial_rel(ctx, photos, r) + (1.0 - w) * textual_rel(ctx, photos, r)
+}
+
+/// Combined pairwise diversity: `w·spatial_div + (1−w)·textual_div`
+/// (the per-pair summand of Eq. 5).
+pub fn div(
+    ctx: &StreetContext,
+    photos: &PhotoCollection,
+    w: f64,
+    r: PhotoId,
+    r2: PhotoId,
+) -> f64 {
+    w * spatial_div(ctx, photos, r, r2) + (1.0 - w) * textual_div(photos, r, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::context::{ContextBuilder, PhiSource};
+    use soi_common::{KeywordId, StreetId};
+    use soi_geo::Point;
+    use soi_index::PhotoGrid;
+    use soi_network::RoadNetwork;
+    use soi_text::KeywordSet;
+
+    fn tags(ids: &[u32]) -> KeywordSet {
+        KeywordSet::from_ids(ids.iter().map(|&i| KeywordId(i)))
+    }
+
+    /// Street along y=0, 0..10; four member photos.
+    fn setup() -> (RoadNetwork, PhotoCollection, StreetContext) {
+        let mut b = RoadNetwork::builder();
+        b.add_street_from_points("Main", &[Point::new(0.0, 0.0), Point::new(10.0, 0.0)]);
+        let network = b.build().unwrap();
+        let mut photos = PhotoCollection::new();
+        photos.add(Point::new(1.0, 0.0), tags(&[0, 1])); // r0
+        photos.add(Point::new(1.05, 0.0), tags(&[0])); // r1, very near r0
+        photos.add(Point::new(9.0, 0.0), tags(&[2])); // r2, far end
+        photos.add(Point::new(9.1, 0.0), tags(&[0, 1])); // r3
+        let grid = PhotoGrid::build(&network, &photos, 1.0);
+        let ctx = ContextBuilder {
+            network: &network,
+            photos: &photos,
+            photo_grid: &grid,
+            pois: None,
+            eps: 0.5,
+            rho: 0.2,
+            phi_source: PhiSource::Photos,
+        }
+        .build(StreetId(0));
+        (network, photos, ctx)
+    }
+
+    #[test]
+    fn spatial_rel_counts_neighbourhood() {
+        let (_, photos, ctx) = setup();
+        assert_eq!(ctx.members.len(), 4);
+        // r0's rho=0.2 neighbourhood: itself and r1 -> 2/4.
+        assert_eq!(spatial_rel(&ctx, &photos, PhotoId(0)), 0.5);
+        // r2's neighbourhood: itself and r3 (0.1 away) -> 2/4.
+        assert_eq!(spatial_rel(&ctx, &photos, PhotoId(2)), 0.5);
+    }
+
+    #[test]
+    fn textual_rel_uses_phi() {
+        let (_, photos, ctx) = setup();
+        // Phi counts: kw0 -> 3, kw1 -> 2, kw2 -> 1; l1 = 6.
+        assert!((textual_rel(&ctx, &photos, PhotoId(0)) - 5.0 / 6.0).abs() < 1e-12);
+        assert!((textual_rel(&ctx, &photos, PhotoId(2)) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spatial_div_is_normalised_distance() {
+        let (_, photos, ctx) = setup();
+        let d = spatial_div(&ctx, &photos, PhotoId(0), PhotoId(2));
+        assert!((d - 8.0 / ctx.max_d).abs() < 1e-12);
+        assert_eq!(spatial_div(&ctx, &photos, PhotoId(0), PhotoId(0)), 0.0);
+        // Symmetric.
+        assert_eq!(
+            spatial_div(&ctx, &photos, PhotoId(2), PhotoId(0)),
+            spatial_div(&ctx, &photos, PhotoId(0), PhotoId(2))
+        );
+        // Bounded by 1 for member pairs.
+        assert!(d <= 1.0);
+    }
+
+    #[test]
+    fn textual_div_is_jaccard() {
+        let (_, photos, _) = setup();
+        // r0 {0,1} vs r1 {0}: 1 - 1/2.
+        assert_eq!(textual_div(&photos, PhotoId(0), PhotoId(1)), 0.5);
+        // Identical tag sets.
+        assert_eq!(textual_div(&photos, PhotoId(0), PhotoId(3)), 0.0);
+        // Disjoint.
+        assert_eq!(textual_div(&photos, PhotoId(0), PhotoId(2)), 1.0);
+    }
+
+    #[test]
+    fn combined_measures_interpolate() {
+        let (_, photos, ctx) = setup();
+        let r = PhotoId(0);
+        assert_eq!(
+            rel(&ctx, &photos, 1.0, r),
+            spatial_rel(&ctx, &photos, r)
+        );
+        assert_eq!(
+            rel(&ctx, &photos, 0.0, r),
+            textual_rel(&ctx, &photos, r)
+        );
+        let mid = rel(&ctx, &photos, 0.5, r);
+        let expect =
+            0.5 * spatial_rel(&ctx, &photos, r) + 0.5 * textual_rel(&ctx, &photos, r);
+        assert!((mid - expect).abs() < 1e-12);
+
+        let d = div(&ctx, &photos, 0.25, PhotoId(0), PhotoId(2));
+        let expect = 0.25 * spatial_div(&ctx, &photos, PhotoId(0), PhotoId(2))
+            + 0.75 * textual_div(&photos, PhotoId(0), PhotoId(2));
+        assert!((d - expect).abs() < 1e-12);
+    }
+}

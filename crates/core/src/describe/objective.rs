@@ -1,0 +1,194 @@
+//! The diversification objective (Eqs. 2, 4, 5) and `mmr` (Eq. 10).
+
+use crate::describe::context::StreetContext;
+use crate::describe::measures;
+use crate::describe::DescribeParams;
+use soi_common::PhotoId;
+use soi_data::PhotoCollection;
+
+/// Set relevance (Eq. 4): the mean combined relevance of the set's photos.
+///
+/// Returns 0 for an empty set.
+pub fn set_relevance(
+    ctx: &StreetContext,
+    photos: &PhotoCollection,
+    w: f64,
+    set: &[PhotoId],
+) -> f64 {
+    if set.is_empty() {
+        return 0.0;
+    }
+    set.iter()
+        .map(|&r| measures::rel(ctx, photos, w, r))
+        .sum::<f64>()
+        / set.len() as f64
+}
+
+/// Set diversity (Eq. 5): the mean combined pairwise diversity,
+/// `2/(k(k−1)) Σ_{r,r′} div(r, r′)` over unordered pairs.
+///
+/// Returns 0 for sets with fewer than two photos.
+pub fn set_diversity(
+    ctx: &StreetContext,
+    photos: &PhotoCollection,
+    w: f64,
+    set: &[PhotoId],
+) -> f64 {
+    let k = set.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            sum += measures::div(ctx, photos, w, set[i], set[j]);
+        }
+    }
+    2.0 * sum / (k as f64 * (k - 1) as f64)
+}
+
+/// The bi-criteria objective (Eq. 2):
+/// `F(Rk) = (1−λ)·rel(Rk) + λ·div(Rk)`.
+pub fn objective(
+    ctx: &StreetContext,
+    photos: &PhotoCollection,
+    params: &DescribeParams,
+    set: &[PhotoId],
+) -> f64 {
+    (1.0 - params.lambda) * set_relevance(ctx, photos, params.w, set)
+        + params.lambda * set_diversity(ctx, photos, params.w, set)
+}
+
+/// Maximal marginal relevance (Eq. 10) of candidate `r` against the
+/// partially built set `selected`:
+/// `mmr(r) = (1−λ)·rel(r) + λ/(k−1)·Σ_{r′∈R} div(r, r′)`.
+///
+/// For `k = 1` the diversity term is absent.
+pub fn mmr(
+    ctx: &StreetContext,
+    photos: &PhotoCollection,
+    params: &DescribeParams,
+    r: PhotoId,
+    selected: &[PhotoId],
+) -> f64 {
+    let mut score = (1.0 - params.lambda) * measures::rel(ctx, photos, params.w, r);
+    if params.k > 1 && !selected.is_empty() {
+        let div_sum: f64 = selected
+            .iter()
+            .map(|&r2| measures::div(ctx, photos, params.w, r, r2))
+            .sum();
+        score += params.lambda / (params.k as f64 - 1.0) * div_sum;
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::context::{ContextBuilder, PhiSource};
+    use soi_common::{KeywordId, StreetId};
+    use soi_geo::Point;
+    use soi_index::PhotoGrid;
+    use soi_network::RoadNetwork;
+    use soi_text::KeywordSet;
+
+    fn tags(ids: &[u32]) -> KeywordSet {
+        KeywordSet::from_ids(ids.iter().map(|&i| KeywordId(i)))
+    }
+
+    fn setup() -> (PhotoCollection, StreetContext) {
+        let mut b = RoadNetwork::builder();
+        b.add_street_from_points("Main", &[Point::new(0.0, 0.0), Point::new(10.0, 0.0)]);
+        let network = b.build().unwrap();
+        let mut photos = PhotoCollection::new();
+        photos.add(Point::new(1.0, 0.0), tags(&[0, 1]));
+        photos.add(Point::new(2.0, 0.0), tags(&[0]));
+        photos.add(Point::new(9.0, 0.0), tags(&[2]));
+        let grid = PhotoGrid::build(&network, &photos, 1.0);
+        let ctx = ContextBuilder {
+            network: &network,
+            photos: &photos,
+            photo_grid: &grid,
+            pois: None,
+            eps: 0.5,
+            rho: 0.2,
+            phi_source: PhiSource::Photos,
+        }
+        .build(StreetId(0));
+        (photos, ctx)
+    }
+
+    #[test]
+    fn set_functions_match_manual_sums() {
+        let (photos, ctx) = setup();
+        let set = [PhotoId(0), PhotoId(1), PhotoId(2)];
+        let w = 0.5;
+        let rel_manual: f64 = set
+            .iter()
+            .map(|&r| measures::rel(&ctx, &photos, w, r))
+            .sum::<f64>()
+            / 3.0;
+        assert!((set_relevance(&ctx, &photos, w, &set) - rel_manual).abs() < 1e-12);
+
+        let div_manual = (measures::div(&ctx, &photos, w, set[0], set[1])
+            + measures::div(&ctx, &photos, w, set[0], set[2])
+            + measures::div(&ctx, &photos, w, set[1], set[2]))
+            / 3.0;
+        assert!((set_diversity(&ctx, &photos, w, &set) - div_manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_sets() {
+        let (photos, ctx) = setup();
+        assert_eq!(set_relevance(&ctx, &photos, 0.5, &[]), 0.0);
+        assert_eq!(set_diversity(&ctx, &photos, 0.5, &[]), 0.0);
+        assert_eq!(set_diversity(&ctx, &photos, 0.5, &[PhotoId(0)]), 0.0);
+    }
+
+    #[test]
+    fn objective_interpolates_lambda() {
+        let (photos, ctx) = setup();
+        let set = [PhotoId(0), PhotoId(2)];
+        let rel_only = DescribeParams::new(2, 0.0, 0.5).unwrap();
+        let div_only = DescribeParams::new(2, 1.0, 0.5).unwrap();
+        assert!(
+            (objective(&ctx, &photos, &rel_only, &set)
+                - set_relevance(&ctx, &photos, 0.5, &set))
+            .abs()
+                < 1e-12
+        );
+        assert!(
+            (objective(&ctx, &photos, &div_only, &set)
+                - set_diversity(&ctx, &photos, 0.5, &set))
+            .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn mmr_with_empty_selection_is_scaled_rel() {
+        let (photos, ctx) = setup();
+        let p = DescribeParams::new(3, 0.4, 0.5).unwrap();
+        let m = mmr(&ctx, &photos, &p, PhotoId(0), &[]);
+        assert!((m - 0.6 * measures::rel(&ctx, &photos, 0.5, PhotoId(0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmr_adds_scaled_diversity() {
+        let (photos, ctx) = setup();
+        let p = DescribeParams::new(3, 0.5, 0.5).unwrap();
+        let selected = [PhotoId(1)];
+        let m = mmr(&ctx, &photos, &p, PhotoId(2), &selected);
+        let expect = 0.5 * measures::rel(&ctx, &photos, 0.5, PhotoId(2))
+            + 0.5 / 2.0 * measures::div(&ctx, &photos, 0.5, PhotoId(2), PhotoId(1));
+        assert!((m - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmr_k1_has_no_diversity_term() {
+        let (photos, ctx) = setup();
+        let p = DescribeParams::new(1, 0.5, 0.5).unwrap();
+        let m = mmr(&ctx, &photos, &p, PhotoId(2), &[PhotoId(0)]);
+        assert!((m - 0.5 * measures::rel(&ctx, &photos, 0.5, PhotoId(2))).abs() < 1e-12);
+    }
+}

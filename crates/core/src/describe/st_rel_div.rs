@@ -1,0 +1,319 @@
+//! The ST_Rel+Div algorithm (paper Algorithm 2).
+//!
+//! Same greedy `mmr` loop as [`greedy_select`](crate::describe::greedy_select)
+//! but each step first operates on grid cells:
+//!
+//! 1. **Filtering**: compute `[Bmin(c), Bmax(c)]` — the per-cell `mmr`
+//!    bounds of Eqs. 11–18 — for every cell that still has unselected
+//!    photos; discard cells with `Bmax(c) < max_c Bmin(c)`.
+//! 2. **Refinement**: visit surviving cells in decreasing `Bmax` order,
+//!    evaluating the exact `mmr` of their unselected photos and tightening
+//!    the running best; once a cell's `Bmax` drops below the best exact
+//!    value, all remaining cells are pruned.
+//!
+//! Unlike the naive baseline, the per-cell relevance bounds (which do not
+//! depend on the partial selection) are computed once, the per-cell
+//! diversity-bound sums accumulate incrementally as photos are selected,
+//! and each photo's relevance and running diversity sum are cached — so an
+//! iteration costs `O(#cells)` bound work plus exact evaluations only for
+//! the photos of surviving cells.
+//!
+//! The tie-break (higher `mmr`, then lower photo id) matches the baseline,
+//! so both produce identical selections; summation order also matches,
+//! keeping the floating-point results bit-identical.
+
+use crate::describe::bounds::{cell_div_bounds, cell_rel_bounds};
+use crate::describe::context::StreetContext;
+use crate::describe::measures;
+use crate::describe::objective::objective;
+use crate::describe::{DescribeOutcome, DescribeParams, DescribeStats};
+use soi_common::{CellId, FxHashMap, PhotoId};
+use soi_data::PhotoCollection;
+
+/// Per-cell incremental bound state.
+struct CellAcc {
+    id: CellId,
+    /// Unselected photos remaining in the cell.
+    remaining: usize,
+    /// Static combined relevance bounds (Eqs. 11–14).
+    rel_lo: f64,
+    rel_hi: f64,
+    /// Accumulated diversity-bound sums against the selected photos
+    /// (Eqs. 15–18, summed over the selection).
+    div_lo_sum: f64,
+    div_hi_sum: f64,
+}
+
+/// Per-photo cached exact quantities.
+#[derive(Default, Clone, Copy)]
+struct PhotoAcc {
+    /// Combined relevance (computed once; selection-independent).
+    rel: Option<f64>,
+    /// Diversity sum over the first `upto` selected photos.
+    div_sum: f64,
+    upto: usize,
+}
+
+/// Selects up to `params.k` photos with the bound-accelerated greedy.
+pub fn st_rel_div(
+    ctx: &StreetContext,
+    photos: &PhotoCollection,
+    params: &DescribeParams,
+) -> DescribeOutcome {
+    let mut stats = DescribeStats::default();
+
+    let mut selected: Vec<PhotoId> = Vec::with_capacity(params.k.min(ctx.members.len()));
+    let mut chosen: Vec<bool> = vec![false; photos.len()];
+
+    stats.timer.enter("filtering");
+    let mut cells: Vec<CellAcc> = ctx
+        .index
+        .occupied()
+        .iter()
+        .map(|&id| {
+            let (rel_lo, rel_hi) = cell_rel_bounds(ctx, params.w, id);
+            CellAcc {
+                id,
+                remaining: ctx.index.cell(id).expect("occupied").photos.len(),
+                rel_lo,
+                rel_hi,
+                div_lo_sum: 0.0,
+                div_hi_sum: 0.0,
+            }
+        })
+        .collect();
+    let mut photo_acc: FxHashMap<PhotoId, PhotoAcc> = FxHashMap::default();
+    let div_scale = if params.k > 1 {
+        params.lambda / (params.k as f64 - 1.0)
+    } else {
+        0.0
+    };
+    let one_minus_lambda = 1.0 - params.lambda;
+    stats.timer.stop();
+
+    // Exact mmr with cached relevance and incrementally topped-up div sums.
+    // Summation order equals the baseline's (selection order), so results
+    // are bit-identical.
+    let exact_mmr = |r: PhotoId,
+                     selected: &[PhotoId],
+                     photo_acc: &mut FxHashMap<PhotoId, PhotoAcc>|
+     -> f64 {
+        let acc = photo_acc.entry(r).or_default();
+        let rel = match acc.rel {
+            Some(rel) => rel,
+            None => {
+                let rel = measures::rel(ctx, photos, params.w, r);
+                acc.rel = Some(rel);
+                rel
+            }
+        };
+        let mut div_sum = acc.div_sum;
+        for &r2 in &selected[acc.upto..] {
+            div_sum += measures::div(ctx, photos, params.w, r, r2);
+        }
+        acc.div_sum = div_sum;
+        acc.upto = selected.len();
+        let mut score = one_minus_lambda * rel;
+        if params.k > 1 && !selected.is_empty() {
+            score += div_scale * div_sum;
+        }
+        score
+    };
+
+    while selected.len() < params.k && selected.len() < ctx.members.len() {
+        // --- Filtering phase: per-cell mmr bounds from the accumulators.
+        stats.timer.enter("filtering");
+        let use_div = params.k > 1 && !selected.is_empty();
+        let mut candidates: Vec<(CellId, f64)> = Vec::with_capacity(cells.len());
+        let mut mmr_min = f64::NEG_INFINITY;
+        for cell in &cells {
+            if cell.remaining == 0 {
+                continue;
+            }
+            let mut lo = one_minus_lambda * cell.rel_lo;
+            let mut hi = one_minus_lambda * cell.rel_hi;
+            if use_div {
+                lo += div_scale * cell.div_lo_sum;
+                hi += div_scale * cell.div_hi_sum;
+            }
+            if lo > mmr_min {
+                mmr_min = lo;
+            }
+            candidates.push((cell.id, hi));
+        }
+        let before = candidates.len();
+        // Keep candidate cells whose upper bound can reach the best lower
+        // bound (Alg. 2 line 9; non-strict to preserve ties).
+        candidates.retain(|&(_, hi)| hi >= mmr_min);
+        stats.cells_pruned_filtering += before - candidates.len();
+        // Priority order: descending upper bound, ties by ascending cell id.
+        candidates.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+        // --- Refinement phase: exact mmr over surviving cells.
+        stats.timer.enter("refinement");
+        let mut best: Option<(f64, PhotoId)> = None;
+        for (idx, &(c, hi)) in candidates.iter().enumerate() {
+            if let Some((bv, _)) = best {
+                if hi < bv {
+                    // Cells are sorted by Bmax: everything after is pruned too.
+                    stats.cells_pruned_refinement += candidates.len() - idx;
+                    break;
+                }
+            }
+            stats.cells_refined += 1;
+            for &r in &ctx.index.cell(c).expect("occupied").photos {
+                if chosen[r.index()] {
+                    continue;
+                }
+                let v = exact_mmr(r, &selected, &mut photo_acc);
+                stats.photos_evaluated += 1;
+                let better = match best {
+                    None => true,
+                    Some((bv, bid)) => v > bv || (v == bv && r < bid),
+                };
+                if better {
+                    best = Some((v, r));
+                }
+            }
+        }
+        stats.timer.stop();
+
+        let (_, next) = best.expect("some unselected photo exists");
+        selected.push(next);
+        chosen[next.index()] = true;
+
+        // --- Incremental updates for the new selection.
+        stats.timer.enter("filtering");
+        let next_cell = ctx
+            .index
+            .grid()
+            .cell_containing(photos.get(next).pos)
+            .map(|coord| ctx.index.grid().cell_id(coord))
+            .expect("member photo inside index grid");
+        for cell in &mut cells {
+            if cell.id == next_cell {
+                cell.remaining -= 1;
+            }
+            if cell.remaining > 0 && params.k > 1 {
+                let (dl, du) = cell_div_bounds(ctx, photos, params.w, cell.id, next);
+                cell.div_lo_sum += dl;
+                cell.div_hi_sum += du;
+            }
+        }
+        stats.timer.stop();
+    }
+
+    let objective = objective(ctx, photos, params, &selected);
+    DescribeOutcome {
+        selected,
+        objective,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::context::{ContextBuilder, PhiSource};
+    use crate::describe::greedy::greedy_select;
+    use soi_common::{KeywordId, StreetId};
+    use soi_geo::Point;
+    use soi_index::PhotoGrid;
+    use soi_network::RoadNetwork;
+    use soi_text::KeywordSet;
+
+    fn tags(ids: &[u32]) -> KeywordSet {
+        KeywordSet::from_ids(ids.iter().map(|&i| KeywordId(i)))
+    }
+
+    fn build_ctx(photo_specs: &[(f64, f64, Vec<u32>)]) -> (PhotoCollection, StreetContext) {
+        let mut b = RoadNetwork::builder();
+        b.add_street_from_points("Main", &[Point::new(0.0, 0.0), Point::new(10.0, 0.0)]);
+        let network = b.build().unwrap();
+        let mut photos = PhotoCollection::new();
+        for (x, y, ts) in photo_specs {
+            photos.add(Point::new(*x, *y), tags(ts));
+        }
+        let grid = PhotoGrid::build(&network, &photos, 1.0);
+        let ctx = ContextBuilder {
+            network: &network,
+            photos: &photos,
+            photo_grid: &grid,
+            pois: None,
+            eps: 0.5,
+            rho: 0.4,
+            phi_source: PhiSource::Photos,
+        }
+        .build(StreetId(0));
+        (photos, ctx)
+    }
+
+    fn spread_specs() -> Vec<(f64, f64, Vec<u32>)> {
+        vec![
+            (1.0, 0.0, vec![0, 1]),
+            (1.1, 0.05, vec![0, 1]),
+            (1.2, -0.05, vec![0]),
+            (3.0, 0.2, vec![2]),
+            (5.0, -0.3, vec![3, 4]),
+            (7.0, 0.1, vec![0, 5]),
+            (9.0, 0.0, vec![6]),
+            (9.2, 0.1, vec![6, 7]),
+        ]
+    }
+
+    #[test]
+    fn matches_greedy_baseline_exactly() {
+        let (photos, ctx) = build_ctx(&spread_specs());
+        for &(k, lambda, w) in &[
+            (1usize, 0.5, 0.5),
+            (3, 0.0, 0.5),
+            (3, 1.0, 0.5),
+            (4, 0.5, 0.0),
+            (4, 0.5, 1.0),
+            (5, 0.25, 0.75),
+            (8, 0.5, 0.5),
+        ] {
+            let params = DescribeParams::new(k, lambda, w).unwrap();
+            let fast = st_rel_div(&ctx, &photos, &params);
+            let slow = greedy_select(&ctx, &photos, &params);
+            assert_eq!(
+                fast.selected, slow.selected,
+                "mismatch at k={k} lambda={lambda} w={w}"
+            );
+            assert_eq!(fast.objective, slow.objective);
+        }
+    }
+
+    #[test]
+    fn prunes_work_relative_to_baseline() {
+        let (photos, ctx) = build_ctx(&spread_specs());
+        let params = DescribeParams::new(3, 0.5, 0.5).unwrap();
+        let fast = st_rel_div(&ctx, &photos, &params);
+        let slow = greedy_select(&ctx, &photos, &params);
+        // The accelerated version must never evaluate more photos.
+        assert!(fast.stats.photos_evaluated <= slow.stats.photos_evaluated);
+    }
+
+    #[test]
+    fn all_zero_mmr_still_selects_deterministically() {
+        // Photos with no tags and lambda = 1 (first pick has mmr 0 for all).
+        let (photos, ctx) = build_ctx(&[
+            (1.0, 0.0, vec![]),
+            (2.0, 0.0, vec![]),
+            (3.0, 0.0, vec![]),
+        ]);
+        let params = DescribeParams::new(2, 1.0, 0.5).unwrap();
+        let fast = st_rel_div(&ctx, &photos, &params);
+        let slow = greedy_select(&ctx, &photos, &params);
+        assert_eq!(fast.selected, slow.selected);
+        assert_eq!(fast.selected.len(), 2);
+    }
+
+    #[test]
+    fn single_photo_street() {
+        let (photos, ctx) = build_ctx(&[(1.0, 0.0, vec![0])]);
+        let params = DescribeParams::new(3, 0.5, 0.5).unwrap();
+        let out = st_rel_div(&ctx, &photos, &params);
+        assert_eq!(out.selected.len(), 1);
+    }
+}

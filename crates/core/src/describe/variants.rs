@@ -1,0 +1,141 @@
+//! The nine method variants of the paper's effectiveness study (Table 3).
+//!
+//! Each method is a point in the grid {S, T, ST} × {Rel, Div, Rel+Div}:
+//! the information aspect fixes `w` (1 = spatial only, 0 = textual only,
+//! query value for ST) and the criterion fixes `λ` (0 = relevance only,
+//! 1 = diversity only, query value for Rel+Div). The paper's proposal is
+//! `ST_Rel+Div`; the other eight are the comparison techniques of
+//! Sec. 5.1.2.
+
+use crate::describe::DescribeParams;
+
+/// Which information aspect a method uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aspect {
+    /// Spatial only (`w = 1`).
+    S,
+    /// Textual only (`w = 0`).
+    T,
+    /// Spatio-textual (query `w`).
+    ST,
+}
+
+/// Which selection criterion a method optimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Criterion {
+    /// Relevance only (`λ = 0`).
+    Rel,
+    /// Diversity only (`λ = 1`).
+    Div,
+    /// Both (query `λ`).
+    RelDiv,
+}
+
+/// A method of the Table 3/4 comparison grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MethodSpec {
+    /// The information aspect.
+    pub aspect: Aspect,
+    /// The selection criterion.
+    pub criterion: Criterion,
+}
+
+impl MethodSpec {
+    /// All nine methods, in the paper's Table 3 row order.
+    pub fn all() -> [MethodSpec; 9] {
+        use Aspect::*;
+        use Criterion::*;
+        [
+            MethodSpec { aspect: S, criterion: Rel },
+            MethodSpec { aspect: S, criterion: Div },
+            MethodSpec { aspect: S, criterion: RelDiv },
+            MethodSpec { aspect: T, criterion: Rel },
+            MethodSpec { aspect: T, criterion: Div },
+            MethodSpec { aspect: T, criterion: RelDiv },
+            MethodSpec { aspect: ST, criterion: Rel },
+            MethodSpec { aspect: ST, criterion: Div },
+            MethodSpec { aspect: ST, criterion: RelDiv },
+        ]
+    }
+
+    /// The paper's proposed method.
+    pub fn st_rel_div() -> MethodSpec {
+        MethodSpec {
+            aspect: Aspect::ST,
+            criterion: Criterion::RelDiv,
+        }
+    }
+
+    /// The method's display name, e.g. `"ST_Rel+Div"`.
+    pub fn name(&self) -> &'static str {
+        match (self.aspect, self.criterion) {
+            (Aspect::S, Criterion::Rel) => "S_Rel",
+            (Aspect::S, Criterion::Div) => "S_Div",
+            (Aspect::S, Criterion::RelDiv) => "S_Rel+Div",
+            (Aspect::T, Criterion::Rel) => "T_Rel",
+            (Aspect::T, Criterion::Div) => "T_Div",
+            (Aspect::T, Criterion::RelDiv) => "T_Rel+Div",
+            (Aspect::ST, Criterion::Rel) => "ST_Rel",
+            (Aspect::ST, Criterion::Div) => "ST_Div",
+            (Aspect::ST, Criterion::RelDiv) => "ST_Rel+Div",
+        }
+    }
+
+    /// The selection parameters this method uses, given the query's `k` and
+    /// its base `λ`/`w` values.
+    pub fn params(&self, k: usize, base_lambda: f64, base_w: f64) -> DescribeParams {
+        let lambda = match self.criterion {
+            Criterion::Rel => 0.0,
+            Criterion::Div => 1.0,
+            Criterion::RelDiv => base_lambda,
+        };
+        let w = match self.aspect {
+            Aspect::S => 1.0,
+            Aspect::T => 0.0,
+            Aspect::ST => base_w,
+        };
+        DescribeParams { k, lambda, w }
+    }
+}
+
+impl std::fmt::Display for MethodSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_distinct_methods() {
+        let all = MethodSpec::all();
+        assert_eq!(all.len(), 9);
+        let mut names: Vec<&str> = all.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn params_pin_the_right_corners() {
+        let k = 3;
+        let s_rel = MethodSpec { aspect: Aspect::S, criterion: Criterion::Rel }
+            .params(k, 0.5, 0.5);
+        assert_eq!((s_rel.lambda, s_rel.w), (0.0, 1.0));
+
+        let t_div = MethodSpec { aspect: Aspect::T, criterion: Criterion::Div }
+            .params(k, 0.5, 0.5);
+        assert_eq!((t_div.lambda, t_div.w), (1.0, 0.0));
+
+        let st = MethodSpec::st_rel_div().params(k, 0.3, 0.7);
+        assert_eq!((st.lambda, st.w), (0.3, 0.7));
+        assert_eq!(st.k, 3);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(MethodSpec::st_rel_div().to_string(), "ST_Rel+Div");
+    }
+}

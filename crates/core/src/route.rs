@@ -1,0 +1,230 @@
+//! Route sketching over discovered streets (the paper's future work).
+//!
+//! Section 6 lists "route recommendations based on the discovered streets
+//! of interest" as future work. This module implements a simple variant: a
+//! greedy nearest-neighbour visiting order over the k-SOI result, starting
+//! from the most interesting street and repeatedly hopping to the closest
+//! unvisited one (by street-MBR center distance).
+
+use crate::soi::StreetResult;
+use soi_common::StreetId;
+use soi_geo::Point;
+use soi_network::RoadNetwork;
+
+/// Total walking length of a route: the sum of street-MBR-center distances
+/// between consecutive stops (streets without geometry contribute 0).
+pub fn route_length(network: &RoadNetwork, route: &[StreetId]) -> f64 {
+    let centers: Vec<Option<Point>> = route
+        .iter()
+        .map(|&s| network.street_mbr(s).map(|m| m.center()))
+        .collect();
+    centers
+        .windows(2)
+        .map(|w| match (w[0], w[1]) {
+            (Some(a), Some(b)) => a.dist(b),
+            _ => 0.0,
+        })
+        .sum()
+}
+
+/// Improves a route in place with 2-opt moves (reversing sub-tours that
+/// shorten the total length) until no improving move remains.
+///
+/// Returns the final route length. Deterministic: moves are applied
+/// first-improvement in scan order, and the loop ends at a local optimum.
+pub fn improve_route_2opt(network: &RoadNetwork, route: &mut [StreetId]) -> f64 {
+    let centers: Vec<Option<Point>> = route
+        .iter()
+        .map(|&s| network.street_mbr(s).map(|m| m.center()))
+        .collect();
+    // Streets without geometry make distances ill-defined; skip optimisation.
+    if centers.iter().any(Option::is_none) || route.len() < 4 {
+        return route_length(network, route);
+    }
+    let mut pts: Vec<Point> = centers.into_iter().map(|c| c.expect("checked")).collect();
+
+    let mut improved = true;
+    while improved {
+        improved = false;
+        // Keep the first stop fixed (it is the top-ranked street).
+        for i in 1..route.len() - 1 {
+            for j in i + 1..route.len() {
+                let before = pts[i - 1].dist(pts[i])
+                    + if j + 1 < pts.len() {
+                        pts[j].dist(pts[j + 1])
+                    } else {
+                        0.0
+                    };
+                let after = pts[i - 1].dist(pts[j])
+                    + if j + 1 < pts.len() {
+                        pts[i].dist(pts[j + 1])
+                    } else {
+                        0.0
+                    };
+                if after + 1e-15 < before {
+                    route[i..=j].reverse();
+                    pts[i..=j].reverse();
+                    improved = true;
+                }
+            }
+        }
+    }
+    route_length(network, route)
+}
+
+/// Orders the streets of a k-SOI result into an exploration route.
+///
+/// Starts at the top-ranked street; each subsequent stop is the unvisited
+/// street whose MBR center is closest to the current one (ties: higher
+/// interest, then lower street id). Streets without geometry are skipped.
+pub fn sketch_route(network: &RoadNetwork, results: &[StreetResult]) -> Vec<StreetId> {
+    let mut stops: Vec<(StreetId, Point, f64)> = results
+        .iter()
+        .filter_map(|r| {
+            network
+                .street_mbr(r.street)
+                .map(|mbr| (r.street, mbr.center(), r.interest))
+        })
+        .collect();
+    if stops.is_empty() {
+        return Vec::new();
+    }
+
+    let mut route = Vec::with_capacity(stops.len());
+    // Results are rank-ordered: the first stop is the top street.
+    let mut current = stops.remove(0);
+    route.push(current.0);
+
+    while !stops.is_empty() {
+        let mut best_idx = 0;
+        let mut best_key = (f64::INFINITY, f64::NEG_INFINITY, u32::MAX);
+        for (i, &(id, center, interest)) in stops.iter().enumerate() {
+            let key = (current.1.dist(center), -interest, id.raw());
+            if key.0 < best_key.0
+                || (key.0 == best_key.0
+                    && (key.1 < best_key.1 || (key.1 == best_key.1 && key.2 < best_key.2)))
+            {
+                best_key = key;
+                best_idx = i;
+            }
+        }
+        current = stops.remove(best_idx);
+        route.push(current.0);
+    }
+    route
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_common::SegmentId;
+
+    fn result(street: u32, interest: f64) -> StreetResult {
+        StreetResult {
+            street: StreetId(street),
+            interest,
+            best_segment: SegmentId(0),
+            best_segment_mass: 0.0,
+        }
+    }
+
+    fn line_network() -> RoadNetwork {
+        // Three parallel unit streets at x = 0, 10, 2.
+        let mut b = RoadNetwork::builder();
+        for &x in &[0.0, 10.0, 2.0] {
+            b.add_street_from_points(
+                format!("s{x}"),
+                &[Point::new(x, 0.0), Point::new(x, 1.0)],
+            );
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn route_starts_at_top_and_hops_nearest() {
+        let net = line_network();
+        // Rank order: street 0 (x=0) first.
+        let results = vec![result(0, 3.0), result(1, 2.0), result(2, 1.0)];
+        let route = sketch_route(&net, &results);
+        // From x=0, nearest is x=2 (street 2), then x=10 (street 1).
+        assert_eq!(route, vec![StreetId(0), StreetId(2), StreetId(1)]);
+    }
+
+    #[test]
+    fn empty_results() {
+        let net = line_network();
+        assert!(sketch_route(&net, &[]).is_empty());
+    }
+
+    #[test]
+    fn single_street() {
+        let net = line_network();
+        assert_eq!(sketch_route(&net, &[result(1, 1.0)]), vec![StreetId(1)]);
+    }
+
+    /// Streets at the corners of a square plus its center.
+    fn square_network() -> RoadNetwork {
+        let mut b = RoadNetwork::builder();
+        for &(x, y) in &[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0), (5.0, 5.0)] {
+            b.add_street_from_points(
+                format!("s{x}-{y}"),
+                &[Point::new(x, y), Point::new(x + 1.0, y)],
+            );
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn route_length_sums_center_distances() {
+        let net = square_network();
+        // Corner (0,0) -> corner (10,0): centers differ by exactly 10 in x.
+        let len = route_length(&net, &[StreetId(0), StreetId(1)]);
+        assert!((len - 10.0).abs() < 1e-12);
+        assert_eq!(route_length(&net, &[StreetId(0)]), 0.0);
+        assert_eq!(route_length(&net, &[]), 0.0);
+    }
+
+    #[test]
+    fn two_opt_untangles_a_crossing_route() {
+        let net = square_network();
+        // Visiting corners in a crossing (hourglass) order.
+        let mut route = vec![StreetId(0), StreetId(2), StreetId(1), StreetId(3)];
+        let before = route_length(&net, &route);
+        let after = improve_route_2opt(&net, &mut route);
+        assert!(after < before, "2-opt failed: {before} -> {after}");
+        // The square perimeter walk (minus the closing edge) is optimal.
+        assert!((after - 30.0).abs() < 1e-9, "got {after}");
+        // First stop stays fixed.
+        assert_eq!(route[0], StreetId(0));
+    }
+
+    #[test]
+    fn two_opt_never_increases_length() {
+        let net = square_network();
+        for perm in [
+            vec![StreetId(0), StreetId(1), StreetId(2), StreetId(3), StreetId(4)],
+            vec![StreetId(0), StreetId(4), StreetId(2), StreetId(1), StreetId(3)],
+            vec![StreetId(0), StreetId(3), StreetId(1), StreetId(4), StreetId(2)],
+        ] {
+            let mut route = perm.clone();
+            let before = route_length(&net, &route);
+            let after = improve_route_2opt(&net, &mut route);
+            assert!(after <= before + 1e-12, "{perm:?}: {before} -> {after}");
+            // Same multiset of stops.
+            let mut a = route.clone();
+            let mut b = perm.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn two_opt_short_routes_are_untouched() {
+        let net = square_network();
+        let mut route = vec![StreetId(0), StreetId(1), StreetId(2)];
+        let len = improve_route_2opt(&net, &mut route);
+        assert_eq!(route, vec![StreetId(0), StreetId(1), StreetId(2)]);
+        assert!((len - route_length(&net, &route)).abs() < 1e-12);
+    }
+}

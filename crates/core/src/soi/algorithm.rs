@@ -1,0 +1,529 @@
+//! The SOI algorithm (paper Algorithm 1).
+//!
+//! Top-k style evaluation of the k-SOI query over the spatio-textual POI
+//! index. The algorithm draws from three ranked source lists —
+//!
+//! - **SL1**: cells sorted decreasingly on (an upper bound of) the number
+//!   of query-relevant POIs they contain,
+//! - **SL2**: segments sorted decreasingly on `|Cε(ℓ)|`, the number of
+//!   occupied cells within ε,
+//! - **SL3**: segments sorted increasingly on length,
+//!
+//! — maintaining for every *seen* segment a partial mass `mass⁻(ℓ)` (a
+//! lower bound of its true mass) and tracking
+//!
+//! - `LBk`: the k-th best street-level interest lower bound among seen
+//!   segments (Lemma 1, first case), and
+//! - `UB`: an upper bound on the interest of any unseen segment (Lemma 1,
+//!   second case).
+//!
+//! Accesses stop once `UB ≤ LBk`; the refinement phase then finalises all
+//! seen segments and extracts the answer.
+//!
+//! ### Upper bounds
+//! Popping a cell from SL1 touches (marks *seen*) every segment within ε of
+//! it, so all ε-cells of an unseen segment are still unpopped, each holding
+//! at most `top(SL1)` relevant weight. The paper's bound combines the list
+//! heads: `UB_paper = top(SL1)·top(SL2) / (2ε·top(SL3) + πε²)`, pairing the
+//! largest surviving cell count with the smallest surviving length — sound
+//! but loose, since no single segment attains both extremes. We additionally
+//! maintain the *coupled* bound
+//! `UB_f = top(SL1) · max_unseen |Cε(ℓ)| / (2ε·len(ℓ) + πε²)`,
+//! read off a fourth ranked list sorted by that per-segment factor, and use
+//! `UB = min(UB_paper, UB_f)`. Both are upper bounds for every unseen
+//! segment, so the combination preserves correctness while terminating much
+//! earlier (the ablation bench quantifies the difference).
+
+use crate::soi::interest::segment_interest;
+use crate::soi::query::{SoiConfig, SoiOutcome, SoiQuery, StreetResult};
+use crate::soi::stats::{phases, QueryStats};
+use crate::soi::strategy::Source;
+use soi_common::{top_k_by_score, CellId, FxHashMap, ScoredItem, SegmentId, StreetId, TopKTracker};
+use soi_data::PoiCollection;
+use soi_index::PoiIndex;
+use soi_network::RoadNetwork;
+
+/// Per-segment state during filtering: the *partial* / *final* states of
+/// Section 3.2.2.
+struct SegState {
+    /// Accumulated (lower-bound) mass from visited cells.
+    mass: f64,
+    /// `Cε(ℓ)`: the occupied cells within ε (ascending), computed lazily
+    /// when the segment is first seen (the query-time augmentation of
+    /// Sec. 3.2.1).
+    cells: Vec<CellId>,
+    /// Bitset over `cells`: which ones were already accounted for.
+    visited_bits: Vec<u64>,
+    /// Number of set bits.
+    visited_count: usize,
+    /// True once every cell has been visited (exact interest known).
+    finalized: bool,
+}
+
+impl SegState {
+    fn new(cells: Vec<CellId>) -> Self {
+        let finalized = cells.is_empty();
+        let words = cells.len().div_ceil(64);
+        Self {
+            mass: 0.0,
+            cells,
+            visited_bits: vec![0; words],
+            visited_count: 0,
+            finalized,
+        }
+    }
+
+    /// Marks `cell` visited; returns false if it was already visited or is
+    /// not one of the segment's ε-cells.
+    fn visit(&mut self, cell: CellId) -> bool {
+        let Ok(idx) = self.cells.binary_search(&cell) else {
+            return false;
+        };
+        let (word, bit) = (idx / 64, 1u64 << (idx % 64));
+        if self.visited_bits[word] & bit != 0 {
+            return false;
+        }
+        self.visited_bits[word] |= bit;
+        self.visited_count += 1;
+        true
+    }
+
+    /// Iterates over the not-yet-visited cells.
+    fn unvisited(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.cells.iter().enumerate().filter_map(|(i, &c)| {
+            (self.visited_bits[i / 64] & (1u64 << (i % 64)) == 0).then_some(c)
+        })
+    }
+
+    /// Upper bound on the segment's true mass: accumulated mass plus the
+    /// full relevant weight of every unvisited cell.
+    fn upper_mass(&self, relcount: &FxHashMap<CellId, f64>) -> f64 {
+        self.mass
+            + self
+                .unvisited()
+                .map(|c| relcount.get(&c).copied().unwrap_or(0.0))
+                .sum::<f64>()
+    }
+}
+
+/// Mutable algorithm state shared by the access handlers.
+struct Filtering {
+    states: FxHashMap<SegmentId, SegState>,
+    /// Best per-street interest lower bound among seen segments.
+    street_best: FxHashMap<StreetId, f64>,
+    /// Incremental k-th-largest tracker over `street_best`: `LBk`
+    /// (Alg. 1 lines 23–24) is always fresh at O(log S) per update.
+    lbk: TopKTracker<StreetId>,
+}
+
+impl Filtering {
+    /// Raises `street`'s lower bound to `int_lower` if it improves.
+    fn raise_street_bound(&mut self, street: StreetId, int_lower: f64) {
+        let entry = self.street_best.entry(street).or_insert(f64::NEG_INFINITY);
+        if int_lower > *entry {
+            let old = (*entry > f64::NEG_INFINITY).then_some(*entry);
+            *entry = int_lower;
+            self.lbk.update(street, old, int_lower);
+        }
+    }
+}
+
+/// Query-time 2-D prefix sums over the per-cell relevant weights, giving an
+/// O(1) upper bound on the relevant mass inside any rectangle. Lets the
+/// algorithm dismiss hopeless segments before even rasterising their ε-cell
+/// lists.
+struct RelPrefix {
+    nx: usize,
+    ny: usize,
+    /// `(nx+1) × (ny+1)` inclusive prefix sums, row-major.
+    sums: Vec<f64>,
+}
+
+impl RelPrefix {
+    fn build(grid: &soi_geo::Grid, relcount: &FxHashMap<CellId, f64>) -> Self {
+        let (nx, ny) = (grid.nx() as usize, grid.ny() as usize);
+        let mut sums = vec![0.0f64; (nx + 1) * (ny + 1)];
+        for (&cell, &w) in relcount {
+            let coord = grid.coord_of(cell);
+            sums[(coord.iy as usize + 1) * (nx + 1) + coord.ix as usize + 1] = w;
+        }
+        for y in 1..=ny {
+            let mut row_acc = 0.0;
+            for x in 1..=nx {
+                row_acc += sums[y * (nx + 1) + x];
+                sums[y * (nx + 1) + x] = sums[(y - 1) * (nx + 1) + x] + row_acc;
+            }
+        }
+        Self { nx, ny, sums }
+    }
+
+    /// Total relevant weight of cells in the inclusive index range.
+    fn rect_sum(&self, (x0, y0, x1, y1): (u32, u32, u32, u32)) -> f64 {
+        debug_assert!(x1 < self.nx as u32 && y1 < self.ny as u32);
+        let at = |x: usize, y: usize| self.sums[y * (self.nx + 1) + x];
+        let (x0, y0, x1, y1) = (x0 as usize, y0 as usize, x1 as usize, y1 as usize);
+        // Tiny relative head-room guards against prefix-sum rounding making
+        // the upper bound minutely smaller than the true sum.
+        (at(x1 + 1, y1 + 1) - at(x0, y1 + 1) - at(x1 + 1, y0) + at(x0, y0)).max(0.0)
+            * (1.0 + 1e-9)
+    }
+}
+
+/// Evaluates a k-SOI query with the SOI algorithm.
+///
+/// Returns the ranked streets (interest desc, street id asc; zero-interest
+/// streets omitted) together with per-phase timings and work counters.
+pub fn run_soi(
+    network: &RoadNetwork,
+    pois: &PoiCollection,
+    index: &PoiIndex,
+    query: &SoiQuery,
+    config: &SoiConfig,
+) -> SoiOutcome {
+    let mut stats = QueryStats::default();
+    stats.timer.enter(phases::CONSTRUCTION);
+
+    let eps = query.eps;
+
+    // --- SL1: cells by relevant-POI weight, descending (Alg. 1 lines 1–3).
+    let mut cell_weights: FxHashMap<CellId, f64> = FxHashMap::default();
+    for k in query.keywords.iter() {
+        for &(cell, w) in index.global_postings(k) {
+            *cell_weights.entry(cell).or_insert(0.0) += w;
+        }
+    }
+    for (cell, sum) in cell_weights.iter_mut() {
+        let cap = index.cell(*cell).map_or(0.0, |c| c.total_weight);
+        *sum = sum.min(cap);
+    }
+    // relcount(c): upper bound on the relevant weight a cell can contribute
+    // to any segment's mass; reused for the per-segment mass upper bounds.
+    let relcount = cell_weights.clone();
+    let relprefix = RelPrefix::build(index.grid(), &relcount);
+    let mut sl1: Vec<(CellId, f64)> = cell_weights.into_iter().collect();
+    sl1.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    // --- SL2: segments by (an O(1) upper bound of) |Cε(ℓ)| descending
+    // (lines 6–7). Any sound upper bound keeps the UB valid, and avoids
+    // rasterising every segment at query time.
+    let cell_count_ub: Vec<usize> = network
+        .segments()
+        .iter()
+        .map(|s| index.upper_cell_count(&s.geom, eps))
+        .collect();
+    let mut sl2: Vec<SegmentId> = network.segments().iter().map(|s| s.id).collect();
+    sl2.sort_by(|&a, &b| {
+        cell_count_ub[b.index()]
+            .cmp(&cell_count_ub[a.index()])
+            .then_with(|| a.cmp(&b))
+    });
+
+    // --- SL3: segments by length ascending (precomputed offline).
+    let sl3: &[SegmentId] = index.segments_by_len();
+
+    // --- SLf: segments by the coupled factor |Cε(ℓ)|/(2ε·len+πε²), desc.
+    // Never popped; peeked (skipping seen segments) for the tight UB.
+    let mut slf: Vec<(SegmentId, f64)> = network
+        .segments()
+        .iter()
+        .map(|s| {
+            let f = segment_interest(cell_count_ub[s.id.index()] as f64, s.len(), eps);
+            (s.id, f)
+        })
+        .collect();
+    slf.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    let mut fil = Filtering {
+        states: FxHashMap::default(),
+        street_best: FxHashMap::default(),
+        lbk: TopKTracker::new(query.k),
+    };
+    let mut cursor1 = 0usize;
+    let mut cursor2 = 0usize;
+    let mut cursor3 = 0usize;
+    let mut cursor_f = 0usize;
+
+    stats.timer.enter(phases::FILTERING);
+
+    // Effective `UpdateInterest` (procedure in Alg. 1): accounts cell `cell`
+    // for segment `seg` once, keeping the street-level lower bound current.
+    let update_interest =
+        |seg: SegmentId, cell: CellId, lbk: f64, fil: &mut Filtering, stats: &mut QueryStats| {
+            let state = fil.states.entry(seg).or_insert_with(|| {
+                stats.segments_seen += 1;
+                let s = network.segment(seg);
+                // O(1) pre-rasterisation bound: if the full relevant weight
+                // of the dilated bbox cannot lift the segment above LBk,
+                // its exact cells are never needed.
+                if lbk > 0.0 {
+                    if let Some(range) = index
+                        .grid()
+                        .cell_range_in_rect(&s.geom.bounding_rect().expand(eps))
+                    {
+                        let upper = relprefix.rect_sum(range);
+                        if segment_interest(upper, s.len(), eps) <= lbk {
+                            stats.segments_bounded_out += 1;
+                            stats.segments_finalized_filtering += 1;
+                            return SegState::new(Vec::new());
+                        }
+                    }
+                }
+                SegState::new(index.occupied_cells_near_segment(&s.geom, eps))
+            });
+            if state.finalized || !state.visit(cell) {
+                stats.duplicate_visits += 1;
+                return;
+            }
+            let s = network.segment(seg);
+            let gained = index.cell_mass_for_segment(pois, cell, &s.geom, &query.keywords, eps);
+            state.mass += gained;
+            stats.cell_visits += 1;
+            if state.visited_count == state.cells.len() {
+                state.finalized = true;
+                stats.segments_finalized_filtering += 1;
+            }
+            if gained > 0.0 {
+                let int_lower = segment_interest(state.mass, s.len(), eps);
+                fil.raise_street_bound(s.street, int_lower);
+            }
+        };
+
+    let cycle = config.strategy.cycle();
+    let mut cycle_pos = 0usize;
+    let mut lbk;
+    let mut ub;
+
+    loop {
+        // Advance cursors past finalised (SL2/SL3) or seen (SLf) segments so
+        // that peeks reflect the best still-relevant entry of each list.
+        while cursor2 < sl2.len()
+            && fil.states.get(&sl2[cursor2]).is_some_and(|s| s.finalized)
+        {
+            cursor2 += 1;
+        }
+        while cursor3 < sl3.len()
+            && fil.states.get(&sl3[cursor3]).is_some_and(|s| s.finalized)
+        {
+            cursor3 += 1;
+        }
+        while cursor_f < slf.len() && fil.states.contains_key(&slf[cursor_f].0) {
+            cursor_f += 1;
+        }
+
+        // Unseen upper bound (line 22). Exhausted SL1 means every cell with
+        // relevant POIs was popped, so every segment with positive mass is
+        // seen; exhausted SL2/SL3/SLf means no unseen segments remain.
+        let top1 = sl1.get(cursor1).map_or(0.0, |&(_, w)| w);
+        let top2 = sl2
+            .get(cursor2)
+            .map_or(0.0, |&s| cell_count_ub[s.index()] as f64);
+        let top3 = sl3.get(cursor3).map(|&s| network.segment(s).len());
+        let ub_paper = match top3 {
+            Some(len) if top1 > 0.0 && top2 > 0.0 => segment_interest(top1 * top2, len, eps),
+            _ => 0.0,
+        };
+        ub = if config.paper_bounds_only {
+            ub_paper
+        } else {
+            let ub_coupled = slf.get(cursor_f).map_or(0.0, |&(_, f)| top1 * f);
+            ub_paper.min(ub_coupled)
+        };
+        lbk = fil.lbk.threshold();
+
+        if ub <= lbk {
+            break;
+        }
+
+        // With paper-verbatim bounds, segment dismissal is disabled by
+        // passing a zero threshold to the bound-out sites.
+        let prune_lbk = if config.paper_bounds_only { 0.0 } else { lbk };
+
+        // Choose the next source per the strategy cycle, falling through to
+        // any non-exhausted list.
+        let preferred = cycle[cycle_pos % cycle.len()];
+        cycle_pos += 1;
+        let fallbacks = [
+            preferred,
+            Source::Cells,
+            Source::SegmentsByLen,
+            Source::SegmentsByCells,
+        ];
+        let mut accessed = false;
+        for source in fallbacks {
+            match source {
+                Source::Cells if cursor1 < sl1.len() => {
+                    let (cell, _) = sl1[cursor1];
+                    cursor1 += 1;
+                    stats.cells_popped += 1;
+                    // Lazy Lε(c) superset: spurious touches are rejected by
+                    // each segment's own Cε membership check.
+                    for seg in index.segments_near_cell_superset(cell, eps) {
+                        update_interest(seg, cell, prune_lbk, &mut fil, &mut stats);
+                    }
+                    accessed = true;
+                }
+                Source::SegmentsByCells if cursor2 < sl2.len() => {
+                    let seg = sl2[cursor2];
+                    cursor2 += 1;
+                    stats.segments_popped += 1;
+                    finalize_segment(
+                        seg, network, index, eps, prune_lbk, &relcount, &relprefix,
+                        &mut fil, &mut stats, update_interest,
+                    );
+                    accessed = true;
+                }
+                Source::SegmentsByLen if cursor3 < sl3.len() => {
+                    let seg = sl3[cursor3];
+                    cursor3 += 1;
+                    stats.segments_popped += 1;
+                    finalize_segment(
+                        seg, network, index, eps, prune_lbk, &relcount, &relprefix,
+                        &mut fil, &mut stats, update_interest,
+                    );
+                    accessed = true;
+                }
+                _ => continue,
+            }
+            break;
+        }
+        if !accessed {
+            // All lists exhausted: everything is seen; UB is 0 next round.
+            continue;
+        }
+        stats.accesses += 1;
+    }
+
+    stats.termination_ub = ub;
+    stats.termination_lb = lbk;
+
+    // --- Refinement (lines 25–28): finalise the seen segments that can
+    // still matter. A partial segment whose mass upper bound cannot lift it
+    // above LBk is skipped: its true interest can neither enter the top-k
+    // nor change a returned street's maximum (returned values are ≥ LBk).
+    stats.timer.enter(phases::REFINEMENT);
+    lbk = if config.paper_bounds_only {
+        0.0
+    } else {
+        fil.lbk.threshold()
+    };
+    let mut seen: Vec<SegmentId> = fil.states.keys().copied().collect();
+    seen.sort_unstable();
+    for seg in seen {
+        let state = fil.states.get(&seg).expect("seen");
+        if state.finalized {
+            continue;
+        }
+        let s = network.segment(seg);
+        if lbk > 0.0 && segment_interest(state.upper_mass(&relcount), s.len(), eps) <= lbk {
+            stats.segments_bounded_out += 1;
+            continue;
+        }
+        let geom = s.geom;
+        let cells: Vec<CellId> = state.unvisited().collect();
+        let mut extra = 0.0;
+        for cell in cells {
+            extra += index.cell_mass_for_segment(pois, cell, &geom, &query.keywords, eps);
+            stats.cell_visits += 1;
+        }
+        let state = fil.states.get_mut(&seg).expect("seen");
+        state.mass += extra;
+        state.finalized = true;
+        stats.segments_finalized_refinement += 1;
+    }
+
+    // Street-level aggregation (Definition 3: max over segments) restricted
+    // to seen segments — unseen ones have interest ≤ UB ≤ LBk and cannot
+    // change the top-k membership.
+    let mut best: FxHashMap<StreetId, (f64, SegmentId, f64)> = FxHashMap::default();
+    for (&seg, state) in &fil.states {
+        let s = network.segment(seg);
+        let int = segment_interest(state.mass, s.len(), eps);
+        let entry = best.entry(s.street).or_insert((0.0, seg, 0.0));
+        if int > entry.0 || (int == entry.0 && seg < entry.1) {
+            *entry = (int, seg, state.mass);
+        }
+    }
+    let ranked = top_k_by_score(
+        best.iter()
+            .filter(|(_, &(int, _, _))| int > 0.0)
+            .map(|(&st, &(int, _, _))| ScoredItem::new(st, int)),
+        query.k,
+    );
+    let results = ranked
+        .into_iter()
+        .map(|item| {
+            let (int, seg, mass) = best[&item.id];
+            StreetResult {
+                street: item.id,
+                interest: int,
+                best_segment: seg,
+                best_segment_mass: mass,
+            }
+        })
+        .collect();
+
+    stats.timer.stop();
+    SoiOutcome { results, stats }
+}
+
+/// Pops a segment from SL2/SL3: lazily computes its Cε cells and either
+/// *bounds it out* — when even attributing every unvisited cell's full
+/// relevant weight cannot lift its interest above `LBk`, the segment is
+/// marked final without any distance computation (its true interest can
+/// affect neither the top-k membership nor a returned street's reported
+/// maximum) — or visits every remaining cell.
+#[allow(clippy::too_many_arguments)]
+fn finalize_segment(
+    seg: SegmentId,
+    network: &RoadNetwork,
+    index: &PoiIndex,
+    eps: f64,
+    lbk: f64,
+    relcount: &FxHashMap<CellId, f64>,
+    relprefix: &RelPrefix,
+    fil: &mut Filtering,
+    stats: &mut QueryStats,
+    mut update_interest: impl FnMut(SegmentId, CellId, f64, &mut Filtering, &mut QueryStats),
+) {
+    let s = network.segment(seg);
+    let state = match fil.states.entry(seg) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(e) => {
+            stats.segments_seen += 1;
+            // O(1) pre-rasterisation bound (see update_interest).
+            if lbk > 0.0 {
+                if let Some(range) = index
+                    .grid()
+                    .cell_range_in_rect(&s.geom.bounding_rect().expand(eps))
+                {
+                    let upper = relprefix.rect_sum(range);
+                    if segment_interest(upper, s.len(), eps) <= lbk {
+                        stats.segments_bounded_out += 1;
+                        stats.segments_finalized_filtering += 1;
+                        e.insert(SegState::new(Vec::new()));
+                        return;
+                    }
+                }
+            }
+            let state = SegState::new(index.occupied_cells_near_segment(&s.geom, eps));
+            if state.finalized {
+                stats.segments_finalized_filtering += 1;
+            }
+            e.insert(state)
+        }
+    };
+    if state.finalized {
+        return;
+    }
+    let int_upper = segment_interest(state.upper_mass(relcount), s.len(), eps);
+    if int_upper <= lbk && lbk > 0.0 {
+        state.finalized = true;
+        stats.segments_bounded_out += 1;
+        stats.segments_finalized_filtering += 1;
+        return;
+    }
+    let cells = state.cells.clone();
+    for cell in cells {
+        update_interest(seg, cell, lbk, fil, stats);
+    }
+}

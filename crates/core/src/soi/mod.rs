@@ -1,0 +1,15 @@
+//! k-SOI identification: query types, the SOI algorithm, and baselines.
+
+pub mod algorithm;
+pub mod baseline;
+pub mod interest;
+pub mod query;
+pub mod stats;
+pub mod strategy;
+
+pub use algorithm::run_soi;
+pub use baseline::{brute_force, exact_street_interests, run_baseline};
+pub use interest::{segment_interest, StreetAggregate};
+pub use query::{SoiConfig, SoiOutcome, SoiQuery, StreetResult};
+pub use stats::QueryStats;
+pub use strategy::AccessStrategy;

@@ -1,0 +1,320 @@
+//! Randomised correctness tests for the SOI algorithm.
+//!
+//! The paper's guarantee (Problem 1): a k-SOI answer is any k-set such that
+//! every non-returned street has interest ≤ the minimum returned interest.
+//! We verify:
+//!
+//! 1. the BL baseline equals the index-free brute force exactly;
+//! 2. the SOI algorithm's returned interests are exact, its result is a
+//!    valid top-k set, and it has exactly `min(k, #positive streets)`
+//!    entries — under every access strategy and several check intervals.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use soi_common::KeywordId;
+use soi_core::soi::{
+    brute_force, exact_street_interests, run_baseline, run_soi, AccessStrategy, SoiConfig,
+    SoiQuery, StreetAggregate,
+};
+use soi_data::PoiCollection;
+use soi_geo::Point;
+use soi_index::PoiIndex;
+use soi_network::RoadNetwork;
+use soi_text::KeywordSet;
+
+const NUM_KEYWORDS: u32 = 6;
+
+/// Builds a jittered grid road network with horizontal and vertical streets.
+fn random_city(rng: &mut StdRng, rows: usize, cols: usize) -> RoadNetwork {
+    let mut b = RoadNetwork::builder();
+    let spacing = 1.0;
+    let jitter = 0.15;
+    // Node positions (grid with jitter).
+    let mut pos = vec![vec![Point::ORIGIN; cols]; rows];
+    for (r, row) in pos.iter_mut().enumerate() {
+        for (c, p) in row.iter_mut().enumerate() {
+            *p = Point::new(
+                c as f64 * spacing + rng.random_range(-jitter..jitter),
+                r as f64 * spacing + rng.random_range(-jitter..jitter),
+            );
+        }
+    }
+    for (r, row) in pos.iter().enumerate() {
+        b.add_street_from_points(format!("h{r}"), row);
+    }
+    for c in 0..cols {
+        let col: Vec<Point> = pos.iter().map(|row| row[c]).collect();
+        b.add_street_from_points(format!("v{c}"), &col);
+    }
+    b.build().unwrap()
+}
+
+fn random_pois(rng: &mut StdRng, n: usize, extent: f64) -> PoiCollection {
+    let mut pois = PoiCollection::new();
+    for _ in 0..n {
+        let p = Point::new(
+            rng.random_range(-0.5..extent + 0.5),
+            rng.random_range(-0.5..extent + 0.5),
+        );
+        let n_kw = rng.random_range(0..3usize);
+        let kws =
+            KeywordSet::from_ids((0..n_kw).map(|_| KeywordId(rng.random_range(0..NUM_KEYWORDS))));
+        if rng.random_range(0..10) == 0 {
+            pois.add_weighted(p, kws, rng.random_range(0.5..3.0));
+        } else {
+            pois.add(p, kws);
+        }
+    }
+    pois
+}
+
+fn random_query(rng: &mut StdRng) -> SoiQuery {
+    let n_kw = rng.random_range(1..4usize);
+    let kws =
+        KeywordSet::from_ids((0..n_kw).map(|_| KeywordId(rng.random_range(0..NUM_KEYWORDS))));
+    let k = rng.random_range(1..6usize);
+    let eps = rng.random_range(0.1..0.6f64);
+    SoiQuery::new(kws, k, eps).unwrap()
+}
+
+#[test]
+fn baseline_matches_brute_force() {
+    for seed in 0..15u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let network = random_city(&mut rng, 5, 5);
+        let pois = random_pois(&mut rng, 120, 4.0);
+        let index = PoiIndex::build(&network, &pois, 0.7);
+        let query = random_query(&mut rng);
+
+        let bl = run_baseline(&network, &pois, &index, &query, StreetAggregate::Max);
+        let bf = brute_force(&network, &pois, &query);
+
+        assert_eq!(
+            bl.street_ids(),
+            bf.street_ids(),
+            "seed {seed}: baseline vs brute force street sets differ"
+        );
+        for (a, b) in bl.results.iter().zip(bf.results.iter()) {
+            assert!(
+                (a.interest - b.interest).abs() < 1e-9,
+                "seed {seed}: interest mismatch for {:?}",
+                a.street
+            );
+        }
+    }
+}
+
+#[test]
+fn soi_returns_valid_topk_under_all_strategies() {
+    for seed in 0..15u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let network = random_city(&mut rng, 6, 6);
+        let pois = random_pois(&mut rng, 200, 5.0);
+        let index = PoiIndex::build(&network, &pois, 0.5);
+        let query = random_query(&mut rng);
+        let exact = exact_street_interests(&network, &pois, &query);
+        let positive = exact.values().filter(|&&v| v > 0.0).count();
+        let expected_len = query.k.min(positive);
+
+        for strategy in AccessStrategy::all() {
+          for paper_bounds_only in [false, true] {
+            let config = SoiConfig { strategy, paper_bounds_only };
+            let out = run_soi(&network, &pois, &index, &query, &config);
+
+            assert_eq!(
+                out.results.len(),
+                expected_len,
+                "seed {seed} strategy {}: wrong result size",
+                strategy.name()
+            );
+            // Returned interests are exact.
+            for r in &out.results {
+                let want = exact[&r.street];
+                assert!(
+                    (r.interest - want).abs() < 1e-9,
+                    "seed {seed} strategy {}: street {:?} interest {} != exact {}",
+                    strategy.name(),
+                    r.street,
+                    r.interest,
+                    want
+                );
+            }
+            // Valid top-k: no excluded street beats the worst returned.
+            let min_returned = out.min_interest();
+            let returned: Vec<_> = out.street_ids();
+            let max_excluded = exact
+                .iter()
+                .filter(|(id, _)| !returned.contains(id))
+                .map(|(_, &v)| v)
+                .fold(0.0f64, f64::max);
+            assert!(
+                max_excluded <= min_returned + 1e-9,
+                "seed {seed} strategy {}: excluded street with \
+                 interest {max_excluded} beats returned minimum {min_returned}",
+                strategy.name()
+            );
+          }
+        }
+    }
+}
+
+#[test]
+fn soi_matches_baseline_when_no_ties_at_boundary() {
+    // With continuous POI positions, exact score ties across streets are
+    // essentially impossible; SOI and BL must return identical rankings.
+    for seed in 0..15u64 {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let network = random_city(&mut rng, 5, 7);
+        let pois = random_pois(&mut rng, 150, 5.0);
+        let index = PoiIndex::build(&network, &pois, 0.6);
+        let query = random_query(&mut rng);
+        let exact = exact_street_interests(&network, &pois, &query);
+
+        // Skip the rare tie at the k-th boundary.
+        let mut vals: Vec<f64> = exact.values().copied().filter(|&v| v > 0.0).collect();
+        vals.sort_by(|a, b| b.total_cmp(a));
+        if vals.len() > query.k && (vals[query.k - 1] - vals[query.k]).abs() < 1e-12 {
+            continue;
+        }
+
+        let soi = run_soi(&network, &pois, &index, &query, &SoiConfig::default());
+        let bl = run_baseline(&network, &pois, &index, &query, StreetAggregate::Max);
+        assert_eq!(soi.street_ids(), bl.street_ids(), "seed {seed}");
+    }
+}
+
+#[test]
+fn soi_prunes_work_on_skewed_data() {
+    // Hotspot data: most relevant POIs on one street. SOI should terminate
+    // without finalising every segment.
+    let mut rng = StdRng::seed_from_u64(42);
+    let network = random_city(&mut rng, 10, 10);
+    let mut pois = PoiCollection::new();
+    let shop = KeywordId(0);
+    // Dense hotspot along the first horizontal street (y ~ 0).
+    for i in 0..300 {
+        pois.add(
+            Point::new(i as f64 * 0.03, rng.random_range(-0.1..0.1)),
+            KeywordSet::from_ids([shop]),
+        );
+    }
+    // Sparse background.
+    for _ in 0..300 {
+        pois.add(
+            Point::new(rng.random_range(0.0..9.0), rng.random_range(0.0..9.0)),
+            KeywordSet::from_ids([shop]),
+        );
+    }
+    let index = PoiIndex::build(&network, &pois, 0.4);
+    let query = SoiQuery::new(KeywordSet::from_ids([shop]), 5, 0.3).unwrap();
+    let out = run_soi(&network, &pois, &index, &query, &SoiConfig::default());
+
+    assert_eq!(out.results.len(), 5);
+    let total_segments = network.num_segments();
+    assert!(
+        out.stats.segments_finalized() < total_segments,
+        "no pruning: finalized {} of {}",
+        out.stats.segments_finalized(),
+        total_segments
+    );
+    // And it is still exact.
+    let exact = exact_street_interests(&network, &pois, &query);
+    for r in &out.results {
+        assert!((r.interest - exact[&r.street]).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn weighted_pois_scale_interest() {
+    let mut b = RoadNetwork::builder();
+    b.add_street_from_points("A", &[Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+    b.add_street_from_points("B", &[Point::new(0.0, 5.0), Point::new(1.0, 5.0)]);
+    let network = b.build().unwrap();
+    let kw = KeywordId(0);
+    let mut pois = PoiCollection::new();
+    // One heavy POI near street B outweighs two unit POIs near street A.
+    pois.add(Point::new(0.5, 0.1), KeywordSet::from_ids([kw]));
+    pois.add(Point::new(0.6, 0.1), KeywordSet::from_ids([kw]));
+    pois.add_weighted(Point::new(0.5, 5.1), KeywordSet::from_ids([kw]), 5.0);
+    let index = PoiIndex::build(&network, &pois, 0.5);
+    let query = SoiQuery::new(KeywordSet::from_ids([kw]), 1, 0.2).unwrap();
+
+    let out = run_soi(&network, &pois, &index, &query, &SoiConfig::default());
+    assert_eq!(out.results.len(), 1);
+    assert_eq!(network.street(out.results[0].street).name, "B");
+    assert_eq!(out.results[0].best_segment_mass, 5.0);
+}
+
+#[test]
+fn huge_eps_makes_every_street_relevant_and_stays_exact() {
+    // eps spanning the whole city: every relevant POI is near every segment;
+    // bounds degenerate but correctness must hold.
+    let mut rng = StdRng::seed_from_u64(77);
+    let network = random_city(&mut rng, 4, 4);
+    let pois = random_pois(&mut rng, 60, 3.0);
+    let index = PoiIndex::build(&network, &pois, 0.5);
+    let query = SoiQuery::new(
+        KeywordSet::from_ids([KeywordId(0), KeywordId(1)]),
+        5,
+        50.0,
+    )
+    .unwrap();
+    let exact = exact_street_interests(&network, &pois, &query);
+    let out = run_soi(&network, &pois, &index, &query, &SoiConfig::default());
+    for r in &out.results {
+        assert!((r.interest - exact[&r.street]).abs() < 1e-9);
+    }
+    let bl = run_baseline(&network, &pois, &index, &query, StreetAggregate::Max);
+    assert_eq!(out.street_ids(), bl.street_ids());
+}
+
+#[test]
+fn k_exceeding_street_count_returns_all_positive_streets() {
+    let mut rng = StdRng::seed_from_u64(78);
+    let network = random_city(&mut rng, 3, 3);
+    let pois = random_pois(&mut rng, 80, 2.0);
+    let index = PoiIndex::build(&network, &pois, 0.5);
+    let query = SoiQuery::new(
+        KeywordSet::from_ids([KeywordId(0), KeywordId(2)]),
+        10_000,
+        0.4,
+    )
+    .unwrap();
+    let exact = exact_street_interests(&network, &pois, &query);
+    let positive = exact.values().filter(|&&v| v > 0.0).count();
+    let out = run_soi(&network, &pois, &index, &query, &SoiConfig::default());
+    assert_eq!(out.results.len(), positive);
+    // Ranked non-increasing.
+    for pair in out.results.windows(2) {
+        assert!(pair[0].interest >= pair[1].interest);
+    }
+}
+
+#[test]
+fn tiny_eps_still_counts_on_street_pois() {
+    // POIs exactly on segments are always within any positive eps.
+    let mut b = RoadNetwork::builder();
+    b.add_street_from_points("exact", &[Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+    let network = b.build().unwrap();
+    let mut pois = PoiCollection::new();
+    pois.add(Point::new(0.5, 0.0), KeywordSet::from_ids([KeywordId(0)]));
+    let index = PoiIndex::build(&network, &pois, 0.5);
+    let query = SoiQuery::new(KeywordSet::from_ids([KeywordId(0)]), 1, 1e-9).unwrap();
+    let out = run_soi(&network, &pois, &index, &query, &SoiConfig::default());
+    assert_eq!(out.results.len(), 1);
+    assert_eq!(out.results[0].best_segment_mass, 1.0);
+}
+
+#[test]
+fn empty_query_returns_nothing() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let network = random_city(&mut rng, 4, 4);
+    let pois = random_pois(&mut rng, 50, 3.0);
+    let index = PoiIndex::build(&network, &pois, 0.5);
+    // Keyword id far outside the used range.
+    let query = SoiQuery::new(KeywordSet::from_ids([KeywordId(999)]), 3, 0.3).unwrap();
+    let out = run_soi(&network, &pois, &index, &query, &SoiConfig::default());
+    assert!(out.results.is_empty());
+    let bl = run_baseline(&network, &pois, &index, &query, StreetAggregate::Max);
+    assert!(bl.results.is_empty());
+}

@@ -1,0 +1,376 @@
+//! GeoJSON export for visual exploration.
+//!
+//! The paper's output is inherently visual (Figs. 1–2 show maps of top
+//! SOIs); this module serialises networks, ranked streets, POIs, and photo
+//! summaries into GeoJSON FeatureCollections that drop straight into any
+//! web map (Leaflet, Mapbox, geojson.io). JSON is built by hand — the
+//! workspace deliberately has no JSON dependency.
+
+use crate::dataset::Dataset;
+use soi_common::{PhotoId, StreetId};
+use soi_network::RoadNetwork;
+use std::fmt::Write as _;
+
+/// A property value of a GeoJSON feature.
+#[derive(Debug, Clone)]
+pub enum PropValue {
+    /// A string property (escaped on write).
+    Str(String),
+    /// A finite numeric property.
+    Num(f64),
+    /// An integer property.
+    Int(i64),
+}
+
+impl From<&str> for PropValue {
+    fn from(v: &str) -> Self {
+        PropValue::Str(v.to_string())
+    }
+}
+impl From<String> for PropValue {
+    fn from(v: String) -> Self {
+        PropValue::Str(v)
+    }
+}
+impl From<f64> for PropValue {
+    fn from(v: f64) -> Self {
+        PropValue::Num(v)
+    }
+}
+impl From<i64> for PropValue {
+    fn from(v: i64) -> Self {
+        PropValue::Int(v)
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_number(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_props(out: &mut String, props: &[(&str, PropValue)]) {
+    out.push('{');
+    for (i, (key, value)) in props.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":", escape_json(key));
+        match value {
+            PropValue::Str(s) => {
+                let _ = write!(out, "\"{}\"", escape_json(s));
+            }
+            PropValue::Num(n) => write_number(out, *n),
+            PropValue::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+        }
+    }
+    out.push('}');
+}
+
+/// A GeoJSON feature under construction.
+#[derive(Debug, Clone)]
+pub struct Feature {
+    geometry: String,
+    properties: Vec<(&'static str, PropValue)>,
+}
+
+impl Feature {
+    /// A Point feature.
+    pub fn point(x: f64, y: f64) -> Self {
+        let mut geometry = String::from("{\"type\":\"Point\",\"coordinates\":[");
+        write_number(&mut geometry, x);
+        geometry.push(',');
+        write_number(&mut geometry, y);
+        geometry.push_str("]}");
+        Self {
+            geometry,
+            properties: Vec::new(),
+        }
+    }
+
+    /// A LineString feature from a coordinate chain.
+    pub fn line_string<I: IntoIterator<Item = (f64, f64)>>(coords: I) -> Self {
+        let mut geometry = String::from("{\"type\":\"LineString\",\"coordinates\":[");
+        for (i, (x, y)) in coords.into_iter().enumerate() {
+            if i > 0 {
+                geometry.push(',');
+            }
+            geometry.push('[');
+            write_number(&mut geometry, x);
+            geometry.push(',');
+            write_number(&mut geometry, y);
+            geometry.push(']');
+        }
+        geometry.push_str("]}");
+        Self {
+            geometry,
+            properties: Vec::new(),
+        }
+    }
+
+    /// A MultiLineString feature from several coordinate chains.
+    pub fn multi_line_string<O, I>(lines: O) -> Self
+    where
+        O: IntoIterator<Item = I>,
+        I: IntoIterator<Item = (f64, f64)>,
+    {
+        let mut geometry = String::from("{\"type\":\"MultiLineString\",\"coordinates\":[");
+        for (li, line) in lines.into_iter().enumerate() {
+            if li > 0 {
+                geometry.push(',');
+            }
+            geometry.push('[');
+            for (i, (x, y)) in line.into_iter().enumerate() {
+                if i > 0 {
+                    geometry.push(',');
+                }
+                geometry.push('[');
+                write_number(&mut geometry, x);
+                geometry.push(',');
+                write_number(&mut geometry, y);
+                geometry.push(']');
+            }
+            geometry.push(']');
+        }
+        geometry.push_str("]}");
+        Self {
+            geometry,
+            properties: Vec::new(),
+        }
+    }
+
+    /// Adds a property.
+    pub fn prop(mut self, key: &'static str, value: impl Into<PropValue>) -> Self {
+        self.properties.push((key, value.into()));
+        self
+    }
+
+    fn write_to(&self, out: &mut String) {
+        out.push_str("{\"type\":\"Feature\",\"geometry\":");
+        out.push_str(&self.geometry);
+        out.push_str(",\"properties\":");
+        write_props(out, &self.properties);
+        out.push('}');
+    }
+}
+
+/// Renders features as a FeatureCollection document.
+pub fn feature_collection(features: &[Feature]) -> String {
+    let mut out = String::from("{\"type\":\"FeatureCollection\",\"features\":[");
+    for (i, f) in features.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        f.write_to(&mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A street as a MultiLineString feature (one line per segment, robust to
+/// any segment orientation) with its name.
+pub fn street_feature(network: &RoadNetwork, street: StreetId) -> Feature {
+    let lines: Vec<Vec<(f64, f64)>> = network
+        .street(street)
+        .segments
+        .iter()
+        .map(|&sid| {
+            let g = network.segment(sid).geom;
+            vec![(g.a.x, g.a.y), (g.b.x, g.b.y)]
+        })
+        .collect();
+    Feature::multi_line_string(lines)
+        .prop("name", network.street(street).name.as_str())
+        .prop("street_id", street.raw() as i64)
+}
+
+/// The whole road network as a FeatureCollection of streets.
+pub fn network_to_geojson(network: &RoadNetwork) -> String {
+    let features: Vec<Feature> = network
+        .streets()
+        .iter()
+        .map(|s| street_feature(network, s.id))
+        .collect();
+    feature_collection(&features)
+}
+
+/// Ranked streets (e.g. a k-SOI answer) as a FeatureCollection with
+/// `rank` and `interest` properties.
+pub fn ranked_streets_to_geojson(
+    network: &RoadNetwork,
+    ranked: &[(StreetId, f64)],
+) -> String {
+    let features: Vec<Feature> = ranked
+        .iter()
+        .enumerate()
+        .map(|(i, &(street, interest))| {
+            street_feature(network, street)
+                .prop("rank", (i + 1) as i64)
+                .prop("interest", interest)
+        })
+        .collect();
+    feature_collection(&features)
+}
+
+/// A photo selection as Point features with resolved tag strings.
+pub fn photos_to_geojson(dataset: &Dataset, photos: &[PhotoId]) -> String {
+    let features: Vec<Feature> = photos
+        .iter()
+        .map(|&pid| {
+            let photo = dataset.photos.get(pid);
+            let tags: Vec<&str> = photo
+                .tags
+                .iter()
+                .filter_map(|t| dataset.vocab.term(t))
+                .collect();
+            Feature::point(photo.pos.x, photo.pos.y)
+                .prop("photo_id", pid.raw() as i64)
+                .prop("tags", tags.join(","))
+        })
+        .collect();
+    feature_collection(&features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::photo::PhotoCollection;
+    use crate::poi::PoiCollection;
+    use soi_geo::Point;
+    use soi_text::{KeywordSet, Vocabulary};
+
+    /// A minimal JSON well-formedness check: string-aware bracket matching.
+    fn assert_balanced_json(s: &str) {
+        let mut stack = Vec::new();
+        let mut in_string = false;
+        let mut escaped = false;
+        for c in s.chars() {
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_string = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' | '[' => stack.push(c),
+                '}' => assert_eq!(stack.pop(), Some('{'), "unbalanced brace in {s}"),
+                ']' => assert_eq!(stack.pop(), Some('['), "unbalanced bracket in {s}"),
+                _ => {}
+            }
+        }
+        assert!(!in_string, "unterminated string in {s}");
+        assert!(stack.is_empty(), "unclosed {stack:?} in {s}");
+    }
+
+    fn tiny_dataset() -> Dataset {
+        let mut b = RoadNetwork::builder();
+        b.add_street_from_points(
+            "Quote \"Str\"\nLine",
+            &[Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(1.0, 1.0)],
+        );
+        let network = b.build().unwrap();
+        let mut vocab = Vocabulary::new();
+        let t = vocab.intern("café");
+        let mut photos = PhotoCollection::new();
+        photos.add(Point::new(0.5, 0.1), KeywordSet::from_ids([t]));
+        Dataset::new("tiny", network, vocab, PoiCollection::new(), photos)
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b"), "a\\\"b");
+        assert_eq!(escape_json("a\\b"), "a\\\\b");
+        assert_eq!(escape_json("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(escape_json("\u{01}"), "\\u0001");
+        assert_eq!(escape_json("café"), "café");
+    }
+
+    #[test]
+    fn features_are_well_formed() {
+        let f = Feature::point(1.5, -2.5)
+            .prop("name", "spot \"x\"")
+            .prop("score", 0.75)
+            .prop("rank", 3i64);
+        let doc = feature_collection(&[f]);
+        assert_balanced_json(&doc);
+        assert!(doc.contains("\"type\":\"FeatureCollection\""));
+        assert!(doc.contains("\"coordinates\":[1.5,-2.5]"));
+        assert!(doc.contains("\"name\":\"spot \\\"x\\\"\""));
+        assert!(doc.contains("\"score\":0.75"));
+        assert!(doc.contains("\"rank\":3"));
+    }
+
+    #[test]
+    fn line_string_geometry() {
+        let f = Feature::line_string([(0.0, 0.0), (1.0, 2.0)]);
+        let doc = feature_collection(&[f]);
+        assert_balanced_json(&doc);
+        assert!(doc.contains("\"LineString\""));
+        assert!(doc.contains("[[0,0],[1,2]]"));
+    }
+
+    #[test]
+    fn network_and_ranked_exports() {
+        let d = tiny_dataset();
+        let all = network_to_geojson(&d.network);
+        assert_balanced_json(&all);
+        assert!(all.contains("MultiLineString"));
+        // Street name with quote and newline survives as valid JSON.
+        assert!(all.contains("Quote \\\"Str\\\"\\nLine"));
+
+        let ranked = ranked_streets_to_geojson(
+            &d.network,
+            &[(soi_common::StreetId(0), 123.5)],
+        );
+        assert_balanced_json(&ranked);
+        assert!(ranked.contains("\"rank\":1"));
+        assert!(ranked.contains("\"interest\":123.5"));
+    }
+
+    #[test]
+    fn photo_export_resolves_tags() {
+        let d = tiny_dataset();
+        let doc = photos_to_geojson(&d, &[soi_common::PhotoId(0)]);
+        assert_balanced_json(&doc);
+        assert!(doc.contains("\"tags\":\"café\""));
+        assert!(doc.contains("\"photo_id\":0"));
+    }
+
+    #[test]
+    fn empty_collection_is_valid() {
+        let doc = feature_collection(&[]);
+        assert_balanced_json(&doc);
+        assert_eq!(doc, "{\"type\":\"FeatureCollection\",\"features\":[]}");
+    }
+
+    use soi_network::RoadNetwork;
+}

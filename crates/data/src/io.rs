@@ -1,0 +1,222 @@
+//! Dataset persistence: a directory of TSV files.
+//!
+//! Layout of a saved dataset directory:
+//!
+//! ```text
+//! <dir>/network.tsv   — road network (see soi_network::io)
+//! <dir>/vocab.tsv     — one keyword per line; KeywordId = line order
+//! <dir>/pois.tsv      — x \t y \t weight \t k1,k2,...   (PoiId = line order)
+//! <dir>/photos.tsv    — x \t y \t k1,k2,...             (PhotoId = line order)
+//! <dir>/name.txt      — dataset name
+//! ```
+
+use crate::dataset::Dataset;
+use crate::photo::PhotoCollection;
+use crate::poi::PoiCollection;
+use soi_common::{KeywordId, Result, SoiError};
+use soi_geo::Point;
+use soi_text::{KeywordSet, Vocabulary};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+fn format_keywords(set: &KeywordSet) -> String {
+    let mut s = String::new();
+    for (i, k) in set.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&k.raw().to_string());
+    }
+    s
+}
+
+fn parse_keywords(field: &str, line: usize, vocab_len: usize) -> Result<KeywordSet> {
+    if field.is_empty() {
+        return Ok(KeywordSet::empty());
+    }
+    let mut ids = Vec::new();
+    for part in field.split(',') {
+        let raw: u32 = part
+            .parse()
+            .map_err(|e| SoiError::parse(line, format!("bad keyword id {part:?}: {e}")))?;
+        if raw as usize >= vocab_len {
+            return Err(SoiError::parse(
+                line,
+                format!("keyword id {raw} out of vocabulary range"),
+            ));
+        }
+        ids.push(KeywordId(raw));
+    }
+    Ok(KeywordSet::from_ids(ids))
+}
+
+/// Saves `dataset` into directory `dir` (created if missing).
+pub fn save_dataset(dataset: &Dataset, dir: impl AsRef<Path>) -> Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+
+    soi_network::io::save_network(&dataset.network, dir.join("network.tsv"))?;
+    std::fs::write(dir.join("name.txt"), &dataset.name)?;
+
+    let mut w = BufWriter::new(std::fs::File::create(dir.join("vocab.tsv"))?);
+    for (_, term) in dataset.vocab.iter() {
+        writeln!(w, "{term}")?;
+    }
+    drop(w);
+
+    let mut w = BufWriter::new(std::fs::File::create(dir.join("pois.tsv"))?);
+    for poi in dataset.pois.iter() {
+        writeln!(
+            w,
+            "{}\t{}\t{}\t{}",
+            poi.pos.x,
+            poi.pos.y,
+            poi.weight,
+            format_keywords(&poi.keywords)
+        )?;
+    }
+    drop(w);
+
+    let mut w = BufWriter::new(std::fs::File::create(dir.join("photos.tsv"))?);
+    for photo in dataset.photos.iter() {
+        writeln!(
+            w,
+            "{}\t{}\t{}",
+            photo.pos.x,
+            photo.pos.y,
+            format_keywords(&photo.tags)
+        )?;
+    }
+    Ok(())
+}
+
+/// Loads a dataset from directory `dir`.
+pub fn load_dataset(dir: impl AsRef<Path>) -> Result<Dataset> {
+    let dir = dir.as_ref();
+    let network = soi_network::io::load_network(dir.join("network.tsv"))?;
+    let name = std::fs::read_to_string(dir.join("name.txt"))
+        .unwrap_or_else(|_| "unnamed".to_string())
+        .trim()
+        .to_string();
+
+    let mut vocab = Vocabulary::new();
+    let file = std::fs::File::open(dir.join("vocab.tsv"))?;
+    for (i, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| SoiError::parse(i + 1, e.to_string()))?;
+        vocab.intern(&line);
+    }
+
+    let mut pois = PoiCollection::new();
+    let file = std::fs::File::open(dir.join("pois.tsv"))?;
+    for (i, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| SoiError::parse(i + 1, e.to_string()))?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 4 {
+            return Err(SoiError::parse(i + 1, "expected 4 fields in POI record"));
+        }
+        let x: f64 = fields[0]
+            .parse()
+            .map_err(|e| SoiError::parse(i + 1, format!("bad x: {e}")))?;
+        let y: f64 = fields[1]
+            .parse()
+            .map_err(|e| SoiError::parse(i + 1, format!("bad y: {e}")))?;
+        let weight: f64 = fields[2]
+            .parse()
+            .map_err(|e| SoiError::parse(i + 1, format!("bad weight: {e}")))?;
+        let keywords = parse_keywords(fields[3], i + 1, vocab.len())?;
+        pois.add_weighted(Point::new(x, y), keywords, weight);
+    }
+
+    let mut photos = PhotoCollection::new();
+    let file = std::fs::File::open(dir.join("photos.tsv"))?;
+    for (i, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| SoiError::parse(i + 1, e.to_string()))?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 3 {
+            return Err(SoiError::parse(i + 1, "expected 3 fields in photo record"));
+        }
+        let x: f64 = fields[0]
+            .parse()
+            .map_err(|e| SoiError::parse(i + 1, format!("bad x: {e}")))?;
+        let y: f64 = fields[1]
+            .parse()
+            .map_err(|e| SoiError::parse(i + 1, format!("bad y: {e}")))?;
+        let tags = parse_keywords(fields[2], i + 1, vocab.len())?;
+        photos.add(Point::new(x, y), tags);
+    }
+
+    Ok(Dataset::new(name, network, vocab, pois, photos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_network::RoadNetwork;
+
+    fn sample() -> Dataset {
+        let mut b = RoadNetwork::builder();
+        b.add_street_from_points("Road", &[Point::new(0.0, 0.0), Point::new(2.0, 0.0)]);
+        let network = b.build().unwrap();
+        let mut vocab = Vocabulary::new();
+        let shop = vocab.intern("shop");
+        let food = vocab.intern("food");
+        let mut pois = PoiCollection::new();
+        pois.add(Point::new(0.5, 0.1), KeywordSet::from_ids([shop]));
+        pois.add_weighted(Point::new(1.0, -0.1), KeywordSet::from_ids([shop, food]), 2.0);
+        pois.add(Point::new(1.5, 0.0), KeywordSet::empty());
+        let mut photos = PhotoCollection::new();
+        photos.add(Point::new(0.25, 0.0), KeywordSet::from_ids([food]));
+        Dataset::new("sample", network, vocab, pois, photos)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = std::env::temp_dir().join("soi_dataset_io_test");
+        let d = sample();
+        save_dataset(&d, &dir).unwrap();
+        let loaded = load_dataset(&dir).unwrap();
+
+        assert_eq!(loaded.name, "sample");
+        assert_eq!(loaded.network.num_segments(), d.network.num_segments());
+        assert_eq!(loaded.vocab.len(), d.vocab.len());
+        assert_eq!(loaded.pois.len(), d.pois.len());
+        assert_eq!(loaded.photos.len(), d.photos.len());
+        for (a, b) in d.pois.iter().zip(loaded.pois.iter()) {
+            assert_eq!(a.pos, b.pos);
+            assert_eq!(a.keywords, b.keywords);
+            assert_eq!(a.weight, b.weight);
+        }
+        for (a, b) in d.photos.iter().zip(loaded.photos.iter()) {
+            assert_eq!(a.pos, b.pos);
+            assert_eq!(a.tags, b.tags);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_out_of_vocab_keyword() {
+        let dir = std::env::temp_dir().join("soi_dataset_io_bad");
+        let d = sample();
+        save_dataset(&d, &dir).unwrap();
+        std::fs::write(dir.join("pois.tsv"), "0\t0\t1\t99\n").unwrap();
+        assert!(load_dataset(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn keyword_field_roundtrip() {
+        let set = KeywordSet::from_ids([KeywordId(3), KeywordId(0), KeywordId(7)]);
+        let s = format_keywords(&set);
+        assert_eq!(s, "0,3,7");
+        let back = parse_keywords(&s, 1, 10).unwrap();
+        assert_eq!(back, set);
+        assert!(parse_keywords("", 1, 10).unwrap().is_empty());
+        assert!(parse_keywords("x", 1, 10).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Geo-tagged photos.
+
+use soi_common::PhotoId;
+use soi_geo::{Point, Rect};
+use soi_text::KeywordSet;
+
+/// A geo-tagged photo: `r = ⟨(x_r, y_r), Ψ_r⟩` (Sec. 4.1.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Photo {
+    /// The photo's identifier (dense index into its collection).
+    pub id: PhotoId,
+    /// Location.
+    pub pos: Point,
+    /// Tag set `Ψ_r`.
+    pub tags: KeywordSet,
+}
+
+/// A dense, id-indexed collection of photos.
+#[derive(Debug, Clone, Default)]
+pub struct PhotoCollection {
+    photos: Vec<Photo>,
+}
+
+impl PhotoCollection {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a photo and returns its id.
+    pub fn add(&mut self, pos: Point, tags: KeywordSet) -> PhotoId {
+        let id = PhotoId::from_index(self.photos.len());
+        self.photos.push(Photo { id, pos, tags });
+        id
+    }
+
+    /// The photo with id `id`.
+    #[inline]
+    pub fn get(&self, id: PhotoId) -> &Photo {
+        &self.photos[id.index()]
+    }
+
+    /// Number of photos.
+    pub fn len(&self) -> usize {
+        self.photos.len()
+    }
+
+    /// Returns true if the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.photos.is_empty()
+    }
+
+    /// Iterates over photos in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Photo> {
+        self.photos.iter()
+    }
+
+    /// Bounding rectangle of all photo locations (None if empty).
+    pub fn extent(&self) -> Option<Rect> {
+        Rect::bounding(self.photos.iter().map(|p| p.pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_common::KeywordId;
+
+    fn tags(ids: &[u32]) -> KeywordSet {
+        KeywordSet::from_ids(ids.iter().map(|&i| KeywordId(i)))
+    }
+
+    #[test]
+    fn add_and_get() {
+        let mut c = PhotoCollection::new();
+        let id = c.add(Point::new(1.0, 2.0), tags(&[3, 4]));
+        assert_eq!(id.index(), 0);
+        assert_eq!(c.get(id).pos, Point::new(1.0, 2.0));
+        assert!(c.get(id).tags.contains(KeywordId(3)));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn extent() {
+        let mut c = PhotoCollection::new();
+        assert!(c.extent().is_none());
+        c.add(Point::new(0.0, 0.0), tags(&[]));
+        c.add(Point::new(2.0, -1.0), tags(&[]));
+        let e = c.extent().unwrap();
+        assert_eq!(e.min, Point::new(0.0, -1.0));
+        assert_eq!(e.max, Point::new(2.0, 0.0));
+    }
+}

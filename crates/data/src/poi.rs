@@ -1,0 +1,139 @@
+//! Points of Interest.
+
+use soi_common::PoiId;
+use soi_geo::{Point, Rect};
+use soi_text::KeywordSet;
+
+/// A Point of Interest: `p = ⟨(x_p, y_p), Ψ_p⟩` (Sec. 3.1).
+///
+/// The `weight` field implements the remark after Definition 1 ("this
+/// definition can be straightforwardly adapted in the case that POIs have
+/// different weights"): mass sums weights instead of counting. The default
+/// weight 1.0 recovers the paper's counting semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Poi {
+    /// The POI's identifier (dense index into its collection).
+    pub id: PoiId,
+    /// Location.
+    pub pos: Point,
+    /// Keyword set `Ψ_p` (from name, description, tags).
+    pub keywords: KeywordSet,
+    /// Importance weight (1.0 = plain counting).
+    pub weight: f64,
+}
+
+/// A dense, id-indexed collection of POIs.
+#[derive(Debug, Clone, Default)]
+pub struct PoiCollection {
+    pois: Vec<Poi>,
+}
+
+impl PoiCollection {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a POI with weight 1.0 and returns its id.
+    pub fn add(&mut self, pos: Point, keywords: KeywordSet) -> PoiId {
+        self.add_weighted(pos, keywords, 1.0)
+    }
+
+    /// Adds a POI with an explicit weight and returns its id.
+    pub fn add_weighted(&mut self, pos: Point, keywords: KeywordSet, weight: f64) -> PoiId {
+        let id = PoiId::from_index(self.pois.len());
+        self.pois.push(Poi {
+            id,
+            pos,
+            keywords,
+            weight,
+        });
+        id
+    }
+
+    /// The POI with id `id`.
+    #[inline]
+    pub fn get(&self, id: PoiId) -> &Poi {
+        &self.pois[id.index()]
+    }
+
+    /// Number of POIs.
+    pub fn len(&self) -> usize {
+        self.pois.len()
+    }
+
+    /// Returns true if the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pois.is_empty()
+    }
+
+    /// Iterates over POIs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Poi> {
+        self.pois.iter()
+    }
+
+    /// Bounding rectangle of all POI locations (None if empty).
+    pub fn extent(&self) -> Option<Rect> {
+        Rect::bounding(self.pois.iter().map(|p| p.pos))
+    }
+
+    /// Counts POIs whose keyword set intersects `query`
+    /// (the dataset-wide "relevant POIs" count of Table 4).
+    pub fn count_relevant(&self, query: &KeywordSet) -> usize {
+        self.pois
+            .iter()
+            .filter(|p| p.keywords.intersects(query))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_common::KeywordId;
+
+    fn kws(ids: &[u32]) -> KeywordSet {
+        KeywordSet::from_ids(ids.iter().map(|&i| KeywordId(i)))
+    }
+
+    #[test]
+    fn add_assigns_dense_ids() {
+        let mut c = PoiCollection::new();
+        let a = c.add(Point::new(0.0, 0.0), kws(&[1]));
+        let b = c.add(Point::new(1.0, 1.0), kws(&[2]));
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(a).pos, Point::new(0.0, 0.0));
+        assert_eq!(c.get(a).weight, 1.0);
+    }
+
+    #[test]
+    fn weighted_add() {
+        let mut c = PoiCollection::new();
+        let id = c.add_weighted(Point::new(0.0, 0.0), kws(&[1]), 2.5);
+        assert_eq!(c.get(id).weight, 2.5);
+    }
+
+    #[test]
+    fn extent_covers_all() {
+        let mut c = PoiCollection::new();
+        assert!(c.extent().is_none());
+        c.add(Point::new(-1.0, 2.0), kws(&[]));
+        c.add(Point::new(3.0, 0.0), kws(&[]));
+        let e = c.extent().unwrap();
+        assert_eq!(e.min, Point::new(-1.0, 0.0));
+        assert_eq!(e.max, Point::new(3.0, 2.0));
+    }
+
+    #[test]
+    fn count_relevant_uses_intersection() {
+        let mut c = PoiCollection::new();
+        c.add(Point::new(0.0, 0.0), kws(&[1, 2]));
+        c.add(Point::new(0.0, 0.0), kws(&[3]));
+        c.add(Point::new(0.0, 0.0), kws(&[]));
+        assert_eq!(c.count_relevant(&kws(&[2, 3])), 2);
+        assert_eq!(c.count_relevant(&kws(&[9])), 0);
+        assert_eq!(c.count_relevant(&kws(&[])), 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests for the GeoJSON writer: any string content must
+//! produce well-formed JSON.
+
+use proptest::prelude::*;
+use soi_data::geojson::{escape_json, feature_collection, Feature};
+
+/// A minimal JSON well-formedness check: string-aware bracket matching.
+fn is_balanced_json(s: &str) -> bool {
+    let mut stack = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            } else if (c as u32) < 0x20 {
+                return false; // raw control char inside a string
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => stack.push(c),
+            '}' if stack.pop() != Some('{') => return false,
+            ']' if stack.pop() != Some('[') => return false,
+            '}' | ']' => {}
+            _ => {}
+        }
+    }
+    !in_string && stack.is_empty()
+}
+
+proptest! {
+    #[test]
+    fn escaping_roundtrips_structure(raw in ".*") {
+        let escaped = escape_json(&raw);
+        // Embedding the escaped text in a JSON string must stay well formed.
+        let doc = format!("{{\"v\":\"{escaped}\"}}");
+        prop_assert!(is_balanced_json(&doc), "broken doc: {doc}");
+    }
+
+    #[test]
+    fn features_with_arbitrary_props_are_well_formed(
+        name in ".*",
+        x in -1e6f64..1e6,
+        y in -1e6f64..1e6,
+        score in proptest::num::f64::ANY,
+    ) {
+        let f = Feature::point(x, y)
+            .prop("name", name)
+            .prop("score", if score.is_finite() { score } else { 0.0 });
+        let doc = feature_collection(&[f]);
+        prop_assert!(is_balanced_json(&doc), "broken doc: {doc}");
+        let head = "{\"type\":\"FeatureCollection\"";
+        prop_assert!(doc.starts_with(head));
+    }
+
+    #[test]
+    fn line_strings_of_any_length_are_well_formed(
+        coords in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 0..20),
+    ) {
+        let f = Feature::line_string(coords).prop("kind", "test");
+        let doc = feature_collection(&[f]);
+        prop_assert!(is_balanced_json(&doc));
+    }
+}

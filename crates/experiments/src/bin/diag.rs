@@ -1,0 +1,20 @@
+//! Work-counter diagnostics for the SOI algorithm (development tool).
+
+fn main() {
+    let cities = soi_experiments::standard_cities(soi_experiments::default_scale());
+    let f = &cities[0];
+    for k in [10usize, 50, 100, 200] {
+        let q = soi_core::soi::SoiQuery::new(
+            f.dataset.query_keywords(&["religion", "education", "food"]), k, 0.0005).unwrap();
+        let t = std::time::Instant::now();
+        let out = soi_core::soi::run_soi(&f.dataset.network, &f.dataset.pois, &f.index, &q,
+            &soi_core::soi::SoiConfig::default());
+        let el = t.elapsed();
+        let s = &out.stats;
+        println!("k={k}: {el:?} construct={:?} filter={:?} refine={:?} accesses={} seen={} bounded_out={} cell_visits={} total_segs={}",
+            s.timer.duration("construction"), s.timer.duration("filtering"),
+            s.timer.duration("refinement"),
+            s.accesses, s.segments_seen, s.segments_bounded_out, s.cell_visits,
+            f.dataset.network.num_segments());
+    }
+}

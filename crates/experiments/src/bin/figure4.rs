@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure4 on the synthetic cities.
+
+fn main() {
+    let scale = soi_experiments::default_scale();
+    eprintln!("loading cities at scale {scale} (set SOI_SCALE to change)...");
+    let cities = soi_experiments::standard_cities(scale);
+    let report = soi_experiments::experiments::figure4::run(&cities);
+    println!("{}", report.to_markdown());
+}

@@ -1,0 +1,69 @@
+//! One runner per table/figure of the paper's evaluation section.
+
+pub mod figure4;
+pub mod figure5;
+pub mod figure6;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+/// A rendered experiment report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Short identifier, e.g. `"Table 2"`.
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Markdown body (tables plus commentary).
+    pub body: String,
+}
+
+impl Report {
+    /// Renders the report as a markdown section.
+    pub fn to_markdown(&self) -> String {
+        format!("## {} — {}\n\n{}\n", self.id, self.title, self.body)
+    }
+}
+
+/// Helpers shared by the describe-side experiments.
+pub(crate) mod describe_setup {
+    use crate::fixture::{CityFixture, EPS, RHO};
+    use soi_common::StreetId;
+    use soi_core::describe::{ContextBuilder, PhiSource, StreetContext};
+    use soi_core::soi::{run_soi, SoiConfig, SoiQuery};
+
+    /// The top-1 "shop" street of a city (falls back to the first planted
+    /// destination if the query returns nothing).
+    pub fn top_shop_street(fixture: &CityFixture) -> StreetId {
+        let query = SoiQuery::new(fixture.dataset.query_keywords(&["shop"]), 1, EPS)
+            .expect("valid query");
+        let out = run_soi(
+            &fixture.dataset.network,
+            &fixture.dataset.pois,
+            &fixture.index,
+            &query,
+            &SoiConfig::default(),
+        );
+        out.results
+            .first()
+            .map(|r| r.street)
+            .or_else(|| fixture.truth.for_category("shop").first().copied())
+            .expect("city has streets")
+    }
+
+    /// Builds the description context for a street with the paper's
+    /// parameters (ε = 0.0005, ρ = 0.0001, Φs from photos).
+    pub fn context_for(fixture: &CityFixture, street: StreetId) -> StreetContext {
+        ContextBuilder {
+            network: &fixture.dataset.network,
+            photos: &fixture.dataset.photos,
+            photo_grid: &fixture.photo_grid,
+            pois: Some(&fixture.dataset.pois),
+            eps: EPS,
+            rho: RHO,
+            phi_source: PhiSource::Photos,
+        }
+        .build(street)
+    }
+}

@@ -1,0 +1,68 @@
+//! Table 2: effectiveness of SOI identification ("shops" in Berlin).
+
+use crate::experiments::Report;
+use crate::fixture::{CityFixture, EPS};
+use crate::paper::TABLE2_RECALL;
+use crate::table::TextTable;
+use soi_core::soi::{run_soi, SoiConfig, SoiQuery};
+
+/// Runs the 10-SOI "shop" query on the Berlin-like city and measures recall
+/// against the planted destination streets (the stand-in for the paper's
+/// two authoritative web source lists).
+pub fn run(cities: &[CityFixture]) -> Report {
+    let fixture = cities
+        .iter()
+        .find(|c| c.name() == "berlin")
+        .unwrap_or(&cities[0]);
+    let truth = fixture.truth.for_category("shop");
+    let query = SoiQuery::new(fixture.dataset.query_keywords(&["shop"]), 10, EPS)
+        .expect("valid query");
+    let out = run_soi(
+        &fixture.dataset.network,
+        &fixture.dataset.pois,
+        &fixture.index,
+        &query,
+        &SoiConfig::default(),
+    );
+
+    let mut t = TextTable::new(["Rank", "Street", "Interest", "Planted destination?"]);
+    let mut hits = 0usize;
+    for (rank, r) in out.results.iter().enumerate() {
+        let hit = truth.contains(&r.street);
+        if hit {
+            hits += 1;
+        }
+        t.row([
+            (rank + 1).to_string(),
+            fixture.dataset.network.street(r.street).name.clone(),
+            format!("{:.1}", r.interest),
+            if hit { "yes".into() } else { String::new() },
+        ]);
+    }
+    let recall = if truth.is_empty() {
+        0.0
+    } else {
+        hits as f64 / truth.len() as f64
+    };
+
+    let body = format!(
+        "Query: Ψ = {{shop}}, k = 10, ε = {EPS}° on {}. Ground truth: the \
+         {} planted shopping-destination streets (substituting the paper's \
+         two authoritative web lists).\n\n{}\n\
+         **Recall@10: {:.2}** (paper: {:.2} against each web source; \
+         the paper argues its effective recall is higher since several \
+         \"false positives\" were genuine shopping streets — the same \
+         applies here, where non-planted streets can organically \
+         accumulate shop POIs).\n",
+        fixture.name(),
+        truth.len(),
+        t.to_markdown(),
+        recall,
+        TABLE2_RECALL,
+    );
+    Report {
+        id: "Table 2",
+        title: "Identified top SOIs for \"shop\" vs. ground truth",
+        body,
+    }
+}

@@ -1,0 +1,78 @@
+//! Table 3: objective scores of the nine selection methods.
+
+use crate::experiments::describe_setup::{context_for, top_shop_street};
+use crate::experiments::Report;
+use crate::fixture::CityFixture;
+use crate::paper::TABLE3;
+use crate::table::TextTable;
+use soi_core::describe::{objective, st_rel_div, DescribeParams, MethodSpec};
+
+/// Photos per summary (the paper's Fig. 3 summaries use 3–4 photos; we use
+/// 5 to give the objective more signal).
+const SUMMARY_K: usize = 5;
+
+/// For the top "shop" SOI of each city, selects a photo summary with each
+/// of the nine methods and scores all selections with the balanced
+/// objective (Eq. 2, λ = w = 0.5), normalised by ST_Rel+Div's score.
+pub fn run(cities: &[CityFixture]) -> Report {
+    let eval = DescribeParams::new(SUMMARY_K, 0.5, 0.5).expect("valid");
+
+    // Per city: evaluate every method.
+    let mut scores: Vec<Vec<f64>> = Vec::new(); // [method][city]
+    for _ in MethodSpec::all() {
+        scores.push(vec![0.0; cities.len()]);
+    }
+    for (ci, fixture) in cities.iter().enumerate() {
+        let street = top_shop_street(fixture);
+        let ctx = context_for(fixture, street);
+        for (mi, method) in MethodSpec::all().iter().enumerate() {
+            let params = method.params(SUMMARY_K, 0.5, 0.5);
+            let out = st_rel_div(&ctx, &fixture.dataset.photos, &params);
+            scores[mi][ci] = objective(&ctx, &fixture.dataset.photos, &eval, &out.selected);
+        }
+    }
+
+    // Normalise by ST_Rel+Div (last method).
+    let reference = scores.last().expect("nine methods").clone();
+    let mut t = TextTable::new({
+        let mut h = vec!["Method".to_string()];
+        for c in cities {
+            h.push(format!("{} (ours)", c.name()));
+            h.push(format!("{} (paper)", c.name()));
+        }
+        h
+    });
+    for (mi, method) in MethodSpec::all().iter().enumerate() {
+        let mut row = vec![method.name().to_string()];
+        let paper_row = TABLE3.iter().find(|(m, _)| *m == method.name());
+        for (ci, _) in cities.iter().enumerate() {
+            let normalised = if reference[ci] > 0.0 {
+                scores[mi][ci] / reference[ci]
+            } else {
+                0.0
+            };
+            row.push(format!("{normalised:.3}"));
+            row.push(
+                paper_row.map_or("-".into(), |(_, vals)| {
+                    vals.get(ci).map_or("-".into(), |v| format!("{v:.3}"))
+                }),
+            );
+        }
+        t.row(row);
+    }
+
+    let body = format!(
+        "Each method selects a {SUMMARY_K}-photo summary of the top \"shop\" \
+         SOI per city; all summaries are scored with the balanced objective \
+         (Eq. 2, λ = 0.5, w = 0.5) and normalised by ST_Rel+Div's score. \
+         The reproduced claim: ST_Rel+Div attains the maximum (1.000) in \
+         every city, relevance-only methods trail badly, and there is no \
+         consistent runner-up.\n\n{}",
+        t.to_markdown()
+    );
+    Report {
+        id: "Table 3",
+        title: "Objective scores of the nine photo-selection methods",
+        body,
+    }
+}

@@ -1,0 +1,118 @@
+//! Shared dataset fixtures for the experiments.
+
+use soi_data::Dataset;
+use soi_datagen::{berlin, generate, london, vienna, CityConfig, GroundTruth};
+use soi_index::{PhotoGrid, PoiIndex};
+use std::time::{Duration, Instant};
+
+/// The paper's distance threshold ε = 0.0005° (≈ 55 m).
+pub const EPS: f64 = 0.0005;
+
+/// The paper's neighbourhood radius ρ = 0.0001°.
+pub const RHO: f64 = 0.0001;
+
+/// Grid cell size of the POI index (the paper leaves it free; 2ε keeps the
+/// ε-dilation of a segment to a handful of cells).
+pub const POI_CELL_SIZE: f64 = 2.0 * EPS;
+
+/// Grid cell size of the dataset-wide photo grid.
+pub const PHOTO_CELL_SIZE: f64 = 2.0 * EPS;
+
+/// A generated city with its indexes built.
+pub struct CityFixture {
+    /// The generated dataset.
+    pub dataset: Dataset,
+    /// Planted ground truth.
+    pub truth: GroundTruth,
+    /// The spatio-textual POI index.
+    pub index: PoiIndex,
+    /// The dataset-wide photo grid.
+    pub photo_grid: PhotoGrid,
+}
+
+impl CityFixture {
+    /// Generates the dataset for `config` and builds its indexes.
+    pub fn load(config: &CityConfig) -> Self {
+        let (dataset, truth) = generate(config);
+        let index = PoiIndex::build(&dataset.network, &dataset.pois, POI_CELL_SIZE);
+        let photo_grid = PhotoGrid::build(&dataset.network, &dataset.photos, PHOTO_CELL_SIZE);
+        Self {
+            dataset,
+            truth,
+            index,
+            photo_grid,
+        }
+    }
+
+    /// The city name.
+    pub fn name(&self) -> &str {
+        &self.dataset.name
+    }
+}
+
+/// Reads the dataset scale from `SOI_SCALE` (default 0.2 — dense enough
+/// for the SOI bounds to prune, as on the paper's full-size datasets).
+pub fn default_scale() -> f64 {
+    std::env::var("SOI_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|s| *s > 0.0 && *s <= 1.0)
+        .unwrap_or(0.2)
+}
+
+/// Loads the three standard cities (London, Berlin, Vienna) in parallel.
+pub fn standard_cities(scale: f64) -> Vec<CityFixture> {
+    let configs = [london(scale), berlin(scale), vienna(scale)];
+    let mut slots: Vec<Option<CityFixture>> = (0..configs.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        for (slot, config) in slots.iter_mut().zip(configs.iter()) {
+            s.spawn(move |_| {
+                *slot = Some(CityFixture::load(config));
+            });
+        }
+    })
+    .expect("city loader thread panicked");
+    slots.into_iter().map(|s| s.expect("loaded")).collect()
+}
+
+/// Runs `f` `reps` times and returns the median wall-clock duration together
+/// with the last return value.
+pub fn median_time<T>(reps: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    assert!(reps >= 1);
+    let mut times = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        last = Some(f());
+        times.push(start.elapsed());
+    }
+    times.sort();
+    (times[times.len() / 2], last.expect("reps >= 1"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_loads_tiny_city() {
+        let fixture = CityFixture::load(&vienna(0.005));
+        assert_eq!(fixture.name(), "vienna");
+        assert!(fixture.dataset.network.num_segments() > 0);
+        assert!(fixture.index.num_occupied_cells() > 0);
+    }
+
+    #[test]
+    fn default_scale_parses_env() {
+        // Cannot mutate the environment safely in tests; just check range.
+        let s = default_scale();
+        assert!(s > 0.0 && s <= 1.0);
+    }
+
+    #[test]
+    fn median_time_returns_value() {
+        let (d, v) = median_time(3, || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() < 1_000_000_000);
+    }
+}

@@ -1,0 +1,23 @@
+//! Experiment harness for the EDBT 2016 "Streets of Interest" paper.
+//!
+//! One module per table/figure of the paper's evaluation (Sec. 5); each
+//! regenerates the corresponding rows/series on the synthetic city
+//! datasets. Binaries `table1`..`figure6` run single experiments; `all`
+//! runs everything and emits an `EXPERIMENTS.md`-ready report.
+//!
+//! Scale: the `SOI_SCALE` environment variable (default 0.1) scales the
+//! synthetic cities relative to the paper's dataset sizes (Table 1).
+//! Absolute runtimes are not comparable to the paper (different hardware,
+//! language, and data); the reproduced claims are the *relative* results —
+//! who wins, by what factor, and how trends move with each parameter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fixture;
+pub mod paper;
+pub mod table;
+
+pub use fixture::{default_scale, standard_cities, CityFixture, EPS, RHO};
+pub use table::TextTable;

@@ -1,0 +1,113 @@
+//! Reference numbers reported by the paper, for side-by-side comparison.
+
+/// One row of the paper's Table 1 (dataset statistics).
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Row {
+    /// City name.
+    pub city: &'static str,
+    /// Number of street segments.
+    pub segments: usize,
+    /// Minimum segment length in metres.
+    pub min_len_m: f64,
+    /// Maximum segment length in metres.
+    pub max_len_m: f64,
+    /// Number of POIs.
+    pub pois: usize,
+}
+
+/// The paper's Table 1.
+pub const TABLE1: &[Table1Row] = &[
+    Table1Row {
+        city: "london",
+        segments: 113_885,
+        min_len_m: 0.93,
+        max_len_m: 5_834.71,
+        pois: 2_114_264,
+    },
+    Table1Row {
+        city: "berlin",
+        segments: 47_755,
+        min_len_m: 0.06,
+        max_len_m: 6_312.96,
+        pois: 797_244,
+    },
+    Table1Row {
+        city: "vienna",
+        segments: 22_211,
+        min_len_m: 1.35,
+        max_len_m: 9_913.42,
+        pois: 408_712,
+    },
+];
+
+/// Degrees → metres at ~52°N (the paper's ε = 0.0005° ≈ 55 m).
+pub const METERS_PER_DEGREE: f64 = 111_320.0;
+
+/// The paper's Table 2 recall of the 10-SOI "shop" query against each
+/// authoritative source list (4 of 5 streets found).
+pub const TABLE2_RECALL: f64 = 0.8;
+
+/// The paper's Table 3: normalised objective scores per method and city
+/// (λ = 0.5, w = 0.5), in `MethodSpec::all()` order.
+pub const TABLE3: &[(&str, [f64; 3])] = &[
+    // (method, [london, berlin, vienna])
+    ("S_Rel", [0.831, 0.726, 0.508]),
+    ("S_Div", [0.923, 0.982, 0.961]),
+    ("S_Rel+Div", [0.982, 0.953, 0.911]),
+    ("T_Rel", [0.708, 0.367, 0.219]),
+    ("T_Div", [0.831, 0.811, 0.895]),
+    ("T_Rel+Div", [0.949, 0.848, 0.919]),
+    ("ST_Rel", [0.776, 0.367, 0.279]),
+    ("ST_Div", [0.913, 0.986, 0.961]),
+    ("ST_Rel+Div", [1.000, 1.000, 1.000]),
+];
+
+/// The paper's Table 4: relevant POIs per |Ψ| (cumulative keyword prefix
+/// religion, education, food, services).
+pub const TABLE4: &[(&str, [usize; 4])] = &[
+    ("london", [10_445, 32_682, 113_211, 202_127]),
+    ("berlin", [1_969, 10_506, 47_950, 78_310]),
+    ("vienna", [1_678, 7_660, 25_695, 41_484]),
+];
+
+/// Qualitative claims of Figure 4: SOI outperforms BL by these factor
+/// ranges when varying k.
+pub const FIG4_SPEEDUP_VARY_K: &[(&str, f64, f64)] = &[
+    ("london", 2.1, 3.2),
+    ("berlin", 1.6, 2.1),
+    ("vienna", 1.1, 2.5),
+];
+
+/// Figure 6 claim: ST_Rel+Div outperforms BL by a factor of 2 up to 64.
+pub const FIG6_SPEEDUP_RANGE: (f64, f64) = (2.0, 64.0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_is_complete() {
+        assert_eq!(TABLE1.len(), 3);
+        assert_eq!(TABLE1[0].segments, 113_885);
+    }
+
+    #[test]
+    fn table3_winner_is_st_rel_div() {
+        let st = TABLE3.last().unwrap();
+        assert_eq!(st.0, "ST_Rel+Div");
+        for (method, scores) in TABLE3 {
+            for (i, s) in scores.iter().enumerate() {
+                assert!(*s <= st.1[i] + 1e-12, "{method} beats ST_Rel+Div in city {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn table4_counts_grow_with_keywords() {
+        for (city, counts) in TABLE4 {
+            for w in counts.windows(2) {
+                assert!(w[0] < w[1], "{city}: counts not increasing");
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Plain-text table formatting for experiment output.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.header.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.header {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+
+    /// Renders as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i] - cell.chars().count();
+                line.push_str(cell);
+                line.push_str(&" ".repeat(pad + 2));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a duration in adaptive units (µs/ms/s).
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.0}µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1000.0)
+    } else {
+        format!("{:.3}s", us / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_markdown_and_text() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["long-name-entry", "22"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| name | value |"));
+        assert_eq!(md.lines().count(), 4);
+        let text = t.to_text();
+        assert!(text.contains("long-name-entry"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["x"]);
+        assert!(t.to_markdown().contains("| x |  |  |"));
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(fmt_duration(Duration::from_micros(500)), "500µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000s");
+    }
+}

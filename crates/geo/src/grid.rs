@@ -1,0 +1,426 @@
+//! A uniform grid with half-open cells.
+//!
+//! Both of the paper's index structures are built on a uniform spatial grid:
+//! the POI index of Section 3.2.1 ("a spatial grid index with arbitrary cell
+//! size") and the photo index of Section 4.2.1 (cell side ρ/2). This module
+//! provides the shared grid geometry:
+//!
+//! - point → cell assignment with **half-open** cells
+//!   `[x₀+i·h, x₀+(i+1)·h) × [y₀+j·h, y₀+(j+1)·h)`, so every point belongs to
+//!   exactly one cell and the 5×5-neighbourhood bound of Eq. 12 is a true
+//!   upper bound;
+//! - cell ↔ linear [`CellId`] mapping (row-major);
+//! - rectangle and ε-dilated-segment → cell-range queries, used to build the
+//!   augmented `Lε(c)` / `Cε(ℓ)` maps.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::segment::LineSeg;
+use soi_common::CellId;
+
+/// Integer coordinates of a grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CellCoord {
+    /// Column index (0-based).
+    pub ix: u32,
+    /// Row index (0-based).
+    pub iy: u32,
+}
+
+impl CellCoord {
+    /// Creates a cell coordinate.
+    #[inline]
+    pub const fn new(ix: u32, iy: u32) -> Self {
+        Self { ix, iy }
+    }
+
+    /// Chebyshev (max-axis) distance in cells to another coordinate.
+    #[inline]
+    pub fn chebyshev(self, other: CellCoord) -> u32 {
+        let dx = (self.ix as i64 - other.ix as i64).unsigned_abs();
+        let dy = (self.iy as i64 - other.iy as i64).unsigned_abs();
+        dx.max(dy) as u32
+    }
+}
+
+/// A uniform grid over a rectangular extent.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Grid {
+    origin: Point,
+    cell_size: f64,
+    nx: u32,
+    ny: u32,
+}
+
+impl Grid {
+    /// Creates a grid with the given origin, cell size, and cell counts.
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not strictly positive or a cell count is 0.
+    pub fn new(origin: Point, cell_size: f64, nx: u32, ny: u32) -> Self {
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "cell_size must be positive and finite"
+        );
+        assert!(nx > 0 && ny > 0, "grid must have at least one cell per axis");
+        assert!(
+            (nx as u64) * (ny as u64) <= u32::MAX as u64,
+            "grid too large for CellId"
+        );
+        Self {
+            origin,
+            cell_size,
+            nx,
+            ny,
+        }
+    }
+
+    /// Creates the smallest grid of `cell_size` cells that covers `extent`,
+    /// with one extra cell per axis so that points on the maximum boundary
+    /// still fall strictly inside a cell.
+    pub fn covering(extent: Rect, cell_size: f64) -> Self {
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "cell_size must be positive and finite"
+        );
+        let nx = (extent.width() / cell_size).ceil() as u32 + 1;
+        let ny = (extent.height() / cell_size).ceil() as u32 + 1;
+        Self::new(extent.min, cell_size, nx.max(1), ny.max(1))
+    }
+
+    /// Grid origin (minimum corner).
+    #[inline]
+    pub fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// Side length of each (square) cell.
+    #[inline]
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn nx(&self) -> u32 {
+        self.nx
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn ny(&self) -> u32 {
+        self.ny
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.nx as usize * self.ny as usize
+    }
+
+    /// The full extent covered by the grid.
+    pub fn extent(&self) -> Rect {
+        Rect::new(
+            self.origin,
+            Point::new(
+                self.origin.x + self.nx as f64 * self.cell_size,
+                self.origin.y + self.ny as f64 * self.cell_size,
+            ),
+        )
+    }
+
+    /// Linearises a cell coordinate (row-major).
+    #[inline]
+    pub fn cell_id(&self, c: CellCoord) -> CellId {
+        debug_assert!(c.ix < self.nx && c.iy < self.ny, "cell out of range");
+        CellId(c.iy * self.nx + c.ix)
+    }
+
+    /// Inverse of [`Grid::cell_id`].
+    #[inline]
+    pub fn coord_of(&self, id: CellId) -> CellCoord {
+        let raw = id.raw();
+        debug_assert!((raw as usize) < self.num_cells(), "cell id out of range");
+        CellCoord::new(raw % self.nx, raw / self.nx)
+    }
+
+    /// The cell containing `p` under half-open semantics, or `None` if `p`
+    /// lies outside the grid extent.
+    #[inline]
+    pub fn cell_containing(&self, p: Point) -> Option<CellCoord> {
+        let fx = ((p.x - self.origin.x) / self.cell_size).floor();
+        let fy = ((p.y - self.origin.y) / self.cell_size).floor();
+        if fx < 0.0 || fy < 0.0 || fx >= self.nx as f64 || fy >= self.ny as f64 {
+            return None;
+        }
+        Some(CellCoord::new(fx as u32, fy as u32))
+    }
+
+    /// The closed rectangle spanned by cell `c`.
+    ///
+    /// Membership is half-open (the max edges belong to the next cell), but
+    /// distance queries treat the rect as closed, which keeps lower bounds
+    /// conservative.
+    #[inline]
+    pub fn cell_rect(&self, c: CellCoord) -> Rect {
+        let min = Point::new(
+            self.origin.x + c.ix as f64 * self.cell_size,
+            self.origin.y + c.iy as f64 * self.cell_size,
+        );
+        Rect::new(
+            min,
+            Point::new(min.x + self.cell_size, min.y + self.cell_size),
+        )
+    }
+
+    /// Inclusive cell-coordinate ranges of cells overlapping `r`, clipped to
+    /// the grid. Returns `None` if `r` lies entirely outside.
+    fn clip_range(&self, r: &Rect) -> Option<(u32, u32, u32, u32)> {
+        let x0 = ((r.min.x - self.origin.x) / self.cell_size).floor();
+        let y0 = ((r.min.y - self.origin.y) / self.cell_size).floor();
+        let x1 = ((r.max.x - self.origin.x) / self.cell_size).floor();
+        let y1 = ((r.max.y - self.origin.y) / self.cell_size).floor();
+        if x1 < 0.0 || y1 < 0.0 || x0 >= self.nx as f64 || y0 >= self.ny as f64 {
+            return None;
+        }
+        let x0 = x0.max(0.0) as u32;
+        let y0 = y0.max(0.0) as u32;
+        let x1 = (x1.min((self.nx - 1) as f64)) as u32;
+        let y1 = (y1.min((self.ny - 1) as f64)) as u32;
+        Some((x0, y0, x1, y1))
+    }
+
+    /// Inclusive `(x0, y0, x1, y1)` cell-index range of cells overlapping
+    /// `r`, clipped to the grid (`None` if fully outside).
+    pub fn cell_range_in_rect(&self, r: &Rect) -> Option<(u32, u32, u32, u32)> {
+        self.clip_range(r)
+    }
+
+    /// Number of cells whose (closed) rect overlaps rectangle `r` — the
+    /// O(1) counting version of [`Grid::cells_in_rect`].
+    pub fn count_cells_in_rect(&self, r: &Rect) -> usize {
+        match self.clip_range(r) {
+            Some((x0, y0, x1, y1)) => ((x1 - x0 + 1) as usize) * ((y1 - y0 + 1) as usize),
+            None => 0,
+        }
+    }
+
+    /// All cells whose (closed) rect overlaps rectangle `r`, row-major order.
+    pub fn cells_in_rect(&self, r: &Rect) -> Vec<CellCoord> {
+        let Some((x0, y0, x1, y1)) = self.clip_range(r) else {
+            return Vec::new();
+        };
+        let mut out =
+            Vec::with_capacity(((x1 - x0 + 1) as usize) * ((y1 - y0 + 1) as usize));
+        for iy in y0..=y1 {
+            for ix in x0..=x1 {
+                out.push(CellCoord::new(ix, iy));
+            }
+        }
+        out
+    }
+
+    /// All cells within distance `dist` of segment `seg`
+    /// (`mindist(cell, seg) ≤ dist`), in row-major order.
+    ///
+    /// This is the ε-dilation used to build `Cε(ℓ)`: every POI within `dist`
+    /// of the segment is guaranteed to lie in one of the returned cells.
+    pub fn cells_near_segment(&self, seg: &LineSeg, dist: f64) -> Vec<CellCoord> {
+        let bbox = seg.bounding_rect().expand(dist.max(0.0));
+        let Some((x0, y0, x1, y1)) = self.clip_range(&bbox) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for iy in y0..=y1 {
+            for ix in x0..=x1 {
+                let c = CellCoord::new(ix, iy);
+                if self.cell_rect(c).within_dist_of_segment(seg, dist) {
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Cells within Chebyshev radius `radius` of `c`, clipped to the grid,
+    /// in row-major order (includes `c` itself).
+    ///
+    /// The photo-index spatial-relevance upper bound (Eq. 12) sums counts
+    /// over the radius-2 neighbourhood.
+    pub fn neighborhood(&self, c: CellCoord, radius: u32) -> Vec<CellCoord> {
+        let x0 = c.ix.saturating_sub(radius);
+        let y0 = c.iy.saturating_sub(radius);
+        let x1 = (c.ix + radius).min(self.nx - 1);
+        let y1 = (c.iy + radius).min(self.ny - 1);
+        let mut out = Vec::with_capacity(((x1 - x0 + 1) as usize) * ((y1 - y0 + 1) as usize));
+        for iy in y0..=y1 {
+            for ix in x0..=x1 {
+                out.push(CellCoord::new(ix, iy));
+            }
+        }
+        out
+    }
+
+    /// Iterates over every cell coordinate, row-major.
+    pub fn all_cells(&self) -> impl Iterator<Item = CellCoord> + '_ {
+        (0..self.ny).flat_map(move |iy| (0..self.nx).map(move |ix| CellCoord::new(ix, iy)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_grid() -> Grid {
+        // 4x3 grid of unit cells with origin at (0,0).
+        Grid::new(Point::ORIGIN, 1.0, 4, 3)
+    }
+
+    #[test]
+    fn cell_assignment_is_half_open() {
+        let g = unit_grid();
+        assert_eq!(g.cell_containing(Point::new(0.0, 0.0)), Some(CellCoord::new(0, 0)));
+        // A point exactly on an interior boundary belongs to the next cell.
+        assert_eq!(g.cell_containing(Point::new(1.0, 0.5)), Some(CellCoord::new(1, 0)));
+        assert_eq!(g.cell_containing(Point::new(0.5, 2.0)), Some(CellCoord::new(0, 2)));
+        // Outside the extent.
+        assert_eq!(g.cell_containing(Point::new(-0.1, 0.0)), None);
+        assert_eq!(g.cell_containing(Point::new(4.0, 0.0)), None);
+        assert_eq!(g.cell_containing(Point::new(0.0, 3.0)), None);
+    }
+
+    #[test]
+    fn cell_id_roundtrip() {
+        let g = unit_grid();
+        for iy in 0..3 {
+            for ix in 0..4 {
+                let c = CellCoord::new(ix, iy);
+                assert_eq!(g.coord_of(g.cell_id(c)), c);
+            }
+        }
+        assert_eq!(g.cell_id(CellCoord::new(0, 0)).raw(), 0);
+        assert_eq!(g.cell_id(CellCoord::new(3, 2)).raw(), 11);
+        assert_eq!(g.num_cells(), 12);
+    }
+
+    #[test]
+    fn covering_includes_boundary_points() {
+        let extent = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 5.0));
+        let g = Grid::covering(extent, 1.0);
+        // Every point of the extent, including the max corner, maps to a cell.
+        assert!(g.cell_containing(Point::new(10.0, 5.0)).is_some());
+        assert!(g.cell_containing(Point::new(0.0, 0.0)).is_some());
+        assert!(g.extent().contains(Point::new(10.0, 5.0)));
+    }
+
+    #[test]
+    fn cell_rect_matches_assignment() {
+        let g = unit_grid();
+        let c = CellCoord::new(2, 1);
+        let r = g.cell_rect(c);
+        assert_eq!(r.min, Point::new(2.0, 1.0));
+        assert_eq!(r.max, Point::new(3.0, 2.0));
+        // Interior points of the rect map back to the cell.
+        assert_eq!(g.cell_containing(r.center()), Some(c));
+    }
+
+    #[test]
+    fn cells_in_rect_clips_to_grid() {
+        let g = unit_grid();
+        let all = g.cells_in_rect(&Rect::new(Point::new(-5.0, -5.0), Point::new(50.0, 50.0)));
+        assert_eq!(all.len(), 12);
+        let none = g.cells_in_rect(&Rect::new(Point::new(10.0, 10.0), Point::new(11.0, 11.0)));
+        assert!(none.is_empty());
+        let some = g.cells_in_rect(&Rect::new(Point::new(0.5, 0.5), Point::new(1.5, 0.6)));
+        assert_eq!(some, vec![CellCoord::new(0, 0), CellCoord::new(1, 0)]);
+    }
+
+    #[test]
+    fn count_cells_matches_enumeration() {
+        let g = unit_grid();
+        for rect in [
+            Rect::new(Point::new(-5.0, -5.0), Point::new(50.0, 50.0)),
+            Rect::new(Point::new(0.5, 0.5), Point::new(1.5, 0.6)),
+            Rect::new(Point::new(10.0, 10.0), Point::new(11.0, 11.0)),
+            Rect::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0)),
+        ] {
+            assert_eq!(g.count_cells_in_rect(&rect), g.cells_in_rect(&rect).len());
+        }
+    }
+
+    #[test]
+    fn cells_near_segment_covers_epsilon_band() {
+        let g = unit_grid();
+        // Horizontal segment through the middle of row 1.
+        let seg = LineSeg::new(Point::new(0.5, 1.5), Point::new(3.5, 1.5));
+        let near = g.cells_near_segment(&seg, 0.4);
+        // Only row 1 is within 0.4.
+        assert!(near.iter().all(|c| c.iy == 1));
+        assert_eq!(near.len(), 4);
+        // With dist 0.6, rows 0 and 2 are reachable too.
+        let wider = g.cells_near_segment(&seg, 0.6);
+        assert_eq!(wider.len(), 12);
+    }
+
+    #[test]
+    fn cells_near_segment_contains_cells_of_near_points() {
+        // Coverage invariant: any point within dist of the segment lies in a
+        // returned cell.
+        let g = Grid::new(Point::ORIGIN, 0.5, 20, 20);
+        let seg = LineSeg::new(Point::new(1.3, 2.7), Point::new(7.9, 6.1));
+        let dist = 0.9;
+        let cells = g.cells_near_segment(&seg, dist);
+        for i in 0..200 {
+            let t = i as f64 / 199.0;
+            let on = seg.a.lerp(seg.b, t);
+            // Offset perpendicular-ish by almost dist.
+            let p = Point::new(on.x + 0.6, on.y - 0.6);
+            if seg.dist_to_point(p) <= dist {
+                let c = g.cell_containing(p).expect("inside grid");
+                assert!(cells.contains(&c), "cell {c:?} missing for point {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_clips_at_edges() {
+        let g = unit_grid();
+        let n = g.neighborhood(CellCoord::new(0, 0), 2);
+        // 3x3 clipped corner block (radius 2 => 3 cols x 3 rows available).
+        assert_eq!(n.len(), 9);
+        assert!(n.contains(&CellCoord::new(0, 0)));
+        assert!(n.contains(&CellCoord::new(2, 2)));
+        let center = g.neighborhood(CellCoord::new(2, 1), 1);
+        assert_eq!(center.len(), 9);
+    }
+
+    #[test]
+    fn chebyshev_distance() {
+        assert_eq!(CellCoord::new(1, 1).chebyshev(CellCoord::new(4, 3)), 3);
+        assert_eq!(CellCoord::new(4, 3).chebyshev(CellCoord::new(1, 1)), 3);
+        assert_eq!(CellCoord::new(2, 2).chebyshev(CellCoord::new(2, 2)), 0);
+    }
+
+    #[test]
+    fn all_cells_enumerates_row_major() {
+        let g = Grid::new(Point::ORIGIN, 1.0, 2, 2);
+        let cells: Vec<CellCoord> = g.all_cells().collect();
+        assert_eq!(
+            cells,
+            vec![
+                CellCoord::new(0, 0),
+                CellCoord::new(1, 0),
+                CellCoord::new(0, 1),
+                CellCoord::new(1, 1),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_size must be positive")]
+    fn zero_cell_size_panics() {
+        Grid::new(Point::ORIGIN, 0.0, 1, 1);
+    }
+}

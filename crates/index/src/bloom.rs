@@ -1,0 +1,186 @@
+//! Bloom-filter keyword summaries for the hybrid spatio-textual tree.
+//!
+//! [`KeywordSummary`](crate::KeywordSummary) stores exact keyword unions in
+//! every R-tree node — precise, but a node near the root of a large tree
+//! can end up carrying most of the vocabulary. [`BloomSummary`] bounds the
+//! summary at a fixed 256 bits per node: membership tests may report false
+//! positives (descending into a fruitless subtree costs time, never
+//! correctness) but never false negatives (a subtree containing a match is
+//! never pruned).
+
+use soi_common::KeywordId;
+use soi_rtree::Summary;
+use soi_text::KeywordSet;
+
+use crate::ir_tree::PoiEntry;
+
+/// Number of 64-bit words in the filter (256 bits total).
+const WORDS: usize = 4;
+/// Hash probes per keyword.
+const PROBES: u32 = 2;
+
+/// A fixed-size Bloom filter over keyword ids.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BloomSummary {
+    bits: [u64; WORDS],
+}
+
+impl BloomSummary {
+    /// An empty filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn positions(k: KeywordId) -> [u32; PROBES as usize] {
+        // Two independent mixes of the keyword id (splitmix64-style).
+        let mut out = [0u32; PROBES as usize];
+        let mut x = (u64::from(k.raw()) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for slot in &mut out {
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^= x >> 31;
+            *slot = (x % (WORDS as u64 * 64)) as u32;
+        }
+        out
+    }
+
+    /// Inserts a keyword.
+    pub fn insert(&mut self, k: KeywordId) {
+        for pos in Self::positions(k) {
+            self.bits[(pos / 64) as usize] |= 1u64 << (pos % 64);
+        }
+    }
+
+    /// Membership test (false positives possible, no false negatives).
+    pub fn may_contain(&self, k: KeywordId) -> bool {
+        Self::positions(k)
+            .into_iter()
+            .all(|pos| self.bits[(pos / 64) as usize] & (1u64 << (pos % 64)) != 0)
+    }
+
+    /// Returns true if the filter *may* contain any keyword of `set`.
+    pub fn may_intersect(&self, set: &KeywordSet) -> bool {
+        set.iter().any(|k| self.may_contain(k))
+    }
+
+    /// Returns true if the filter *may* contain every keyword of `set`.
+    pub fn may_contain_all(&self, set: &KeywordSet) -> bool {
+        set.iter().all(|k| self.may_contain(k))
+    }
+}
+
+impl Summary<PoiEntry> for BloomSummary {
+    fn empty() -> Self {
+        Self::new()
+    }
+    fn add_item(&mut self, item: &PoiEntry) {
+        for k in item.keywords.iter() {
+            self.insert(k);
+        }
+    }
+    fn merge(&mut self, other: &Self) {
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a |= b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_data::PoiCollection;
+    use soi_geo::Point;
+    use soi_rtree::RTree;
+
+    fn kws(ids: &[u32]) -> KeywordSet {
+        KeywordSet::from_ids(ids.iter().map(|&i| KeywordId(i)))
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomSummary::new();
+        for k in 0..100u32 {
+            f.insert(KeywordId(k * 7));
+        }
+        for k in 0..100u32 {
+            assert!(f.may_contain(KeywordId(k * 7)));
+        }
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomSummary::new();
+        for k in 0..50u32 {
+            assert!(!f.may_contain(KeywordId(k)));
+        }
+        assert!(!f.may_intersect(&kws(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = BloomSummary::new();
+        a.insert(KeywordId(1));
+        let mut b = BloomSummary::new();
+        b.insert(KeywordId(2));
+        a.merge(&b);
+        assert!(a.may_contain(KeywordId(1)));
+        assert!(a.may_contain(KeywordId(2)));
+    }
+
+    #[test]
+    fn set_level_queries() {
+        let mut f = BloomSummary::new();
+        f.insert(KeywordId(3));
+        f.insert(KeywordId(5));
+        assert!(f.may_intersect(&kws(&[3, 9])));
+        assert!(f.may_contain_all(&kws(&[3, 5])));
+        // may_contain_all on an unknown keyword is (almost surely) false
+        // with a near-empty filter.
+        assert!(!f.may_contain_all(&kws(&[3, 40])));
+    }
+
+    #[test]
+    fn bloom_pruned_rtree_never_misses_matches() {
+        // Use the Bloom summary in a real R-tree and compare a pruned
+        // traversal against brute force: the filter may visit extra leaves
+        // but must find every true match.
+        let mut pois = PoiCollection::new();
+        for i in 0..300u32 {
+            pois.add(
+                Point::new((i % 20) as f64, (i / 20) as f64),
+                kws(&[i % 13, 100 + i % 7]),
+            );
+        }
+        let entries: Vec<crate::ir_tree::PoiEntry> = pois
+            .iter()
+            .map(|p| crate::ir_tree::PoiEntry {
+                id: p.id,
+                pos: p.pos,
+                keywords: p.keywords.clone(),
+            })
+            .collect();
+        let tree: RTree<crate::ir_tree::PoiEntry, BloomSummary> = RTree::bulk_load(entries);
+
+        for probe in [kws(&[0]), kws(&[5, 104]), kws(&[999])] {
+            let mut found: Vec<u32> = Vec::new();
+            tree.search_pruned(
+                |_, summary| summary.may_intersect(&probe),
+                |entry| {
+                    if entry.keywords.intersects(&probe) {
+                        found.push(entry.id.raw());
+                    }
+                },
+            );
+            found.sort_unstable();
+            let want: Vec<u32> = pois
+                .iter()
+                .filter(|p| p.keywords.intersects(&probe))
+                .map(|p| p.id.raw())
+                .collect();
+            assert_eq!(found, want);
+        }
+    }
+}

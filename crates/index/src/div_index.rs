@@ -1,0 +1,241 @@
+//! The per-street diversification index (paper Sec. 4.2.1).
+//!
+//! For a street `s` with photo set `Rs`, the ST_Rel+Div algorithm uses a
+//! grid with cell side ρ/2 where each cell stores: the photos in the cell,
+//! a local inverted index over their tags, and the minimum/maximum number of
+//! tags among the cell's photos (`c.ψmin`, `c.ψmax`). These feed the
+//! per-cell bounds of Eqs. 11–18.
+
+use soi_common::{CellId, FxHashMap, PhotoId};
+use soi_data::PhotoCollection;
+use soi_geo::{Grid, Point, Rect};
+use soi_text::{InvertedIndex, KeywordSet};
+
+/// One occupied cell of the diversification index.
+#[derive(Debug, Clone)]
+pub struct DivCell {
+    /// Photos in this cell, sorted by id (`c.R`).
+    pub photos: Vec<PhotoId>,
+    /// Local inverted index over the photos' tags (`c.I`).
+    pub inverted: InvertedIndex<PhotoId>,
+    /// Union of tags of the cell's photos (`c.Ψ`).
+    pub keywords: KeywordSet,
+    /// Minimum number of tags of any photo in the cell (`c.ψmin`).
+    pub psi_min: usize,
+    /// Maximum number of tags of any photo in the cell (`c.ψmax`).
+    pub psi_max: usize,
+}
+
+/// The grid index over one street's photo set `Rs`.
+#[derive(Debug)]
+pub struct DiversificationIndex {
+    grid: Grid,
+    cells: FxHashMap<CellId, DivCell>,
+    /// Occupied cell ids, ascending (deterministic iteration order).
+    occupied: Vec<CellId>,
+    num_photos: usize,
+}
+
+impl DiversificationIndex {
+    /// Builds the index over the photos `members ⊆ photos` with neighbourhood
+    /// radius `rho` (cell side becomes ρ/2 as in the paper).
+    ///
+    /// `members` must be sorted ascending by id (as produced by
+    /// [`PhotoGrid::photos_near_street`](crate::PhotoGrid::photos_near_street)).
+    ///
+    /// # Panics
+    /// Panics if `rho` is not strictly positive.
+    pub fn build(photos: &PhotoCollection, members: &[PhotoId], rho: f64) -> Self {
+        assert!(rho > 0.0 && rho.is_finite(), "rho must be positive");
+        debug_assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "members must be sorted ascending"
+        );
+        let cell_size = rho / 2.0;
+        let extent = Rect::bounding(members.iter().map(|&id| photos.get(id).pos))
+            .unwrap_or_else(|| Rect::new(Point::ORIGIN, Point::new(1.0, 1.0)));
+        let grid = Grid::covering(extent, cell_size);
+
+        let mut cells: FxHashMap<CellId, DivCell> = FxHashMap::default();
+        for &pid in members {
+            let photo = photos.get(pid);
+            let coord = grid
+                .cell_containing(photo.pos)
+                .expect("grid covers all member photos");
+            let id = grid.cell_id(coord);
+            let cell = cells.entry(id).or_insert_with(|| DivCell {
+                photos: Vec::new(),
+                inverted: InvertedIndex::new(),
+                keywords: KeywordSet::empty(),
+                psi_min: usize::MAX,
+                psi_max: 0,
+            });
+            cell.photos.push(pid);
+            cell.inverted.add_document(pid, photo.tags.iter());
+            cell.psi_min = cell.psi_min.min(photo.tags.len());
+            cell.psi_max = cell.psi_max.max(photo.tags.len());
+        }
+        for cell in cells.values_mut() {
+            cell.keywords = KeywordSet::from_ids(
+                cell.inverted.iter().map(|(k, _)| k),
+            );
+        }
+        let mut occupied: Vec<CellId> = cells.keys().copied().collect();
+        occupied.sort_unstable();
+
+        Self {
+            grid,
+            cells,
+            occupied,
+            num_photos: members.len(),
+        }
+    }
+
+    /// The underlying grid (cell side = ρ/2).
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The cell with id `id`, if occupied.
+    pub fn cell(&self, id: CellId) -> Option<&DivCell> {
+        self.cells.get(&id)
+    }
+
+    /// Occupied cell ids, ascending.
+    pub fn occupied(&self) -> &[CellId] {
+        &self.occupied
+    }
+
+    /// Total number of indexed photos (`|Rs|`).
+    pub fn num_photos(&self) -> usize {
+        self.num_photos
+    }
+
+    /// Total photos within Chebyshev cell radius `radius` of cell `id`
+    /// (including `id` itself): the numerator of Eq. 12 for `radius = 2`.
+    pub fn neighborhood_count(&self, id: CellId, radius: u32) -> usize {
+        let coord = self.grid.coord_of(id);
+        self.grid
+            .neighborhood(coord, radius)
+            .into_iter()
+            .filter_map(|c| self.cells.get(&self.grid.cell_id(c)))
+            .map(|c| c.photos.len())
+            .sum()
+    }
+
+    /// Exact count of member photos within Euclidean distance `radius` of
+    /// `center` (the numerator of Definition 4).
+    ///
+    /// Correct only for `radius ≤ ρ` (the scan is limited to the radius-2
+    /// cell neighbourhood, which covers exactly distances up to ρ = 2·cell).
+    pub fn count_within(
+        &self,
+        photos: &PhotoCollection,
+        center: Point,
+        radius: f64,
+    ) -> usize {
+        debug_assert!(
+            radius <= self.grid.cell_size() * 2.0 + 1e-12,
+            "count_within only valid up to rho"
+        );
+        let Some(coord) = self.grid.cell_containing(center) else {
+            return 0;
+        };
+        let r_sq = radius * radius;
+        self.grid
+            .neighborhood(coord, 2)
+            .into_iter()
+            .filter_map(|c| self.cells.get(&self.grid.cell_id(c)))
+            .flat_map(|c| c.photos.iter())
+            .filter(|&&pid| photos.get(pid).pos.dist_sq(center) <= r_sq)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_common::KeywordId;
+
+    fn tags(ids: &[u32]) -> KeywordSet {
+        KeywordSet::from_ids(ids.iter().map(|&i| KeywordId(i)))
+    }
+
+    fn setup() -> (PhotoCollection, Vec<PhotoId>, DiversificationIndex) {
+        let mut photos = PhotoCollection::new();
+        // Cluster A around (0.1..0.3, 0.1): three photos.
+        photos.add(Point::new(0.10, 0.10), tags(&[0, 1]));
+        photos.add(Point::new(0.20, 0.10), tags(&[0]));
+        photos.add(Point::new(0.30, 0.10), tags(&[1, 2, 3]));
+        // Lone photo far away at (5, 5).
+        photos.add(Point::new(5.0, 5.0), tags(&[4]));
+        // Photo not in Rs (excluded from members).
+        photos.add(Point::new(0.15, 0.12), tags(&[9]));
+        let members: Vec<PhotoId> = [0u32, 1, 2, 3].iter().map(|&i| PhotoId(i)).collect();
+        let index = DiversificationIndex::build(&photos, &members, 1.0);
+        (photos, members, index)
+    }
+
+    #[test]
+    fn cells_capture_tag_statistics() {
+        let (_, _, index) = setup();
+        assert_eq!(index.num_photos(), 4);
+        // Cell of the cluster (cell size 0.5 => all three in cell (0,0)).
+        let id = index.grid().cell_id(index.grid().cell_containing(Point::new(0.2, 0.1)).unwrap());
+        let cell = index.cell(id).unwrap();
+        assert_eq!(cell.photos.len(), 3);
+        assert_eq!(cell.psi_min, 1);
+        assert_eq!(cell.psi_max, 3);
+        assert_eq!(cell.keywords, tags(&[0, 1, 2, 3]));
+        // Excluded photo's tag 9 must not appear.
+        assert!(!cell.keywords.contains(KeywordId(9)));
+    }
+
+    #[test]
+    fn occupied_is_sorted_and_complete() {
+        let (_, _, index) = setup();
+        assert_eq!(index.occupied().len(), 2);
+        assert!(index.occupied().windows(2).all(|w| w[0] < w[1]));
+        let total: usize = index
+            .occupied()
+            .iter()
+            .map(|&c| index.cell(c).unwrap().photos.len())
+            .sum();
+        assert_eq!(total, index.num_photos());
+    }
+
+    #[test]
+    fn neighborhood_count_sums_nearby_cells() {
+        let (_, _, index) = setup();
+        let id = index.grid().cell_id(index.grid().cell_containing(Point::new(0.2, 0.1)).unwrap());
+        // The far photo is many cells away: radius-2 neighbourhood holds only
+        // the cluster.
+        assert_eq!(index.neighborhood_count(id, 2), 3);
+    }
+
+    #[test]
+    fn count_within_is_exact() {
+        let (photos, _, index) = setup();
+        // Around photo 0 at (0.1, 0.1): with radius 0.15, photos 0 and 1.
+        assert_eq!(index.count_within(&photos, Point::new(0.10, 0.10), 0.15), 2);
+        // Radius 0.25 adds photo 2.
+        assert_eq!(index.count_within(&photos, Point::new(0.10, 0.10), 0.25), 3);
+        // Excluded photo (id 4) never counted even though it is nearby.
+        assert_eq!(index.count_within(&photos, Point::new(0.15, 0.12), 0.10), 2);
+    }
+
+    #[test]
+    fn empty_members() {
+        let photos = PhotoCollection::new();
+        let index = DiversificationIndex::build(&photos, &[], 1.0);
+        assert_eq!(index.num_photos(), 0);
+        assert!(index.occupied().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be positive")]
+    fn zero_rho_panics() {
+        let photos = PhotoCollection::new();
+        DiversificationIndex::build(&photos, &[], 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! ε-augmented cell↔segment maps (paper Sec. 3.2.1).
+//!
+//! The raster maps (which cells a segment passes through) are static; at
+//! query time, once ε is known, they are augmented so that
+//! `Cε(ℓ)` contains every occupied cell within distance ε of segment ℓ and
+//! `Lε(c)` every segment within ε of cell c. These maps are what the SOI
+//! algorithm traverses during filtering and refinement.
+//!
+//! Only *occupied* cells (cells containing at least one POI) enter the maps:
+//! empty cells contribute no mass, and excluding them both tightens the
+//! `|Cε(ℓ)|` factor of the unseen upper bound and shrinks the traversal.
+
+use crate::poi_index::PoiIndex;
+use soi_common::{CellId, FxHashMap, SegmentId};
+use soi_network::RoadNetwork;
+
+/// The ε-augmented maps for one ε value.
+#[derive(Debug)]
+pub struct EpsilonMaps {
+    eps: f64,
+    /// `Cε(ℓ)`: occupied cells within ε of each segment (dense by segment).
+    segment_to_cells: Vec<Vec<CellId>>,
+    /// `Lε(c)`: segments within ε of each occupied cell.
+    cell_to_segments: FxHashMap<CellId, Vec<SegmentId>>,
+}
+
+impl EpsilonMaps {
+    /// Builds the augmented maps for `eps` over all segments of `network`
+    /// and all occupied cells of `index`.
+    pub fn build(network: &RoadNetwork, index: &PoiIndex, eps: f64) -> Self {
+        assert!(eps >= 0.0 && eps.is_finite(), "eps must be non-negative");
+        let grid = index.grid();
+        let mut segment_to_cells: Vec<Vec<CellId>> =
+            Vec::with_capacity(network.num_segments());
+        let mut cell_to_segments: FxHashMap<CellId, Vec<SegmentId>> = FxHashMap::default();
+
+        for seg in network.segments() {
+            let mut cells: Vec<CellId> = grid
+                .cells_near_segment(&seg.geom, eps)
+                .into_iter()
+                .map(|c| grid.cell_id(c))
+                .filter(|&c| index.cell(c).is_some())
+                .collect();
+            cells.sort_unstable();
+            for &c in &cells {
+                cell_to_segments.entry(c).or_default().push(seg.id);
+            }
+            segment_to_cells.push(cells);
+        }
+
+        Self {
+            eps,
+            segment_to_cells,
+            cell_to_segments,
+        }
+    }
+
+    /// The ε these maps were built for.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// `Cε(ℓ)`: occupied cells within ε of segment `seg`, ascending by id.
+    pub fn cells_of_segment(&self, seg: SegmentId) -> &[CellId] {
+        &self.segment_to_cells[seg.index()]
+    }
+
+    /// `|Cε(ℓ)|` for segment `seg`.
+    pub fn num_cells_of_segment(&self, seg: SegmentId) -> usize {
+        self.segment_to_cells[seg.index()].len()
+    }
+
+    /// `Lε(c)`: segments within ε of cell `cell` (empty if none).
+    pub fn segments_of_cell(&self, cell: CellId) -> &[SegmentId] {
+        self.cell_to_segments
+            .get(&cell)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of segments in the network these maps cover.
+    pub fn num_segments(&self) -> usize {
+        self.segment_to_cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_data::PoiCollection;
+    use soi_geo::Point;
+    use soi_text::KeywordSet;
+
+    fn setup(eps: f64) -> (RoadNetwork, PoiIndex, EpsilonMaps) {
+        let mut b = RoadNetwork::builder();
+        b.add_street_from_points("H", &[Point::new(0.0, 0.0), Point::new(4.0, 0.0)]);
+        b.add_street_from_points("V", &[Point::new(2.0, -3.0), Point::new(2.0, 3.0)]);
+        let network = b.build().unwrap();
+        let mut pois = PoiCollection::new();
+        pois.add(Point::new(1.0, 0.3), KeywordSet::empty());
+        pois.add(Point::new(2.2, 2.5), KeywordSet::empty());
+        pois.add(Point::new(3.9, -0.2), KeywordSet::empty());
+        let index = PoiIndex::build(&network, &pois, 0.5);
+        let maps = EpsilonMaps::build(&network, &index, eps);
+        (network, index, maps)
+    }
+
+    #[test]
+    fn maps_are_mutually_consistent() {
+        let (network, _, maps) = setup(0.6);
+        // Every (segment, cell) pair appears in both directions.
+        for seg in network.segments() {
+            for &c in maps.cells_of_segment(seg.id) {
+                assert!(
+                    maps.segments_of_cell(c).contains(&seg.id),
+                    "cell {c:?} missing segment {}",
+                    seg.id
+                );
+            }
+        }
+        for (&c, segs) in maps.cell_to_segments.iter() {
+            for &s in segs {
+                assert!(maps.cells_of_segment(s).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn only_occupied_cells_included() {
+        let (_, index, maps) = setup(0.6);
+        for seg_cells in &maps.segment_to_cells {
+            for &c in seg_cells {
+                assert!(index.cell(c).is_some(), "unoccupied cell {c:?} in Cε");
+            }
+        }
+    }
+
+    #[test]
+    fn cells_within_eps_have_near_pois_covered(){
+        // Every POI within eps of a segment must lie in some cell of Cε(ℓ).
+        let (network, index, maps) = setup(0.8);
+        let grid = index.grid();
+        let poi_positions = [
+            Point::new(1.0, 0.3),
+            Point::new(2.2, 2.5),
+            Point::new(3.9, -0.2),
+        ];
+        for seg in network.segments() {
+            for &pos in &poi_positions {
+                if seg.geom.dist_to_point(pos) <= 0.8 {
+                    let cell = grid.cell_id(grid.cell_containing(pos).unwrap());
+                    assert!(
+                        maps.cells_of_segment(seg.id).contains(&cell),
+                        "POI at {pos} within eps of {} but cell not in Cε",
+                        seg.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_eps_still_covers_cells_containing_the_segment() {
+        let (_, index, maps) = setup(0.0);
+        // The POI at (1.0, 0.3) is 0.3 away: with eps 0, its cell may or may
+        // not intersect the segment; the invariant is just that all listed
+        // cells are occupied and the maps stay consistent.
+        for seg_cells in &maps.segment_to_cells {
+            for &c in seg_cells {
+                assert!(index.cell(c).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn larger_eps_yields_superset() {
+        let (_, _, small) = setup(0.3);
+        let (_, _, large) = setup(1.5);
+        for (s_cells, l_cells) in small
+            .segment_to_cells
+            .iter()
+            .zip(large.segment_to_cells.iter())
+        {
+            for c in s_cells {
+                assert!(l_cells.contains(c), "eps growth lost cell {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be non-negative")]
+    fn negative_eps_panics() {
+        setup(-1.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Spatio-textual indexes for the streets-of-interest system.
+//!
+//! This crate implements the offline data structures of the paper:
+//!
+//! **For k-SOI identification (Sec. 3.2.1):**
+//! - [`PoiIndex`]: a spatial grid over the POIs where every cell holds a
+//!   local inverted index (postings sorted by POI id), plus the global
+//!   inverted index mapping each keyword to `(cell, count)` entries sorted
+//!   decreasingly by count, the segment length list, and the raster
+//!   cell↔segment maps;
+//! - [`EpsilonMaps`]: the query-time ε-augmented maps `Lε(c)` (segments
+//!   within ε of a cell) and `Cε(ℓ)` (cells within ε of a segment), cached
+//!   per ε since street segments and POIs are static.
+//!
+//! **For single-POI retrieval (the related work of Sec. 2.1):**
+//! - [`IrTree`]: a hybrid spatio-textual R-tree whose nodes carry subtree
+//!   keyword summaries, answering top-k nearest-relevant-POI queries.
+//!
+//! **For SOI description (Sec. 4.2.1):**
+//! - [`PhotoGrid`]: a dataset-wide grid over the photos used to extract the
+//!   per-street photo set `Rs = {r : dist(r, s) ≤ ε}`;
+//! - [`DiversificationIndex`]: the per-street grid with cell side ρ/2 whose
+//!   cells hold the photo list, a local inverted index, the cell keyword set
+//!   `c.Ψ`, and the min/max tag counts `c.ψmin` / `c.ψmax` that drive the
+//!   bounds of Eqs. 11–18.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod div_index;
+pub mod epsilon;
+pub mod ir_tree;
+pub mod photo_grid;
+pub mod poi_index;
+
+pub use bloom::BloomSummary;
+pub use div_index::{DivCell, DiversificationIndex};
+pub use epsilon::EpsilonMaps;
+pub use ir_tree::{IrTree, KeywordSummary, PoiEntry};
+pub use photo_grid::PhotoGrid;
+pub use poi_index::{PoiCell, PoiIndex};

@@ -1,0 +1,188 @@
+//! Dataset-wide photo grid: extracting per-street photo sets.
+//!
+//! Section 4.1.1 associates with each street `s` the photo set
+//! `Rs = {r ∈ R : dist(r, s) ≤ ε}`. This grid accelerates that extraction:
+//! candidate cells are found by ε-dilating the street's segments, then
+//! photos are filtered by exact distance.
+
+use soi_common::{CellId, FxHashMap, PhotoId, StreetId};
+use soi_data::PhotoCollection;
+use soi_geo::{Grid, Point, Rect};
+use soi_network::RoadNetwork;
+
+/// A uniform grid over all photos of a dataset.
+#[derive(Debug)]
+pub struct PhotoGrid {
+    grid: Grid,
+    cells: FxHashMap<CellId, Vec<PhotoId>>,
+}
+
+impl PhotoGrid {
+    /// Builds the grid over `photos` with the given `cell_size`, covering
+    /// the union of the network and photo extents.
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not strictly positive.
+    pub fn build(network: &RoadNetwork, photos: &PhotoCollection, cell_size: f64) -> Self {
+        let extent = match (network.extent(), photos.extent()) {
+            (Some(a), Some(b)) => a.union(&b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => Rect::new(Point::ORIGIN, Point::new(1.0, 1.0)),
+        };
+        let grid = Grid::covering(extent, cell_size);
+        let mut cells: FxHashMap<CellId, Vec<PhotoId>> = FxHashMap::default();
+        for photo in photos.iter() {
+            let coord = grid
+                .cell_containing(photo.pos)
+                .expect("grid covers all photos by construction");
+            cells.entry(grid.cell_id(coord)).or_default().push(photo.id);
+        }
+        Self { grid, cells }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Incrementally inserts a photo added after the grid was built.
+    ///
+    /// Photos must be inserted in ascending id order; the location must lie
+    /// within the grid extent fixed at build time.
+    ///
+    /// # Errors
+    /// Rejects positions outside the grid extent.
+    pub fn insert(&mut self, photo: &soi_data::Photo) -> soi_common::Result<()> {
+        let coord = self.grid.cell_containing(photo.pos).ok_or_else(|| {
+            soi_common::SoiError::invalid(format!(
+                "photo at {} lies outside the grid extent; rebuild the grid",
+                photo.pos
+            ))
+        })?;
+        self.cells
+            .entry(self.grid.cell_id(coord))
+            .or_default()
+            .push(photo.id);
+        Ok(())
+    }
+
+    /// Photos in cell `id` (sorted by id), empty if unoccupied.
+    pub fn cell_photos(&self, id: CellId) -> &[PhotoId] {
+        self.cells.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of occupied cells.
+    pub fn num_occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Extracts `Rs`: photos within `eps` of street `street`, sorted by id.
+    pub fn photos_near_street(
+        &self,
+        network: &RoadNetwork,
+        photos: &PhotoCollection,
+        street: StreetId,
+        eps: f64,
+    ) -> Vec<PhotoId> {
+        let mut candidate_cells: Vec<CellId> = Vec::new();
+        for &seg in &network.street(street).segments {
+            let geom = network.segment(seg).geom;
+            for coord in self.grid.cells_near_segment(&geom, eps) {
+                candidate_cells.push(self.grid.cell_id(coord));
+            }
+        }
+        candidate_cells.sort_unstable();
+        candidate_cells.dedup();
+
+        let eps_sq = eps * eps;
+        let mut result: Vec<PhotoId> = Vec::new();
+        for cell in candidate_cells {
+            for &pid in self.cell_photos(cell) {
+                let pos = photos.get(pid).pos;
+                let within = network
+                    .street(street)
+                    .segments
+                    .iter()
+                    .any(|&s| network.segment(s).geom.dist_sq_to_point(pos) <= eps_sq);
+                if within {
+                    result.push(pid);
+                }
+            }
+        }
+        result.sort_unstable();
+        result.dedup();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_text::KeywordSet;
+
+    fn setup() -> (RoadNetwork, PhotoCollection, PhotoGrid) {
+        let mut b = RoadNetwork::builder();
+        b.add_street_from_points(
+            "L",
+            &[Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(4.0, 4.0)],
+        );
+        b.add_street_from_points("Far", &[Point::new(20.0, 20.0), Point::new(24.0, 20.0)]);
+        let network = b.build().unwrap();
+        let mut photos = PhotoCollection::new();
+        photos.add(Point::new(1.0, 0.4), KeywordSet::empty()); // near L
+        photos.add(Point::new(4.3, 2.0), KeywordSet::empty()); // near L's vertical leg
+        photos.add(Point::new(10.0, 10.0), KeywordSet::empty()); // nowhere
+        photos.add(Point::new(21.0, 20.2), KeywordSet::empty()); // near Far
+        let grid = PhotoGrid::build(&network, &photos, 1.0);
+        (network, photos, grid)
+    }
+
+    #[test]
+    fn photos_near_street_filters_by_exact_distance() {
+        let (network, photos, grid) = setup();
+        let near_l = grid.photos_near_street(&network, &photos, StreetId(0), 0.5);
+        let raw: Vec<u32> = near_l.iter().map(|p| p.raw()).collect();
+        assert_eq!(raw, vec![0, 1]);
+
+        let near_far = grid.photos_near_street(&network, &photos, StreetId(1), 0.5);
+        let raw: Vec<u32> = near_far.iter().map(|p| p.raw()).collect();
+        assert_eq!(raw, vec![3]);
+    }
+
+    #[test]
+    fn tight_eps_excludes_photos() {
+        let (network, photos, grid) = setup();
+        let near = grid.photos_near_street(&network, &photos, StreetId(0), 0.25);
+        assert!(near.is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let (network, photos, grid) = setup();
+        for street in network.streets() {
+            for eps in [0.2, 0.5, 1.0, 3.0] {
+                let via_grid = grid.photos_near_street(&network, &photos, street.id, eps);
+                let brute: Vec<PhotoId> = photos
+                    .iter()
+                    .filter(|ph| {
+                        street
+                            .segments
+                            .iter()
+                            .any(|&s| network.segment(s).geom.dist_to_point(ph.pos) <= eps)
+                    })
+                    .map(|ph| ph.id)
+                    .collect();
+                assert_eq!(via_grid, brute, "street {} eps {eps}", street.id);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_collections() {
+        let network = RoadNetwork::builder().build().unwrap();
+        let photos = PhotoCollection::new();
+        let grid = PhotoGrid::build(&network, &photos, 1.0);
+        assert_eq!(grid.num_occupied_cells(), 0);
+    }
+}

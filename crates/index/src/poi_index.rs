@@ -1,0 +1,558 @@
+//! The POI grid index (paper Sec. 3.2.1).
+
+use parking_lot::RwLock;
+use soi_common::{CellId, FxHashMap, KeywordId, PoiId, SegmentId};
+use soi_data::PoiCollection;
+use soi_geo::{Grid, Point, Rect};
+use soi_network::RoadNetwork;
+use soi_text::{InvertedIndex, KeywordSet};
+use std::sync::Arc;
+
+use crate::epsilon::EpsilonMaps;
+
+/// One occupied grid cell of the POI index.
+#[derive(Debug, Clone)]
+pub struct PoiCell {
+    /// POIs located in this cell, sorted by id.
+    pub pois: Vec<PoiId>,
+    /// Total POI weight in the cell (`|Pc|` with unit weights).
+    pub total_weight: f64,
+    /// Local inverted index: keyword → POIs in this cell, sorted by id.
+    pub inverted: InvertedIndex<PoiId>,
+}
+
+/// The spatio-textual POI index of Section 3.2.1.
+///
+/// Holds the five offline structures the SOI algorithm needs:
+/// 1. the spatial grid with per-cell local inverted indexes;
+/// 2. the global inverted index (keyword → `(cell, count)` sorted
+///    decreasingly on count);
+/// 3. the raster cell-to-segment map (segments passing through each cell);
+/// 4. the raster segment-to-cell map;
+/// 5. the list of segments sorted increasingly on length.
+///
+/// The ε-augmented versions of maps (3) and (4) are built at query time by
+/// [`EpsilonMaps`] and cached here per ε value.
+#[derive(Debug)]
+pub struct PoiIndex {
+    grid: Grid,
+    cells: FxHashMap<CellId, PoiCell>,
+    /// keyword → (cell, summed weight of POIs with that keyword), desc.
+    global: FxHashMap<KeywordId, Vec<(CellId, f64)>>,
+    /// Segments sorted increasingly by length (the basis of SL3).
+    segments_by_len: Vec<SegmentId>,
+    /// The static raster cell-to-segment map (Sec. 3.2.1): segments passing
+    /// through each cell (occupied or not), built offline. The ε-augmented
+    /// `Lε(c)` is derived from it lazily at query time.
+    raster: FxHashMap<CellId, Vec<SegmentId>>,
+    /// Per-ε cache of augmented maps (street segments and POIs are static).
+    eps_cache: RwLock<FxHashMap<u64, Arc<EpsilonMaps>>>,
+}
+
+impl PoiIndex {
+    /// Builds the index over `pois` with the given grid `cell_size`, for the
+    /// road network `network`.
+    ///
+    /// The grid covers the union of the network and POI extents so that every
+    /// POI falls into exactly one cell.
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not strictly positive.
+    pub fn build(network: &RoadNetwork, pois: &PoiCollection, cell_size: f64) -> Self {
+        let extent = match (network.extent(), pois.extent()) {
+            (Some(a), Some(b)) => a.union(&b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => Rect::new(Point::ORIGIN, Point::new(1.0, 1.0)),
+        };
+        let grid = Grid::covering(extent, cell_size);
+
+        // Populate cells. POIs are iterated in id order, keeping per-cell
+        // lists and postings sorted by id without extra sorting.
+        let mut cells: FxHashMap<CellId, PoiCell> = FxHashMap::default();
+        for poi in pois.iter() {
+            let coord = grid
+                .cell_containing(poi.pos)
+                .expect("grid covers all POIs by construction");
+            let cell = cells.entry(grid.cell_id(coord)).or_insert_with(|| PoiCell {
+                pois: Vec::new(),
+                total_weight: 0.0,
+                inverted: InvertedIndex::new(),
+            });
+            cell.pois.push(poi.id);
+            cell.total_weight += poi.weight;
+            cell.inverted.add_document(poi.id, poi.keywords.iter());
+        }
+
+        // Global inverted index: per keyword, the weighted count per cell,
+        // sorted decreasingly on count (ties: ascending cell id, for
+        // determinism).
+        let mut global: FxHashMap<KeywordId, Vec<(CellId, f64)>> = FxHashMap::default();
+        for (&cell_id, cell) in &cells {
+            for (k, postings) in cell.inverted.iter() {
+                let weight: f64 = postings.iter().map(|&p| pois.get(p).weight).sum();
+                global.entry(k).or_default().push((cell_id, weight));
+            }
+        }
+        for list in global.values_mut() {
+            list.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        }
+
+        // Static raster map: which segments pass through which cells.
+        let mut raster: FxHashMap<CellId, Vec<SegmentId>> = FxHashMap::default();
+        for seg in network.segments() {
+            for coord in grid.cells_near_segment(&seg.geom, 0.0) {
+                raster.entry(grid.cell_id(coord)).or_default().push(seg.id);
+            }
+        }
+
+        let mut segments_by_len: Vec<SegmentId> =
+            network.segments().iter().map(|s| s.id).collect();
+        segments_by_len.sort_by(|&a, &b| {
+            network
+                .segment(a)
+                .len()
+                .total_cmp(&network.segment(b).len())
+                .then_with(|| a.cmp(&b))
+        });
+
+        Self {
+            grid,
+            cells,
+            global,
+            segments_by_len,
+            raster,
+            eps_cache: RwLock::new(FxHashMap::default()),
+        }
+    }
+
+    /// Incrementally inserts a POI added to the collection after the index
+    /// was built (the paper's structures are "created and maintained
+    /// offline"; this is the maintenance path).
+    ///
+    /// POIs must be inserted in ascending id order (postings stay sorted),
+    /// and the location must lie within the grid extent fixed at build
+    /// time. Cached ε-maps are invalidated, since the set of occupied cells
+    /// may have grown.
+    ///
+    /// # Errors
+    /// Rejects positions outside the grid extent.
+    pub fn insert(&mut self, poi: &soi_data::Poi) -> soi_common::Result<()> {
+        let coord = self.grid.cell_containing(poi.pos).ok_or_else(|| {
+            soi_common::SoiError::invalid(format!(
+                "POI at {} lies outside the index extent; rebuild the index",
+                poi.pos
+            ))
+        })?;
+        let id = self.grid.cell_id(coord);
+        let cell = self.cells.entry(id).or_insert_with(|| PoiCell {
+            pois: Vec::new(),
+            total_weight: 0.0,
+            inverted: InvertedIndex::new(),
+        });
+        cell.pois.push(poi.id);
+        cell.total_weight += poi.weight;
+        cell.inverted.add_document(poi.id, poi.keywords.iter());
+
+        for k in poi.keywords.iter() {
+            let list = self.global.entry(k).or_default();
+            match list.iter_mut().find(|(c, _)| *c == id) {
+                Some(entry) => entry.1 += poi.weight,
+                None => list.push((id, poi.weight)),
+            }
+            list.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        }
+
+        // Newly occupied cells change the ε-augmented maps.
+        self.eps_cache.write().clear();
+        Ok(())
+    }
+
+    /// Segments passing through cell `id` (the static raster map; empty if
+    /// no segment crosses the cell).
+    pub fn raster_segments_of_cell(&self, id: CellId) -> &[SegmentId] {
+        self.raster.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Lazy `Cε(ℓ)`: occupied cells within `eps` of `geom`, ascending ids.
+    pub fn occupied_cells_near_segment(
+        &self,
+        geom: &soi_geo::LineSeg,
+        eps: f64,
+    ) -> Vec<CellId> {
+        let mut cells: Vec<CellId> = self
+            .grid
+            .cells_near_segment(geom, eps)
+            .into_iter()
+            .map(|c| self.grid.cell_id(c))
+            .filter(|&c| self.cells.contains_key(&c))
+            .collect();
+        cells.sort_unstable();
+        cells
+    }
+
+    /// O(1) upper bound on `|Cε(ℓ)|`: the number of grid cells overlapping
+    /// the ε-dilated bounding box of the segment. Used to order SL2 without
+    /// rasterising every segment at query time.
+    pub fn upper_cell_count(&self, geom: &soi_geo::LineSeg, eps: f64) -> usize {
+        self.grid
+            .count_cells_in_rect(&geom.bounding_rect().expand(eps))
+    }
+
+    /// Lazy `Lε(c)`: all segments within `eps` of cell `id`, ascending,
+    /// derived from the static raster map by scanning the Chebyshev ring of
+    /// radius `⌈ε/h⌉ + 1` around the cell and filtering by exact distance.
+    pub fn segments_within_eps_of_cell(
+        &self,
+        network: &RoadNetwork,
+        id: CellId,
+        eps: f64,
+    ) -> Vec<SegmentId> {
+        let coord = self.grid.coord_of(id);
+        let rect = self.grid.cell_rect(coord);
+        // A point within eps of the cell lies at most eps beyond the cell
+        // boundary, i.e. within floor((eps + h)/h) cells (half-open cells).
+        let h = self.grid.cell_size();
+        let radius = ((eps + h) / h).floor() as u32;
+        let mut out: Vec<SegmentId> = Vec::new();
+        for near in self.grid.neighborhood(coord, radius) {
+            out.extend_from_slice(self.raster_segments_of_cell(self.grid.cell_id(near)));
+        }
+        out.sort_unstable();
+        out.dedup();
+        let dilated = rect.expand(eps);
+        out.retain(|&seg| {
+            let geom = network.segment(seg).geom;
+            dilated.intersects(&geom.bounding_rect())
+                && rect.within_dist_of_segment(&geom, eps)
+        });
+        out
+    }
+
+    /// Superset of `Lε(c)`: segments passing through the Chebyshev ring that
+    /// could reach within `eps` of cell `id`, without the exact distance
+    /// filter. Sound for the SOI algorithm's touch semantics (a touched
+    /// segment ignores cells outside its own `Cε` list) and ~2× cheaper per
+    /// popped cell than [`PoiIndex::segments_within_eps_of_cell`].
+    pub fn segments_near_cell_superset(&self, id: CellId, eps: f64) -> Vec<SegmentId> {
+        let coord = self.grid.coord_of(id);
+        let h = self.grid.cell_size();
+        let radius = ((eps + h) / h).floor() as u32;
+        let mut out: Vec<SegmentId> = Vec::new();
+        for near in self.grid.neighborhood(coord, radius) {
+            out.extend_from_slice(self.raster_segments_of_cell(self.grid.cell_id(near)));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Exact weighted mass of a segment under `query` and `eps`
+    /// (Definition 1), with the ε-dilation computed on the fly.
+    pub fn segment_mass_lazy(
+        &self,
+        pois: &PoiCollection,
+        network: &RoadNetwork,
+        seg: SegmentId,
+        query: &KeywordSet,
+        eps: f64,
+    ) -> f64 {
+        let geom = network.segment(seg).geom;
+        self.occupied_cells_near_segment(&geom, eps)
+            .into_iter()
+            .map(|c| self.cell_mass_for_segment(pois, c, &geom, query, eps))
+            .sum()
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The cell with id `id`, if occupied.
+    pub fn cell(&self, id: CellId) -> Option<&PoiCell> {
+        self.cells.get(&id)
+    }
+
+    /// Number of occupied cells.
+    pub fn num_occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Iterates over occupied cells in unspecified order.
+    pub fn occupied_cells(&self) -> impl Iterator<Item = (CellId, &PoiCell)> {
+        self.cells.iter().map(|(&id, c)| (id, c))
+    }
+
+    /// The global inverted list for keyword `k`: `(cell, count)` sorted
+    /// decreasingly on count. Empty if the keyword occurs nowhere.
+    pub fn global_postings(&self, k: KeywordId) -> &[(CellId, f64)] {
+        self.global.get(&k).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Segment ids sorted increasingly by segment length (the SL3 order).
+    pub fn segments_by_len(&self) -> &[SegmentId] {
+        &self.segments_by_len
+    }
+
+    /// Returns the ε-augmented cell↔segment maps, building and caching them
+    /// on first use for each distinct ε.
+    pub fn epsilon_maps(&self, network: &RoadNetwork, eps: f64) -> Arc<EpsilonMaps> {
+        let key = eps.to_bits();
+        if let Some(maps) = self.eps_cache.read().get(&key) {
+            return Arc::clone(maps);
+        }
+        let maps = Arc::new(EpsilonMaps::build(network, self, eps));
+        self.eps_cache
+            .write()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&maps));
+        maps
+    }
+
+    /// Drops all cached ε-augmented maps.
+    ///
+    /// The experiment harness calls this between timed runs so that each
+    /// measured query pays the full query-time map augmentation, as in the
+    /// paper's methodology.
+    pub fn clear_epsilon_cache(&self) {
+        self.eps_cache.write().clear();
+    }
+
+    /// Upper bound on the weighted number of POIs in cell `id` matching any
+    /// keyword of `query`: `min(|Pc|, Σ_ψ I[ψ][c])` (Alg. 1 line 2).
+    pub fn cell_relevant_upper(&self, id: CellId, query: &KeywordSet) -> f64 {
+        let Some(cell) = self.cells.get(&id) else {
+            return 0.0;
+        };
+        let mut sum = 0.0;
+        for k in query.iter() {
+            if let Some(list) = self.global.get(&k) {
+                // Linear scan is fine: lists are per-keyword and short per
+                // cell lookup happens once per SL1 build entry.
+                if let Some(&(_, w)) = list.iter().find(|&&(c, _)| c == id) {
+                    sum += w;
+                }
+            }
+        }
+        sum.min(cell.total_weight)
+    }
+
+    /// Exact weighted mass contribution of cell `id` to segment `seg_geom`:
+    /// the summed weight of distinct POIs in the cell that match `query` and
+    /// lie within `eps` of the segment (Procedure UpdateInterest).
+    pub fn cell_mass_for_segment(
+        &self,
+        pois: &PoiCollection,
+        id: CellId,
+        seg_geom: &soi_geo::LineSeg,
+        query: &KeywordSet,
+        eps: f64,
+    ) -> f64 {
+        let Some(cell) = self.cells.get(&id) else {
+            return 0.0;
+        };
+        let mut mass = 0.0;
+        cell.inverted.for_each_matching(query.ids(), |pid| {
+            let poi = pois.get(pid);
+            if seg_geom.dist_sq_to_point(poi.pos) <= eps * eps {
+                mass += poi.weight;
+            }
+        });
+        mass
+    }
+
+    /// Exact weighted mass of a whole segment under `query` and `eps`
+    /// (Definition 1), computed through the grid.
+    pub fn segment_mass(
+        &self,
+        pois: &PoiCollection,
+        network: &RoadNetwork,
+        seg: SegmentId,
+        query: &KeywordSet,
+        maps: &EpsilonMaps,
+    ) -> f64 {
+        let geom = network.segment(seg).geom;
+        maps.cells_of_segment(seg)
+            .iter()
+            .map(|&c| self.cell_mass_for_segment(pois, c, &geom, query, maps.eps()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_common::KeywordId;
+    use soi_geo::LineSeg;
+
+    fn kws(ids: &[u32]) -> KeywordSet {
+        KeywordSet::from_ids(ids.iter().map(|&i| KeywordId(i)))
+    }
+
+    /// One horizontal street at y=0 from x=0..10, POIs sprinkled around it.
+    fn setup() -> (RoadNetwork, PoiCollection, PoiIndex) {
+        let mut b = RoadNetwork::builder();
+        b.add_street_from_points(
+            "Main",
+            &[Point::new(0.0, 0.0), Point::new(5.0, 0.0), Point::new(10.0, 0.0)],
+        );
+        let network = b.build().unwrap();
+        let mut pois = PoiCollection::new();
+        pois.add(Point::new(1.0, 0.5), kws(&[0])); // near seg 0
+        pois.add(Point::new(1.2, 0.6), kws(&[0, 1])); // near seg 0, same cell as above
+        pois.add(Point::new(7.0, -0.5), kws(&[1])); // near seg 1
+        pois.add(Point::new(7.0, 9.0), kws(&[0])); // far away
+        let index = PoiIndex::build(&network, &pois, 1.0);
+        (network, pois, index)
+    }
+
+    #[test]
+    fn cells_are_populated_sorted() {
+        let (_, _, index) = setup();
+        assert!(index.num_occupied_cells() >= 3);
+        for (_, cell) in index.occupied_cells() {
+            let mut sorted = cell.pois.clone();
+            sorted.sort();
+            assert_eq!(sorted, cell.pois);
+            assert!(cell.total_weight >= cell.pois.len() as f64 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn global_postings_sorted_desc() {
+        let (_, _, index) = setup();
+        let postings = index.global_postings(KeywordId(0));
+        assert!(!postings.is_empty());
+        for w in postings.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // Total count across cells for keyword 0 = 3 POIs.
+        let total: f64 = postings.iter().map(|&(_, w)| w).sum();
+        assert_eq!(total, 3.0);
+        assert!(index.global_postings(KeywordId(99)).is_empty());
+    }
+
+    #[test]
+    fn segments_sorted_by_len() {
+        let (network, _, index) = setup();
+        let by_len = index.segments_by_len();
+        assert_eq!(by_len.len(), 2);
+        for w in by_len.windows(2) {
+            assert!(network.segment(w[0]).len() <= network.segment(w[1]).len());
+        }
+    }
+
+    #[test]
+    fn cell_relevant_upper_respects_cell_total() {
+        let (_, _, index) = setup();
+        // POI 0 and 1 are both in the cell at (1, 0.x): keyword 0 appears in
+        // both, keyword 1 in one. Upper for {0,1} is min(|Pc|=2, 2+1=3) = 2.
+        let coord = index.grid().cell_containing(Point::new(1.0, 0.5)).unwrap();
+        let id = index.grid().cell_id(coord);
+        assert_eq!(index.cell_relevant_upper(id, &kws(&[0, 1])), 2.0);
+        assert_eq!(index.cell_relevant_upper(id, &kws(&[0])), 2.0);
+        assert_eq!(index.cell_relevant_upper(id, &kws(&[1])), 1.0);
+        assert_eq!(index.cell_relevant_upper(id, &kws(&[5])), 0.0);
+    }
+
+    #[test]
+    fn cell_mass_counts_distinct_matching_pois_within_eps() {
+        let (_, pois, index) = setup();
+        let coord = index.grid().cell_containing(Point::new(1.0, 0.5)).unwrap();
+        let id = index.grid().cell_id(coord);
+        let seg = LineSeg::new(Point::new(0.0, 0.0), Point::new(5.0, 0.0));
+        // eps = 0.65: both POIs within reach; multi-keyword query counts each once.
+        assert_eq!(index.cell_mass_for_segment(&pois, id, &seg, &kws(&[0, 1]), 0.65), 2.0);
+        // eps = 0.55: only the POI at distance 0.5.
+        assert_eq!(index.cell_mass_for_segment(&pois, id, &seg, &kws(&[0, 1]), 0.55), 1.0);
+        // Non-matching query.
+        assert_eq!(index.cell_mass_for_segment(&pois, id, &seg, &kws(&[7]), 1.0), 0.0);
+    }
+
+    #[test]
+    fn segment_mass_matches_brute_force() {
+        let (network, pois, index) = setup();
+        let eps = 0.75;
+        let maps = index.epsilon_maps(&network, eps);
+        let query = kws(&[0, 1]);
+        for seg in network.segments() {
+            let brute: f64 = pois
+                .iter()
+                .filter(|p| p.keywords.intersects(&query))
+                .filter(|p| seg.geom.dist_to_point(p.pos) <= eps)
+                .map(|p| p.weight)
+                .sum();
+            let via_index = index.segment_mass(&pois, &network, seg.id, &query, &maps);
+            assert_eq!(via_index, brute, "segment {}", seg.id);
+        }
+    }
+
+    #[test]
+    fn lazy_maps_match_eager_epsilon_maps() {
+        let (network, _, index) = setup();
+        for eps in [0.0, 0.3, 0.75, 1.5] {
+            let maps = index.epsilon_maps(&network, eps);
+            for seg in network.segments() {
+                let lazy = index.occupied_cells_near_segment(&seg.geom, eps);
+                assert_eq!(lazy.as_slice(), maps.cells_of_segment(seg.id), "eps {eps}");
+                assert!(index.upper_cell_count(&seg.geom, eps) >= lazy.len());
+            }
+            for (cell, _) in index.occupied_cells() {
+                let lazy = index.segments_within_eps_of_cell(&network, cell, eps);
+                let mut eager = maps.segments_of_cell(cell).to_vec();
+                eager.sort_unstable();
+                assert_eq!(lazy, eager, "eps {eps} cell {cell:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn segment_mass_lazy_matches_eager() {
+        let (network, pois, index) = setup();
+        let eps = 0.7;
+        let maps = index.epsilon_maps(&network, eps);
+        let query = kws(&[0, 1]);
+        for seg in network.segments() {
+            assert_eq!(
+                index.segment_mass_lazy(&pois, &network, seg.id, &query, eps),
+                index.segment_mass(&pois, &network, seg.id, &query, &maps)
+            );
+        }
+    }
+
+    #[test]
+    fn raster_contains_crossed_cells() {
+        let (network, _, index) = setup();
+        let grid = index.grid();
+        for seg in network.segments() {
+            // The midpoint's cell must list the segment.
+            if let Some(c) = grid.cell_containing(seg.geom.midpoint()) {
+                assert!(
+                    index.raster_segments_of_cell(grid.cell_id(c)).contains(&seg.id),
+                    "segment {} missing from raster",
+                    seg.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_maps_are_cached() {
+        let (network, _, index) = setup();
+        let a = index.epsilon_maps(&network, 0.5);
+        let b = index.epsilon_maps(&network, 0.5);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = index.epsilon_maps(&network, 0.7);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn empty_dataset_builds() {
+        let network = RoadNetwork::builder().build().unwrap();
+        let pois = PoiCollection::new();
+        let index = PoiIndex::build(&network, &pois, 1.0);
+        assert_eq!(index.num_occupied_cells(), 0);
+        assert!(index.segments_by_len().is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the index layer on random data.
+
+use proptest::prelude::*;
+use soi_common::KeywordId;
+use soi_data::PoiCollection;
+use soi_geo::Point;
+use soi_index::{EpsilonMaps, IrTree, PoiIndex};
+use soi_network::RoadNetwork;
+use soi_text::KeywordSet;
+
+fn poi_specs() -> impl Strategy<Value = Vec<(f64, f64, Vec<u32>)>> {
+    proptest::collection::vec(
+        (
+            0.0f64..8.0,
+            0.0f64..8.0,
+            proptest::collection::vec(0u32..6, 0..3),
+        ),
+        0..60,
+    )
+}
+
+fn build_pois(specs: &[(f64, f64, Vec<u32>)]) -> PoiCollection {
+    let mut pois = PoiCollection::new();
+    for (x, y, kws) in specs {
+        pois.add(
+            Point::new(*x, *y),
+            KeywordSet::from_ids(kws.iter().map(|&k| KeywordId(k))),
+        );
+    }
+    pois
+}
+
+fn small_network() -> RoadNetwork {
+    let mut b = RoadNetwork::builder();
+    b.add_street_from_points(
+        "H",
+        &[Point::new(0.0, 2.0), Point::new(4.0, 2.0), Point::new(8.0, 2.0)],
+    );
+    b.add_street_from_points(
+        "V",
+        &[Point::new(4.0, 0.0), Point::new(4.0, 4.0), Point::new(4.0, 8.0)],
+    );
+    b.add_street_from_points("D", &[Point::new(0.0, 0.0), Point::new(7.5, 7.5)]);
+    b.build().unwrap()
+}
+
+proptest! {
+    #[test]
+    fn ir_tree_top_k_matches_brute_force(
+        specs in poi_specs(),
+        q in ((0.0f64..8.0), (0.0f64..8.0)),
+        query_kws in proptest::collection::vec(0u32..6, 1..3),
+        k in 1usize..10,
+    ) {
+        let pois = build_pois(&specs);
+        let tree = IrTree::build(&pois);
+        let query = KeywordSet::from_ids(query_kws.iter().map(|&k| KeywordId(k)));
+        let qp = Point::new(q.0, q.1);
+
+        let got = tree.top_k_relevant(qp, &query, k);
+        let mut want: Vec<(f64, u32)> = pois
+            .iter()
+            .filter(|p| p.keywords.intersects(&query))
+            .map(|p| (p.pos.dist(qp), p.id.raw()))
+            .collect();
+        want.sort_by(|a, b| a.0.total_cmp(&b.0));
+        want.truncate(k);
+
+        prop_assert_eq!(got.len(), want.len());
+        for ((_, gd), (wd, _)) in got.iter().zip(want.iter()) {
+            prop_assert!((gd - wd).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ir_tree_range_matches_brute_force(
+        specs in poi_specs(),
+        q in ((0.0f64..8.0), (0.0f64..8.0)),
+        dist in 0.0f64..6.0,
+        query_kws in proptest::collection::vec(0u32..6, 1..3),
+    ) {
+        let pois = build_pois(&specs);
+        let tree = IrTree::build(&pois);
+        let query = KeywordSet::from_ids(query_kws.iter().map(|&k| KeywordId(k)));
+        let qp = Point::new(q.0, q.1);
+
+        let got = tree.relevant_within(qp, dist, &query);
+        let want: Vec<_> = pois
+            .iter()
+            .filter(|p| p.keywords.intersects(&query) && p.pos.dist(qp) <= dist)
+            .map(|p| p.id)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn lazy_and_eager_epsilon_maps_agree(
+        specs in poi_specs(),
+        eps in 0.05f64..1.5,
+        cell in 0.3f64..1.2,
+    ) {
+        let network = small_network();
+        let pois = build_pois(&specs);
+        let index = PoiIndex::build(&network, &pois, cell);
+        let maps = EpsilonMaps::build(&network, &index, eps);
+        for seg in network.segments() {
+            let lazy = index.occupied_cells_near_segment(&seg.geom, eps);
+            prop_assert_eq!(lazy.as_slice(), maps.cells_of_segment(seg.id));
+            prop_assert!(index.upper_cell_count(&seg.geom, eps) >= lazy.len());
+        }
+        for (cell_id, _) in index.occupied_cells() {
+            let lazy = index.segments_within_eps_of_cell(&network, cell_id, eps);
+            let mut eager = maps.segments_of_cell(cell_id).to_vec();
+            eager.sort_unstable();
+            prop_assert_eq!(lazy, eager);
+            // The superset really is a superset.
+            let superset = index.segments_near_cell_superset(cell_id, eps);
+            for s in maps.segments_of_cell(cell_id) {
+                prop_assert!(superset.contains(s));
+            }
+        }
+    }
+
+    #[test]
+    fn segment_mass_consistent_between_paths(
+        specs in poi_specs(),
+        eps in 0.05f64..1.5,
+        query_kws in proptest::collection::vec(0u32..6, 1..3),
+    ) {
+        let network = small_network();
+        let pois = build_pois(&specs);
+        let index = PoiIndex::build(&network, &pois, 0.6);
+        let maps = EpsilonMaps::build(&network, &index, eps);
+        let query = KeywordSet::from_ids(query_kws.iter().map(|&k| KeywordId(k)));
+        for seg in network.segments() {
+            let eager = index.segment_mass(&pois, &network, seg.id, &query, &maps);
+            let lazy = index.segment_mass_lazy(&pois, &network, seg.id, &query, eps);
+            let brute: f64 = pois
+                .iter()
+                .filter(|p| p.keywords.intersects(&query))
+                .filter(|p| seg.geom.dist_to_point(p.pos) <= eps)
+                .map(|p| p.weight)
+                .sum();
+            prop_assert_eq!(eager, lazy);
+            prop_assert!((lazy - brute).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Graph algorithms over the road network.
+//!
+//! The k-SOI algorithm itself never traverses the graph (streets are ranked
+//! independently — that is the paper's point of difference from the
+//! connected-subgraph formulation of Cao et al. \[7\]). These traversals
+//! support dataset validation, statistics, and the route-sketching
+//! extension.
+
+use crate::network::RoadNetwork;
+use soi_common::{NodeId, OrderedF64, SegmentId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+impl RoadNetwork {
+    /// The node at the other end of `seg` from `node`.
+    ///
+    /// Returns `None` if `node` is not an endpoint of `seg`.
+    pub fn other_endpoint(&self, seg: SegmentId, node: NodeId) -> Option<NodeId> {
+        let s = self.segment(seg);
+        if s.from == node {
+            Some(s.to)
+        } else if s.to == node {
+            Some(s.from)
+        } else {
+            None
+        }
+    }
+
+    /// Degree of `node` (number of incident segments).
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.incident_segments(node).len()
+    }
+
+    /// Connected components of the undirected network, as lists of node ids.
+    ///
+    /// Components are ordered by their smallest node id; nodes within a
+    /// component are in discovery (BFS) order.
+    pub fn connected_components(&self) -> Vec<Vec<NodeId>> {
+        let n = self.num_nodes();
+        let mut visited = vec![false; n];
+        let mut components = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            visited[start] = true;
+            queue.push_back(NodeId::from_index(start));
+            while let Some(node) = queue.pop_front() {
+                comp.push(node);
+                for &seg in self.incident_segments(node) {
+                    if let Some(next) = self.other_endpoint(seg, node) {
+                        if !visited[next.index()] {
+                            visited[next.index()] = true;
+                            queue.push_back(next);
+                        }
+                    }
+                }
+            }
+            components.push(comp);
+        }
+        components
+    }
+
+    /// Dijkstra shortest path by segment length between two nodes.
+    ///
+    /// Returns the total length and the node sequence, or `None` if
+    /// unreachable. The network is treated as undirected (paper streets are
+    /// walkable both ways for exploration purposes).
+    pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<(f64, Vec<NodeId>)> {
+        let n = self.num_nodes();
+        if from.index() >= n || to.index() >= n {
+            return None;
+        }
+        let mut dist: Vec<f64> = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<NodeId>> = vec![None; n];
+        let mut heap: BinaryHeap<Reverse<(OrderedF64, NodeId)>> = BinaryHeap::new();
+        dist[from.index()] = 0.0;
+        heap.push(Reverse((OrderedF64::ZERO, from)));
+
+        while let Some(Reverse((d, node))) = heap.pop() {
+            if d.get() > dist[node.index()] {
+                continue; // stale entry
+            }
+            if node == to {
+                break;
+            }
+            for &seg in self.incident_segments(node) {
+                let Some(next) = self.other_endpoint(seg, node) else {
+                    continue;
+                };
+                let nd = d.get() + self.segment(seg).len();
+                if nd < dist[next.index()] {
+                    dist[next.index()] = nd;
+                    prev[next.index()] = Some(node);
+                    heap.push(Reverse((OrderedF64::new(nd), next)));
+                }
+            }
+        }
+
+        if dist[to.index()].is_infinite() {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while let Some(p) = prev[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some((dist[to.index()], path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_geo::Point;
+
+    fn grid_2x2() -> RoadNetwork {
+        // A 2x2 block of unit streets:
+        //   n2 - n3
+        //   |     |
+        //   n0 - n1
+        let mut b = RoadNetwork::builder();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(1.0, 0.0));
+        let n2 = b.add_node(Point::new(0.0, 1.0));
+        let n3 = b.add_node(Point::new(1.0, 1.0));
+        let s0 = b.add_street("bottom");
+        b.add_segment(s0, n0, n1);
+        let s1 = b.add_street("left");
+        b.add_segment(s1, n0, n2);
+        let s2 = b.add_street("top");
+        b.add_segment(s2, n2, n3);
+        let s3 = b.add_street("right");
+        b.add_segment(s3, n1, n3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn other_endpoint_and_degree() {
+        let net = grid_2x2();
+        assert_eq!(net.other_endpoint(SegmentId(0), NodeId(0)), Some(NodeId(1)));
+        assert_eq!(net.other_endpoint(SegmentId(0), NodeId(1)), Some(NodeId(0)));
+        assert_eq!(net.other_endpoint(SegmentId(0), NodeId(3)), None);
+        assert_eq!(net.degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn single_component() {
+        let net = grid_2x2();
+        let comps = net.connected_components();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 4);
+    }
+
+    #[test]
+    fn two_components() {
+        let mut b = RoadNetwork::builder();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(1.0, 0.0));
+        let n2 = b.add_node(Point::new(10.0, 10.0));
+        let n3 = b.add_node(Point::new(11.0, 10.0));
+        let a = b.add_street("a");
+        b.add_segment(a, n0, n1);
+        let c = b.add_street("b");
+        b.add_segment(c, n2, n3);
+        let net = b.build().unwrap();
+        let comps = net.connected_components();
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn shortest_path_around_block() {
+        let net = grid_2x2();
+        let (d, path) = net.shortest_path(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(d, 2.0);
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0], NodeId(0));
+        assert_eq!(path[2], NodeId(3));
+    }
+
+    #[test]
+    fn shortest_path_to_self_is_zero() {
+        let net = grid_2x2();
+        let (d, path) = net.shortest_path(NodeId(1), NodeId(1)).unwrap();
+        assert_eq!(d, 0.0);
+        assert_eq!(path, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut b = RoadNetwork::builder();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(1.0, 0.0));
+        let n2 = b.add_node(Point::new(5.0, 5.0));
+        let n3 = b.add_node(Point::new(6.0, 5.0));
+        let a = b.add_street("a");
+        b.add_segment(a, n0, n1);
+        let c = b.add_street("b");
+        b.add_segment(c, n2, n3);
+        let net = b.build().unwrap();
+        assert!(net.shortest_path(NodeId(0), NodeId(2)).is_none());
+    }
+}

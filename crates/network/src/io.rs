@@ -1,0 +1,197 @@
+//! Line-oriented TSV round-trip format for road networks.
+//!
+//! The format is intentionally simple (header + three sections) so that
+//! datasets exported from real sources (e.g. OpenStreetMap extracts) can be
+//! produced by a few lines of scripting:
+//!
+//! ```text
+//! # soi-network v1
+//! nodes <N>
+//! <x>\t<y>                       // N lines; node id = line order
+//! streets <M>
+//! <name>                         // M lines; street id = line order
+//! segments <K>
+//! <street>\t<from>\t<to>         // K lines; segment id = line order
+//! ```
+
+use crate::network::{NetworkBuilder, RoadNetwork};
+use soi_common::{NodeId, Result, SoiError, StreetId};
+use soi_geo::Point;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+const HEADER: &str = "# soi-network v1";
+
+/// Writes `network` in the TSV format.
+pub fn write_network<W: Write>(network: &RoadNetwork, mut w: W) -> Result<()> {
+    writeln!(w, "{HEADER}")?;
+    writeln!(w, "nodes {}", network.num_nodes())?;
+    for node in network.nodes() {
+        writeln!(w, "{}\t{}", node.pos.x, node.pos.y)?;
+    }
+    writeln!(w, "streets {}", network.num_streets())?;
+    for street in network.streets() {
+        writeln!(w, "{}", street.name)?;
+    }
+    writeln!(w, "segments {}", network.num_segments())?;
+    for seg in network.segments() {
+        writeln!(w, "{}\t{}\t{}", seg.street.raw(), seg.from.raw(), seg.to.raw())?;
+    }
+    Ok(())
+}
+
+/// Reads a network in the TSV format.
+pub fn read_network<R: BufRead>(r: R) -> Result<RoadNetwork> {
+    let mut lines = r.lines().enumerate();
+
+    let mut next_line = |expect: &str| -> Result<(usize, String)> {
+        match lines.next() {
+            Some((i, Ok(line))) => Ok((i + 1, line)),
+            Some((i, Err(e))) => Err(SoiError::parse(i + 1, e.to_string())),
+            None => Err(SoiError::parse(0, format!("unexpected EOF, expected {expect}"))),
+        }
+    };
+
+    let (line_no, header) = next_line("header")?;
+    if header.trim() != HEADER {
+        return Err(SoiError::parse(line_no, format!("bad header {header:?}")));
+    }
+
+    fn section_count(line_no: usize, line: &str, name: &str) -> Result<usize> {
+        let rest = line
+            .strip_prefix(name)
+            .ok_or_else(|| SoiError::parse(line_no, format!("expected `{name} <count>`")))?;
+        rest.trim()
+            .parse::<usize>()
+            .map_err(|e| SoiError::parse(line_no, format!("bad count: {e}")))
+    }
+
+    let mut b = NetworkBuilder::default();
+
+    let (ln, line) = next_line("nodes section")?;
+    let n_nodes = section_count(ln, &line, "nodes")?;
+    for _ in 0..n_nodes {
+        let (ln, line) = next_line("node record")?;
+        let mut parts = line.split('\t');
+        let x = parts
+            .next()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| SoiError::parse(ln, "bad node x"))?;
+        let y = parts
+            .next()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| SoiError::parse(ln, "bad node y"))?;
+        b.add_node(Point::new(x, y));
+    }
+
+    let (ln, line) = next_line("streets section")?;
+    let n_streets = section_count(ln, &line, "streets")?;
+    for _ in 0..n_streets {
+        let (_, name) = next_line("street record")?;
+        b.add_street(name);
+    }
+
+    let (ln, line) = next_line("segments section")?;
+    let n_segments = section_count(ln, &line, "segments")?;
+    for _ in 0..n_segments {
+        let (ln, line) = next_line("segment record")?;
+        let mut parts = line.split('\t');
+        let mut field = |name: &str| -> Result<u32> {
+            parts
+                .next()
+                .and_then(|s| s.parse::<u32>().ok())
+                .ok_or_else(|| SoiError::parse(ln, format!("bad segment {name}")))
+        };
+        let street = field("street")?;
+        let from = field("from")?;
+        let to = field("to")?;
+        if street as usize >= n_streets || from as usize >= n_nodes || to as usize >= n_nodes {
+            return Err(SoiError::parse(ln, "segment references out-of-range id"));
+        }
+        b.add_segment(StreetId(street), NodeId(from), NodeId(to));
+    }
+
+    b.build()
+}
+
+/// Saves `network` to a file.
+pub fn save_network(network: &RoadNetwork, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_network(network, BufWriter::new(file))
+}
+
+/// Loads a network from a file.
+pub fn load_network(path: impl AsRef<Path>) -> Result<RoadNetwork> {
+    let file = std::fs::File::open(path)?;
+    read_network(BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RoadNetwork {
+        let mut b = RoadNetwork::builder();
+        let n0 = b.add_node(Point::new(0.5, -1.25));
+        let n1 = b.add_node(Point::new(2.0, 0.0));
+        let n2 = b.add_node(Point::new(2.0, 3.0));
+        let s0 = b.add_street("High Street");
+        b.add_segment(s0, n0, n1);
+        b.add_segment(s0, n1, n2);
+        let _empty = b.add_street("Unbuilt Road");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let net = sample();
+        let mut buf = Vec::new();
+        write_network(&net, &mut buf).unwrap();
+        let read = read_network(buf.as_slice()).unwrap();
+        assert_eq!(read.num_nodes(), net.num_nodes());
+        assert_eq!(read.num_segments(), net.num_segments());
+        assert_eq!(read.num_streets(), net.num_streets());
+        for (a, b) in net.nodes().iter().zip(read.nodes()) {
+            assert_eq!(a.pos, b.pos);
+        }
+        for (a, b) in net.segments().iter().zip(read.segments()) {
+            assert_eq!((a.street, a.from, a.to), (b.street, b.from, b.to));
+        }
+        assert_eq!(read.street(StreetId(0)).name, "High Street");
+        assert_eq!(read.street(StreetId(1)).name, "Unbuilt Road");
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_network("wrong\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let net = sample();
+        let mut buf = Vec::new();
+        write_network(&net, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let truncated: String = text.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(read_network(truncated.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_segment() {
+        let text = "# soi-network v1\nnodes 1\n0\t0\nstreets 1\ns\nsegments 1\n0\t0\t5\n";
+        let err = read_network(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("out-of-range"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("soi_network_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.tsv");
+        let net = sample();
+        save_network(&net, &path).unwrap();
+        let read = load_network(&path).unwrap();
+        assert_eq!(read.num_segments(), net.num_segments());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,27 @@
+//! The road-network substrate.
+//!
+//! The paper models a road network as a directed graph `G = (V, L)` whose
+//! vertices are street intersections or breakpoints and whose links are
+//! street segments represented as line segments; each segment belongs to
+//! exactly one street `s ∈ S`, a simple path of consecutive segments
+//! (Sec. 3.1). This crate provides:
+//!
+//! - [`model`]: the [`Node`], [`Segment`], and [`Street`] records;
+//! - [`network`]: the immutable [`RoadNetwork`] and its [`NetworkBuilder`];
+//! - [`graph`]: adjacency queries, connected components, and shortest paths
+//!   (used by the route-sketching extension);
+//! - [`stats`]: the dataset statistics of the paper's Table 1;
+//! - [`io`]: a line-oriented TSV round-trip format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod io;
+pub mod model;
+pub mod network;
+pub mod stats;
+
+pub use model::{Node, Segment, Street};
+pub use network::{NetworkBuilder, RoadNetwork};
+pub use stats::NetworkStats;

@@ -1,0 +1,77 @@
+//! Property-based tests: every R-tree query must agree with brute force on
+//! random point sets, for several fanouts.
+
+use proptest::prelude::*;
+use soi_geo::{Point, Rect};
+use soi_rtree::RTree;
+
+fn points() -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..120)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #[test]
+    fn range_matches_brute_force(
+        pts in points(),
+        q in ((-60.0f64..60.0), (-60.0f64..60.0), (0.0f64..40.0), (0.0f64..40.0)),
+        fanout in 2usize..20,
+    ) {
+        let rect = Rect::new(
+            Point::new(q.0, q.1),
+            Point::new(q.0 + q.2, q.1 + q.3),
+        );
+        let tree: RTree<Point> = RTree::bulk_load_with_fanout(pts.clone(), fanout);
+        let mut got = 0usize;
+        tree.search_rect(&rect, |_| got += 1);
+        let want = pts.iter().filter(|p| rect.contains(**p)).count();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn within_dist_matches_brute_force(
+        pts in points(),
+        center in ((-60.0f64..60.0), (-60.0f64..60.0)),
+        dist in 0.0f64..30.0,
+        fanout in 2usize..20,
+    ) {
+        let c = Point::new(center.0, center.1);
+        let tree: RTree<Point> = RTree::bulk_load_with_fanout(pts.clone(), fanout);
+        let mut got = 0usize;
+        tree.search_within_dist(c, dist, |_| got += 1);
+        let want = pts.iter().filter(|p| p.dist(c) <= dist).count();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nearest_k_matches_brute_force(
+        pts in points(),
+        q in ((-60.0f64..60.0), (-60.0f64..60.0)),
+        k in 0usize..15,
+        fanout in 2usize..20,
+    ) {
+        let qp = Point::new(q.0, q.1);
+        let tree: RTree<Point> = RTree::bulk_load_with_fanout(pts.clone(), fanout);
+        let got: Vec<f64> = tree.nearest_k(qp, k).iter().map(|&(_, d)| d).collect();
+        let mut want: Vec<f64> = pts.iter().map(|p| p.dist(qp)).collect();
+        want.sort_by(f64::total_cmp);
+        want.truncate(k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bounds_cover_all_items(pts in points(), fanout in 2usize..20) {
+        let tree: RTree<Point> = RTree::bulk_load_with_fanout(pts.clone(), fanout);
+        match tree.bounds() {
+            None => prop_assert!(pts.is_empty()),
+            Some(b) => {
+                for p in &pts {
+                    prop_assert!(b.contains(*p));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Generic inverted indexes with id-sorted postings.
+//!
+//! The paper's indexes keep, inside every grid cell, "a local inverted index
+//! on the set of keywords among the cell POIs. The entry for keyword ψ is a
+//! list of POIs sorted increasingly on POI id" (Sec. 3.2.1), and count
+//! multi-keyword matches by traversing the per-keyword lists "in parallel"
+//! (Sec. 3.2.2) so each document is counted once. [`InvertedIndex`] is that
+//! structure, generic over the document id type; [`union_distinct`] is the
+//! synchronous k-way traversal.
+
+use soi_common::{FxHashMap, KeywordId};
+
+/// An inverted index mapping keywords to id-sorted postings lists.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex<D> {
+    postings: FxHashMap<KeywordId, Vec<D>>,
+    num_docs: usize,
+}
+
+impl<D> Default for InvertedIndex<D> {
+    fn default() -> Self {
+        Self {
+            postings: FxHashMap::default(),
+            num_docs: 0,
+        }
+    }
+}
+
+impl<D: Copy + Ord> InvertedIndex<D> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a document with its keyword set.
+    ///
+    /// Documents must be added in ascending id order (postings stay sorted
+    /// without per-insert sorting); this is debug-asserted.
+    pub fn add_document<I: IntoIterator<Item = KeywordId>>(&mut self, doc: D, keywords: I) {
+        for k in keywords {
+            let list = self.postings.entry(k).or_default();
+            debug_assert!(
+                list.last().is_none_or(|&last| last <= doc),
+                "documents must be added in ascending id order"
+            );
+            if list.last() != Some(&doc) {
+                list.push(doc);
+            }
+        }
+        self.num_docs += 1;
+    }
+
+    /// The postings list for `k` (empty slice if absent).
+    pub fn postings(&self, k: KeywordId) -> &[D] {
+        self.postings.get(&k).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of documents containing `k`.
+    pub fn doc_frequency(&self, k: KeywordId) -> usize {
+        self.postings(k).len()
+    }
+
+    /// Number of documents added.
+    pub fn num_documents(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Number of distinct keywords.
+    pub fn num_keywords(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Iterates over `(keyword, postings)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (KeywordId, &[D])> {
+        self.postings.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// Calls `f` once per distinct document appearing in the postings of any
+    /// of `keywords`, in ascending document order.
+    ///
+    /// This is the paper's synchronous multi-list traversal: a document with
+    /// several matching keywords is visited exactly once.
+    pub fn for_each_matching<F: FnMut(D)>(&self, keywords: &[KeywordId], f: F) {
+        let lists: Vec<&[D]> = keywords.iter().map(|&k| self.postings(k)).collect();
+        union_distinct(&lists, f);
+    }
+
+    /// Counts distinct documents matching any of `keywords`.
+    pub fn count_matching(&self, keywords: &[KeywordId]) -> usize {
+        let mut n = 0;
+        self.for_each_matching(keywords, |_| n += 1);
+        n
+    }
+}
+
+/// K-way distinct union of id-sorted lists: calls `f` exactly once per
+/// distinct element, in ascending order.
+///
+/// Lists must each be sorted ascending (duplicates within a list allowed).
+pub fn union_distinct<D: Copy + Ord, F: FnMut(D)>(lists: &[&[D]], mut f: F) {
+    let mut cursors: Vec<usize> = vec![0; lists.len()];
+    loop {
+        // Find the smallest head among all lists.
+        let mut smallest: Option<D> = None;
+        for (li, list) in lists.iter().enumerate() {
+            if let Some(&head) = list.get(cursors[li]) {
+                smallest = Some(match smallest {
+                    Some(s) if s <= head => s,
+                    _ => head,
+                });
+            }
+        }
+        let Some(value) = smallest else { break };
+        f(value);
+        // Advance every cursor past this value (handles duplicates).
+        for (li, list) in lists.iter().enumerate() {
+            let c = &mut cursors[li];
+            while *c < list.len() && list[*c] == value {
+                *c += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kid(i: u32) -> KeywordId {
+        KeywordId(i)
+    }
+
+    #[test]
+    fn postings_sorted_and_queryable() {
+        let mut idx: InvertedIndex<u32> = InvertedIndex::new();
+        idx.add_document(1, [kid(0), kid(1)]);
+        idx.add_document(2, [kid(1)]);
+        idx.add_document(5, [kid(0)]);
+        assert_eq!(idx.postings(kid(0)), &[1, 5]);
+        assert_eq!(idx.postings(kid(1)), &[1, 2]);
+        assert_eq!(idx.postings(kid(9)), &[] as &[u32]);
+        assert_eq!(idx.doc_frequency(kid(0)), 2);
+        assert_eq!(idx.num_documents(), 3);
+        assert_eq!(idx.num_keywords(), 2);
+    }
+
+    #[test]
+    fn duplicate_keywords_in_one_document_stored_once() {
+        let mut idx: InvertedIndex<u32> = InvertedIndex::new();
+        idx.add_document(3, [kid(0), kid(0), kid(0)]);
+        assert_eq!(idx.postings(kid(0)), &[3]);
+    }
+
+    #[test]
+    fn union_distinct_merges_without_duplicates() {
+        let a = [1u32, 3, 5, 7];
+        let b = [2u32, 3, 4, 7];
+        let c = [7u32, 8];
+        let mut out = Vec::new();
+        union_distinct(&[&a, &b, &c], |d| out.push(d));
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 7, 8]);
+    }
+
+    #[test]
+    fn union_distinct_handles_empty_and_single() {
+        let mut out = Vec::new();
+        union_distinct::<u32, _>(&[], |d| out.push(d));
+        assert!(out.is_empty());
+        union_distinct(&[&[] as &[u32]], |d| out.push(d));
+        assert!(out.is_empty());
+        union_distinct(&[&[4u32, 4, 4] as &[u32]], |d| out.push(d));
+        assert_eq!(out, vec![4]);
+    }
+
+    #[test]
+    fn for_each_matching_counts_docs_once() {
+        let mut idx: InvertedIndex<u32> = InvertedIndex::new();
+        idx.add_document(1, [kid(0), kid(1)]);
+        idx.add_document(2, [kid(0)]);
+        idx.add_document(3, [kid(1)]);
+        idx.add_document(4, [kid(2)]);
+        assert_eq!(idx.count_matching(&[kid(0), kid(1)]), 3);
+        assert_eq!(idx.count_matching(&[kid(2)]), 1);
+        assert_eq!(idx.count_matching(&[kid(7)]), 0);
+        let mut seen = Vec::new();
+        idx.for_each_matching(&[kid(0), kid(1)], |d| seen.push(d));
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+}

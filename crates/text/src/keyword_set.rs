@@ -1,0 +1,227 @@
+//! Sorted keyword-id sets.
+
+use soi_common::KeywordId;
+
+/// A sorted, deduplicated set of keyword ids.
+///
+/// This is the representation of `Ψp` (POI keywords), `Ψr` (photo tags), and
+/// query keyword sets `Ψ`. Sorted storage makes the hot operations —
+/// emptiness of `Ψp ∩ Ψ` (Definition 1) and the Jaccard distance
+/// (Definition 7) — linear merges without hashing.
+///
+/// ```
+/// use soi_common::KeywordId;
+/// use soi_text::KeywordSet;
+///
+/// let a = KeywordSet::from_ids([KeywordId(1), KeywordId(2), KeywordId(3)]);
+/// let b = KeywordSet::from_ids([KeywordId(3), KeywordId(4)]);
+/// assert!(a.intersects(&b));
+/// assert_eq!(a.intersection_size(&b), 1);
+/// assert_eq!(a.jaccard_distance(&b), 1.0 - 1.0 / 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct KeywordSet {
+    ids: Vec<KeywordId>,
+}
+
+impl KeywordSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from arbitrary ids (sorted and deduplicated).
+    pub fn from_ids<I: IntoIterator<Item = KeywordId>>(ids: I) -> Self {
+        let mut ids: Vec<KeywordId> = ids.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Self { ids }
+    }
+
+    /// Number of keywords in the set.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns true if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The sorted ids.
+    pub fn ids(&self) -> &[KeywordId] {
+        &self.ids
+    }
+
+    /// Iterates over the ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = KeywordId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, id: KeywordId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Size of the intersection with `other` (linear merge).
+    pub fn intersection_size(&self, other: &KeywordSet) -> usize {
+        let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Size of the union with `other`.
+    pub fn union_size(&self, other: &KeywordSet) -> usize {
+        self.ids.len() + other.ids.len() - self.intersection_size(other)
+    }
+
+    /// Returns true if the sets share at least one keyword
+    /// (`Ψp ∩ Ψ ≠ ∅`, the relevance predicate of Definition 1).
+    pub fn intersects(&self, other: &KeywordSet) -> bool {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Jaccard distance `1 − |A∩B| / |A∪B|` (Definition 7).
+    ///
+    /// The distance of two empty sets is defined as 0 (identical).
+    pub fn jaccard_distance(&self, other: &KeywordSet) -> f64 {
+        let union = self.union_size(other);
+        if union == 0 {
+            return 0.0;
+        }
+        1.0 - self.intersection_size(other) as f64 / union as f64
+    }
+
+    /// The intersection as a new set.
+    pub fn intersection(&self, other: &KeywordSet) -> KeywordSet {
+        let mut out = Vec::with_capacity(self.ids.len().min(other.ids.len()));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        KeywordSet { ids: out }
+    }
+
+    /// The union as a new set.
+    pub fn union(&self, other: &KeywordSet) -> KeywordSet {
+        let mut out = Vec::with_capacity(self.ids.len() + other.ids.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.ids[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.ids[i..]);
+        out.extend_from_slice(&other.ids[j..]);
+        KeywordSet { ids: out }
+    }
+}
+
+impl FromIterator<KeywordId> for KeywordSet {
+    fn from_iter<T: IntoIterator<Item = KeywordId>>(iter: T) -> Self {
+        Self::from_ids(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> KeywordSet {
+        KeywordSet::from_ids(ids.iter().map(|&i| KeywordId(i)))
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let s = set(&[5, 1, 3, 1, 5]);
+        assert_eq!(s.len(), 3);
+        let raw: Vec<u32> = s.iter().map(u32::from).collect();
+        assert_eq!(raw, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn membership() {
+        let s = set(&[2, 4, 6]);
+        assert!(s.contains(KeywordId(4)));
+        assert!(!s.contains(KeywordId(5)));
+        assert!(!KeywordSet::empty().contains(KeywordId(0)));
+    }
+
+    #[test]
+    fn intersection_and_union_sizes() {
+        let a = set(&[1, 2, 3, 4]);
+        let b = set(&[3, 4, 5]);
+        assert_eq!(a.intersection_size(&b), 2);
+        assert_eq!(a.union_size(&b), 5);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&set(&[9, 10])));
+        assert!(!a.intersects(&KeywordSet::empty()));
+    }
+
+    #[test]
+    fn jaccard_distance_cases() {
+        let a = set(&[1, 2]);
+        assert_eq!(a.jaccard_distance(&a), 0.0);
+        assert_eq!(a.jaccard_distance(&set(&[3, 4])), 1.0);
+        assert!((a.jaccard_distance(&set(&[2, 3])) - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
+        // Both empty: identical by convention.
+        assert_eq!(KeywordSet::empty().jaccard_distance(&KeywordSet::empty()), 0.0);
+        // One empty, one not: maximally distant.
+        assert_eq!(a.jaccard_distance(&KeywordSet::empty()), 1.0);
+    }
+
+    #[test]
+    fn intersection_and_union_sets() {
+        let a = set(&[1, 3, 5]);
+        let b = set(&[2, 3, 4, 5]);
+        assert_eq!(a.intersection(&b), set(&[3, 5]));
+        assert_eq!(a.union(&b), set(&[1, 2, 3, 4, 5]));
+        assert_eq!(a.union(&KeywordSet::empty()), a);
+        assert_eq!(a.intersection(&KeywordSet::empty()), KeywordSet::empty());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: KeywordSet = [KeywordId(2), KeywordId(1), KeywordId(2)].into_iter().collect();
+        assert_eq!(s, set(&[1, 2]));
+    }
+}

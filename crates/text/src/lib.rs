@@ -1,0 +1,31 @@
+//! Text processing for the streets-of-interest system.
+//!
+//! POIs and photos carry keyword sets (`Ψp`, `Ψr` in the paper); streets
+//! carry keyword frequency vectors (`Φs`). This crate provides:
+//!
+//! - [`tokenize()`](tokenize()): normalisation of raw names/tags into keyword tokens;
+//! - [`Vocabulary`]: string ↔ [`KeywordId`](soi_common::KeywordId) interning,
+//!   so all hot-path keyword operations work on dense `u32` ids;
+//! - [`KeywordSet`]: a sorted, deduplicated keyword-id set with the set
+//!   operations the measures need (intersection counts, Jaccard distance of
+//!   Definition 7);
+//! - [`FreqVector`]: the keyword frequency vector `Φs` with its L1 norm
+//!   (Definition 6);
+//! - [`InvertedIndex`]: generic postings lists sorted by document id, plus
+//!   the k-way *distinct* union traversal the paper uses to count
+//!   multi-keyword matches exactly once (Sec. 3.2.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod freq;
+pub mod inverted;
+pub mod keyword_set;
+pub mod tokenize;
+pub mod vocab;
+
+pub use freq::FreqVector;
+pub use inverted::{union_distinct, InvertedIndex};
+pub use keyword_set::KeywordSet;
+pub use tokenize::tokenize;
+pub use vocab::Vocabulary;

@@ -1,0 +1,93 @@
+//! Keyword tokenisation.
+//!
+//! Crowdsourced names, descriptions, and photo tags are noisy; the paper
+//! derives keyword sets "from its name, description, tags". We normalise the
+//! same way for every source so that POI keywords, photo tags, and query
+//! keywords land in one vocabulary: Unicode-lowercase, split on
+//! non-alphanumeric characters, drop one-character tokens and a small
+//! English stopword list.
+
+/// Minimal English stopword list: frequent glue words that carry no topical
+/// signal for street ranking.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "at", "by", "de", "for", "in", "la", "le", "of", "on", "or", "the", "to",
+    "with",
+];
+
+/// Returns true if `token` is a stopword.
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.binary_search(&token).is_ok()
+}
+
+/// Tokenises raw text into normalised keywords.
+///
+/// Splits on any non-alphanumeric character, lowercases, and drops
+/// single-character tokens and stopwords. The output preserves first-seen
+/// order and may contain duplicates (deduplication happens when building a
+/// [`KeywordSet`](crate::KeywordSet)).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for raw in text.split(|c: char| !c.is_alphanumeric()) {
+        if raw.len() <= 1 {
+            continue;
+        }
+        let token = raw.to_lowercase();
+        if token.len() <= 1 || is_stopword(&token) {
+            continue;
+        }
+        out.push(token);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopword_list_is_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS);
+    }
+
+    #[test]
+    fn splits_and_lowercases() {
+        assert_eq!(
+            tokenize("Oxford Street, Shopping-Mall"),
+            vec!["oxford", "street", "shopping", "mall"]
+        );
+    }
+
+    #[test]
+    fn drops_stopwords_and_short_tokens() {
+        assert_eq!(
+            tokenize("The Church of St X at London"),
+            vec!["church", "st", "london"]
+        );
+    }
+
+    #[test]
+    fn handles_unicode() {
+        assert_eq!(
+            tokenize("Schönhauser Straße"),
+            vec!["schönhauser", "straße"]
+        );
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! -- ..").is_empty());
+    }
+
+    #[test]
+    fn keeps_duplicates() {
+        assert_eq!(tokenize("shop shop"), vec!["shop", "shop"]);
+    }
+
+    #[test]
+    fn numeric_tokens_survive() {
+        assert_eq!(tokenize("route 66 cafe"), vec!["route", "66", "cafe"]);
+    }
+}

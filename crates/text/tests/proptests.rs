@@ -1,0 +1,98 @@
+//! Property-based tests for keyword sets, frequency vectors, and postings.
+
+use proptest::prelude::*;
+use soi_common::KeywordId;
+use soi_text::{union_distinct, FreqVector, InvertedIndex, KeywordSet};
+use std::collections::BTreeSet;
+
+fn kwset() -> impl Strategy<Value = KeywordSet> {
+    proptest::collection::vec(0u32..40, 0..12)
+        .prop_map(|ids| KeywordSet::from_ids(ids.into_iter().map(KeywordId)))
+}
+
+proptest! {
+    #[test]
+    fn jaccard_distance_is_a_bounded_semimetric(a in kwset(), b in kwset()) {
+        let d = a.jaccard_distance(&b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((d - b.jaccard_distance(&a)).abs() < 1e-12);
+        prop_assert_eq!(a.jaccard_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn jaccard_triangle_inequality(a in kwset(), b in kwset(), c in kwset()) {
+        // Jaccard distance is a true metric; check the triangle inequality.
+        let ab = a.jaccard_distance(&b);
+        let bc = b.jaccard_distance(&c);
+        let ac = a.jaccard_distance(&c);
+        prop_assert!(ac <= ab + bc + 1e-12);
+    }
+
+    #[test]
+    fn set_ops_match_btreeset(xs in proptest::collection::vec(0u32..30, 0..15),
+                              ys in proptest::collection::vec(0u32..30, 0..15)) {
+        let a = KeywordSet::from_ids(xs.iter().map(|&i| KeywordId(i)));
+        let b = KeywordSet::from_ids(ys.iter().map(|&i| KeywordId(i)));
+        let sa: BTreeSet<u32> = xs.into_iter().collect();
+        let sb: BTreeSet<u32> = ys.into_iter().collect();
+        prop_assert_eq!(a.intersection_size(&b), sa.intersection(&sb).count());
+        prop_assert_eq!(a.union_size(&b), sa.union(&sb).count());
+        prop_assert_eq!(a.intersects(&b), !sa.is_disjoint(&sb));
+        let inter: Vec<u32> = a.intersection(&b).iter().map(u32::from).collect();
+        let expect: Vec<u32> = sa.intersection(&sb).copied().collect();
+        prop_assert_eq!(inter, expect);
+        let uni: Vec<u32> = a.union(&b).iter().map(u32::from).collect();
+        let expect: Vec<u32> = sa.union(&sb).copied().collect();
+        prop_assert_eq!(uni, expect);
+    }
+
+    #[test]
+    fn freq_vector_l1_matches_sum(pairs in proptest::collection::vec((0u32..20, 0.0f64..10.0), 0..20)) {
+        let v = FreqVector::from_weights(pairs.iter().map(|&(k, w)| (KeywordId(k), w)));
+        let manual: f64 = v.iter().map(|(_, w)| w).sum();
+        prop_assert!((v.l1_norm() - manual).abs() < 1e-9);
+        // sum over full support equals the norm.
+        prop_assert!((v.sum_over(&v.support()) - v.l1_norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_distinct_matches_btreeset(lists in proptest::collection::vec(
+        proptest::collection::vec(0u32..50, 0..20), 0..5)) {
+        let sorted: Vec<Vec<u32>> = lists
+            .iter()
+            .map(|l| {
+                let mut l = l.clone();
+                l.sort_unstable();
+                l
+            })
+            .collect();
+        let refs: Vec<&[u32]> = sorted.iter().map(Vec::as_slice).collect();
+        let mut got = Vec::new();
+        union_distinct(&refs, |d| got.push(d));
+        let expect: Vec<u32> = sorted
+            .iter()
+            .flatten()
+            .copied()
+            .collect::<BTreeSet<u32>>()
+            .into_iter()
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn inverted_index_count_matches_naive(
+        docs in proptest::collection::vec(proptest::collection::vec(0u32..10, 0..5), 0..25),
+        query in proptest::collection::vec(0u32..10, 0..4),
+    ) {
+        let mut idx: InvertedIndex<u32> = InvertedIndex::new();
+        for (i, kws) in docs.iter().enumerate() {
+            idx.add_document(i as u32, kws.iter().map(|&k| KeywordId(k)));
+        }
+        let qk: Vec<KeywordId> = query.iter().map(|&k| KeywordId(k)).collect();
+        let naive = docs
+            .iter()
+            .filter(|kws| kws.iter().any(|k| query.contains(k)))
+            .count();
+        prop_assert_eq!(idx.count_matching(&qk), naive);
+    }
+}

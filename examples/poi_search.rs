@@ -1,0 +1,87 @@
+//! Single POIs vs whole streets, and picking λ.
+//!
+//! The paper's introduction contrasts classic spatio-textual retrieval
+//! ("identify a single POI") with its street-level formulation. This
+//! example runs both on the same city — the k nearest relevant POIs via
+//! the hybrid spatio-textual R-tree, then the k-SOI street ranking — and
+//! finishes with the Figure-5 λ sweep, letting the knee detector pick the
+//! "value for money" trade-off for the photo summary.
+//!
+//! Run with: `cargo run --release --example poi_search`
+
+use streets_of_interest::prelude::*;
+use streets_of_interest::core::describe::{knee, sweep_lambda};
+
+fn main() {
+    let (dataset, _truth) = soi_datagen::generate(&soi_datagen::vienna(0.05));
+    let eps = 0.0005;
+
+    // --- Single-POI retrieval (Sec. 2.1 related work): the 5 food POIs
+    // nearest to the city centre.
+    let center = dataset
+        .extent()
+        .map(|e| e.center())
+        .unwrap_or(Point::ORIGIN);
+    let ir_tree = IrTree::build(&dataset.pois);
+    let keywords = dataset.query_keywords(&["food"]);
+    println!("5 nearest food POIs to the city centre {center}:");
+    for (rank, (pid, dist)) in ir_tree.top_k_relevant(center, &keywords, 5).iter().enumerate() {
+        let poi = dataset.pois.get(*pid);
+        let kws: Vec<&str> = poi
+            .keywords
+            .iter()
+            .filter_map(|k| dataset.vocab.term(k))
+            .collect();
+        println!("  {}. poi #{:<5} {:>9.6} away  [{}]", rank + 1, pid.raw(), dist, kws.join(", "));
+    }
+
+    // --- Street-level retrieval (the paper's contribution): same keywords.
+    let index = PoiIndex::build(&dataset.network, &dataset.pois, 2.0 * eps);
+    let query = SoiQuery::new(keywords, 5, eps).unwrap();
+    let streets = run_soi(
+        &dataset.network,
+        &dataset.pois,
+        &index,
+        &query,
+        &SoiConfig::default(),
+    );
+    println!("\ntop 5 food streets (k-SOI):");
+    for r in &streets.results {
+        println!(
+            "  {:<22} interest {:>12.1}",
+            dataset.network.street(r.street).name,
+            r.interest
+        );
+    }
+
+    // --- Choosing λ for the summary: sweep and pick the knee.
+    let photo_grid = PhotoGrid::build(&dataset.network, &dataset.photos, 2.0 * eps);
+    let ctx = ContextBuilder {
+        network: &dataset.network,
+        photos: &dataset.photos,
+        photo_grid: &photo_grid,
+        pois: Some(&dataset.pois),
+        eps,
+        rho: 0.0001,
+        phi_source: PhiSource::Photos,
+    }
+    .build(streets.results[0].street);
+
+    let lambdas = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let points = sweep_lambda(&ctx, &dataset.photos, 10, 0.5, &lambdas).unwrap();
+    let knee_idx = knee(&points);
+    println!(
+        "\nλ sweep for the summary of {} ({} candidate photos):",
+        dataset.network.street(streets.results[0].street).name,
+        ctx.members.len()
+    );
+    for (i, p) in points.iter().enumerate() {
+        println!(
+            "  λ={:.2}  relevance {:.4}  diversity {:.4}{}",
+            p.lambda,
+            p.relevance,
+            p.diversity,
+            if Some(i) == knee_idx { "   ← knee (best value for money)" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! End-to-end integration tests across the whole workspace: generator →
+//! indexes → identification → description, on realistically structured
+//! synthetic cities.
+
+use streets_of_interest::prelude::*;
+
+const EPS: f64 = 0.0005;
+const RHO: f64 = 0.0001;
+
+fn city() -> (Dataset, soi_datagen::GroundTruth) {
+    soi_datagen::generate(&soi_datagen::berlin(0.02))
+}
+
+#[test]
+fn identification_finds_planted_destinations() {
+    let (dataset, truth) = city();
+    let index = PoiIndex::build(&dataset.network, &dataset.pois, 2.0 * EPS);
+    let query = SoiQuery::new(dataset.query_keywords(&["shop"]), 10, EPS).unwrap();
+    let outcome = run_soi(
+        &dataset.network,
+        &dataset.pois,
+        &index,
+        &query,
+        &SoiConfig::default(),
+    );
+    let planted = truth.for_category("shop");
+    let hits = outcome
+        .results
+        .iter()
+        .filter(|r| planted.contains(&r.street))
+        .count();
+    // The paper reports recall 0.8 at rank 10; the planted ground truth
+    // should be found at least that well.
+    assert!(
+        hits as f64 / planted.len() as f64 >= 0.8,
+        "recall@10 too low: {hits}/{}",
+        planted.len()
+    );
+}
+
+#[test]
+fn soi_and_baseline_agree_on_generated_city() {
+    let (dataset, _) = city();
+    let index = PoiIndex::build(&dataset.network, &dataset.pois, 2.0 * EPS);
+    for keywords in [vec!["shop"], vec!["food", "culture"], vec!["religion"]] {
+        for k in [1usize, 5, 25] {
+            let query = SoiQuery::new(dataset.query_keywords(&keywords), k, EPS).unwrap();
+            let soi = run_soi(
+                &dataset.network,
+                &dataset.pois,
+                &index,
+                &query,
+                &SoiConfig::default(),
+            );
+            let bl = run_baseline(
+                &dataset.network,
+                &dataset.pois,
+                &index,
+                &query,
+                StreetAggregate::Max,
+            );
+            assert_eq!(
+                soi.street_ids(),
+                bl.street_ids(),
+                "keywords {keywords:?} k={k}"
+            );
+            for (a, b) in soi.results.iter().zip(bl.results.iter()) {
+                assert!((a.interest - b.interest).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn description_pipeline_is_deterministic_and_consistent() {
+    let (dataset, _) = city();
+    let index = PoiIndex::build(&dataset.network, &dataset.pois, 2.0 * EPS);
+    let photo_grid = PhotoGrid::build(&dataset.network, &dataset.photos, 2.0 * EPS);
+
+    let query = SoiQuery::new(dataset.query_keywords(&["shop"]), 1, EPS).unwrap();
+    let top = run_soi(
+        &dataset.network,
+        &dataset.pois,
+        &index,
+        &query,
+        &SoiConfig::default(),
+    )
+    .results[0]
+        .street;
+
+    let builder = ContextBuilder {
+        network: &dataset.network,
+        photos: &dataset.photos,
+        photo_grid: &photo_grid,
+        pois: Some(&dataset.pois),
+        eps: EPS,
+        rho: RHO,
+        phi_source: PhiSource::Photos,
+    };
+    let ctx = builder.build(top);
+    assert!(!ctx.members.is_empty(), "top shop street has no photos");
+
+    let params = DescribeParams::new(8, 0.5, 0.5).unwrap();
+    let fast = st_rel_div(&ctx, &dataset.photos, &params);
+    let slow = greedy_select(&ctx, &dataset.photos, &params);
+    assert_eq!(fast.selected, slow.selected);
+    assert_eq!(fast.selected.len(), 8.min(ctx.members.len()));
+
+    // Deterministic across a rebuild of the context.
+    let ctx2 = builder.build(top);
+    let again = st_rel_div(&ctx2, &dataset.photos, &params);
+    assert_eq!(fast.selected, again.selected);
+
+    // All selected photos really belong to the street's photo set.
+    for pid in &fast.selected {
+        assert!(ctx.members.contains(pid));
+    }
+}
+
+#[test]
+fn all_nine_methods_produce_valid_summaries_and_st_rel_div_wins() {
+    let (dataset, _) = city();
+    let index = PoiIndex::build(&dataset.network, &dataset.pois, 2.0 * EPS);
+    let photo_grid = PhotoGrid::build(&dataset.network, &dataset.photos, 2.0 * EPS);
+    let query = SoiQuery::new(dataset.query_keywords(&["shop"]), 1, EPS).unwrap();
+    let top = run_soi(
+        &dataset.network,
+        &dataset.pois,
+        &index,
+        &query,
+        &SoiConfig::default(),
+    )
+    .results[0]
+        .street;
+    let ctx = ContextBuilder {
+        network: &dataset.network,
+        photos: &dataset.photos,
+        photo_grid: &photo_grid,
+        pois: Some(&dataset.pois),
+        eps: EPS,
+        rho: RHO,
+        phi_source: PhiSource::Photos,
+    }
+    .build(top);
+
+    let k = 5.min(ctx.members.len());
+    let eval = DescribeParams::new(k, 0.5, 0.5).unwrap();
+    let mut best_score = f64::NEG_INFINITY;
+    let mut st_score = f64::NEG_INFINITY;
+    let mut rel_only_scores = Vec::new();
+    for method in MethodSpec::all() {
+        let params = method.params(k, 0.5, 0.5);
+        let out = st_rel_div(&ctx, &dataset.photos, &params);
+        assert_eq!(out.selected.len(), k, "{method}");
+        let score =
+            soi_core::describe::objective(&ctx, &dataset.photos, &eval, &out.selected);
+        if method == MethodSpec::st_rel_div() {
+            st_score = score;
+        }
+        if method.criterion == soi_core::describe::Criterion::Rel {
+            rel_only_scores.push(score);
+        }
+        best_score = best_score.max(score);
+    }
+    // The paper's Table 3 claim, with the honest caveat that all methods
+    // are greedy heuristics: ST_Rel+Div directly (greedily) optimises the
+    // evaluation criterion, so it must be at (or within a hair of) the
+    // best, and clearly above every pure-relevance method.
+    assert!(
+        st_score >= best_score * 0.99,
+        "ST_Rel+Div ({st_score}) far from best ({best_score})"
+    );
+    for rel in rel_only_scores {
+        assert!(
+            st_score > rel,
+            "ST_Rel+Div ({st_score}) not above a relevance-only method ({rel})"
+        );
+    }
+}
+
+#[test]
+fn route_covers_all_result_streets() {
+    let (dataset, _) = city();
+    let index = PoiIndex::build(&dataset.network, &dataset.pois, 2.0 * EPS);
+    let query = SoiQuery::new(dataset.query_keywords(&["food"]), 6, EPS).unwrap();
+    let outcome = run_soi(
+        &dataset.network,
+        &dataset.pois,
+        &index,
+        &query,
+        &SoiConfig::default(),
+    );
+    let route = sketch_route(&dataset.network, &outcome.results);
+    assert_eq!(route.len(), outcome.results.len());
+    let mut sorted_route = route.clone();
+    sorted_route.sort();
+    sorted_route.dedup();
+    assert_eq!(sorted_route.len(), route.len(), "route repeats a street");
+    assert_eq!(route[0], outcome.results[0].street, "route starts at top SOI");
+}
