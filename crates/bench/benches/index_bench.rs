@@ -30,13 +30,7 @@ fn bench_build(c: &mut Criterion) {
         })
     });
     group.bench_function("eager_epsilon_maps", |b| {
-        b.iter(|| {
-            black_box(EpsilonMaps::build(
-                &city.dataset.network,
-                &city.index,
-                EPS,
-            ))
-        })
+        b.iter(|| black_box(EpsilonMaps::build(&city.dataset.network, &city.index, EPS)))
     });
     group.finish();
 }

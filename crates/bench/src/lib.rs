@@ -53,7 +53,8 @@ impl BenchCity {
     pub fn query(&self, num_keywords: usize, k: usize) -> SoiQuery {
         let all = ["religion", "education", "food", "services"];
         SoiQuery::new(
-            self.dataset.query_keywords(&all[..num_keywords.clamp(1, 4)]),
+            self.dataset
+                .query_keywords(&all[..num_keywords.clamp(1, 4)]),
             k,
             EPS,
         )
@@ -62,8 +63,8 @@ impl BenchCity {
 
     /// The description context of the top "shop" street.
     pub fn top_shop_context(&self) -> StreetContext {
-        let query = SoiQuery::new(self.dataset.query_keywords(&["shop"]), 1, EPS)
-            .expect("valid query");
+        let query =
+            SoiQuery::new(self.dataset.query_keywords(&["shop"]), 1, EPS).expect("valid query");
         let top = run_soi(
             &self.dataset.network,
             &self.dataset.pois,
@@ -71,6 +72,7 @@ impl BenchCity {
             &query,
             &SoiConfig::default(),
         )
+        .expect("valid query")
         .results
         .first()
         .map(|r| r.street)
@@ -86,6 +88,7 @@ impl BenchCity {
             phi_source: PhiSource::Photos,
         }
         .build(top)
+        .expect("valid context inputs")
     }
 }
 

@@ -8,10 +8,15 @@
 //! soi route    --data data/london --keywords food --k 8
 //! ```
 
+// The CLI must always exit with a structured error, never a panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod args;
 
+use std::io::Write;
+
 use args::Args;
-use soi_common::{Result, SoiError};
+use soi_common::{Result, ResultExt, SoiError};
 use soi_core::describe::{st_rel_div, ContextBuilder, DescribeParams, PhiSource};
 use soi_core::route::{improve_route_2opt, route_length, sketch_route};
 use soi_core::soi::{run_baseline, run_soi, SoiConfig, SoiOutcome, SoiQuery, StreetAggregate};
@@ -26,15 +31,19 @@ const POI_CELL: f64 = 2.0 * DEFAULT_EPS;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Err(e) = run(args) {
+        // A closed stdout (e.g. `soi query ... | head`) is not a failure of
+        // the command itself: stop writing and exit cleanly, like cat(1).
+        if e.is_broken_pipe() {
+            return;
+        }
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.category().exit_code());
     }
 }
 
 fn run(raw: Vec<String>) -> Result<()> {
     if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" {
-        print_help();
-        return Ok(());
+        return print_help();
     }
     let args = Args::parse(raw)?;
     match args.command.as_str() {
@@ -51,8 +60,10 @@ fn run(raw: Vec<String>) -> Result<()> {
     }
 }
 
-fn print_help() {
-    println!(
+fn print_help() -> Result<()> {
+    let mut out = std::io::stdout().lock();
+    writeln!(
+        out,
         "soi — identify and describe Streets of Interest (EDBT 2016)\n\n\
          USAGE: soi <command> [--option value]...\n\n\
          COMMANDS\n\
@@ -74,7 +85,8 @@ fn print_help() {
          poi       --data DIR --keywords w1,w2 --at X,Y [--k 5] [--match any|all]\n\
          \u{20}          Single-POI retrieval: the k nearest POIs matching the\n\
          \u{20}          keywords (hybrid spatio-textual R-tree)."
-    );
+    )?;
+    Ok(())
 }
 
 fn load(args: &Args) -> Result<Dataset> {
@@ -83,9 +95,15 @@ fn load(args: &Args) -> Result<Dataset> {
 
 fn parse_keywords(dataset: &Dataset, args: &Args) -> Result<soi_text::KeywordSet> {
     let raw = args.require("keywords")?;
-    let words: Vec<&str> = raw.split(',').map(str::trim).filter(|w| !w.is_empty()).collect();
+    let words: Vec<&str> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|w| !w.is_empty())
+        .collect();
     if words.is_empty() {
-        return Err(SoiError::invalid("--keywords must name at least one keyword"));
+        return Err(SoiError::invalid(
+            "--keywords must name at least one keyword",
+        ));
     }
     let set = dataset.query_keywords(&words);
     if set.is_empty() {
@@ -119,20 +137,26 @@ fn cmd_generate(args: &Args) -> Result<()> {
     );
     let (dataset, truth) = soi_datagen::generate(&config);
     soi_data::io::save_dataset(&dataset, out)?;
-    println!(
+    let mut stdout = std::io::stdout().lock();
+    writeln!(
+        stdout,
         "wrote {} to {out}: {} segments, {} streets, {} POIs, {} photos",
         dataset.name,
         dataset.network.num_segments(),
         dataset.network.num_streets(),
         dataset.pois.len(),
         dataset.photos.len()
-    );
+    )?;
     for (category, streets) in &truth.destinations {
         let names: Vec<&str> = streets
             .iter()
             .map(|&s| dataset.network.street(s).name.as_str())
             .collect();
-        println!("planted {category} destinations: {}", names.join(", "));
+        writeln!(
+            stdout,
+            "planted {category} destinations: {}",
+            names.join(", ")
+        )?;
     }
     Ok(())
 }
@@ -140,24 +164,27 @@ fn cmd_generate(args: &Args) -> Result<()> {
 fn cmd_stats(args: &Args) -> Result<()> {
     let dataset = load(args)?;
     let stats = NetworkStats::of(&dataset.network);
-    println!("dataset: {}", dataset.name);
-    println!("{stats}");
-    println!("POIs:     {}", dataset.pois.len());
-    println!("photos:   {}", dataset.photos.len());
-    println!("keywords: {}", dataset.vocab.len());
+    let mut out = std::io::stdout().lock();
+    writeln!(out, "dataset: {}", dataset.name)?;
+    writeln!(out, "{stats}")?;
+    writeln!(out, "POIs:     {}", dataset.pois.len())?;
+    writeln!(out, "photos:   {}", dataset.photos.len())?;
+    writeln!(out, "keywords: {}", dataset.vocab.len())?;
     Ok(())
 }
 
-fn print_outcome(dataset: &Dataset, outcome: &SoiOutcome) {
-    println!("rank  interest      mass  street");
+fn print_outcome(dataset: &Dataset, outcome: &SoiOutcome) -> Result<()> {
+    let mut out = std::io::stdout().lock();
+    writeln!(out, "rank  interest      mass  street")?;
     for (i, r) in outcome.results.iter().enumerate() {
-        println!(
+        writeln!(
+            out,
             "{:>4}  {:>12.1}  {:>6.1}  {}",
             i + 1,
             r.interest,
             r.best_segment_mass,
             dataset.network.street(r.street).name
-        );
+        )?;
     }
     let t = &outcome.stats.timer;
     eprintln!(
@@ -168,6 +195,7 @@ fn print_outcome(dataset: &Dataset, outcome: &SoiOutcome) {
         t.duration("filtering"),
         t.duration("refinement"),
     );
+    Ok(())
 }
 
 fn cmd_query(args: &Args) -> Result<()> {
@@ -184,7 +212,7 @@ fn cmd_query(args: &Args) -> Result<()> {
             &index,
             &query,
             &SoiConfig::default(),
-        ),
+        )?,
         "bl" => run_baseline(
             &dataset.network,
             &dataset.pois,
@@ -194,8 +222,7 @@ fn cmd_query(args: &Args) -> Result<()> {
         ),
         other => return Err(SoiError::invalid(format!("unknown --algo {other:?}"))),
     };
-    print_outcome(&dataset, &outcome);
-    Ok(())
+    print_outcome(&dataset, &outcome)
 }
 
 fn top_street(
@@ -211,7 +238,7 @@ fn top_street(
         index,
         &query,
         &SoiConfig::default(),
-    );
+    )?;
     out.results
         .first()
         .map(|r| r.street)
@@ -247,16 +274,23 @@ fn cmd_describe(args: &Args) -> Result<()> {
         rho,
         phi_source: PhiSource::Photos,
     }
-    .build(street);
+    .build(street)?;
     let params = DescribeParams::new(k, lambda, w)?;
-    let out = st_rel_div(&ctx, &dataset.photos, &params);
+    let out = st_rel_div(&ctx, &dataset.photos, &params)?;
 
-    println!(
+    let mut stdout = std::io::stdout().lock();
+    writeln!(
+        stdout,
         "street: {} ({} photos within ε)",
         dataset.network.street(street).name,
         ctx.members.len()
-    );
-    println!("summary of {} photos (F = {:.4}):", out.selected.len(), out.objective);
+    )?;
+    writeln!(
+        stdout,
+        "summary of {} photos (F = {:.4}):",
+        out.selected.len(),
+        out.objective
+    )?;
     for &pid in &out.selected {
         let photo = dataset.photos.get(pid);
         let tags: Vec<&str> = photo
@@ -264,13 +298,14 @@ fn cmd_describe(args: &Args) -> Result<()> {
             .iter()
             .filter_map(|t| dataset.vocab.term(t))
             .collect();
-        println!(
+        writeln!(
+            stdout,
             "  photo #{} at ({:.5}, {:.5}) tags: {}",
             pid.raw(),
             photo.pos.x,
             photo.pos.y,
             tags.join(", ")
-        );
+        )?;
     }
     Ok(())
 }
@@ -291,15 +326,16 @@ fn cmd_export(args: &Args) -> Result<()> {
         &index,
         &query,
         &SoiConfig::default(),
-    );
+    )?;
     let ranked: Vec<(soi_common::StreetId, f64)> = outcome
         .results
         .iter()
         .map(|r| (r.street, r.interest))
         .collect();
     let streets_doc = soi_data::geojson::ranked_streets_to_geojson(&dataset.network, &ranked);
-    std::fs::write(out, &streets_doc)?;
-    println!("wrote {} streets to {out}", ranked.len());
+    std::fs::write(out, &streets_doc).at_path(out)?;
+    let mut stdout = std::io::stdout().lock();
+    writeln!(stdout, "wrote {} streets to {out}", ranked.len())?;
 
     if let Some(&(top, _)) = ranked.first() {
         let photo_grid = PhotoGrid::build(&dataset.network, &dataset.photos, POI_CELL);
@@ -312,18 +348,19 @@ fn cmd_export(args: &Args) -> Result<()> {
             rho: DEFAULT_RHO,
             phi_source: PhiSource::Photos,
         }
-        .build(top);
+        .build(top)?;
         if !ctx.members.is_empty() {
             let params = DescribeParams::new(n_photos, 0.5, 0.5)?;
-            let summary = st_rel_div(&ctx, &dataset.photos, &params);
+            let summary = st_rel_div(&ctx, &dataset.photos, &params)?;
             let photo_doc = soi_data::geojson::photos_to_geojson(&dataset, &summary.selected);
             let photo_path = format!("{out}.photos.geojson");
-            std::fs::write(&photo_path, &photo_doc)?;
-            println!(
+            std::fs::write(&photo_path, &photo_doc).at_path(&photo_path)?;
+            writeln!(
+                stdout,
                 "wrote {}-photo summary of {:?} to {photo_path}",
                 summary.selected.len(),
                 dataset.network.street(top).name
-            );
+            )?;
         }
     }
     Ok(())
@@ -346,7 +383,8 @@ fn cmd_poi(args: &Args) -> Result<()> {
         "any" => tree.top_k_relevant(q, &keywords, k),
         other => return Err(SoiError::invalid(format!("unknown --match {other:?}"))),
     };
-    println!("rank  distance    poi   keywords");
+    let mut out = std::io::stdout().lock();
+    writeln!(out, "rank  distance    poi   keywords")?;
     for (i, (pid, dist)) in hits.iter().enumerate() {
         let poi = dataset.pois.get(*pid);
         let kws: Vec<&str> = poi
@@ -354,7 +392,14 @@ fn cmd_poi(args: &Args) -> Result<()> {
             .iter()
             .filter_map(|kw| dataset.vocab.term(kw))
             .collect();
-        println!("{:>4}  {:<10.6}  #{:<4} {}", i + 1, dist, pid.raw(), kws.join(", "));
+        writeln!(
+            out,
+            "{:>4}  {:<10.6}  #{:<4} {}",
+            i + 1,
+            dist,
+            pid.raw(),
+            kws.join(", ")
+        )?;
     }
     Ok(())
 }
@@ -372,11 +417,13 @@ fn cmd_route(args: &Args) -> Result<()> {
         &index,
         &query,
         &SoiConfig::default(),
-    );
+    )?;
     let mut route = sketch_route(&dataset.network, &out.results);
     let greedy_len = route_length(&dataset.network, &route);
     let improved_len = improve_route_2opt(&dataset.network, &mut route);
-    println!(
+    let mut stdout = std::io::stdout().lock();
+    writeln!(
+        stdout,
         "suggested exploration route ({} stops, {:.5}° walk{}):",
         route.len(),
         improved_len,
@@ -385,7 +432,7 @@ fn cmd_route(args: &Args) -> Result<()> {
         } else {
             String::new()
         }
-    );
+    )?;
     for (i, street) in route.iter().enumerate() {
         let interest = out
             .results
@@ -393,12 +440,13 @@ fn cmd_route(args: &Args) -> Result<()> {
             .find(|r| r.street == *street)
             .map(|r| r.interest)
             .unwrap_or(0.0);
-        println!(
+        writeln!(
+            stdout,
             "{:>3}. {} (interest {:.1})",
             i + 1,
             dataset.network.street(*street).name,
             interest
-        );
+        )?;
     }
     Ok(())
 }

@@ -46,7 +46,9 @@ fn help_lists_all_commands() {
     let out = soi(&["help"]);
     assert!(out.status.success());
     let text = stdout(&out);
-    for cmd in ["generate", "stats", "query", "describe", "route", "export", "poi"] {
+    for cmd in [
+        "generate", "stats", "query", "describe", "route", "export", "poi",
+    ] {
         assert!(text.contains(cmd), "help missing {cmd}");
     }
 }
@@ -77,13 +79,29 @@ fn stats_prints_counts() {
 
 #[test]
 fn query_ranks_streets_and_agrees_with_baseline() {
-    let a = soi(&["query", "--data", dataset_dir(), "--keywords", "shop", "--k", "5"]);
+    let a = soi(&[
+        "query",
+        "--data",
+        dataset_dir(),
+        "--keywords",
+        "shop",
+        "--k",
+        "5",
+    ]);
     assert!(a.status.success(), "{}", stderr(&a));
     let soi_out = stdout(&a);
     assert!(soi_out.lines().count() >= 2, "no results: {soi_out}");
 
     let b = soi(&[
-        "query", "--data", dataset_dir(), "--keywords", "shop", "--k", "5", "--algo", "bl",
+        "query",
+        "--data",
+        dataset_dir(),
+        "--keywords",
+        "shop",
+        "--k",
+        "5",
+        "--algo",
+        "bl",
     ]);
     assert!(b.status.success());
     // Both algorithms print the same ranked street table.
@@ -93,7 +111,13 @@ fn query_ranks_streets_and_agrees_with_baseline() {
 #[test]
 fn describe_selects_photos() {
     let out = soi(&[
-        "describe", "--data", dataset_dir(), "--keywords", "shop", "--photos", "3",
+        "describe",
+        "--data",
+        dataset_dir(),
+        "--keywords",
+        "shop",
+        "--photos",
+        "3",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -103,7 +127,15 @@ fn describe_selects_photos() {
 
 #[test]
 fn route_visits_streets() {
-    let out = soi(&["route", "--data", dataset_dir(), "--keywords", "food", "--k", "4"]);
+    let out = soi(&[
+        "route",
+        "--data",
+        dataset_dir(),
+        "--keywords",
+        "food",
+        "--k",
+        "4",
+    ]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("suggested exploration route"));
 }
@@ -135,7 +167,15 @@ fn export_writes_valid_geojson() {
 #[test]
 fn poi_query_returns_nearest_relevant() {
     let out = soi(&[
-        "poi", "--data", dataset_dir(), "--keywords", "food", "--at", "0.01,0.01", "--k", "3",
+        "poi",
+        "--data",
+        dataset_dir(),
+        "--keywords",
+        "food",
+        "--at",
+        "0.01,0.01",
+        "--k",
+        "3",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -148,4 +188,130 @@ fn generate_rejects_unknown_city() {
     let out = soi(&["generate", "--city", "atlantis", "--out", "/tmp/nowhere"]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("unknown city"));
+}
+
+// --- exit-code contract -------------------------------------------------
+//
+// 2 = usage error, 3 = corrupt/invalid data, 4 = not found, 1 = other I/O.
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("exited normally")
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    for args in [
+        &["frobnicate"][..],
+        &["stats"][..],                                             // missing --data
+        &["query", "--data", "x", "--keywords"][..],                // option without value
+        &["generate", "--city", "atlantis", "--out", "/tmp/n"][..], // bad value
+    ] {
+        let out = soi(args);
+        assert_eq!(code(&out), 2, "args {args:?}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn invalid_query_parameters_exit_2() {
+    let out = soi(&[
+        "query",
+        "--data",
+        dataset_dir(),
+        "--keywords",
+        "shop",
+        "--k",
+        "0",
+    ]);
+    assert_eq!(code(&out), 2, "{}", stderr(&out));
+    assert!(stderr(&out).contains("k must be at least 1"));
+
+    let out = soi(&[
+        "query",
+        "--data",
+        dataset_dir(),
+        "--keywords",
+        "shop",
+        "--eps",
+        "-1.0",
+    ]);
+    assert_eq!(code(&out), 2, "{}", stderr(&out));
+    assert!(stderr(&out).contains("eps must be positive"));
+}
+
+#[test]
+fn missing_dataset_exits_4() {
+    let out = soi(&["stats", "--data", "/definitely/not/a/dataset"]);
+    assert_eq!(code(&out), 4, "{}", stderr(&out));
+    assert!(stderr(&out).contains("network.tsv"), "{}", stderr(&out));
+}
+
+#[test]
+fn unknown_street_exits_4() {
+    let out = soi(&[
+        "describe",
+        "--data",
+        dataset_dir(),
+        "--street",
+        "No Such Street",
+    ]);
+    assert_eq!(code(&out), 4, "{}", stderr(&out));
+    assert!(stderr(&out).contains("No Such Street"));
+}
+
+#[test]
+fn corrupt_dataset_exits_3() {
+    // Copy the generated dataset, then poison one record of pois.tsv.
+    let src = PathBuf::from(dataset_dir());
+    let dir = std::env::temp_dir().join(format!("soi_cli_corrupt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for entry in std::fs::read_dir(&src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dir.join(entry.file_name())).unwrap();
+    }
+    std::fs::write(dir.join("pois.tsv"), "not-a-coordinate\t0\t1\t2\n").unwrap();
+
+    let out = soi(&["stats", "--data", dir.to_str().unwrap()]);
+    assert_eq!(code(&out), 3, "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("pois.tsv"), "error names the file: {err}");
+    assert!(err.contains("record 1"), "error names the record: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn piped_truncation_is_not_a_panic() {
+    // `soi route ... | head -n 1` closes stdout early; the CLI must treat
+    // the broken pipe as a clean exit (like cat), not panic with exit 101.
+    let script = format!(
+        "set -o pipefail; {} route --data {} --keywords food --k 4 | head -n 1",
+        env!("CARGO_BIN_EXE_soi"),
+        dataset_dir()
+    );
+    let out = Command::new("bash")
+        .args(["-c", &script])
+        .output()
+        .expect("shell runs");
+    let err = stderr(&out);
+    assert!(!err.contains("panicked"), "broken pipe panicked: {err}");
+    assert!(out.status.success(), "pipeline failed: {err}");
+}
+
+#[test]
+fn error_messages_name_the_failing_file_and_record() {
+    let src = PathBuf::from(dataset_dir());
+    let dir = std::env::temp_dir().join(format!("soi_cli_truncnet_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for entry in std::fs::read_dir(&src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dir.join(entry.file_name())).unwrap();
+    }
+    // Truncate the network file mid-stream.
+    let net = std::fs::read_to_string(dir.join("network.tsv")).unwrap();
+    let cut: String = net.lines().take(5).map(|l| format!("{l}\n")).collect();
+    std::fs::write(dir.join("network.tsv"), cut).unwrap();
+
+    let out = soi(&["stats", "--data", dir.to_str().unwrap()]);
+    assert_eq!(code(&out), 3, "{}", stderr(&out));
+    assert!(stderr(&out).contains("network.tsv"), "{}", stderr(&out));
+    std::fs::remove_dir_all(&dir).ok();
 }

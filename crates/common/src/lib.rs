@@ -12,21 +12,29 @@
 //! - [`timing`]: [`Stopwatch`] and [`PhaseTimer`] for the per-phase runtime
 //!   breakdowns reported by the experiment harness (paper Fig. 4).
 //! - [`topk`]: deterministic top-k selection helpers.
-//! - [`error`]: the workspace error type.
+//! - [`error`]: the workspace error type — structured, categorized, with
+//!   source-chain context and stable CLI exit codes.
+//! - [`load`]: shared ingestion policy ([`LoadMode`] strict/lenient and the
+//!   per-category [`LoadReport`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface failures as `SoiError`, never panic: unwrap and
+// expect are compile errors outside of test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod error;
 pub mod fxhash;
 pub mod ids;
+pub mod load;
 pub mod ord;
 pub mod timing;
 pub mod topk;
 
-pub use error::{Result, SoiError};
+pub use error::{ErrorCategory, Result, ResultExt, SoiError, ValidationKind};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{CellId, KeywordId, NodeId, PhotoId, PoiId, SegmentId, StreetId};
+pub use load::{LoadMode, LoadOptions, LoadReport};
 pub use ord::OrderedF64;
 pub use timing::{PhaseTimer, Stopwatch};
 pub use topk::{top_k_by_score, ScoredItem, TopKTracker};

@@ -1,0 +1,203 @@
+//! Shared ingestion policy types: strict/lenient loading and the
+//! per-category skip report.
+//!
+//! Crowdsourced geodata arrives noisy: NaN coordinates, negative weights,
+//! dangling references, malformed rows. Every loader in the workspace takes
+//! a [`LoadOptions`] deciding what happens when a record violates a
+//! validation rule ([`ValidationKind`]):
+//!
+//! - [`LoadMode::Strict`] — the first invalid record aborts the load with a
+//!   typed [`SoiError::Validation`](crate::SoiError::Validation) carrying
+//!   file, record number, and field context.
+//! - [`LoadMode::Lenient`] — invalid records are skipped and counted; the
+//!   load returns a [`LoadReport`] with per-category counters and warnings,
+//!   so operators can quantify data quality from a single log line.
+
+use crate::error::ValidationKind;
+use std::fmt;
+
+/// What to do when a record fails validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadMode {
+    /// Abort on the first invalid record (the default).
+    #[default]
+    Strict,
+    /// Skip invalid records, counting them per [`ValidationKind`].
+    Lenient,
+}
+
+/// Ingestion configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadOptions {
+    /// Strict or lenient handling of invalid records.
+    pub mode: LoadMode,
+}
+
+impl LoadOptions {
+    /// Strict options (first error aborts).
+    pub fn strict() -> Self {
+        LoadOptions {
+            mode: LoadMode::Strict,
+        }
+    }
+
+    /// Lenient options (skip + count invalid records).
+    pub fn lenient() -> Self {
+        LoadOptions {
+            mode: LoadMode::Lenient,
+        }
+    }
+
+    /// True in lenient mode.
+    pub fn is_lenient(&self) -> bool {
+        self.mode == LoadMode::Lenient
+    }
+}
+
+/// Outcome accounting of a (possibly lenient) load.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadReport {
+    /// Records accepted.
+    pub records_loaded: u64,
+    /// Records skipped in lenient mode, by violated rule. Indexed in the
+    /// order of [`ValidationKind::ALL`].
+    skipped: [u64; ValidationKind::ALL.len()],
+    /// Human-readable notes about non-fatal recoveries (e.g. a missing
+    /// optional file replaced by a default).
+    pub warnings: Vec<String>,
+}
+
+fn kind_index(kind: ValidationKind) -> usize {
+    ValidationKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .unwrap_or(ValidationKind::ALL.len() - 1)
+}
+
+impl LoadReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one accepted record.
+    pub fn accept(&mut self) {
+        self.records_loaded += 1;
+    }
+
+    /// Counts one skipped record under `kind`.
+    pub fn skip(&mut self, kind: ValidationKind) {
+        self.skipped[kind_index(kind)] += 1;
+    }
+
+    /// Adds a non-fatal recovery note.
+    pub fn warn(&mut self, message: impl Into<String>) {
+        self.warnings.push(message.into());
+    }
+
+    /// Records skipped under `kind`.
+    pub fn skipped(&self, kind: ValidationKind) -> u64 {
+        self.skipped[kind_index(kind)]
+    }
+
+    /// Total records skipped across all categories.
+    pub fn total_skipped(&self) -> u64 {
+        self.skipped.iter().sum()
+    }
+
+    /// True when nothing was skipped and no warnings were raised.
+    pub fn is_clean(&self) -> bool {
+        self.total_skipped() == 0 && self.warnings.is_empty()
+    }
+
+    /// Folds another report (e.g. of a sibling file) into this one.
+    pub fn merge(&mut self, other: &LoadReport) {
+        self.records_loaded += other.records_loaded;
+        for (into, from) in self.skipped.iter_mut().zip(other.skipped.iter()) {
+            *into += from;
+        }
+        self.warnings.extend(other.warnings.iter().cloned());
+    }
+}
+
+impl fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "loaded {} record(s), skipped {}",
+            self.records_loaded,
+            self.total_skipped()
+        )?;
+        let mut sep = " (";
+        for kind in ValidationKind::ALL {
+            let n = self.skipped(kind);
+            if n > 0 {
+                write!(f, "{sep}{kind}: {n}")?;
+                sep = ", ";
+            }
+        }
+        if sep == ", " {
+            write!(f, ")")?;
+        }
+        for w in &self.warnings {
+            write!(f, "; warning: {w}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_roundtrip() {
+        let mut r = LoadReport::new();
+        assert!(r.is_clean());
+        r.accept();
+        r.accept();
+        r.skip(ValidationKind::InvalidWeight);
+        r.skip(ValidationKind::InvalidWeight);
+        r.skip(ValidationKind::NonFiniteCoordinate);
+        assert_eq!(r.records_loaded, 2);
+        assert_eq!(r.skipped(ValidationKind::InvalidWeight), 2);
+        assert_eq!(r.skipped(ValidationKind::NonFiniteCoordinate), 1);
+        assert_eq!(r.skipped(ValidationKind::DanglingReference), 0);
+        assert_eq!(r.total_skipped(), 3);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LoadReport::new();
+        a.accept();
+        a.skip(ValidationKind::MalformedRecord);
+        let mut b = LoadReport::new();
+        b.accept();
+        b.skip(ValidationKind::MalformedRecord);
+        b.warn("name.txt missing");
+        a.merge(&b);
+        assert_eq!(a.records_loaded, 2);
+        assert_eq!(a.skipped(ValidationKind::MalformedRecord), 2);
+        assert_eq!(a.warnings.len(), 1);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let mut r = LoadReport::new();
+        r.accept();
+        r.skip(ValidationKind::KeywordOutOfRange);
+        r.warn("name.txt missing; using \"unnamed\"");
+        let s = r.to_string();
+        assert!(s.contains("loaded 1"), "{s}");
+        assert!(s.contains("keyword-out-of-range: 1"), "{s}");
+        assert!(s.contains("name.txt missing"), "{s}");
+    }
+
+    #[test]
+    fn defaults_are_strict() {
+        assert_eq!(LoadOptions::default().mode, LoadMode::Strict);
+        assert!(LoadOptions::lenient().is_lenient());
+        assert!(!LoadOptions::strict().is_lenient());
+    }
+}

@@ -167,7 +167,7 @@ impl<I: Ord + Copy> TopKTracker<I> {
         if self.top.len() < self.k {
             0.0
         } else {
-            self.top.first().expect("k >= 1").0.get()
+            self.top.first().map_or(0.0, |s| s.0.get())
         }
     }
 
@@ -187,7 +187,10 @@ mod tests {
     use super::*;
 
     fn items(pairs: &[(u32, f64)]) -> Vec<ScoredItem<u32>> {
-        pairs.iter().map(|&(id, s)| ScoredItem::new(id, s)).collect()
+        pairs
+            .iter()
+            .map(|&(id, s)| ScoredItem::new(id, s))
+            .collect()
     }
 
     #[test]
@@ -223,7 +226,9 @@ mod tests {
         // Deterministic pseudo-random updates.
         let mut x = 12345u64;
         for step in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let id = (x >> 33) as u32 % 40;
             let bump = ((x >> 11) % 1000) as f64 / 100.0;
             let old = scores.get(&id).copied();

@@ -23,7 +23,9 @@ fn spatial_rel_bounds(ctx: &StreetContext, id: CellId) -> (f64, f64) {
     if n == 0 {
         return (0.0, 0.0);
     }
-    let cell = ctx.index.cell(id).expect("occupied cell");
+    let Some(cell) = ctx.index.cell(id) else {
+        return (0.0, 0.0); // unoccupied cell: no photos to bound
+    };
     let lower = cell.photos.len() as f64 / n as f64;
     let upper = ctx.index.neighborhood_count(id, 2) as f64 / n as f64;
     (lower, upper)
@@ -40,7 +42,9 @@ fn textual_rel_bounds(ctx: &StreetContext, id: CellId) -> (f64, f64) {
     if l1 == 0.0 {
         return (0.0, 0.0);
     }
-    let cell = ctx.index.cell(id).expect("occupied cell");
+    let Some(cell) = ctx.index.cell(id) else {
+        return (0.0, 0.0); // unoccupied cell: no photos to bound
+    };
     let mut positive: Vec<f64> = cell
         .keywords
         .iter()
@@ -133,7 +137,9 @@ pub fn cell_div_bounds(
     r: PhotoId,
 ) -> (f64, f64) {
     let (sl, su) = spatial_div_bounds(ctx, photos, id, r);
-    let cell = ctx.index.cell(id).expect("occupied cell");
+    let Some(cell) = ctx.index.cell(id) else {
+        return (0.0, 0.0); // unoccupied cell: no photos to bound
+    };
     let (tl, tu) = textual_div_bounds(cell, &photos.get(r).tags);
     (w * sl + (1.0 - w) * tl, w * su + (1.0 - w) * tu)
 }
@@ -196,7 +202,8 @@ mod tests {
             rho: 0.3,
             phi_source: PhiSource::Photos,
         }
-        .build(StreetId(0));
+        .build(StreetId(0))
+        .unwrap();
         (photos, ctx)
     }
 

@@ -5,7 +5,7 @@
 //! `maxD(s)` (diagonal of the ε-buffered street MBR, Definition 5), the
 //! neighbourhood radius ρ, and the per-street diversification grid index.
 
-use soi_common::{PhotoId, StreetId};
+use soi_common::{PhotoId, Result, SoiError, StreetId};
 use soi_data::{PhotoCollection, PoiCollection};
 use soi_index::{DiversificationIndex, PhotoGrid};
 use soi_network::RoadNetwork;
@@ -77,15 +77,38 @@ pub struct ContextBuilder<'a> {
 impl ContextBuilder<'_> {
     /// Builds the description context for `street`.
     ///
-    /// # Panics
-    /// Panics if `phi_source` requires POIs but none were provided.
-    pub fn build(&self, street: StreetId) -> StreetContext {
+    /// # Errors
+    /// Rejects a street id outside the network, non-positive or non-finite
+    /// `eps`/`rho`, and a `phi_source` that requires POIs when none were
+    /// provided.
+    pub fn build(&self, street: StreetId) -> Result<StreetContext> {
+        if street.index() >= self.network.num_streets() {
+            return Err(SoiError::not_found(format!(
+                "street {street} (network has {} streets)",
+                self.network.num_streets()
+            )));
+        }
+        if !(self.eps > 0.0 && self.eps.is_finite()) {
+            return Err(SoiError::invalid(format!(
+                "eps must be positive and finite, got {}",
+                self.eps
+            )));
+        }
+        if !(self.rho > 0.0 && self.rho.is_finite()) {
+            return Err(SoiError::invalid(format!(
+                "rho must be positive and finite, got {}",
+                self.rho
+            )));
+        }
         let members =
             self.photo_grid
                 .photos_near_street(self.network, self.photos, street, self.eps);
 
         let mut phi = FreqVector::new();
-        if matches!(self.phi_source, PhiSource::Photos | PhiSource::PhotosAndPois) {
+        if matches!(
+            self.phi_source,
+            PhiSource::Photos | PhiSource::PhotosAndPois
+        ) {
             for &pid in &members {
                 for tag in self.photos.get(pid).tags.iter() {
                     phi.increment(tag);
@@ -93,9 +116,12 @@ impl ContextBuilder<'_> {
             }
         }
         if matches!(self.phi_source, PhiSource::Pois | PhiSource::PhotosAndPois) {
-            let pois = self
-                .pois
-                .expect("PhiSource requires POIs but ContextBuilder.pois is None");
+            let Some(pois) = self.pois else {
+                return Err(SoiError::invalid(format!(
+                    "phi source `{}` requires POIs but none were provided",
+                    self.phi_source.name()
+                )));
+            };
             for poi in pois.iter() {
                 if self.network.dist_point_to_street(poi.pos, street) <= self.eps {
                     for k in poi.keywords.iter() {
@@ -113,14 +139,14 @@ impl ContextBuilder<'_> {
 
         let index = DiversificationIndex::build(self.photos, &members, self.rho);
 
-        StreetContext {
+        Ok(StreetContext {
             street,
             members,
             phi,
             max_d,
             rho: self.rho,
             index,
-        }
+        })
     }
 }
 
@@ -162,7 +188,7 @@ mod tests {
             rho: 0.2,
             phi_source: PhiSource::Photos,
         };
-        let ctx = builder.build(StreetId(0));
+        let ctx = builder.build(StreetId(0)).unwrap();
         assert_eq!(ctx.members.len(), 2);
         // Tag 1 appears twice, tag 0 once, tag 2 not at all.
         assert_eq!(ctx.phi.weight(KeywordId(1)), 2.0);
@@ -185,7 +211,7 @@ mod tests {
             rho: 0.2,
             phi_source: PhiSource::Pois,
         };
-        let ctx = builder.build(StreetId(0));
+        let ctx = builder.build(StreetId(0)).unwrap();
         assert_eq!(ctx.phi.weight(KeywordId(5)), 1.0);
         assert_eq!(ctx.phi.weight(KeywordId(6)), 0.0);
         assert_eq!(ctx.phi.weight(KeywordId(1)), 0.0);
@@ -204,7 +230,7 @@ mod tests {
             rho: 0.2,
             phi_source: PhiSource::PhotosAndPois,
         };
-        let ctx = builder.build(StreetId(0));
+        let ctx = builder.build(StreetId(0)).unwrap();
         assert_eq!(ctx.phi.weight(KeywordId(1)), 2.0);
         assert_eq!(ctx.phi.weight(KeywordId(5)), 1.0);
     }
@@ -222,7 +248,7 @@ mod tests {
             rho: 0.2,
             phi_source: PhiSource::Photos,
         };
-        let ctx = builder.build(StreetId(0));
+        let ctx = builder.build(StreetId(0)).unwrap();
         // MBR is the segment itself (10 x 0), expanded by 0.5 -> 11 x 1.
         let expect = (11.0f64 * 11.0 + 1.0).sqrt();
         assert!((ctx.max_d - expect).abs() < 1e-12);

@@ -114,7 +114,8 @@ mod tests {
             rho: 0.4,
             phi_source: PhiSource::Photos,
         }
-        .build(StreetId(0));
+        .build(StreetId(0))
+        .unwrap();
         (photos, ctx)
     }
 
@@ -173,7 +174,8 @@ mod tests {
             rho: 0.4,
             phi_source: PhiSource::Photos,
         }
-        .build(StreetId(0));
+        .build(StreetId(0))
+        .unwrap();
         let params = DescribeParams::new(3, 0.5, 0.5).unwrap();
         assert!(exact_select(&ctx, &photos, &params).is_err());
     }

@@ -41,7 +41,9 @@ pub fn greedy_select(
                 best = Some((v, r));
             }
         }
-        let (_, next) = best.expect("candidates remain");
+        // No candidate found (e.g. duplicate ids in `members` inflating the
+        // loop bound): the selection cannot grow further.
+        let Some((_, next)) = best else { break };
         selected.push(next);
         chosen.insert(next);
     }
@@ -92,7 +94,8 @@ mod tests {
             rho: 0.4,
             phi_source: PhiSource::Photos,
         }
-        .build(StreetId(0));
+        .build(StreetId(0))
+        .unwrap();
         (photos, ctx)
     }
 
@@ -119,11 +122,7 @@ mod tests {
         let out = greedy_select(&ctx, &photos, &params);
         assert_eq!(out.selected.len(), 3);
         // The three near-duplicates must not all be chosen.
-        let cluster_count = out
-            .selected
-            .iter()
-            .filter(|r| r.index() <= 2)
-            .count();
+        let cluster_count = out.selected.iter().filter(|r| r.index() <= 2).count();
         assert!(cluster_count <= 2, "selected {:?}", out.selected);
     }
 
@@ -154,7 +153,10 @@ mod tests {
     fn empty_members_returns_empty() {
         let (photos, _) = setup();
         let mut b = RoadNetwork::builder();
-        b.add_street_from_points("Empty", &[Point::new(100.0, 100.0), Point::new(101.0, 100.0)]);
+        b.add_street_from_points(
+            "Empty",
+            &[Point::new(100.0, 100.0), Point::new(101.0, 100.0)],
+        );
         let network = b.build().unwrap();
         let grid = PhotoGrid::build(&network, &photos, 1.0);
         let ctx = ContextBuilder {
@@ -166,7 +168,8 @@ mod tests {
             rho: 0.4,
             phi_source: PhiSource::Photos,
         }
-        .build(StreetId(0));
+        .build(StreetId(0))
+        .unwrap();
         let params = DescribeParams::new(3, 0.5, 0.5).unwrap();
         let out = greedy_select(&ctx, &photos, &params);
         assert!(out.selected.is_empty());

@@ -31,12 +31,7 @@ pub fn textual_rel(ctx: &StreetContext, photos: &PhotoCollection, r: PhotoId) ->
 /// Spatial diversity (Definition 5): `dist(r, r′) / maxD(s)`.
 ///
 /// Returns 0 when `maxD(s)` is 0 (degenerate street).
-pub fn spatial_div(
-    ctx: &StreetContext,
-    photos: &PhotoCollection,
-    r: PhotoId,
-    r2: PhotoId,
-) -> f64 {
+pub fn spatial_div(ctx: &StreetContext, photos: &PhotoCollection, r: PhotoId, r2: PhotoId) -> f64 {
     if ctx.max_d == 0.0 {
         return 0.0;
     }
@@ -56,13 +51,7 @@ pub fn rel(ctx: &StreetContext, photos: &PhotoCollection, w: f64, r: PhotoId) ->
 
 /// Combined pairwise diversity: `w·spatial_div + (1−w)·textual_div`
 /// (the per-pair summand of Eq. 5).
-pub fn div(
-    ctx: &StreetContext,
-    photos: &PhotoCollection,
-    w: f64,
-    r: PhotoId,
-    r2: PhotoId,
-) -> f64 {
+pub fn div(ctx: &StreetContext, photos: &PhotoCollection, w: f64, r: PhotoId, r2: PhotoId) -> f64 {
     w * spatial_div(ctx, photos, r, r2) + (1.0 - w) * textual_div(photos, r, r2)
 }
 
@@ -100,7 +89,8 @@ mod tests {
             rho: 0.2,
             phi_source: PhiSource::Photos,
         }
-        .build(StreetId(0));
+        .build(StreetId(0))
+        .unwrap();
         (network, photos, ctx)
     }
 
@@ -152,17 +142,10 @@ mod tests {
     fn combined_measures_interpolate() {
         let (_, photos, ctx) = setup();
         let r = PhotoId(0);
-        assert_eq!(
-            rel(&ctx, &photos, 1.0, r),
-            spatial_rel(&ctx, &photos, r)
-        );
-        assert_eq!(
-            rel(&ctx, &photos, 0.0, r),
-            textual_rel(&ctx, &photos, r)
-        );
+        assert_eq!(rel(&ctx, &photos, 1.0, r), spatial_rel(&ctx, &photos, r));
+        assert_eq!(rel(&ctx, &photos, 0.0, r), textual_rel(&ctx, &photos, r));
         let mid = rel(&ctx, &photos, 0.5, r);
-        let expect =
-            0.5 * spatial_rel(&ctx, &photos, r) + 0.5 * textual_rel(&ctx, &photos, r);
+        let expect = 0.5 * spatial_rel(&ctx, &photos, r) + 0.5 * textual_rel(&ctx, &photos, r);
         assert!((mid - expect).abs() < 1e-12);
 
         let d = div(&ctx, &photos, 0.25, PhotoId(0), PhotoId(2));

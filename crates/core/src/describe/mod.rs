@@ -44,16 +44,36 @@ impl DescribeParams {
     /// # Errors
     /// Rejects `k = 0` and λ or w outside `[0, 1]`.
     pub fn new(k: usize, lambda: f64, w: f64) -> Result<Self> {
-        if k == 0 {
+        let p = Self { k, lambda, w };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Re-checks the parameter invariants (`k ≥ 1`, `λ, w ∈ [0, 1]`).
+    ///
+    /// The fields are public, so [`st_rel_div()`](st_rel_div()) revalidates
+    /// at the API boundary rather than trusting construction-time checks.
+    /// NaN fails the range checks.
+    ///
+    /// # Errors
+    /// Rejects `k = 0` and λ or w outside `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        if self.k == 0 {
             return Err(SoiError::invalid("k must be at least 1"));
         }
-        if !(0.0..=1.0).contains(&lambda) {
-            return Err(SoiError::invalid("lambda must be in [0, 1]"));
+        if !(0.0..=1.0).contains(&self.lambda) {
+            return Err(SoiError::invalid(format!(
+                "lambda must be in [0, 1], got {}",
+                self.lambda
+            )));
         }
-        if !(0.0..=1.0).contains(&w) {
-            return Err(SoiError::invalid("w must be in [0, 1]"));
+        if !(0.0..=1.0).contains(&self.w) {
+            return Err(SoiError::invalid(format!(
+                "w must be in [0, 1], got {}",
+                self.w
+            )));
         }
-        Ok(Self { k, lambda, w })
+        Ok(())
     }
 
     /// The paper's defaults: k=20, λ=0.5, w=0.5.

@@ -114,7 +114,8 @@ mod tests {
             rho: 0.2,
             phi_source: PhiSource::Photos,
         }
-        .build(StreetId(0));
+        .build(StreetId(0))
+        .unwrap();
         (photos, ctx)
     }
 
@@ -152,15 +153,13 @@ mod tests {
         let rel_only = DescribeParams::new(2, 0.0, 0.5).unwrap();
         let div_only = DescribeParams::new(2, 1.0, 0.5).unwrap();
         assert!(
-            (objective(&ctx, &photos, &rel_only, &set)
-                - set_relevance(&ctx, &photos, 0.5, &set))
-            .abs()
+            (objective(&ctx, &photos, &rel_only, &set) - set_relevance(&ctx, &photos, 0.5, &set))
+                .abs()
                 < 1e-12
         );
         assert!(
-            (objective(&ctx, &photos, &div_only, &set)
-                - set_diversity(&ctx, &photos, 0.5, &set))
-            .abs()
+            (objective(&ctx, &photos, &div_only, &set) - set_diversity(&ctx, &photos, 0.5, &set))
+                .abs()
                 < 1e-12
         );
     }

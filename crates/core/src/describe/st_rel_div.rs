@@ -27,7 +27,7 @@ use crate::describe::context::StreetContext;
 use crate::describe::measures;
 use crate::describe::objective::objective;
 use crate::describe::{DescribeOutcome, DescribeParams, DescribeStats};
-use soi_common::{CellId, FxHashMap, PhotoId};
+use soi_common::{CellId, FxHashMap, PhotoId, Result, SoiError};
 use soi_data::PhotoCollection;
 
 /// Per-cell incremental bound state.
@@ -55,11 +55,29 @@ struct PhotoAcc {
 }
 
 /// Selects up to `params.k` photos with the bound-accelerated greedy.
+///
+/// This is a total function: hostile parameters and inconsistent inputs are
+/// rejected with a typed error, and an empty street (no member photos)
+/// yields an empty selection.
+///
+/// # Errors
+/// Returns [`SoiError::InvalidInput`] when `params` violates its invariants
+/// (`k = 0`, λ or w outside `[0, 1]`; see [`DescribeParams::validate`]) or
+/// when `ctx` references photo ids outside `photos`.
 pub fn st_rel_div(
     ctx: &StreetContext,
     photos: &PhotoCollection,
     params: &DescribeParams,
-) -> DescribeOutcome {
+) -> Result<DescribeOutcome> {
+    params.validate()?;
+    if let Some(&max_member) = ctx.members.iter().max() {
+        if max_member.index() >= photos.len() {
+            return Err(SoiError::invalid(format!(
+                "street context references photo {max_member} but the collection has {} photos",
+                photos.len()
+            )));
+        }
+    }
     let mut stats = DescribeStats::default();
 
     let mut selected: Vec<PhotoId> = Vec::with_capacity(params.k.min(ctx.members.len()));
@@ -74,7 +92,7 @@ pub fn st_rel_div(
             let (rel_lo, rel_hi) = cell_rel_bounds(ctx, params.w, id);
             CellAcc {
                 id,
-                remaining: ctx.index.cell(id).expect("occupied").photos.len(),
+                remaining: ctx.index.cell(id).map_or(0, |c| c.photos.len()),
                 rel_lo,
                 rel_hi,
                 div_lo_sum: 0.0,
@@ -94,31 +112,29 @@ pub fn st_rel_div(
     // Exact mmr with cached relevance and incrementally topped-up div sums.
     // Summation order equals the baseline's (selection order), so results
     // are bit-identical.
-    let exact_mmr = |r: PhotoId,
-                     selected: &[PhotoId],
-                     photo_acc: &mut FxHashMap<PhotoId, PhotoAcc>|
-     -> f64 {
-        let acc = photo_acc.entry(r).or_default();
-        let rel = match acc.rel {
-            Some(rel) => rel,
-            None => {
-                let rel = measures::rel(ctx, photos, params.w, r);
-                acc.rel = Some(rel);
-                rel
+    let exact_mmr =
+        |r: PhotoId, selected: &[PhotoId], photo_acc: &mut FxHashMap<PhotoId, PhotoAcc>| -> f64 {
+            let acc = photo_acc.entry(r).or_default();
+            let rel = match acc.rel {
+                Some(rel) => rel,
+                None => {
+                    let rel = measures::rel(ctx, photos, params.w, r);
+                    acc.rel = Some(rel);
+                    rel
+                }
+            };
+            let mut div_sum = acc.div_sum;
+            for &r2 in &selected[acc.upto..] {
+                div_sum += measures::div(ctx, photos, params.w, r, r2);
             }
+            acc.div_sum = div_sum;
+            acc.upto = selected.len();
+            let mut score = one_minus_lambda * rel;
+            if params.k > 1 && !selected.is_empty() {
+                score += div_scale * div_sum;
+            }
+            score
         };
-        let mut div_sum = acc.div_sum;
-        for &r2 in &selected[acc.upto..] {
-            div_sum += measures::div(ctx, photos, params.w, r, r2);
-        }
-        acc.div_sum = div_sum;
-        acc.upto = selected.len();
-        let mut score = one_minus_lambda * rel;
-        if params.k > 1 && !selected.is_empty() {
-            score += div_scale * div_sum;
-        }
-        score
-    };
 
     while selected.len() < params.k && selected.len() < ctx.members.len() {
         // --- Filtering phase: per-cell mmr bounds from the accumulators.
@@ -161,7 +177,10 @@ pub fn st_rel_div(
                 }
             }
             stats.cells_refined += 1;
-            for &r in &ctx.index.cell(c).expect("occupied").photos {
+            let Some(cell) = ctx.index.cell(c) else {
+                continue; // unreachable: candidates come from occupied()
+            };
+            for &r in &cell.photos {
                 if chosen[r.index()] {
                     continue;
                 }
@@ -178,7 +197,12 @@ pub fn st_rel_div(
         }
         stats.timer.stop();
 
-        let (_, next) = best.expect("some unselected photo exists");
+        // No evaluable candidate left (every remaining cell is empty):
+        // the selection is as large as it can get.
+        let Some((_, next)) = best else {
+            stats.timer.stop();
+            break;
+        };
         selected.push(next);
         chosen[next.index()] = true;
 
@@ -188,11 +212,10 @@ pub fn st_rel_div(
             .index
             .grid()
             .cell_containing(photos.get(next).pos)
-            .map(|coord| ctx.index.grid().cell_id(coord))
-            .expect("member photo inside index grid");
+            .map(|coord| ctx.index.grid().cell_id(coord));
         for cell in &mut cells {
-            if cell.id == next_cell {
-                cell.remaining -= 1;
+            if Some(cell.id) == next_cell {
+                cell.remaining = cell.remaining.saturating_sub(1);
             }
             if cell.remaining > 0 && params.k > 1 {
                 let (dl, du) = cell_div_bounds(ctx, photos, params.w, cell.id, next);
@@ -204,11 +227,11 @@ pub fn st_rel_div(
     }
 
     let objective = objective(ctx, photos, params, &selected);
-    DescribeOutcome {
+    Ok(DescribeOutcome {
         selected,
         objective,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -244,7 +267,8 @@ mod tests {
             rho: 0.4,
             phi_source: PhiSource::Photos,
         }
-        .build(StreetId(0));
+        .build(StreetId(0))
+        .unwrap();
         (photos, ctx)
     }
 
@@ -274,7 +298,7 @@ mod tests {
             (8, 0.5, 0.5),
         ] {
             let params = DescribeParams::new(k, lambda, w).unwrap();
-            let fast = st_rel_div(&ctx, &photos, &params);
+            let fast = st_rel_div(&ctx, &photos, &params).unwrap();
             let slow = greedy_select(&ctx, &photos, &params);
             assert_eq!(
                 fast.selected, slow.selected,
@@ -288,7 +312,7 @@ mod tests {
     fn prunes_work_relative_to_baseline() {
         let (photos, ctx) = build_ctx(&spread_specs());
         let params = DescribeParams::new(3, 0.5, 0.5).unwrap();
-        let fast = st_rel_div(&ctx, &photos, &params);
+        let fast = st_rel_div(&ctx, &photos, &params).unwrap();
         let slow = greedy_select(&ctx, &photos, &params);
         // The accelerated version must never evaluate more photos.
         assert!(fast.stats.photos_evaluated <= slow.stats.photos_evaluated);
@@ -297,13 +321,10 @@ mod tests {
     #[test]
     fn all_zero_mmr_still_selects_deterministically() {
         // Photos with no tags and lambda = 1 (first pick has mmr 0 for all).
-        let (photos, ctx) = build_ctx(&[
-            (1.0, 0.0, vec![]),
-            (2.0, 0.0, vec![]),
-            (3.0, 0.0, vec![]),
-        ]);
+        let (photos, ctx) =
+            build_ctx(&[(1.0, 0.0, vec![]), (2.0, 0.0, vec![]), (3.0, 0.0, vec![])]);
         let params = DescribeParams::new(2, 1.0, 0.5).unwrap();
-        let fast = st_rel_div(&ctx, &photos, &params);
+        let fast = st_rel_div(&ctx, &photos, &params).unwrap();
         let slow = greedy_select(&ctx, &photos, &params);
         assert_eq!(fast.selected, slow.selected);
         assert_eq!(fast.selected.len(), 2);
@@ -313,7 +334,7 @@ mod tests {
     fn single_photo_street() {
         let (photos, ctx) = build_ctx(&[(1.0, 0.0, vec![0])]);
         let params = DescribeParams::new(3, 0.5, 0.5).unwrap();
-        let out = st_rel_div(&ctx, &photos, &params);
+        let out = st_rel_div(&ctx, &photos, &params).unwrap();
         assert_eq!(out.selected.len(), 1);
     }
 }

@@ -43,7 +43,7 @@ pub fn sweep_lambda(
     let mut out = Vec::with_capacity(lambdas.len());
     for &lambda in lambdas {
         let params = DescribeParams::new(k, lambda, w)?;
-        let selection = st_rel_div(ctx, photos, &params);
+        let selection = st_rel_div(ctx, photos, &params)?;
         out.push(TradeoffPoint {
             lambda,
             relevance: set_relevance(ctx, photos, w, &selection.selected),
@@ -83,7 +83,10 @@ pub fn knee(points: &[TradeoffPoint]) -> Option<usize> {
     };
 
     let (x0, y0) = norm(&points[0]);
-    let (x1, y1) = norm(points.last().expect("non-empty"));
+    let Some(last) = points.last() else {
+        return None; // unreachable: len >= 3 checked above
+    };
+    let (x1, y1) = norm(last);
     let (dx, dy) = (x1 - x0, y1 - y0);
     let chord = (dx * dx + dy * dy).sqrt().max(1e-12);
 
@@ -129,11 +132,7 @@ mod tests {
     fn knee_of_straight_line_is_stable() {
         // On a perfectly straight trade-off, every interior point has
         // distance ~0; the first interior point wins deterministically.
-        let curve = [
-            pt(0.0, 1.0, 0.0),
-            pt(0.5, 0.5, 0.5),
-            pt(1.0, 0.0, 1.0),
-        ];
+        let curve = [pt(0.0, 1.0, 0.0), pt(0.5, 0.5, 0.5), pt(1.0, 0.0, 1.0)];
         assert_eq!(knee(&curve), Some(1));
     }
 
@@ -146,11 +145,7 @@ mod tests {
 
     #[test]
     fn degenerate_flat_curve_does_not_crash() {
-        let curve = [
-            pt(0.0, 0.5, 0.5),
-            pt(0.5, 0.5, 0.5),
-            pt(1.0, 0.5, 0.5),
-        ];
+        let curve = [pt(0.0, 0.5, 0.5), pt(0.5, 0.5, 0.5), pt(1.0, 0.5, 0.5)];
         // All points coincide after normalisation; any interior index is
         // acceptable, but it must not panic or return None.
         assert!(knee(&curve).is_some());

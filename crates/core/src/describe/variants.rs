@@ -46,15 +46,42 @@ impl MethodSpec {
         use Aspect::*;
         use Criterion::*;
         [
-            MethodSpec { aspect: S, criterion: Rel },
-            MethodSpec { aspect: S, criterion: Div },
-            MethodSpec { aspect: S, criterion: RelDiv },
-            MethodSpec { aspect: T, criterion: Rel },
-            MethodSpec { aspect: T, criterion: Div },
-            MethodSpec { aspect: T, criterion: RelDiv },
-            MethodSpec { aspect: ST, criterion: Rel },
-            MethodSpec { aspect: ST, criterion: Div },
-            MethodSpec { aspect: ST, criterion: RelDiv },
+            MethodSpec {
+                aspect: S,
+                criterion: Rel,
+            },
+            MethodSpec {
+                aspect: S,
+                criterion: Div,
+            },
+            MethodSpec {
+                aspect: S,
+                criterion: RelDiv,
+            },
+            MethodSpec {
+                aspect: T,
+                criterion: Rel,
+            },
+            MethodSpec {
+                aspect: T,
+                criterion: Div,
+            },
+            MethodSpec {
+                aspect: T,
+                criterion: RelDiv,
+            },
+            MethodSpec {
+                aspect: ST,
+                criterion: Rel,
+            },
+            MethodSpec {
+                aspect: ST,
+                criterion: Div,
+            },
+            MethodSpec {
+                aspect: ST,
+                criterion: RelDiv,
+            },
         ]
     }
 
@@ -121,12 +148,18 @@ mod tests {
     #[test]
     fn params_pin_the_right_corners() {
         let k = 3;
-        let s_rel = MethodSpec { aspect: Aspect::S, criterion: Criterion::Rel }
-            .params(k, 0.5, 0.5);
+        let s_rel = MethodSpec {
+            aspect: Aspect::S,
+            criterion: Criterion::Rel,
+        }
+        .params(k, 0.5, 0.5);
         assert_eq!((s_rel.lambda, s_rel.w), (0.0, 1.0));
 
-        let t_div = MethodSpec { aspect: Aspect::T, criterion: Criterion::Div }
-            .params(k, 0.5, 0.5);
+        let t_div = MethodSpec {
+            aspect: Aspect::T,
+            criterion: Criterion::Div,
+        }
+        .params(k, 0.5, 0.5);
         assert_eq!((t_div.lambda, t_div.w), (1.0, 0.0));
 
         let st = MethodSpec::st_rel_div().params(k, 0.3, 0.7);

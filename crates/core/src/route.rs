@@ -41,7 +41,7 @@ pub fn improve_route_2opt(network: &RoadNetwork, route: &mut [StreetId]) -> f64 
     if centers.iter().any(Option::is_none) || route.len() < 4 {
         return route_length(network, route);
     }
-    let mut pts: Vec<Point> = centers.into_iter().map(|c| c.expect("checked")).collect();
+    let mut pts: Vec<Point> = centers.into_iter().flatten().collect();
 
     let mut improved = true;
     while improved {
@@ -132,10 +132,7 @@ mod tests {
         // Three parallel unit streets at x = 0, 10, 2.
         let mut b = RoadNetwork::builder();
         for &x in &[0.0, 10.0, 2.0] {
-            b.add_street_from_points(
-                format!("s{x}"),
-                &[Point::new(x, 0.0), Point::new(x, 1.0)],
-            );
+            b.add_street_from_points(format!("s{x}"), &[Point::new(x, 0.0), Point::new(x, 1.0)]);
         }
         b.build().unwrap()
     }
@@ -165,7 +162,13 @@ mod tests {
     /// Streets at the corners of a square plus its center.
     fn square_network() -> RoadNetwork {
         let mut b = RoadNetwork::builder();
-        for &(x, y) in &[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0), (5.0, 5.0)] {
+        for &(x, y) in &[
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (10.0, 10.0),
+            (0.0, 10.0),
+            (5.0, 5.0),
+        ] {
             b.add_street_from_points(
                 format!("s{x}-{y}"),
                 &[Point::new(x, y), Point::new(x + 1.0, y)],
@@ -202,9 +205,27 @@ mod tests {
     fn two_opt_never_increases_length() {
         let net = square_network();
         for perm in [
-            vec![StreetId(0), StreetId(1), StreetId(2), StreetId(3), StreetId(4)],
-            vec![StreetId(0), StreetId(4), StreetId(2), StreetId(1), StreetId(3)],
-            vec![StreetId(0), StreetId(3), StreetId(1), StreetId(4), StreetId(2)],
+            vec![
+                StreetId(0),
+                StreetId(1),
+                StreetId(2),
+                StreetId(3),
+                StreetId(4),
+            ],
+            vec![
+                StreetId(0),
+                StreetId(4),
+                StreetId(2),
+                StreetId(1),
+                StreetId(3),
+            ],
+            vec![
+                StreetId(0),
+                StreetId(3),
+                StreetId(1),
+                StreetId(4),
+                StreetId(2),
+            ],
         ] {
             let mut route = perm.clone();
             let before = route_length(&net, &route);

@@ -38,7 +38,9 @@ use crate::soi::interest::segment_interest;
 use crate::soi::query::{SoiConfig, SoiOutcome, SoiQuery, StreetResult};
 use crate::soi::stats::{phases, QueryStats};
 use crate::soi::strategy::Source;
-use soi_common::{top_k_by_score, CellId, FxHashMap, ScoredItem, SegmentId, StreetId, TopKTracker};
+use soi_common::{
+    top_k_by_score, CellId, FxHashMap, Result, ScoredItem, SegmentId, StreetId, TopKTracker,
+};
 use soi_data::PoiCollection;
 use soi_index::PoiIndex;
 use soi_network::RoadNetwork;
@@ -164,8 +166,7 @@ impl RelPrefix {
         let (x0, y0, x1, y1) = (x0 as usize, y0 as usize, x1 as usize, y1 as usize);
         // Tiny relative head-room guards against prefix-sum rounding making
         // the upper bound minutely smaller than the true sum.
-        (at(x1 + 1, y1 + 1) - at(x0, y1 + 1) - at(x1 + 1, y0) + at(x0, y0)).max(0.0)
-            * (1.0 + 1e-9)
+        (at(x1 + 1, y1 + 1) - at(x0, y1 + 1) - at(x1 + 1, y0) + at(x0, y0)).max(0.0) * (1.0 + 1e-9)
     }
 }
 
@@ -173,13 +174,24 @@ impl RelPrefix {
 ///
 /// Returns the ranked streets (interest desc, street id asc; zero-interest
 /// streets omitted) together with per-phase timings and work counters.
+///
+/// This is a total function over its inputs: hostile parameters are rejected
+/// with a typed error, and degenerate datasets (no streets, no POIs, a
+/// keyword set matching nothing) produce an empty result rather than a
+/// panic.
+///
+/// # Errors
+/// Returns [`SoiError::InvalidInput`](soi_common::SoiError::InvalidInput)
+/// when the query violates its invariants (`k = 0`, non-positive or
+/// non-finite ε) — see [`SoiQuery::validate`].
 pub fn run_soi(
     network: &RoadNetwork,
     pois: &PoiCollection,
     index: &PoiIndex,
     query: &SoiQuery,
     config: &SoiConfig,
-) -> SoiOutcome {
+) -> Result<SoiOutcome> {
+    query.validate()?;
     let mut stats = QueryStats::default();
     stats.timer.enter(phases::CONSTRUCTION);
 
@@ -296,14 +308,10 @@ pub fn run_soi(
     loop {
         // Advance cursors past finalised (SL2/SL3) or seen (SLf) segments so
         // that peeks reflect the best still-relevant entry of each list.
-        while cursor2 < sl2.len()
-            && fil.states.get(&sl2[cursor2]).is_some_and(|s| s.finalized)
-        {
+        while cursor2 < sl2.len() && fil.states.get(&sl2[cursor2]).is_some_and(|s| s.finalized) {
             cursor2 += 1;
         }
-        while cursor3 < sl3.len()
-            && fil.states.get(&sl3[cursor3]).is_some_and(|s| s.finalized)
-        {
+        while cursor3 < sl3.len() && fil.states.get(&sl3[cursor3]).is_some_and(|s| s.finalized) {
             cursor3 += 1;
         }
         while cursor_f < slf.len() && fil.states.contains_key(&slf[cursor_f].0) {
@@ -367,8 +375,16 @@ pub fn run_soi(
                     cursor2 += 1;
                     stats.segments_popped += 1;
                     finalize_segment(
-                        seg, network, index, eps, prune_lbk, &relcount, &relprefix,
-                        &mut fil, &mut stats, update_interest,
+                        seg,
+                        network,
+                        index,
+                        eps,
+                        prune_lbk,
+                        &relcount,
+                        &relprefix,
+                        &mut fil,
+                        &mut stats,
+                        update_interest,
                     );
                     accessed = true;
                 }
@@ -377,8 +393,16 @@ pub fn run_soi(
                     cursor3 += 1;
                     stats.segments_popped += 1;
                     finalize_segment(
-                        seg, network, index, eps, prune_lbk, &relcount, &relprefix,
-                        &mut fil, &mut stats, update_interest,
+                        seg,
+                        network,
+                        index,
+                        eps,
+                        prune_lbk,
+                        &relcount,
+                        &relprefix,
+                        &mut fil,
+                        &mut stats,
+                        update_interest,
                     );
                     accessed = true;
                 }
@@ -409,7 +433,9 @@ pub fn run_soi(
     let mut seen: Vec<SegmentId> = fil.states.keys().copied().collect();
     seen.sort_unstable();
     for seg in seen {
-        let state = fil.states.get(&seg).expect("seen");
+        let Some(state) = fil.states.get(&seg) else {
+            continue; // unreachable: `seen` was drawn from the same map
+        };
         if state.finalized {
             continue;
         }
@@ -425,10 +451,11 @@ pub fn run_soi(
             extra += index.cell_mass_for_segment(pois, cell, &geom, &query.keywords, eps);
             stats.cell_visits += 1;
         }
-        let state = fil.states.get_mut(&seg).expect("seen");
-        state.mass += extra;
-        state.finalized = true;
-        stats.segments_finalized_refinement += 1;
+        if let Some(state) = fil.states.get_mut(&seg) {
+            state.mass += extra;
+            state.finalized = true;
+            stats.segments_finalized_refinement += 1;
+        }
     }
 
     // Street-level aggregation (Definition 3: max over segments) restricted
@@ -463,7 +490,7 @@ pub fn run_soi(
         .collect();
 
     stats.timer.stop();
-    SoiOutcome { results, stats }
+    Ok(SoiOutcome { results, stats })
 }
 
 /// Pops a segment from SL2/SL3: lazily computes its Cε cells and either

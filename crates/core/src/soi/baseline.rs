@@ -105,11 +105,7 @@ pub fn exact_street_interests(
 /// Index-free exact evaluation: every (POI, segment) pair is tested.
 ///
 /// Only intended for tests and tiny datasets.
-pub fn brute_force(
-    network: &RoadNetwork,
-    pois: &PoiCollection,
-    query: &SoiQuery,
-) -> SoiOutcome {
+pub fn brute_force(network: &RoadNetwork, pois: &PoiCollection, query: &SoiQuery) -> SoiOutcome {
     let mut stats = QueryStats::default();
     stats.timer.enter(phases::SCAN);
     let eps_sq = query.eps * query.eps;

@@ -23,13 +23,29 @@ impl SoiQuery {
     /// # Errors
     /// Rejects `k = 0` and non-positive or non-finite ε.
     pub fn new(keywords: KeywordSet, k: usize, eps: f64) -> Result<Self> {
-        if k == 0 {
+        let q = Self { keywords, k, eps };
+        q.validate()?;
+        Ok(q)
+    }
+
+    /// Re-checks the query invariants (`k ≥ 1`, `ε` positive and finite).
+    ///
+    /// The fields are public, so [`run_soi`](crate::run_soi) revalidates at
+    /// the API boundary rather than trusting construction-time checks.
+    ///
+    /// # Errors
+    /// Rejects `k = 0` and non-positive or non-finite ε.
+    pub fn validate(&self) -> Result<()> {
+        if self.k == 0 {
             return Err(SoiError::invalid("k must be at least 1"));
         }
-        if eps <= 0.0 || eps.is_nan() || !eps.is_finite() {
-            return Err(SoiError::invalid("eps must be positive and finite"));
+        if !(self.eps > 0.0 && self.eps.is_finite()) {
+            return Err(SoiError::invalid(format!(
+                "eps must be positive and finite, got {}",
+                self.eps
+            )));
         }
-        Ok(Self { keywords, k, eps })
+        Ok(())
     }
 }
 

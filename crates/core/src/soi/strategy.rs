@@ -90,7 +90,9 @@ mod tests {
         for s in AccessStrategy::all() {
             assert!(!s.cycle().is_empty(), "{}", s.name());
         }
-        assert!(AccessStrategy::RoundRobin.cycle().contains(&Source::SegmentsByCells));
+        assert!(AccessStrategy::RoundRobin
+            .cycle()
+            .contains(&Source::SegmentsByCells));
         assert_eq!(AccessStrategy::CellsFirst.cycle(), &[Source::Cells]);
     }
 

@@ -70,7 +70,8 @@ fn random_street_scene(
         rho: 0.3,
         phi_source: PhiSource::Photos,
     }
-    .build(soi_common::StreetId(0));
+    .build(soi_common::StreetId(0))
+    .unwrap();
     (network, photos, ctx)
 }
 
@@ -119,7 +120,7 @@ fn st_rel_div_equals_greedy_baseline() {
             (10, 0.5, 0.5),
         ] {
             let params = DescribeParams::new(k, lambda, w).unwrap();
-            let fast = st_rel_div(&ctx, &photos, &params);
+            let fast = st_rel_div(&ctx, &photos, &params).unwrap();
             let slow = greedy_select(&ctx, &photos, &params);
             assert_eq!(
                 fast.selected, slow.selected,
@@ -142,7 +143,7 @@ fn st_rel_div_never_evaluates_more_photos() {
             continue;
         }
         let params = DescribeParams::new(5, 0.5, 0.5).unwrap();
-        let fast = st_rel_div(&ctx, &photos, &params);
+        let fast = st_rel_div(&ctx, &photos, &params).unwrap();
         let slow = greedy_select(&ctx, &photos, &params);
         assert!(fast.stats.photos_evaluated <= slow.stats.photos_evaluated);
         total_fast += fast.stats.photos_evaluated;
@@ -186,7 +187,7 @@ fn objective_recomputes_consistently() {
     let mut rng = StdRng::seed_from_u64(999);
     let (_net, photos, ctx) = random_street_scene(&mut rng, 50);
     let params = DescribeParams::new(6, 0.4, 0.6).unwrap();
-    let out = st_rel_div(&ctx, &photos, &params);
+    let out = st_rel_div(&ctx, &photos, &params).unwrap();
     let f = objective(&ctx, &photos, &params, &out.selected);
     assert!((out.objective - f).abs() < 1e-12);
 }

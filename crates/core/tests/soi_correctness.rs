@@ -70,8 +70,7 @@ fn random_pois(rng: &mut StdRng, n: usize, extent: f64) -> PoiCollection {
 
 fn random_query(rng: &mut StdRng) -> SoiQuery {
     let n_kw = rng.random_range(1..4usize);
-    let kws =
-        KeywordSet::from_ids((0..n_kw).map(|_| KeywordId(rng.random_range(0..NUM_KEYWORDS))));
+    let kws = KeywordSet::from_ids((0..n_kw).map(|_| KeywordId(rng.random_range(0..NUM_KEYWORDS))));
     let k = rng.random_range(1..6usize);
     let eps = rng.random_range(0.1..0.6f64);
     SoiQuery::new(kws, k, eps).unwrap()
@@ -117,43 +116,46 @@ fn soi_returns_valid_topk_under_all_strategies() {
         let expected_len = query.k.min(positive);
 
         for strategy in AccessStrategy::all() {
-          for paper_bounds_only in [false, true] {
-            let config = SoiConfig { strategy, paper_bounds_only };
-            let out = run_soi(&network, &pois, &index, &query, &config);
+            for paper_bounds_only in [false, true] {
+                let config = SoiConfig {
+                    strategy,
+                    paper_bounds_only,
+                };
+                let out = run_soi(&network, &pois, &index, &query, &config).unwrap();
 
-            assert_eq!(
-                out.results.len(),
-                expected_len,
-                "seed {seed} strategy {}: wrong result size",
-                strategy.name()
-            );
-            // Returned interests are exact.
-            for r in &out.results {
-                let want = exact[&r.street];
+                assert_eq!(
+                    out.results.len(),
+                    expected_len,
+                    "seed {seed} strategy {}: wrong result size",
+                    strategy.name()
+                );
+                // Returned interests are exact.
+                for r in &out.results {
+                    let want = exact[&r.street];
+                    assert!(
+                        (r.interest - want).abs() < 1e-9,
+                        "seed {seed} strategy {}: street {:?} interest {} != exact {}",
+                        strategy.name(),
+                        r.street,
+                        r.interest,
+                        want
+                    );
+                }
+                // Valid top-k: no excluded street beats the worst returned.
+                let min_returned = out.min_interest();
+                let returned: Vec<_> = out.street_ids();
+                let max_excluded = exact
+                    .iter()
+                    .filter(|(id, _)| !returned.contains(id))
+                    .map(|(_, &v)| v)
+                    .fold(0.0f64, f64::max);
                 assert!(
-                    (r.interest - want).abs() < 1e-9,
-                    "seed {seed} strategy {}: street {:?} interest {} != exact {}",
-                    strategy.name(),
-                    r.street,
-                    r.interest,
-                    want
+                    max_excluded <= min_returned + 1e-9,
+                    "seed {seed} strategy {}: excluded street with \
+                 interest {max_excluded} beats returned minimum {min_returned}",
+                    strategy.name()
                 );
             }
-            // Valid top-k: no excluded street beats the worst returned.
-            let min_returned = out.min_interest();
-            let returned: Vec<_> = out.street_ids();
-            let max_excluded = exact
-                .iter()
-                .filter(|(id, _)| !returned.contains(id))
-                .map(|(_, &v)| v)
-                .fold(0.0f64, f64::max);
-            assert!(
-                max_excluded <= min_returned + 1e-9,
-                "seed {seed} strategy {}: excluded street with \
-                 interest {max_excluded} beats returned minimum {min_returned}",
-                strategy.name()
-            );
-          }
         }
     }
 }
@@ -177,7 +179,7 @@ fn soi_matches_baseline_when_no_ties_at_boundary() {
             continue;
         }
 
-        let soi = run_soi(&network, &pois, &index, &query, &SoiConfig::default());
+        let soi = run_soi(&network, &pois, &index, &query, &SoiConfig::default()).unwrap();
         let bl = run_baseline(&network, &pois, &index, &query, StreetAggregate::Max);
         assert_eq!(soi.street_ids(), bl.street_ids(), "seed {seed}");
     }
@@ -207,7 +209,7 @@ fn soi_prunes_work_on_skewed_data() {
     }
     let index = PoiIndex::build(&network, &pois, 0.4);
     let query = SoiQuery::new(KeywordSet::from_ids([shop]), 5, 0.3).unwrap();
-    let out = run_soi(&network, &pois, &index, &query, &SoiConfig::default());
+    let out = run_soi(&network, &pois, &index, &query, &SoiConfig::default()).unwrap();
 
     assert_eq!(out.results.len(), 5);
     let total_segments = network.num_segments();
@@ -239,7 +241,7 @@ fn weighted_pois_scale_interest() {
     let index = PoiIndex::build(&network, &pois, 0.5);
     let query = SoiQuery::new(KeywordSet::from_ids([kw]), 1, 0.2).unwrap();
 
-    let out = run_soi(&network, &pois, &index, &query, &SoiConfig::default());
+    let out = run_soi(&network, &pois, &index, &query, &SoiConfig::default()).unwrap();
     assert_eq!(out.results.len(), 1);
     assert_eq!(network.street(out.results[0].street).name, "B");
     assert_eq!(out.results[0].best_segment_mass, 5.0);
@@ -253,14 +255,9 @@ fn huge_eps_makes_every_street_relevant_and_stays_exact() {
     let network = random_city(&mut rng, 4, 4);
     let pois = random_pois(&mut rng, 60, 3.0);
     let index = PoiIndex::build(&network, &pois, 0.5);
-    let query = SoiQuery::new(
-        KeywordSet::from_ids([KeywordId(0), KeywordId(1)]),
-        5,
-        50.0,
-    )
-    .unwrap();
+    let query = SoiQuery::new(KeywordSet::from_ids([KeywordId(0), KeywordId(1)]), 5, 50.0).unwrap();
     let exact = exact_street_interests(&network, &pois, &query);
-    let out = run_soi(&network, &pois, &index, &query, &SoiConfig::default());
+    let out = run_soi(&network, &pois, &index, &query, &SoiConfig::default()).unwrap();
     for r in &out.results {
         assert!((r.interest - exact[&r.street]).abs() < 1e-9);
     }
@@ -282,7 +279,7 @@ fn k_exceeding_street_count_returns_all_positive_streets() {
     .unwrap();
     let exact = exact_street_interests(&network, &pois, &query);
     let positive = exact.values().filter(|&&v| v > 0.0).count();
-    let out = run_soi(&network, &pois, &index, &query, &SoiConfig::default());
+    let out = run_soi(&network, &pois, &index, &query, &SoiConfig::default()).unwrap();
     assert_eq!(out.results.len(), positive);
     // Ranked non-increasing.
     for pair in out.results.windows(2) {
@@ -300,7 +297,7 @@ fn tiny_eps_still_counts_on_street_pois() {
     pois.add(Point::new(0.5, 0.0), KeywordSet::from_ids([KeywordId(0)]));
     let index = PoiIndex::build(&network, &pois, 0.5);
     let query = SoiQuery::new(KeywordSet::from_ids([KeywordId(0)]), 1, 1e-9).unwrap();
-    let out = run_soi(&network, &pois, &index, &query, &SoiConfig::default());
+    let out = run_soi(&network, &pois, &index, &query, &SoiConfig::default()).unwrap();
     assert_eq!(out.results.len(), 1);
     assert_eq!(out.results[0].best_segment_mass, 1.0);
 }
@@ -313,7 +310,7 @@ fn empty_query_returns_nothing() {
     let index = PoiIndex::build(&network, &pois, 0.5);
     // Keyword id far outside the used range.
     let query = SoiQuery::new(KeywordSet::from_ids([KeywordId(999)]), 3, 0.3).unwrap();
-    let out = run_soi(&network, &pois, &index, &query, &SoiConfig::default());
+    let out = run_soi(&network, &pois, &index, &query, &SoiConfig::default()).unwrap();
     assert!(out.results.is_empty());
     let bl = run_baseline(&network, &pois, &index, &query, StreetAggregate::Max);
     assert!(bl.results.is_empty());

@@ -219,10 +219,7 @@ pub fn network_to_geojson(network: &RoadNetwork) -> String {
 
 /// Ranked streets (e.g. a k-SOI answer) as a FeatureCollection with
 /// `rank` and `interest` properties.
-pub fn ranked_streets_to_geojson(
-    network: &RoadNetwork,
-    ranked: &[(StreetId, f64)],
-) -> String {
+pub fn ranked_streets_to_geojson(network: &RoadNetwork, ranked: &[(StreetId, f64)]) -> String {
     let features: Vec<Feature> = ranked
         .iter()
         .enumerate()
@@ -294,7 +291,11 @@ mod tests {
         let mut b = RoadNetwork::builder();
         b.add_street_from_points(
             "Quote \"Str\"\nLine",
-            &[Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(1.0, 1.0)],
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(1.0, 1.0),
+            ],
         );
         let network = b.build().unwrap();
         let mut vocab = Vocabulary::new();
@@ -347,10 +348,7 @@ mod tests {
         // Street name with quote and newline survives as valid JSON.
         assert!(all.contains("Quote \\\"Str\\\"\\nLine"));
 
-        let ranked = ranked_streets_to_geojson(
-            &d.network,
-            &[(soi_common::StreetId(0), 123.5)],
-        );
+        let ranked = ranked_streets_to_geojson(&d.network, &[(soi_common::StreetId(0), 123.5)]);
         assert_balanced_json(&ranked);
         assert!(ranked.contains("\"rank\":1"));
         assert!(ranked.contains("\"interest\":123.5"));

@@ -21,7 +21,9 @@ const NAME_HEADS: &[&str] = &[
     "High", "Station", "Church", "Park", "Market", "Mill", "King", "Queen", "Garden", "Bridge",
     "North", "South", "West", "East", "Old", "New", "Long", "Short", "Green", "River",
 ];
-const NAME_TAILS: &[&str] = &["Street", "Road", "Lane", "Avenue", "Way", "Row", "Walk", "Gate"];
+const NAME_TAILS: &[&str] = &[
+    "Street", "Road", "Lane", "Avenue", "Way", "Row", "Walk", "Gate",
+];
 
 fn street_name(rng: &mut StdRng, idx: usize) -> String {
     let head = NAME_HEADS[rng.random_range(0..NAME_HEADS.len())];
@@ -96,11 +98,23 @@ pub fn generate_network(rng: &mut StdRng, config: &CityConfig) -> RoadNetwork {
 
     let mut street_counter = 0usize;
     for row in &pos {
-        add_chain(&mut b, rng, row, config.breakpoint_prob, &mut street_counter);
+        add_chain(
+            &mut b,
+            rng,
+            row,
+            config.breakpoint_prob,
+            &mut street_counter,
+        );
     }
     for col_idx in 0..=bx {
         let col: Vec<Point> = pos.iter().map(|row| row[col_idx]).collect();
-        add_chain(&mut b, rng, &col, config.breakpoint_prob, &mut street_counter);
+        add_chain(
+            &mut b,
+            rng,
+            &col,
+            config.breakpoint_prob,
+            &mut street_counter,
+        );
     }
 
     // Long diagonal avenues with no breakpoints: few, long segments.
@@ -117,7 +131,9 @@ pub fn generate_network(rng: &mut StdRng, config: &CityConfig) -> RoadNetwork {
         };
         // 2–4 long segments per avenue.
         let pieces = rng.random_range(2..=4usize);
-        let pts: Vec<Point> = (0..=pieces).map(|i| from.lerp(to, i as f64 / pieces as f64)).collect();
+        let pts: Vec<Point> = (0..=pieces)
+            .map(|i| from.lerp(to, i as f64 / pieces as f64))
+            .collect();
         b.add_street_from_points(name, &pts);
     }
 

@@ -57,9 +57,21 @@ pub fn generate_photos(
     let extent = network.extent();
     let near = (config.block_size * 0.32).max(1e-9);
 
-    let n_tourist = if destinations.is_empty() { 0 } else { n * 35 / 100 };
-    let n_landmark = if destinations.is_empty() { 0 } else { n * 20 / 100 };
-    let n_event = if destinations.is_empty() { 0 } else { n * 10 / 100 };
+    let n_tourist = if destinations.is_empty() {
+        0
+    } else {
+        n * 35 / 100
+    };
+    let n_landmark = if destinations.is_empty() {
+        0
+    } else {
+        n * 20 / 100
+    };
+    let n_event = if destinations.is_empty() {
+        0
+    } else {
+        n * 10 / 100
+    };
 
     // --- Tourist photos along destination streets.
     for i in 0..n_tourist {
@@ -202,10 +214,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let photos = generate_photos(&mut rng, &cfg, &net, &mut vocab, &truth);
         let lm = vocab.lookup("landmark0").expect("burst tag interned");
-        let burst: Vec<_> = photos
-            .iter()
-            .filter(|p| p.tags.contains(lm))
-            .collect();
+        let burst: Vec<_> = photos.iter().filter(|p| p.tags.contains(lm)).collect();
         assert!(burst.len() >= 10, "burst too small: {}", burst.len());
         // All burst photos share identical tag sets and sit within a tiny
         // radius.

@@ -203,7 +203,8 @@ pub fn generate_pois(
             &background_sampler,
             cat.street_affinity,
         );
-        let dest_streets = pick_destination_streets(rng, network, cat.destination_streets, &mut taken);
+        let dest_streets =
+            pick_destination_streets(rng, network, cat.destination_streets, &mut taken);
         if !dest_streets.is_empty() {
             truth
                 .destinations
@@ -239,7 +240,10 @@ pub fn generate_pois(
             } else {
                 // Street-adjacent background, restricted to the streets
                 // this category has affinity with.
-                match category_sampler.sample(rng).or_else(|| background_sampler.sample(rng)) {
+                match category_sampler
+                    .sample(rng)
+                    .or_else(|| background_sampler.sample(rng))
+                {
                     Some(seg) => point_near_segment(rng, network, seg, bg_offset),
                     None => Point::ORIGIN,
                 }
@@ -253,11 +257,7 @@ pub fn generate_pois(
             // Definition 1: ratings/check-ins as weights), exercising the
             // weighted-mass path at dataset scale.
             if rng.random_range(0..50) == 0 {
-                pois.add_weighted(
-                    pos,
-                    KeywordSet::from_ids(kws),
-                    rng.random_range(2.0..6.0),
-                );
+                pois.add_weighted(pos, KeywordSet::from_ids(kws), rng.random_range(2.0..6.0));
             } else {
                 pois.add(pos, KeywordSet::from_ids(kws));
             }

@@ -64,7 +64,15 @@ pub const CATEGORIES: &[CategorySpec] = &[
     CategorySpec {
         name: "shop",
         share: 0.060,
-        sub_keywords: &["clothing", "shoes", "books", "electronics", "jewelry", "boutique", "mall"],
+        sub_keywords: &[
+            "clothing",
+            "shoes",
+            "books",
+            "electronics",
+            "jewelry",
+            "boutique",
+            "mall",
+        ],
         destination_streets: 5,
         destination_share: 0.45,
         street_affinity: 0.30,
@@ -97,7 +105,13 @@ pub const CATEGORIES: &[CategorySpec] = &[
         name: "misc",
         share: 0.730,
         sub_keywords: &[
-            "office", "residential", "building", "company", "warehouse", "studio", "agency",
+            "office",
+            "residential",
+            "building",
+            "company",
+            "warehouse",
+            "studio",
+            "agency",
             "workshop",
         ],
         destination_streets: 0,
@@ -130,7 +144,14 @@ pub const LANDMARK_TAGS: &[&str] = &[
 
 /// Generic tourist-photo tags.
 pub const TOURIST_TAGS: &[&str] = &[
-    "travel", "city", "street", "architecture", "walk", "sightseeing", "holiday", "urban",
+    "travel",
+    "city",
+    "street",
+    "architecture",
+    "walk",
+    "sightseeing",
+    "holiday",
+    "urban",
 ];
 
 #[cfg(test)]

@@ -5,10 +5,20 @@ fn main() {
     let f = &cities[0];
     for k in [10usize, 50, 100, 200] {
         let q = soi_core::soi::SoiQuery::new(
-            f.dataset.query_keywords(&["religion", "education", "food"]), k, 0.0005).unwrap();
+            f.dataset.query_keywords(&["religion", "education", "food"]),
+            k,
+            0.0005,
+        )
+        .unwrap();
         let t = std::time::Instant::now();
-        let out = soi_core::soi::run_soi(&f.dataset.network, &f.dataset.pois, &f.index, &q,
-            &soi_core::soi::SoiConfig::default());
+        let out = soi_core::soi::run_soi(
+            &f.dataset.network,
+            &f.dataset.pois,
+            &f.index,
+            &q,
+            &soi_core::soi::SoiConfig::default(),
+        )
+        .expect("valid query");
         let el = t.elapsed();
         let s = &out.stats;
         println!("k={k}: {el:?} construct={:?} filter={:?} refine={:?} accesses={} seen={} bounded_out={} cell_visits={} total_segs={}",

@@ -5,9 +5,7 @@ use crate::experiments::Report;
 use crate::fixture::{median_time, CityFixture, EPS};
 use crate::paper::FIG4_SPEEDUP_VARY_K;
 use crate::table::{fmt_duration, TextTable};
-use soi_core::soi::{
-    run_baseline, run_soi, SoiConfig, SoiQuery, StreetAggregate,
-};
+use soi_core::soi::{run_baseline, run_soi, SoiConfig, SoiQuery, StreetAggregate};
 use std::time::Duration;
 
 /// Values of k swept in Fig. 4(a–c).
@@ -34,12 +32,25 @@ fn measure(fixture: &CityFixture, k: usize, num_keywords: usize) -> Measurement 
 
     let (bl, _) = median_time(REPS, || {
         fixture.index.clear_epsilon_cache();
-        run_baseline(&d.network, &d.pois, &fixture.index, &query, StreetAggregate::Max)
+        run_baseline(
+            &d.network,
+            &d.pois,
+            &fixture.index,
+            &query,
+            StreetAggregate::Max,
+        )
     });
     let (soi_total, outcome) = median_time(REPS, || {
         fixture.index.clear_epsilon_cache();
-        run_soi(&d.network, &d.pois, &fixture.index, &query, &SoiConfig::default())
+        run_soi(
+            &d.network,
+            &d.pois,
+            &fixture.index,
+            &query,
+            &SoiConfig::default(),
+        )
     });
+    let outcome = outcome.expect("valid query");
     let timer = &outcome.stats.timer;
     Measurement {
         bl,

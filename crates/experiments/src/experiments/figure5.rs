@@ -40,7 +40,11 @@ pub fn run(cities: &[CityFixture]) -> Report {
                 format!("{:.2}", p.lambda),
                 format!("{:.3}", p.relevance / max_rel),
                 format!("{:.3}", p.diversity / max_div),
-                if Some(i) == knee_idx { "← knee".into() } else { String::new() },
+                if Some(i) == knee_idx {
+                    "← knee".into()
+                } else {
+                    String::new()
+                },
             ]);
         }
     }

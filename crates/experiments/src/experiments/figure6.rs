@@ -27,7 +27,9 @@ fn measure_row(
     params: &DescribeParams,
 ) {
     let (bl, _) = median_time(REPS, || greedy_select(ctx, photos, params));
-    let (fast, _) = median_time(REPS, || st_rel_div(ctx, photos, params));
+    let (fast, _) = median_time(REPS, || {
+        st_rel_div(ctx, photos, params).expect("valid params")
+    });
     let speedup = bl.as_secs_f64() / fast.as_secs_f64().max(1e-12);
     t.row([
         city.to_string(),

@@ -36,15 +36,16 @@ pub(crate) mod describe_setup {
     /// The top-1 "shop" street of a city (falls back to the first planted
     /// destination if the query returns nothing).
     pub fn top_shop_street(fixture: &CityFixture) -> StreetId {
-        let query = SoiQuery::new(fixture.dataset.query_keywords(&["shop"]), 1, EPS)
-            .expect("valid query");
+        let query =
+            SoiQuery::new(fixture.dataset.query_keywords(&["shop"]), 1, EPS).expect("valid query");
         let out = run_soi(
             &fixture.dataset.network,
             &fixture.dataset.pois,
             &fixture.index,
             &query,
             &SoiConfig::default(),
-        );
+        )
+        .expect("valid query");
         out.results
             .first()
             .map(|r| r.street)
@@ -65,5 +66,6 @@ pub(crate) mod describe_setup {
             phi_source: PhiSource::Photos,
         }
         .build(street)
+        .expect("fixture street exists")
     }
 }

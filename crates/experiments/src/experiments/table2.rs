@@ -15,15 +15,16 @@ pub fn run(cities: &[CityFixture]) -> Report {
         .find(|c| c.name() == "berlin")
         .unwrap_or(&cities[0]);
     let truth = fixture.truth.for_category("shop");
-    let query = SoiQuery::new(fixture.dataset.query_keywords(&["shop"]), 10, EPS)
-        .expect("valid query");
+    let query =
+        SoiQuery::new(fixture.dataset.query_keywords(&["shop"]), 10, EPS).expect("valid query");
     let out = run_soi(
         &fixture.dataset.network,
         &fixture.dataset.pois,
         &fixture.index,
         &query,
         &SoiConfig::default(),
-    );
+    )
+    .expect("valid query");
 
     let mut t = TextTable::new(["Rank", "Street", "Interest", "Planted destination?"]);
     let mut hits = 0usize;

@@ -27,7 +27,7 @@ pub fn run(cities: &[CityFixture]) -> Report {
         let ctx = context_for(fixture, street);
         for (mi, method) in MethodSpec::all().iter().enumerate() {
             let params = method.params(SUMMARY_K, 0.5, 0.5);
-            let out = st_rel_div(&ctx, &fixture.dataset.photos, &params);
+            let out = st_rel_div(&ctx, &fixture.dataset.photos, &params).expect("valid params");
             scores[mi][ci] = objective(&ctx, &fixture.dataset.photos, &eval, &out.selected);
         }
     }
@@ -52,11 +52,9 @@ pub fn run(cities: &[CityFixture]) -> Report {
                 0.0
             };
             row.push(format!("{normalised:.3}"));
-            row.push(
-                paper_row.map_or("-".into(), |(_, vals)| {
-                    vals.get(ci).map_or("-".into(), |v| format!("{v:.3}"))
-                }),
-            );
+            row.push(paper_row.map_or("-".into(), |(_, vals)| {
+                vals.get(ci).map_or("-".into(), |v| format!("{v:.3}"))
+            }));
         }
         t.row(row);
     }

@@ -11,7 +11,12 @@ pub const KEYWORDS: [&str; 4] = ["religion", "education", "food", "services"];
 /// Counts POIs relevant to the cumulative keyword prefixes |Ψ| = 1..4.
 pub fn run(cities: &[CityFixture]) -> Report {
     let mut t = TextTable::new([
-        "Dataset", "|Ψ|=1", "|Ψ|=2", "|Ψ|=3", "|Ψ|=4", "paper (scaled %)",
+        "Dataset",
+        "|Ψ|=1",
+        "|Ψ|=2",
+        "|Ψ|=3",
+        "|Ψ|=4",
+        "paper (scaled %)",
     ]);
     for fixture in cities {
         let mut row = vec![fixture.name().to_string()];

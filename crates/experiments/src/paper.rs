@@ -97,7 +97,10 @@ mod tests {
         assert_eq!(st.0, "ST_Rel+Div");
         for (method, scores) in TABLE3 {
             for (i, s) in scores.iter().enumerate() {
-                assert!(*s <= st.1[i] + 1e-12, "{method} beats ST_Rel+Div in city {i}");
+                assert!(
+                    *s <= st.1[i] + 1e-12,
+                    "{method} beats ST_Rel+Div in city {i}"
+                );
             }
         }
     }

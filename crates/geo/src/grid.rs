@@ -64,7 +64,10 @@ impl Grid {
             cell_size > 0.0 && cell_size.is_finite(),
             "cell_size must be positive and finite"
         );
-        assert!(nx > 0 && ny > 0, "grid must have at least one cell per axis");
+        assert!(
+            nx > 0 && ny > 0,
+            "grid must have at least one cell per axis"
+        );
         assert!(
             (nx as u64) * (ny as u64) <= u32::MAX as u64,
             "grid too large for CellId"
@@ -212,8 +215,7 @@ impl Grid {
         let Some((x0, y0, x1, y1)) = self.clip_range(r) else {
             return Vec::new();
         };
-        let mut out =
-            Vec::with_capacity(((x1 - x0 + 1) as usize) * ((y1 - y0 + 1) as usize));
+        let mut out = Vec::with_capacity(((x1 - x0 + 1) as usize) * ((y1 - y0 + 1) as usize));
         for iy in y0..=y1 {
             for ix in x0..=x1 {
                 out.push(CellCoord::new(ix, iy));
@@ -281,10 +283,19 @@ mod tests {
     #[test]
     fn cell_assignment_is_half_open() {
         let g = unit_grid();
-        assert_eq!(g.cell_containing(Point::new(0.0, 0.0)), Some(CellCoord::new(0, 0)));
+        assert_eq!(
+            g.cell_containing(Point::new(0.0, 0.0)),
+            Some(CellCoord::new(0, 0))
+        );
         // A point exactly on an interior boundary belongs to the next cell.
-        assert_eq!(g.cell_containing(Point::new(1.0, 0.5)), Some(CellCoord::new(1, 0)));
-        assert_eq!(g.cell_containing(Point::new(0.5, 2.0)), Some(CellCoord::new(0, 2)));
+        assert_eq!(
+            g.cell_containing(Point::new(1.0, 0.5)),
+            Some(CellCoord::new(1, 0))
+        );
+        assert_eq!(
+            g.cell_containing(Point::new(0.5, 2.0)),
+            Some(CellCoord::new(0, 2))
+        );
         // Outside the extent.
         assert_eq!(g.cell_containing(Point::new(-0.1, 0.0)), None);
         assert_eq!(g.cell_containing(Point::new(4.0, 0.0)), None);

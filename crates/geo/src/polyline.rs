@@ -90,7 +90,7 @@ impl Polyline {
             }
             walked += l;
         }
-        Some(*self.points.last().expect("non-empty"))
+        self.points.last().copied()
     }
 }
 

@@ -59,9 +59,9 @@ impl DiversificationIndex {
         let mut cells: FxHashMap<CellId, DivCell> = FxHashMap::default();
         for &pid in members {
             let photo = photos.get(pid);
-            let coord = grid
-                .cell_containing(photo.pos)
-                .expect("grid covers all member photos");
+            let Some(coord) = grid.cell_containing(photo.pos) else {
+                continue; // outside the grid (non-finite position): unindexable
+            };
             let id = grid.cell_id(coord);
             let cell = cells.entry(id).or_insert_with(|| DivCell {
                 photos: Vec::new(),
@@ -76,9 +76,7 @@ impl DiversificationIndex {
             cell.psi_max = cell.psi_max.max(photo.tags.len());
         }
         for cell in cells.values_mut() {
-            cell.keywords = KeywordSet::from_ids(
-                cell.inverted.iter().map(|(k, _)| k),
-            );
+            cell.keywords = KeywordSet::from_ids(cell.inverted.iter().map(|(k, _)| k));
         }
         let mut occupied: Vec<CellId> = cells.keys().copied().collect();
         occupied.sort_unstable();
@@ -128,12 +126,7 @@ impl DiversificationIndex {
     ///
     /// Correct only for `radius ≤ ρ` (the scan is limited to the radius-2
     /// cell neighbourhood, which covers exactly distances up to ρ = 2·cell).
-    pub fn count_within(
-        &self,
-        photos: &PhotoCollection,
-        center: Point,
-        radius: f64,
-    ) -> usize {
+    pub fn count_within(&self, photos: &PhotoCollection, center: Point, radius: f64) -> usize {
         debug_assert!(
             radius <= self.grid.cell_size() * 2.0 + 1e-12,
             "count_within only valid up to rho"
@@ -181,7 +174,9 @@ mod tests {
         let (_, _, index) = setup();
         assert_eq!(index.num_photos(), 4);
         // Cell of the cluster (cell size 0.5 => all three in cell (0,0)).
-        let id = index.grid().cell_id(index.grid().cell_containing(Point::new(0.2, 0.1)).unwrap());
+        let id = index
+            .grid()
+            .cell_id(index.grid().cell_containing(Point::new(0.2, 0.1)).unwrap());
         let cell = index.cell(id).unwrap();
         assert_eq!(cell.photos.len(), 3);
         assert_eq!(cell.psi_min, 1);
@@ -207,7 +202,9 @@ mod tests {
     #[test]
     fn neighborhood_count_sums_nearby_cells() {
         let (_, _, index) = setup();
-        let id = index.grid().cell_id(index.grid().cell_containing(Point::new(0.2, 0.1)).unwrap());
+        let id = index
+            .grid()
+            .cell_id(index.grid().cell_containing(Point::new(0.2, 0.1)).unwrap());
         // The far photo is many cells away: radius-2 neighbourhood holds only
         // the cluster.
         assert_eq!(index.neighborhood_count(id, 2), 3);

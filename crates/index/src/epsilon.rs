@@ -30,8 +30,7 @@ impl EpsilonMaps {
     pub fn build(network: &RoadNetwork, index: &PoiIndex, eps: f64) -> Self {
         assert!(eps >= 0.0 && eps.is_finite(), "eps must be non-negative");
         let grid = index.grid();
-        let mut segment_to_cells: Vec<Vec<CellId>> =
-            Vec::with_capacity(network.num_segments());
+        let mut segment_to_cells: Vec<Vec<CellId>> = Vec::with_capacity(network.num_segments());
         let mut cell_to_segments: FxHashMap<CellId, Vec<SegmentId>> = FxHashMap::default();
 
         for seg in network.segments() {
@@ -136,7 +135,7 @@ mod tests {
     }
 
     #[test]
-    fn cells_within_eps_have_near_pois_covered(){
+    fn cells_within_eps_have_near_pois_covered() {
         // Every POI within eps of a segment must lie in some cell of Cε(ℓ).
         let (network, index, maps) = setup(0.8);
         let grid = index.grid();

@@ -111,12 +111,7 @@ impl IrTree {
     /// The `k` POIs nearest to `q` whose keywords intersect `keywords`,
     /// nearest first, with distances. Subtrees without any query keyword
     /// are pruned via the node summaries.
-    pub fn top_k_relevant(
-        &self,
-        q: Point,
-        keywords: &KeywordSet,
-        k: usize,
-    ) -> Vec<(PoiId, f64)> {
+    pub fn top_k_relevant(&self, q: Point, keywords: &KeywordSet, k: usize) -> Vec<(PoiId, f64)> {
         self.tree
             .nearest_k_pruned(
                 q,
@@ -131,12 +126,7 @@ impl IrTree {
 
     /// All POIs within `dist` of `q` matching any of `keywords`, ascending
     /// by id.
-    pub fn relevant_within(
-        &self,
-        q: Point,
-        dist: f64,
-        keywords: &KeywordSet,
-    ) -> Vec<PoiId> {
+    pub fn relevant_within(&self, q: Point, dist: f64, keywords: &KeywordSet) -> Vec<PoiId> {
         let mut out = Vec::new();
         self.tree.search_pruned(
             |rect, summary| {
@@ -212,7 +202,9 @@ mod tests {
     fn disjoint_keywords_return_nothing() {
         let tree = IrTree::build(&sample());
         assert!(tree.top_k_relevant(Point::ORIGIN, &kws(&[9]), 5).is_empty());
-        assert!(tree.relevant_within(Point::ORIGIN, 100.0, &kws(&[9])).is_empty());
+        assert!(tree
+            .relevant_within(Point::ORIGIN, 100.0, &kws(&[9]))
+            .is_empty());
     }
 
     #[test]

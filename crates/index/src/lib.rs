@@ -26,6 +26,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface failures as `SoiError`, never panic: unwrap and
+// expect are compile errors outside of test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bloom;
 pub mod div_index;

@@ -33,9 +33,9 @@ impl PhotoGrid {
         let grid = Grid::covering(extent, cell_size);
         let mut cells: FxHashMap<CellId, Vec<PhotoId>> = FxHashMap::default();
         for photo in photos.iter() {
-            let coord = grid
-                .cell_containing(photo.pos)
-                .expect("grid covers all photos by construction");
+            let Some(coord) = grid.cell_containing(photo.pos) else {
+                continue; // outside the grid (non-finite position): unindexable
+            };
             cells.entry(grid.cell_id(coord)).or_default().push(photo.id);
         }
         Self { grid, cells }
@@ -125,7 +125,11 @@ mod tests {
         let mut b = RoadNetwork::builder();
         b.add_street_from_points(
             "L",
-            &[Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(4.0, 4.0)],
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(4.0, 0.0),
+                Point::new(4.0, 4.0),
+            ],
         );
         b.add_street_from_points("Far", &[Point::new(20.0, 20.0), Point::new(24.0, 20.0)]);
         let network = b.build().unwrap();

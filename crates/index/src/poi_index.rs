@@ -71,9 +71,9 @@ impl PoiIndex {
         // lists and postings sorted by id without extra sorting.
         let mut cells: FxHashMap<CellId, PoiCell> = FxHashMap::default();
         for poi in pois.iter() {
-            let coord = grid
-                .cell_containing(poi.pos)
-                .expect("grid covers all POIs by construction");
+            let Some(coord) = grid.cell_containing(poi.pos) else {
+                continue; // outside the grid (non-finite position): unindexable
+            };
             let cell = cells.entry(grid.cell_id(coord)).or_insert_with(|| PoiCell {
                 pois: Vec::new(),
                 total_weight: 0.0,
@@ -106,8 +106,7 @@ impl PoiIndex {
             }
         }
 
-        let mut segments_by_len: Vec<SegmentId> =
-            network.segments().iter().map(|s| s.id).collect();
+        let mut segments_by_len: Vec<SegmentId> = network.segments().iter().map(|s| s.id).collect();
         segments_by_len.sort_by(|&a, &b| {
             network
                 .segment(a)
@@ -175,11 +174,7 @@ impl PoiIndex {
     }
 
     /// Lazy `Cε(ℓ)`: occupied cells within `eps` of `geom`, ascending ids.
-    pub fn occupied_cells_near_segment(
-        &self,
-        geom: &soi_geo::LineSeg,
-        eps: f64,
-    ) -> Vec<CellId> {
+    pub fn occupied_cells_near_segment(&self, geom: &soi_geo::LineSeg, eps: f64) -> Vec<CellId> {
         let mut cells: Vec<CellId> = self
             .grid
             .cells_near_segment(geom, eps)
@@ -223,8 +218,7 @@ impl PoiIndex {
         let dilated = rect.expand(eps);
         out.retain(|&seg| {
             let geom = network.segment(seg).geom;
-            dilated.intersects(&geom.bounding_rect())
-                && rect.within_dist_of_segment(&geom, eps)
+            dilated.intersects(&geom.bounding_rect()) && rect.within_dist_of_segment(&geom, eps)
         });
         out
     }
@@ -395,7 +389,11 @@ mod tests {
         let mut b = RoadNetwork::builder();
         b.add_street_from_points(
             "Main",
-            &[Point::new(0.0, 0.0), Point::new(5.0, 0.0), Point::new(10.0, 0.0)],
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(5.0, 0.0),
+                Point::new(10.0, 0.0),
+            ],
         );
         let network = b.build().unwrap();
         let mut pois = PoiCollection::new();
@@ -463,11 +461,20 @@ mod tests {
         let id = index.grid().cell_id(coord);
         let seg = LineSeg::new(Point::new(0.0, 0.0), Point::new(5.0, 0.0));
         // eps = 0.65: both POIs within reach; multi-keyword query counts each once.
-        assert_eq!(index.cell_mass_for_segment(&pois, id, &seg, &kws(&[0, 1]), 0.65), 2.0);
+        assert_eq!(
+            index.cell_mass_for_segment(&pois, id, &seg, &kws(&[0, 1]), 0.65),
+            2.0
+        );
         // eps = 0.55: only the POI at distance 0.5.
-        assert_eq!(index.cell_mass_for_segment(&pois, id, &seg, &kws(&[0, 1]), 0.55), 1.0);
+        assert_eq!(
+            index.cell_mass_for_segment(&pois, id, &seg, &kws(&[0, 1]), 0.55),
+            1.0
+        );
         // Non-matching query.
-        assert_eq!(index.cell_mass_for_segment(&pois, id, &seg, &kws(&[7]), 1.0), 0.0);
+        assert_eq!(
+            index.cell_mass_for_segment(&pois, id, &seg, &kws(&[7]), 1.0),
+            0.0
+        );
     }
 
     #[test]
@@ -529,7 +536,9 @@ mod tests {
             // The midpoint's cell must list the segment.
             if let Some(c) = grid.cell_containing(seg.geom.midpoint()) {
                 assert!(
-                    index.raster_segments_of_cell(grid.cell_id(c)).contains(&seg.id),
+                    index
+                        .raster_segments_of_cell(grid.cell_id(c))
+                        .contains(&seg.id),
                     "segment {} missing from raster",
                     seg.id
                 );

@@ -15,11 +15,19 @@ fn network() -> RoadNetwork {
     let mut b = RoadNetwork::builder();
     b.add_street_from_points(
         "H",
-        &[Point::new(0.0, 2.0), Point::new(4.0, 2.0), Point::new(8.0, 2.0)],
+        &[
+            Point::new(0.0, 2.0),
+            Point::new(4.0, 2.0),
+            Point::new(8.0, 2.0),
+        ],
     );
     b.add_street_from_points(
         "V",
-        &[Point::new(4.0, 0.0), Point::new(4.0, 4.0), Point::new(4.0, 8.0)],
+        &[
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(4.0, 8.0),
+        ],
     );
     // Corner anchors so the grid extent covers all POI positions below.
     b.add_street_from_points("B", &[Point::new(0.0, 0.0), Point::new(8.0, 8.0)]);
@@ -32,7 +40,11 @@ fn random_pois(rng: &mut StdRng, n: usize) -> PoiCollection {
         let kws = KeywordSet::from_ids(
             (0..rng.random_range(0..3usize)).map(|_| KeywordId(rng.random_range(0..5))),
         );
-        let weight = if rng.random_range(0..8) == 0 { 2.5 } else { 1.0 };
+        let weight = if rng.random_range(0..8) == 0 {
+            2.5
+        } else {
+            1.0
+        };
         pois.add_weighted(
             Point::new(rng.random_range(0.0..8.0), rng.random_range(0.0..8.0)),
             kws,

@@ -34,11 +34,19 @@ fn small_network() -> RoadNetwork {
     let mut b = RoadNetwork::builder();
     b.add_street_from_points(
         "H",
-        &[Point::new(0.0, 2.0), Point::new(4.0, 2.0), Point::new(8.0, 2.0)],
+        &[
+            Point::new(0.0, 2.0),
+            Point::new(4.0, 2.0),
+            Point::new(8.0, 2.0),
+        ],
     );
     b.add_street_from_points(
         "V",
-        &[Point::new(4.0, 0.0), Point::new(4.0, 4.0), Point::new(4.0, 8.0)],
+        &[
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(4.0, 8.0),
+        ],
     );
     b.add_street_from_points("D", &[Point::new(0.0, 0.0), Point::new(7.5, 7.5)]);
     b.build().unwrap()

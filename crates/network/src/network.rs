@@ -1,7 +1,7 @@
 //! The immutable road network and its builder.
 
 use crate::model::{Node, Segment, Street};
-use soi_common::{NodeId, Result, SegmentId, SoiError, StreetId};
+use soi_common::{NodeId, Result, SegmentId, SoiError, StreetId, ValidationKind};
 use soi_geo::{LineSeg, Point, Polyline, Rect};
 
 /// An immutable road network `G = (V, L)` with its street partition `S`.
@@ -127,7 +127,7 @@ impl RoadNetwork {
                     pts.push(b);
                 }
             } else {
-                let last = *pts.last().expect("non-empty");
+                let last = pts.last().copied().unwrap_or(a);
                 // Append whichever endpoint isn't the current chain end.
                 if last == a {
                     pts.push(b);
@@ -238,18 +238,18 @@ impl NetworkBuilder {
     pub fn build(self) -> Result<RoadNetwork> {
         for node in &self.nodes {
             if !node.pos.is_finite() {
-                return Err(SoiError::invalid(format!(
-                    "node {} has non-finite coordinates",
-                    node.id
-                )));
+                return Err(SoiError::validation(
+                    ValidationKind::NonFiniteCoordinate,
+                    format!("node {} has non-finite coordinates", node.id),
+                ));
             }
         }
         for seg in &self.segments {
             if seg.geom.is_degenerate() {
-                return Err(SoiError::invalid(format!(
-                    "segment {} is degenerate (zero length)",
-                    seg.id
-                )));
+                return Err(SoiError::validation(
+                    ValidationKind::ZeroLengthSegment,
+                    format!("segment {} is degenerate (zero length)", seg.id),
+                ));
             }
         }
         for street in &self.streets {
@@ -258,10 +258,13 @@ impl NetworkBuilder {
                 let b = &self.segments[pair[1].index()];
                 let shares = a.from == b.from || a.from == b.to || a.to == b.from || a.to == b.to;
                 if !shares {
-                    return Err(SoiError::invalid(format!(
-                        "street {} ({}) is not a connected chain: segments {} and {} share no node",
-                        street.id, street.name, a.id, b.id
-                    )));
+                    return Err(SoiError::validation(
+                        ValidationKind::DanglingReference,
+                        format!(
+                            "street {} ({}) is not a connected chain: segments {} and {} share no node",
+                            street.id, street.name, a.id, b.id
+                        ),
+                    ));
                 }
             }
         }
@@ -327,9 +330,18 @@ mod tests {
         let net = cross_network();
         // Point above the middle of Main St: closest via second segment or
         // Cross St.
-        assert_eq!(net.dist_point_to_street(Point::new(1.5, 0.5), StreetId(0)), 0.5);
-        assert_eq!(net.dist_point_to_street(Point::new(1.5, 0.5), StreetId(1)), 0.5);
-        assert_eq!(net.dist_point_to_street(Point::new(0.0, 0.0), StreetId(0)), 0.0);
+        assert_eq!(
+            net.dist_point_to_street(Point::new(1.5, 0.5), StreetId(0)),
+            0.5
+        );
+        assert_eq!(
+            net.dist_point_to_street(Point::new(1.5, 0.5), StreetId(1)),
+            0.5
+        );
+        assert_eq!(
+            net.dist_point_to_street(Point::new(0.0, 0.0), StreetId(0)),
+            0.0
+        );
     }
 
     #[test]
@@ -373,7 +385,11 @@ mod tests {
         let mut b = RoadNetwork::builder();
         let s = b.add_street_from_points(
             "Chain",
-            &[Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(1.0, 2.0)],
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(1.0, 2.0),
+            ],
         );
         let net = b.build().unwrap();
         assert_eq!(net.street(s).num_segments(), 2);

@@ -90,7 +90,11 @@ mod tests {
         let mut b = RoadNetwork::builder();
         let s = b.add_street_from_points(
             "s",
-            &[Point::new(0.0, 0.0), Point::new(3.0, 4.0), Point::new(3.0, 5.0)],
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(3.0, 4.0),
+                Point::new(3.0, 5.0),
+            ],
         );
         let _ = s;
         let net = b.build().unwrap();

@@ -116,19 +116,13 @@ impl<T: BoundedItem, S: Summary<T>> RTree<T, S> {
         let slab_capacity = slabs * fanout;
 
         let center = |r: &Rect| r.center();
-        tree.items.sort_by(|a, b| {
-            center(&a.rect())
-                .x
-                .total_cmp(&center(&b.rect()).x)
-        });
+        tree.items
+            .sort_by(|a, b| center(&a.rect()).x.total_cmp(&center(&b.rect()).x));
         let mut start = 0;
         while start < n {
             let end = (start + slab_capacity).min(n);
-            tree.items[start..end].sort_by(|a, b| {
-                center(&a.rect())
-                    .y
-                    .total_cmp(&center(&b.rect()).y)
-            });
+            tree.items[start..end]
+                .sort_by(|a, b| center(&a.rect()).y.total_cmp(&center(&b.rect()).y));
             start = end;
         }
 
@@ -242,11 +236,14 @@ impl<T: BoundedItem, S: Summary<T>> RTree<T, S> {
 
     /// Calls `visit` for every item whose rect intersects `query`.
     pub fn search_rect<V: FnMut(&T)>(&self, query: &Rect, mut visit: V) {
-        self.search_pruned(|rect, _| rect.intersects(query), |item| {
-            if item.rect().intersects(query) {
-                visit(item);
-            }
-        });
+        self.search_pruned(
+            |rect, _| rect.intersects(query),
+            |item| {
+                if item.rect().intersects(query) {
+                    visit(item);
+                }
+            },
+        );
     }
 
     /// Calls `visit` for every item whose rect lies within `dist` of `p`.
@@ -404,7 +401,9 @@ mod tests {
         assert!(tree.bounds().is_none());
         assert!(tree.nearest_k(Point::ORIGIN, 3).is_empty());
         let mut count = 0;
-        tree.search_rect(&Rect::new(Point::ORIGIN, Point::new(1.0, 1.0)), |_| count += 1);
+        tree.search_rect(&Rect::new(Point::ORIGIN, Point::new(1.0, 1.0)), |_| {
+            count += 1
+        });
         assert_eq!(count, 0);
     }
 

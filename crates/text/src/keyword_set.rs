@@ -204,7 +204,10 @@ mod tests {
         assert_eq!(a.jaccard_distance(&set(&[3, 4])), 1.0);
         assert!((a.jaccard_distance(&set(&[2, 3])) - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
         // Both empty: identical by convention.
-        assert_eq!(KeywordSet::empty().jaccard_distance(&KeywordSet::empty()), 0.0);
+        assert_eq!(
+            KeywordSet::empty().jaccard_distance(&KeywordSet::empty()),
+            0.0
+        );
         // One empty, one not: maximally distant.
         assert_eq!(a.jaccard_distance(&KeywordSet::empty()), 1.0);
     }
@@ -221,7 +224,9 @@ mod tests {
 
     #[test]
     fn from_iterator() {
-        let s: KeywordSet = [KeywordId(2), KeywordId(1), KeywordId(2)].into_iter().collect();
+        let s: KeywordSet = [KeywordId(2), KeywordId(1), KeywordId(2)]
+            .into_iter()
+            .collect();
         assert_eq!(s, set(&[1, 2]));
     }
 }

@@ -6,7 +6,6 @@
 
 use streets_of_interest::prelude::*;
 
-
 fn main() {
     let (dataset, _truth) = soi_datagen::generate(&soi_datagen::vienna(0.05));
     let eps = 0.0005;
@@ -21,7 +20,8 @@ fn main() {
             &index,
             &query,
             &SoiConfig::default(),
-        );
+        )
+        .expect("valid query");
         println!("{category}:");
         for r in &outcome.results {
             println!(
@@ -33,19 +33,15 @@ fn main() {
     }
 
     // Multi-keyword query: anywhere good for an evening out.
-    let query = SoiQuery::new(
-        dataset.query_keywords(&["food", "entertainment"]),
-        8,
-        eps,
-    )
-    .unwrap();
+    let query = SoiQuery::new(dataset.query_keywords(&["food", "entertainment"]), 8, eps).unwrap();
     let outcome = run_soi(
         &dataset.network,
         &dataset.pois,
         &index,
         &query,
         &SoiConfig::default(),
-    );
+    )
+    .expect("valid query");
     println!("\nevening-out streets (food ∪ entertainment):");
     for r in &outcome.results {
         println!(

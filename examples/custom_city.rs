@@ -71,7 +71,11 @@ fn main() {
     for i in 0..6 {
         photos.add(
             Point::new(i as f64 * 0.0006, 0.00015),
-            KeywordSet::from_ids(if i % 2 == 0 { [cafe, latte] } else { [cafe, brunch] }),
+            KeywordSet::from_ids(if i % 2 == 0 {
+                [cafe, latte]
+            } else {
+                [cafe, brunch]
+            }),
         );
     }
     photos.add(
@@ -91,7 +95,8 @@ fn main() {
         &index,
         &query,
         &SoiConfig::default(),
-    );
+    )
+    .expect("valid query");
     println!("food streets:");
     for r in &outcome.results {
         println!(
@@ -117,12 +122,14 @@ fn main() {
         rho: 0.0004,
         phi_source: PhiSource::PhotosAndPois,
     }
-    .build(outcome.results[0].street);
+    .build(outcome.results[0].street)
+    .expect("valid context inputs");
     let summary = st_rel_div(
         &ctx,
         &dataset.photos,
         &DescribeParams::new(3, 0.5, 0.5).unwrap(),
-    );
+    )
+    .expect("valid params");
     println!("\nCafe Row in 3 photos:");
     for &pid in &summary.selected {
         let photo = dataset.photos.get(pid);

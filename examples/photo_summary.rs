@@ -10,13 +10,8 @@
 
 use streets_of_interest::prelude::*;
 
-fn describe_with(
-    name: &str,
-    dataset: &Dataset,
-    ctx: &StreetContext,
-    params: &DescribeParams,
-) {
-    let out = st_rel_div(ctx, &dataset.photos, params);
+fn describe_with(name: &str, dataset: &Dataset, ctx: &StreetContext, params: &DescribeParams) {
+    let out = st_rel_div(ctx, &dataset.photos, params).expect("valid params");
     println!("\n{name} (λ = {}, w = {}):", params.lambda, params.w);
     for &pid in &out.selected {
         let photo = dataset.photos.get(pid);
@@ -53,6 +48,7 @@ fn main() {
         &query,
         &SoiConfig::default(),
     )
+    .expect("valid query")
     .results[0]
         .street;
     println!(
@@ -70,14 +66,24 @@ fn main() {
         rho: 0.0001,
         phi_source: PhiSource::Photos,
     }
-    .build(top);
-    println!("({} candidate photos within ε of the street)", ctx.members.len());
+    .build(top)
+    .expect("valid context inputs");
+    println!(
+        "({} candidate photos within ε of the street)",
+        ctx.members.len()
+    );
 
     let k = 3;
     // The three headline methods of Figure 3; MethodSpec::all() has all nine.
     for method in [
-        MethodSpec { aspect: soi_core::describe::Aspect::S, criterion: soi_core::describe::Criterion::Rel },
-        MethodSpec { aspect: soi_core::describe::Aspect::T, criterion: soi_core::describe::Criterion::Rel },
+        MethodSpec {
+            aspect: soi_core::describe::Aspect::S,
+            criterion: soi_core::describe::Criterion::Rel,
+        },
+        MethodSpec {
+            aspect: soi_core::describe::Aspect::T,
+            criterion: soi_core::describe::Criterion::Rel,
+        },
         MethodSpec::st_rel_div(),
     ] {
         let params = method.params(k, 0.5, 0.5);

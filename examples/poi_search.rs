@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --release --example poi_search`
 
-use streets_of_interest::prelude::*;
 use streets_of_interest::core::describe::{knee, sweep_lambda};
+use streets_of_interest::prelude::*;
 
 fn main() {
     let (dataset, _truth) = soi_datagen::generate(&soi_datagen::vienna(0.05));
@@ -25,14 +25,24 @@ fn main() {
     let ir_tree = IrTree::build(&dataset.pois);
     let keywords = dataset.query_keywords(&["food"]);
     println!("5 nearest food POIs to the city centre {center}:");
-    for (rank, (pid, dist)) in ir_tree.top_k_relevant(center, &keywords, 5).iter().enumerate() {
+    for (rank, (pid, dist)) in ir_tree
+        .top_k_relevant(center, &keywords, 5)
+        .iter()
+        .enumerate()
+    {
         let poi = dataset.pois.get(*pid);
         let kws: Vec<&str> = poi
             .keywords
             .iter()
             .filter_map(|k| dataset.vocab.term(k))
             .collect();
-        println!("  {}. poi #{:<5} {:>9.6} away  [{}]", rank + 1, pid.raw(), dist, kws.join(", "));
+        println!(
+            "  {}. poi #{:<5} {:>9.6} away  [{}]",
+            rank + 1,
+            pid.raw(),
+            dist,
+            kws.join(", ")
+        );
     }
 
     // --- Street-level retrieval (the paper's contribution): same keywords.
@@ -44,7 +54,8 @@ fn main() {
         &index,
         &query,
         &SoiConfig::default(),
-    );
+    )
+    .expect("valid query");
     println!("\ntop 5 food streets (k-SOI):");
     for r in &streets.results {
         println!(
@@ -65,7 +76,8 @@ fn main() {
         rho: 0.0001,
         phi_source: PhiSource::Photos,
     }
-    .build(streets.results[0].street);
+    .build(streets.results[0].street)
+    .expect("valid context inputs");
 
     let lambdas = [0.0, 0.25, 0.5, 0.75, 1.0];
     let points = sweep_lambda(&ctx, &dataset.photos, 10, 0.5, &lambdas).unwrap();
@@ -81,7 +93,11 @@ fn main() {
             p.lambda,
             p.relevance,
             p.diversity,
-            if Some(i) == knee_idx { "   ← knee (best value for money)" } else { "" }
+            if Some(i) == knee_idx {
+                "   ← knee (best value for money)"
+            } else {
+                ""
+            }
         );
     }
 }

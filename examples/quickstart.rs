@@ -22,15 +22,15 @@ fn main() {
     let index = PoiIndex::build(&dataset.network, &dataset.pois, 2.0 * eps);
 
     // 3. Identify: top-5 streets for "shop".
-    let query = SoiQuery::new(dataset.query_keywords(&["shop"]), 5, eps)
-        .expect("valid query");
+    let query = SoiQuery::new(dataset.query_keywords(&["shop"]), 5, eps).expect("valid query");
     let outcome = run_soi(
         &dataset.network,
         &dataset.pois,
         &index,
         &query,
         &SoiConfig::default(),
-    );
+    )
+    .expect("valid query");
     println!("\ntop shopping streets:");
     for (rank, r) in outcome.results.iter().enumerate() {
         println!(
@@ -54,9 +54,10 @@ fn main() {
         rho: 0.0001, // the paper's ρ
         phi_source: PhiSource::Photos,
     }
-    .build(top);
+    .build(top)
+    .expect("valid context inputs");
     let params = DescribeParams::new(4, 0.5, 0.5).expect("valid params");
-    let summary = st_rel_div(&ctx, &dataset.photos, &params);
+    let summary = st_rel_div(&ctx, &dataset.photos, &params).expect("valid params");
 
     println!(
         "\nphoto summary of {} ({} candidate photos, objective {:.4}):",

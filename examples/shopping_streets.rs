@@ -27,7 +27,8 @@ fn main() {
         &index,
         &query,
         &SoiConfig::default(),
-    );
+    )
+    .expect("valid query");
 
     println!("\ntop-20 SOIs for \"shop\" (✓ = planted destination):");
     let mut hits_at = vec![0usize; outcome.results.len() + 1];
@@ -48,7 +49,10 @@ fn main() {
     }
 
     let denom = planted.len().max(1) as f64;
-    println!("\nrecall@10: {:.2}", hits_at.get(10).copied().unwrap_or(hits) as f64 / denom);
+    println!(
+        "\nrecall@10: {:.2}",
+        hits_at.get(10).copied().unwrap_or(hits) as f64 / denom
+    );
     println!("recall@20: {:.2}", hits as f64 / denom);
     println!(
         "(the paper reports recall 0.8 at rank 10 against each of its two \

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so benches link against
+//! this minimal harness instead. It is source-compatible with the surface
+//! the workspace benches use (`Criterion::bench_function`,
+//! `benchmark_group` + `bench_with_input`/`sample_size`/`finish`,
+//! `BenchmarkId`, `black_box`, `criterion_group!`, `criterion_main!`) and
+//! reports mean/median/min wall-clock times per benchmark. It performs no
+//! statistical analysis, warmup tuning, or HTML reporting.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<name>/<parameter>`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    samples: usize,
+    measured: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, collecting one sample per configured iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: one untimed call.
+        black_box(f());
+        self.measured.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.measured.push(start.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{label:<60} (no samples)");
+        return;
+    }
+    samples.sort();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{label:<60} min {min:>12.3?}  median {median:>12.3?}  mean {mean:>12.3?}  ({} samples)",
+        samples.len()
+    );
+}
+
+/// The harness entry point, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: Option<usize>,
+}
+
+const DEFAULT_SAMPLES: usize = 20;
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size.unwrap_or(DEFAULT_SAMPLES),
+            measured: Vec::new(),
+        };
+        f(&mut b);
+        report(id, &mut b.measured);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measured: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &mut b.measured);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measured: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into().id), &mut b.measured);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| b.iter(|| n * n));
+        group.finish();
+    }
+}

@@ -1,0 +1,66 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build container has no access to crates.io; the only crossbeam API
+//! the workspace uses is `crossbeam::thread::scope`, which std has provided
+//! natively since Rust 1.63. This shim adapts `std::thread::scope` to the
+//! crossbeam calling convention (spawn closures receive the scope, the
+//! scope call returns a `Result` that is `Err` when a child panicked).
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::panic::AssertUnwindSafe;
+
+    /// Payload of a child-thread panic.
+    pub type Panic = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A handle for spawning threads scoped to a [`scope`] call.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it can
+        /// spawn further threads (crossbeam convention).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            self.0.spawn(move || f(&Scope(inner)))
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing local data can be
+    /// spawned; joins them all before returning. Returns `Err` with the
+    /// panic payload if any child (or `f` itself) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Panic>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope(s)))))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn spawns_and_joins() {
+            let mut values = [0u32; 4];
+            super::scope(|s| {
+                for (i, slot) in values.iter_mut().enumerate() {
+                    s.spawn(move |_| *slot = i as u32 + 1);
+                }
+            })
+            .unwrap();
+            assert_eq!(values, [1, 2, 3, 4]);
+        }
+
+        #[test]
+        fn child_panic_becomes_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no access to crates.io. The workspace only uses
+//! serde through optional `#[cfg_attr(feature = "serde", derive(...))]`
+//! attributes on plain data types; this shim supplies marker
+//! [`Serialize`]/[`Deserialize`] traits and (behind the `derive` feature) a
+//! matching derive macro so that those attributes compile. It does **not**
+//! implement any data format — vendor the real serde to actually serialize.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that would be serializable with the real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable with the real serde.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

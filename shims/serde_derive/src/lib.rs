@@ -1,0 +1,50 @@
+//! Derive half of the offline serde shim (see the sibling `serde` crate).
+//!
+//! The shim's `Serialize`/`Deserialize` traits are empty markers, so the
+//! derive only has to name the type: it scans the item tokens for the
+//! identifier following `struct`/`enum`/`union` — no syn/quote needed.
+//! Generic types are not supported (none of the workspace's serde-derived
+//! types are generic).
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_keyword = false;
+    for tree in input {
+        match tree {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_keyword {
+                    return Some(s);
+                }
+                if s == "struct" || s == "enum" || s == "union" {
+                    saw_keyword = true;
+                }
+            }
+            _ => continue,
+        }
+    }
+    None
+}
+
+/// Emits `impl serde::Serialize for <Type> {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap_or_default(),
+        None => TokenStream::new(),
+    }
+}
+
+/// Emits `impl<'de> serde::Deserialize<'de> for <Type> {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap_or_default(),
+        None => TokenStream::new(),
+    }
+}

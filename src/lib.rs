@@ -36,7 +36,8 @@
 //!     &index,
 //!     &query,
 //!     &SoiConfig::default(),
-//! );
+//! )
+//! .unwrap();
 //! assert!(!outcome.results.is_empty());
 //! println!(
 //!     "top street: {}",

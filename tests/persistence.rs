@@ -29,14 +29,16 @@ fn saved_and_reloaded_dataset_answers_identically() {
             &index_a,
             &qa,
             &SoiConfig::default(),
-        );
+        )
+        .unwrap();
         let b = run_soi(
             &reloaded.network,
             &reloaded.pois,
             &index_b,
             &qb,
             &SoiConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(a.street_ids(), b.street_ids(), "keywords {keywords:?}");
         for (ra, rb) in a.results.iter().zip(b.results.iter()) {
             assert_eq!(ra.interest, rb.interest);
@@ -55,6 +57,7 @@ fn saved_and_reloaded_dataset_answers_identically() {
         &q,
         &SoiConfig::default(),
     )
+    .unwrap()
     .results[0]
         .street;
     let make_ctx = |d: &Dataset, g: &PhotoGrid| {
@@ -68,13 +71,14 @@ fn saved_and_reloaded_dataset_answers_identically() {
             phi_source: PhiSource::Photos,
         }
         .build(top)
+        .unwrap()
     };
     let ctx_a = make_ctx(&dataset, &grid_a);
     let ctx_b = make_ctx(&reloaded, &grid_b);
     assert_eq!(ctx_a.members, ctx_b.members);
     let params = DescribeParams::new(5, 0.5, 0.5).unwrap();
-    let sa = st_rel_div(&ctx_a, &dataset.photos, &params);
-    let sb = st_rel_div(&ctx_b, &reloaded.photos, &params);
+    let sa = st_rel_div(&ctx_a, &dataset.photos, &params).unwrap();
+    let sb = st_rel_div(&ctx_b, &reloaded.photos, &params).unwrap();
     assert_eq!(sa.selected, sb.selected);
     assert_eq!(sa.objective, sb.objective);
 }

@@ -22,7 +22,8 @@ fn identification_finds_planted_destinations() {
         &index,
         &query,
         &SoiConfig::default(),
-    );
+    )
+    .unwrap();
     let planted = truth.for_category("shop");
     let hits = outcome
         .results
@@ -51,7 +52,8 @@ fn soi_and_baseline_agree_on_generated_city() {
                 &index,
                 &query,
                 &SoiConfig::default(),
-            );
+            )
+            .unwrap();
             let bl = run_baseline(
                 &dataset.network,
                 &dataset.pois,
@@ -85,6 +87,7 @@ fn description_pipeline_is_deterministic_and_consistent() {
         &query,
         &SoiConfig::default(),
     )
+    .unwrap()
     .results[0]
         .street;
 
@@ -97,18 +100,18 @@ fn description_pipeline_is_deterministic_and_consistent() {
         rho: RHO,
         phi_source: PhiSource::Photos,
     };
-    let ctx = builder.build(top);
+    let ctx = builder.build(top).unwrap();
     assert!(!ctx.members.is_empty(), "top shop street has no photos");
 
     let params = DescribeParams::new(8, 0.5, 0.5).unwrap();
-    let fast = st_rel_div(&ctx, &dataset.photos, &params);
+    let fast = st_rel_div(&ctx, &dataset.photos, &params).unwrap();
     let slow = greedy_select(&ctx, &dataset.photos, &params);
     assert_eq!(fast.selected, slow.selected);
     assert_eq!(fast.selected.len(), 8.min(ctx.members.len()));
 
     // Deterministic across a rebuild of the context.
-    let ctx2 = builder.build(top);
-    let again = st_rel_div(&ctx2, &dataset.photos, &params);
+    let ctx2 = builder.build(top).unwrap();
+    let again = st_rel_div(&ctx2, &dataset.photos, &params).unwrap();
     assert_eq!(fast.selected, again.selected);
 
     // All selected photos really belong to the street's photo set.
@@ -130,6 +133,7 @@ fn all_nine_methods_produce_valid_summaries_and_st_rel_div_wins() {
         &query,
         &SoiConfig::default(),
     )
+    .unwrap()
     .results[0]
         .street;
     let ctx = ContextBuilder {
@@ -141,7 +145,8 @@ fn all_nine_methods_produce_valid_summaries_and_st_rel_div_wins() {
         rho: RHO,
         phi_source: PhiSource::Photos,
     }
-    .build(top);
+    .build(top)
+    .unwrap();
 
     let k = 5.min(ctx.members.len());
     let eval = DescribeParams::new(k, 0.5, 0.5).unwrap();
@@ -150,10 +155,9 @@ fn all_nine_methods_produce_valid_summaries_and_st_rel_div_wins() {
     let mut rel_only_scores = Vec::new();
     for method in MethodSpec::all() {
         let params = method.params(k, 0.5, 0.5);
-        let out = st_rel_div(&ctx, &dataset.photos, &params);
+        let out = st_rel_div(&ctx, &dataset.photos, &params).unwrap();
         assert_eq!(out.selected.len(), k, "{method}");
-        let score =
-            soi_core::describe::objective(&ctx, &dataset.photos, &eval, &out.selected);
+        let score = soi_core::describe::objective(&ctx, &dataset.photos, &eval, &out.selected);
         if method == MethodSpec::st_rel_div() {
             st_score = score;
         }
@@ -189,12 +193,16 @@ fn route_covers_all_result_streets() {
         &index,
         &query,
         &SoiConfig::default(),
-    );
+    )
+    .unwrap();
     let route = sketch_route(&dataset.network, &outcome.results);
     assert_eq!(route.len(), outcome.results.len());
     let mut sorted_route = route.clone();
     sorted_route.sort();
     sorted_route.dedup();
     assert_eq!(sorted_route.len(), route.len(), "route repeats a street");
-    assert_eq!(route[0], outcome.results[0].street, "route starts at top SOI");
+    assert_eq!(
+        route[0], outcome.results[0].street,
+        "route starts at top SOI"
+    );
 }

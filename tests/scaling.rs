@@ -36,7 +36,8 @@ fn half_scale_london_end_to_end() {
         &index,
         &query,
         &SoiConfig::default(),
-    );
+    )
+    .unwrap();
     let soi_time = t.elapsed();
     let t = Instant::now();
     let bl = run_baseline(
@@ -74,14 +75,20 @@ fn half_scale_london_end_to_end() {
         rho: 0.0001,
         phi_source: PhiSource::Photos,
     }
-    .build(soi.results[0].street);
-    assert!(ctx.members.len() > 100, "top street has {} photos", ctx.members.len());
+    .build(soi.results[0].street)
+    .unwrap();
+    assert!(
+        ctx.members.len() > 100,
+        "top street has {} photos",
+        ctx.members.len()
+    );
     let t = Instant::now();
     let summary = st_rel_div(
         &ctx,
         &dataset.photos,
         &DescribeParams::new(20, 0.5, 0.5).unwrap(),
-    );
+    )
+    .unwrap();
     println!(
         "ST_Rel+Div over |Rs|={} in {:?}",
         ctx.members.len(),
