@@ -1,0 +1,249 @@
+//! `perf_report` — the PR 2 acceptance benchmark.
+//!
+//! Measures, on one process and back-to-back (the only way to get stable
+//! numbers on a noisy single-core VM):
+//!
+//! 1. offline index construction: the pre-PR hash-map build (reconstructed
+//!    inline below) vs the current counting-sort build, medians of several
+//!    interleaved reps;
+//! 2. single-query k-SOI latency (p50/p95), direct `run_soi` vs a
+//!    one-element engine batch (the inline path — must be within noise);
+//! 3. batched k-SOI throughput at 1, 2, and 8 workers.
+//!
+//! Writes `BENCH_PR2.json` into the repo root (or the directory given as
+//! the first argument) and prints it to stdout.
+
+use soi_common::{CellId, FxHashMap, KeywordId, SegmentId};
+use soi_core::soi::{run_soi, SoiConfig, SoiQuery};
+use soi_data::{Dataset, PoiCollection};
+use soi_engine::{QueryContext, QueryEngine};
+use soi_geo::{Grid, Point, Rect};
+use soi_index::PoiIndex;
+use soi_network::RoadNetwork;
+use soi_text::InvertedIndex;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// City scale for the report: large enough that the build takes tens of
+/// milliseconds, small enough to keep the whole report under a minute.
+const SCALE: f64 = 0.2;
+const EPS: f64 = 0.0005;
+const CELL: f64 = 2.0 * EPS;
+/// Interleaved repetitions per build variant (medians reported).
+const BUILD_REPS: usize = 9;
+/// Repetitions for the single-query latency distribution.
+const QUERY_REPS: usize = 21;
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// The index construction algorithm as it was before this PR: per-POI
+/// hash-map entry updates, a per-keyword weight re-sum for the global
+/// inverted index, and comparison sorts throughout. Returns fingerprint
+/// counts so the optimizer cannot discard the work.
+fn old_index_build(
+    network: &RoadNetwork,
+    pois: &PoiCollection,
+    cell_size: f64,
+) -> (usize, usize, usize) {
+    struct OldCell {
+        pois: Vec<soi_common::PoiId>,
+        total_weight: f64,
+        inverted: InvertedIndex<soi_common::PoiId>,
+    }
+
+    let extent = match (network.extent(), pois.extent()) {
+        (Some(a), Some(b)) => a.union(&b),
+        (Some(a), None) => a,
+        (None, Some(b)) => b,
+        (None, None) => Rect::new(Point::ORIGIN, Point::new(1.0, 1.0)),
+    };
+    let grid = Grid::covering(extent, cell_size);
+
+    let mut cells: FxHashMap<CellId, OldCell> = FxHashMap::default();
+    for poi in pois.iter() {
+        let Some(coord) = grid.cell_containing(poi.pos) else {
+            continue;
+        };
+        let cell = cells.entry(grid.cell_id(coord)).or_insert_with(|| OldCell {
+            pois: Vec::new(),
+            total_weight: 0.0,
+            inverted: InvertedIndex::new(),
+        });
+        cell.pois.push(poi.id);
+        cell.total_weight += poi.weight;
+        cell.inverted.add_document(poi.id, poi.keywords.iter());
+    }
+
+    let mut global: FxHashMap<KeywordId, Vec<(CellId, f64)>> = FxHashMap::default();
+    for (&cell_id, cell) in &cells {
+        for (k, postings) in cell.inverted.iter() {
+            let weight: f64 = postings.iter().map(|&p| pois.get(p).weight).sum();
+            global.entry(k).or_default().push((cell_id, weight));
+        }
+    }
+    for list in global.values_mut() {
+        list.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    }
+
+    let mut raster: FxHashMap<CellId, Vec<SegmentId>> = FxHashMap::default();
+    for seg in network.segments() {
+        for coord in grid.cells_near_segment(&seg.geom, 0.0) {
+            raster.entry(grid.cell_id(coord)).or_default().push(seg.id);
+        }
+    }
+
+    let mut segments_by_len: Vec<SegmentId> = network.segments().iter().map(|s| s.id).collect();
+    segments_by_len.sort_by(|&a, &b| {
+        network
+            .segment(a)
+            .len()
+            .total_cmp(&network.segment(b).len())
+            .then_with(|| a.cmp(&b))
+    });
+
+    (cells.len(), global.len(), raster.len())
+}
+
+fn sweep_queries(dataset: &Dataset) -> Vec<SoiQuery> {
+    let kws = ["shop", "food", "religion", "education"];
+    let mut queries = Vec::new();
+    for &k in &[10usize, 20, 50, 100] {
+        for n in 1..=kws.len() {
+            let set = dataset.query_keywords(&kws[..n]);
+            queries.push(SoiQuery::new(set, k, EPS).expect("valid query"));
+        }
+    }
+    queries
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+
+    eprintln!("generating berlin at scale {SCALE}...");
+    let (dataset, _truth) = soi_datagen::generate(&soi_datagen::berlin(SCALE));
+    eprintln!(
+        "  {} segments, {} POIs",
+        dataset.network.num_segments(),
+        dataset.pois.len()
+    );
+
+    // 1. Index construction, old vs new, interleaved so drift hits both.
+    let mut old_times = Vec::with_capacity(BUILD_REPS);
+    let mut new_times = Vec::with_capacity(BUILD_REPS);
+    for _ in 0..BUILD_REPS {
+        let t = Instant::now();
+        black_box(old_index_build(&dataset.network, &dataset.pois, CELL));
+        old_times.push(t.elapsed());
+        let t = Instant::now();
+        black_box(PoiIndex::build_with_threads(
+            &dataset.network,
+            &dataset.pois,
+            CELL,
+            1,
+        ));
+        new_times.push(t.elapsed());
+    }
+    let build_old = median(old_times);
+    let build_new = median(new_times);
+    let build_speedup = build_old.as_secs_f64() / build_new.as_secs_f64().max(1e-12);
+    eprintln!(
+        "index build: old {:.1}ms, new {:.1}ms ({build_speedup:.2}x)",
+        ms(build_old),
+        ms(build_new)
+    );
+
+    // 2. Single-query latency.
+    let index = PoiIndex::build_with_threads(&dataset.network, &dataset.pois, CELL, 0);
+    let query =
+        SoiQuery::new(dataset.query_keywords(&["shop", "food"]), 50, EPS).expect("valid query");
+    let config = SoiConfig::default();
+    let mut direct = Vec::with_capacity(QUERY_REPS);
+    for _ in 0..QUERY_REPS {
+        index.clear_epsilon_cache();
+        let t = Instant::now();
+        black_box(
+            run_soi(&dataset.network, &dataset.pois, &index, &query, &config).expect("valid query"),
+        );
+        direct.push(t.elapsed());
+    }
+    direct.sort_unstable();
+
+    let ctx = Arc::new(QueryContext::new(&dataset.network, &dataset.pois, &index));
+    let one_worker = QueryEngine::new(1);
+    let single = std::slice::from_ref(&query);
+    let mut engine_one = Vec::with_capacity(QUERY_REPS);
+    for _ in 0..QUERY_REPS {
+        index.clear_epsilon_cache();
+        let t = Instant::now();
+        black_box(one_worker.run_soi_batch(&ctx, single));
+        engine_one.push(t.elapsed());
+    }
+    engine_one.sort_unstable();
+    eprintln!(
+        "single query: direct p50 {:.2}ms p95 {:.2}ms; engine(1) p50 {:.2}ms p95 {:.2}ms",
+        ms(percentile(&direct, 0.5)),
+        ms(percentile(&direct, 0.95)),
+        ms(percentile(&engine_one, 0.5)),
+        ms(percentile(&engine_one, 0.95)),
+    );
+
+    // 3. Batch throughput at 1/2/8 workers (median of 3 sweeps each).
+    let sweep = sweep_queries(&dataset);
+    let mut batch_lines = Vec::new();
+    for &threads in &[1usize, 2, 8] {
+        let engine = QueryEngine::new(threads);
+        let mut walls = Vec::new();
+        for _ in 0..3 {
+            let t = Instant::now();
+            let batch = engine.run_soi_batch(&ctx, &sweep);
+            walls.push(t.elapsed());
+            assert_eq!(batch.stats.errors, 0, "batch queries must all succeed");
+        }
+        let wall = median(walls);
+        let qps = sweep.len() as f64 / wall.as_secs_f64().max(1e-12);
+        eprintln!(
+            "batch: {} queries on {threads} worker(s): {:.1}ms ({qps:.0} q/s)",
+            sweep.len(),
+            ms(wall)
+        );
+        batch_lines.push(format!(
+            "    {{\"workers\": {threads}, \"queries\": {}, \"wall_ms\": {:.3}, \"qps\": {:.1}}}",
+            sweep.len(),
+            ms(wall),
+            qps
+        ));
+    }
+
+    let json = format!
+    (
+        "{{\n  \"bench\": \"PR2 parallel allocation-lean query engine\",\n  \"city\": \"berlin\",\n  \"scale\": {SCALE},\n  \"segments\": {},\n  \"pois\": {},\n  \"index_build\": {{\n    \"old_ms\": {:.3},\n    \"new_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"reps\": {BUILD_REPS},\n    \"note\": \"single-threaded, medians of interleaved reps; old = pre-PR hash-map build reconstructed inline\"\n  }},\n  \"single_query\": {{\n    \"direct_p50_ms\": {:.3},\n    \"direct_p95_ms\": {:.3},\n    \"engine_one_worker_p50_ms\": {:.3},\n    \"engine_one_worker_p95_ms\": {:.3},\n    \"reps\": {QUERY_REPS}\n  }},\n  \"batch\": [\n{}\n  ]\n}}\n",
+        dataset.network.num_segments(),
+        dataset.pois.len(),
+        ms(build_old),
+        ms(build_new),
+        build_speedup,
+        ms(percentile(&direct, 0.5)),
+        ms(percentile(&direct, 0.95)),
+        ms(percentile(&engine_one, 0.5)),
+        ms(percentile(&engine_one, 0.95)),
+        batch_lines.join(",\n"),
+    );
+
+    let path = format!("{}/BENCH_PR2.json", out_dir.trim_end_matches('/'));
+    std::fs::write(&path, &json).expect("write BENCH_PR2.json");
+    println!("{json}");
+    eprintln!("wrote {path}");
+}

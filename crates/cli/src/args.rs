@@ -3,11 +3,14 @@
 use soi_common::{Result, SoiError};
 use std::collections::BTreeMap;
 
-/// Parsed invocation: a subcommand plus `--key value` options.
+/// Parsed invocation: a subcommand, at most one positional argument, plus
+/// `--key value` options.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     /// The subcommand (first positional argument).
     pub command: String,
+    /// The optional positional argument (e.g. the queries file of `batch`).
+    positional: Option<String>,
     /// `--key value` pairs.
     options: BTreeMap<String, String>,
 }
@@ -15,19 +18,25 @@ pub struct Args {
 impl Args {
     /// Parses an argument list (without the program name).
     ///
-    /// Grammar: `<command> (--key value)*`. Flags without values are not
-    /// supported (every option takes a value).
+    /// Grammar: `<command> [positional] (--key value)*`. Flags without
+    /// values are not supported (every option takes a value); at most one
+    /// positional argument is accepted.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args> {
         let mut it = args.into_iter();
         let command = it
             .next()
             .ok_or_else(|| SoiError::invalid("missing subcommand; try `soi help`"))?;
+        let mut positional = None;
         let mut options = BTreeMap::new();
         while let Some(key) = it.next() {
             let Some(name) = key.strip_prefix("--") else {
-                return Err(SoiError::invalid(format!(
-                    "unexpected positional argument {key:?}"
-                )));
+                if positional.is_some() {
+                    return Err(SoiError::invalid(format!(
+                        "unexpected extra positional argument {key:?}"
+                    )));
+                }
+                positional = Some(key);
+                continue;
             };
             let value = it
                 .next()
@@ -36,7 +45,16 @@ impl Args {
                 return Err(SoiError::invalid(format!("option --{name} given twice")));
             }
         }
-        Ok(Args { command, options })
+        Ok(Args {
+            command,
+            positional,
+            options,
+        })
+    }
+
+    /// The positional argument, if one was given.
+    pub fn positional(&self) -> Option<&str> {
+        self.positional.as_deref()
     }
 
     /// A required string option.
@@ -83,9 +101,18 @@ mod tests {
     }
 
     #[test]
+    fn accepts_one_positional() {
+        let a = parse(&["batch", "queries.tsv", "--data", "d"]).unwrap();
+        assert_eq!(a.command, "batch");
+        assert_eq!(a.positional(), Some("queries.tsv"));
+        assert_eq!(a.require("data").unwrap(), "d");
+        assert_eq!(parse(&["stats"]).unwrap().positional(), None);
+    }
+
+    #[test]
     fn rejects_malformed_input() {
         assert!(parse(&[]).is_err());
-        assert!(parse(&["query", "stray"]).is_err());
+        assert!(parse(&["query", "one", "two"]).is_err());
         assert!(parse(&["query", "--k"]).is_err());
         assert!(parse(&["query", "--k", "1", "--k", "2"]).is_err());
         assert!(parse(&["query", "--k", "x"])

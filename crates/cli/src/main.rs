@@ -4,6 +4,7 @@
 //! soi generate --city london --scale 0.05 --out data/london
 //! soi stats    --data data/london
 //! soi query    --data data/london --keywords shop --k 10
+//! soi batch    queries.tsv --data data/london --threads 4
 //! soi describe --data data/london --keywords shop --photos 5
 //! soi route    --data data/london --keywords food --k 8
 //! ```
@@ -21,6 +22,7 @@ use soi_core::describe::{st_rel_div, ContextBuilder, DescribeParams, PhiSource};
 use soi_core::route::{improve_route_2opt, route_length, sketch_route};
 use soi_core::soi::{run_baseline, run_soi, SoiConfig, SoiOutcome, SoiQuery, StreetAggregate};
 use soi_data::Dataset;
+use soi_engine::{QueryContext, QueryEngine};
 use soi_index::{IrTree, PhotoGrid, PoiIndex};
 use soi_network::NetworkStats;
 
@@ -50,6 +52,7 @@ fn run(raw: Vec<String>) -> Result<()> {
         "generate" => cmd_generate(&args),
         "stats" => cmd_stats(&args),
         "query" => cmd_query(&args),
+        "batch" => cmd_batch(&args),
         "describe" => cmd_describe(&args),
         "route" => cmd_route(&args),
         "export" => cmd_export(&args),
@@ -73,6 +76,9 @@ fn print_help() -> Result<()> {
          \u{20}          Print dataset statistics (paper Table 1 columns).\n\
          query     --data DIR --keywords w1,w2 [--k 10] [--eps 0.0005] [--algo soi|bl]\n\
          \u{20}          Run a k-SOI query and print the ranked streets.\n\
+         batch     FILE.tsv --data DIR [--threads N] [--eps 0.0005]\n\
+         \u{20}          Run a file of k-SOI queries through the multi-threaded\n\
+         \u{20}          engine (one query per line: keywords<TAB>k[<TAB>eps]).\n\
          describe  --data DIR --keywords w1,w2 [--photos 5] [--lambda 0.5] [--w 0.5]\n\
          \u{20}          [--rho 0.0001] [--street NAME]\n\
          \u{20}          Select a diversified photo summary for the top street\n\
@@ -223,6 +229,108 @@ fn cmd_query(args: &Args) -> Result<()> {
         other => return Err(SoiError::invalid(format!("unknown --algo {other:?}"))),
     };
     print_outcome(&dataset, &outcome)
+}
+
+/// Parses one query file line (`keywords<TAB>k[<TAB>eps]`) into a query.
+fn parse_batch_line(
+    dataset: &Dataset,
+    lineno: usize,
+    line: &str,
+    default_eps: f64,
+) -> Result<SoiQuery> {
+    let invalid = |what: &str| SoiError::invalid(format!("queries line {lineno}: {what}"));
+    let mut fields = line.split('\t');
+    let raw_kws = fields.next().unwrap_or("");
+    let words: Vec<&str> = raw_kws
+        .split(',')
+        .map(str::trim)
+        .filter(|w| !w.is_empty())
+        .collect();
+    if words.is_empty() {
+        return Err(invalid("missing keywords"));
+    }
+    let k: usize = match fields.next() {
+        None => 10,
+        Some(raw) => raw
+            .trim()
+            .parse()
+            .map_err(|_| invalid(&format!("invalid k {raw:?}")))?,
+    };
+    let eps: f64 = match fields.next() {
+        None => default_eps,
+        Some(raw) => raw
+            .trim()
+            .parse()
+            .map_err(|_| invalid(&format!("invalid eps {raw:?}")))?,
+    };
+    if let Some(extra) = fields.next() {
+        return Err(invalid(&format!("unexpected extra field {extra:?}")));
+    }
+    SoiQuery::new(dataset.query_keywords(&words), k, eps)
+        .map_err(|e| invalid(&format!("invalid query ({e})")))
+}
+
+fn cmd_batch(args: &Args) -> Result<()> {
+    let path = args
+        .positional()
+        .or(args.get("queries"))
+        .ok_or_else(|| SoiError::invalid("batch needs a queries file: soi batch FILE.tsv"))?;
+    let dataset = load(args)?;
+    let eps: f64 = args.get_parsed("eps", DEFAULT_EPS)?;
+    let threads: usize = args.get_parsed("threads", 0)?;
+
+    let text = std::fs::read_to_string(path).at_path(path)?;
+    let mut queries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        queries.push(parse_batch_line(&dataset, i + 1, line, eps)?);
+    }
+    if queries.is_empty() {
+        return Err(SoiError::invalid(format!("{path}: no queries found")));
+    }
+
+    let index = PoiIndex::build_with_threads(&dataset.network, &dataset.pois, 2.0 * eps, threads);
+    let engine = QueryEngine::new(threads);
+    let ctx = std::sync::Arc::new(QueryContext::new(&dataset.network, &dataset.pois, &index));
+    let batch = engine.run_soi_batch(&ctx, &queries);
+
+    let mut out = std::io::stdout().lock();
+    for (i, (query, result)) in queries.iter().zip(&batch.results).enumerate() {
+        match result {
+            Ok(outcome) => {
+                writeln!(
+                    out,
+                    "query {}: k={} -> {} streets",
+                    i + 1,
+                    query.k,
+                    outcome.results.len()
+                )?;
+                for (rank, r) in outcome.results.iter().enumerate() {
+                    writeln!(
+                        out,
+                        "  {:>3}. {:>10.1}  {}",
+                        rank + 1,
+                        r.interest,
+                        dataset.network.street(r.street).name
+                    )?;
+                }
+            }
+            Err(e) => writeln!(out, "query {}: error: {e}", i + 1)?,
+        }
+    }
+    let s = &batch.stats;
+    eprintln!(
+        "({} queries on {} worker(s) in {:?}; {:.0} queries/s; {} errors)",
+        s.queries,
+        s.threads,
+        s.wall_time,
+        s.queries_per_second(),
+        s.errors,
+    );
+    Ok(())
 }
 
 fn top_street(

@@ -11,6 +11,10 @@
 //!   ranking scores deterministically.
 //! - [`timing`]: [`Stopwatch`] and [`PhaseTimer`] for the per-phase runtime
 //!   breakdowns reported by the experiment harness (paper Fig. 4).
+//! - [`parallel`]: deterministic data-parallel helpers (chunked fan-out and
+//!   a stable parallel sort) whose results never depend on thread count.
+//! - [`bucket`]: stable counting sort over dense integer keys, the
+//!   `O(n + k)` digit pass the offline index builds chain into radix sorts.
 //! - [`topk`]: deterministic top-k selection helpers.
 //! - [`error`]: the workspace error type — structured, categorized, with
 //!   source-chain context and stable CLI exit codes.
@@ -23,18 +27,25 @@
 // expect are compile errors outside of test code.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod bucket;
 pub mod error;
 pub mod fxhash;
 pub mod ids;
 pub mod load;
 pub mod ord;
+pub mod parallel;
 pub mod timing;
 pub mod topk;
 
+pub use bucket::{bucket_sort_stable, bucket_sort_worthwhile};
 pub use error::{ErrorCategory, Result, ResultExt, SoiError, ValidationKind};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{CellId, KeywordId, NodeId, PhotoId, PoiId, SegmentId, StreetId};
 pub use load::{LoadMode, LoadOptions, LoadReport};
-pub use ord::OrderedF64;
+pub use ord::{f64_from_total_key, f64_total_key, OrderedF64};
+pub use parallel::{
+    chunk_ranges, effective_threads, par_chunk_map, par_chunks_mut, par_sort_by,
+    par_sort_unstable_by,
+};
 pub use timing::{PhaseTimer, Stopwatch};
 pub use topk::{top_k_by_score, ScoredItem, TopKTracker};

@@ -21,7 +21,7 @@ pub use context::{ContextBuilder, PhiSource, StreetContext};
 pub use exact::exact_select;
 pub use greedy::greedy_select;
 pub use objective::{mmr, objective, set_diversity, set_relevance};
-pub use st_rel_div::st_rel_div;
+pub use st_rel_div::{st_rel_div, st_rel_div_with_scratch, DescribeScratch};
 pub use tradeoff::{knee, sweep_lambda, TradeoffPoint};
 pub use variants::{Aspect, Criterion, MethodSpec};
 

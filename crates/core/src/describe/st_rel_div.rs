@@ -54,6 +54,27 @@ struct PhotoAcc {
     upto: usize,
 }
 
+/// Reusable allocations for [`st_rel_div`], letting a batch of describe
+/// calls share buffers instead of re-allocating the per-cell accumulators,
+/// the selection bitmap, and the per-iteration candidate list on every call.
+///
+/// Hold one per worker thread and pass it to [`st_rel_div_with_scratch`];
+/// results are identical to [`st_rel_div`] (the buffers are cleared on
+/// entry, never read).
+#[derive(Default)]
+pub struct DescribeScratch {
+    chosen: Vec<bool>,
+    cells: Vec<CellAcc>,
+    candidates: Vec<(CellId, f64)>,
+    photo_acc: FxHashMap<PhotoId, PhotoAcc>,
+}
+
+impl std::fmt::Debug for DescribeScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DescribeScratch").finish_non_exhaustive()
+    }
+}
+
 /// Selects up to `params.k` photos with the bound-accelerated greedy.
 ///
 /// This is a total function: hostile parameters and inconsistent inputs are
@@ -69,6 +90,20 @@ pub fn st_rel_div(
     photos: &PhotoCollection,
     params: &DescribeParams,
 ) -> Result<DescribeOutcome> {
+    st_rel_div_with_scratch(ctx, photos, params, &mut DescribeScratch::default())
+}
+
+/// [`st_rel_div`] with caller-provided scratch space (see
+/// [`DescribeScratch`]).
+///
+/// # Errors
+/// Same contract as [`st_rel_div`].
+pub fn st_rel_div_with_scratch(
+    ctx: &StreetContext,
+    photos: &PhotoCollection,
+    params: &DescribeParams,
+    scratch: &mut DescribeScratch,
+) -> Result<DescribeOutcome> {
     params.validate()?;
     if let Some(&max_member) = ctx.members.iter().max() {
         if max_member.index() >= photos.len() {
@@ -81,26 +116,27 @@ pub fn st_rel_div(
     let mut stats = DescribeStats::default();
 
     let mut selected: Vec<PhotoId> = Vec::with_capacity(params.k.min(ctx.members.len()));
-    let mut chosen: Vec<bool> = vec![false; photos.len()];
+    let mut chosen = std::mem::take(&mut scratch.chosen);
+    let mut cells = std::mem::take(&mut scratch.cells);
+    let mut candidates = std::mem::take(&mut scratch.candidates);
+    let mut photo_acc = std::mem::take(&mut scratch.photo_acc);
+    chosen.clear();
+    chosen.resize(photos.len(), false);
+    photo_acc.clear();
 
     stats.timer.enter("filtering");
-    let mut cells: Vec<CellAcc> = ctx
-        .index
-        .occupied()
-        .iter()
-        .map(|&id| {
-            let (rel_lo, rel_hi) = cell_rel_bounds(ctx, params.w, id);
-            CellAcc {
-                id,
-                remaining: ctx.index.cell(id).map_or(0, |c| c.photos.len()),
-                rel_lo,
-                rel_hi,
-                div_lo_sum: 0.0,
-                div_hi_sum: 0.0,
-            }
-        })
-        .collect();
-    let mut photo_acc: FxHashMap<PhotoId, PhotoAcc> = FxHashMap::default();
+    cells.clear();
+    cells.extend(ctx.index.occupied().iter().map(|&id| {
+        let (rel_lo, rel_hi) = cell_rel_bounds(ctx, params.w, id);
+        CellAcc {
+            id,
+            remaining: ctx.index.cell(id).map_or(0, |c| c.photos.len()),
+            rel_lo,
+            rel_hi,
+            div_lo_sum: 0.0,
+            div_hi_sum: 0.0,
+        }
+    }));
     let div_scale = if params.k > 1 {
         params.lambda / (params.k as f64 - 1.0)
     } else {
@@ -140,7 +176,7 @@ pub fn st_rel_div(
         // --- Filtering phase: per-cell mmr bounds from the accumulators.
         stats.timer.enter("filtering");
         let use_div = params.k > 1 && !selected.is_empty();
-        let mut candidates: Vec<(CellId, f64)> = Vec::with_capacity(cells.len());
+        candidates.clear();
         let mut mmr_min = f64::NEG_INFINITY;
         for cell in &cells {
             if cell.remaining == 0 {
@@ -227,6 +263,13 @@ pub fn st_rel_div(
     }
 
     let objective = objective(ctx, photos, params, &selected);
+
+    // Hand the buffers (and their capacity) back for the next call.
+    scratch.chosen = chosen;
+    scratch.cells = cells;
+    scratch.candidates = candidates;
+    scratch.photo_acc = photo_acc;
+
     Ok(DescribeOutcome {
         selected,
         objective,

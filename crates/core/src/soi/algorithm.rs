@@ -142,9 +142,11 @@ struct RelPrefix {
 }
 
 impl RelPrefix {
-    fn build(grid: &soi_geo::Grid, relcount: &FxHashMap<CellId, f64>) -> Self {
+    /// Builds the prefix sums into `sums` (a reusable scratch vector).
+    fn build(grid: &soi_geo::Grid, relcount: &FxHashMap<CellId, f64>, mut sums: Vec<f64>) -> Self {
         let (nx, ny) = (grid.nx() as usize, grid.ny() as usize);
-        let mut sums = vec![0.0f64; (nx + 1) * (ny + 1)];
+        sums.clear();
+        sums.resize((nx + 1) * (ny + 1), 0.0);
         for (&cell, &w) in relcount {
             let coord = grid.coord_of(cell);
             sums[(coord.iy as usize + 1) * (nx + 1) + coord.ix as usize + 1] = w;
@@ -170,6 +172,34 @@ impl RelPrefix {
     }
 }
 
+/// Reusable allocations for [`run_soi`], letting a batch of queries share
+/// buffers instead of re-allocating the source lists, bound tables, and
+/// per-segment state maps on every call.
+///
+/// Hold one per worker thread and pass it to
+/// [`run_soi_with_scratch`]; results are identical to [`run_soi`] (the
+/// buffers are cleared on entry, never read).
+#[derive(Default)]
+pub struct SoiScratch {
+    cell_weights: FxHashMap<CellId, f64>,
+    prefix_sums: Vec<f64>,
+    cell_count_ub: Vec<usize>,
+    sl1: Vec<(CellId, f64)>,
+    sl2: Vec<SegmentId>,
+    slf: Vec<(SegmentId, f64)>,
+    states: FxHashMap<SegmentId, SegState>,
+    street_best: FxHashMap<StreetId, f64>,
+    segs_near_cell: Vec<SegmentId>,
+    unvisited: Vec<CellId>,
+    seen: Vec<SegmentId>,
+}
+
+impl std::fmt::Debug for SoiScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SoiScratch").finish_non_exhaustive()
+    }
+}
+
 /// Evaluates a k-SOI query with the SOI algorithm.
 ///
 /// Returns the ranked streets (interest desc, street id asc; zero-interest
@@ -191,14 +221,55 @@ pub fn run_soi(
     query: &SoiQuery,
     config: &SoiConfig,
 ) -> Result<SoiOutcome> {
+    run_soi_with_scratch(
+        network,
+        pois,
+        index,
+        query,
+        config,
+        &mut SoiScratch::default(),
+    )
+}
+
+/// [`run_soi`] with caller-provided scratch space (see [`SoiScratch`]).
+///
+/// # Errors
+/// Same contract as [`run_soi`].
+pub fn run_soi_with_scratch(
+    network: &RoadNetwork,
+    pois: &PoiCollection,
+    index: &PoiIndex,
+    query: &SoiQuery,
+    config: &SoiConfig,
+    scratch: &mut SoiScratch,
+) -> Result<SoiOutcome> {
     query.validate()?;
     let mut stats = QueryStats::default();
     stats.timer.enter(phases::CONSTRUCTION);
 
     let eps = query.eps;
 
+    // Detach the scratch buffers so each behaves as a plain local; they are
+    // handed back (with their capacity) before returning.
+    let mut cell_weights = std::mem::take(&mut scratch.cell_weights);
+    let mut cell_count_ub = std::mem::take(&mut scratch.cell_count_ub);
+    let mut sl1 = std::mem::take(&mut scratch.sl1);
+    let mut sl2 = std::mem::take(&mut scratch.sl2);
+    let mut slf = std::mem::take(&mut scratch.slf);
+    let mut states = std::mem::take(&mut scratch.states);
+    let mut street_best = std::mem::take(&mut scratch.street_best);
+    let mut segs_near_cell = std::mem::take(&mut scratch.segs_near_cell);
+    let mut unvisited = std::mem::take(&mut scratch.unvisited);
+    let mut seen = std::mem::take(&mut scratch.seen);
+    cell_weights.clear();
+    cell_count_ub.clear();
+    sl1.clear();
+    sl2.clear();
+    slf.clear();
+    states.clear();
+    street_best.clear();
+
     // --- SL1: cells by relevant-POI weight, descending (Alg. 1 lines 1–3).
-    let mut cell_weights: FxHashMap<CellId, f64> = FxHashMap::default();
     for k in query.keywords.iter() {
         for &(cell, w) in index.global_postings(k) {
             *cell_weights.entry(cell).or_insert(0.0) += w;
@@ -210,20 +281,25 @@ pub fn run_soi(
     }
     // relcount(c): upper bound on the relevant weight a cell can contribute
     // to any segment's mass; reused for the per-segment mass upper bounds.
-    let relcount = cell_weights.clone();
-    let relprefix = RelPrefix::build(index.grid(), &relcount);
-    let mut sl1: Vec<(CellId, f64)> = cell_weights.into_iter().collect();
+    let relcount = &cell_weights;
+    let relprefix = RelPrefix::build(
+        index.grid(),
+        relcount,
+        std::mem::take(&mut scratch.prefix_sums),
+    );
+    sl1.extend(relcount.iter().map(|(&c, &w)| (c, w)));
     sl1.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
     // --- SL2: segments by (an O(1) upper bound of) |Cε(ℓ)| descending
     // (lines 6–7). Any sound upper bound keeps the UB valid, and avoids
     // rasterising every segment at query time.
-    let cell_count_ub: Vec<usize> = network
-        .segments()
-        .iter()
-        .map(|s| index.upper_cell_count(&s.geom, eps))
-        .collect();
-    let mut sl2: Vec<SegmentId> = network.segments().iter().map(|s| s.id).collect();
+    cell_count_ub.extend(
+        network
+            .segments()
+            .iter()
+            .map(|s| index.upper_cell_count(&s.geom, eps)),
+    );
+    sl2.extend(network.segments().iter().map(|s| s.id));
     sl2.sort_by(|&a, &b| {
         cell_count_ub[b.index()]
             .cmp(&cell_count_ub[a.index()])
@@ -235,19 +311,15 @@ pub fn run_soi(
 
     // --- SLf: segments by the coupled factor |Cε(ℓ)|/(2ε·len+πε²), desc.
     // Never popped; peeked (skipping seen segments) for the tight UB.
-    let mut slf: Vec<(SegmentId, f64)> = network
-        .segments()
-        .iter()
-        .map(|s| {
-            let f = segment_interest(cell_count_ub[s.id.index()] as f64, s.len(), eps);
-            (s.id, f)
-        })
-        .collect();
+    slf.extend(network.segments().iter().map(|s| {
+        let f = segment_interest(cell_count_ub[s.id.index()] as f64, s.len(), eps);
+        (s.id, f)
+    }));
     slf.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
     let mut fil = Filtering {
-        states: FxHashMap::default(),
-        street_best: FxHashMap::default(),
+        states,
+        street_best,
         lbk: TopKTracker::new(query.k),
     };
     let mut cursor1 = 0usize;
@@ -365,7 +437,8 @@ pub fn run_soi(
                     stats.cells_popped += 1;
                     // Lazy Lε(c) superset: spurious touches are rejected by
                     // each segment's own Cε membership check.
-                    for seg in index.segments_near_cell_superset(cell, eps) {
+                    index.segments_near_cell_superset_into(cell, eps, &mut segs_near_cell);
+                    for &seg in &segs_near_cell {
                         update_interest(seg, cell, prune_lbk, &mut fil, &mut stats);
                     }
                     accessed = true;
@@ -375,16 +448,8 @@ pub fn run_soi(
                     cursor2 += 1;
                     stats.segments_popped += 1;
                     finalize_segment(
-                        seg,
-                        network,
-                        index,
-                        eps,
-                        prune_lbk,
-                        &relcount,
-                        &relprefix,
-                        &mut fil,
-                        &mut stats,
-                        update_interest,
+                        seg, network, pois, index, query, eps, prune_lbk, relcount, &relprefix,
+                        &mut fil, &mut stats,
                     );
                     accessed = true;
                 }
@@ -393,16 +458,8 @@ pub fn run_soi(
                     cursor3 += 1;
                     stats.segments_popped += 1;
                     finalize_segment(
-                        seg,
-                        network,
-                        index,
-                        eps,
-                        prune_lbk,
-                        &relcount,
-                        &relprefix,
-                        &mut fil,
-                        &mut stats,
-                        update_interest,
+                        seg, network, pois, index, query, eps, prune_lbk, relcount, &relprefix,
+                        &mut fil, &mut stats,
                     );
                     accessed = true;
                 }
@@ -430,9 +487,10 @@ pub fn run_soi(
     } else {
         fil.lbk.threshold()
     };
-    let mut seen: Vec<SegmentId> = fil.states.keys().copied().collect();
+    seen.clear();
+    seen.extend(fil.states.keys().copied());
     seen.sort_unstable();
-    for seg in seen {
+    for &seg in &seen {
         let Some(state) = fil.states.get(&seg) else {
             continue; // unreachable: `seen` was drawn from the same map
         };
@@ -440,14 +498,15 @@ pub fn run_soi(
             continue;
         }
         let s = network.segment(seg);
-        if lbk > 0.0 && segment_interest(state.upper_mass(&relcount), s.len(), eps) <= lbk {
+        if lbk > 0.0 && segment_interest(state.upper_mass(relcount), s.len(), eps) <= lbk {
             stats.segments_bounded_out += 1;
             continue;
         }
         let geom = s.geom;
-        let cells: Vec<CellId> = state.unvisited().collect();
+        unvisited.clear();
+        unvisited.extend(state.unvisited());
         let mut extra = 0.0;
-        for cell in cells {
+        for &cell in &unvisited {
             extra += index.cell_mass_for_segment(pois, cell, &geom, &query.keywords, eps);
             stats.cell_visits += 1;
         }
@@ -490,6 +549,20 @@ pub fn run_soi(
         .collect();
 
     stats.timer.stop();
+
+    // Hand the buffers (and their capacity) back for the next query.
+    scratch.cell_weights = cell_weights;
+    scratch.prefix_sums = relprefix.sums;
+    scratch.cell_count_ub = cell_count_ub;
+    scratch.sl1 = sl1;
+    scratch.sl2 = sl2;
+    scratch.slf = slf;
+    scratch.states = fil.states;
+    scratch.street_best = fil.street_best;
+    scratch.segs_near_cell = segs_near_cell;
+    scratch.unvisited = unvisited;
+    scratch.seen = seen;
+
     Ok(SoiOutcome { results, stats })
 }
 
@@ -503,14 +576,15 @@ pub fn run_soi(
 fn finalize_segment(
     seg: SegmentId,
     network: &RoadNetwork,
+    pois: &PoiCollection,
     index: &PoiIndex,
+    query: &SoiQuery,
     eps: f64,
     lbk: f64,
     relcount: &FxHashMap<CellId, f64>,
     relprefix: &RelPrefix,
     fil: &mut Filtering,
     stats: &mut QueryStats,
-    mut update_interest: impl FnMut(SegmentId, CellId, f64, &mut Filtering, &mut QueryStats),
 ) {
     let s = network.segment(seg);
     let state = match fil.states.entry(seg) {
@@ -549,8 +623,27 @@ fn finalize_segment(
         stats.segments_finalized_filtering += 1;
         return;
     }
-    let cells = state.cells.clone();
-    for cell in cells {
-        update_interest(seg, cell, lbk, fil, stats);
+    // Visit every remaining cell in place (no clone of the cell list). The
+    // cell at position `idx` is exactly bit `idx` of the visited set, so the
+    // membership binary search of `SegState::visit` is unnecessary here. The
+    // street bound is raised once with the final mass, which dominates every
+    // per-cell intermediate raise.
+    for idx in 0..state.cells.len() {
+        let (word, bit) = (idx / 64, 1u64 << (idx % 64));
+        if state.visited_bits[word] & bit != 0 {
+            stats.duplicate_visits += 1;
+            continue;
+        }
+        state.visited_bits[word] |= bit;
+        state.visited_count += 1;
+        let cell = state.cells[idx];
+        state.mass += index.cell_mass_for_segment(pois, cell, &s.geom, &query.keywords, eps);
+        stats.cell_visits += 1;
+    }
+    state.finalized = true;
+    stats.segments_finalized_filtering += 1;
+    let mass = state.mass;
+    if mass > 0.0 {
+        fil.raise_street_bound(s.street, segment_interest(mass, s.len(), eps));
     }
 }

@@ -7,7 +7,7 @@ pub mod query;
 pub mod stats;
 pub mod strategy;
 
-pub use algorithm::run_soi;
+pub use algorithm::{run_soi, run_soi_with_scratch, SoiScratch};
 pub use baseline::{brute_force, exact_street_interests, run_baseline};
 pub use interest::{segment_interest, StreetAggregate};
 pub use query::{SoiConfig, SoiOutcome, SoiQuery, StreetResult};

@@ -55,6 +55,11 @@ impl PhotoCollection {
         self.photos.iter()
     }
 
+    /// The photos as an id-ordered slice (for chunked parallel scans).
+    pub fn as_slice(&self) -> &[Photo] {
+        &self.photos
+    }
+
     /// Bounding rectangle of all photo locations (None if empty).
     pub fn extent(&self) -> Option<Rect> {
         Rect::bounding(self.photos.iter().map(|p| p.pos))

@@ -72,6 +72,11 @@ impl PoiCollection {
         self.pois.iter()
     }
 
+    /// The POIs as an id-ordered slice (for chunked parallel scans).
+    pub fn as_slice(&self) -> &[Poi] {
+        &self.pois
+    }
+
     /// Bounding rectangle of all POI locations (None if empty).
     pub fn extent(&self) -> Option<Rect> {
         Rect::bounding(self.pois.iter().map(|p| p.pos))

@@ -1,0 +1,421 @@
+//! Batched query execution over a shared, immutable context.
+//!
+//! The paper's evaluation (and any production deployment) runs *many* k-SOI
+//! and describe queries against one static dataset. This crate turns that
+//! shape into throughput:
+//!
+//! - a [`QueryContext`] bundles the immutable inputs (network, POIs, index,
+//!   config) behind an [`Arc`] so every worker shares one copy;
+//! - a [`QueryEngine`] fans a slice of queries out over a scoped worker
+//!   pool; workers pull the next query index from a shared atomic counter
+//!   (work stealing at index granularity — cheap, contention-free, and
+//!   naturally load-balancing for skewed per-query costs);
+//! - each worker owns a [`SoiScratch`]/[`DescribeScratch`], so steady-state
+//!   queries reuse buffers instead of re-allocating them;
+//! - results are returned **in input order** regardless of worker count or
+//!   scheduling: `results[i]` always answers `queries[i]`, and each result
+//!   is bit-identical to a sequential [`run_soi`]/[`st_rel_div`] call.
+//!
+//! Worker count resolves through [`soi_common::effective_threads`]
+//! (explicit → `SOI_THREADS` → available parallelism); `threads == 1` runs
+//! inline on the calling thread with no pool at all, so single-query latency
+//! is unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Library code must surface failures as `SoiError`, never panic: unwrap and
+// expect are compile errors outside of test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use soi_common::{effective_threads, Result};
+use soi_core::describe::{
+    st_rel_div_with_scratch, DescribeOutcome, DescribeParams, DescribeScratch, StreetContext,
+};
+use soi_core::soi::{
+    run_soi_with_scratch, QueryStats, SoiConfig, SoiOutcome, SoiQuery, SoiScratch,
+};
+use soi_data::{PhotoCollection, PoiCollection};
+use soi_index::PoiIndex;
+use soi_network::RoadNetwork;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The immutable inputs shared by every query of a batch.
+///
+/// Borrows the dataset (datasets are large and already owned by the caller
+/// — fixtures, CLI state); the context itself is cheap and lives in an
+/// [`Arc`] cloned into each worker.
+#[derive(Debug, Clone)]
+pub struct QueryContext<'a> {
+    /// The road network.
+    pub network: &'a RoadNetwork,
+    /// The POI collection.
+    pub pois: &'a PoiCollection,
+    /// The spatio-textual POI index.
+    pub index: &'a PoiIndex,
+    /// Algorithm configuration applied to every query of the batch.
+    pub config: SoiConfig,
+}
+
+impl<'a> QueryContext<'a> {
+    /// Creates a context with the default [`SoiConfig`].
+    pub fn new(network: &'a RoadNetwork, pois: &'a PoiCollection, index: &'a PoiIndex) -> Self {
+        Self {
+            network,
+            pois,
+            index,
+            config: SoiConfig::default(),
+        }
+    }
+}
+
+/// Aggregated counters over a batch (summed per-query [`QueryStats`],
+/// successful queries only) plus batch-level wall-clock and worker count.
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Queries that returned an error.
+    pub errors: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall_time: Duration,
+    /// Summed cells popped from SL1.
+    pub cells_popped: usize,
+    /// Summed segments popped from SL2/SL3.
+    pub segments_popped: usize,
+    /// Summed effective `UpdateInterest` executions.
+    pub cell_visits: usize,
+    /// Summed segments seen.
+    pub segments_seen: usize,
+    /// Summed segments dismissed by bounds.
+    pub segments_bounded_out: usize,
+    /// Summed source-list accesses.
+    pub accesses: usize,
+}
+
+impl BatchStats {
+    fn absorb(&mut self, stats: &QueryStats) {
+        self.cells_popped += stats.cells_popped;
+        self.segments_popped += stats.segments_popped;
+        self.cell_visits += stats.cell_visits;
+        self.segments_seen += stats.segments_seen;
+        self.segments_bounded_out += stats.segments_bounded_out;
+        self.accesses += stats.accesses;
+    }
+
+    /// Successful queries per second over the batch wall-clock (0 for an
+    /// empty or unmeasured batch).
+    pub fn queries_per_second(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        (self.queries - self.errors) as f64 / secs
+    }
+}
+
+/// The outcome of a k-SOI batch: per-query results in input order plus
+/// aggregated statistics.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// `results[i]` answers `queries[i]` — invalid queries yield their
+    /// validation error without failing the rest of the batch.
+    pub results: Vec<Result<SoiOutcome>>,
+    /// Aggregated batch statistics.
+    pub stats: BatchStats,
+}
+
+/// A batched query executor with a fixed worker count.
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    threads: usize,
+}
+
+impl QueryEngine {
+    /// Creates an engine with `threads` workers (`0` = resolve automatically
+    /// via [`effective_threads`]).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: effective_threads((threads > 0).then_some(threads)),
+        }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates every query of `queries` against `ctx`.
+    ///
+    /// Results come back in input order and are bit-identical to calling
+    /// [`run_soi`](soi_core::soi::run_soi) sequentially, for any worker
+    /// count.
+    pub fn run_soi_batch(&self, ctx: &Arc<QueryContext<'_>>, queries: &[SoiQuery]) -> BatchOutcome {
+        let start = Instant::now();
+        let mut results = self.dispatch(queries, || {
+            let ctx = Arc::clone(ctx);
+            let mut scratch = SoiScratch::default();
+            move |query: &SoiQuery| {
+                run_soi_with_scratch(
+                    ctx.network,
+                    ctx.pois,
+                    ctx.index,
+                    query,
+                    &ctx.config,
+                    &mut scratch,
+                )
+            }
+        });
+        let mut stats = BatchStats {
+            queries: queries.len(),
+            threads: self.threads,
+            ..BatchStats::default()
+        };
+        for result in results.iter_mut().flatten() {
+            match result {
+                Ok(outcome) => stats.absorb(&outcome.stats),
+                Err(_) => stats.errors += 1,
+            }
+        }
+        stats.wall_time = start.elapsed();
+        BatchOutcome {
+            // Every slot is claimed exactly once by the counter protocol, so
+            // no `None` survives; `flatten` above plus this unwrap-by-match
+            // keeps the invariant checked without panicking.
+            results: results.into_iter().flatten().collect(),
+            stats,
+        }
+    }
+
+    /// Evaluates every `(street context, params)` describe job in `jobs`
+    /// against `photos`.
+    ///
+    /// Results come back in input order and are bit-identical to calling
+    /// [`st_rel_div`](soi_core::describe::st_rel_div) sequentially, for any
+    /// worker count.
+    pub fn run_describe_batch(
+        &self,
+        photos: &PhotoCollection,
+        jobs: &[(&StreetContext, DescribeParams)],
+    ) -> Vec<Result<DescribeOutcome>> {
+        self.dispatch(jobs, || {
+            let mut scratch = DescribeScratch::default();
+            move |(ctx, params): &(&StreetContext, DescribeParams)| {
+                st_rel_div_with_scratch(ctx, photos, params, &mut scratch)
+            }
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Fans `items` out over the worker pool: each worker claims the next
+    /// unprocessed index from a shared counter and runs `make_worker()`'s
+    /// closure on it. Returns one slot per item, in input order.
+    fn dispatch<T, R, W, F>(&self, items: &[T], make_worker: W) -> Vec<Option<R>>
+    where
+        T: Sync,
+        R: Send,
+        W: Fn() -> F + Sync,
+        F: FnMut(&T) -> R,
+    {
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        if self.threads <= 1 || items.len() <= 1 {
+            let mut worker = make_worker();
+            for (slot, item) in slots.iter_mut().zip(items) {
+                *slot = Some(worker(item));
+            }
+            return slots;
+        }
+        let next = AtomicUsize::new(0);
+        let next = &next;
+        let make_worker = &make_worker;
+        let workers = self.threads.min(items.len());
+        let mut partials: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+        partials.resize_with(workers, Vec::new);
+        let run = crossbeam::thread::scope(|s| {
+            for partial in partials.iter_mut() {
+                s.spawn(move |_| {
+                    let mut worker = make_worker();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        partial.push((i, worker(item)));
+                    }
+                });
+            }
+        });
+        if let Err(panic) = run {
+            std::panic::resume_unwind(panic);
+        }
+        for (i, result) in partials.into_iter().flatten() {
+            slots[i] = Some(result);
+        }
+        slots
+    }
+}
+
+impl Default for QueryEngine {
+    /// An engine with the automatically resolved worker count.
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_core::soi::run_soi;
+
+    fn fixture() -> (soi_data::Dataset, PoiIndex) {
+        let (dataset, _) = soi_datagen::generate(&soi_datagen::vienna(0.02));
+        let index = PoiIndex::build(&dataset.network, &dataset.pois, 0.001);
+        (dataset, index)
+    }
+
+    fn queries(dataset: &soi_data::Dataset) -> Vec<SoiQuery> {
+        let mut queries = Vec::new();
+        for (k, kws) in [
+            (5usize, &["shop"][..]),
+            (10, &["food", "cafe"][..]),
+            (3, &["museum"][..]),
+            (7, &["shop", "food", "bar"][..]),
+        ] {
+            let keywords = dataset.query_keywords(kws);
+            queries.push(SoiQuery::new(keywords, k, 0.0005).expect("valid query"));
+        }
+        queries
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_every_worker_count() {
+        let (dataset, index) = fixture();
+        let queries = queries(&dataset);
+        let expected: Vec<SoiOutcome> = queries
+            .iter()
+            .map(|q| {
+                run_soi(
+                    &dataset.network,
+                    &dataset.pois,
+                    &index,
+                    q,
+                    &SoiConfig::default(),
+                )
+                .expect("valid query")
+            })
+            .collect();
+        let ctx = Arc::new(QueryContext::new(&dataset.network, &dataset.pois, &index));
+        for workers in [1usize, 2, 8] {
+            let engine = QueryEngine::new(workers);
+            assert_eq!(engine.threads(), workers);
+            let batch = engine.run_soi_batch(&ctx, &queries);
+            assert_eq!(batch.results.len(), queries.len());
+            assert_eq!(batch.stats.queries, queries.len());
+            assert_eq!(batch.stats.errors, 0);
+            for (got, want) in batch.results.iter().zip(&expected) {
+                let got = got.as_ref().expect("valid query");
+                assert_eq!(got.results.len(), want.results.len());
+                for (g, w) in got.results.iter().zip(&want.results) {
+                    assert_eq!(g.street, w.street);
+                    assert_eq!(g.interest.to_bits(), w.interest.to_bits());
+                    assert_eq!(g.best_segment, w.best_segment);
+                    assert_eq!(g.best_segment_mass.to_bits(), w.best_segment_mass.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_query_fails_alone() {
+        let (dataset, index) = fixture();
+        let mut queries = queries(&dataset);
+        queries[1].k = 0; // invalid
+        let ctx = Arc::new(QueryContext::new(&dataset.network, &dataset.pois, &index));
+        let batch = QueryEngine::new(2).run_soi_batch(&ctx, &queries);
+        assert!(batch.results[0].is_ok());
+        assert!(batch.results[1].is_err());
+        assert!(batch.results[2].is_ok());
+        assert_eq!(batch.stats.errors, 1);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (dataset, index) = fixture();
+        let ctx = Arc::new(QueryContext::new(&dataset.network, &dataset.pois, &index));
+        let batch = QueryEngine::new(4).run_soi_batch(&ctx, &[]);
+        assert!(batch.results.is_empty());
+        assert_eq!(batch.stats.queries_per_second(), 0.0);
+    }
+
+    #[test]
+    fn describe_batch_matches_sequential_for_every_worker_count() {
+        use soi_core::describe::{st_rel_div, ContextBuilder, PhiSource};
+        use soi_index::PhotoGrid;
+
+        let (dataset, _) = fixture();
+        let grid = PhotoGrid::build(&dataset.network, &dataset.photos, 0.001);
+        let mut contexts = Vec::new();
+        for street in dataset.network.streets() {
+            let ctx = ContextBuilder {
+                network: &dataset.network,
+                photos: &dataset.photos,
+                photo_grid: &grid,
+                pois: None,
+                eps: 0.0005,
+                rho: 0.0001,
+                phi_source: PhiSource::Photos,
+            }
+            .build(street.id)
+            .expect("buildable context");
+            if !ctx.members.is_empty() {
+                contexts.push(ctx);
+            }
+            if contexts.len() == 3 {
+                break;
+            }
+        }
+        assert!(!contexts.is_empty(), "fixture has streets with photos");
+        let jobs: Vec<(&StreetContext, DescribeParams)> = contexts
+            .iter()
+            .flat_map(|ctx| {
+                [(5usize, 0.5f64), (10, 0.25)]
+                    .into_iter()
+                    .map(move |(k, lambda)| {
+                        (ctx, DescribeParams::new(k, lambda, 0.5).expect("valid"))
+                    })
+            })
+            .collect();
+        let expected: Vec<DescribeOutcome> = jobs
+            .iter()
+            .map(|(ctx, params)| st_rel_div(ctx, &dataset.photos, params).expect("valid"))
+            .collect();
+        for workers in [1usize, 2, 8] {
+            let results = QueryEngine::new(workers).run_describe_batch(&dataset.photos, &jobs);
+            assert_eq!(results.len(), jobs.len());
+            for (got, want) in results.iter().zip(&expected) {
+                let got = got.as_ref().expect("valid");
+                assert_eq!(got.selected, want.selected, "workers {workers}");
+                assert_eq!(got.objective.to_bits(), want.objective.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_counters() {
+        let (dataset, index) = fixture();
+        let queries = queries(&dataset);
+        let ctx = Arc::new(QueryContext::new(&dataset.network, &dataset.pois, &index));
+        let batch = QueryEngine::new(1).run_soi_batch(&ctx, &queries);
+        let summed: usize = batch
+            .results
+            .iter()
+            .map(|r| r.as_ref().expect("valid").stats.accesses)
+            .sum();
+        assert_eq!(batch.stats.accesses, summed);
+        assert!(batch.stats.wall_time > Duration::ZERO);
+    }
+}

@@ -230,20 +230,31 @@ impl Grid {
     /// This is the ε-dilation used to build `Cε(ℓ)`: every POI within `dist`
     /// of the segment is guaranteed to lie in one of the returned cells.
     pub fn cells_near_segment(&self, seg: &LineSeg, dist: f64) -> Vec<CellCoord> {
+        let mut out = Vec::new();
+        self.for_each_cell_near_segment(seg, dist, |c| out.push(c));
+        out
+    }
+
+    /// Visitor form of [`Grid::cells_near_segment`]: calls `f` for every
+    /// cell within `dist` of `seg`, row-major, without allocating.
+    pub fn for_each_cell_near_segment<F: FnMut(CellCoord)>(
+        &self,
+        seg: &LineSeg,
+        dist: f64,
+        mut f: F,
+    ) {
         let bbox = seg.bounding_rect().expand(dist.max(0.0));
         let Some((x0, y0, x1, y1)) = self.clip_range(&bbox) else {
-            return Vec::new();
+            return;
         };
-        let mut out = Vec::new();
         for iy in y0..=y1 {
             for ix in x0..=x1 {
                 let c = CellCoord::new(ix, iy);
                 if self.cell_rect(c).within_dist_of_segment(seg, dist) {
-                    out.push(c);
+                    f(c);
                 }
             }
         }
-        out
     }
 
     /// Cells within Chebyshev radius `radius` of `c`, clipped to the grid,
@@ -252,17 +263,29 @@ impl Grid {
     /// The photo-index spatial-relevance upper bound (Eq. 12) sums counts
     /// over the radius-2 neighbourhood.
     pub fn neighborhood(&self, c: CellCoord, radius: u32) -> Vec<CellCoord> {
+        let mut out = Vec::new();
+        self.for_each_in_neighborhood(c, radius, |n| out.push(n));
+        out
+    }
+
+    /// Visitor form of [`Grid::neighborhood`]: calls `f` for every cell in
+    /// the clipped Chebyshev-`radius` neighbourhood, row-major, without
+    /// allocating.
+    pub fn for_each_in_neighborhood<F: FnMut(CellCoord)>(
+        &self,
+        c: CellCoord,
+        radius: u32,
+        mut f: F,
+    ) {
         let x0 = c.ix.saturating_sub(radius);
         let y0 = c.iy.saturating_sub(radius);
         let x1 = (c.ix + radius).min(self.nx - 1);
         let y1 = (c.iy + radius).min(self.ny - 1);
-        let mut out = Vec::with_capacity(((x1 - x0 + 1) as usize) * ((y1 - y0 + 1) as usize));
         for iy in y0..=y1 {
             for ix in x0..=x1 {
-                out.push(CellCoord::new(ix, iy));
+                f(CellCoord::new(ix, iy));
             }
         }
-        out
     }
 
     /// Iterates over every cell coordinate, row-major.

@@ -6,7 +6,10 @@
 //! tags among the cell's photos (`c.ψmin`, `c.ψmax`). These feed the
 //! per-cell bounds of Eqs. 11–18.
 
-use soi_common::{CellId, FxHashMap, PhotoId};
+use soi_common::{
+    bucket_sort_stable, bucket_sort_worthwhile, effective_threads, par_chunk_map,
+    par_sort_unstable_by, CellId, FxHashMap, KeywordId, PhotoId,
+};
 use soi_data::PhotoCollection;
 use soi_geo::{Grid, Point, Rect};
 use soi_text::{InvertedIndex, KeywordSet};
@@ -46,40 +49,114 @@ impl DiversificationIndex {
     /// # Panics
     /// Panics if `rho` is not strictly positive.
     pub fn build(photos: &PhotoCollection, members: &[PhotoId], rho: f64) -> Self {
+        Self::build_with_threads(photos, members, rho, 0)
+    }
+
+    /// Builds the index with an explicit worker-thread count (`0` = resolve
+    /// automatically, see [`effective_threads`]).
+    ///
+    /// The build is chunk-partitioned and deterministic: chunks emit packed
+    /// (cell ‖ photo) keys in member order, one stable counting pass by cell
+    /// (or a comparison sort of the unique keys) groups them, and each cell
+    /// is assembled from its id-ascending members — identical to the
+    /// sequential build for every thread count.
+    ///
+    /// # Panics
+    /// Panics if `rho` is not strictly positive.
+    pub fn build_with_threads(
+        photos: &PhotoCollection,
+        members: &[PhotoId],
+        rho: f64,
+        threads: usize,
+    ) -> Self {
         assert!(rho > 0.0 && rho.is_finite(), "rho must be positive");
         debug_assert!(
             members.windows(2).all(|w| w[0] < w[1]),
             "members must be sorted ascending"
         );
+        let threads = effective_threads((threads > 0).then_some(threads));
         let cell_size = rho / 2.0;
         let extent = Rect::bounding(members.iter().map(|&id| photos.get(id).pos))
             .unwrap_or_else(|| Rect::new(Point::ORIGIN, Point::new(1.0, 1.0)));
         let grid = Grid::covering(extent, cell_size);
 
-        let mut cells: FxHashMap<CellId, DivCell> = FxHashMap::default();
-        for &pid in members {
-            let photo = photos.get(pid);
-            let Some(coord) = grid.cell_containing(photo.pos) else {
-                continue; // outside the grid (non-finite position): unindexable
-            };
-            let id = grid.cell_id(coord);
-            let cell = cells.entry(id).or_insert_with(|| DivCell {
-                photos: Vec::new(),
-                inverted: InvertedIndex::new(),
-                keywords: KeywordSet::empty(),
-                psi_min: usize::MAX,
-                psi_max: 0,
+        let mut keys: Vec<u64> = par_chunk_map(members, threads, |_, chunk| {
+            let mut keys = Vec::with_capacity(chunk.len());
+            for &pid in chunk {
+                // Photos outside the grid (non-finite position) are
+                // unindexable.
+                if let Some(coord) = grid.cell_containing(photos.get(pid).pos) {
+                    keys.push(u64::from(grid.cell_id(coord).0) << 32 | u64::from(pid.0));
+                }
+            }
+            keys
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        let num_cells = grid.num_cells();
+        if bucket_sort_worthwhile(keys.len(), num_cells) {
+            keys = bucket_sort_stable(&keys, num_cells as u32, |&k| (k >> 32) as u32);
+        } else {
+            par_sort_unstable_by(&mut keys, threads, |a, b| a.cmp(b));
+        }
+
+        let mut groups: Vec<(CellId, usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < keys.len() {
+            let cell = (keys[i] >> 32) as u32;
+            let s = i;
+            while i < keys.len() && (keys[i] >> 32) as u32 == cell {
+                i += 1;
+            }
+            groups.push((CellId(cell), s, i));
+        }
+
+        let per_chunk: Vec<Vec<(CellId, DivCell)>> =
+            par_chunk_map(&groups, threads, |_, gchunk| {
+                let mut cells_part = Vec::with_capacity(gchunk.len());
+                let mut pairs: Vec<(KeywordId, PhotoId)> = Vec::new();
+                for &(cell_id, s, e) in gchunk {
+                    let mut cell_photos = Vec::with_capacity(e - s);
+                    let mut psi_min = usize::MAX;
+                    let mut psi_max = 0;
+                    pairs.clear();
+                    for &key in &keys[s..e] {
+                        let pid = PhotoId(key as u32);
+                        let tags = &photos.get(pid).tags;
+                        cell_photos.push(pid);
+                        psi_min = psi_min.min(tags.len());
+                        psi_max = psi_max.max(tags.len());
+                        for &k in tags.ids() {
+                            pairs.push((k, pid));
+                        }
+                    }
+                    // (tag, photo) pairs are unique (tag sets are deduplicated)
+                    // → the unstable sort is deterministic.
+                    pairs.sort_unstable();
+                    cells_part.push((
+                        cell_id,
+                        DivCell {
+                            photos: cell_photos,
+                            inverted: InvertedIndex::from_sorted_pairs(e - s, &pairs),
+                            keywords: KeywordSet::from_ids(pairs.iter().map(|&(k, _)| k)),
+                            psi_min,
+                            psi_max,
+                        },
+                    ));
+                }
+                cells_part
             });
-            cell.photos.push(pid);
-            cell.inverted.add_document(pid, photo.tags.iter());
-            cell.psi_min = cell.psi_min.min(photo.tags.len());
-            cell.psi_max = cell.psi_max.max(photo.tags.len());
+
+        let mut cells: FxHashMap<CellId, DivCell> = FxHashMap::default();
+        cells.reserve(groups.len());
+        let mut occupied: Vec<CellId> = Vec::with_capacity(groups.len());
+        for cells_part in per_chunk {
+            for (id, cell) in cells_part {
+                occupied.push(id);
+                cells.insert(id, cell);
+            }
         }
-        for cell in cells.values_mut() {
-            cell.keywords = KeywordSet::from_ids(cell.inverted.iter().map(|(k, _)| k));
-        }
-        let mut occupied: Vec<CellId> = cells.keys().copied().collect();
-        occupied.sort_unstable();
 
         Self {
             grid,
@@ -234,5 +311,43 @@ mod tests {
     fn zero_rho_panics() {
         let photos = PhotoCollection::new();
         DiversificationIndex::build(&photos, &[], 0.0);
+    }
+
+    #[test]
+    fn parallel_build_identical_to_sequential() {
+        let mut photos = PhotoCollection::new();
+        let mut x: u64 = 0xDEAD_BEEF_CAFE_F00D;
+        for _ in 0..400 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let px = (x % 800) as f64 / 100.0;
+            let py = ((x >> 13) % 800) as f64 / 100.0;
+            let k1 = (x % 9) as u32;
+            let k2 = ((x >> 11) % 9) as u32;
+            photos.add(Point::new(px, py), tags(&[k1, k2]));
+        }
+        // Every other photo is a member (an arbitrary subset, ascending).
+        let members: Vec<PhotoId> = (0..400).step_by(2).map(PhotoId).collect();
+        let sequential = DiversificationIndex::build_with_threads(&photos, &members, 0.9, 1);
+        for threads in [2usize, 3, 8] {
+            let parallel =
+                DiversificationIndex::build_with_threads(&photos, &members, 0.9, threads);
+            assert_eq!(sequential.occupied(), parallel.occupied());
+            for &id in sequential.occupied() {
+                let a = sequential.cell(id).unwrap();
+                let b = parallel.cell(id).unwrap();
+                assert_eq!(a.photos, b.photos);
+                assert_eq!(a.keywords, b.keywords);
+                assert_eq!(a.psi_min, b.psi_min);
+                assert_eq!(a.psi_max, b.psi_max);
+                let mut kws: Vec<_> = a.inverted.iter().map(|(k, _)| k).collect();
+                kws.sort_unstable();
+                assert_eq!(a.inverted.num_keywords(), b.inverted.num_keywords());
+                for k in kws {
+                    assert_eq!(a.inverted.postings(k), b.inverted.postings(k));
+                }
+            }
+        }
     }
 }

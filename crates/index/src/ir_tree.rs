@@ -85,6 +85,13 @@ pub struct IrTree {
 impl IrTree {
     /// Builds the tree over all POIs of `pois`.
     pub fn build(pois: &PoiCollection) -> Self {
+        Self::build_with_threads(pois, 0)
+    }
+
+    /// Builds the tree with an explicit worker-thread count (`0` = resolve
+    /// automatically). The STR bulk load's tiling sorts run in parallel but
+    /// produce the same tree for every thread count.
+    pub fn build_with_threads(pois: &PoiCollection, threads: usize) -> Self {
         let entries: Vec<PoiEntry> = pois
             .iter()
             .map(|p| PoiEntry {
@@ -94,7 +101,7 @@ impl IrTree {
             })
             .collect();
         Self {
-            tree: RTree::bulk_load(entries),
+            tree: RTree::bulk_load_with_threads(entries, soi_rtree::DEFAULT_FANOUT, threads),
         }
     }
 

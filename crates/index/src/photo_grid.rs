@@ -5,7 +5,10 @@
 //! candidate cells are found by ε-dilating the street's segments, then
 //! photos are filtered by exact distance.
 
-use soi_common::{CellId, FxHashMap, PhotoId, StreetId};
+use soi_common::{
+    bucket_sort_stable, bucket_sort_worthwhile, effective_threads, par_chunk_map,
+    par_sort_unstable_by, CellId, FxHashMap, PhotoId, StreetId,
+};
 use soi_data::PhotoCollection;
 use soi_geo::{Grid, Point, Rect};
 use soi_network::RoadNetwork;
@@ -24,6 +27,26 @@ impl PhotoGrid {
     /// # Panics
     /// Panics if `cell_size` is not strictly positive.
     pub fn build(network: &RoadNetwork, photos: &PhotoCollection, cell_size: f64) -> Self {
+        Self::build_with_threads(network, photos, cell_size, 0)
+    }
+
+    /// Builds the grid with an explicit worker-thread count (`0` = resolve
+    /// automatically, see [`effective_threads`]).
+    ///
+    /// The build is chunk-partitioned and deterministic: chunks emit packed
+    /// (cell ‖ photo) keys in photo order, and one stable counting pass by
+    /// cell (or a comparison sort of the unique keys) groups them, so the
+    /// result is identical for every thread count.
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not strictly positive.
+    pub fn build_with_threads(
+        network: &RoadNetwork,
+        photos: &PhotoCollection,
+        cell_size: f64,
+        threads: usize,
+    ) -> Self {
+        let threads = effective_threads((threads > 0).then_some(threads));
         let extent = match (network.extent(), photos.extent()) {
             (Some(a), Some(b)) => a.union(&b),
             (Some(a), None) => a,
@@ -31,12 +54,39 @@ impl PhotoGrid {
             (None, None) => Rect::new(Point::ORIGIN, Point::new(1.0, 1.0)),
         };
         let grid = Grid::covering(extent, cell_size);
+        let mut keys: Vec<u64> = par_chunk_map(photos.as_slice(), threads, |_, chunk| {
+            let mut keys = Vec::with_capacity(chunk.len());
+            for photo in chunk {
+                // Photos outside the grid (non-finite position) are
+                // unindexable.
+                if let Some(coord) = grid.cell_containing(photo.pos) {
+                    keys.push(u64::from(grid.cell_id(coord).0) << 32 | u64::from(photo.id.0));
+                }
+            }
+            keys
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        let num_cells = grid.num_cells();
+        if bucket_sort_worthwhile(keys.len(), num_cells) {
+            keys = bucket_sort_stable(&keys, num_cells as u32, |&k| (k >> 32) as u32);
+        } else {
+            par_sort_unstable_by(&mut keys, threads, |a, b| a.cmp(b));
+        }
         let mut cells: FxHashMap<CellId, Vec<PhotoId>> = FxHashMap::default();
-        for photo in photos.iter() {
-            let Some(coord) = grid.cell_containing(photo.pos) else {
-                continue; // outside the grid (non-finite position): unindexable
-            };
-            cells.entry(grid.cell_id(coord)).or_default().push(photo.id);
+        let mut i = 0;
+        while i < keys.len() {
+            let c = (keys[i] >> 32) as u32;
+            let mut j = i;
+            while j < keys.len() && (keys[j] >> 32) as u32 == c {
+                j += 1;
+            }
+            cells.insert(
+                CellId(c),
+                keys[i..j].iter().map(|&k| PhotoId(k as u32)).collect(),
+            );
+            i = j;
         }
         Self { grid, cells }
     }
@@ -188,5 +238,35 @@ mod tests {
         let photos = PhotoCollection::new();
         let grid = PhotoGrid::build(&network, &photos, 1.0);
         assert_eq!(grid.num_occupied_cells(), 0);
+    }
+
+    #[test]
+    fn parallel_build_identical_to_sequential() {
+        let mut b = RoadNetwork::builder();
+        b.add_street_from_points("S", &[Point::new(0.0, 0.0), Point::new(10.0, 10.0)]);
+        let network = b.build().unwrap();
+        let mut photos = PhotoCollection::new();
+        let mut x: u64 = 0x0123_4567_89AB_CDEF;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let px = (x % 1000) as f64 / 100.0;
+            let py = ((x >> 13) % 1000) as f64 / 100.0;
+            photos.add(Point::new(px, py), KeywordSet::empty());
+        }
+        let sequential = PhotoGrid::build_with_threads(&network, &photos, 0.5, 1);
+        for threads in [2usize, 3, 8] {
+            let parallel = PhotoGrid::build_with_threads(&network, &photos, 0.5, threads);
+            assert_eq!(
+                sequential.num_occupied_cells(),
+                parallel.num_occupied_cells()
+            );
+            let mut ids: Vec<CellId> = sequential.cells.keys().copied().collect();
+            ids.sort_unstable();
+            for id in ids {
+                assert_eq!(sequential.cell_photos(id), parallel.cell_photos(id));
+            }
+        }
     }
 }

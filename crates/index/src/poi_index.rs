@@ -1,14 +1,90 @@
 //! The POI grid index (paper Sec. 3.2.1).
 
-use parking_lot::RwLock;
-use soi_common::{CellId, FxHashMap, KeywordId, PoiId, SegmentId};
+use parking_lot::Mutex;
+use soi_common::{
+    effective_threads, f64_from_total_key, f64_total_key, par_chunk_map, par_sort_by,
+    par_sort_unstable_by, CellId, FxHashMap, KeywordId, PoiId, SegmentId,
+};
 use soi_data::PoiCollection;
 use soi_geo::{Grid, Point, Rect};
 use soi_network::RoadNetwork;
-use soi_text::{InvertedIndex, KeywordSet};
+use soi_text::{FlatPostings, KeywordSet};
 use std::sync::Arc;
 
 use crate::epsilon::EpsilonMaps;
+
+/// Packs one global-index entry into a single sortable integer:
+/// keyword (high 32) ‖ weight as an order-reversed totalOrder key (middle
+/// 64) ‖ cell (low 32). Unsigned order over the packed keys is therefore
+/// (keyword asc, weight desc, cell asc) — the global index's list order —
+/// and the weight bits are exactly recoverable.
+#[inline]
+fn pack_global_entry(k: KeywordId, weight: f64, cell: CellId) -> u128 {
+    (u128::from(k.0) << 96) | (u128::from(!f64_total_key(weight)) << 32) | u128::from(cell.0)
+}
+
+/// Inverse of [`pack_global_entry`], minus the keyword: the `(cell, weight)`
+/// pair stored in the per-keyword global list.
+#[inline]
+fn unpack_global_entry(entry: u128) -> (CellId, f64) {
+    let weight = f64_from_total_key(!((entry >> 32) as u64));
+    (CellId(entry as u32), weight)
+}
+
+/// Capacity of the per-ε cache of augmented maps. Parameter sweeps touch a
+/// handful of ε values; keeping the cache bounded stops a long-lived process
+/// that sweeps many ε values from accumulating maps without limit.
+const EPS_CACHE_CAPACITY: usize = 8;
+
+/// Bounded LRU cache of [`EpsilonMaps`], keyed by `ε.to_bits()`.
+#[derive(Debug, Default)]
+struct EpsCache {
+    /// Monotonic access counter; entries carry their last-access stamp.
+    stamp: u64,
+    /// ε-bits → (maps, last-access stamp).
+    entries: FxHashMap<u64, (Arc<EpsilonMaps>, u64)>,
+}
+
+impl EpsCache {
+    /// Looks up `key`, refreshing its recency on a hit.
+    fn get(&mut self, key: u64) -> Option<Arc<EpsilonMaps>> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.entries.get_mut(&key).map(|entry| {
+            entry.1 = stamp;
+            Arc::clone(&entry.0)
+        })
+    }
+
+    /// Inserts `maps` under `key` (keeping an existing entry if one raced in
+    /// first), refreshes its recency, and evicts the least recently used
+    /// entries down to [`EPS_CACHE_CAPACITY`]. Returns the cached value.
+    fn insert(&mut self, key: u64, maps: Arc<EpsilonMaps>) -> Arc<EpsilonMaps> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let entry = self.entries.entry(key).or_insert((maps, stamp));
+        entry.1 = stamp;
+        let out = Arc::clone(&entry.0);
+        while self.entries.len() > EPS_CACHE_CAPACITY {
+            // The just-touched entry holds the maximal stamp, so it is never
+            // the eviction victim.
+            let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|&(_, &(_, s))| s)
+                .map(|(&k, _)| k)
+            else {
+                break;
+            };
+            self.entries.remove(&victim);
+        }
+        out
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
 
 /// One occupied grid cell of the POI index.
 #[derive(Debug, Clone)]
@@ -17,8 +93,9 @@ pub struct PoiCell {
     pub pois: Vec<PoiId>,
     /// Total POI weight in the cell (`|Pc|` with unit weights).
     pub total_weight: f64,
-    /// Local inverted index: keyword → POIs in this cell, sorted by id.
-    pub inverted: InvertedIndex<PoiId>,
+    /// Local inverted index: keyword → POIs in this cell, sorted by id,
+    /// in the allocation-lean CSR layout the bulk build produces.
+    pub inverted: FlatPostings<PoiId>,
 }
 
 /// The spatio-textual POI index of Section 3.2.1.
@@ -45,8 +122,9 @@ pub struct PoiIndex {
     /// through each cell (occupied or not), built offline. The ε-augmented
     /// `Lε(c)` is derived from it lazily at query time.
     raster: FxHashMap<CellId, Vec<SegmentId>>,
-    /// Per-ε cache of augmented maps (street segments and POIs are static).
-    eps_cache: RwLock<FxHashMap<u64, Arc<EpsilonMaps>>>,
+    /// Bounded per-ε LRU cache of augmented maps (street segments and POIs
+    /// are static).
+    eps_cache: Mutex<EpsCache>,
 }
 
 impl PoiIndex {
@@ -59,6 +137,26 @@ impl PoiIndex {
     /// # Panics
     /// Panics if `cell_size` is not strictly positive.
     pub fn build(network: &RoadNetwork, pois: &PoiCollection, cell_size: f64) -> Self {
+        Self::build_with_threads(network, pois, cell_size, 0)
+    }
+
+    /// Builds the index with an explicit worker-thread count (`0` = resolve
+    /// automatically, see [`effective_threads`]).
+    ///
+    /// The build is chunk-partitioned and deterministic: every structure is
+    /// assembled by sorting globally ordered intermediate pairs, and all
+    /// floating-point sums run in ascending POI id order, so the result is
+    /// byte-identical for every thread count (including 1).
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not strictly positive.
+    pub fn build_with_threads(
+        network: &RoadNetwork,
+        pois: &PoiCollection,
+        cell_size: f64,
+        threads: usize,
+    ) -> Self {
+        let threads = effective_threads((threads > 0).then_some(threads));
         let extent = match (network.extent(), pois.extent()) {
             (Some(a), Some(b)) => a.union(&b),
             (Some(a), None) => a,
@@ -67,53 +165,254 @@ impl PoiIndex {
         };
         let grid = Grid::covering(extent, cell_size);
 
-        // Populate cells. POIs are iterated in id order, keeping per-cell
-        // lists and postings sorted by id without extra sorting.
-        let mut cells: FxHashMap<CellId, PoiCell> = FxHashMap::default();
-        for poi in pois.iter() {
-            let Some(coord) = grid.cell_containing(poi.pos) else {
-                continue; // outside the grid (non-finite position): unindexable
-            };
-            let cell = cells.entry(grid.cell_id(coord)).or_insert_with(|| PoiCell {
-                pois: Vec::new(),
-                total_weight: 0.0,
-                inverted: InvertedIndex::new(),
-            });
-            cell.pois.push(poi.id);
-            cell.total_weight += poi.weight;
-            cell.inverted.add_document(poi.id, poi.keywords.iter());
-        }
-
-        // Global inverted index: per keyword, the weighted count per cell,
-        // sorted decreasingly on count (ties: ascending cell id, for
-        // determinism).
-        let mut global: FxHashMap<KeywordId, Vec<(CellId, f64)>> = FxHashMap::default();
-        for (&cell_id, cell) in &cells {
-            for (k, postings) in cell.inverted.iter() {
-                let weight: f64 = postings.iter().map(|&p| pois.get(p).weight).sum();
-                global.entry(k).or_default().push((cell_id, weight));
+        // Phase 1 — one cache-friendly pass over the POI slice per chunk:
+        // emit the packed (cell ‖ poi) bucket key for every indexable POI,
+        // and flatten all keyword sets into a CSR sidecar (per-POI counts +
+        // one flat id array) so later phases re-read keywords from a single
+        // contiguous array instead of per-POI heap nodes. Chunks flatten in
+        // chunk order (= ascending POI order), so the arrays are independent
+        // of the thread count.
+        let parts = par_chunk_map(pois.as_slice(), threads, |_, chunk| {
+            let mut keys: Vec<u64> = Vec::with_capacity(chunk.len());
+            let mut counts: Vec<u32> = Vec::with_capacity(chunk.len());
+            let mut flat: Vec<KeywordId> = Vec::new();
+            let mut max_kw = 0u32;
+            for poi in chunk {
+                counts.push(poi.keywords.len() as u32);
+                flat.extend_from_slice(poi.keywords.ids());
+                if let Some(&k) = poi.keywords.ids().last() {
+                    max_kw = max_kw.max(k.0);
+                }
+                // POIs outside the grid (non-finite position) are unindexable.
+                if let Some(coord) = grid.cell_containing(poi.pos) {
+                    keys.push(u64::from(grid.cell_id(coord).0) << 32 | u64::from(poi.id.0));
+                }
             }
-        }
-        for list in global.values_mut() {
-            list.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        }
-
-        // Static raster map: which segments pass through which cells.
-        let mut raster: FxHashMap<CellId, Vec<SegmentId>> = FxHashMap::default();
-        for seg in network.segments() {
-            for coord in grid.cells_near_segment(&seg.geom, 0.0) {
-                raster.entry(grid.cell_id(coord)).or_default().push(seg.id);
-            }
-        }
-
-        let mut segments_by_len: Vec<SegmentId> = network.segments().iter().map(|s| s.id).collect();
-        segments_by_len.sort_by(|&a, &b| {
-            network
-                .segment(a)
-                .len()
-                .total_cmp(&network.segment(b).len())
-                .then_with(|| a.cmp(&b))
+            (keys, counts, flat, max_kw)
         });
+        let mut keys: Vec<u64> = Vec::with_capacity(pois.len());
+        let mut kw_offsets: Vec<u32> = Vec::with_capacity(pois.len() + 1);
+        let mut kw_flat: Vec<KeywordId> = Vec::new();
+        let mut max_kw = 0u32;
+        kw_offsets.push(0);
+        let mut off = 0u32;
+        for (k, counts, flat, m) in parts {
+            keys.extend(k);
+            for c in counts {
+                off += c;
+                kw_offsets.push(off);
+            }
+            kw_flat.extend(flat);
+            max_kw = max_kw.max(m);
+        }
+        let weights: Vec<f64> = pois.as_slice().iter().map(|p| p.weight).collect();
+
+        // Sort keys by (cell, poi). The input is already poi-ascending, so
+        // one stable counting pass over the dense cell ids completes the
+        // sort in O(n + cells); the comparison fallback (for degenerate
+        // grids) yields the identical permutation because keys are unique.
+        let num_cells = grid.num_cells();
+        if soi_common::bucket_sort_worthwhile(keys.len(), num_cells) {
+            keys = soi_common::bucket_sort_stable(&keys, num_cells as u32, |&k| (k >> 32) as u32);
+        } else {
+            par_sort_unstable_by(&mut keys, threads, |a, b| a.cmp(b));
+        }
+
+        // Group boundaries: one contiguous key run per occupied cell (the
+        // cell occupies the key's high bits), POIs ascending within each run.
+        let mut groups: Vec<(CellId, usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < keys.len() {
+            let cell = (keys[i] >> 32) as u32;
+            let s = i;
+            while i < keys.len() && (keys[i] >> 32) as u32 == cell {
+                i += 1;
+            }
+            groups.push((CellId(cell), s, i));
+        }
+
+        // Per-cell (keyword, poi) ordering: with a dense vocabulary, one
+        // stable counting pass per cell over a reusable histogram sorts the
+        // cell's pairs in O(pairs + vocab); the pairs arrive poi-major (POIs
+        // ascending, keywords ascending within each POI), so bucketing by
+        // keyword leaves POIs ascending within each keyword run. Cells where
+        // the vocabulary dwarfs the pair count (and all builds over huge
+        // vocabularies) fall back to a comparison sort of the packed pairs,
+        // which (pairs are unique) produces the identical order.
+        let num_kws = max_kw as usize + 1;
+        let cell_counting = num_kws <= 65536;
+
+        // A chunk's output: the built cells plus its packed global-index
+        // contributions.
+        type ChunkOut = (Vec<(CellId, PoiCell)>, Vec<u128>);
+
+        // Phase 2 — per-cell structures: each worker takes a contiguous run
+        // of whole groups and builds the cell's POI list, weight total
+        // (summed in ascending id order, matching the sequential build
+        // bit-for-bit), and CSR local index — no per-POI hashing, and every
+        // lookup hits the id-indexed weight array or the flat keyword
+        // sidecar. Each group also emits its packed (keyword, weight, cell)
+        // contributions to the global index.
+        let per_chunk: Vec<ChunkOut> = par_chunk_map(&groups, threads, |_, gchunk| {
+            let mut cells_part = Vec::with_capacity(gchunk.len());
+            let mut triples: Vec<u128> = Vec::new();
+            let mut pairs: Vec<u64> = Vec::new();
+            let mut sorted: Vec<u64> = Vec::new();
+            // Keyword histogram, reused (and re-zeroed) across cells.
+            let mut hist: Vec<u32> = vec![0; if cell_counting { num_kws } else { 0 }];
+            for &(cell_id, s, e) in gchunk {
+                let members = &keys[s..e];
+                let mut cell_pois = Vec::with_capacity(members.len());
+                let mut total_weight = 0.0;
+                pairs.clear();
+                for &key in members {
+                    let pid = key as u32;
+                    cell_pois.push(PoiId(pid));
+                    total_weight += weights[pid as usize];
+                    let ks = kw_offsets[pid as usize] as usize;
+                    let ke = kw_offsets[pid as usize + 1] as usize;
+                    for &k in &kw_flat[ks..ke] {
+                        pairs.push(u64::from(k.0) << 32 | u64::from(pid));
+                    }
+                }
+                // The histogram fill(0) bounds the per-cell counting
+                // cost to O(pairs), so the whole phase stays linear.
+                if cell_counting && num_kws <= 8 * pairs.len() + 64 {
+                    for &p in &pairs {
+                        hist[(p >> 32) as usize] += 1;
+                    }
+                    let mut sum = 0u32;
+                    for c in hist.iter_mut() {
+                        let n = *c;
+                        *c = sum;
+                        sum += n;
+                    }
+                    sorted.clear();
+                    sorted.resize(pairs.len(), 0);
+                    for &p in &pairs {
+                        let cur = &mut hist[(p >> 32) as usize];
+                        sorted[*cur as usize] = p;
+                        *cur += 1;
+                    }
+                    hist.fill(0);
+                    std::mem::swap(&mut pairs, &mut sorted);
+                } else {
+                    pairs.sort_unstable();
+                }
+                // Fused run scan: the per-keyword weight sums (in
+                // ascending POI order) for the global index and the CSR
+                // run directory fall out of one pass; the postings column
+                // is the poi half of the sorted pairs verbatim.
+                let docs: Vec<PoiId> = pairs.iter().map(|&p| PoiId(p as u32)).collect();
+                let mut runs: Vec<(KeywordId, u32)> = Vec::new();
+                let mut r = 0;
+                while r < pairs.len() {
+                    let k = (pairs[r] >> 32) as u32;
+                    let mut weight = 0.0;
+                    while r < pairs.len() && (pairs[r] >> 32) as u32 == k {
+                        weight += weights[pairs[r] as u32 as usize];
+                        r += 1;
+                    }
+                    triples.push(pack_global_entry(KeywordId(k), weight, cell_id));
+                    runs.push((KeywordId(k), r as u32));
+                }
+                cells_part.push((
+                    cell_id,
+                    PoiCell {
+                        pois: cell_pois,
+                        total_weight,
+                        inverted: FlatPostings::from_raw_parts(members.len(), runs, docs),
+                    },
+                ));
+            }
+            (cells_part, triples)
+        });
+
+        let mut cells: FxHashMap<CellId, PoiCell> = FxHashMap::default();
+        cells.reserve(groups.len());
+        let mut all_triples: Vec<u128> = Vec::new();
+        for (cells_part, triples) in per_chunk {
+            cells.extend(cells_part);
+            all_triples.extend(triples);
+        }
+
+        // Phase 3 — global inverted index: the packed keys order by
+        // (keyword asc, weight desc in totalOrder, cell asc) — the same
+        // total order as the sequential per-list sorts — and are unique per
+        // (keyword, cell), so one deterministic unstable sort plus a
+        // run-partition rebuilds every per-keyword list exactly.
+        par_sort_unstable_by(&mut all_triples, threads, |a, b| a.cmp(b));
+        let mut global: FxHashMap<KeywordId, Vec<(CellId, f64)>> = FxHashMap::default();
+        let mut i = 0;
+        while i < all_triples.len() {
+            let k = (all_triples[i] >> 96) as u32;
+            let mut j = i;
+            while j < all_triples.len() && (all_triples[j] >> 96) as u32 == k {
+                j += 1;
+            }
+            global.insert(
+                KeywordId(k),
+                all_triples[i..j]
+                    .iter()
+                    .map(|&t| unpack_global_entry(t))
+                    .collect(),
+            );
+            i = j;
+        }
+
+        // Phase 4 — static raster map: rasterise segments in parallel chunks
+        // into packed (cell ‖ segment) keys. Keys are unique (a segment hits
+        // a cell at most once), and their order — cell asc, then segment
+        // asc — is exactly what the sequential per-segment insertion
+        // produced, so a deterministic unstable sort plus a run-partition
+        // rebuilds the map.
+        let segs = network.segments();
+        let mut seg_cells: Vec<u64> = par_chunk_map(segs, threads, |_, chunk| {
+            let mut out = Vec::new();
+            for seg in chunk {
+                grid.for_each_cell_near_segment(&seg.geom, 0.0, |coord| {
+                    out.push(u64::from(grid.cell_id(coord).0) << 32 | u64::from(seg.id.0));
+                });
+            }
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        // Segment-ascending input + one stable counting pass by cell =
+        // (cell, segment) order, the same permutation the comparison sort
+        // of these unique keys produces.
+        if soi_common::bucket_sort_worthwhile(seg_cells.len(), num_cells) {
+            seg_cells =
+                soi_common::bucket_sort_stable(&seg_cells, num_cells as u32, |&k| (k >> 32) as u32);
+        } else {
+            par_sort_unstable_by(&mut seg_cells, threads, |a, b| a.cmp(b));
+        }
+        let mut raster: FxHashMap<CellId, Vec<SegmentId>> = FxHashMap::default();
+        let mut i = 0;
+        while i < seg_cells.len() {
+            let c = (seg_cells[i] >> 32) as u32;
+            let mut j = i;
+            while j < seg_cells.len() && (seg_cells[j] >> 32) as u32 == c {
+                j += 1;
+            }
+            raster.insert(
+                CellId(c),
+                seg_cells[i..j]
+                    .iter()
+                    .map(|&e| SegmentId(e as u32))
+                    .collect(),
+            );
+            i = j;
+        }
+
+        // Phase 5 — length-sorted segment list (the SL3 order): precompute
+        // the keys once and sort by the (length, id) total order.
+        let mut len_keys: Vec<(f64, SegmentId)> = segs.iter().map(|s| (s.len(), s.id)).collect();
+        par_sort_by(&mut len_keys, threads, |a, b| {
+            a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1))
+        });
+        let segments_by_len = len_keys.into_iter().map(|(_, id)| id).collect();
 
         Self {
             grid,
@@ -121,7 +420,7 @@ impl PoiIndex {
             global,
             segments_by_len,
             raster,
-            eps_cache: RwLock::new(FxHashMap::default()),
+            eps_cache: Mutex::new(EpsCache::default()),
         }
     }
 
@@ -147,7 +446,7 @@ impl PoiIndex {
         let cell = self.cells.entry(id).or_insert_with(|| PoiCell {
             pois: Vec::new(),
             total_weight: 0.0,
-            inverted: InvertedIndex::new(),
+            inverted: FlatPostings::new(),
         });
         cell.pois.push(poi.id);
         cell.total_weight += poi.weight;
@@ -163,7 +462,7 @@ impl PoiIndex {
         }
 
         // Newly occupied cells change the ε-augmented maps.
-        self.eps_cache.write().clear();
+        self.eps_cache.lock().clear();
         Ok(())
     }
 
@@ -175,15 +474,30 @@ impl PoiIndex {
 
     /// Lazy `Cε(ℓ)`: occupied cells within `eps` of `geom`, ascending ids.
     pub fn occupied_cells_near_segment(&self, geom: &soi_geo::LineSeg, eps: f64) -> Vec<CellId> {
-        let mut cells: Vec<CellId> = self
-            .grid
-            .cells_near_segment(geom, eps)
-            .into_iter()
-            .map(|c| self.grid.cell_id(c))
-            .filter(|&c| self.cells.contains_key(&c))
-            .collect();
-        cells.sort_unstable();
+        let mut cells = Vec::new();
+        self.occupied_cells_near_segment_into(geom, eps, &mut cells);
         cells
+    }
+
+    /// Allocation-reusing form of
+    /// [`occupied_cells_near_segment`](Self::occupied_cells_near_segment):
+    /// clears `out` and fills it with the occupied cells within `eps` of
+    /// `geom`, ascending. The hot query loop calls this once per popped
+    /// segment with a scratch vector.
+    pub fn occupied_cells_near_segment_into(
+        &self,
+        geom: &soi_geo::LineSeg,
+        eps: f64,
+        out: &mut Vec<CellId>,
+    ) {
+        out.clear();
+        self.grid.for_each_cell_near_segment(geom, eps, |coord| {
+            let c = self.grid.cell_id(coord);
+            if self.cells.contains_key(&c) {
+                out.push(c);
+            }
+        });
+        out.sort_unstable();
     }
 
     /// O(1) upper bound on `|Cε(ℓ)|`: the number of grid cells overlapping
@@ -229,16 +543,26 @@ impl PoiIndex {
     /// segment ignores cells outside its own `Cε` list) and ~2× cheaper per
     /// popped cell than [`PoiIndex::segments_within_eps_of_cell`].
     pub fn segments_near_cell_superset(&self, id: CellId, eps: f64) -> Vec<SegmentId> {
+        let mut out = Vec::new();
+        self.segments_near_cell_superset_into(id, eps, &mut out);
+        out
+    }
+
+    /// Allocation-reusing form of
+    /// [`segments_near_cell_superset`](Self::segments_near_cell_superset):
+    /// clears `out` and fills it with the superset segments, ascending and
+    /// deduplicated. The hot query loop calls this once per popped cell with
+    /// a scratch vector.
+    pub fn segments_near_cell_superset_into(&self, id: CellId, eps: f64, out: &mut Vec<SegmentId>) {
+        out.clear();
         let coord = self.grid.coord_of(id);
         let h = self.grid.cell_size();
         let radius = ((eps + h) / h).floor() as u32;
-        let mut out: Vec<SegmentId> = Vec::new();
-        for near in self.grid.neighborhood(coord, radius) {
+        self.grid.for_each_in_neighborhood(coord, radius, |near| {
             out.extend_from_slice(self.raster_segments_of_cell(self.grid.cell_id(near)));
-        }
+        });
         out.sort_unstable();
         out.dedup();
-        out
     }
 
     /// Exact weighted mass of a segment under `query` and `eps`
@@ -291,17 +615,20 @@ impl PoiIndex {
 
     /// Returns the ε-augmented cell↔segment maps, building and caching them
     /// on first use for each distinct ε.
+    ///
+    /// The cache is a bounded LRU of [`EPS_CACHE_CAPACITY`] entries: sweeping
+    /// many ε values (as the experiment harness does) evicts the least
+    /// recently used maps instead of growing without limit. The maps are
+    /// built outside the cache lock, so concurrent queries at other ε values
+    /// are not blocked; if two threads race to build the same ε, the first
+    /// insertion wins and both receive the same [`Arc`].
     pub fn epsilon_maps(&self, network: &RoadNetwork, eps: f64) -> Arc<EpsilonMaps> {
         let key = eps.to_bits();
-        if let Some(maps) = self.eps_cache.read().get(&key) {
-            return Arc::clone(maps);
+        if let Some(maps) = self.eps_cache.lock().get(key) {
+            return maps;
         }
         let maps = Arc::new(EpsilonMaps::build(network, self, eps));
-        self.eps_cache
-            .write()
-            .entry(key)
-            .or_insert_with(|| Arc::clone(&maps));
-        maps
+        self.eps_cache.lock().insert(key, maps)
     }
 
     /// Drops all cached ε-augmented maps.
@@ -310,7 +637,12 @@ impl PoiIndex {
     /// measured query pays the full query-time map augmentation, as in the
     /// paper's methodology.
     pub fn clear_epsilon_cache(&self) {
-        self.eps_cache.write().clear();
+        self.eps_cache.lock().clear();
+    }
+
+    /// Number of ε values currently cached (at most [`EPS_CACHE_CAPACITY`]).
+    pub fn epsilon_cache_len(&self) -> usize {
+        self.eps_cache.lock().entries.len()
     }
 
     /// Upper bound on the weighted number of POIs in cell `id` matching any
@@ -554,6 +886,133 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         let c = index.epsilon_maps(&network, 0.7);
         assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(index.epsilon_cache_len(), 2);
+    }
+
+    #[test]
+    fn epsilon_cache_is_bounded_lru() {
+        let (network, _, index) = setup();
+        let first = index.epsilon_maps(&network, 0.01);
+        // Fill the cache past capacity; ε=0.01 is kept hot by re-touching it
+        // after each insertion, so the evictions land on the other entries.
+        for i in 1..=EPS_CACHE_CAPACITY + 3 {
+            index.epsilon_maps(&network, 0.01 + i as f64 * 0.01);
+            let again = index.epsilon_maps(&network, 0.01);
+            assert!(Arc::ptr_eq(&first, &again), "hot entry was evicted");
+        }
+        assert_eq!(index.epsilon_cache_len(), EPS_CACHE_CAPACITY);
+        // The least recently used ε values are gone: re-requesting one
+        // rebuilds (a fresh Arc).
+        let rebuilt = index.epsilon_maps(&network, 0.02);
+        assert_eq!(rebuilt.eps(), 0.02);
+        assert_eq!(index.epsilon_cache_len(), EPS_CACHE_CAPACITY);
+        index.clear_epsilon_cache();
+        assert_eq!(index.epsilon_cache_len(), 0);
+    }
+
+    /// Asserts full structural equality of two indexes, comparing floats by
+    /// bit pattern (builds must be byte-identical across thread counts).
+    fn assert_index_identical(a: &PoiIndex, b: &PoiIndex) {
+        assert_eq!(a.num_occupied_cells(), b.num_occupied_cells());
+        let mut cell_ids: Vec<CellId> = a.cells.keys().copied().collect();
+        cell_ids.sort_unstable();
+        for id in cell_ids {
+            let ca = a.cell(id).expect("cell in a");
+            let cb = b.cell(id).expect("cell in b");
+            assert_eq!(ca.pois, cb.pois, "cell {id:?} pois");
+            assert_eq!(
+                ca.total_weight.to_bits(),
+                cb.total_weight.to_bits(),
+                "cell {id:?} weight"
+            );
+            let mut kws: Vec<KeywordId> = ca.inverted.iter().map(|(k, _)| k).collect();
+            kws.sort_unstable();
+            assert_eq!(ca.inverted.num_keywords(), cb.inverted.num_keywords());
+            assert_eq!(ca.inverted.num_documents(), cb.inverted.num_documents());
+            for k in kws {
+                assert_eq!(ca.inverted.postings(k), cb.inverted.postings(k));
+            }
+        }
+        let mut gks: Vec<KeywordId> = a.global.keys().copied().collect();
+        gks.sort_unstable();
+        assert_eq!(a.global.len(), b.global.len());
+        for k in gks {
+            let ga = a.global_postings(k);
+            let gb = b.global_postings(k);
+            assert_eq!(ga.len(), gb.len(), "global {k:?}");
+            for (x, y) in ga.iter().zip(gb) {
+                assert_eq!(x.0, y.0, "global {k:?} cell");
+                assert_eq!(x.1.to_bits(), y.1.to_bits(), "global {k:?} weight");
+            }
+        }
+        assert_eq!(a.segments_by_len, b.segments_by_len);
+        let mut rks: Vec<CellId> = a.raster.keys().copied().collect();
+        rks.sort_unstable();
+        assert_eq!(a.raster.len(), b.raster.len());
+        for c in rks {
+            assert_eq!(a.raster_segments_of_cell(c), b.raster_segments_of_cell(c));
+        }
+    }
+
+    /// A denser grid-city fixture than `setup()`, large enough that every
+    /// parallel phase actually splits into multiple chunks.
+    fn dense_fixture() -> (RoadNetwork, PoiCollection) {
+        let mut b = RoadNetwork::builder();
+        for i in 0..12 {
+            let y = i as f64;
+            b.add_street_from_points(
+                format!("H{i}"),
+                &[Point::new(0.0, y), Point::new(6.0, y), Point::new(12.0, y)],
+            );
+            b.add_street_from_points(
+                format!("V{i}"),
+                &[Point::new(y, 0.0), Point::new(y, 6.0), Point::new(y, 12.0)],
+            );
+        }
+        let network = b.build().unwrap();
+        let mut pois = PoiCollection::new();
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        for i in 0..600 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let px = (x % 1200) as f64 / 100.0;
+            let py = ((x >> 17) % 1200) as f64 / 100.0;
+            let k1 = (x % 7) as u32;
+            let k2 = ((x >> 11) % 7) as u32;
+            let weight = 1.0 + (i % 3) as f64 * 0.5;
+            pois.add_weighted(Point::new(px, py), kws(&[k1, k2]), weight);
+        }
+        (network, pois)
+    }
+
+    #[test]
+    fn parallel_build_identical_to_sequential() {
+        let (network, pois) = dense_fixture();
+        let sequential = PoiIndex::build_with_threads(&network, &pois, 0.75, 1);
+        for threads in [2usize, 3, 8] {
+            let parallel = PoiIndex::build_with_threads(&network, &pois, 0.75, threads);
+            assert_index_identical(&sequential, &parallel);
+        }
+        // The default entry point must agree as well, whatever thread count
+        // it resolves to.
+        let auto = PoiIndex::build(&network, &pois, 0.75);
+        assert_index_identical(&sequential, &auto);
+    }
+
+    #[test]
+    fn into_helpers_match_allocating_forms() {
+        let (network, _, index) = setup();
+        let mut cells_buf = vec![CellId(999); 4];
+        let mut segs_buf = vec![SegmentId(999); 4];
+        for seg in network.segments() {
+            index.occupied_cells_near_segment_into(&seg.geom, 0.7, &mut cells_buf);
+            assert_eq!(cells_buf, index.occupied_cells_near_segment(&seg.geom, 0.7));
+        }
+        for (cell, _) in index.occupied_cells() {
+            index.segments_near_cell_superset_into(cell, 0.7, &mut segs_buf);
+            assert_eq!(segs_buf, index.segments_near_cell_superset(cell, 0.7));
+        }
     }
 
     #[test]

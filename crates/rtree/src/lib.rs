@@ -24,4 +24,4 @@
 
 pub mod tree;
 
-pub use tree::{BoundedItem, NoSummary, RTree, Summary};
+pub use tree::{BoundedItem, NoSummary, RTree, Summary, DEFAULT_FANOUT};

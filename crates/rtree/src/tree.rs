@@ -1,6 +1,6 @@
 //! The STR-packed static R-tree.
 
-use soi_common::OrderedF64;
+use soi_common::{effective_threads, par_chunks_mut, par_sort_by, OrderedF64};
 use soi_geo::{Point, Rect};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -111,20 +111,35 @@ impl<T: BoundedItem, S: Summary<T>> RTree<T, S> {
 
         // --- STR tiling of the items into leaves.
         let n = tree.items.len();
-        let num_leaves = n.div_ceil(fanout);
-        let slabs = (num_leaves as f64).sqrt().ceil() as usize;
-        let slab_capacity = slabs * fanout;
-
-        let center = |r: &Rect| r.center();
+        let slab_capacity = Self::leaf_slab_capacity(n, fanout);
         tree.items
-            .sort_by(|a, b| center(&a.rect()).x.total_cmp(&center(&b.rect()).x));
+            .sort_by(|a, b| a.rect().center().x.total_cmp(&b.rect().center().x));
         let mut start = 0;
         while start < n {
             let end = (start + slab_capacity).min(n);
             tree.items[start..end]
-                .sort_by(|a, b| center(&a.rect()).y.total_cmp(&center(&b.rect()).y));
+                .sort_by(|a, b| a.rect().center().y.total_cmp(&b.rect().center().y));
             start = end;
         }
+
+        tree.build_levels();
+        tree
+    }
+
+    /// Item count of one vertical STR slab for `n` items.
+    fn leaf_slab_capacity(n: usize, fanout: usize) -> usize {
+        let num_leaves = n.div_ceil(fanout);
+        let slabs = (num_leaves as f64).sqrt().ceil() as usize;
+        slabs * fanout
+    }
+
+    /// Builds the leaf and internal node levels over `self.items`, which must
+    /// already be STR-tiled (sorted by center x, then by center y per slab).
+    fn build_levels(&mut self) {
+        let tree = self;
+        let fanout = tree.fanout;
+        let n = tree.items.len();
+        let num_leaves = n.div_ceil(fanout);
 
         // --- Leaf level.
         let mut level: Vec<usize> = Vec::with_capacity(num_leaves);
@@ -206,7 +221,6 @@ impl<T: BoundedItem, S: Summary<T>> RTree<T, S> {
             level = parents;
         }
         tree.root = Some(level[0]);
-        tree
     }
 
     /// Number of stored items.
@@ -352,6 +366,45 @@ impl<T: BoundedItem, S: Summary<T>> RTree<T, S> {
             }
         }
         out
+    }
+}
+
+impl<T: BoundedItem + Send, S: Summary<T>> RTree<T, S> {
+    /// Bulk-loads a tree with an explicit `fanout` (≥ 2) using up to
+    /// `threads` worker threads for the two STR sorting passes (`0` =
+    /// resolve automatically, see [`soi_common::effective_threads`]).
+    ///
+    /// The global x-sort uses a stable parallel merge sort and the per-slab
+    /// y-sorts run on disjoint slabs with a stable sort each, so the item
+    /// order — and therefore the whole tree — is identical to
+    /// [`RTree::bulk_load_with_fanout`] for every thread count.
+    ///
+    /// # Panics
+    /// Panics if `fanout < 2`.
+    pub fn bulk_load_with_threads(items: Vec<T>, fanout: usize, threads: usize) -> Self {
+        assert!(fanout >= 2, "fanout must be at least 2");
+        let threads = effective_threads((threads > 0).then_some(threads));
+        let mut tree = Self {
+            items,
+            nodes: Vec::new(),
+            root: None,
+            fanout,
+        };
+        if tree.items.is_empty() {
+            return tree;
+        }
+
+        let n = tree.items.len();
+        let slab_capacity = Self::leaf_slab_capacity(n, fanout);
+        par_sort_by(&mut tree.items, threads, |a, b| {
+            a.rect().center().x.total_cmp(&b.rect().center().x)
+        });
+        par_chunks_mut(&mut tree.items, slab_capacity, threads, |_, slab| {
+            slab.sort_by(|a, b| a.rect().center().y.total_cmp(&b.rect().center().y));
+        });
+
+        tree.build_levels();
+        tree
     }
 }
 
@@ -545,5 +598,39 @@ mod tests {
     #[should_panic(expected = "fanout must be at least 2")]
     fn fanout_one_panics() {
         let _: RTree<Point> = RTree::bulk_load_with_fanout(vec![Point::ORIGIN], 1);
+    }
+
+    #[test]
+    fn parallel_bulk_load_identical_to_sequential() {
+        // Pseudo-random points with duplicate coordinates to exercise the
+        // stability of the tiling sorts.
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut pts = Vec::with_capacity(3000);
+        for _ in 0..3000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            pts.push(Point::new((x % 97) as f64, ((x >> 17) % 89) as f64));
+        }
+        for fanout in [2usize, 16] {
+            let sequential: RTree<Point> = RTree::bulk_load_with_fanout(pts.clone(), fanout);
+            for threads in [1usize, 2, 8] {
+                let parallel: RTree<Point> =
+                    RTree::bulk_load_with_threads(pts.clone(), fanout, threads);
+                assert_eq!(sequential.items(), parallel.items(), "threads {threads}");
+                assert_eq!(sequential.bounds(), parallel.bounds());
+                let near_s: Vec<(Point, f64)> = sequential
+                    .nearest_k(Point::new(41.5, 40.5), 25)
+                    .into_iter()
+                    .map(|(p, d)| (*p, d))
+                    .collect();
+                let near_p: Vec<(Point, f64)> = parallel
+                    .nearest_k(Point::new(41.5, 40.5), 25)
+                    .into_iter()
+                    .map(|(p, d)| (*p, d))
+                    .collect();
+                assert_eq!(near_s, near_p, "threads {threads}");
+            }
+        }
     }
 }

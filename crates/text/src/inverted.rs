@@ -50,6 +50,64 @@ impl<D: Copy + Ord> InvertedIndex<D> {
         self.num_docs += 1;
     }
 
+    /// Builds an index from `(keyword, doc)` pairs sorted ascending by
+    /// `(keyword, doc)`, with `num_docs` the number of documents the pairs
+    /// were drawn from.
+    ///
+    /// Produces exactly the index that [`add_document`](Self::add_document)
+    /// calls over the same documents would: duplicate adjacent pairs
+    /// collapse, postings stay id-sorted. This is the bulk path used by the
+    /// grouped (and parallel) index builds, which gather each cell's
+    /// `(keyword, doc)` pairs and sort once instead of hashing per keyword
+    /// per document.
+    pub fn from_sorted_pairs(num_docs: usize, pairs: &[(KeywordId, D)]) -> Self {
+        debug_assert!(
+            pairs
+                .windows(2)
+                .all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)),
+            "pairs must be sorted by (keyword, doc)"
+        );
+        let mut postings: FxHashMap<KeywordId, Vec<D>> = FxHashMap::default();
+        let mut i = 0;
+        while i < pairs.len() {
+            let k = pairs[i].0;
+            let run_end = pairs[i..]
+                .iter()
+                .position(|&(kk, _)| kk != k)
+                .map_or(pairs.len(), |off| i + off);
+            let mut list: Vec<D> = Vec::with_capacity(run_end - i);
+            for &(_, d) in &pairs[i..run_end] {
+                if list.last() != Some(&d) {
+                    list.push(d);
+                }
+            }
+            postings.insert(k, list);
+            i = run_end;
+        }
+        Self { postings, num_docs }
+    }
+
+    /// Builds an index from ready-made per-keyword postings runs.
+    ///
+    /// Each run is `(keyword, docs)` with `docs` strictly ascending (distinct
+    /// ids), and keywords must be distinct across runs; both are
+    /// debug-asserted. This is the zero-rehash bulk path: the grouped index
+    /// build carves each cell's postings directly out of a globally sorted
+    /// entry array, so the lists arrive already sorted and deduplicated.
+    pub fn from_runs(num_docs: usize, runs: Vec<(KeywordId, Vec<D>)>) -> Self {
+        let mut postings: FxHashMap<KeywordId, Vec<D>> = FxHashMap::default();
+        postings.reserve(runs.len());
+        for (k, list) in runs {
+            debug_assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "postings must be strictly ascending"
+            );
+            let prev = postings.insert(k, list);
+            debug_assert!(prev.is_none(), "duplicate keyword run");
+        }
+        Self { postings, num_docs }
+    }
+
     /// The postings list for `k` (empty slice if absent).
     pub fn postings(&self, k: KeywordId) -> &[D] {
         self.postings.get(&k).map(Vec::as_slice).unwrap_or(&[])
@@ -149,6 +207,31 @@ mod tests {
         let mut idx: InvertedIndex<u32> = InvertedIndex::new();
         idx.add_document(3, [kid(0), kid(0), kid(0)]);
         assert_eq!(idx.postings(kid(0)), &[3]);
+    }
+
+    #[test]
+    fn bulk_constructors_match_incremental() {
+        let mut inc: InvertedIndex<u32> = InvertedIndex::new();
+        inc.add_document(1, [kid(0), kid(1)]);
+        inc.add_document(2, [kid(1)]);
+        inc.add_document(5, [kid(0), kid(0)]);
+
+        let pairs = [
+            (kid(0), 1u32),
+            (kid(0), 5),
+            (kid(0), 5),
+            (kid(1), 1),
+            (kid(1), 2),
+        ];
+        let from_pairs = InvertedIndex::from_sorted_pairs(3, &pairs);
+        let from_runs =
+            InvertedIndex::from_runs(3, vec![(kid(0), vec![1, 5]), (kid(1), vec![1, 2])]);
+        for idx in [&from_pairs, &from_runs] {
+            assert_eq!(idx.num_documents(), inc.num_documents());
+            assert_eq!(idx.num_keywords(), inc.num_keywords());
+            assert_eq!(idx.postings(kid(0)), inc.postings(kid(0)));
+            assert_eq!(idx.postings(kid(1)), inc.postings(kid(1)));
+        }
     }
 
     #[test]

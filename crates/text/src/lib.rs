@@ -13,7 +13,9 @@
 //!   (Definition 6);
 //! - [`InvertedIndex`]: generic postings lists sorted by document id, plus
 //!   the k-way *distinct* union traversal the paper uses to count
-//!   multi-keyword matches exactly once (Sec. 3.2.2).
+//!   multi-keyword matches exactly once (Sec. 3.2.2);
+//! - [`FlatPostings`]: the same mapping in a contiguous CSR layout, the
+//!   allocation-lean representation bulk index builds produce.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,12 +23,14 @@
 // expect are compile errors outside of test code.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod flat;
 pub mod freq;
 pub mod inverted;
 pub mod keyword_set;
 pub mod tokenize;
 pub mod vocab;
 
+pub use flat::FlatPostings;
 pub use freq::FreqVector;
 pub use inverted::{union_distinct, InvertedIndex};
 pub use keyword_set::KeywordSet;

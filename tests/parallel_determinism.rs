@@ -1,0 +1,155 @@
+//! Tier-1 determinism guarantees of the parallel pipeline (PR 2).
+//!
+//! Every multi-threaded offline build must be byte-identical to its
+//! sequential counterpart, and the batched [`soi_engine::QueryEngine`]
+//! must return bit-identical results whatever the worker count. These
+//! tests run the full stack end-to-end on a generated city.
+
+use soi_core::soi::{run_soi, SoiConfig, SoiOutcome, SoiQuery};
+use soi_engine::{QueryContext, QueryEngine};
+use soi_index::{DiversificationIndex, IrTree, PhotoGrid, PoiIndex};
+use std::sync::Arc;
+
+const EPS: f64 = 0.0005;
+const CELL: f64 = 2.0 * EPS;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn fixture() -> soi_data::Dataset {
+    soi_datagen::generate(&soi_datagen::vienna(0.02)).0
+}
+
+fn queries(dataset: &soi_data::Dataset) -> Vec<SoiQuery> {
+    [
+        (5usize, &["shop"][..]),
+        (10, &["food", "cafe"][..]),
+        (7, &["shop", "food", "bar"][..]),
+    ]
+    .into_iter()
+    .map(|(k, kws)| SoiQuery::new(dataset.query_keywords(kws), k, EPS).expect("valid query"))
+    .collect()
+}
+
+/// Queries see only the index's contents, so an index equality check that
+/// must hold across thread counts is "every query answers identically".
+/// The per-structure byte-equality checks live in the `soi-index` and
+/// `soi-rtree` crates; this is the end-to-end version.
+#[test]
+fn poi_index_parallel_build_is_thread_count_invariant() {
+    let dataset = fixture();
+    let sequential = PoiIndex::build_with_threads(&dataset.network, &dataset.pois, CELL, 1);
+    let queries = queries(&dataset);
+    let expected: Vec<SoiOutcome> = queries
+        .iter()
+        .map(|q| {
+            run_soi(
+                &dataset.network,
+                &dataset.pois,
+                &sequential,
+                q,
+                &SoiConfig::default(),
+            )
+            .expect("valid query")
+        })
+        .collect();
+
+    for threads in WORKER_COUNTS {
+        let parallel = PoiIndex::build_with_threads(&dataset.network, &dataset.pois, CELL, threads);
+        assert_eq!(
+            sequential.num_occupied_cells(),
+            parallel.num_occupied_cells()
+        );
+        assert_eq!(sequential.segments_by_len(), parallel.segments_by_len());
+        let mut cells: Vec<_> = sequential.occupied_cells().map(|(id, _)| id).collect();
+        cells.sort_unstable();
+        for cell in cells {
+            let a = sequential.cell(cell).expect("occupied");
+            let b = parallel.cell(cell).expect("same cells occupied");
+            assert_eq!(a.pois, b.pois);
+            assert_eq!(a.total_weight.to_bits(), b.total_weight.to_bits());
+        }
+        for (q, want) in queries.iter().zip(&expected) {
+            let got = run_soi(
+                &dataset.network,
+                &dataset.pois,
+                &parallel,
+                q,
+                &SoiConfig::default(),
+            )
+            .expect("valid query");
+            assert_eq!(got.results, want.results, "threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn photo_and_diversification_builds_are_thread_count_invariant() {
+    let dataset = fixture();
+    let grid1 = PhotoGrid::build_with_threads(&dataset.network, &dataset.photos, CELL, 1);
+    let members: Vec<_> = dataset.photos.iter().map(|p| p.id).take(400).collect();
+    let div1 = DiversificationIndex::build_with_threads(&dataset.photos, &members, 0.0001, 1);
+    let tree1 = IrTree::build_with_threads(&dataset.pois, 1);
+    let probe = soi_geo::Point::new(0.3, 0.4);
+    let probe_kws = dataset.query_keywords(&["shop", "food"]);
+    let streets: Vec<_> = dataset.network.streets().iter().map(|s| s.id).collect();
+
+    for threads in WORKER_COUNTS {
+        let grid = PhotoGrid::build_with_threads(&dataset.network, &dataset.photos, CELL, threads);
+        assert_eq!(grid1.num_occupied_cells(), grid.num_occupied_cells());
+        for &street in streets.iter().take(10) {
+            assert_eq!(
+                grid1.photos_near_street(&dataset.network, &dataset.photos, street, EPS),
+                grid.photos_near_street(&dataset.network, &dataset.photos, street, EPS),
+                "threads {threads}"
+            );
+        }
+
+        let div =
+            DiversificationIndex::build_with_threads(&dataset.photos, &members, 0.0001, threads);
+        assert_eq!(div1.occupied(), div.occupied());
+        for &cell in div1.occupied() {
+            let (a, b) = (
+                div1.cell(cell).expect("occupied"),
+                div.cell(cell).expect("same cells occupied"),
+            );
+            assert_eq!(a.photos, b.photos);
+            assert_eq!(a.psi_min, b.psi_min);
+            assert_eq!(a.psi_max, b.psi_max);
+        }
+
+        let tree = IrTree::build_with_threads(&dataset.pois, threads);
+        assert_eq!(
+            tree1.top_k_relevant(probe, &probe_kws, 20),
+            tree.top_k_relevant(probe, &probe_kws, 20),
+            "threads {threads}"
+        );
+    }
+}
+
+#[test]
+fn engine_batch_is_bit_identical_across_worker_counts() {
+    let dataset = fixture();
+    let index = PoiIndex::build(&dataset.network, &dataset.pois, CELL);
+    let queries = queries(&dataset);
+    let ctx = Arc::new(QueryContext::new(&dataset.network, &dataset.pois, &index));
+
+    let reference = QueryEngine::new(1).run_soi_batch(&ctx, &queries);
+    assert_eq!(reference.stats.errors, 0);
+    for workers in WORKER_COUNTS {
+        let batch = QueryEngine::new(workers).run_soi_batch(&ctx, &queries);
+        assert_eq!(batch.stats.queries, queries.len());
+        assert_eq!(batch.stats.errors, 0);
+        for (got, want) in batch.results.iter().zip(&reference.results) {
+            let (got, want) = (
+                got.as_ref().expect("valid query"),
+                want.as_ref().expect("valid query"),
+            );
+            assert_eq!(got.results.len(), want.results.len());
+            for (g, w) in got.results.iter().zip(&want.results) {
+                assert_eq!(g.street, w.street, "workers {workers}");
+                assert_eq!(g.interest.to_bits(), w.interest.to_bits());
+                assert_eq!(g.best_segment, w.best_segment);
+                assert_eq!(g.best_segment_mass.to_bits(), w.best_segment_mass.to_bits());
+            }
+        }
+    }
+}
