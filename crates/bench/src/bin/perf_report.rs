@@ -1,16 +1,24 @@
-//! `perf_report` — the PR 2 acceptance benchmark.
+//! `perf_report` — the PR 3 acceptance benchmark.
 //!
 //! Measures, on one process and back-to-back (the only way to get stable
 //! numbers on a noisy single-core VM):
 //!
-//! 1. offline index construction: the pre-PR hash-map build (reconstructed
-//!    inline below) vs the current counting-sort build, medians of several
-//!    interleaved reps;
+//! 1. offline index construction: the pre-PR-2 hash-map build
+//!    (reconstructed inline below) vs the current counting-sort build,
+//!    medians of several interleaved reps;
 //! 2. single-query k-SOI latency (p50/p95), direct `run_soi` vs a
-//!    one-element engine batch (the inline path — must be within noise);
-//! 3. batched k-SOI throughput at 1, 2, and 8 workers.
+//!    one-element engine batch (the inline path — must be within noise)
+//!    — with the observability layer compiled in but *disabled*, the
+//!    production default;
+//! 3. the same single query with tracing *enabled*, to quantify the
+//!    recording overhead;
+//! 4. batched k-SOI throughput at 1, 2, and 8 workers.
 //!
-//! Writes `BENCH_PR2.json` into the repo root (or the directory given as
+//! If `BENCH_PR2.json` is present in the output directory its stored p50s
+//! are parsed (with `soi_obs::json`) and the disabled-instrumentation
+//! overhead vs PR 2 is reported — the PR 3 acceptance bound is ≤2%.
+//!
+//! Writes `BENCH_PR3.json` into the repo root (or the directory given as
 //! the first argument) and prints it to stdout.
 
 use soi_common::{CellId, FxHashMap, KeywordId, SegmentId};
@@ -20,6 +28,7 @@ use soi_engine::{QueryContext, QueryEngine};
 use soi_geo::{Grid, Point, Rect};
 use soi_index::PoiIndex;
 use soi_network::RoadNetwork;
+use soi_obs::{json, trace};
 use soi_text::InvertedIndex;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -47,6 +56,19 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
 
 fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
+}
+
+/// The stored PR 2 single-query p50s `(direct, engine_one_worker)` in ms,
+/// if a parseable `BENCH_PR2.json` sits in the output directory.
+fn pr2_p50s(out_dir: &str) -> Option<(f64, f64)> {
+    let path = format!("{}/BENCH_PR2.json", out_dir.trim_end_matches('/'));
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = json::parse(&text).ok()?;
+    let single = doc.get("single_query")?;
+    Some((
+        single.get("direct_p50_ms")?.as_f64()?,
+        single.get("engine_one_worker_p50_ms")?.as_f64()?,
+    ))
 }
 
 /// The index construction algorithm as it was before this PR: per-POI
@@ -200,6 +222,31 @@ fn main() {
         ms(percentile(&engine_one, 0.95)),
     );
 
+    // 2b. The same direct query with tracing enabled: quantifies what
+    // `--trace-out` costs while recording (spans + sampled UB/LBk
+    // counters on the Alg. 1 hot loop).
+    trace::set_enabled(true);
+    let mut traced = Vec::with_capacity(QUERY_REPS);
+    for _ in 0..QUERY_REPS {
+        index.clear_epsilon_cache();
+        let t = Instant::now();
+        black_box(
+            run_soi(&dataset.network, &dataset.pois, &index, &query, &config).expect("valid query"),
+        );
+        traced.push(t.elapsed());
+    }
+    trace::set_enabled(false);
+    let trace_events = trace::take_events().len();
+    traced.sort_unstable();
+    let traced_overhead_pct =
+        (ms(percentile(&traced, 0.5)) / ms(percentile(&direct, 0.5)).max(1e-12) - 1.0) * 100.0;
+    eprintln!(
+        "traced query: p50 {:.2}ms ({:+.1}% vs disabled, {} events/rep)",
+        ms(percentile(&traced, 0.5)),
+        traced_overhead_pct,
+        trace_events / QUERY_REPS,
+    );
+
     // 3. Batch throughput at 1/2/8 workers (median of 3 sweeps each).
     let sweep = sweep_queries(&dataset);
     let mut batch_lines = Vec::new();
@@ -227,9 +274,27 @@ fn main() {
         ));
     }
 
+    // Disabled-instrumentation overhead against the stored PR 2 p50s:
+    // the observability layer is compiled into every path measured above,
+    // so new-p50 / PR2-p50 is the cost of carrying it disabled.
+    let vs_pr2 = match pr2_p50s(&out_dir) {
+        None => "null".to_string(),
+        Some((pr2_direct, pr2_engine)) => {
+            let direct_pct = (ms(percentile(&direct, 0.5)) / pr2_direct.max(1e-12) - 1.0) * 100.0;
+            let engine_pct =
+                (ms(percentile(&engine_one, 0.5)) / pr2_engine.max(1e-12) - 1.0) * 100.0;
+            eprintln!(
+                "vs PR2: direct p50 {direct_pct:+.1}%, engine(1) p50 {engine_pct:+.1}% (bound: +2%)"
+            );
+            format!(
+                "{{\n      \"pr2_direct_p50_ms\": {pr2_direct:.3},\n      \"pr2_engine_one_worker_p50_ms\": {pr2_engine:.3},\n      \"direct_p50_overhead_pct\": {direct_pct:.2},\n      \"engine_one_worker_p50_overhead_pct\": {engine_pct:.2},\n      \"bound_pct\": 2.0\n    }}"
+            )
+        }
+    };
+
     let json = format!
     (
-        "{{\n  \"bench\": \"PR2 parallel allocation-lean query engine\",\n  \"city\": \"berlin\",\n  \"scale\": {SCALE},\n  \"segments\": {},\n  \"pois\": {},\n  \"index_build\": {{\n    \"old_ms\": {:.3},\n    \"new_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"reps\": {BUILD_REPS},\n    \"note\": \"single-threaded, medians of interleaved reps; old = pre-PR hash-map build reconstructed inline\"\n  }},\n  \"single_query\": {{\n    \"direct_p50_ms\": {:.3},\n    \"direct_p95_ms\": {:.3},\n    \"engine_one_worker_p50_ms\": {:.3},\n    \"engine_one_worker_p95_ms\": {:.3},\n    \"reps\": {QUERY_REPS}\n  }},\n  \"batch\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"PR3 observability layer (spans, metrics, telemetry)\",\n  \"city\": \"berlin\",\n  \"scale\": {SCALE},\n  \"segments\": {},\n  \"pois\": {},\n  \"index_build\": {{\n    \"old_ms\": {:.3},\n    \"new_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"reps\": {BUILD_REPS},\n    \"note\": \"single-threaded, medians of interleaved reps; old = pre-PR2 hash-map build reconstructed inline\"\n  }},\n  \"single_query\": {{\n    \"direct_p50_ms\": {:.3},\n    \"direct_p95_ms\": {:.3},\n    \"engine_one_worker_p50_ms\": {:.3},\n    \"engine_one_worker_p95_ms\": {:.3},\n    \"reps\": {QUERY_REPS},\n    \"note\": \"instrumentation compiled in, disabled (production default)\"\n  }},\n  \"observability\": {{\n    \"traced_p50_ms\": {:.3},\n    \"traced_overhead_pct\": {:.2},\n    \"trace_events_per_query\": {},\n    \"vs_pr2\": {}\n  }},\n  \"batch\": [\n{}\n  ]\n}}\n",
         dataset.network.num_segments(),
         dataset.pois.len(),
         ms(build_old),
@@ -239,11 +304,15 @@ fn main() {
         ms(percentile(&direct, 0.95)),
         ms(percentile(&engine_one, 0.5)),
         ms(percentile(&engine_one, 0.95)),
+        ms(percentile(&traced, 0.5)),
+        traced_overhead_pct,
+        trace_events / QUERY_REPS,
+        vs_pr2,
         batch_lines.join(",\n"),
     );
 
-    let path = format!("{}/BENCH_PR2.json", out_dir.trim_end_matches('/'));
-    std::fs::write(&path, &json).expect("write BENCH_PR2.json");
+    let path = format!("{}/BENCH_PR3.json", out_dir.trim_end_matches('/'));
+    std::fs::write(&path, &json).expect("write BENCH_PR3.json");
     println!("{json}");
     eprintln!("wrote {path}");
 }

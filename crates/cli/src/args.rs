@@ -3,6 +3,10 @@
 use soi_common::{Result, SoiError};
 use std::collections::BTreeMap;
 
+/// Options that are boolean flags: they take no value, and their presence
+/// means `true`. Every other `--key` consumes the next argument.
+const BOOL_FLAGS: &[&str] = &["log-json"];
+
 /// Parsed invocation: a subcommand, at most one positional argument, plus
 /// `--key value` options.
 #[derive(Debug, Clone, Default)]
@@ -18,9 +22,9 @@ pub struct Args {
 impl Args {
     /// Parses an argument list (without the program name).
     ///
-    /// Grammar: `<command> [positional] (--key value)*`. Flags without
-    /// values are not supported (every option takes a value); at most one
-    /// positional argument is accepted.
+    /// Grammar: `<command> [positional] (--key value | --flag)*`. Every
+    /// option takes a value except the boolean flags in [`BOOL_FLAGS`]
+    /// (e.g. `--log-json`); at most one positional argument is accepted.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args> {
         let mut it = args.into_iter();
         let command = it
@@ -38,9 +42,12 @@ impl Args {
                 positional = Some(key);
                 continue;
             };
-            let value = it
-                .next()
-                .ok_or_else(|| SoiError::invalid(format!("option --{name} needs a value")))?;
+            let value = if BOOL_FLAGS.contains(&name) {
+                "true".to_string()
+            } else {
+                it.next()
+                    .ok_or_else(|| SoiError::invalid(format!("option --{name} needs a value")))?
+            };
             if options.insert(name.to_string(), value).is_some() {
                 return Err(SoiError::invalid(format!("option --{name} given twice")));
             }
@@ -68,6 +75,11 @@ impl Args {
     /// An optional string option.
     pub fn get(&self, name: &str) -> Option<&str> {
         self.options.get(name).map(String::as_str)
+    }
+
+    /// Whether a boolean flag (see [`BOOL_FLAGS`]) was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.options.contains_key(name)
     }
 
     /// An optional parsed option with a default.
@@ -119,6 +131,23 @@ mod tests {
             .unwrap()
             .get_parsed("k", 0usize)
             .is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        // `--log-json` must not swallow the next token.
+        let a = parse(&["batch", "--log-json", "queries.tsv", "--data", "d"]).unwrap();
+        assert!(a.flag("log-json"));
+        assert_eq!(a.positional(), Some("queries.tsv"));
+        assert_eq!(a.require("data").unwrap(), "d");
+        let b = parse(&["stats", "--data", "d"]).unwrap();
+        assert!(!b.flag("log-json"));
+        // Trailing position works too.
+        assert!(parse(&["stats", "--data", "d", "--log-json"])
+            .unwrap()
+            .flag("log-json"));
+        // Duplicates remain rejected.
+        assert!(parse(&["stats", "--log-json", "--log-json"]).is_err());
     }
 
     #[test]

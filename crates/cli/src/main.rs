@@ -25,6 +25,9 @@ use soi_data::Dataset;
 use soi_engine::{QueryContext, QueryEngine};
 use soi_index::{IrTree, PhotoGrid, PoiIndex};
 use soi_network::NetworkStats;
+use soi_obs::log::{self, LogMode, Value};
+use soi_obs::names::{phases, spans};
+use soi_obs::{json, trace};
 
 const DEFAULT_EPS: f64 = 0.0005;
 const DEFAULT_RHO: f64 = 0.0001;
@@ -48,19 +51,91 @@ fn run(raw: Vec<String>) -> Result<()> {
         return print_help();
     }
     let args = Args::parse(raw)?;
+
+    // Observability plumbing shared by every subcommand: `--log-json`
+    // switches stderr events to JSON lines (the SOI_LOG env var applies
+    // otherwise), and `--trace-out FILE` records a Chrome trace of the
+    // whole invocation.
+    if args.flag("log-json") {
+        log::set_mode(LogMode::Json);
+    } else {
+        log::init_from_env();
+    }
+    let trace_out = args.get("trace-out").map(str::to_string);
+    if trace_out.is_some() {
+        trace::set_enabled(true);
+    }
+
+    let result = {
+        // One span covering the whole command, so the trace accounts for
+        // (nearly) the entire process wall time.
+        let _cmd_span = trace::span(command_span_name(&args.command));
+        dispatch(&args)
+    };
+    match trace_out {
+        None => result,
+        // Write the trace even when the command failed — a trace of a slow
+        // run that ultimately errored is still useful — but let the
+        // command's own error take precedence.
+        Some(path) => {
+            let written = write_trace(&path);
+            result.and(written)
+        }
+    }
+}
+
+fn dispatch(args: &Args) -> Result<()> {
     match args.command.as_str() {
-        "generate" => cmd_generate(&args),
-        "stats" => cmd_stats(&args),
-        "query" => cmd_query(&args),
-        "batch" => cmd_batch(&args),
-        "describe" => cmd_describe(&args),
-        "route" => cmd_route(&args),
-        "export" => cmd_export(&args),
-        "poi" => cmd_poi(&args),
+        "generate" => cmd_generate(args),
+        "stats" => cmd_stats(args),
+        "query" => cmd_query(args),
+        "batch" => cmd_batch(args),
+        "describe" => cmd_describe(args),
+        "route" => cmd_route(args),
+        "export" => cmd_export(args),
+        "poi" => cmd_poi(args),
+        "metrics" => cmd_metrics(args),
+        "check-artifacts" => cmd_check_artifacts(args),
         other => Err(SoiError::invalid(format!(
             "unknown command {other:?}; try `soi help`"
         ))),
     }
+}
+
+/// The static span name of a subcommand (span names are `&'static str`,
+/// so the known commands are enumerated rather than formatted).
+fn command_span_name(command: &str) -> &'static str {
+    match command {
+        "generate" => "cli.generate",
+        "stats" => "cli.stats",
+        "query" => "cli.query",
+        "batch" => "cli.batch",
+        "describe" => "cli.describe",
+        "route" => "cli.route",
+        "export" => "cli.export",
+        "poi" => "cli.poi",
+        "metrics" => "cli.metrics",
+        "check-artifacts" => "cli.check_artifacts",
+        _ => "cli.command",
+    }
+}
+
+/// Drains the recorded trace events and writes them as Chrome
+/// `trace_event` JSON (load via `chrome://tracing` or Perfetto).
+fn write_trace(path: &str) -> Result<()> {
+    trace::set_enabled(false);
+    let events = trace::take_events();
+    let doc = trace::chrome_trace_json(&events);
+    std::fs::write(path, doc).at_path(path)?;
+    log::event(
+        "cli.trace",
+        &format!("wrote trace to {path}"),
+        &[
+            ("events", Value::U64(events.len() as u64)),
+            ("dropped", Value::U64(trace::dropped_events())),
+        ],
+    );
+    Ok(())
 }
 
 fn print_help() -> Result<()> {
@@ -90,12 +165,25 @@ fn print_help() -> Result<()> {
          \u{20}          summary of the winner) as GeoJSON for any web map.\n\
          poi       --data DIR --keywords w1,w2 --at X,Y [--k 5] [--match any|all]\n\
          \u{20}          Single-POI retrieval: the k nearest POIs matching the\n\
-         \u{20}          keywords (hybrid spatio-textual R-tree)."
+         \u{20}          keywords (hybrid spatio-textual R-tree).\n\
+         metrics   [--data DIR] [--keywords w1,w2] [--eps 0.0005]\n\
+         \u{20}          Print process metrics in Prometheus text format (with\n\
+         \u{20}          --data, first runs a small workload to populate them).\n\
+         check-artifacts [--trace FILE.json] [--stats FILE.json]\n\
+         \u{20}          Validate observability artifacts: a Chrome trace from\n\
+         \u{20}          --trace-out and/or a telemetry file from --stats-json.\n\n\
+         OBSERVABILITY (any command)\n\
+         --trace-out FILE   Record a Chrome trace_event JSON file of the run\n\
+         \u{20}                  (open in chrome://tracing or ui.perfetto.dev).\n\
+         --log-json         Emit stderr events as JSON lines (also SOI_LOG=json).\n\
+         batch also accepts --stats-json FILE to dump engine telemetry\n\
+         (latency percentiles, work counters, \u{3b5}-cache hits) as JSON."
     )?;
     Ok(())
 }
 
 fn load(args: &Args) -> Result<Dataset> {
+    let _span = trace::span(spans::CLI_LOAD);
     soi_data::io::load_dataset(args.require("data")?)
 }
 
@@ -113,7 +201,11 @@ fn parse_keywords(dataset: &Dataset, args: &Args) -> Result<soi_text::KeywordSet
     }
     let set = dataset.query_keywords(&words);
     if set.is_empty() {
-        eprintln!("note: none of the keywords occur in this dataset");
+        log::event(
+            "cli.keywords",
+            "note: none of the keywords occur in this dataset",
+            &[("keywords", Value::Str(raw))],
+        );
     }
     Ok(set)
 }
@@ -137,9 +229,15 @@ fn cmd_generate(args: &Args) -> Result<()> {
             .parse()
             .map_err(|_| SoiError::invalid("--seed must be an integer"))?;
     }
-    eprintln!(
-        "generating {} at scale {scale} ({} POIs, {} photos)...",
-        config.name, config.n_pois, config.n_photos
+    log::event(
+        "cli.generate",
+        &format!("generating {} at scale {scale}", config.name),
+        &[
+            ("city", Value::Str(&config.name)),
+            ("scale", Value::F64(scale)),
+            ("pois", Value::U64(config.n_pois as u64)),
+            ("photos", Value::U64(config.n_photos as u64)),
+        ],
     );
     let (dataset, truth) = soi_datagen::generate(&config);
     soi_data::io::save_dataset(&dataset, out)?;
@@ -193,13 +291,26 @@ fn print_outcome(dataset: &Dataset, outcome: &SoiOutcome) -> Result<()> {
         )?;
     }
     let t = &outcome.stats.timer;
-    eprintln!(
-        "({} results in {:?}; construction {:?}, filtering {:?}, refinement {:?})",
-        outcome.results.len(),
-        t.total(),
-        t.duration("construction"),
-        t.duration("filtering"),
-        t.duration("refinement"),
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    log::event(
+        "query.done",
+        "query done",
+        &[
+            ("results", Value::U64(outcome.results.len() as u64)),
+            ("total_ms", Value::F64(ms(t.total()))),
+            (
+                "construction_ms",
+                Value::F64(ms(t.duration(phases::CONSTRUCTION))),
+            ),
+            (
+                "filtering_ms",
+                Value::F64(ms(t.duration(phases::FILTERING))),
+            ),
+            (
+                "refinement_ms",
+                Value::F64(ms(t.duration(phases::REFINEMENT))),
+            ),
+        ],
     );
     Ok(())
 }
@@ -321,14 +432,20 @@ fn cmd_batch(args: &Args) -> Result<()> {
             Err(e) => writeln!(out, "query {}: error: {e}", i + 1)?,
         }
     }
+    if let Some(stats_path) = args.get("stats-json") {
+        std::fs::write(stats_path, batch.telemetry.to_json()).at_path(stats_path)?;
+    }
     let s = &batch.stats;
-    eprintln!(
-        "({} queries on {} worker(s) in {:?}; {:.0} queries/s; {} errors)",
-        s.queries,
-        s.threads,
-        s.wall_time,
-        s.queries_per_second(),
-        s.errors,
+    log::event(
+        "batch.done",
+        "batch done",
+        &[
+            ("queries", Value::U64(s.queries as u64)),
+            ("threads", Value::U64(s.threads as u64)),
+            ("wall_ms", Value::F64(s.wall_time.as_secs_f64() * 1e3)),
+            ("queries_per_second", Value::F64(s.queries_per_second())),
+            ("errors", Value::U64(s.errors as u64)),
+        ],
     );
     Ok(())
 }
@@ -508,6 +625,105 @@ fn cmd_poi(args: &Args) -> Result<()> {
             pid.raw(),
             kws.join(", ")
         )?;
+    }
+    Ok(())
+}
+
+fn cmd_metrics(args: &Args) -> Result<()> {
+    // Force-register every series so a gather before the first query still
+    // exposes the full set (with zero values).
+    soi_core::obs::register_metrics();
+    soi_index::obs::register_metrics();
+    if args.get("data").is_some() {
+        // Populate the instruments with a small real workload: an index
+        // build, two ε-map lookups (a miss then a hit), and — when
+        // keywords are given — one k-SOI query.
+        let dataset = load(args)?;
+        let eps: f64 = args.get_parsed("eps", DEFAULT_EPS)?;
+        let index = PoiIndex::build(&dataset.network, &dataset.pois, 2.0 * eps);
+        let _ = index.epsilon_maps(&dataset.network, eps);
+        let _ = index.epsilon_maps(&dataset.network, eps);
+        if args.get("keywords").is_some() {
+            let keywords = parse_keywords(&dataset, args)?;
+            let query = SoiQuery::new(keywords, 10, eps)?;
+            run_soi(
+                &dataset.network,
+                &dataset.pois,
+                &index,
+                &query,
+                &SoiConfig::default(),
+            )?;
+        }
+    }
+    let mut out = std::io::stdout().lock();
+    out.write_all(soi_obs::metrics::gather().as_bytes())?;
+    Ok(())
+}
+
+/// Validates a Chrome trace file written by `--trace-out`: well-formed
+/// JSON with a non-empty `traceEvents` array whose events all carry the
+/// fields the trace viewers require. Returns the event count.
+fn check_trace_file(path: &str) -> Result<u64> {
+    let text = std::fs::read_to_string(path).at_path(path)?;
+    let bad = |what: &str| SoiError::invalid(format!("{path}: {what}"));
+    let doc = json::parse(&text).map_err(|e| bad(&format!("not valid JSON ({e})")))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(json::Json::as_arr)
+        .ok_or_else(|| bad("missing traceEvents array"))?;
+    if events.is_empty() {
+        return Err(bad("traceEvents is empty"));
+    }
+    for (i, ev) in events.iter().enumerate() {
+        let has_str = |k: &str| ev.get(k).and_then(json::Json::as_str).is_some();
+        let has_num = |k: &str| ev.get(k).and_then(json::Json::as_f64).is_some();
+        if !(has_str("name") && has_str("ph") && has_num("ts") && has_num("pid") && has_num("tid"))
+        {
+            return Err(bad(&format!(
+                "traceEvents[{i}] is missing name/ph/ts/pid/tid"
+            )));
+        }
+    }
+    Ok(events.len() as u64)
+}
+
+/// Validates a telemetry file written by `batch --stats-json`. Returns
+/// the query count.
+fn check_stats_file(path: &str) -> Result<u64> {
+    let text = std::fs::read_to_string(path).at_path(path)?;
+    let bad = |what: &str| SoiError::invalid(format!("{path}: {what}"));
+    let doc = json::parse(&text).map_err(|e| bad(&format!("not valid JSON ({e})")))?;
+    let queries = doc
+        .get("queries")
+        .and_then(json::Json::as_f64)
+        .ok_or_else(|| bad("missing numeric queries field"))?;
+    for section in ["counters", "latency", "eps_cache"] {
+        if doc.get(section).is_none() {
+            return Err(bad(&format!("missing {section} object")));
+        }
+    }
+    if doc.get("latency").and_then(|l| l.get("samples")).is_none() {
+        return Err(bad("latency object is missing samples"));
+    }
+    Ok(queries as u64)
+}
+
+fn cmd_check_artifacts(args: &Args) -> Result<()> {
+    let trace_path = args.get("trace");
+    let stats_path = args.get("stats");
+    if trace_path.is_none() && stats_path.is_none() {
+        return Err(SoiError::invalid(
+            "check-artifacts needs --trace FILE and/or --stats FILE",
+        ));
+    }
+    let mut out = std::io::stdout().lock();
+    if let Some(path) = trace_path {
+        let events = check_trace_file(path)?;
+        writeln!(out, "trace ok: {path} ({events} events)")?;
+    }
+    if let Some(path) = stats_path {
+        let queries = check_stats_file(path)?;
+        writeln!(out, "stats ok: {path} ({queries} queries)")?;
     }
     Ok(())
 }

@@ -315,3 +315,111 @@ fn error_messages_name_the_failing_file_and_record() {
     assert!(stderr(&out).contains("network.tsv"), "{}", stderr(&out));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn batch_writes_trace_and_stats_artifacts() {
+    let dir = std::env::temp_dir().join(format!("soi_cli_obs_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let queries = dir.join("queries.tsv");
+    std::fs::write(&queries, "shop\t5\nfood\t3\n").unwrap();
+    let trace = dir.join("trace.json");
+    let stats = dir.join("stats.json");
+
+    let out = soi(&[
+        "batch",
+        queries.to_str().unwrap(),
+        "--data",
+        dataset_dir(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--stats-json",
+        stats.to_str().unwrap(),
+        "--log-json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // --log-json turns every stderr event into a JSON line.
+    let err = stderr(&out);
+    let batch_done = err
+        .lines()
+        .find(|l| l.contains("\"event\":\"batch.done\""))
+        .unwrap_or_else(|| panic!("no batch.done JSON event in stderr: {err}"));
+    assert!(batch_done.starts_with('{'), "not a JSON line: {batch_done}");
+    assert!(batch_done.contains("\"queries\":2"), "{batch_done}");
+
+    // The trace covers the whole command (cli.batch span) and the engine's
+    // per-query spans.
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace_text.contains("\"cli.batch\""), "{trace_text}");
+    assert!(trace_text.contains("\"engine.query\""), "{trace_text}");
+    assert!(trace_text.contains("\"soi.query\""), "{trace_text}");
+
+    // The stats file records the batch telemetry.
+    let stats_text = std::fs::read_to_string(&stats).unwrap();
+    assert!(stats_text.contains("\"queries\":2"), "{stats_text}");
+    assert!(stats_text.contains("\"p50_ms\""), "{stats_text}");
+
+    // check-artifacts accepts both files.
+    let check = soi(&[
+        "check-artifacts",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--stats",
+        stats.to_str().unwrap(),
+    ]);
+    assert!(check.status.success(), "{}", stderr(&check));
+    let text = stdout(&check);
+    assert!(text.contains("trace ok"), "{text}");
+    assert!(text.contains("stats ok: "), "{text}");
+    assert!(text.contains("(2 queries)"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_prints_prometheus_text() {
+    let out = soi(&["metrics", "--data", dataset_dir(), "--keywords", "shop"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    // Mandatory series, fully formed exposition.
+    assert!(
+        text.contains("# TYPE soi_query_latency_seconds histogram"),
+        "{text}"
+    );
+    assert!(text.contains("soi_query_latency_seconds_count 1"), "{text}");
+    assert!(
+        text.contains("# TYPE soi_epsilon_cache_hits_total counter"),
+        "{text}"
+    );
+    // The workload performs one ε-map miss then one hit.
+    assert!(text.contains("soi_epsilon_cache_hits_total 1"), "{text}");
+    assert!(text.contains("soi_epsilon_cache_misses_total 1"), "{text}");
+    assert!(text.contains("le=\"+Inf\""), "{text}");
+
+    // Without --data the series still appear, at zero.
+    let bare = soi(&["metrics"]);
+    assert!(bare.status.success(), "{}", stderr(&bare));
+    let bare_text = stdout(&bare);
+    assert!(
+        bare_text.contains("soi_query_latency_seconds_count 0"),
+        "{bare_text}"
+    );
+    assert!(
+        bare_text.contains("soi_epsilon_cache_hits_total 0"),
+        "{bare_text}"
+    );
+}
+
+#[test]
+fn check_artifacts_rejects_garbage() {
+    let dir = std::env::temp_dir().join(format!("soi_cli_badart_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"traceEvents\": 7}").unwrap();
+    let out = soi(&["check-artifacts", "--trace", bad.to_str().unwrap()]);
+    assert_eq!(code(&out), 2, "{}", stderr(&out));
+    assert!(stderr(&out).contains("traceEvents"), "{}", stderr(&out));
+    // No file at all is a usage error.
+    let none = soi(&["check-artifacts"]);
+    assert_eq!(code(&none), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}

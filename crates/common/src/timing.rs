@@ -4,6 +4,13 @@
 //! phases (source-list construction, filtering, refinement). [`PhaseTimer`]
 //! accumulates wall-clock time per named phase so the experiment harness can
 //! reproduce that breakdown.
+//!
+//! [`PhaseTimer`] is also a trace source: when tracing is enabled
+//! (`soi_obs::trace::set_enabled`), every phase entry/exit emits a
+//! begin/end event pair, so any algorithm that already times its phases
+//! shows them as spans in a Chrome trace for free. Phases are not
+//! lexically scoped (a phase closes at the *next* `enter`), hence the
+//! `B`/`E` pair form rather than an RAII span.
 
 use std::time::{Duration, Instant};
 
@@ -61,6 +68,7 @@ impl PhaseTimer {
     /// Enters `phase`, closing any currently open phase first.
     pub fn enter(&mut self, phase: &'static str) {
         self.finish_current();
+        soi_obs::trace::begin(phase);
         self.current = Some((phase, Instant::now()));
     }
 
@@ -71,6 +79,7 @@ impl PhaseTimer {
 
     fn finish_current(&mut self) {
         if let Some((phase, started)) = self.current.take() {
+            soi_obs::trace::end(phase);
             let elapsed = started.elapsed();
             if let Some(entry) = self.phases.iter_mut().find(|(name, _)| *name == phase) {
                 entry.1 += elapsed;

@@ -29,6 +29,7 @@ use crate::describe::objective::objective;
 use crate::describe::{DescribeOutcome, DescribeParams, DescribeStats};
 use soi_common::{CellId, FxHashMap, PhotoId, Result, SoiError};
 use soi_data::PhotoCollection;
+use soi_obs::names::phases;
 
 /// Per-cell incremental bound state.
 struct CellAcc {
@@ -113,6 +114,7 @@ pub fn st_rel_div_with_scratch(
             )));
         }
     }
+    let _query_span = soi_obs::trace::span(soi_obs::names::spans::DESCRIBE_QUERY);
     let mut stats = DescribeStats::default();
 
     let mut selected: Vec<PhotoId> = Vec::with_capacity(params.k.min(ctx.members.len()));
@@ -124,7 +126,7 @@ pub fn st_rel_div_with_scratch(
     chosen.resize(photos.len(), false);
     photo_acc.clear();
 
-    stats.timer.enter("filtering");
+    stats.timer.enter(phases::FILTERING);
     cells.clear();
     cells.extend(ctx.index.occupied().iter().map(|&id| {
         let (rel_lo, rel_hi) = cell_rel_bounds(ctx, params.w, id);
@@ -174,7 +176,7 @@ pub fn st_rel_div_with_scratch(
 
     while selected.len() < params.k && selected.len() < ctx.members.len() {
         // --- Filtering phase: per-cell mmr bounds from the accumulators.
-        stats.timer.enter("filtering");
+        stats.timer.enter(phases::FILTERING);
         let use_div = params.k > 1 && !selected.is_empty();
         candidates.clear();
         let mut mmr_min = f64::NEG_INFINITY;
@@ -202,7 +204,7 @@ pub fn st_rel_div_with_scratch(
         candidates.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
         // --- Refinement phase: exact mmr over surviving cells.
-        stats.timer.enter("refinement");
+        stats.timer.enter(phases::REFINEMENT);
         let mut best: Option<(f64, PhotoId)> = None;
         for (idx, &(c, hi)) in candidates.iter().enumerate() {
             if let Some((bv, _)) = best {
@@ -243,7 +245,7 @@ pub fn st_rel_div_with_scratch(
         chosen[next.index()] = true;
 
         // --- Incremental updates for the new selection.
-        stats.timer.enter("filtering");
+        stats.timer.enter(phases::FILTERING);
         let next_cell = ctx
             .index
             .grid()
@@ -269,6 +271,8 @@ pub fn st_rel_div_with_scratch(
     scratch.cells = cells;
     scratch.candidates = candidates;
     scratch.photo_acc = photo_acc;
+
+    crate::obs::absorb_describe_stats(&stats);
 
     Ok(DescribeOutcome {
         selected,

@@ -31,5 +31,6 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod describe;
+pub mod obs;
 pub mod route;
 pub mod soi;

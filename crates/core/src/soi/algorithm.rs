@@ -45,6 +45,11 @@ use soi_data::PoiCollection;
 use soi_index::PoiIndex;
 use soi_network::RoadNetwork;
 
+/// Source accesses between sampled UB/LBk trace-counter emissions: dense
+/// enough to show the convergence curve, sparse enough to stay invisible
+/// in the timings (a power of two so the modulo folds to a mask).
+const UB_SAMPLE_EVERY: usize = 64;
+
 /// Per-segment state during filtering: the *partial* / *final* states of
 /// Section 3.2.2.
 struct SegState {
@@ -244,6 +249,7 @@ pub fn run_soi_with_scratch(
     scratch: &mut SoiScratch,
 ) -> Result<SoiOutcome> {
     query.validate()?;
+    let _query_span = soi_obs::trace::span(soi_obs::names::spans::SOI_QUERY);
     let mut stats = QueryStats::default();
     stats.timer.enter(phases::CONSTRUCTION);
 
@@ -472,6 +478,12 @@ pub fn run_soi_with_scratch(
             continue;
         }
         stats.accesses += 1;
+        // Sampled convergence tracks: with tracing on, a Chrome trace shows
+        // UB descending onto LBk over the filtering phase.
+        if stats.accesses % UB_SAMPLE_EVERY == 0 {
+            soi_obs::trace::counter(soi_obs::names::tracks::SOI_UB, ub);
+            soi_obs::trace::counter(soi_obs::names::tracks::SOI_LBK, lbk);
+        }
     }
 
     stats.termination_ub = ub;
@@ -562,6 +574,8 @@ pub fn run_soi_with_scratch(
     scratch.segs_near_cell = segs_near_cell;
     scratch.unvisited = unvisited;
     scratch.seen = seen;
+
+    crate::obs::absorb_query_stats(&stats);
 
     Ok(SoiOutcome { results, stats })
 }

@@ -4,16 +4,12 @@ use soi_common::PhaseTimer;
 use std::time::Duration;
 
 /// Phase names used by the SOI algorithm (matching Fig. 4's breakdown).
-pub mod phases {
-    /// Source-list construction (Alg. 1 lines 1–7).
-    pub const CONSTRUCTION: &str = "construction";
-    /// Filtering: source accesses until `UB ≤ LBk` (lines 8–24).
-    pub const FILTERING: &str = "filtering";
-    /// Refinement: finalising seen segments (lines 25–28).
-    pub const REFINEMENT: &str = "refinement";
-    /// Whole-scan phase of the BL baseline.
-    pub const SCAN: &str = "scan";
-}
+///
+/// These are the workspace-wide canonical constants from
+/// [`soi_obs::names::phases`], re-exported here so existing
+/// `stats::phases::…` call sites keep working while timers, traces, and
+/// logs all agree on the same strings.
+pub use soi_obs::names::phases;
 
 /// Work counters and phase timings of one query evaluation.
 #[derive(Debug, Clone, Default)]

@@ -96,6 +96,101 @@ pub struct BatchStats {
     pub accesses: usize,
 }
 
+/// Machine-readable telemetry snapshot of one batch: the aggregated
+/// [`BatchStats`] plus the per-query latency distribution and the ε-map
+/// cache counters — the superset the `--stats-json` CLI flag emits.
+///
+/// The latency list holds one entry per *successful* query, in input
+/// order, so exact percentiles (not histogram estimates) are available
+/// per batch. The ε-map cache counters are the process-cumulative values
+/// sampled when the batch finished: the cache is state shared across
+/// batches (and warmed by API users such as the experiment harness), not
+/// per-batch, so a delta view belongs to the caller.
+#[derive(Debug, Clone, Default)]
+pub struct EngineTelemetry {
+    /// The aggregated batch counters.
+    pub stats: BatchStats,
+    /// Per-query wall-clock latency of each successful query, input order.
+    pub query_latencies: Vec<Duration>,
+    /// `soi_epsilon_cache_hits_total` at batch completion.
+    pub eps_cache_hits: u64,
+    /// `soi_epsilon_cache_misses_total` at batch completion.
+    pub eps_cache_misses: u64,
+    /// `soi_epsilon_cache_evictions_total` at batch completion.
+    pub eps_cache_evictions: u64,
+}
+
+impl EngineTelemetry {
+    /// Exact `q`-quantile (`0 ≤ q ≤ 1`) of the per-query latencies: the
+    /// `⌈q·n⌉`-th smallest. `None` when no query succeeded.
+    pub fn latency_quantile(&self, q: f64) -> Option<Duration> {
+        if self.query_latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = self.query_latencies.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let rank = (q.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+        sorted.get(rank.saturating_sub(1)).copied()
+    }
+
+    /// Median per-query latency.
+    pub fn latency_p50(&self) -> Option<Duration> {
+        self.latency_quantile(0.50)
+    }
+
+    /// 95th-percentile per-query latency.
+    pub fn latency_p95(&self) -> Option<Duration> {
+        self.latency_quantile(0.95)
+    }
+
+    /// 99th-percentile per-query latency.
+    pub fn latency_p99(&self) -> Option<Duration> {
+        self.latency_quantile(0.99)
+    }
+
+    /// Renders the snapshot as a JSON object (the `--stats-json` payload).
+    pub fn to_json(&self) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let mut obj = soi_obs::json::JsonWriter::object();
+        obj.field_u64("queries", self.stats.queries as u64);
+        obj.field_u64("errors", self.stats.errors as u64);
+        obj.field_u64("threads", self.stats.threads as u64);
+        obj.field_f64("wall_time_ms", ms(self.stats.wall_time));
+        obj.field_f64("queries_per_second", self.stats.queries_per_second());
+        let mut counters = soi_obs::json::JsonWriter::object();
+        counters.field_u64("cells_popped", self.stats.cells_popped as u64);
+        counters.field_u64("segments_popped", self.stats.segments_popped as u64);
+        counters.field_u64("cell_visits", self.stats.cell_visits as u64);
+        counters.field_u64("segments_seen", self.stats.segments_seen as u64);
+        counters.field_u64(
+            "segments_bounded_out",
+            self.stats.segments_bounded_out as u64,
+        );
+        counters.field_u64("accesses", self.stats.accesses as u64);
+        obj.field_raw("counters", &counters.finish());
+        let mut latency = soi_obs::json::JsonWriter::object();
+        latency.field_u64("samples", self.query_latencies.len() as u64);
+        for (key, q) in [("p50_ms", 0.50), ("p95_ms", 0.95), ("p99_ms", 0.99)] {
+            match self.latency_quantile(q) {
+                Some(d) => latency.field_f64(key, ms(d)),
+                None => latency.field_raw(key, "null"),
+            }
+        }
+        match self.query_latencies.iter().max() {
+            Some(&d) => latency.field_f64("max_ms", ms(d)),
+            None => latency.field_raw("max_ms", "null"),
+        }
+        obj.field_raw("latency", &latency.finish());
+        let mut eps = soi_obs::json::JsonWriter::object();
+        eps.field_u64("hits", self.eps_cache_hits);
+        eps.field_u64("misses", self.eps_cache_misses);
+        eps.field_u64("evictions", self.eps_cache_evictions);
+        obj.field_raw("eps_cache", &eps.finish());
+        obj.finish()
+    }
+}
+
 impl BatchStats {
     fn absorb(&mut self, stats: &QueryStats) {
         self.cells_popped += stats.cells_popped;
@@ -126,6 +221,9 @@ pub struct BatchOutcome {
     pub results: Vec<Result<SoiOutcome>>,
     /// Aggregated batch statistics.
     pub stats: BatchStats,
+    /// The machine-readable telemetry snapshot (per-query latencies,
+    /// ε-cache counters) superseding the plain `stats`.
+    pub telemetry: EngineTelemetry,
 }
 
 /// A batched query executor with a fixed worker count.
@@ -154,19 +252,23 @@ impl QueryEngine {
     /// [`run_soi`](soi_core::soi::run_soi) sequentially, for any worker
     /// count.
     pub fn run_soi_batch(&self, ctx: &Arc<QueryContext<'_>>, queries: &[SoiQuery]) -> BatchOutcome {
+        let _batch_span = soi_obs::trace::span(soi_obs::names::spans::ENGINE_BATCH);
         let start = Instant::now();
-        let mut results = self.dispatch(queries, || {
+        let timed = self.dispatch(queries, || {
             let ctx = Arc::clone(ctx);
             let mut scratch = SoiScratch::default();
             move |query: &SoiQuery| {
-                run_soi_with_scratch(
+                let _span = soi_obs::trace::span(soi_obs::names::spans::ENGINE_QUERY);
+                let started = Instant::now();
+                let result = run_soi_with_scratch(
                     ctx.network,
                     ctx.pois,
                     ctx.index,
                     query,
                     &ctx.config,
                     &mut scratch,
-                )
+                );
+                (result, started.elapsed())
             }
         });
         let mut stats = BatchStats {
@@ -174,19 +276,35 @@ impl QueryEngine {
             threads: self.threads,
             ..BatchStats::default()
         };
-        for result in results.iter_mut().flatten() {
-            match result {
-                Ok(outcome) => stats.absorb(&outcome.stats),
+        let mut query_latencies = Vec::with_capacity(queries.len());
+        let mut results = Vec::with_capacity(queries.len());
+        // Every slot is claimed exactly once by the counter protocol, so no
+        // `None` survives; `flatten` keeps the invariant checked without
+        // panicking.
+        for (result, latency) in timed.into_iter().flatten() {
+            match &result {
+                Ok(outcome) => {
+                    stats.absorb(&outcome.stats);
+                    query_latencies.push(latency);
+                }
                 Err(_) => stats.errors += 1,
             }
+            results.push(result);
         }
         stats.wall_time = start.elapsed();
+        let (eps_cache_hits, eps_cache_misses, eps_cache_evictions) =
+            soi_index::obs::epsilon_cache_counters();
+        let telemetry = EngineTelemetry {
+            stats: stats.clone(),
+            query_latencies,
+            eps_cache_hits,
+            eps_cache_misses,
+            eps_cache_evictions,
+        };
         BatchOutcome {
-            // Every slot is claimed exactly once by the counter protocol, so
-            // no `None` survives; `flatten` above plus this unwrap-by-match
-            // keeps the invariant checked without panicking.
-            results: results.into_iter().flatten().collect(),
+            results,
             stats,
+            telemetry,
         }
     }
 
@@ -201,9 +319,11 @@ impl QueryEngine {
         photos: &PhotoCollection,
         jobs: &[(&StreetContext, DescribeParams)],
     ) -> Vec<Result<DescribeOutcome>> {
+        let _batch_span = soi_obs::trace::span(soi_obs::names::spans::ENGINE_BATCH);
         self.dispatch(jobs, || {
             let mut scratch = DescribeScratch::default();
             move |(ctx, params): &(&StreetContext, DescribeParams)| {
+                let _span = soi_obs::trace::span(soi_obs::names::spans::ENGINE_QUERY);
                 st_rel_div_with_scratch(ctx, photos, params, &mut scratch)
             }
         })
@@ -402,6 +522,84 @@ mod tests {
                 assert_eq!(got.objective.to_bits(), want.objective.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn telemetry_reports_latencies_and_parses_as_json() {
+        let (dataset, index) = fixture();
+        let queries = queries(&dataset);
+        let ctx = Arc::new(QueryContext::new(&dataset.network, &dataset.pois, &index));
+        let batch = QueryEngine::new(2).run_soi_batch(&ctx, &queries);
+        let t = &batch.telemetry;
+        assert_eq!(t.stats.queries, queries.len());
+        assert_eq!(
+            t.query_latencies.len(),
+            queries.len(),
+            "one latency per success"
+        );
+        let p50 = t.latency_p50().expect("non-empty batch has a median");
+        let p99 = t.latency_p99().expect("non-empty batch has a p99");
+        assert!(p50 <= p99);
+        assert!(t.query_latencies.iter().sum::<Duration>() >= p50);
+
+        let json = t.to_json();
+        let parsed = soi_obs::json::parse(&json).expect("telemetry JSON parses");
+        assert_eq!(
+            parsed.get("queries").and_then(|v| v.as_f64()),
+            Some(queries.len() as f64)
+        );
+        assert_eq!(
+            parsed
+                .get("latency")
+                .and_then(|l| l.get("samples"))
+                .and_then(|v| v.as_f64()),
+            Some(queries.len() as f64)
+        );
+        assert!(parsed
+            .get("latency")
+            .and_then(|l| l.get("p50_ms"))
+            .and_then(|v| v.as_f64())
+            .is_some());
+        assert!(parsed
+            .get("eps_cache")
+            .and_then(|e| e.get("hits"))
+            .and_then(|v| v.as_f64())
+            .is_some());
+        assert!(parsed
+            .get("counters")
+            .and_then(|c| c.get("accesses"))
+            .and_then(|v| v.as_f64())
+            .is_some());
+    }
+
+    #[test]
+    fn telemetry_reports_eps_cache_hits_for_repeated_eps() {
+        let (dataset, index) = fixture();
+        let queries = queries(&dataset); // all queries share ε = 0.0005
+                                         // An API user (the experiment harness, a service warm-up) fetches
+                                         // the eager ε-maps for the batch's repeated ε; the cache must serve
+                                         // the repeats and the batch telemetry must report the hits.
+        for q in &queries {
+            let _ = index.epsilon_maps(&dataset.network, q.eps);
+        }
+        let ctx = Arc::new(QueryContext::new(&dataset.network, &dataset.pois, &index));
+        let batch = QueryEngine::new(1).run_soi_batch(&ctx, &queries);
+        assert!(
+            batch.telemetry.eps_cache_hits > 0,
+            "repeated-ε warm-up must register cache hits in the telemetry"
+        );
+        assert!(batch.telemetry.eps_cache_misses > 0);
+    }
+
+    #[test]
+    fn empty_latency_quantiles_are_none() {
+        let t = EngineTelemetry::default();
+        assert_eq!(t.latency_p50(), None);
+        let parsed = soi_obs::json::parse(&t.to_json()).expect("parses");
+        assert!(matches!(
+            parsed.get("latency").and_then(|l| l.get("p50_ms")),
+            Some(soi_obs::json::Json::Null)
+        ));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 fn main() {
     let scale = soi_experiments::default_scale();
-    eprintln!("loading cities at scale {scale} (set SOI_SCALE to change)...");
+    soi_experiments::announce_loading(scale);
     let cities = soi_experiments::standard_cities(scale);
     let report = soi_experiments::experiments::figure5::run(&cities);
     println!("{}", report.to_markdown());

@@ -21,3 +21,15 @@ pub mod table;
 
 pub use fixture::{default_scale, standard_cities, CityFixture, EPS, RHO};
 pub use table::TextTable;
+
+/// Applies `SOI_LOG` (`json`/`text`/`off`) to the process-wide log mode
+/// and announces the city load. Every experiment binary calls this first,
+/// so `SOI_LOG=json table1` yields machine-readable progress on stderr.
+pub fn announce_loading(scale: f64) {
+    soi_obs::log::init_from_env();
+    soi_obs::log::event(
+        "exp.load",
+        "loading cities (set SOI_SCALE to change)",
+        &[("scale", soi_obs::log::Value::F64(scale))],
+    );
+}

@@ -34,6 +34,7 @@ pub mod bloom;
 pub mod div_index;
 pub mod epsilon;
 pub mod ir_tree;
+pub mod obs;
 pub mod photo_grid;
 pub mod poi_index;
 

@@ -77,6 +77,7 @@ impl EpsCache {
                 break;
             };
             self.entries.remove(&victim);
+            crate::obs::index_metrics().eps_cache_evictions.inc();
         }
         out
     }
@@ -157,6 +158,9 @@ impl PoiIndex {
         threads: usize,
     ) -> Self {
         let threads = effective_threads((threads > 0).then_some(threads));
+        let build_span = soi_obs::trace::span(soi_obs::names::spans::INDEX_BUILD);
+        soi_obs::trace::counter(soi_obs::names::tracks::INDEX_BUILD_THREADS, threads as f64);
+        let build_start = std::time::Instant::now();
         let extent = match (network.extent(), pois.extent()) {
             (Some(a), Some(b)) => a.union(&b),
             (Some(a), None) => a,
@@ -165,6 +169,7 @@ impl PoiIndex {
         };
         let grid = Grid::covering(extent, cell_size);
 
+        let phase1_span = soi_obs::trace::span(soi_obs::names::spans::INDEX_BUILD_FLATTEN);
         // Phase 1 — one cache-friendly pass over the POI slice per chunk:
         // emit the packed (cell ‖ poi) bucket key for every indexable POI,
         // and flatten all keyword sets into a CSR sidecar (per-POI counts +
@@ -230,6 +235,9 @@ impl PoiIndex {
             }
             groups.push((CellId(cell), s, i));
         }
+
+        drop(phase1_span);
+        let phase2_span = soi_obs::trace::span(soi_obs::names::spans::INDEX_BUILD_CELLS);
 
         // Per-cell (keyword, poi) ordering: with a dense vocabulary, one
         // stable counting pass per cell over a reusable histogram sorts the
@@ -336,6 +344,9 @@ impl PoiIndex {
             all_triples.extend(triples);
         }
 
+        drop(phase2_span);
+        let phase3_span = soi_obs::trace::span(soi_obs::names::spans::INDEX_BUILD_GLOBAL);
+
         // Phase 3 — global inverted index: the packed keys order by
         // (keyword asc, weight desc in totalOrder, cell asc) — the same
         // total order as the sequential per-list sorts — and are unique per
@@ -359,6 +370,9 @@ impl PoiIndex {
             );
             i = j;
         }
+
+        drop(phase3_span);
+        let phase4_span = soi_obs::trace::span(soi_obs::names::spans::INDEX_BUILD_RASTER);
 
         // Phase 4 — static raster map: rasterise segments in parallel chunks
         // into packed (cell ‖ segment) keys. Keys are unique (a segment hits
@@ -406,6 +420,9 @@ impl PoiIndex {
             i = j;
         }
 
+        drop(phase4_span);
+        let phase5_span = soi_obs::trace::span(soi_obs::names::spans::INDEX_BUILD_LENGTHS);
+
         // Phase 5 — length-sorted segment list (the SL3 order): precompute
         // the keys once and sort by the (length, id) total order.
         let mut len_keys: Vec<(f64, SegmentId)> = segs.iter().map(|s| (s.len(), s.id)).collect();
@@ -413,6 +430,12 @@ impl PoiIndex {
             a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1))
         });
         let segments_by_len = len_keys.into_iter().map(|(_, id)| id).collect();
+
+        drop(phase5_span);
+        drop(build_span);
+        let m = crate::obs::index_metrics();
+        m.builds.inc();
+        m.build_seconds.observe_duration(build_start.elapsed());
 
         Self {
             grid,
@@ -625,9 +648,14 @@ impl PoiIndex {
     pub fn epsilon_maps(&self, network: &RoadNetwork, eps: f64) -> Arc<EpsilonMaps> {
         let key = eps.to_bits();
         if let Some(maps) = self.eps_cache.lock().get(key) {
+            crate::obs::index_metrics().eps_cache_hits.inc();
             return maps;
         }
-        let maps = Arc::new(EpsilonMaps::build(network, self, eps));
+        crate::obs::index_metrics().eps_cache_misses.inc();
+        let maps = {
+            let _span = soi_obs::trace::span(soi_obs::names::spans::EPS_MAPS_BUILD);
+            Arc::new(EpsilonMaps::build(network, self, eps))
+        };
         self.eps_cache.lock().insert(key, maps)
     }
 
@@ -887,6 +915,26 @@ mod tests {
         let c = index.epsilon_maps(&network, 0.7);
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(index.epsilon_cache_len(), 2);
+    }
+
+    #[test]
+    fn epsilon_cache_counters_track_hits_misses_evictions() {
+        // The counters are process-global (shared with parallel tests), so
+        // assert on deltas with ≥.
+        let (network, _, index) = setup();
+        let (h0, m0, e0) = crate::obs::epsilon_cache_counters();
+        index.epsilon_maps(&network, 0.31); // miss
+        index.epsilon_maps(&network, 0.31); // hit
+        index.epsilon_maps(&network, 0.31); // hit
+        let (h1, m1, _) = crate::obs::epsilon_cache_counters();
+        assert!(h1 >= h0 + 2, "repeated-ε lookups must count as hits");
+        assert!(m1 > m0, "first lookup must count as a miss");
+        // Overflow the LRU: evictions must be counted.
+        for i in 1..=EPS_CACHE_CAPACITY + 2 {
+            index.epsilon_maps(&network, 0.31 + i as f64 * 0.01);
+        }
+        let (_, _, e1) = crate::obs::epsilon_cache_counters();
+        assert!(e1 >= e0 + 2, "LRU overflow must count evictions");
     }
 
     #[test]

@@ -1,0 +1,479 @@
+//! Process-wide metrics: counters, gauges, and latency histograms.
+//!
+//! Metrics are registered once by name ([`register_counter`],
+//! [`register_gauge`], [`register_histogram`]) and live for the process
+//! (`Box::leak`), so instruments are plain `&'static` handles that hot
+//! paths can cache in `OnceLock`s and bump with a single atomic op — no
+//! locking and no hashing on the record path. Registration is idempotent:
+//! re-registering a name returns the existing instrument, which keeps
+//! per-crate `register_metrics()` hooks and parallel tests safe.
+//!
+//! [`gather`] renders the whole registry in the Prometheus text
+//! exposition format (the `soi metrics` CLI command); [`gather_prefixed`]
+//! restricts to one name prefix, which tests use to stay independent of
+//! whatever else the process has recorded.
+
+use crate::json::write_f64;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Default histogram buckets for query-scale latencies, in seconds
+/// (100 µs – 10 s, roughly logarithmic; Prometheus-style `le` bounds).
+pub const DEFAULT_LATENCY_BUCKETS: &[f64] = &[
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0,
+];
+
+/// A monotonically increasing integer counter.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (thread counts, cache sizes).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    const fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: f64) {
+        let _ = self
+            .bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + delta).to_bits())
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram with cumulative (`le`) bucket counts, in the
+/// Prometheus style. Percentiles ([`HistogramSnapshot::quantile`]) are
+/// estimated by linear interpolation inside the owning bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper bounds, strictly increasing; an implicit `+Inf` bucket
+    /// follows the last bound.
+    bounds: Vec<f64>,
+    /// Non-cumulative per-bucket counts, one per bound plus the `+Inf`
+    /// overflow bucket.
+    counts: Vec<AtomicU64>,
+    /// Sum of observed values, as f64 bits (CAS-updated).
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        let bounds: Vec<f64> = bounds.to_vec();
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds,
+            counts,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v).to_bits())
+            });
+    }
+
+    /// Records one observation given as a [`std::time::Duration`].
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// A consistent-enough point-in-time copy for rendering and
+    /// percentile estimation.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (the final `+Inf` bucket is implicit).
+    pub bounds: Vec<f64>,
+    /// Non-cumulative per-bucket counts; `counts.len() == bounds.len()+1`.
+    pub counts: Vec<u64>,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) by linear
+    /// interpolation inside the bucket that holds the target rank. Returns
+    /// `None` when the histogram is empty. Values landing in the `+Inf`
+    /// bucket are reported as the largest finite bound.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let upto = seen + c;
+            if (upto as f64) >= rank {
+                let Some(&hi) = self.bounds.get(i) else {
+                    // +Inf bucket: the honest answer is "beyond the last
+                    // bound"; report that bound.
+                    return self.bounds.last().copied();
+                };
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let frac = ((rank - seen as f64) / c as f64).clamp(0.0, 1.0);
+                return Some(lo + (hi - lo) * frac);
+            }
+            seen = upto;
+        }
+        self.bounds.last().copied()
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+}
+
+enum Instrument {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    instrument: Instrument,
+}
+
+fn registry() -> &'static Mutex<Vec<Entry>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Entry>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn with_registry<R>(f: impl FnOnce(&mut Vec<Entry>) -> R) -> R {
+    // A poisoned registry only means some other panicking thread held the
+    // lock mid-push; the Vec itself is still usable.
+    let mut entries = match registry().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    f(&mut entries)
+}
+
+/// Registers (or fetches) the counter `name`. The first registration wins;
+/// later calls return the existing instrument and ignore `help`.
+pub fn register_counter(name: &'static str, help: &'static str) -> &'static Counter {
+    with_registry(|entries| {
+        for e in entries.iter() {
+            if e.name == name {
+                if let Instrument::Counter(c) = e.instrument {
+                    return c;
+                }
+            }
+        }
+        let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+        entries.push(Entry {
+            name,
+            help,
+            instrument: Instrument::Counter(c),
+        });
+        c
+    })
+}
+
+/// Registers (or fetches) the gauge `name`.
+pub fn register_gauge(name: &'static str, help: &'static str) -> &'static Gauge {
+    with_registry(|entries| {
+        for e in entries.iter() {
+            if e.name == name {
+                if let Instrument::Gauge(g) = e.instrument {
+                    return g;
+                }
+            }
+        }
+        let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+        entries.push(Entry {
+            name,
+            help,
+            instrument: Instrument::Gauge(g),
+        });
+        g
+    })
+}
+
+/// Registers (or fetches) the histogram `name` with the given bucket
+/// upper bounds (strictly increasing; a `+Inf` bucket is implicit).
+pub fn register_histogram(
+    name: &'static str,
+    help: &'static str,
+    buckets: &[f64],
+) -> &'static Histogram {
+    with_registry(|entries| {
+        for e in entries.iter() {
+            if e.name == name {
+                if let Instrument::Histogram(h) = e.instrument {
+                    return h;
+                }
+            }
+        }
+        let h: &'static Histogram = Box::leak(Box::new(Histogram::new(buckets)));
+        entries.push(Entry {
+            name,
+            help,
+            instrument: Instrument::Histogram(h),
+        });
+        h
+    })
+}
+
+fn fmt_bound(b: f64) -> String {
+    let mut s = String::new();
+    write_f64(&mut s, b);
+    s
+}
+
+fn render_entry(out: &mut String, e: &Entry) {
+    let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+    match e.instrument {
+        Instrument::Counter(c) => {
+            let _ = writeln!(out, "# TYPE {} counter", e.name);
+            let _ = writeln!(out, "{} {}", e.name, c.get());
+        }
+        Instrument::Gauge(g) => {
+            let _ = writeln!(out, "# TYPE {} gauge", e.name);
+            let mut v = String::new();
+            write_f64(&mut v, g.get());
+            let _ = writeln!(out, "{} {}", e.name, v);
+        }
+        Instrument::Histogram(h) => {
+            let _ = writeln!(out, "# TYPE {} histogram", e.name);
+            let snap = h.snapshot();
+            let mut cumulative = 0u64;
+            for (i, &b) in snap.bounds.iter().enumerate() {
+                cumulative += snap.counts[i];
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{{le=\"{}\"}} {}",
+                    e.name,
+                    fmt_bound(b),
+                    cumulative
+                );
+            }
+            let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", e.name, snap.count);
+            let mut sum = String::new();
+            write_f64(&mut sum, snap.sum);
+            let _ = writeln!(out, "{}_sum {}", e.name, sum);
+            let _ = writeln!(out, "{}_count {}", e.name, snap.count);
+        }
+    }
+}
+
+/// Renders every registered metric in the Prometheus text exposition
+/// format, sorted by name.
+pub fn gather() -> String {
+    gather_prefixed("")
+}
+
+/// Renders registered metrics whose name starts with `prefix` (tests use
+/// a unique prefix to stay independent of the shared registry).
+pub fn gather_prefixed(prefix: &str) -> String {
+    with_registry(|entries| {
+        let mut selected: Vec<&Entry> = entries
+            .iter()
+            .filter(|e| e.name.starts_with(prefix))
+            .collect();
+        selected.sort_by_key(|e| e.name);
+        let mut out = String::new();
+        for e in selected {
+            render_entry(&mut out, e);
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_registration_is_idempotent() {
+        let a = register_counter("obs_test_counter_total", "test counter");
+        let b = register_counter("obs_test_counter_total", "other help");
+        assert!(std::ptr::eq(a, b));
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = register_gauge("obs_test_gauge", "test gauge");
+        g.set(4.0);
+        g.add(-1.5);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        for v in [0.5, 1.5, 1.5, 3.0, 3.0, 3.0, 5.0, 5.0, 7.0, 100.0] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 10);
+        assert_eq!(snap.counts, vec![1, 2, 3, 3, 1]);
+        assert!((snap.sum - 129.5).abs() < 1e-9);
+        // Rank 5 of 10 falls in the (2,4] bucket.
+        let p50 = snap.p50().unwrap();
+        assert!(p50 > 2.0 && p50 <= 4.0, "p50 = {p50}");
+        // Rank 9.5 of 10 falls in the (4,8] bucket.
+        let p95 = snap.p95().unwrap();
+        assert!(p95 > 4.0 && p95 <= 8.0, "p95 = {p95}");
+        // Rank 9.9 lands in the +Inf bucket → clamped to the last bound.
+        assert_eq!(snap.p99(), Some(8.0));
+        assert_eq!(Histogram::new(&[1.0]).snapshot().p50(), None);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        let h = Histogram::new(&[10.0, 20.0]);
+        for _ in 0..10 {
+            h.observe(15.0);
+        }
+        let snap = h.snapshot();
+        // All mass in (10,20]: q=0.5 → 10 + 10*0.5 = 15.
+        assert!((snap.quantile(0.5).unwrap() - 15.0).abs() < 1e-9);
+        assert!((snap.quantile(1.0).unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prometheus_text_format() {
+        let c = register_counter("obs_fmt_requests_total", "requests seen");
+        c.add(7);
+        let h = register_histogram("obs_fmt_latency_seconds", "latency", &[0.001, 0.01, 0.1]);
+        h.observe(0.0005);
+        h.observe(0.05);
+        h.observe(3.0);
+        let text = gather_prefixed("obs_fmt_");
+        let expected = "\
+# HELP obs_fmt_latency_seconds latency
+# TYPE obs_fmt_latency_seconds histogram
+obs_fmt_latency_seconds_bucket{le=\"0.001\"} 1
+obs_fmt_latency_seconds_bucket{le=\"0.01\"} 1
+obs_fmt_latency_seconds_bucket{le=\"0.1\"} 2
+obs_fmt_latency_seconds_bucket{le=\"+Inf\"} 3
+obs_fmt_latency_seconds_sum 3.0505
+obs_fmt_latency_seconds_count 3
+# HELP obs_fmt_requests_total requests seen
+# TYPE obs_fmt_requests_total counter
+obs_fmt_requests_total 7
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn gather_prefixed_filters() {
+        register_counter("obs_filter_a_total", "a");
+        register_counter("obs_filter_b_total", "b");
+        let text = gather_prefixed("obs_filter_a");
+        assert!(text.contains("obs_filter_a_total"));
+        assert!(!text.contains("obs_filter_b_total"));
+    }
+
+    #[test]
+    fn default_latency_buckets_are_increasing() {
+        assert!(DEFAULT_LATENCY_BUCKETS.windows(2).all(|w| w[0] < w[1]));
+    }
+}

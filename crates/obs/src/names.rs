@@ -1,0 +1,102 @@
+//! Canonical span and phase names.
+//!
+//! Every layer that times, traces, or logs a unit of work refers to it by
+//! one of these constants, so a phase shows up under the same string in
+//! `QueryStats` timers, Chrome traces, metric labels, and JSON logs. The
+//! full taxonomy (and how to read a trace built from it) is documented in
+//! DESIGN.md § Observability.
+
+/// Algorithm phase names (the paper's per-phase runtime breakdowns).
+pub mod phases {
+    /// Alg. 1 source-list construction (lines 1–7).
+    pub const CONSTRUCTION: &str = "construction";
+    /// Alg. 1 filtering: source accesses until `UB ≤ LBk` (lines 8–24);
+    /// also Alg. 2's per-step cell-bound filtering.
+    pub const FILTERING: &str = "filtering";
+    /// Alg. 1 refinement: finalising seen segments (lines 25–28); also
+    /// Alg. 2's exact-`mmr` refinement of surviving cells.
+    pub const REFINEMENT: &str = "refinement";
+    /// Whole-scan phase of the BL baselines.
+    pub const SCAN: &str = "scan";
+}
+
+/// Span names (dotted hierarchy: `layer.operation[.phase]`).
+pub mod spans {
+    /// One k-SOI query evaluation (`run_soi`), all phases.
+    pub const SOI_QUERY: &str = "soi.query";
+    /// One diversified-description query (`st_rel_div`), all steps.
+    pub const DESCRIBE_QUERY: &str = "describe.query";
+    /// One engine batch, fan-out to join.
+    pub const ENGINE_BATCH: &str = "engine.batch";
+    /// One query inside an engine batch (per worker thread).
+    pub const ENGINE_QUERY: &str = "engine.query";
+    /// Offline POI index construction, all phases.
+    pub const INDEX_BUILD: &str = "index.build";
+    /// Index build phase 1: per-POI flatten into packed keys + CSR sidecar.
+    pub const INDEX_BUILD_FLATTEN: &str = "index.build.flatten";
+    /// Index build phase 2: per-cell structures (local inverted indexes).
+    pub const INDEX_BUILD_CELLS: &str = "index.build.cells";
+    /// Index build phase 3: global inverted index.
+    pub const INDEX_BUILD_GLOBAL: &str = "index.build.global";
+    /// Index build phase 4: raster cell↔segment map.
+    pub const INDEX_BUILD_RASTER: &str = "index.build.raster";
+    /// Index build phase 5: length-sorted segment list.
+    pub const INDEX_BUILD_LENGTHS: &str = "index.build.lengths";
+    /// Query-time ε-augmented map construction (an ε-cache miss).
+    pub const EPS_MAPS_BUILD: &str = "index.eps_maps.build";
+    /// A whole CLI command (`cli.query`, `cli.batch`, … are derived by
+    /// appending the subcommand to this prefix).
+    pub const CLI_PREFIX: &str = "cli.";
+    /// Dataset load from disk.
+    pub const CLI_LOAD: &str = "cli.load";
+}
+
+/// Counter-track names (sampled values plotted over time in a trace).
+pub mod tracks {
+    /// Alg. 1 unseen upper bound `UB`, sampled during filtering.
+    pub const SOI_UB: &str = "soi.UB";
+    /// Alg. 1 k-th seen lower bound `LBk`, sampled during filtering.
+    pub const SOI_LBK: &str = "soi.LBk";
+    /// Worker-thread count of an index build.
+    pub const INDEX_BUILD_THREADS: &str = "index.build.threads";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_are_distinct() {
+        let all = [
+            phases::CONSTRUCTION,
+            phases::FILTERING,
+            phases::REFINEMENT,
+            phases::SCAN,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn span_names_follow_dotted_taxonomy() {
+        for name in [
+            spans::SOI_QUERY,
+            spans::DESCRIBE_QUERY,
+            spans::ENGINE_BATCH,
+            spans::ENGINE_QUERY,
+            spans::INDEX_BUILD,
+            spans::INDEX_BUILD_FLATTEN,
+            spans::INDEX_BUILD_CELLS,
+            spans::INDEX_BUILD_GLOBAL,
+            spans::INDEX_BUILD_RASTER,
+            spans::INDEX_BUILD_LENGTHS,
+            spans::EPS_MAPS_BUILD,
+            spans::CLI_LOAD,
+        ] {
+            assert!(name.contains('.'), "{name} is not dotted");
+        }
+    }
+}
