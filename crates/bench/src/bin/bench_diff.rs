@@ -1,0 +1,72 @@
+//! `bench_diff` — compare two `perf_report` JSON artifacts.
+//!
+//! Usage: `bench_diff <baseline.json> <current.json>`
+//!
+//! Prints a per-metric table with the relative change and the noise
+//! tolerance that applied, then exits with:
+//!
+//! - `0` — no metric regressed beyond its tolerance,
+//! - `2` — at least one metric regressed (the regression gate),
+//! - `1` — usage, I/O, or parse error.
+//!
+//! Tolerances are deliberately wide (10–15%) because the reports hold
+//! single-run wall-clock numbers from shared, single-core CI hosts; the
+//! gate is meant to catch real regressions, not scheduler jitter. CI runs
+//! this as an advisory job.
+
+use soi_bench::diff::{diff, DiffReport};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<soi_obs::json::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    soi_obs::json::parse(&text).map_err(|e| format!("{path}: not valid JSON ({e})"))
+}
+
+fn print_report(baseline: &str, current: &str, report: &DiffReport) {
+    println!("bench_diff: {baseline} (baseline) vs {current} (current)");
+    println!(
+        "{:<42} {:>12} {:>12} {:>9} {:>7}  verdict",
+        "metric", "baseline", "current", "change", "tol"
+    );
+    for d in &report.deltas {
+        println!(
+            "{:<42} {:>12.3} {:>12.3} {:>+8.1}% {:>6.0}%  {}",
+            d.name,
+            d.baseline,
+            d.current,
+            d.change_pct,
+            d.tolerance_pct,
+            if d.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    for s in &report.skipped {
+        println!("skipped: {s}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path] = args.as_slice() else {
+        eprintln!("usage: bench_diff <baseline.json> <current.json>");
+        return ExitCode::from(1);
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let report = diff(&baseline, &current);
+    print_report(baseline_path, current_path, &report);
+    if report.deltas.is_empty() {
+        eprintln!("bench_diff: no comparable metrics between the two reports");
+        return ExitCode::from(1);
+    }
+    if report.has_regressions() {
+        let n = report.regressions().count();
+        eprintln!("bench_diff: {n} metric(s) regressed beyond tolerance");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}

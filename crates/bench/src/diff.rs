@@ -1,0 +1,274 @@
+//! Noise-aware comparison of two `perf_report` JSON artifacts.
+//!
+//! [`diff`] extracts the comparable metrics from a baseline and a current
+//! report and flags regressions: a metric that moved in the bad direction
+//! by more than its noise tolerance. Single-run wall-clock numbers on a
+//! shared VM jitter by several percent, so each metric carries a
+//! tolerance wide enough that normal noise never trips the gate while a
+//! real (>10–15%) regression still does. Metrics present in only one of
+//! the two reports are reported as skipped, not failed — reports from
+//! different PRs legitimately gain and lose sections.
+
+use soi_obs::json::Json;
+
+/// A metric extracted from a `perf_report` artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Dotted path of the metric (e.g. `single_query.direct_p50_ms`).
+    pub name: String,
+    /// The metric value.
+    pub value: f64,
+    /// Whether larger values are better (throughput) or worse (latency).
+    pub higher_is_better: bool,
+    /// Relative noise tolerance in percent.
+    pub tolerance_pct: f64,
+}
+
+/// One baseline-vs-current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Relative change in percent (positive = current is larger).
+    pub change_pct: f64,
+    /// The tolerance that applied.
+    pub tolerance_pct: f64,
+    /// Whether the change exceeds the tolerance in the bad direction.
+    pub regressed: bool,
+}
+
+/// The outcome of comparing two reports.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Per-metric comparisons, in extraction order.
+    pub deltas: Vec<MetricDelta>,
+    /// Metrics found in exactly one of the two reports.
+    pub skipped: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether any compared metric regressed beyond its tolerance.
+    pub fn has_regressions(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// The regressed comparisons.
+    pub fn regressions(&self) -> impl Iterator<Item = &MetricDelta> {
+        self.deltas.iter().filter(|d| d.regressed)
+    }
+}
+
+/// Latency tolerance: single-run medians on a shared VM wobble ~5%.
+const LATENCY_TOL_PCT: f64 = 10.0;
+/// Build-time tolerance: tens-of-ms wall times are the noisiest numbers.
+const BUILD_TOL_PCT: f64 = 15.0;
+/// Throughput tolerance.
+const QPS_TOL_PCT: f64 = 10.0;
+
+fn num_at(doc: &Json, path: &[&str]) -> Option<f64> {
+    let mut node = doc;
+    for key in path {
+        node = node.get(key)?;
+    }
+    node.as_f64()
+}
+
+/// Extracts every comparable metric from one report document.
+pub fn extract_metrics(doc: &Json) -> Vec<Metric> {
+    let mut metrics = Vec::new();
+    let mut push = |name: &str, value: Option<f64>, higher: bool, tol: f64| {
+        if let Some(value) = value {
+            metrics.push(Metric {
+                name: name.to_string(),
+                value,
+                higher_is_better: higher,
+                tolerance_pct: tol,
+            });
+        }
+    };
+    push(
+        "index_build.new_ms",
+        num_at(doc, &["index_build", "new_ms"]),
+        false,
+        BUILD_TOL_PCT,
+    );
+    push(
+        "single_query.direct_p50_ms",
+        num_at(doc, &["single_query", "direct_p50_ms"]),
+        false,
+        LATENCY_TOL_PCT,
+    );
+    push(
+        "single_query.engine_one_worker_p50_ms",
+        num_at(doc, &["single_query", "engine_one_worker_p50_ms"]),
+        false,
+        LATENCY_TOL_PCT,
+    );
+    push(
+        "observability.traced_p50_ms",
+        num_at(doc, &["observability", "traced_p50_ms"]),
+        false,
+        LATENCY_TOL_PCT,
+    );
+    if let Some(batch) = doc.get("batch").and_then(Json::as_arr) {
+        for entry in batch {
+            let (Some(workers), Some(qps)) = (
+                entry.get("workers").and_then(Json::as_f64),
+                entry.get("qps").and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            metrics.push(Metric {
+                name: format!("batch.workers={workers}.qps"),
+                value: qps,
+                higher_is_better: true,
+                tolerance_pct: QPS_TOL_PCT,
+            });
+        }
+    }
+    metrics
+}
+
+/// Compares a baseline report against a current report.
+pub fn diff(baseline: &Json, current: &Json) -> DiffReport {
+    let base = extract_metrics(baseline);
+    let cur = extract_metrics(current);
+    let mut report = DiffReport::default();
+    for b in &base {
+        let Some(c) = cur.iter().find(|c| c.name == b.name) else {
+            report.skipped.push(format!("{} (baseline only)", b.name));
+            continue;
+        };
+        let change_pct = (c.value / b.value.max(1e-12) - 1.0) * 100.0;
+        let regressed = if b.higher_is_better {
+            change_pct < -b.tolerance_pct
+        } else {
+            change_pct > b.tolerance_pct
+        };
+        report.deltas.push(MetricDelta {
+            name: b.name.clone(),
+            baseline: b.value,
+            current: c.value,
+            change_pct,
+            tolerance_pct: b.tolerance_pct,
+            regressed,
+        });
+    }
+    for c in &cur {
+        if !base.iter().any(|b| b.name == c.name) {
+            report.skipped.push(format!("{} (current only)", c.name));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_obs::json::parse;
+
+    const REPORT: &str = r#"{
+        "index_build": {"old_ms": 50.0, "new_ms": 10.0},
+        "single_query": {"direct_p50_ms": 2.0, "engine_one_worker_p50_ms": 2.1},
+        "observability": {"traced_p50_ms": 2.2},
+        "batch": [
+            {"workers": 1, "qps": 200.0},
+            {"workers": 8, "qps": 190.0}
+        ]
+    }"#;
+
+    #[test]
+    fn self_comparison_has_no_regressions() {
+        let doc = parse(REPORT).unwrap();
+        let report = diff(&doc, &doc);
+        assert_eq!(report.deltas.len(), 6);
+        assert!(report.skipped.is_empty());
+        assert!(!report.has_regressions());
+        assert!(report.deltas.iter().all(|d| d.change_pct.abs() < 1e-9));
+    }
+
+    #[test]
+    fn degraded_latency_and_throughput_regress() {
+        let base = parse(REPORT).unwrap();
+        let degraded = parse(
+            r#"{
+            "index_build": {"new_ms": 10.5},
+            "single_query": {"direct_p50_ms": 3.0, "engine_one_worker_p50_ms": 2.1},
+            "observability": {"traced_p50_ms": 2.2},
+            "batch": [
+                {"workers": 1, "qps": 140.0},
+                {"workers": 8, "qps": 189.0}
+            ]
+        }"#,
+        )
+        .unwrap();
+        let report = diff(&base, &degraded);
+        let names: Vec<&str> = report.regressions().map(|d| d.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["single_query.direct_p50_ms", "batch.workers=1.qps"],
+            "{report:?}"
+        );
+        assert!(report.has_regressions());
+    }
+
+    #[test]
+    fn within_tolerance_drift_passes() {
+        let base = parse(REPORT).unwrap();
+        // +8% latency and -8% qps: inside the 10% tolerance.
+        let noisy = parse(
+            r#"{
+            "index_build": {"new_ms": 11.0},
+            "single_query": {"direct_p50_ms": 2.16, "engine_one_worker_p50_ms": 2.26},
+            "observability": {"traced_p50_ms": 2.37},
+            "batch": [
+                {"workers": 1, "qps": 184.0},
+                {"workers": 8, "qps": 175.0}
+            ]
+        }"#,
+        )
+        .unwrap();
+        assert!(!diff(&base, &noisy).has_regressions());
+    }
+
+    #[test]
+    fn improvements_never_regress() {
+        let base = parse(REPORT).unwrap();
+        let better = parse(
+            r#"{
+            "index_build": {"new_ms": 5.0},
+            "single_query": {"direct_p50_ms": 1.0, "engine_one_worker_p50_ms": 1.0},
+            "observability": {"traced_p50_ms": 1.1},
+            "batch": [{"workers": 1, "qps": 400.0}, {"workers": 8, "qps": 400.0}]
+        }"#,
+        )
+        .unwrap();
+        assert!(!diff(&base, &better).has_regressions());
+    }
+
+    #[test]
+    fn missing_sections_are_skipped_not_failed() {
+        let base = parse(REPORT).unwrap();
+        let sparse = parse(r#"{"single_query": {"direct_p50_ms": 2.0}}"#).unwrap();
+        let report = diff(&base, &sparse);
+        assert_eq!(report.deltas.len(), 1);
+        assert!(!report.has_regressions());
+        assert!(report
+            .skipped
+            .iter()
+            .all(|s| s.ends_with("(baseline only)")));
+        assert_eq!(report.skipped.len(), 5);
+
+        // And the reverse: current gained a metric the baseline lacks.
+        let reverse = diff(&sparse, &base);
+        assert_eq!(reverse.deltas.len(), 1);
+        assert!(reverse
+            .skipped
+            .iter()
+            .any(|s| s.ends_with("(current only)")));
+    }
+}

@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
+
 use soi_core::describe::{ContextBuilder, PhiSource, StreetContext};
 use soi_core::soi::{run_soi, SoiConfig, SoiQuery};
 use soi_data::Dataset;

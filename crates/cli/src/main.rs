@@ -18,9 +18,15 @@ use std::io::Write;
 
 use args::Args;
 use soi_common::{Result, ResultExt, SoiError};
-use soi_core::describe::{st_rel_div, ContextBuilder, DescribeParams, PhiSource};
+use soi_core::describe::{
+    st_rel_div, st_rel_div_explained, ContextBuilder, DescribeExplain, DescribeParams,
+    DescribeScratch, PhiSource,
+};
 use soi_core::route::{improve_route_2opt, route_length, sketch_route};
-use soi_core::soi::{run_baseline, run_soi, SoiConfig, SoiOutcome, SoiQuery, StreetAggregate};
+use soi_core::soi::{
+    run_baseline, run_soi, run_soi_explained, SoiConfig, SoiExplain, SoiOutcome, SoiQuery,
+    SoiScratch, StreetAggregate,
+};
 use soi_data::Dataset;
 use soi_engine::{QueryContext, QueryEngine};
 use soi_index::{IrTree, PhotoGrid, PoiIndex};
@@ -89,6 +95,7 @@ fn dispatch(args: &Args) -> Result<()> {
         "generate" => cmd_generate(args),
         "stats" => cmd_stats(args),
         "query" => cmd_query(args),
+        "explain" => cmd_explain(args),
         "batch" => cmd_batch(args),
         "describe" => cmd_describe(args),
         "route" => cmd_route(args),
@@ -109,6 +116,7 @@ fn command_span_name(command: &str) -> &'static str {
         "generate" => "cli.generate",
         "stats" => "cli.stats",
         "query" => "cli.query",
+        "explain" => "cli.explain",
         "batch" => "cli.batch",
         "describe" => "cli.describe",
         "route" => "cli.route",
@@ -151,6 +159,12 @@ fn print_help() -> Result<()> {
          \u{20}          Print dataset statistics (paper Table 1 columns).\n\
          query     --data DIR --keywords w1,w2 [--k 10] [--eps 0.0005] [--algo soi|bl]\n\
          \u{20}          Run a k-SOI query and print the ranked streets.\n\
+         explain   --data DIR --keywords w1,w2 [--k 10] [--eps 0.0005] [--describe]\n\
+         \u{20}          [--json FILE] Run a k-SOI query with the explain collector\n\
+         \u{20}          and print its bound-convergence table, pruning counters,\n\
+         \u{20}          \u{3b5}-cache deltas, and memory use; --describe adds Alg. 2's\n\
+         \u{20}          per-round cell-filter report for the top street, --json\n\
+         \u{20}          writes the machine-readable artifact.\n\
          batch     FILE.tsv --data DIR [--threads N] [--eps 0.0005]\n\
          \u{20}          Run a file of k-SOI queries through the multi-threaded\n\
          \u{20}          engine (one query per line: keywords<TAB>k[<TAB>eps]).\n\
@@ -169,9 +183,10 @@ fn print_help() -> Result<()> {
          metrics   [--data DIR] [--keywords w1,w2] [--eps 0.0005]\n\
          \u{20}          Print process metrics in Prometheus text format (with\n\
          \u{20}          --data, first runs a small workload to populate them).\n\
-         check-artifacts [--trace FILE.json] [--stats FILE.json]\n\
+         check-artifacts [--trace FILE.json] [--stats FILE.json] [--explain FILE.json]\n\
          \u{20}          Validate observability artifacts: a Chrome trace from\n\
-         \u{20}          --trace-out and/or a telemetry file from --stats-json.\n\n\
+         \u{20}          --trace-out, a telemetry file from --stats-json, and/or\n\
+         \u{20}          an explain artifact from `soi explain --json`.\n\n\
          OBSERVABILITY (any command)\n\
          --trace-out FILE   Record a Chrome trace_event JSON file of the run\n\
          \u{20}                  (open in chrome://tracing or ui.perfetto.dev).\n\
@@ -340,6 +355,225 @@ fn cmd_query(args: &Args) -> Result<()> {
         other => return Err(SoiError::invalid(format!("unknown --algo {other:?}"))),
     };
     print_outcome(&dataset, &outcome)
+}
+
+/// Renders the bound-convergence table of one explained k-SOI run, showing
+/// at most `max_printed` evenly spaced rows (the termination row always
+/// prints last).
+fn print_soi_explain(out: &mut impl Write, explain: &SoiExplain, max_printed: usize) -> Result<()> {
+    writeln!(
+        out,
+        "lists: SL1={} cells, SL2/SL3={} segments",
+        explain.lists.sl1, explain.lists.sl2
+    )?;
+    writeln!(
+        out,
+        "\nbound convergence ({} rows recorded):",
+        explain.rows.len()
+    )?;
+    writeln!(
+        out,
+        "{:>7}  {:>4}  {:>12}  {:>12}  {:>12}  {:>12}  {:>6}  {:>6}",
+        "access", "src", "UB", "UB_paper", "UB_coupled", "LBk", "seen", "cells"
+    )?;
+    let step = explain.rows.len().div_ceil(max_printed.max(1)).max(1);
+    for (i, row) in explain.rows.iter().enumerate() {
+        if i % step != 0 && i != explain.rows.len() - 1 {
+            continue;
+        }
+        writeln!(
+            out,
+            "{:>7}  {:>4}  {:>12.4}  {:>12.4}  {:>12.4}  {:>12.4}  {:>6}  {:>6}",
+            row.access,
+            soi_core::soi::explain::source_label(row.source),
+            row.ub,
+            row.ub_paper,
+            row.ub_coupled,
+            row.lbk,
+            row.segments_seen,
+            row.cells_popped
+        )?;
+    }
+    if let Some(t) = explain.termination {
+        writeln!(
+            out,
+            "termination: UB {:.6} <= LBk {:.6} after {} accesses",
+            t.ub, t.lbk, t.accesses
+        )?;
+    }
+    if let Some(s) = &explain.stats {
+        writeln!(
+            out,
+            "\ncounters: cells_popped={} segments_popped={} segments_seen={} \
+             bounded_out={} finalized_filtering={} finalized_refinement={}",
+            s.cells_popped,
+            s.segments_popped,
+            s.segments_seen,
+            s.segments_bounded_out,
+            s.segments_finalized_filtering,
+            s.segments_finalized_refinement
+        )?;
+        let ms = |p: &str| s.timer.duration(p).as_secs_f64() * 1e3;
+        writeln!(
+            out,
+            "phases: construction {:.2}ms, filtering {:.2}ms, refinement {:.2}ms",
+            ms(phases::CONSTRUCTION),
+            ms(phases::FILTERING),
+            ms(phases::REFINEMENT)
+        )?;
+    }
+    writeln!(
+        out,
+        "eps-cache: hits={} misses={} evictions={}",
+        explain.eps_cache.hits, explain.eps_cache.misses, explain.eps_cache.evictions
+    )?;
+    Ok(())
+}
+
+/// Renders the per-greedy-round cell-filter report of one explained Alg. 2
+/// run.
+fn print_describe_explain(
+    out: &mut impl Write,
+    street_name: &str,
+    explain: &DescribeExplain,
+) -> Result<()> {
+    writeln!(
+        out,
+        "\ndescribe explain for {street_name:?} ({} rounds):",
+        explain.rounds.len()
+    )?;
+    writeln!(
+        out,
+        "{:>5}  {:>5}  {:>8}  {:>8}  {:>8}  {:>7}  {:>10}  {:>7}",
+        "round", "cells", "prunedF", "refined", "prunedR", "photos", "best_mmr", "photo"
+    )?;
+    for r in &explain.rounds {
+        writeln!(
+            out,
+            "{:>5}  {:>5}  {:>8}  {:>8}  {:>8}  {:>7}  {:>10}  {:>7}",
+            r.round,
+            r.cells_candidate,
+            r.cells_pruned_filtering,
+            r.cells_refined,
+            r.cells_pruned_refinement,
+            r.photos_scored,
+            r.best_mmr
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.4}")),
+            r.selected
+                .map_or_else(|| "-".to_string(), |p| format!("#{}", p.raw()))
+        )?;
+    }
+    if let Some(s) = &explain.stats {
+        writeln!(
+            out,
+            "totals: photos_evaluated={} cells_refined={} pruned_filtering={} pruned_refinement={}",
+            s.photos_evaluated,
+            s.cells_refined,
+            s.cells_pruned_filtering,
+            s.cells_pruned_refinement
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &Args) -> Result<()> {
+    let dataset = load(args)?;
+    let keywords = parse_keywords(&dataset, args)?;
+    let k: usize = args.get_parsed("k", 10)?;
+    let eps: f64 = args.get_parsed("eps", DEFAULT_EPS)?;
+    let query = SoiQuery::new(keywords, k, eps)?;
+    let index = PoiIndex::build(&dataset.network, &dataset.pois, 2.0 * eps);
+
+    let mut explain = SoiExplain::default();
+    let scope = soi_obs::AllocScope::start();
+    let outcome = run_soi_explained(
+        &dataset.network,
+        &dataset.pois,
+        &index,
+        &query,
+        &SoiConfig::default(),
+        &mut SoiScratch::default(),
+        Some(&mut explain),
+    )?;
+    let alloc = scope.finish();
+
+    // Optionally explain Alg. 2 on the winning street.
+    let mut describe: Option<(String, DescribeExplain)> = None;
+    if args.flag("describe") {
+        match outcome.results.first() {
+            None => log::event(
+                "explain.describe",
+                "no street matched the query; nothing to describe",
+                &[],
+            ),
+            Some(top) => {
+                let photo_grid = PhotoGrid::build(&dataset.network, &dataset.photos, POI_CELL);
+                let ctx = ContextBuilder {
+                    network: &dataset.network,
+                    photos: &dataset.photos,
+                    photo_grid: &photo_grid,
+                    pois: Some(&dataset.pois),
+                    eps,
+                    rho: args.get_parsed("rho", DEFAULT_RHO)?,
+                    phi_source: PhiSource::Photos,
+                }
+                .build(top.street)?;
+                let params = DescribeParams::new(args.get_parsed("photos", 5)?, 0.5, 0.5)?;
+                let mut dex = DescribeExplain::default();
+                let _ = st_rel_div_explained(
+                    &ctx,
+                    &dataset.photos,
+                    &params,
+                    &mut DescribeScratch::default(),
+                    Some(&mut dex),
+                )?;
+                let name = dataset.network.street(top.street).name.clone();
+                describe = Some((name, dex));
+            }
+        }
+    }
+
+    let mut out = std::io::stdout().lock();
+    writeln!(
+        out,
+        "k-SOI explain: k={} eps={} keywords={}",
+        explain.k, explain.eps, explain.keywords
+    )?;
+    print_soi_explain(&mut out, &explain, 40)?;
+    writeln!(
+        out,
+        "memory: {} allocations, {} bytes allocated, peak {} bytes above baseline",
+        alloc.allocs, alloc.allocated_bytes, alloc.peak_bytes
+    )?;
+    writeln!(out, "\ntop-{} streets:", outcome.results.len())?;
+    for (i, r) in outcome.results.iter().enumerate() {
+        writeln!(
+            out,
+            "{:>4}  {:>12.1}  {}",
+            i + 1,
+            r.interest,
+            dataset.network.street(r.street).name
+        )?;
+    }
+    if let Some((name, dex)) = &describe {
+        print_describe_explain(&mut out, name, dex)?;
+    }
+
+    if let Some(path) = args.get("json") {
+        let mut doc = json::JsonWriter::object();
+        doc.field_raw("soi", &explain.to_json());
+        if let Some((_, dex)) = &describe {
+            doc.field_raw("describe", &dex.to_json());
+        }
+        let mut mem = json::JsonWriter::object();
+        mem.field_u64("allocations", alloc.allocs);
+        mem.field_u64("allocated_bytes", alloc.allocated_bytes);
+        mem.field_u64("peak_bytes", alloc.peak_bytes);
+        doc.field_raw("alloc", &mem.finish());
+        std::fs::write(path, doc.finish()).at_path(path)?;
+        writeln!(out, "\nwrote explain artifact to {path}")?;
+    }
+    Ok(())
 }
 
 /// Parses one query file line (`keywords<TAB>k[<TAB>eps]`) into a query.
@@ -634,10 +868,12 @@ fn cmd_metrics(args: &Args) -> Result<()> {
     // exposes the full set (with zero values).
     soi_core::obs::register_metrics();
     soi_index::obs::register_metrics();
+    soi_engine::obs::register_metrics();
     if args.get("data").is_some() {
         // Populate the instruments with a small real workload: an index
         // build, two ε-map lookups (a miss then a hit), and — when
-        // keywords are given — one k-SOI query.
+        // keywords are given — one k-SOI query through the engine (which
+        // also feeds the per-query allocation histograms).
         let dataset = load(args)?;
         let eps: f64 = args.get_parsed("eps", DEFAULT_EPS)?;
         let index = PoiIndex::build(&dataset.network, &dataset.pois, 2.0 * eps);
@@ -646,15 +882,17 @@ fn cmd_metrics(args: &Args) -> Result<()> {
         if args.get("keywords").is_some() {
             let keywords = parse_keywords(&dataset, args)?;
             let query = SoiQuery::new(keywords, 10, eps)?;
-            run_soi(
-                &dataset.network,
-                &dataset.pois,
-                &index,
-                &query,
-                &SoiConfig::default(),
-            )?;
+            let engine = QueryEngine::new(1);
+            let ctx =
+                std::sync::Arc::new(QueryContext::new(&dataset.network, &dataset.pois, &index));
+            let batch = engine.run_soi_batch(&ctx, std::slice::from_ref(&query));
+            for result in batch.results {
+                result?;
+            }
         }
     }
+    // Export allocator totals last so the gauges reflect the workload above.
+    soi_obs::alloc::publish_metrics();
     let mut out = std::io::stdout().lock();
     out.write_all(soi_obs::metrics::gather().as_bytes())?;
     Ok(())
@@ -708,12 +946,73 @@ fn check_stats_file(path: &str) -> Result<u64> {
     Ok(queries as u64)
 }
 
+/// Validates an explain artifact written by `explain --json`. Checks that
+/// the bound trajectory is well-formed and actually converged: every row
+/// carries numeric bounds, and the recorded termination satisfies
+/// UB ≤ LBk. Returns the row count.
+fn check_explain_file(path: &str) -> Result<u64> {
+    let text = std::fs::read_to_string(path).at_path(path)?;
+    let bad = |what: &str| SoiError::invalid(format!("{path}: {what}"));
+    let doc = json::parse(&text).map_err(|e| bad(&format!("not valid JSON ({e})")))?;
+    let soi = doc.get("soi").ok_or_else(|| bad("missing soi object"))?;
+    let rows = soi
+        .get("rows")
+        .and_then(json::Json::as_arr)
+        .ok_or_else(|| bad("soi object is missing rows array"))?;
+    if rows.is_empty() {
+        return Err(bad("soi.rows is empty"));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let has_num = |k: &str| row.get(k).and_then(json::Json::as_f64).is_some();
+        if !(has_num("access") && has_num("ub") && has_num("lbk")) {
+            return Err(bad(&format!("soi.rows[{i}] is missing access/ub/lbk")));
+        }
+    }
+    let term = soi
+        .get("termination")
+        .ok_or_else(|| bad("soi object is missing termination"))?;
+    let num = |k: &str| {
+        term.get(k)
+            .and_then(json::Json::as_f64)
+            .ok_or_else(|| bad(&format!("termination is missing numeric {k}")))
+    };
+    let (ub, lbk) = (num("ub")?, num("lbk")?);
+    if ub > lbk + 1e-9 {
+        return Err(bad(&format!(
+            "termination did not converge: UB {ub} > LBk {lbk}"
+        )));
+    }
+    if term.get("converged") != Some(&json::Json::Bool(true)) {
+        return Err(bad("termination.converged is not true"));
+    }
+    // The trajectory's last row must itself satisfy the bound condition.
+    if let Some(last) = rows.last() {
+        let row_num = |k: &str| last.get(k).and_then(json::Json::as_f64).unwrap_or(f64::NAN);
+        let (row_ub, row_lbk) = (row_num("ub"), row_num("lbk"));
+        let row_converged = row_ub.is_finite() && row_lbk.is_finite() && row_ub <= row_lbk + 1e-9;
+        if !row_converged {
+            return Err(bad("final trajectory row has UB > LBk"));
+        }
+    }
+    if let Some(describe) = doc.get("describe") {
+        if describe
+            .get("rounds")
+            .and_then(json::Json::as_arr)
+            .is_none()
+        {
+            return Err(bad("describe object is missing rounds array"));
+        }
+    }
+    Ok(rows.len() as u64)
+}
+
 fn cmd_check_artifacts(args: &Args) -> Result<()> {
     let trace_path = args.get("trace");
     let stats_path = args.get("stats");
-    if trace_path.is_none() && stats_path.is_none() {
+    let explain_path = args.get("explain");
+    if trace_path.is_none() && stats_path.is_none() && explain_path.is_none() {
         return Err(SoiError::invalid(
-            "check-artifacts needs --trace FILE and/or --stats FILE",
+            "check-artifacts needs --trace FILE, --stats FILE, and/or --explain FILE",
         ));
     }
     let mut out = std::io::stdout().lock();
@@ -724,6 +1023,10 @@ fn cmd_check_artifacts(args: &Args) -> Result<()> {
     if let Some(path) = stats_path {
         let queries = check_stats_file(path)?;
         writeln!(out, "stats ok: {path} ({queries} queries)")?;
+    }
+    if let Some(path) = explain_path {
+        let rows = check_explain_file(path)?;
+        writeln!(out, "explain ok: {path} ({rows} trajectory rows)")?;
     }
     Ok(())
 }

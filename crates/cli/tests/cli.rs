@@ -338,8 +338,17 @@ fn batch_writes_trace_and_stats_artifacts() {
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
 
-    // --log-json turns every stderr event into a JSON line.
+    // --log-json turns every stderr event into a JSON line; each line must
+    // be a standalone valid JSON object.
     let err = stderr(&out);
+    let mut events = 0;
+    for line in err.lines().filter(|l| l.starts_with('{')) {
+        let doc = soi_obs::json::parse(line)
+            .unwrap_or_else(|e| panic!("stderr line is not valid JSON ({e}): {line}"));
+        assert!(doc.get("event").is_some(), "log line lacks event: {line}");
+        events += 1;
+    }
+    assert!(events > 0, "no JSON log lines in stderr: {err}");
     let batch_done = err
         .lines()
         .find(|l| l.contains("\"event\":\"batch.done\""))
@@ -407,6 +416,116 @@ fn metrics_prints_prometheus_text() {
         bare_text.contains("soi_epsilon_cache_hits_total 0"),
         "{bare_text}"
     );
+}
+
+#[test]
+fn explain_prints_converged_bound_table_and_writes_artifact() {
+    let dir = std::env::temp_dir().join(format!("soi_cli_explain_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let artifact = dir.join("explain.json");
+
+    let out = soi(&[
+        "explain",
+        "--data",
+        dataset_dir(),
+        "--keywords",
+        "shop",
+        "--k",
+        "5",
+        "--describe",
+        "--json",
+        artifact.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("k-SOI explain: k=5"), "{text}");
+    assert!(text.contains("bound convergence"), "{text}");
+    assert!(text.contains("memory: "), "{text}");
+    assert!(text.contains("allocations"), "{text}");
+    assert!(text.contains("describe explain for"), "{text}");
+
+    // The printed termination line must show a converged UB <= LBk pair.
+    let term = text
+        .lines()
+        .find(|l| l.starts_with("termination: UB"))
+        .unwrap_or_else(|| panic!("no termination line: {text}"));
+    let nums: Vec<f64> = term
+        .split_whitespace()
+        .filter_map(|w| w.parse::<f64>().ok())
+        .collect();
+    assert!(nums.len() >= 2, "termination line lacks bounds: {term}");
+    assert!(nums[0] <= nums[1] + 1e-9, "UB > LBk in: {term}");
+
+    // The JSON artifact parses, converged, and validates via check-artifacts.
+    let doc = soi_obs::json::parse(&std::fs::read_to_string(&artifact).unwrap()).unwrap();
+    let soi_section = doc.get("soi").expect("soi section");
+    assert_eq!(
+        soi_section
+            .get("termination")
+            .and_then(|t| t.get("converged")),
+        Some(&soi_obs::json::Json::Bool(true))
+    );
+    assert!(!soi_section
+        .get("rows")
+        .and_then(soi_obs::json::Json::as_arr)
+        .expect("rows array")
+        .is_empty());
+    assert!(doc.get("describe").is_some(), "describe section missing");
+    assert!(
+        doc.get("alloc")
+            .and_then(|a| a.get("peak_bytes"))
+            .and_then(soi_obs::json::Json::as_f64)
+            .is_some_and(|b| b > 0.0),
+        "alloc.peak_bytes missing or zero"
+    );
+
+    let check = soi(&["check-artifacts", "--explain", artifact.to_str().unwrap()]);
+    assert!(check.status.success(), "{}", stderr(&check));
+    assert!(stdout(&check).contains("explain ok"), "{}", stdout(&check));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_artifacts_rejects_unconverged_explain() {
+    let dir = std::env::temp_dir().join(format!("soi_cli_badexp_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("explain.json");
+    // A trajectory whose recorded termination never reached UB <= LBk.
+    std::fs::write(
+        &bad,
+        "{\"soi\":{\"rows\":[{\"access\":1,\"ub\":9.0,\"lbk\":1.0}],\
+         \"termination\":{\"accesses\":1,\"ub\":9.0,\"lbk\":1.0,\"converged\":false}}}",
+    )
+    .unwrap();
+    let out = soi(&["check-artifacts", "--explain", bad.to_str().unwrap()]);
+    assert_eq!(code(&out), 2, "{}", stderr(&out));
+    assert!(stderr(&out).contains("converge"), "{}", stderr(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_exposes_allocation_series() {
+    let out = soi(&["metrics", "--data", dataset_dir(), "--keywords", "shop"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    // Per-query engine allocation histograms carry the one-query workload.
+    assert!(
+        text.contains("# TYPE soi_engine_query_allocations histogram"),
+        "{text}"
+    );
+    assert!(
+        text.contains("soi_engine_query_allocations_count 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("soi_engine_query_alloc_peak_bytes_count 1"),
+        "{text}"
+    );
+    // Index-build gauges record the build's process-wide deltas.
+    assert!(text.contains("soi_index_build_alloc_bytes"), "{text}");
+    // Process-wide allocator gauges are exported by the final publish.
+    assert!(text.contains("soi_alloc_live_bytes"), "{text}");
+    assert!(text.contains("soi_alloc_peak_bytes"), "{text}");
 }
 
 #[test]

@@ -9,6 +9,7 @@
 pub mod bounds;
 pub mod context;
 pub mod exact;
+pub mod explain;
 pub mod greedy;
 pub mod measures;
 pub mod objective;
@@ -19,9 +20,10 @@ pub mod variants;
 pub use bounds::{cell_div_bounds, cell_mmr_bounds, cell_rel_bounds};
 pub use context::{ContextBuilder, PhiSource, StreetContext};
 pub use exact::exact_select;
+pub use explain::{DescribeExplain, DescribeRound};
 pub use greedy::greedy_select;
 pub use objective::{mmr, objective, set_diversity, set_relevance};
-pub use st_rel_div::{st_rel_div, st_rel_div_with_scratch, DescribeScratch};
+pub use st_rel_div::{st_rel_div, st_rel_div_explained, st_rel_div_with_scratch, DescribeScratch};
 pub use tradeoff::{knee, sweep_lambda, TradeoffPoint};
 pub use variants::{Aspect, Criterion, MethodSpec};
 

@@ -24,6 +24,7 @@
 
 use crate::describe::bounds::{cell_div_bounds, cell_rel_bounds};
 use crate::describe::context::StreetContext;
+use crate::describe::explain::{DescribeExplain, DescribeRound};
 use crate::describe::measures;
 use crate::describe::objective::objective;
 use crate::describe::{DescribeOutcome, DescribeParams, DescribeStats};
@@ -105,6 +106,26 @@ pub fn st_rel_div_with_scratch(
     params: &DescribeParams,
     scratch: &mut DescribeScratch,
 ) -> Result<DescribeOutcome> {
+    st_rel_div_explained(ctx, photos, params, scratch, None)
+}
+
+/// [`st_rel_div_with_scratch`] with an opt-in explain collector.
+///
+/// When `explain` is `Some`, the run records one [`DescribeRound`] per
+/// greedy selection round — candidate cells, filtering/refinement pruning,
+/// photos scored, the winning `mmr` — into the collector; results are
+/// identical to [`st_rel_div`]. With `None` this *is*
+/// [`st_rel_div_with_scratch`] — the hooks are a branch on an `Option`.
+///
+/// # Errors
+/// Same contract as [`st_rel_div`].
+pub fn st_rel_div_explained(
+    ctx: &StreetContext,
+    photos: &PhotoCollection,
+    params: &DescribeParams,
+    scratch: &mut DescribeScratch,
+    mut explain: Option<&mut DescribeExplain>,
+) -> Result<DescribeOutcome> {
     params.validate()?;
     if let Some(&max_member) = ctx.members.iter().max() {
         if max_member.index() >= photos.len() {
@@ -175,6 +196,14 @@ pub fn st_rel_div_with_scratch(
         };
 
     while selected.len() < params.k && selected.len() < ctx.members.len() {
+        let round_no = selected.len() + 1;
+        // Round-start counter snapshot, so the explain row can report the
+        // refinement work attributable to this round alone.
+        let snap = (
+            stats.cells_refined,
+            stats.cells_pruned_refinement,
+            stats.photos_evaluated,
+        );
         // --- Filtering phase: per-cell mmr bounds from the accumulators.
         stats.timer.enter(phases::FILTERING);
         let use_div = params.k > 1 && !selected.is_empty();
@@ -235,6 +264,20 @@ pub fn st_rel_div_with_scratch(
         }
         stats.timer.stop();
 
+        if let Some(ex) = explain.as_deref_mut() {
+            ex.record(DescribeRound {
+                round: round_no,
+                cells_candidate: before,
+                cells_pruned_filtering: before - candidates.len(),
+                cells_refined: stats.cells_refined - snap.0,
+                cells_pruned_refinement: stats.cells_pruned_refinement - snap.1,
+                photos_scored: stats.photos_evaluated - snap.2,
+                mmr_min,
+                best_mmr: best.map(|(v, _)| v),
+                selected: best.map(|(_, p)| p),
+            });
+        }
+
         // No evaluable candidate left (every remaining cell is empty):
         // the selection is as large as it can get.
         let Some((_, next)) = best else {
@@ -273,6 +316,10 @@ pub fn st_rel_div_with_scratch(
     scratch.photo_acc = photo_acc;
 
     crate::obs::absorb_describe_stats(&stats);
+
+    if let Some(ex) = explain {
+        ex.finish(&stats);
+    }
 
     Ok(DescribeOutcome {
         selected,

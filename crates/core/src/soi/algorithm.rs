@@ -34,6 +34,7 @@
 //! segment, so the combination preserves correctness while terminating much
 //! earlier (the ablation bench quantifies the difference).
 
+use crate::soi::explain::{ExplainRow, SoiExplain};
 use crate::soi::interest::segment_interest;
 use crate::soi::query::{SoiConfig, SoiOutcome, SoiQuery, StreetResult};
 use crate::soi::stats::{phases, QueryStats};
@@ -248,8 +249,34 @@ pub fn run_soi_with_scratch(
     config: &SoiConfig,
     scratch: &mut SoiScratch,
 ) -> Result<SoiOutcome> {
+    run_soi_explained(network, pois, index, query, config, scratch, None)
+}
+
+/// [`run_soi_with_scratch`] with an opt-in explain collector.
+///
+/// When `explain` is `Some`, the run records its bound trajectory (one
+/// [`ExplainRow`] per source access, decimated), the post-construction
+/// source-list sizes, ε-cache deltas, and a final termination row into the
+/// collector; results are identical to [`run_soi`]. With `None` this *is*
+/// [`run_soi_with_scratch`] — the hooks are a branch on an `Option`.
+///
+/// # Errors
+/// Same contract as [`run_soi`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_soi_explained(
+    network: &RoadNetwork,
+    pois: &PoiCollection,
+    index: &PoiIndex,
+    query: &SoiQuery,
+    config: &SoiConfig,
+    scratch: &mut SoiScratch,
+    mut explain: Option<&mut SoiExplain>,
+) -> Result<SoiOutcome> {
     query.validate()?;
     let _query_span = soi_obs::trace::span(soi_obs::names::spans::SOI_QUERY);
+    if let Some(ex) = explain.as_deref_mut() {
+        ex.begin(query.k, query.eps, query.keywords.iter().count());
+    }
     let mut stats = QueryStats::default();
     stats.timer.enter(phases::CONSTRUCTION);
 
@@ -322,6 +349,10 @@ pub fn run_soi_with_scratch(
         (s.id, f)
     }));
     slf.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    if let Some(ex) = explain.as_deref_mut() {
+        ex.record_lists(sl1.len(), sl2.len(), sl3.len());
+    }
 
     let mut fil = Filtering {
         states,
@@ -408,15 +439,32 @@ pub fn run_soi_with_scratch(
             Some(len) if top1 > 0.0 && top2 > 0.0 => segment_interest(top1 * top2, len, eps),
             _ => 0.0,
         };
+        let ub_coupled = slf.get(cursor_f).map_or(0.0, |&(_, f)| top1 * f);
         ub = if config.paper_bounds_only {
             ub_paper
         } else {
-            let ub_coupled = slf.get(cursor_f).map_or(0.0, |&(_, f)| top1 * f);
             ub_paper.min(ub_coupled)
         };
         lbk = fil.lbk.threshold();
 
         if ub <= lbk {
+            if let Some(ex) = explain.as_deref_mut() {
+                // Final row: the state that stopped the access loop. Always
+                // recorded, so the table's last row satisfies UB ≤ LBk.
+                ex.record(ExplainRow {
+                    access: stats.accesses,
+                    source: None,
+                    ub,
+                    ub_paper,
+                    ub_coupled,
+                    lbk,
+                    top_sl1: top1,
+                    top_sl2: top2,
+                    top_sl3: top3.unwrap_or(0.0),
+                    segments_seen: stats.segments_seen,
+                    cells_popped: stats.cells_popped,
+                });
+            }
             break;
         }
 
@@ -434,7 +482,7 @@ pub fn run_soi_with_scratch(
             Source::SegmentsByLen,
             Source::SegmentsByCells,
         ];
-        let mut accessed = false;
+        let mut accessed = None;
         for source in fallbacks {
             match source {
                 Source::Cells if cursor1 < sl1.len() => {
@@ -447,7 +495,7 @@ pub fn run_soi_with_scratch(
                     for &seg in &segs_near_cell {
                         update_interest(seg, cell, prune_lbk, &mut fil, &mut stats);
                     }
-                    accessed = true;
+                    accessed = Some(Source::Cells);
                 }
                 Source::SegmentsByCells if cursor2 < sl2.len() => {
                     let seg = sl2[cursor2];
@@ -457,7 +505,7 @@ pub fn run_soi_with_scratch(
                         seg, network, pois, index, query, eps, prune_lbk, relcount, &relprefix,
                         &mut fil, &mut stats,
                     );
-                    accessed = true;
+                    accessed = Some(Source::SegmentsByCells);
                 }
                 Source::SegmentsByLen if cursor3 < sl3.len() => {
                     let seg = sl3[cursor3];
@@ -467,17 +515,34 @@ pub fn run_soi_with_scratch(
                         seg, network, pois, index, query, eps, prune_lbk, relcount, &relprefix,
                         &mut fil, &mut stats,
                     );
-                    accessed = true;
+                    accessed = Some(Source::SegmentsByLen);
                 }
                 _ => continue,
             }
             break;
         }
-        if !accessed {
+        let Some(accessed_source) = accessed else {
             // All lists exhausted: everything is seen; UB is 0 next round.
             continue;
-        }
+        };
         stats.accesses += 1;
+        if let Some(ex) = explain.as_deref_mut() {
+            // Bounds and list heads are the pre-access values that selected
+            // this access; progress counters are cumulative after it.
+            ex.record(ExplainRow {
+                access: stats.accesses,
+                source: Some(accessed_source),
+                ub,
+                ub_paper,
+                ub_coupled,
+                lbk,
+                top_sl1: top1,
+                top_sl2: top2,
+                top_sl3: top3.unwrap_or(0.0),
+                segments_seen: stats.segments_seen,
+                cells_popped: stats.cells_popped,
+            });
+        }
         // Sampled convergence tracks: with tracing on, a Chrome trace shows
         // UB descending onto LBk over the filtering phase.
         if stats.accesses % UB_SAMPLE_EVERY == 0 {
@@ -576,6 +641,10 @@ pub fn run_soi_with_scratch(
     scratch.seen = seen;
 
     crate::obs::absorb_query_stats(&stats);
+
+    if let Some(ex) = explain {
+        ex.finish(&stats);
+    }
 
     Ok(SoiOutcome { results, stats })
 }

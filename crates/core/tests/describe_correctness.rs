@@ -191,3 +191,60 @@ fn objective_recomputes_consistently() {
     let f = objective(&ctx, &photos, &params, &out.selected);
     assert!((out.objective - f).abs() < 1e-12);
 }
+
+#[test]
+fn describe_explain_rounds_account_for_all_work() {
+    use soi_core::describe::{st_rel_div_explained, DescribeExplain, DescribeScratch};
+
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(4000 + seed);
+        let (_network, photos, ctx) = random_street_scene(&mut rng, 60);
+        let params = DescribeParams::new(5, 0.5, 0.5).unwrap();
+
+        let plain = st_rel_div(&ctx, &photos, &params).unwrap();
+        let mut explain = DescribeExplain::default();
+        let explained = st_rel_div_explained(
+            &ctx,
+            &photos,
+            &params,
+            &mut DescribeScratch::default(),
+            Some(&mut explain),
+        )
+        .unwrap();
+
+        // Collecting an explain must not change the selection.
+        assert_eq!(plain.selected, explained.selected, "seed {seed}");
+        assert_eq!(plain.objective, explained.objective, "seed {seed}");
+
+        // One recorded round per selected photo (plus at most one final
+        // round that found no candidate), in order, and the per-round
+        // counters sum to the run totals.
+        assert!(explain.rounds.len() >= explained.selected.len());
+        assert!(explain.rounds.len() <= explained.selected.len() + 1);
+        for (i, (round, &photo)) in explain
+            .rounds
+            .iter()
+            .zip(explained.selected.iter())
+            .enumerate()
+        {
+            assert_eq!(round.round, i + 1, "seed {seed}");
+            assert_eq!(round.selected, Some(photo), "seed {seed}");
+        }
+        let scored: usize = explain.rounds.iter().map(|r| r.photos_scored).sum();
+        assert_eq!(scored, explained.stats.photos_evaluated, "seed {seed}");
+        let pruned: usize = explain
+            .rounds
+            .iter()
+            .map(|r| r.cells_pruned_filtering)
+            .sum();
+        assert_eq!(
+            pruned, explained.stats.cells_pruned_filtering,
+            "seed {seed}"
+        );
+
+        // The artifact parses and its rounds match the collector.
+        let doc = soi_obs::json::parse(&explain.to_json()).unwrap();
+        let rounds = doc.get("rounds").unwrap().as_arr().unwrap();
+        assert_eq!(rounds.len(), explain.rounds.len());
+    }
+}

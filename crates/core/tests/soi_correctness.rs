@@ -315,3 +315,66 @@ fn empty_query_returns_nothing() {
     let bl = run_baseline(&network, &pois, &index, &query, StreetAggregate::Max);
     assert!(bl.results.is_empty());
 }
+
+#[test]
+fn explain_trajectory_matches_termination_and_results() {
+    use soi_core::soi::{run_soi_explained, SoiExplain, SoiScratch};
+
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(3000 + seed);
+        let network = random_city(&mut rng, 6, 6);
+        let pois = random_pois(&mut rng, 200, 5.0);
+        let index = PoiIndex::build(&network, &pois, 0.5);
+        let query = random_query(&mut rng);
+        let config = SoiConfig::default();
+
+        let plain = run_soi(&network, &pois, &index, &query, &config).unwrap();
+        let mut explain = SoiExplain::default();
+        let explained = run_soi_explained(
+            &network,
+            &pois,
+            &index,
+            &query,
+            &config,
+            &mut SoiScratch::default(),
+            Some(&mut explain),
+        )
+        .unwrap();
+
+        // Collecting an explain must not change the answer.
+        assert_eq!(plain.street_ids(), explained.street_ids(), "seed {seed}");
+
+        // The trajectory is bounded, in access order, and ends in the
+        // termination row, whose bounds equal the run's actual termination.
+        assert!(!explain.rows.is_empty(), "seed {seed}: no rows");
+        assert!(explain.rows.len() <= explain.max_rows());
+        assert!(explain.rows.windows(2).all(|w| w[0].access <= w[1].access));
+        let last = explain.rows.last().unwrap();
+        assert!(last.source.is_none(), "seed {seed}: final row not terminal");
+        assert!(
+            last.ub <= last.lbk,
+            "seed {seed}: final row UB {} > LBk {}",
+            last.ub,
+            last.lbk
+        );
+        let term = explain.termination.expect("termination recorded");
+        assert_eq!(term.ub, explained.stats.termination_ub, "seed {seed}");
+        assert_eq!(term.lbk, explained.stats.termination_lb, "seed {seed}");
+        assert_eq!(term.accesses, explained.stats.accesses, "seed {seed}");
+        assert_eq!(last.ub, term.ub, "seed {seed}");
+        assert_eq!(last.lbk, term.lbk, "seed {seed}");
+
+        // Construction metadata and the stats copy are present.
+        assert_eq!(explain.k, query.k);
+        assert_eq!(explain.lists.sl2, network.num_segments());
+        assert_eq!(
+            explain.stats.as_ref().map(|s| s.accesses),
+            Some(explained.stats.accesses)
+        );
+
+        // The artifact is valid JSON with a converged termination object.
+        let doc = soi_obs::json::parse(&explain.to_json()).unwrap();
+        let t = doc.get("termination").unwrap();
+        assert_eq!(t.get("converged"), Some(&soi_obs::json::Json::Bool(true)));
+    }
+}

@@ -7,8 +7,9 @@
 //! - a [`QueryContext`] bundles the immutable inputs (network, POIs, index,
 //!   config) behind an [`Arc`] so every worker shares one copy;
 //! - a [`QueryEngine`] fans a slice of queries out over a scoped worker
-//!   pool; workers pull the next query index from a shared atomic counter
-//!   (work stealing at index granularity — cheap, contention-free, and
+//!   pool; workers pull small contiguous chunks of query indices from a
+//!   shared atomic counter (work stealing at chunk granularity — cheap,
+//!   amortising counter contention on large batches while staying
 //!   naturally load-balancing for skewed per-query costs);
 //! - each worker owns a [`SoiScratch`]/[`DescribeScratch`], so steady-state
 //!   queries reuse buffers instead of re-allocating them;
@@ -27,6 +28,8 @@
 // expect are compile errors outside of test code.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod obs;
+
 use soi_common::{effective_threads, Result};
 use soi_core::describe::{
     st_rel_div_with_scratch, DescribeOutcome, DescribeParams, DescribeScratch, StreetContext,
@@ -37,6 +40,7 @@ use soi_core::soi::{
 use soi_data::{PhotoCollection, PoiCollection};
 use soi_index::PoiIndex;
 use soi_network::RoadNetwork;
+use soi_obs::AllocScope;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -112,6 +116,12 @@ pub struct EngineTelemetry {
     pub stats: BatchStats,
     /// Per-query wall-clock latency of each successful query, input order.
     pub query_latencies: Vec<Duration>,
+    /// Heap allocations performed by each successful query on its worker
+    /// thread (an [`AllocScope`] around the algorithm call), input order.
+    pub query_allocs: Vec<u64>,
+    /// Peak live heap bytes above the scope baseline for each successful
+    /// query, input order.
+    pub query_alloc_peaks: Vec<u64>,
     /// `soi_epsilon_cache_hits_total` at batch completion.
     pub eps_cache_hits: u64,
     /// `soi_epsilon_cache_misses_total` at batch completion.
@@ -182,6 +192,25 @@ impl EngineTelemetry {
             None => latency.field_raw("max_ms", "null"),
         }
         obj.field_raw("latency", &latency.finish());
+        let mut alloc = soi_obs::json::JsonWriter::object();
+        alloc.field_u64("samples", self.query_allocs.len() as u64);
+        for (key, vals) in [
+            ("allocations", &self.query_allocs),
+            ("peak_bytes", &self.query_alloc_peaks),
+        ] {
+            let mut dist = soi_obs::json::JsonWriter::object();
+            match quantile_u64(vals, 0.50) {
+                Some(v) => dist.field_u64("p50", v),
+                None => dist.field_raw("p50", "null"),
+            }
+            match vals.iter().max() {
+                Some(&v) => dist.field_u64("max", v),
+                None => dist.field_raw("max", "null"),
+            }
+            dist.field_u64("total", vals.iter().sum());
+            alloc.field_raw(key, &dist.finish());
+        }
+        obj.field_raw("alloc", &alloc.finish());
         let mut eps = soi_obs::json::JsonWriter::object();
         eps.field_u64("hits", self.eps_cache_hits);
         eps.field_u64("misses", self.eps_cache_misses);
@@ -189,6 +218,18 @@ impl EngineTelemetry {
         obj.field_raw("eps_cache", &eps.finish());
         obj.finish()
     }
+}
+
+/// Exact `q`-quantile of `vals` (the `⌈q·n⌉`-th smallest), `None` when
+/// empty.
+fn quantile_u64(vals: &[u64], q: f64) -> Option<u64> {
+    if vals.is_empty() {
+        return None;
+    }
+    let mut sorted = vals.to_vec();
+    sorted.sort_unstable();
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    sorted.get(rank.saturating_sub(1)).copied()
 }
 
 impl BatchStats {
@@ -259,6 +300,10 @@ impl QueryEngine {
             let mut scratch = SoiScratch::default();
             move |query: &SoiQuery| {
                 let _span = soi_obs::trace::span(soi_obs::names::spans::ENGINE_QUERY);
+                // Per-query memory accounting: the query runs entirely on
+                // this worker thread, so a thread-local scope sees exactly
+                // its allocations (and how well the scratch absorbs them).
+                let scope = AllocScope::start();
                 let started = Instant::now();
                 let result = run_soi_with_scratch(
                     ctx.network,
@@ -268,7 +313,8 @@ impl QueryEngine {
                     &ctx.config,
                     &mut scratch,
                 );
-                (result, started.elapsed())
+                let elapsed = started.elapsed();
+                (result, elapsed, scope.finish())
             }
         });
         let mut stats = BatchStats {
@@ -277,15 +323,24 @@ impl QueryEngine {
             ..BatchStats::default()
         };
         let mut query_latencies = Vec::with_capacity(queries.len());
+        let mut query_allocs = Vec::with_capacity(queries.len());
+        let mut query_alloc_peaks = Vec::with_capacity(queries.len());
         let mut results = Vec::with_capacity(queries.len());
+        let metrics = obs::engine_metrics();
         // Every slot is claimed exactly once by the counter protocol, so no
         // `None` survives; `flatten` keeps the invariant checked without
         // panicking.
-        for (result, latency) in timed.into_iter().flatten() {
+        for (result, latency, alloc) in timed.into_iter().flatten() {
             match &result {
                 Ok(outcome) => {
                     stats.absorb(&outcome.stats);
                     query_latencies.push(latency);
+                    query_allocs.push(alloc.allocs);
+                    query_alloc_peaks.push(alloc.peak_bytes);
+                    metrics.query_allocations.observe(alloc.allocs as f64);
+                    metrics
+                        .query_alloc_peak_bytes
+                        .observe(alloc.peak_bytes as f64);
                 }
                 Err(_) => stats.errors += 1,
             }
@@ -297,6 +352,8 @@ impl QueryEngine {
         let telemetry = EngineTelemetry {
             stats: stats.clone(),
             query_latencies,
+            query_allocs,
+            query_alloc_peaks,
             eps_cache_hits,
             eps_cache_misses,
             eps_cache_evictions,
@@ -333,8 +390,9 @@ impl QueryEngine {
     }
 
     /// Fans `items` out over the worker pool: each worker claims the next
-    /// unprocessed index from a shared counter and runs `make_worker()`'s
-    /// closure on it. Returns one slot per item, in input order.
+    /// unprocessed chunk of indices from a shared counter and runs
+    /// `make_worker()`'s closure on each item. Returns one slot per item,
+    /// in input order.
     fn dispatch<T, R, W, F>(&self, items: &[T], make_worker: W) -> Vec<Option<R>>
     where
         T: Sync,
@@ -355,6 +413,12 @@ impl QueryEngine {
         let next = &next;
         let make_worker = &make_worker;
         let workers = self.threads.min(items.len());
+        // Claim granularity: single-index claims hit the shared counter once
+        // per query, which shows up as cache-line ping-pong on large batches
+        // of cheap queries. Claiming small contiguous chunks (~8 claims per
+        // worker over the batch, capped so skewed per-query costs still
+        // balance) amortises the contention without giving up stealing.
+        let chunk = (items.len() / (workers * 8)).clamp(1, 32);
         let mut partials: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
         partials.resize_with(workers, Vec::new);
         let run = crossbeam::thread::scope(|s| {
@@ -362,9 +426,14 @@ impl QueryEngine {
                 s.spawn(move |_| {
                     let mut worker = make_worker();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        partial.push((i, worker(item)));
+                        let base = next.fetch_add(chunk, Ordering::Relaxed);
+                        if base >= items.len() {
+                            break;
+                        }
+                        let end = (base + chunk).min(items.len());
+                        for (offset, item) in items[base..end].iter().enumerate() {
+                            partial.push((base + offset, worker(item)));
+                        }
                     }
                 });
             }
@@ -570,6 +639,51 @@ mod tests {
             .and_then(|c| c.get("accesses"))
             .and_then(|v| v.as_f64())
             .is_some());
+        let alloc = parsed.get("alloc").expect("alloc section");
+        assert_eq!(
+            alloc.get("samples").and_then(|v| v.as_f64()),
+            Some(queries.len() as f64)
+        );
+        assert!(alloc
+            .get("peak_bytes")
+            .and_then(|p| p.get("max"))
+            .and_then(|v| v.as_f64())
+            .is_some_and(|v| v > 0.0));
+    }
+
+    #[test]
+    fn warm_queries_stay_within_cold_allocation_budget() {
+        // Scratch-reuse regression guard: with one worker (and therefore one
+        // scratch), repeating the same query must not allocate more than the
+        // cold first run — warm queries run out of the retained buffers.
+        let (dataset, index) = fixture();
+        let keywords = dataset.query_keywords(&["shop", "food"]);
+        let query = SoiQuery::new(keywords, 10, 0.0005).expect("valid query");
+        let batch: Vec<SoiQuery> = vec![query; 8];
+        let ctx = Arc::new(QueryContext::new(&dataset.network, &dataset.pois, &index));
+        let out = QueryEngine::new(1).run_soi_batch(&ctx, &batch);
+        let allocs = &out.telemetry.query_allocs;
+        assert_eq!(allocs.len(), batch.len());
+        let cold = allocs[0];
+        let warm_max = *allocs[1..].iter().max().expect("warm samples");
+        assert!(cold > 0, "counting allocator must see the cold query");
+        assert!(
+            warm_max <= cold,
+            "warm query allocated more than the cold one: {warm_max} > {cold}"
+        );
+        // Absolute ceiling with ample headroom (warm queries currently sit
+        // around a few dozen allocations): catches a scratch-reuse
+        // regression that re-allocates per-segment state every query long
+        // before it degrades wall-clock measurably.
+        assert!(
+            warm_max <= 10_000,
+            "warm query allocation count {warm_max} exceeds the regression ceiling"
+        );
+        let peaks = &out.telemetry.query_alloc_peaks;
+        assert!(
+            peaks[1..].iter().all(|&p| p <= peaks[0].max(1)),
+            "warm peak exceeded cold peak: {peaks:?}"
+        );
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! to report per-batch deltas in its telemetry.
 
 use soi_obs::metrics::{
-    register_counter, register_histogram, Counter, Histogram, DEFAULT_LATENCY_BUCKETS,
+    register_counter, register_gauge, register_histogram, Counter, Gauge, Histogram,
+    DEFAULT_LATENCY_BUCKETS,
 };
 use std::sync::OnceLock;
 
@@ -25,6 +26,15 @@ pub struct IndexMetrics {
     pub builds: &'static Counter,
     /// `soi_index_build_seconds`: wall-clock POI index build time.
     pub build_seconds: &'static Histogram,
+    /// `soi_index_build_alloc_bytes`: heap bytes allocated process-wide
+    /// (all build workers) during the most recent index build.
+    pub build_alloc_bytes: &'static Gauge,
+    /// `soi_index_build_allocations`: heap allocations process-wide during
+    /// the most recent index build.
+    pub build_allocations: &'static Gauge,
+    /// `soi_index_build_peak_live_bytes`: process live-heap high-water mark
+    /// observed by the end of the most recent index build.
+    pub build_peak_live_bytes: &'static Gauge,
 }
 
 /// The index instruments (registered on first use).
@@ -49,7 +59,34 @@ pub fn index_metrics() -> &'static IndexMetrics {
             "Wall-clock POI index build time",
             DEFAULT_LATENCY_BUCKETS,
         ),
+        build_alloc_bytes: register_gauge(
+            "soi_index_build_alloc_bytes",
+            "Heap bytes allocated process-wide during the most recent index build",
+        ),
+        build_allocations: register_gauge(
+            "soi_index_build_allocations",
+            "Heap allocations process-wide during the most recent index build",
+        ),
+        build_peak_live_bytes: register_gauge(
+            "soi_index_build_peak_live_bytes",
+            "Process live-heap high-water mark at the end of the most recent index build",
+        ),
     })
+}
+
+/// Records the allocator deltas of one index build into the build gauges.
+///
+/// Build phases fan out over worker threads, so the per-thread
+/// [`soi_obs::AllocScope`] cannot see all build allocations; the caller
+/// passes process-wide [`soi_obs::alloc::totals`] snapshots taken on the
+/// coordinating thread before and after the build instead.
+pub fn record_build_alloc(before: soi_obs::alloc::AllocTotals, after: soi_obs::alloc::AllocTotals) {
+    let m = index_metrics();
+    m.build_alloc_bytes
+        .set(after.allocated_bytes.saturating_sub(before.allocated_bytes) as f64);
+    m.build_allocations
+        .set(after.allocs.saturating_sub(before.allocs) as f64);
+    m.build_peak_live_bytes.set(after.peak_bytes as f64);
 }
 
 /// Point-in-time `(hits, misses, evictions)` of the ε-map cache counters.

@@ -161,6 +161,7 @@ impl PoiIndex {
         let build_span = soi_obs::trace::span(soi_obs::names::spans::INDEX_BUILD);
         soi_obs::trace::counter(soi_obs::names::tracks::INDEX_BUILD_THREADS, threads as f64);
         let build_start = std::time::Instant::now();
+        let alloc_before = soi_obs::alloc::totals();
         let extent = match (network.extent(), pois.extent()) {
             (Some(a), Some(b)) => a.union(&b),
             (Some(a), None) => a,
@@ -436,6 +437,7 @@ impl PoiIndex {
         let m = crate::obs::index_metrics();
         m.builds.inc();
         m.build_seconds.observe_duration(build_start.elapsed());
+        crate::obs::record_build_alloc(alloc_before, soi_obs::alloc::totals());
 
         Self {
             grid,

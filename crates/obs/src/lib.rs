@@ -27,19 +27,28 @@
 //!   bytes are produced by hand), plus validation for CI artifact checks.
 //! - [`names`]: the canonical span taxonomy and algorithm phase names, so
 //!   spans, per-query stats, and logs all agree on the same strings.
+//! - [`alloc`]: memory accounting — a counting `#[global_allocator]`
+//!   wrapper around the system allocator (installed workspace-wide by
+//!   linking this crate) with process totals, thread-local counters, and
+//!   scoped [`alloc::AllocScope`] measurement for per-query and per-build
+//!   accounting.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed in exactly one place: the
+// `alloc` module's `GlobalAlloc` delegation (an unsafe trait by design).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 // Observability must never take a process down: unwrap and expect are
 // compile errors outside of test code.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod alloc;
 pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod names;
 pub mod trace;
 
+pub use alloc::{AllocScope, AllocStats};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use names::phases;
 pub use trace::{Span, TraceEvent};

@@ -25,6 +25,28 @@ pub const DEFAULT_LATENCY_BUCKETS: &[f64] = &[
     5.0, 10.0,
 ];
 
+/// Default histogram buckets for per-query heap-allocation counts
+/// (roughly logarithmic; a warm scratch-reusing query sits in the low
+/// thousands, a cold one an order of magnitude higher).
+pub const ALLOC_COUNT_BUCKETS: &[f64] = &[
+    16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0,
+];
+
+/// Default histogram buckets for per-query peak heap bytes (4 KiB – 1 GiB,
+/// powers of four).
+pub const ALLOC_BYTES_BUCKETS: &[f64] = &[
+    4096.0,
+    16384.0,
+    65536.0,
+    262144.0,
+    1048576.0,
+    4194304.0,
+    16777216.0,
+    67108864.0,
+    268435456.0,
+    1073741824.0,
+];
+
 /// A monotonically increasing integer counter.
 #[derive(Debug)]
 pub struct Counter {
@@ -144,6 +166,14 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Observations that exceeded the top finite bucket bound (landed in
+    /// the implicit `+Inf` bucket). A non-zero overflow means the bucket
+    /// layout saturates: quantile estimates are clamped to the top bound
+    /// and under-report the true tail.
+    pub fn overflow(&self) -> u64 {
+        self.counts.last().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
     /// Sum of all observations.
     pub fn sum(&self) -> f64 {
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
@@ -179,6 +209,14 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Observations above the top finite bound (the `+Inf` bucket count):
+    /// the saturation counterpart of [`Histogram::overflow`]. When this is
+    /// non-zero, [`quantile`](Self::quantile) estimates touching the tail
+    /// are clamped to the largest finite bound.
+    pub fn overflow(&self) -> u64 {
+        self.counts.last().copied().unwrap_or(0)
+    }
+
     /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) by linear
     /// interpolation inside the bucket that holds the target rank. Returns
     /// `None` when the histogram is empty. Values landing in the `+Inf`
@@ -356,6 +394,9 @@ fn render_entry(out: &mut String, e: &Entry) {
             write_f64(&mut sum, snap.sum);
             let _ = writeln!(out, "{}_sum {}", e.name, sum);
             let _ = writeln!(out, "{}_count {}", e.name, snap.count);
+            // Saturation guard: how many observations exceeded the top
+            // finite bucket (quantiles are clamped for these).
+            let _ = writeln!(out, "{}_overflow {}", e.name, snap.overflow());
         }
     }
 }
@@ -427,6 +468,31 @@ mod tests {
     }
 
     #[test]
+    fn overflow_counts_saturated_observations() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        assert_eq!(h.overflow(), 0);
+        h.observe(0.5);
+        h.observe(10.0); // le="10" exactly: not overflow
+        assert_eq!(h.overflow(), 0);
+        h.observe(11.0);
+        h.observe(1e9);
+        assert_eq!(h.overflow(), 2);
+        let snap = h.snapshot();
+        assert_eq!(snap.overflow(), 2);
+        // The tail quantile is clamped to the top finite bound — the
+        // overflow count is what flags that the estimate saturated.
+        assert_eq!(snap.quantile(1.0), Some(10.0));
+        // And the saturation count reaches the text exposition.
+        let hr = register_histogram("obs_sat_overflow_test", "saturation", &[1.0]);
+        hr.observe(5.0);
+        let text = gather_prefixed("obs_sat_overflow_test");
+        assert!(
+            text.contains("obs_sat_overflow_test_overflow 1"),
+            "overflow line missing:\n{text}"
+        );
+    }
+
+    #[test]
     fn quantile_interpolates_within_bucket() {
         let h = Histogram::new(&[10.0, 20.0]);
         for _ in 0..10 {
@@ -456,6 +522,7 @@ obs_fmt_latency_seconds_bucket{le=\"0.1\"} 2
 obs_fmt_latency_seconds_bucket{le=\"+Inf\"} 3
 obs_fmt_latency_seconds_sum 3.0505
 obs_fmt_latency_seconds_count 3
+obs_fmt_latency_seconds_overflow 1
 # HELP obs_fmt_requests_total requests seen
 # TYPE obs_fmt_requests_total counter
 obs_fmt_requests_total 7
@@ -475,5 +542,7 @@ obs_fmt_requests_total 7
     #[test]
     fn default_latency_buckets_are_increasing() {
         assert!(DEFAULT_LATENCY_BUCKETS.windows(2).all(|w| w[0] < w[1]));
+        assert!(ALLOC_COUNT_BUCKETS.windows(2).all(|w| w[0] < w[1]));
+        assert!(ALLOC_BYTES_BUCKETS.windows(2).all(|w| w[0] < w[1]));
     }
 }
