@@ -103,6 +103,8 @@ fn dispatch(args: &Args) -> Result<()> {
         "poi" => cmd_poi(args),
         "metrics" => cmd_metrics(args),
         "check-artifacts" => cmd_check_artifacts(args),
+        "serve" => cmd_serve(args),
+        "bench-serve" => cmd_bench_serve(args),
         other => Err(SoiError::invalid(format!(
             "unknown command {other:?}; try `soi help`"
         ))),
@@ -124,6 +126,8 @@ fn command_span_name(command: &str) -> &'static str {
         "poi" => "cli.poi",
         "metrics" => "cli.metrics",
         "check-artifacts" => "cli.check_artifacts",
+        "serve" => "cli.serve",
+        "bench-serve" => "cli.bench_serve",
         _ => "cli.command",
     }
 }
@@ -186,7 +190,22 @@ fn print_help() -> Result<()> {
          check-artifacts [--trace FILE.json] [--stats FILE.json] [--explain FILE.json]\n\
          \u{20}          Validate observability artifacts: a Chrome trace from\n\
          \u{20}          --trace-out, a telemetry file from --stats-json, and/or\n\
-         \u{20}          an explain artifact from `soi explain --json`.\n\n\
+         \u{20}          an explain artifact from `soi explain --json`.\n\
+         serve     --data DIR [--addr 127.0.0.1:7878] [--threads N] [--io-threads 4]\n\
+         \u{20}          [--queue 64] [--deadline-ms 250] [--max-deadline-ms 10000]\n\
+         \u{20}          [--batch-max 8] [--eps 0.0005] [--rho 0.0001]\n\
+         \u{20}          Serve queries over HTTP (POST /soi, POST /describe,\n\
+         \u{20}          GET /metrics|/status|/explain) with admission control,\n\
+         \u{20}          per-request deadlines (anytime partial results), and\n\
+         \u{20}          graceful drain on SIGTERM. --stats-json FILE writes the\n\
+         \u{20}          final serving report on shutdown.\n\
+         bench-serve --addr HOST:PORT --keywords w1,w2 [--requests 100]\n\
+         \u{20}          [--concurrency 4] [--k 10] [--deadline-ms 250]\n\
+         \u{20}          [--timeout-ms 2000] [--retries 2] [--describe-street S]\n\
+         \u{20}          Drive load at a running `soi serve` (every other request\n\
+         \u{20}          describes street S when given) with timeouts, retries,\n\
+         \u{20}          and backoff; prints status/latency percentiles and\n\
+         \u{20}          writes them with --stats-json FILE.\n\n\
          OBSERVABILITY (any command)\n\
          --trace-out FILE   Record a Chrome trace_event JSON file of the run\n\
          \u{20}                  (open in chrome://tracing or ui.perfetto.dev).\n\
@@ -624,32 +643,64 @@ fn cmd_batch(args: &Args) -> Result<()> {
     let eps: f64 = args.get_parsed("eps", DEFAULT_EPS)?;
     let threads: usize = args.get_parsed("threads", 0)?;
 
+    // Parse every line, keeping failures as per-input error records
+    // instead of aborting the whole batch on the first bad line. A record
+    // carries the 0-based input slot (position among query lines) so it
+    // lines up with the engine's `error_records`, plus the 1-based file
+    // line in the message for humans.
     let text = std::fs::read_to_string(path).at_path(path)?;
     let mut queries = Vec::new();
+    let mut slot_of_valid = Vec::new();
+    let mut parse_records = Vec::new();
+    let mut input_slots = 0usize;
     for (i, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        queries.push(parse_batch_line(&dataset, i + 1, line, eps)?);
+        let slot = input_slots;
+        input_slots += 1;
+        match parse_batch_line(&dataset, i + 1, line, eps) {
+            Ok(query) => {
+                slot_of_valid.push(slot);
+                queries.push(query);
+            }
+            Err(e) => parse_records.push(soi_engine::BatchErrorRecord {
+                index: slot,
+                stage: "parse",
+                category: e.category().to_string(),
+                message: e.to_string(),
+            }),
+        }
+    }
+    if input_slots == 0 {
+        return Err(SoiError::invalid(format!("{path}: no queries found")));
     }
     if queries.is_empty() {
-        return Err(SoiError::invalid(format!("{path}: no queries found")));
+        return Err(SoiError::invalid(format!(
+            "{path}: every query line failed to parse ({} errors); first: {}",
+            parse_records.len(),
+            parse_records[0].message
+        )));
     }
 
     let index = PoiIndex::build_with_threads(&dataset.network, &dataset.pois, 2.0 * eps, threads);
     let engine = QueryEngine::new(threads);
     let ctx = std::sync::Arc::new(QueryContext::new(&dataset.network, &dataset.pois, &index));
-    let batch = engine.run_soi_batch(&ctx, &queries);
+    let mut batch = engine.run_soi_batch(&ctx, &queries);
 
     let mut out = std::io::stdout().lock();
+    for rec in &parse_records {
+        writeln!(out, "query {}: parse error: {}", rec.index + 1, rec.message)?;
+    }
     for (i, (query, result)) in queries.iter().zip(&batch.results).enumerate() {
+        let slot = slot_of_valid[i];
         match result {
             Ok(outcome) => {
                 writeln!(
                     out,
                     "query {}: k={} -> {} streets",
-                    i + 1,
+                    slot + 1,
                     query.k,
                     outcome.results.len()
                 )?;
@@ -663,9 +714,19 @@ fn cmd_batch(args: &Args) -> Result<()> {
                     )?;
                 }
             }
-            Err(e) => writeln!(out, "query {}: error: {e}", i + 1)?,
+            Err(e) => writeln!(out, "query {}: error: {e}", slot + 1)?,
         }
     }
+    // The stats artifact reports every failure of the run against its
+    // input slot: engine records are remapped from valid-query indices to
+    // input slots, then merged with the parse-stage records.
+    for rec in &mut batch.telemetry.error_records {
+        rec.index = slot_of_valid[rec.index];
+    }
+    let parse_errors = parse_records.len();
+    parse_records.append(&mut batch.telemetry.error_records);
+    parse_records.sort_by_key(|r| r.index);
+    batch.telemetry.error_records = parse_records;
     if let Some(stats_path) = args.get("stats-json") {
         std::fs::write(stats_path, batch.telemetry.to_json()).at_path(stats_path)?;
     }
@@ -679,6 +740,8 @@ fn cmd_batch(args: &Args) -> Result<()> {
             ("wall_ms", Value::F64(s.wall_time.as_secs_f64() * 1e3)),
             ("queries_per_second", Value::F64(s.queries_per_second())),
             ("errors", Value::U64(s.errors as u64)),
+            ("parse_errors", Value::U64(parse_errors as u64)),
+            ("partials", Value::U64(s.partials as u64)),
         ],
     );
     Ok(())
@@ -1074,6 +1137,226 @@ fn cmd_route(args: &Args) -> Result<()> {
             dataset.network.street(*street).name,
             interest
         )?;
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<()> {
+    use std::time::Duration;
+    let dataset = load(args)?;
+    let config = soi_serve::ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        engine_threads: args.get_parsed("threads", 0usize)?,
+        io_threads: args.get_parsed("io-threads", 4usize)?,
+        queue_capacity: args.get_parsed("queue", 64usize)?,
+        default_deadline: Duration::from_millis(args.get_parsed("deadline-ms", 250u64)?),
+        max_deadline: Duration::from_millis(args.get_parsed("max-deadline-ms", 10_000u64)?),
+        batch_max: args.get_parsed("batch-max", 8usize)?,
+        eps: args.get_parsed("eps", DEFAULT_EPS)?,
+        rho: args.get_parsed("rho", DEFAULT_RHO)?,
+        ..soi_serve::ServeConfig::default()
+    };
+    soi_serve::signal::install_handlers();
+    let report = soi_serve::serve(
+        &dataset,
+        &config,
+        soi_serve::signal::shutdown_flag(),
+        |addr| {
+            // Scripts scrape this line for the bound port (port 0 picks a
+            // free one), so it must reach the pipe before traffic starts.
+            let mut out = std::io::stdout().lock();
+            let _ = writeln!(out, "listening on {addr}");
+            let _ = out.flush();
+        },
+    )?;
+    if let Some(stats_path) = args.get("stats-json") {
+        std::fs::write(stats_path, report.to_json()).at_path(stats_path)?;
+    }
+    let mut out = std::io::stdout().lock();
+    writeln!(
+        out,
+        "drained: {} requests ({} shed, {} rejected, {} partial, {} errors, {} panics)",
+        report.requests,
+        report.sheds,
+        report.rejected,
+        report.partials,
+        report.errors,
+        report.panics
+    )?;
+    Ok(())
+}
+
+/// One bench-serve observation: terminal status (0 = transport failure),
+/// end-to-end latency including retries, attempts made, and whether the
+/// response body was a deadline-degraded partial result.
+struct BenchSample {
+    status: u16,
+    latency: std::time::Duration,
+    attempts: usize,
+    partial: bool,
+}
+
+fn cmd_bench_serve(args: &Args) -> Result<()> {
+    use std::time::{Duration, Instant};
+    let addr: std::net::SocketAddr = args
+        .require("addr")?
+        .parse()
+        .map_err(|_| SoiError::invalid("--addr must be HOST:PORT"))?;
+    let keywords = args.require("keywords")?;
+    let n: usize = args.get_parsed("requests", 100)?;
+    let concurrency: usize = args.get_parsed("concurrency", 4)?;
+    let k: usize = args.get_parsed("k", 10)?;
+    let deadline_ms: u64 = args.get_parsed("deadline-ms", 250u64)?;
+    let timeout = Duration::from_millis(args.get_parsed("timeout-ms", 2000u64)?);
+    let policy = soi_serve::client::RetryPolicy {
+        retries: args.get_parsed("retries", 2usize)?,
+        backoff: Duration::from_millis(args.get_parsed("backoff-ms", 25u64)?),
+    };
+    let describe_street = args.get("describe-street");
+
+    let soi_body = {
+        let mut obj = json::JsonWriter::object();
+        let mut words = json::JsonWriter::array();
+        for w in keywords.split(',').map(str::trim).filter(|w| !w.is_empty()) {
+            let mut quoted = String::new();
+            json::write_escaped(&mut quoted, w);
+            words.elem_raw(&quoted);
+        }
+        obj.field_raw("keywords", &words.finish());
+        obj.field_u64("k", k as u64);
+        obj.field_u64("deadline_ms", deadline_ms);
+        obj.finish()
+    };
+    let describe_body = describe_street.map(|street| {
+        let mut obj = json::JsonWriter::object();
+        match street.parse::<u64>() {
+            Ok(id) => obj.field_u64("street", id),
+            Err(_) => obj.field_str("street", street),
+        }
+        obj.field_u64("k", 3);
+        obj.field_u64("deadline_ms", deadline_ms);
+        obj.finish()
+    });
+
+    let started = Instant::now();
+    let mut samples: Vec<BenchSample> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..concurrency.max(1))
+            .map(|tid| {
+                let soi_body = &soi_body;
+                let describe_body = &describe_body;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut j = tid;
+                    while j < n {
+                        // Mixed traffic: every other request describes the
+                        // given street, the rest run k-SOI queries.
+                        let (path, body) = match describe_body {
+                            Some(describe) if j % 2 == 1 => ("/describe", describe.as_str()),
+                            _ => ("/soi", soi_body.as_str()),
+                        };
+                        let sent = Instant::now();
+                        let (outcome, attempts) = soi_serve::client::request_with_retry(
+                            addr,
+                            "POST",
+                            path,
+                            Some(body),
+                            timeout,
+                            policy,
+                        );
+                        let latency = sent.elapsed();
+                        let sample = match outcome {
+                            Ok(response) => BenchSample {
+                                status: response.status,
+                                latency,
+                                attempts,
+                                partial: response.body.contains("\"partial\":true"),
+                            },
+                            Err(_) => BenchSample {
+                                status: 0,
+                                latency,
+                                attempts,
+                                partial: false,
+                            },
+                        };
+                        local.push(sample);
+                        j += concurrency.max(1);
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            if let Ok(local) = worker.join() {
+                samples.extend(local);
+            }
+        }
+    });
+    let wall = started.elapsed();
+
+    let ok = samples.iter().filter(|s| s.status == 200).count();
+    let sheds = samples.iter().filter(|s| s.status == 503).count();
+    let errors = samples
+        .iter()
+        .filter(|s| s.status != 200 && s.status != 503 && s.status != 0)
+        .count();
+    let transport_errors = samples.iter().filter(|s| s.status == 0).count();
+    let partials = samples.iter().filter(|s| s.partial).count();
+    let retried = samples.iter().filter(|s| s.attempts > 1).count();
+    if ok == 0 && sheds == 0 && errors == 0 {
+        return Err(SoiError::not_found(format!(
+            "no response from {addr} ({transport_errors} transport failures); is `soi serve` running?"
+        )));
+    }
+
+    // Exact percentiles over the *accepted* (200) latencies: shed requests
+    // return in microseconds and would flatter the tail.
+    let mut accepted: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.status == 200)
+        .map(|s| s.latency.as_secs_f64() * 1e3)
+        .collect();
+    accepted.sort_by(|a, b| a.total_cmp(b));
+    let pct = |q: f64| -> f64 {
+        if accepted.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((accepted.len() - 1) as f64 * q).round() as usize;
+        accepted[idx]
+    };
+    let (p50, p95, p99) = (pct(0.5), pct(0.95), pct(0.99));
+
+    let mut out = std::io::stdout().lock();
+    writeln!(
+        out,
+        "bench-serve: {} requests in {:.2}s ({:.1} req/s)",
+        samples.len(),
+        wall.as_secs_f64(),
+        samples.len() as f64 / wall.as_secs_f64().max(1e-9)
+    )?;
+    writeln!(
+        out,
+        "  ok {ok}  shed {sheds}  error {errors}  transport-error {transport_errors}  partial {partials}  retried {retried}"
+    )?;
+    writeln!(
+        out,
+        "  accepted latency ms: p50 {p50:.2}  p95 {p95:.2}  p99 {p99:.2}"
+    )?;
+
+    if let Some(stats_path) = args.get("stats-json") {
+        let mut obj = json::JsonWriter::object();
+        obj.field_u64("requests", samples.len() as u64);
+        obj.field_u64("ok", ok as u64);
+        obj.field_u64("sheds", sheds as u64);
+        obj.field_u64("errors", errors as u64);
+        obj.field_u64("transport_errors", transport_errors as u64);
+        obj.field_u64("partials", partials as u64);
+        obj.field_u64("retried", retried as u64);
+        obj.field_f64("wall_seconds", wall.as_secs_f64());
+        obj.field_f64("p50_ms", p50);
+        obj.field_f64("p95_ms", p95);
+        obj.field_f64("p99_ms", p99);
+        std::fs::write(stats_path, obj.finish()).at_path(stats_path)?;
     }
     Ok(())
 }

@@ -529,6 +529,162 @@ fn metrics_exposes_allocation_series() {
 }
 
 #[test]
+fn batch_reports_per_query_errors_without_aborting() {
+    let dir = std::env::temp_dir().join(format!("soi_cli_batcherr_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let queries = dir.join("queries.tsv");
+    // Line 2 has an unparsable k: the batch must still run lines 1 and 3
+    // and report the failure against its input slot.
+    std::fs::write(&queries, "shop\t5\nfood\tnot-a-number\nfood\t3\n").unwrap();
+    let stats = dir.join("stats.json");
+
+    let out = soi(&[
+        "batch",
+        queries.to_str().unwrap(),
+        "--data",
+        dataset_dir(),
+        "--stats-json",
+        stats.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("query 2: parse error:"),
+        "bad line not reported: {text}"
+    );
+    assert!(text.contains("invalid k"), "{text}");
+    assert!(text.contains("query 1: k=5"), "good line 1 skipped: {text}");
+    assert!(text.contains("query 3: k=3"), "good line 3 skipped: {text}");
+
+    // The stats artifact carries the categorized error record at the
+    // 0-based input slot, and still validates.
+    let stats_text = std::fs::read_to_string(&stats).unwrap();
+    assert!(stats_text.contains("\"error_records\""), "{stats_text}");
+    assert!(stats_text.contains("\"index\":1"), "{stats_text}");
+    assert!(stats_text.contains("\"stage\":\"parse\""), "{stats_text}");
+    assert!(stats_text.contains("\"queries\":2"), "{stats_text}");
+    let check = soi(&["check-artifacts", "--stats", stats.to_str().unwrap()]);
+    assert!(check.status.success(), "{}", stderr(&check));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_with_all_lines_bad_fails_with_count() {
+    let dir = std::env::temp_dir().join(format!("soi_cli_batchall_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let queries = dir.join("queries.tsv");
+    std::fs::write(&queries, "\t\nshop\tNaN-k\n").unwrap();
+    let out = soi(&["batch", queries.to_str().unwrap(), "--data", dataset_dir()]);
+    assert_eq!(code(&out), 2, "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("every query line failed"),
+        "{}",
+        stderr(&out)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_drains_gracefully_on_sigterm() {
+    use std::io::BufRead;
+
+    let dir = std::env::temp_dir().join(format!("soi_cli_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let stats = dir.join("serve.json");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_soi"))
+        .args([
+            "serve",
+            "--data",
+            dataset_dir(),
+            "--addr",
+            "127.0.0.1:0",
+            "--stats-json",
+            stats.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+
+    // Scrape the bound address from the ready line (port 0 picks a port).
+    let out = child.stdout.take().expect("stdout piped");
+    let (tx, rx) = std::sync::mpsc::channel();
+    let reader = std::thread::spawn(move || {
+        for line in std::io::BufReader::new(out).lines() {
+            let Ok(line) = line else { break };
+            if let Some(addr) = line.strip_prefix("listening on ") {
+                let _ = tx.send(addr.trim().to_string());
+            }
+        }
+    });
+    let addr: std::net::SocketAddr = rx
+        .recv_timeout(std::time::Duration::from_secs(120))
+        .expect("serve printed its ready line")
+        .parse()
+        .expect("ready line carries an address");
+
+    // Real traffic over the socket before the signal.
+    let timeout = std::time::Duration::from_secs(10);
+    let status = soi_serve::client::request(addr, "GET", "/status", None, timeout).expect("status");
+    assert_eq!(status.status, 200, "body: {}", status.body);
+    let soi_resp = soi_serve::client::request(
+        addr,
+        "POST",
+        "/soi",
+        Some("{\"keywords\":[\"shop\"],\"k\":3,\"deadline_ms\":5000}"),
+        timeout,
+    )
+    .expect("soi");
+    assert_eq!(soi_resp.status, 200, "body: {}", soi_resp.body);
+
+    // bench-serve drives the live server and writes its own artifact.
+    let bench_stats = dir.join("bench.json");
+    let bench = soi(&[
+        "bench-serve",
+        "--addr",
+        &addr.to_string(),
+        "--keywords",
+        "shop",
+        "--requests",
+        "8",
+        "--concurrency",
+        "2",
+        "--stats-json",
+        bench_stats.to_str().unwrap(),
+    ]);
+    assert!(bench.status.success(), "{}", stderr(&bench));
+    let bench_text = std::fs::read_to_string(&bench_stats).unwrap();
+    assert!(bench_text.contains("\"requests\":8"), "{bench_text}");
+    assert!(bench_text.contains("\"p99_ms\""), "{bench_text}");
+
+    // SIGTERM must drain and exit 0 with the report flushed to disk.
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .output()
+        .expect("kill runs");
+    assert!(kill.status.success());
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let status = loop {
+        match child.try_wait().expect("wait works") {
+            Some(status) => break status,
+            None if std::time::Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("serve did not exit within 60s of SIGTERM");
+            }
+            None => std::thread::sleep(std::time::Duration::from_millis(50)),
+        }
+    };
+    reader.join().expect("reader joins");
+    assert!(status.success(), "serve exited nonzero: {status:?}");
+
+    let report = std::fs::read_to_string(&stats).expect("stats artifact written");
+    assert!(report.contains("\"drained\":true"), "{report}");
+    assert!(!report.contains("\"requests\":0"), "{report}");
+    assert!(report.contains("\"panics\":0"), "{report}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn check_artifacts_rejects_garbage() {
     let dir = std::env::temp_dir().join(format!("soi_cli_badart_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

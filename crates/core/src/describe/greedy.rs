@@ -54,6 +54,7 @@ pub fn greedy_select(
         selected,
         objective,
         stats,
+        partial: false,
     }
 }
 

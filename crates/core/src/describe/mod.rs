@@ -23,7 +23,10 @@ pub use exact::exact_select;
 pub use explain::{DescribeExplain, DescribeRound};
 pub use greedy::greedy_select;
 pub use objective::{mmr, objective, set_diversity, set_relevance};
-pub use st_rel_div::{st_rel_div, st_rel_div_explained, st_rel_div_with_scratch, DescribeScratch};
+pub use st_rel_div::{
+    st_rel_div, st_rel_div_budgeted, st_rel_div_explained, st_rel_div_full,
+    st_rel_div_with_scratch, DescribeScratch,
+};
 pub use tradeoff::{knee, sweep_lambda, TradeoffPoint};
 pub use variants::{Aspect, Criterion, MethodSpec};
 
@@ -102,6 +105,10 @@ pub struct DescribeStats {
     pub cells_pruned_refinement: usize,
     /// Cells whose photos were refined.
     pub cells_refined: usize,
+    /// True when a [`QueryBudget`](crate::QueryBudget) deadline expired
+    /// before `k` photos were selected: the run stopped between greedy
+    /// rounds and returned the photos selected so far.
+    pub deadline_expired: bool,
 }
 
 /// The result of a description query: the selected photo summary.
@@ -113,6 +120,11 @@ pub struct DescribeOutcome {
     pub objective: f64,
     /// Work counters.
     pub stats: DescribeStats,
+    /// True when a [`QueryBudget`](crate::QueryBudget) deadline expired
+    /// mid-selection: `selected` is the prefix chosen by the completed
+    /// greedy rounds (each prefix is itself the exact greedy selection for
+    /// its length) rather than the full `k`-photo summary.
+    pub partial: bool,
 }
 
 #[cfg(test)]

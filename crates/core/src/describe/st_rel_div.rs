@@ -22,6 +22,7 @@
 //! so both produce identical selections; summation order also matches,
 //! keeping the floating-point results bit-identical.
 
+use crate::budget::QueryBudget;
 use crate::describe::bounds::{cell_div_bounds, cell_rel_bounds};
 use crate::describe::context::StreetContext;
 use crate::describe::explain::{DescribeExplain, DescribeRound};
@@ -124,7 +125,51 @@ pub fn st_rel_div_explained(
     photos: &PhotoCollection,
     params: &DescribeParams,
     scratch: &mut DescribeScratch,
+    explain: Option<&mut DescribeExplain>,
+) -> Result<DescribeOutcome> {
+    st_rel_div_full(
+        ctx,
+        photos,
+        params,
+        scratch,
+        explain,
+        QueryBudget::unlimited(),
+    )
+}
+
+/// [`st_rel_div_with_scratch`] under an execution budget: anytime semantics.
+///
+/// The deadline is checked once per greedy round. On expiry the run stops
+/// selecting and returns the photos chosen so far with
+/// [`partial`](DescribeOutcome::partial) set — the greedy selection is
+/// incremental, so every prefix is itself the exact greedy answer for its
+/// length. An unlimited budget is bit-identical to
+/// [`st_rel_div_with_scratch`].
+///
+/// # Errors
+/// Same contract as [`st_rel_div`] — a deadline hit is *not* an error.
+pub fn st_rel_div_budgeted(
+    ctx: &StreetContext,
+    photos: &PhotoCollection,
+    params: &DescribeParams,
+    scratch: &mut DescribeScratch,
+    budget: QueryBudget,
+) -> Result<DescribeOutcome> {
+    st_rel_div_full(ctx, photos, params, scratch, None, budget)
+}
+
+/// The full-surface entry point: explain collector *and* execution budget
+/// (see [`st_rel_div_explained`] and [`st_rel_div_budgeted`]).
+///
+/// # Errors
+/// Same contract as [`st_rel_div`].
+pub fn st_rel_div_full(
+    ctx: &StreetContext,
+    photos: &PhotoCollection,
+    params: &DescribeParams,
+    scratch: &mut DescribeScratch,
     mut explain: Option<&mut DescribeExplain>,
+    budget: QueryBudget,
 ) -> Result<DescribeOutcome> {
     params.validate()?;
     if let Some(&max_member) = ctx.members.iter().max() {
@@ -195,7 +240,11 @@ pub fn st_rel_div_explained(
             score
         };
 
-    while selected.len() < params.k && selected.len() < ctx.members.len() {
+    // Checked once per greedy round: each completed round's selection is a
+    // valid (exact) greedy prefix, so stopping between rounds degrades the
+    // summary length, never its per-photo quality.
+    let mut expired = budget.expired();
+    while !expired && selected.len() < params.k && selected.len() < ctx.members.len() {
         let round_no = selected.len() + 1;
         // Round-start counter snapshot, so the explain row can report the
         // refinement work attributable to this round alone.
@@ -305,7 +354,12 @@ pub fn st_rel_div_explained(
             }
         }
         stats.timer.stop();
+
+        if budget.expired() {
+            expired = true;
+        }
     }
+    stats.deadline_expired = expired;
 
     let objective = objective(ctx, photos, params, &selected);
 
@@ -325,6 +379,7 @@ pub fn st_rel_div_explained(
         selected,
         objective,
         stats,
+        partial: expired,
     })
 }
 

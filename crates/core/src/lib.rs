@@ -30,7 +30,10 @@
 // expect are compile errors outside of test code.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod budget;
 pub mod describe;
 pub mod obs;
 pub mod route;
 pub mod soi;
+
+pub use budget::QueryBudget;

@@ -34,6 +34,9 @@ pub struct SoiMetrics {
     pub segments_bounded_out: &'static Counter,
     /// `soi_source_accesses_total`: total source-list accesses.
     pub accesses: &'static Counter,
+    /// `soi_queries_partial_total`: queries whose deadline expired before
+    /// the bounds converged (anytime partial results returned).
+    pub partials: &'static Counter,
 }
 
 /// The SOI instruments (registered on first use).
@@ -61,6 +64,10 @@ pub fn soi_metrics() -> &'static SoiMetrics {
             "Segments dismissed by upper bounds without distance work",
         ),
         accesses: register_counter("soi_source_accesses_total", "Source-list accesses"),
+        partials: register_counter(
+            "soi_queries_partial_total",
+            "k-SOI queries that hit their deadline and returned partial lower-bound results",
+        ),
     })
 }
 
@@ -76,6 +83,9 @@ pub fn absorb_query_stats(stats: &QueryStats) {
     m.segments_bounded_out
         .add(stats.segments_bounded_out as u64);
     m.accesses.add(stats.accesses as u64);
+    if stats.deadline_expired {
+        m.partials.inc();
+    }
 }
 
 /// Global instruments fed by description (ST_Rel+Div) queries.
@@ -93,6 +103,9 @@ pub struct DescribeMetrics {
     pub cells_pruned_refinement: &'static Counter,
     /// `soi_describe_cells_refined_total`: cells whose photos were refined.
     pub cells_refined: &'static Counter,
+    /// `soi_describe_queries_partial_total`: describe queries whose deadline
+    /// expired mid-selection (anytime partial summaries returned).
+    pub partials: &'static Counter,
 }
 
 /// The describe instruments (registered on first use).
@@ -124,6 +137,10 @@ pub fn describe_metrics() -> &'static DescribeMetrics {
             "soi_describe_cells_refined_total",
             "Cells whose photos were refined",
         ),
+        partials: register_counter(
+            "soi_describe_queries_partial_total",
+            "Describe queries that hit their deadline and returned a partial summary",
+        ),
     })
 }
 
@@ -138,6 +155,9 @@ pub fn absorb_describe_stats(stats: &DescribeStats) {
     m.cells_pruned_refinement
         .add(stats.cells_pruned_refinement as u64);
     m.cells_refined.add(stats.cells_refined as u64);
+    if stats.deadline_expired {
+        m.partials.inc();
+    }
 }
 
 /// Forces registration of every core-algorithm metric so a gather

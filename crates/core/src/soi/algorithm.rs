@@ -34,6 +34,7 @@
 //! segment, so the combination preserves correctness while terminating much
 //! earlier (the ablation bench quantifies the difference).
 
+use crate::budget::{QueryBudget, BUDGET_CHECK_EVERY};
 use crate::soi::explain::{ExplainRow, SoiExplain};
 use crate::soi::interest::segment_interest;
 use crate::soi::query::{SoiConfig, SoiOutcome, SoiQuery, StreetResult};
@@ -262,7 +263,6 @@ pub fn run_soi_with_scratch(
 ///
 /// # Errors
 /// Same contract as [`run_soi`].
-#[allow(clippy::too_many_arguments)]
 pub fn run_soi_explained(
     network: &RoadNetwork,
     pois: &PoiCollection,
@@ -270,7 +270,61 @@ pub fn run_soi_explained(
     query: &SoiQuery,
     config: &SoiConfig,
     scratch: &mut SoiScratch,
+    explain: Option<&mut SoiExplain>,
+) -> Result<SoiOutcome> {
+    run_soi_full(
+        network,
+        pois,
+        index,
+        query,
+        config,
+        scratch,
+        explain,
+        QueryBudget::unlimited(),
+    )
+}
+
+/// [`run_soi_with_scratch`] under an execution budget: anytime semantics.
+///
+/// The deadline is checked every [`BUDGET_CHECK_EVERY`] source-list
+/// accesses. On expiry the run stops accessing, skips refinement, and
+/// returns the *current* lower-bound top-k with
+/// [`partial`](SoiOutcome::partial) set: every returned street's interest
+/// is a valid lower bound of its true interest and is at least the
+/// recorded `LBk` ([`QueryStats::termination_lb`]) — Alg. 1 maintains a
+/// correct lower-bound ranking at every access, so a deadline hit degrades
+/// the answer instead of erroring. An unlimited budget is bit-identical to
+/// [`run_soi_with_scratch`].
+///
+/// # Errors
+/// Same contract as [`run_soi`] — a deadline hit is *not* an error.
+pub fn run_soi_budgeted(
+    network: &RoadNetwork,
+    pois: &PoiCollection,
+    index: &PoiIndex,
+    query: &SoiQuery,
+    config: &SoiConfig,
+    scratch: &mut SoiScratch,
+    budget: QueryBudget,
+) -> Result<SoiOutcome> {
+    run_soi_full(network, pois, index, query, config, scratch, None, budget)
+}
+
+/// The full-surface entry point: explain collector *and* execution budget
+/// (see [`run_soi_explained`] and [`run_soi_budgeted`]).
+///
+/// # Errors
+/// Same contract as [`run_soi`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_soi_full(
+    network: &RoadNetwork,
+    pois: &PoiCollection,
+    index: &PoiIndex,
+    query: &SoiQuery,
+    config: &SoiConfig,
+    scratch: &mut SoiScratch,
     mut explain: Option<&mut SoiExplain>,
+    budget: QueryBudget,
 ) -> Result<SoiOutcome> {
     query.validate()?;
     let _query_span = soi_obs::trace::span(soi_obs::names::spans::SOI_QUERY);
@@ -411,10 +465,13 @@ pub fn run_soi_explained(
 
     let cycle = config.strategy.cycle();
     let mut cycle_pos = 0usize;
-    let mut lbk;
-    let mut ub;
+    let mut lbk = fil.lbk.threshold();
+    let mut ub = f64::INFINITY;
+    // A deadline that expired before the access loop still yields a valid
+    // (empty) lower-bound answer: the loop is simply never entered.
+    let mut expired = budget.expired();
 
-    loop {
+    while !expired {
         // Advance cursors past finalised (SL2/SL3) or seen (SLf) segments so
         // that peeks reflect the best still-relevant entry of each list.
         while cursor2 < sl2.len() && fil.states.get(&sl2[cursor2]).is_some_and(|s| s.finalized) {
@@ -549,48 +606,65 @@ pub fn run_soi_explained(
             soi_obs::trace::counter(soi_obs::names::tracks::SOI_UB, ub);
             soi_obs::trace::counter(soi_obs::names::tracks::SOI_LBK, lbk);
         }
+        // Deadline check every few accesses: cheap enough to be invisible on
+        // the unlimited path (a branch on `None`), frequent enough that an
+        // expired budget stops within microseconds. The stale pre-access UB
+        // kept here is still a valid upper bound (UB is non-increasing), and
+        // the *current* LBk is recorded so returned scores validate against
+        // `termination_lb`.
+        if stats.accesses % BUDGET_CHECK_EVERY == 0 && budget.expired() {
+            expired = true;
+            lbk = fil.lbk.threshold();
+        }
     }
 
     stats.termination_ub = ub;
     stats.termination_lb = lbk;
+    stats.deadline_expired = expired;
 
     // --- Refinement (lines 25–28): finalise the seen segments that can
     // still matter. A partial segment whose mass upper bound cannot lift it
     // above LBk is skipped: its true interest can neither enter the top-k
     // nor change a returned street's maximum (returned values are ≥ LBk).
-    stats.timer.enter(phases::REFINEMENT);
-    lbk = if config.paper_bounds_only {
-        0.0
-    } else {
-        fil.lbk.threshold()
-    };
-    seen.clear();
-    seen.extend(fil.states.keys().copied());
-    seen.sort_unstable();
-    for &seg in &seen {
-        let Some(state) = fil.states.get(&seg) else {
-            continue; // unreachable: `seen` was drawn from the same map
+    //
+    // Skipped entirely on deadline expiry: the anytime contract is a
+    // *lower-bound* top-k, and every accumulated mass is already a valid
+    // lower bound — spending more time refining would defeat the deadline.
+    if !expired {
+        stats.timer.enter(phases::REFINEMENT);
+        lbk = if config.paper_bounds_only {
+            0.0
+        } else {
+            fil.lbk.threshold()
         };
-        if state.finalized {
-            continue;
-        }
-        let s = network.segment(seg);
-        if lbk > 0.0 && segment_interest(state.upper_mass(relcount), s.len(), eps) <= lbk {
-            stats.segments_bounded_out += 1;
-            continue;
-        }
-        let geom = s.geom;
-        unvisited.clear();
-        unvisited.extend(state.unvisited());
-        let mut extra = 0.0;
-        for &cell in &unvisited {
-            extra += index.cell_mass_for_segment(pois, cell, &geom, &query.keywords, eps);
-            stats.cell_visits += 1;
-        }
-        if let Some(state) = fil.states.get_mut(&seg) {
-            state.mass += extra;
-            state.finalized = true;
-            stats.segments_finalized_refinement += 1;
+        seen.clear();
+        seen.extend(fil.states.keys().copied());
+        seen.sort_unstable();
+        for &seg in &seen {
+            let Some(state) = fil.states.get(&seg) else {
+                continue; // unreachable: `seen` was drawn from the same map
+            };
+            if state.finalized {
+                continue;
+            }
+            let s = network.segment(seg);
+            if lbk > 0.0 && segment_interest(state.upper_mass(relcount), s.len(), eps) <= lbk {
+                stats.segments_bounded_out += 1;
+                continue;
+            }
+            let geom = s.geom;
+            unvisited.clear();
+            unvisited.extend(state.unvisited());
+            let mut extra = 0.0;
+            for &cell in &unvisited {
+                extra += index.cell_mass_for_segment(pois, cell, &geom, &query.keywords, eps);
+                stats.cell_visits += 1;
+            }
+            if let Some(state) = fil.states.get_mut(&seg) {
+                state.mass += extra;
+                state.finalized = true;
+                stats.segments_finalized_refinement += 1;
+            }
         }
     }
 
@@ -646,7 +720,11 @@ pub fn run_soi_explained(
         ex.finish(&stats);
     }
 
-    Ok(SoiOutcome { results, stats })
+    Ok(SoiOutcome {
+        results,
+        stats,
+        partial: expired,
+    })
 }
 
 /// Pops a segment from SL2/SL3: lazily computes its Cε cells and either

@@ -67,7 +67,11 @@ pub fn run_baseline(
         .collect();
 
     stats.timer.stop();
-    SoiOutcome { results, stats }
+    SoiOutcome {
+        results,
+        stats,
+        partial: false,
+    }
 }
 
 /// Index-free exact street interests (Definition 3, `Max` aggregation) for
@@ -150,5 +154,9 @@ pub fn brute_force(network: &RoadNetwork, pois: &PoiCollection, query: &SoiQuery
         .collect();
 
     stats.timer.stop();
-    SoiOutcome { results, stats }
+    SoiOutcome {
+        results,
+        stats,
+        partial: false,
+    }
 }

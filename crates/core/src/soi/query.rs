@@ -83,6 +83,12 @@ pub struct SoiOutcome {
     pub results: Vec<StreetResult>,
     /// Phase timings and work counters.
     pub stats: QueryStats,
+    /// True when a [`QueryBudget`](crate::QueryBudget) deadline expired
+    /// before the bounds converged: `results` holds the current
+    /// lower-bound top-k (each entry's interest is a valid lower bound of
+    /// the street's true interest, and at least the recorded
+    /// [`QueryStats::termination_lb`]) rather than the exact answer.
+    pub partial: bool,
 }
 
 impl SoiOutcome {
@@ -135,6 +141,7 @@ mod tests {
                 },
             ],
             stats: QueryStats::default(),
+            partial: false,
         };
         assert_eq!(outcome.min_interest(), 1.0);
         assert_eq!(outcome.street_ids(), vec![StreetId(3), StreetId(1)]);

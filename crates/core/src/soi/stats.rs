@@ -40,6 +40,10 @@ pub struct QueryStats {
     pub termination_lb: f64,
     /// Total source-list accesses performed.
     pub accesses: usize,
+    /// True when a [`QueryBudget`](crate::QueryBudget) deadline expired
+    /// before `UB ≤ LBk`: the run stopped early and returned its current
+    /// lower-bound top-k.
+    pub deadline_expired: bool,
 }
 
 impl QueryStats {

@@ -32,11 +32,10 @@ pub mod obs;
 
 use soi_common::{effective_threads, Result};
 use soi_core::describe::{
-    st_rel_div_with_scratch, DescribeOutcome, DescribeParams, DescribeScratch, StreetContext,
+    st_rel_div_budgeted, DescribeOutcome, DescribeParams, DescribeScratch, StreetContext,
 };
-use soi_core::soi::{
-    run_soi_with_scratch, QueryStats, SoiConfig, SoiOutcome, SoiQuery, SoiScratch,
-};
+use soi_core::soi::{run_soi_budgeted, QueryStats, SoiConfig, SoiOutcome, SoiQuery, SoiScratch};
+use soi_core::QueryBudget;
 use soi_data::{PhotoCollection, PoiCollection};
 use soi_index::PoiIndex;
 use soi_network::RoadNetwork;
@@ -82,6 +81,9 @@ pub struct BatchStats {
     pub queries: usize,
     /// Queries that returned an error.
     pub errors: usize,
+    /// Queries whose deadline expired: they returned anytime *partial*
+    /// results (counted as successes, not errors).
+    pub partials: usize,
     /// Worker threads used.
     pub threads: usize,
     /// Wall-clock time of the whole batch.
@@ -98,6 +100,36 @@ pub struct BatchStats {
     pub segments_bounded_out: usize,
     /// Summed source-list accesses.
     pub accesses: usize,
+}
+
+/// One failed query of a batch: which slot failed, at which stage, and why.
+///
+/// The engine emits `stage == "query"` records for evaluation failures;
+/// callers that pre-validate or parse their inputs (the `soi batch` CLI)
+/// prepend their own records with other stages (e.g. `"parse"`), so one
+/// artifact lists every failure of the run with its input index.
+#[derive(Debug, Clone)]
+pub struct BatchErrorRecord {
+    /// Input index of the failed query (`results[index]` holds the error).
+    pub index: usize,
+    /// Pipeline stage that rejected it (`"query"` for engine evaluation).
+    pub stage: &'static str,
+    /// The [`soi_common::ErrorCategory`] name (`usage`, `data`, …).
+    pub category: String,
+    /// The rendered error message.
+    pub message: String,
+}
+
+impl BatchErrorRecord {
+    /// Renders the record as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = soi_obs::json::JsonWriter::object();
+        obj.field_u64("index", self.index as u64);
+        obj.field_str("stage", self.stage);
+        obj.field_str("category", &self.category);
+        obj.field_str("message", &self.message);
+        obj.finish()
+    }
 }
 
 /// Machine-readable telemetry snapshot of one batch: the aggregated
@@ -128,6 +160,9 @@ pub struct EngineTelemetry {
     pub eps_cache_misses: u64,
     /// `soi_epsilon_cache_evictions_total` at batch completion.
     pub eps_cache_evictions: u64,
+    /// One record per failed query, input order — the engine emits
+    /// `stage == "query"` entries; callers may prepend their own stages.
+    pub error_records: Vec<BatchErrorRecord>,
 }
 
 impl EngineTelemetry {
@@ -165,6 +200,7 @@ impl EngineTelemetry {
         let mut obj = soi_obs::json::JsonWriter::object();
         obj.field_u64("queries", self.stats.queries as u64);
         obj.field_u64("errors", self.stats.errors as u64);
+        obj.field_u64("partials", self.stats.partials as u64);
         obj.field_u64("threads", self.stats.threads as u64);
         obj.field_f64("wall_time_ms", ms(self.stats.wall_time));
         obj.field_f64("queries_per_second", self.stats.queries_per_second());
@@ -216,6 +252,11 @@ impl EngineTelemetry {
         eps.field_u64("misses", self.eps_cache_misses);
         eps.field_u64("evictions", self.eps_cache_evictions);
         obj.field_raw("eps_cache", &eps.finish());
+        let mut records = soi_obs::json::JsonWriter::array();
+        for rec in &self.error_records {
+            records.elem_raw(&rec.to_json());
+        }
+        obj.field_raw("error_records", &records.finish());
         obj.finish()
     }
 }
@@ -293,47 +334,85 @@ impl QueryEngine {
     /// [`run_soi`](soi_core::soi::run_soi) sequentially, for any worker
     /// count.
     pub fn run_soi_batch(&self, ctx: &Arc<QueryContext<'_>>, queries: &[SoiQuery]) -> BatchOutcome {
+        self.run_soi_batch_inner(ctx, queries, |q| (q, QueryBudget::unlimited()))
+    }
+
+    /// [`run_soi_batch`] with a per-query execution budget: anytime
+    /// semantics for serving.
+    ///
+    /// Each job carries its own [`QueryBudget`]; a query whose deadline
+    /// expires mid-run returns its current lower-bound top-k with
+    /// [`partial`](SoiOutcome::partial) set (a success, counted in
+    /// [`BatchStats::partials`]), never an error. Jobs with an unlimited
+    /// budget are bit-identical to [`run_soi_batch`].
+    pub fn run_soi_batch_with_deadlines(
+        &self,
+        ctx: &Arc<QueryContext<'_>>,
+        jobs: &[(SoiQuery, QueryBudget)],
+    ) -> BatchOutcome {
+        self.run_soi_batch_inner(ctx, jobs, |(q, b)| (q, *b))
+    }
+
+    /// The shared k-SOI batch executor: `get` projects each item to its
+    /// query and budget.
+    fn run_soi_batch_inner<T, G>(
+        &self,
+        ctx: &Arc<QueryContext<'_>>,
+        items: &[T],
+        get: G,
+    ) -> BatchOutcome
+    where
+        T: Sync,
+        G: Fn(&T) -> (&SoiQuery, QueryBudget) + Sync,
+    {
         let _batch_span = soi_obs::trace::span(soi_obs::names::spans::ENGINE_BATCH);
         let start = Instant::now();
-        let timed = self.dispatch(queries, || {
+        let get = &get;
+        let timed = self.dispatch(items, || {
             let ctx = Arc::clone(ctx);
             let mut scratch = SoiScratch::default();
-            move |query: &SoiQuery| {
+            move |item: &T| {
+                let (query, budget) = get(item);
                 let _span = soi_obs::trace::span(soi_obs::names::spans::ENGINE_QUERY);
                 // Per-query memory accounting: the query runs entirely on
                 // this worker thread, so a thread-local scope sees exactly
                 // its allocations (and how well the scratch absorbs them).
                 let scope = AllocScope::start();
                 let started = Instant::now();
-                let result = run_soi_with_scratch(
+                let result = run_soi_budgeted(
                     ctx.network,
                     ctx.pois,
                     ctx.index,
                     query,
                     &ctx.config,
                     &mut scratch,
+                    budget,
                 );
                 let elapsed = started.elapsed();
                 (result, elapsed, scope.finish())
             }
         });
         let mut stats = BatchStats {
-            queries: queries.len(),
+            queries: items.len(),
             threads: self.threads,
             ..BatchStats::default()
         };
-        let mut query_latencies = Vec::with_capacity(queries.len());
-        let mut query_allocs = Vec::with_capacity(queries.len());
-        let mut query_alloc_peaks = Vec::with_capacity(queries.len());
-        let mut results = Vec::with_capacity(queries.len());
+        let mut query_latencies = Vec::with_capacity(items.len());
+        let mut query_allocs = Vec::with_capacity(items.len());
+        let mut query_alloc_peaks = Vec::with_capacity(items.len());
+        let mut results = Vec::with_capacity(items.len());
+        let mut error_records = Vec::new();
         let metrics = obs::engine_metrics();
         // Every slot is claimed exactly once by the counter protocol, so no
         // `None` survives; `flatten` keeps the invariant checked without
         // panicking.
-        for (result, latency, alloc) in timed.into_iter().flatten() {
+        for (index, (result, latency, alloc)) in timed.into_iter().flatten().enumerate() {
             match &result {
                 Ok(outcome) => {
                     stats.absorb(&outcome.stats);
+                    if outcome.partial {
+                        stats.partials += 1;
+                    }
                     query_latencies.push(latency);
                     query_allocs.push(alloc.allocs);
                     query_alloc_peaks.push(alloc.peak_bytes);
@@ -342,7 +421,15 @@ impl QueryEngine {
                         .query_alloc_peak_bytes
                         .observe(alloc.peak_bytes as f64);
                 }
-                Err(_) => stats.errors += 1,
+                Err(err) => {
+                    stats.errors += 1;
+                    error_records.push(BatchErrorRecord {
+                        index,
+                        stage: "query",
+                        category: err.category().to_string(),
+                        message: err.to_string(),
+                    });
+                }
             }
             results.push(result);
         }
@@ -357,6 +444,7 @@ impl QueryEngine {
             eps_cache_hits,
             eps_cache_misses,
             eps_cache_evictions,
+            error_records,
         };
         BatchOutcome {
             results,
@@ -381,7 +469,30 @@ impl QueryEngine {
             let mut scratch = DescribeScratch::default();
             move |(ctx, params): &(&StreetContext, DescribeParams)| {
                 let _span = soi_obs::trace::span(soi_obs::names::spans::ENGINE_QUERY);
-                st_rel_div_with_scratch(ctx, photos, params, &mut scratch)
+                st_rel_div_budgeted(ctx, photos, params, &mut scratch, QueryBudget::unlimited())
+            }
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// [`run_describe_batch`] with a per-job execution budget: a job whose
+    /// deadline expires mid-selection returns the photos chosen so far with
+    /// [`partial`](DescribeOutcome::partial) set (a success, not an error).
+    /// Jobs with an unlimited budget are bit-identical to
+    /// [`run_describe_batch`].
+    pub fn run_describe_batch_with_deadlines(
+        &self,
+        photos: &PhotoCollection,
+        jobs: &[(&StreetContext, DescribeParams, QueryBudget)],
+    ) -> Vec<Result<DescribeOutcome>> {
+        let _batch_span = soi_obs::trace::span(soi_obs::names::spans::ENGINE_BATCH);
+        self.dispatch(jobs, || {
+            let mut scratch = DescribeScratch::default();
+            move |(ctx, params, budget): &(&StreetContext, DescribeParams, QueryBudget)| {
+                let _span = soi_obs::trace::span(soi_obs::names::spans::ENGINE_QUERY);
+                st_rel_div_budgeted(ctx, photos, params, &mut scratch, *budget)
             }
         })
         .into_iter()
@@ -529,6 +640,76 @@ mod tests {
         assert!(batch.results[1].is_err());
         assert!(batch.results[2].is_ok());
         assert_eq!(batch.stats.errors, 1);
+    }
+
+    #[test]
+    fn unlimited_deadlines_match_plain_batch() {
+        let (dataset, index) = fixture();
+        let queries = queries(&dataset);
+        let jobs: Vec<(SoiQuery, QueryBudget)> = queries
+            .iter()
+            .map(|q| (q.clone(), QueryBudget::unlimited()))
+            .collect();
+        let ctx = Arc::new(QueryContext::new(&dataset.network, &dataset.pois, &index));
+        let engine = QueryEngine::new(2);
+        let plain = engine.run_soi_batch(&ctx, &queries);
+        let budgeted = engine.run_soi_batch_with_deadlines(&ctx, &jobs);
+        assert_eq!(budgeted.stats.partials, 0);
+        for (got, want) in budgeted.results.iter().zip(&plain.results) {
+            let (got, want) = (got.as_ref().expect("valid"), want.as_ref().expect("valid"));
+            assert!(!got.partial);
+            assert_eq!(got.street_ids(), want.street_ids());
+            for (g, w) in got.results.iter().zip(&want.results) {
+                assert_eq!(g.interest.to_bits(), w.interest.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadlines_yield_partials_not_errors() {
+        let (dataset, index) = fixture();
+        let queries = queries(&dataset);
+        // A deadline already in the past: every query stops at its first
+        // budget check and reports partial.
+        let past = Instant::now();
+        let jobs: Vec<(SoiQuery, QueryBudget)> = queries
+            .iter()
+            .map(|q| (q.clone(), QueryBudget::with_deadline(past)))
+            .collect();
+        let ctx = Arc::new(QueryContext::new(&dataset.network, &dataset.pois, &index));
+        let batch = QueryEngine::new(2).run_soi_batch_with_deadlines(&ctx, &jobs);
+        assert_eq!(batch.stats.errors, 0);
+        assert_eq!(batch.stats.partials, queries.len());
+        for result in &batch.results {
+            let outcome = result.as_ref().expect("deadline hit is not an error");
+            assert!(outcome.partial);
+            assert!(outcome.stats.deadline_expired);
+        }
+    }
+
+    #[test]
+    fn error_records_report_index_and_category() {
+        let (dataset, index) = fixture();
+        let mut queries = queries(&dataset);
+        queries[2].k = 0; // invalid
+        let ctx = Arc::new(QueryContext::new(&dataset.network, &dataset.pois, &index));
+        let batch = QueryEngine::new(2).run_soi_batch(&ctx, &queries);
+        assert_eq!(batch.telemetry.error_records.len(), 1);
+        let rec = &batch.telemetry.error_records[0];
+        assert_eq!(rec.index, 2);
+        assert_eq!(rec.stage, "query");
+        assert_eq!(rec.category, "usage");
+        let json = soi_obs::json::parse(&batch.telemetry.to_json()).expect("parses");
+        let records = json
+            .get("error_records")
+            .and_then(|r| r.as_arr())
+            .expect("error_records array");
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].get("index").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(
+            records[0].get("stage").and_then(|v| v.as_str()),
+            Some("query")
+        );
     }
 
     #[test]

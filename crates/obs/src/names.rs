@@ -49,6 +49,10 @@ pub mod spans {
     pub const CLI_PREFIX: &str = "cli.";
     /// Dataset load from disk.
     pub const CLI_LOAD: &str = "cli.load";
+    /// One HTTP request handled by the serving layer (parse to response).
+    pub const SERVE_REQUEST: &str = "serve.request";
+    /// One admission-queue drain: dequeue, batch, execute, publish.
+    pub const SERVE_DISPATCH: &str = "serve.dispatch";
 }
 
 /// Counter-track names (sampled values plotted over time in a trace).
@@ -95,6 +99,8 @@ mod tests {
             spans::INDEX_BUILD_LENGTHS,
             spans::EPS_MAPS_BUILD,
             spans::CLI_LOAD,
+            spans::SERVE_REQUEST,
+            spans::SERVE_DISPATCH,
         ] {
             assert!(name.contains('.'), "{name} is not dotted");
         }

@@ -1,0 +1,146 @@
+//! A minimal blocking HTTP/1.1 client for `soi bench-serve` and tests.
+//!
+//! Speaks exactly the dialect the server emits (`Connection: close`,
+//! `Content-Length` bodies), with a per-request timeout and optional
+//! retry with exponential backoff for shed (503) responses.
+
+use soi_common::{Result, SoiError};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+}
+
+/// Sends one request and reads the full response, bounded by `timeout`.
+///
+/// # Errors
+/// Connection, timeout, or malformed-response failures.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> Result<Response> {
+    let label = || format!("{method} {path}");
+    let stream = TcpStream::connect_timeout(&addr, timeout)
+        .map_err(|e| SoiError::io(e, addr.to_string()))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| SoiError::io(e, label()))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| SoiError::io(e, label()))?;
+    let mut stream = stream;
+
+    let payload = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: soi\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(payload.as_bytes()))
+        .map_err(|e| SoiError::io(e, label()))?;
+
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| SoiError::io(e, label()))?;
+    parse_response(&raw)
+}
+
+/// Parses a `Connection: close` response (body runs to EOF).
+fn parse_response(raw: &[u8]) -> Result<Response> {
+    let text = String::from_utf8_lossy(raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| SoiError::invalid("response had no header terminator"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| SoiError::invalid(format!("bad status line {status_line:?}")))?;
+    Ok(Response {
+        status,
+        body: body.to_string(),
+    })
+}
+
+/// Retry policy for [`request_with_retry`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = no retries).
+    pub retries: usize,
+    /// Backoff before the first retry; doubles each further retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            retries: 2,
+            backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Sends a request, retrying shed (503) responses and transport errors
+/// with exponential backoff. Non-503 responses return immediately.
+///
+/// Returns the last response (or error) once retries are exhausted, and
+/// the number of attempts actually made.
+///
+/// # Errors
+/// The final transport error when every attempt failed to produce a
+/// response.
+pub fn request_with_retry(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+    policy: RetryPolicy,
+) -> (Result<Response>, usize) {
+    let mut backoff = policy.backoff;
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let outcome = request(addr, method, path, body, timeout);
+        let retryable = match &outcome {
+            Ok(response) => response.status == 503,
+            Err(_) => true,
+        };
+        if !retryable || attempts > policy.retries {
+            return (outcome, attempts);
+        }
+        std::thread::sleep(backoff);
+        backoff = backoff.saturating_mul(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_response() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 2\r\n\r\n{}";
+        let response = parse_response(raw).expect("parses");
+        assert_eq!(response.status, 503);
+        assert_eq!(response.body, "{}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! `soi-serve`: a production serving layer for the k-SOI query engine.
+//!
+//! A dependency-free HTTP/1.1 server over `std::net` with production
+//! posture: bounded request parsing (slow-loris and oversized bodies are
+//! rejected in bounded time), a bounded admission queue that sheds load
+//! with an immediate 503 when full, per-request deadlines threaded into
+//! the algorithms as [`soi_core::QueryBudget`] (expired queries degrade to
+//! anytime *partial* results instead of blowing their latency target), and
+//! graceful drain on `SIGTERM`.
+//!
+//! Routes:
+//!
+//! | Route            | Semantics                                        |
+//! |------------------|--------------------------------------------------|
+//! | `POST /soi`      | k-SOI query (queued, deadline-bounded)           |
+//! | `POST /describe` | street description (queued, deadline-bounded)    |
+//! | `GET /metrics`   | Prometheus text exposition                       |
+//! | `GET /status`    | liveness + queue/drain state                     |
+//! | `GET /explain`   | inline explained query (debugging)               |
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod obs;
+pub mod queue;
+pub mod server;
+pub mod signal;
+
+pub use server::{serve, ServeConfig, ServeReport};

@@ -1,0 +1,95 @@
+//! Serving-layer metric instruments.
+//!
+//! Registered in the same process-wide registry as the algorithm metrics,
+//! so `GET /metrics` gathers one coherent Prometheus text exposition:
+//! query-level counters from `soi-core`, batch instruments from
+//! `soi-engine`, and the request/overload series here.
+
+use soi_obs::metrics::{
+    register_counter, register_gauge, register_histogram, Counter, Gauge, Histogram,
+    DEFAULT_LATENCY_BUCKETS,
+};
+use std::sync::OnceLock;
+
+/// Global instruments fed by the HTTP serving layer.
+pub struct ServeMetrics {
+    /// `soi_serve_requests_total`: HTTP requests that parsed successfully.
+    pub requests: &'static Counter,
+    /// `soi_serve_connections_total`: TCP connections accepted.
+    pub connections: &'static Counter,
+    /// `soi_serve_shed_total`: requests shed by admission control (the
+    /// bounded queue was full; the client got an immediate 503).
+    pub shed: &'static Counter,
+    /// `soi_serve_rejected_total`: connections rejected at the HTTP edge
+    /// (malformed request line, oversized body, slow or closed peer).
+    pub rejected: &'static Counter,
+    /// `soi_serve_deadline_expired_total`: accepted queries whose deadline
+    /// expired mid-run; the response carried `partial: true`.
+    pub deadline_expired: &'static Counter,
+    /// `soi_serve_panics_total`: worker panics caught by the isolation
+    /// guard (always expected to be zero; the overload suite asserts it).
+    pub panics: &'static Counter,
+    /// `soi_serve_queue_depth`: current admission-queue depth.
+    pub queue_depth: &'static Gauge,
+    /// `soi_serve_request_latency_seconds`: accepted-request latency from
+    /// parse completion to response written.
+    pub latency: &'static Histogram,
+}
+
+/// The serving instruments (registered on first use).
+pub fn serve_metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ServeMetrics {
+        requests: register_counter("soi_serve_requests_total", "HTTP requests parsed"),
+        connections: register_counter("soi_serve_connections_total", "TCP connections accepted"),
+        shed: register_counter(
+            "soi_serve_shed_total",
+            "Requests shed by admission control (queue full)",
+        ),
+        rejected: register_counter(
+            "soi_serve_rejected_total",
+            "Connections rejected at the HTTP edge (malformed, oversized, slow, or closed)",
+        ),
+        deadline_expired: register_counter(
+            "soi_serve_deadline_expired_total",
+            "Accepted queries that hit their deadline and returned partial results",
+        ),
+        panics: register_counter(
+            "soi_serve_panics_total",
+            "Worker panics caught by the isolation guard",
+        ),
+        queue_depth: register_gauge("soi_serve_queue_depth", "Current admission-queue depth"),
+        latency: register_histogram(
+            "soi_serve_request_latency_seconds",
+            "Accepted-request latency, parse to response",
+            DEFAULT_LATENCY_BUCKETS,
+        ),
+    })
+}
+
+/// Forces registration of every serving metric so a `GET /metrics` before
+/// the first request still exposes the full series set (at zero).
+pub fn register_metrics() {
+    let _ = serve_metrics();
+    soi_core::obs::register_metrics();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_exposes_serve_series() {
+        register_metrics();
+        let text = soi_obs::metrics::gather_prefixed("soi_serve_");
+        for name in [
+            "soi_serve_requests_total",
+            "soi_serve_shed_total",
+            "soi_serve_panics_total",
+            "soi_serve_queue_depth",
+            "soi_serve_request_latency_seconds",
+        ] {
+            assert!(text.contains(name), "{name} missing from gather");
+        }
+    }
+}

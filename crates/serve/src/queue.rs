@@ -1,0 +1,235 @@
+//! Bounded admission queue and per-request result slots.
+//!
+//! Admission control is the server's overload valve: IO workers
+//! [`try_push`](AdmissionQueue::try_push) parsed query jobs, and when the
+//! queue is at capacity the push fails immediately — the worker answers
+//! 503 and moves on, spending microseconds on the request instead of
+//! queueing unbounded work. The dispatcher drains jobs in batches sized
+//! for the engine, executes them under their deadlines, and publishes each
+//! response through the job's [`Slot`].
+
+use soi_common::StreetId;
+use soi_core::describe::DescribeParams;
+use soi_core::soi::SoiQuery;
+use soi_core::QueryBudget;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering from poisoning: a panicking worker (already
+/// counted by the panic guard) must not wedge every other thread that
+/// shares the queue.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A single-use rendezvous for one request's response: the IO worker waits
+/// on it while the dispatcher computes and [`put`](Slot::put)s the
+/// `(status, body)` pair.
+#[derive(Debug, Default)]
+pub struct Slot {
+    state: Mutex<Option<(u16, String)>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    /// Publishes the response and wakes the waiting worker.
+    pub fn put(&self, status: u16, body: String) {
+        *lock(&self.state) = Some((status, body));
+        self.cv.notify_all();
+    }
+
+    /// Waits up to `timeout` for the response; `None` on timeout (the
+    /// backstop — the dispatcher always answers deadline-bounded jobs).
+    pub fn wait(&self, timeout: Duration) -> Option<(u16, String)> {
+        let deadline = Instant::now() + timeout;
+        let mut state = lock(&self.state);
+        loop {
+            if let Some(response) = state.take() {
+                return Some(response);
+            }
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            let (next, wait) = match self.cv.wait_timeout(state, remaining) {
+                Ok(pair) => pair,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            state = next;
+            if wait.timed_out() && state.is_none() {
+                return None;
+            }
+        }
+    }
+}
+
+/// The work item of one accepted query request.
+#[derive(Debug)]
+pub enum JobKind {
+    /// A k-SOI identification query.
+    Soi(SoiQuery),
+    /// A photo-summary description query for one street.
+    Describe {
+        /// The street to describe.
+        street: StreetId,
+        /// Selection parameters.
+        params: DescribeParams,
+    },
+}
+
+/// One admitted request: the query, its deadline, and the response slot.
+#[derive(Debug)]
+pub struct Job {
+    /// What to run.
+    pub kind: JobKind,
+    /// Per-request deadline threaded into the algorithms.
+    pub budget: QueryBudget,
+    /// Where the dispatcher publishes the response.
+    pub slot: Arc<Slot>,
+    /// When the job was admitted (for queue-wait accounting).
+    pub enqueued: Instant,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The bounded, condvar-signalled admission queue.
+pub struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    /// Creates a queue admitting at most `capacity` pending jobs.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (pending jobs).
+    pub fn depth(&self) -> usize {
+        lock(&self.state).jobs.len()
+    }
+
+    /// Admits `job`, or returns it back when the queue is full or closed —
+    /// the caller sheds the request immediately.
+    pub fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut state = lock(&self.state);
+        if state.closed || state.jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        crate::obs::serve_metrics()
+            .queue_depth
+            .set(state.jobs.len() as f64);
+        drop(state);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Pops up to `max` jobs, waiting up to `timeout` for the first one.
+    /// Returns an empty batch on timeout or when closed and drained.
+    pub fn pop_batch(&self, max: usize, timeout: Duration) -> Vec<Job> {
+        let deadline = Instant::now() + timeout;
+        let mut state = lock(&self.state);
+        while state.jobs.is_empty() && !state.closed {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Vec::new();
+            };
+            let (next, wait) = match self.cv.wait_timeout(state, remaining) {
+                Ok(pair) => pair,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            state = next;
+            if wait.timed_out() && state.jobs.is_empty() {
+                return Vec::new();
+            }
+        }
+        let take = state.jobs.len().min(max.max(1));
+        let batch: Vec<Job> = state.jobs.drain(..take).collect();
+        crate::obs::serve_metrics()
+            .queue_depth
+            .set(state.jobs.len() as f64);
+        batch
+    }
+
+    /// Closes the queue: no further admissions; the dispatcher drains what
+    /// remains and then sees empty batches.
+    pub fn close(&self) {
+        lock(&self.state).closed = true;
+        self.cv.notify_all();
+    }
+
+    /// True once closed with nothing left to drain.
+    pub fn is_drained(&self) -> bool {
+        let state = lock(&self.state);
+        state.closed && state.jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> Job {
+        Job {
+            kind: JobKind::Soi(
+                SoiQuery::new(soi_text::KeywordSet::empty(), 1, 0.5).expect("valid"),
+            ),
+            budget: QueryBudget::unlimited(),
+            slot: Arc::new(Slot::default()),
+            enqueued: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn sheds_when_full() {
+        let q = AdmissionQueue::new(2);
+        assert!(q.try_push(job()).is_ok());
+        assert!(q.try_push(job()).is_ok());
+        assert!(q.try_push(job()).is_err(), "third push must shed");
+        assert_eq!(q.depth(), 2);
+        let batch = q.pop_batch(8, Duration::from_millis(10));
+        assert_eq!(batch.len(), 2);
+        assert!(q.try_push(job()).is_ok(), "space freed after drain");
+    }
+
+    #[test]
+    fn close_rejects_and_drains() {
+        let q = AdmissionQueue::new(4);
+        assert!(q.try_push(job()).is_ok());
+        q.close();
+        assert!(q.try_push(job()).is_err(), "closed queue admits nothing");
+        assert!(!q.is_drained());
+        let batch = q.pop_batch(8, Duration::from_millis(10));
+        assert_eq!(batch.len(), 1);
+        assert!(q.is_drained());
+        assert!(q.pop_batch(8, Duration::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn slot_roundtrip_and_timeout() {
+        let slot = Arc::new(Slot::default());
+        assert_eq!(slot.wait(Duration::from_millis(5)), None);
+        slot.put(200, "ok".to_string());
+        assert_eq!(
+            slot.wait(Duration::from_millis(5)),
+            Some((200, "ok".to_string()))
+        );
+    }
+}

@@ -1,0 +1,902 @@
+//! The serving loop: accept → bounded HTTP parse → admission queue →
+//! batched engine execution → response.
+//!
+//! ### Thread topology
+//!
+//! ```text
+//! accept loop (caller thread, nonblocking, polls the shutdown flag)
+//!   └─> bounded connection queue ──> IO workers (parse, route, respond)
+//!                                       ├─ /metrics /status /explain: inline
+//!                                       └─ /soi /describe: admission queue
+//!                                            └─> dispatcher (one thread)
+//!                                                  batches jobs into the
+//!                                                  QueryEngine under their
+//!                                                  per-request deadlines,
+//!                                                  publishes via Slot
+//! ```
+//!
+//! ### Overload semantics
+//!
+//! Every stage is bounded. A full connection queue or admission queue sheds
+//! with an immediate 503 (`soi_serve_shed_total`); malformed, oversized, or
+//! slow requests are rejected at the HTTP edge in bounded time
+//! (`soi_serve_rejected_total`); accepted queries carry a
+//! [`QueryBudget`] deadline into the algorithms and degrade to anytime
+//! *partial* results instead of missing their latency target.
+//!
+//! ### Drain
+//!
+//! When the shutdown flag flips (SIGTERM/SIGINT or programmatic), the
+//! accept loop stops, in-flight connections finish, the admission queue is
+//! closed and drained (queued jobs still run, under their deadlines), and
+//! [`serve`] returns a final [`ServeReport`].
+
+use crate::http::{self, Limits};
+use crate::queue::{AdmissionQueue, Job, JobKind, Slot};
+use soi_common::{ErrorCategory, Result, SoiError};
+use soi_core::describe::{ContextBuilder, DescribeParams, PhiSource, StreetContext};
+use soi_core::soi::{run_soi_explained, SoiExplain, SoiOutcome, SoiQuery, SoiScratch};
+use soi_core::QueryBudget;
+use soi_data::Dataset;
+use soi_engine::{QueryContext, QueryEngine};
+use soi_index::{PhotoGrid, PoiIndex};
+use soi_obs::json::{Json, JsonWriter};
+use soi_obs::log::{self, Value};
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Serving configuration (every knob has a production-shaped default).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Engine worker threads (0 = resolve automatically).
+    pub engine_threads: usize,
+    /// IO worker threads parsing requests and writing responses.
+    pub io_threads: usize,
+    /// Admission-queue capacity; pushes beyond it shed with 503.
+    pub queue_capacity: usize,
+    /// Deadline applied to queries that do not send `deadline_ms`.
+    pub default_deadline: Duration,
+    /// Upper cap on client-supplied deadlines.
+    pub max_deadline: Duration,
+    /// Socket read/write timeout (slow-loris bound).
+    pub socket_timeout: Duration,
+    /// Max accepted request body size.
+    pub max_body_bytes: usize,
+    /// Max jobs the dispatcher hands the engine per batch.
+    pub batch_max: usize,
+    /// Query ε default (also sizes the index grids).
+    pub eps: f64,
+    /// Describe neighbourhood radius ρ.
+    pub rho: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            engine_threads: 0,
+            io_threads: 4,
+            queue_capacity: 64,
+            default_deadline: Duration::from_millis(250),
+            max_deadline: Duration::from_secs(10),
+            socket_timeout: Duration::from_secs(2),
+            max_body_bytes: 64 * 1024,
+            batch_max: 8,
+            eps: 5e-4,
+            rho: 1e-4,
+        }
+    }
+}
+
+/// Final counters of one [`serve`] run (written by `--stats-json`).
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// TCP connections accepted.
+    pub connections: u64,
+    /// Requests that parsed successfully.
+    pub requests: u64,
+    /// Requests shed by admission control (503).
+    pub sheds: u64,
+    /// Connections rejected at the HTTP edge.
+    pub rejected: u64,
+    /// Queries that returned partial (deadline-expired) results.
+    pub partials: u64,
+    /// Query evaluations that returned an error response.
+    pub errors: u64,
+    /// Worker panics caught by the isolation guard.
+    pub panics: u64,
+    /// True when the server drained cleanly on shutdown.
+    pub drained: bool,
+}
+
+impl ServeReport {
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonWriter::object();
+        obj.field_u64("connections", self.connections);
+        obj.field_u64("requests", self.requests);
+        obj.field_u64("sheds", self.sheds);
+        obj.field_u64("rejected", self.rejected);
+        obj.field_u64("partials", self.partials);
+        obj.field_u64("errors", self.errors);
+        obj.field_u64("panics", self.panics);
+        obj.field_bool("drained", self.drained);
+        obj.finish()
+    }
+}
+
+/// Run-local counters (the process-global metrics are cumulative across
+/// servers in one process, so the report keeps its own).
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    sheds: AtomicU64,
+    rejected: AtomicU64,
+    partials: AtomicU64,
+    errors: AtomicU64,
+    panics: AtomicU64,
+}
+
+/// A bounded handoff queue of accepted connections.
+struct ConnQueue {
+    state: Mutex<(VecDeque<TcpStream>, bool)>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, (VecDeque<TcpStream>, bool)> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Hands the stream back when the backlog is full (edge shedding).
+    fn try_push(&self, stream: TcpStream) -> std::result::Result<(), TcpStream> {
+        let mut state = self.lock();
+        if state.1 || state.0.len() >= self.capacity {
+            return Err(stream);
+        }
+        state.0.push_back(stream);
+        drop(state);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self, timeout: Duration) -> Option<TcpStream> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        loop {
+            if let Some(stream) = state.0.pop_front() {
+                return Some(stream);
+            }
+            if state.1 {
+                return None;
+            }
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            state = match self.cv.wait_timeout(state, remaining) {
+                Ok((next, _)) => next,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
+    fn close(&self) {
+        self.lock().1 = true;
+        self.cv.notify_all();
+    }
+
+    fn is_closed(&self) -> bool {
+        self.lock().1
+    }
+}
+
+/// Everything the IO workers and dispatcher share.
+struct Shared<'a> {
+    dataset: &'a Dataset,
+    index: &'a PoiIndex,
+    photo_grid: &'a PhotoGrid,
+    engine: &'a QueryEngine,
+    queue: &'a AdmissionQueue,
+    config: &'a ServeConfig,
+    counters: &'a Counters,
+    shutdown: &'a AtomicBool,
+    started: Instant,
+}
+
+/// Runs the server until `shutdown` flips, then drains and reports.
+///
+/// `on_ready` receives the bound address once the listener is live (so
+/// callers binding port 0 learn the real port before traffic starts).
+///
+/// # Errors
+/// Setup failures only (bind, index build); per-request failures are
+/// answered over HTTP and never abort the server.
+pub fn serve(
+    dataset: &Dataset,
+    config: &ServeConfig,
+    shutdown: &AtomicBool,
+    on_ready: impl FnOnce(SocketAddr),
+) -> Result<ServeReport> {
+    crate::obs::register_metrics();
+    soi_engine::obs::register_metrics();
+
+    let cell = 2.0 * config.eps;
+    let index =
+        PoiIndex::build_with_threads(&dataset.network, &dataset.pois, cell, config.engine_threads);
+    let photo_grid = PhotoGrid::build(&dataset.network, &dataset.photos, cell);
+    let engine = QueryEngine::new(config.engine_threads);
+
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| SoiError::io(e, &config.addr).with_context("binding the serve listener"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| SoiError::io(e, &config.addr))?;
+    let local_addr = listener
+        .local_addr()
+        .map_err(|e| SoiError::io(e, &config.addr))?;
+
+    let queue = AdmissionQueue::new(config.queue_capacity);
+    let conns = ConnQueue::new(config.io_threads.max(1) * 2);
+    let counters = Counters::default();
+    let shared = Shared {
+        dataset,
+        index: &index,
+        photo_grid: &photo_grid,
+        engine: &engine,
+        queue: &queue,
+        config,
+        counters: &counters,
+        shutdown,
+        started: Instant::now(),
+    };
+
+    log::event(
+        "serve.ready",
+        "listening",
+        &[
+            ("addr", Value::Str(&local_addr.to_string())),
+            ("queue_capacity", Value::U64(config.queue_capacity as u64)),
+            ("io_threads", Value::U64(config.io_threads as u64)),
+            ("engine_threads", Value::U64(engine.threads() as u64)),
+        ],
+    );
+    on_ready(local_addr);
+
+    let run = crossbeam::thread::scope(|s| {
+        let dispatcher = s.spawn(|_| dispatcher_loop(&shared));
+        let workers: Vec<_> = (0..config.io_threads.max(1))
+            .map(|_| s.spawn(|_| io_worker_loop(&shared, &conns)))
+            .collect();
+
+        accept_loop(&listener, &conns, &shared);
+
+        // Drain: no new connections; finish in-flight ones; then close the
+        // admission queue so the dispatcher runs the backlog and exits.
+        conns.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        queue.close();
+        let _ = dispatcher.join();
+    });
+    if run.is_err() {
+        // A scope-level panic still produces a report; the panic counter
+        // records that something escaped the per-request guards.
+        crate::obs::serve_metrics().panics.inc();
+        counters.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    let report = ServeReport {
+        connections: counters.connections.load(Ordering::Relaxed),
+        requests: counters.requests.load(Ordering::Relaxed),
+        sheds: counters.sheds.load(Ordering::Relaxed),
+        rejected: counters.rejected.load(Ordering::Relaxed),
+        partials: counters.partials.load(Ordering::Relaxed),
+        errors: counters.errors.load(Ordering::Relaxed),
+        panics: counters.panics.load(Ordering::Relaxed),
+        drained: queue.is_drained() && run.is_ok(),
+    };
+    log::event(
+        "serve.drained",
+        "server drained",
+        &[
+            ("requests", Value::U64(report.requests)),
+            ("sheds", Value::U64(report.sheds)),
+            ("rejected", Value::U64(report.rejected)),
+            ("partials", Value::U64(report.partials)),
+            ("panics", Value::U64(report.panics)),
+        ],
+    );
+    Ok(report)
+}
+
+/// Accepts connections until shutdown; sheds at the edge when the handoff
+/// backlog is full.
+/// Closes a connection we rejected without reading its full request.
+///
+/// Closing with unread bytes in the receive buffer makes the kernel send a
+/// TCP RST, which can destroy the rejection response before the client
+/// reads it. Half-close the write side (flushing the response with a FIN),
+/// then drain what the client already sent, bounded by `limit` so a
+/// hostile peer cannot hold the worker.
+fn graceful_reject_close(stream: &mut TcpStream, limit: Duration) {
+    let _ = stream.shutdown(Shutdown::Write);
+    let deadline = Instant::now() + limit.min(Duration::from_millis(500));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut sink = [0u8; 4096];
+    loop {
+        if Instant::now() >= deadline {
+            return;
+        }
+        match stream.read(&mut sink) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, conns: &ConnQueue, shared: &Shared<'_>) {
+    let metrics = crate::obs::serve_metrics();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                metrics.connections.inc();
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(shared.config.socket_timeout));
+                let _ = stream.set_write_timeout(Some(shared.config.socket_timeout));
+                if let Err(mut stream) = conns.try_push(stream) {
+                    metrics.shed.inc();
+                    shared.counters.sheds.fetch_add(1, Ordering::Relaxed);
+                    let _ = http::write_error(
+                        &mut stream,
+                        503,
+                        "Service Unavailable",
+                        "connection backlog full, shedding load",
+                    );
+                    graceful_reject_close(&mut stream, shared.config.socket_timeout);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// One IO worker: pops connections and handles them, isolating panics so a
+/// poisoned request can never wedge the pool.
+fn io_worker_loop(shared: &Shared<'_>, conns: &ConnQueue) {
+    let mut scratch = SoiScratch::default();
+    loop {
+        let Some(mut stream) = conns.pop(Duration::from_millis(50)) else {
+            if conns.is_closed() {
+                return;
+            }
+            continue;
+        };
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            handle_connection(shared, &mut stream, &mut scratch);
+        }));
+        if outcome.is_err() {
+            crate::obs::serve_metrics().panics.inc();
+            shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_error(
+                &mut stream,
+                500,
+                "Internal Server Error",
+                "request handler panicked",
+            );
+            // The scratch may hold state from the interrupted request.
+            scratch = SoiScratch::default();
+        }
+    }
+}
+
+/// Parses and answers one connection (one request: `Connection: close`).
+fn handle_connection(shared: &Shared<'_>, stream: &mut TcpStream, scratch: &mut SoiScratch) {
+    let _span = soi_obs::trace::span(soi_obs::names::spans::SERVE_REQUEST);
+    let metrics = crate::obs::serve_metrics();
+    let limits = Limits {
+        max_body_bytes: shared.config.max_body_bytes,
+        // One socket-timeout interval bounds the whole parse, so even a
+        // drip-feed client costs a worker at most that long.
+        max_parse_time: shared.config.socket_timeout,
+        ..Limits::default()
+    };
+    let request = match http::read_request(stream, &limits) {
+        Ok(request) => request,
+        Err(e) => {
+            metrics.rejected.inc();
+            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            if let Some((status, reason)) = e.status() {
+                let _ = http::write_error(stream, status, reason, &e.describe());
+                graceful_reject_close(stream, shared.config.socket_timeout);
+            }
+            return;
+        }
+    };
+    metrics.requests.inc();
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    let (status, reason, content_type, body) = route(shared, &request, scratch);
+    let _ = http::write_response(stream, status, reason, content_type, body.as_bytes());
+    metrics.latency.observe_duration(started.elapsed());
+}
+
+/// Routes one parsed request to its handler.
+fn route(
+    shared: &Shared<'_>,
+    request: &crate::http::Request,
+    scratch: &mut SoiScratch,
+) -> (u16, &'static str, &'static str, String) {
+    const JSON: &str = "application/json";
+    match (request.method.as_str(), request.path()) {
+        ("GET", "/metrics") => (
+            200,
+            "OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            soi_obs::metrics::gather(),
+        ),
+        ("GET", "/status") => (200, "OK", JSON, status_body(shared)),
+        ("GET", "/explain") => match explain_inline(shared, request, scratch) {
+            Ok(body) => (200, "OK", JSON, body),
+            Err(e) => error_tuple(&e),
+        },
+        ("POST", "/soi") => match submit_soi(shared, request) {
+            Ok(tuple) => tuple,
+            Err(e) => error_tuple(&e),
+        },
+        ("POST", "/describe") => match submit_describe(shared, request) {
+            Ok(tuple) => tuple,
+            Err(e) => error_tuple(&e),
+        },
+        ("GET" | "POST", _) => (
+            404,
+            "Not Found",
+            JSON,
+            error_body("no such route", "not-found"),
+        ),
+        _ => (
+            405,
+            "Method Not Allowed",
+            JSON,
+            error_body("unsupported method", "usage"),
+        ),
+    }
+}
+
+/// Maps a [`SoiError`] to an HTTP response tuple.
+fn error_tuple(e: &SoiError) -> (u16, &'static str, &'static str, String) {
+    let (status, reason) = match e.category() {
+        ErrorCategory::Usage | ErrorCategory::Data => (400, "Bad Request"),
+        ErrorCategory::NotFound => (404, "Not Found"),
+        ErrorCategory::Io => (500, "Internal Server Error"),
+    };
+    (
+        status,
+        reason,
+        "application/json",
+        error_body(&e.to_string(), &e.category().to_string()),
+    )
+}
+
+fn error_body(message: &str, category: &str) -> String {
+    let mut obj = JsonWriter::object();
+    obj.field_str("error", message);
+    obj.field_str("category", category);
+    obj.finish()
+}
+
+fn status_body(shared: &Shared<'_>) -> String {
+    let draining = shared.shutdown.load(Ordering::SeqCst);
+    let mut obj = JsonWriter::object();
+    obj.field_str("status", if draining { "draining" } else { "serving" });
+    obj.field_str("dataset", &shared.dataset.name);
+    obj.field_u64("queue_depth", shared.queue.depth() as u64);
+    obj.field_u64("queue_capacity", shared.queue.capacity() as u64);
+    obj.field_u64("engine_threads", shared.engine.threads() as u64);
+    obj.field_u64("requests", shared.counters.requests.load(Ordering::Relaxed));
+    obj.field_u64("sheds", shared.counters.sheds.load(Ordering::Relaxed));
+    obj.field_u64("partials", shared.counters.partials.load(Ordering::Relaxed));
+    obj.field_f64("uptime_seconds", shared.started.elapsed().as_secs_f64());
+    obj.finish()
+}
+
+/// `GET /explain?keywords=a,b&k=10&eps=0.0005`: runs the query inline with
+/// the explain collector (a debugging route — unlimited budget, not queued).
+fn explain_inline(
+    shared: &Shared<'_>,
+    request: &crate::http::Request,
+    scratch: &mut SoiScratch,
+) -> Result<String> {
+    let query = shared
+        .config
+        .parse_query_string(shared.dataset, request.query().unwrap_or(""))?;
+    let mut explain = SoiExplain::default();
+    let outcome = run_soi_explained(
+        &shared.dataset.network,
+        &shared.dataset.pois,
+        shared.index,
+        &query,
+        &Default::default(),
+        scratch,
+        Some(&mut explain),
+    )?;
+    let mut obj = JsonWriter::object();
+    obj.field_raw("explain", &explain.to_json());
+    obj.field_raw("outcome", &soi_outcome_body(shared.dataset, &outcome, None));
+    Ok(obj.finish())
+}
+
+impl ServeConfig {
+    /// Parses `keywords=a,b&k=10&eps=0.0005` into a validated query.
+    fn parse_query_string(&self, dataset: &Dataset, raw: &str) -> Result<SoiQuery> {
+        let mut keywords = None;
+        let mut k = 10usize;
+        let mut eps = self.eps;
+        for pair in raw.split('&').filter(|p| !p.is_empty()) {
+            let (name, value) = pair.split_once('=').unwrap_or((pair, ""));
+            match name {
+                "keywords" => keywords = Some(value.to_string()),
+                "k" => {
+                    k = value
+                        .parse()
+                        .map_err(|_| SoiError::invalid(format!("bad k {value:?}")))?;
+                }
+                "eps" => {
+                    eps = value
+                        .parse()
+                        .map_err(|_| SoiError::invalid(format!("bad eps {value:?}")))?;
+                }
+                other => {
+                    return Err(SoiError::invalid(format!("unknown parameter {other:?}")));
+                }
+            }
+        }
+        let raw_kws = keywords.ok_or_else(|| SoiError::invalid("missing keywords= parameter"))?;
+        let words: Vec<&str> = raw_kws
+            .split(',')
+            .map(str::trim)
+            .filter(|w| !w.is_empty())
+            .collect();
+        if words.is_empty() {
+            return Err(SoiError::invalid("keywords= names no keywords"));
+        }
+        SoiQuery::new(dataset.query_keywords(&words), k, eps)
+    }
+}
+
+/// Resolves the request's deadline: `deadline_ms` clamped to the cap, or
+/// the server default.
+fn request_budget(config: &ServeConfig, body: &Json) -> Result<QueryBudget> {
+    let timeout = match body.get("deadline_ms") {
+        None => config.default_deadline,
+        Some(v) => {
+            let ms = v
+                .as_f64()
+                .filter(|ms| *ms > 0.0 && ms.is_finite())
+                .ok_or_else(|| SoiError::invalid("deadline_ms must be a positive number"))?;
+            Duration::from_secs_f64(ms / 1e3).min(config.max_deadline)
+        }
+    };
+    Ok(QueryBudget::from_timeout(timeout))
+}
+
+/// Parses the body, admits a k-SOI job, and waits for its response.
+fn submit_soi(
+    shared: &Shared<'_>,
+    request: &crate::http::Request,
+) -> Result<(u16, &'static str, &'static str, String)> {
+    let body = parse_body(&request.body)?;
+    let keywords = match body.get("keywords").and_then(|v| v.as_arr()) {
+        Some(items) if !items.is_empty() => {
+            let words: Vec<&str> = items.iter().filter_map(|v| v.as_str()).collect();
+            if words.len() != items.len() {
+                return Err(SoiError::invalid("keywords must be an array of strings"));
+            }
+            shared.dataset.query_keywords(&words)
+        }
+        _ => return Err(SoiError::invalid("body needs a keywords array")),
+    };
+    let k = match body.get("k") {
+        None => 10,
+        Some(v) => v
+            .as_f64()
+            .filter(|k| *k >= 1.0 && k.fract() == 0.0)
+            .ok_or_else(|| SoiError::invalid("k must be a positive integer"))?
+            as usize,
+    };
+    let eps = match body.get("eps") {
+        None => shared.config.eps,
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| SoiError::invalid("eps must be a number"))?,
+    };
+    let query = SoiQuery::new(keywords, k, eps)?;
+    let budget = request_budget(shared.config, &body)?;
+    submit_and_wait(shared, JobKind::Soi(query), budget)
+}
+
+/// Parses the body, admits a describe job, and waits for its response.
+fn submit_describe(
+    shared: &Shared<'_>,
+    request: &crate::http::Request,
+) -> Result<(u16, &'static str, &'static str, String)> {
+    let body = parse_body(&request.body)?;
+    let street = match body.get("street") {
+        Some(Json::Str(name)) => shared
+            .dataset
+            .street_by_name(name)
+            .ok_or_else(|| SoiError::not_found(format!("street {name:?}")))?,
+        Some(Json::Num(id)) => {
+            let idx = *id as usize;
+            if id.fract() != 0.0 || idx >= shared.dataset.network.streets().len() {
+                return Err(SoiError::not_found(format!("street id {id}")));
+            }
+            shared.dataset.network.streets()[idx].id
+        }
+        _ => return Err(SoiError::invalid("body needs a street (name or id)")),
+    };
+    let number = |name: &str, default: f64| -> Result<f64> {
+        match body.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| SoiError::invalid(format!("{name} must be a number"))),
+        }
+    };
+    let k = number("k", 5.0)?;
+    if k < 1.0 || k.fract() != 0.0 {
+        return Err(SoiError::invalid("k must be a positive integer"));
+    }
+    let params = DescribeParams::new(k as usize, number("lambda", 0.5)?, number("w", 0.5)?)?;
+    let budget = request_budget(shared.config, &body)?;
+    submit_and_wait(shared, JobKind::Describe { street, params }, budget)
+}
+
+fn parse_body(bytes: &[u8]) -> Result<Json> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| SoiError::invalid("body must be UTF-8 JSON"))?;
+    if text.trim().is_empty() {
+        return Err(SoiError::invalid("body must be a JSON object"));
+    }
+    soi_obs::json::parse(text).map_err(|e| SoiError::invalid(format!("bad JSON body: {e}")))
+}
+
+/// Admits the job (shedding with 503 when the queue is full) and waits for
+/// the dispatcher's response.
+fn submit_and_wait(
+    shared: &Shared<'_>,
+    kind: JobKind,
+    budget: QueryBudget,
+) -> Result<(u16, &'static str, &'static str, String)> {
+    const JSON: &str = "application/json";
+    let metrics = crate::obs::serve_metrics();
+    let slot = Arc::new(Slot::default());
+    let job = Job {
+        kind,
+        budget,
+        slot: Arc::clone(&slot),
+        enqueued: Instant::now(),
+    };
+    if shared.queue.try_push(job).is_err() {
+        metrics.shed.inc();
+        shared.counters.sheds.fetch_add(1, Ordering::Relaxed);
+        let mut obj = JsonWriter::object();
+        obj.field_str("error", "admission queue full, shedding load");
+        obj.field_u64("queue_depth", shared.queue.depth() as u64);
+        obj.field_u64("queue_capacity", shared.queue.capacity() as u64);
+        return Ok((503, "Service Unavailable", JSON, obj.finish()));
+    }
+    // Backstop only: the dispatcher answers every admitted job (deadlines
+    // bound the work), so this grace window fires only if it died.
+    let grace = budget.remaining().unwrap_or(shared.config.max_deadline) + Duration::from_secs(30);
+    match slot.wait(grace) {
+        Some((status, body)) => {
+            let reason = match status {
+                200 => "OK",
+                400 => "Bad Request",
+                404 => "Not Found",
+                _ => "Internal Server Error",
+            };
+            Ok((status, reason, JSON, body))
+        }
+        None => Ok((
+            500,
+            "Internal Server Error",
+            JSON,
+            error_body("dispatcher did not answer in time", "io"),
+        )),
+    }
+}
+
+/// The dispatcher: drains admitted jobs in batches and executes them on
+/// the engine under their per-request deadlines.
+fn dispatcher_loop(shared: &Shared<'_>) {
+    let ctx = Arc::new(QueryContext::new(
+        &shared.dataset.network,
+        &shared.dataset.pois,
+        shared.index,
+    ));
+    loop {
+        let batch = shared
+            .queue
+            .pop_batch(shared.config.batch_max, Duration::from_millis(100));
+        if batch.is_empty() {
+            if shared.queue.is_drained() {
+                return;
+            }
+            continue;
+        }
+        let _span = soi_obs::trace::span(soi_obs::names::spans::SERVE_DISPATCH);
+        let mut soi_jobs: Vec<(SoiQuery, QueryBudget)> = Vec::new();
+        let mut soi_slots: Vec<Arc<Slot>> = Vec::new();
+        let mut describe_jobs: Vec<(soi_common::StreetId, DescribeParams, QueryBudget)> =
+            Vec::new();
+        let mut describe_slots: Vec<Arc<Slot>> = Vec::new();
+        for job in batch {
+            match job.kind {
+                JobKind::Soi(query) => {
+                    soi_jobs.push((query, job.budget));
+                    soi_slots.push(job.slot);
+                }
+                JobKind::Describe { street, params } => {
+                    describe_jobs.push((street, params, job.budget));
+                    describe_slots.push(job.slot);
+                }
+            }
+        }
+
+        if !soi_jobs.is_empty() {
+            let outcome = shared.engine.run_soi_batch_with_deadlines(&ctx, &soi_jobs);
+            for (result, slot) in outcome.results.into_iter().zip(&soi_slots) {
+                publish_soi(shared, result, slot);
+            }
+        }
+        if !describe_jobs.is_empty() {
+            run_describe_jobs(shared, &describe_jobs, &describe_slots);
+        }
+    }
+}
+
+/// Builds street contexts and runs the describe sub-batch; jobs whose
+/// context cannot be built answer their error individually.
+fn run_describe_jobs(
+    shared: &Shared<'_>,
+    jobs: &[(soi_common::StreetId, DescribeParams, QueryBudget)],
+    slots: &[Arc<Slot>],
+) {
+    // Context construction can fail per street (no photos in range); build
+    // first, answer failures immediately, and batch the rest.
+    let mut contexts: Vec<Option<StreetContext>> = Vec::with_capacity(jobs.len());
+    for ((street, _, _), slot) in jobs.iter().zip(slots) {
+        let built = ContextBuilder {
+            network: &shared.dataset.network,
+            photos: &shared.dataset.photos,
+            photo_grid: shared.photo_grid,
+            pois: Some(&shared.dataset.pois),
+            eps: shared.config.eps,
+            rho: shared.config.rho,
+            phi_source: PhiSource::Photos,
+        }
+        .build(*street);
+        match built {
+            Ok(ctx) => contexts.push(Some(ctx)),
+            Err(e) => {
+                let (status, _, _, body) = error_tuple(&e);
+                slot.put(status, body);
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                contexts.push(None);
+            }
+        }
+    }
+    let engine_jobs: Vec<(&StreetContext, DescribeParams, QueryBudget)> = jobs
+        .iter()
+        .zip(&contexts)
+        .filter_map(|((_, params, budget), ctx)| ctx.as_ref().map(|c| (c, *params, *budget)))
+        .collect();
+    if engine_jobs.is_empty() {
+        return;
+    }
+    let results = shared
+        .engine
+        .run_describe_batch_with_deadlines(&shared.dataset.photos, &engine_jobs);
+    let live_slots = jobs
+        .iter()
+        .zip(slots)
+        .zip(&contexts)
+        .filter(|(_, ctx)| ctx.is_some())
+        .map(|((_, slot), _)| slot);
+    for (result, slot) in results.into_iter().zip(live_slots) {
+        match result {
+            Ok(outcome) => {
+                if outcome.partial {
+                    crate::obs::serve_metrics().deadline_expired.inc();
+                    shared.counters.partials.fetch_add(1, Ordering::Relaxed);
+                }
+                let mut obj = JsonWriter::object();
+                obj.field_bool("partial", outcome.partial);
+                obj.field_f64("objective", outcome.objective);
+                let mut selected = JsonWriter::array();
+                for pid in &outcome.selected {
+                    selected.elem_f64(f64::from(pid.raw()));
+                }
+                obj.field_raw("selected", &selected.finish());
+                slot.put(200, obj.finish());
+            }
+            Err(e) => {
+                let (status, _, _, body) = error_tuple(&e);
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                slot.put(status, body);
+            }
+        }
+    }
+}
+
+/// Publishes one k-SOI result (or its error) to the waiting worker.
+fn publish_soi(shared: &Shared<'_>, result: Result<SoiOutcome>, slot: &Arc<Slot>) {
+    match result {
+        Ok(outcome) => {
+            if outcome.partial {
+                crate::obs::serve_metrics().deadline_expired.inc();
+                shared.counters.partials.fetch_add(1, Ordering::Relaxed);
+            }
+            slot.put(200, soi_outcome_body(shared.dataset, &outcome, None));
+        }
+        Err(e) => {
+            let (status, _, _, body) = error_tuple(&e);
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            slot.put(status, body);
+        }
+    }
+}
+
+/// Renders a k-SOI outcome as the `/soi` response body.
+fn soi_outcome_body(dataset: &Dataset, outcome: &SoiOutcome, note: Option<&str>) -> String {
+    let mut obj = JsonWriter::object();
+    obj.field_bool("partial", outcome.partial);
+    obj.field_f64("lbk", outcome.stats.termination_lb);
+    obj.field_u64("accesses", outcome.stats.accesses as u64);
+    if let Some(note) = note {
+        obj.field_str("note", note);
+    }
+    let mut results = JsonWriter::array();
+    for r in &outcome.results {
+        let mut entry = JsonWriter::object();
+        entry.field_u64("street", u64::from(r.street.raw()));
+        entry.field_str("name", &dataset.network.street(r.street).name);
+        entry.field_f64("interest", r.interest);
+        entry.field_u64("best_segment", u64::from(r.best_segment.raw()));
+        entry.field_f64("mass", r.best_segment_mass);
+        results.elem_raw(&entry.finish());
+    }
+    obj.field_raw("results", &results.finish());
+    obj.finish()
+}

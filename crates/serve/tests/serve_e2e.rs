@@ -1,0 +1,314 @@
+//! End-to-end tests of the serving layer against a real socket: normal
+//! query round-trips, admission-control shedding under an undersized
+//! queue, deadline-degraded partial results validating against the
+//! recorded LBk, latency bounded by the deadline, and graceful drain.
+
+use soi_data::Dataset;
+use soi_obs::json::{parse, Json};
+use soi_serve::client::{request, request_with_retry, RetryPolicy};
+use soi_serve::{serve, ServeConfig, ServeReport};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, OnceLock};
+use std::time::{Duration, Instant};
+
+fn dataset() -> &'static Dataset {
+    static DATASET: OnceLock<Dataset> = OnceLock::new();
+    DATASET.get_or_init(|| soi_datagen::generate(&soi_datagen::london(0.03)).0)
+}
+
+/// Runs `f` against a live server, then flips the shutdown flag and
+/// returns `f`'s result alongside the server's drain report.
+fn with_server<T: Send>(
+    config: ServeConfig,
+    f: impl FnOnce(SocketAddr) -> T + Send,
+) -> (T, ServeReport) {
+    let dataset = dataset();
+    let shutdown = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|s| {
+        let server = s.spawn(|| {
+            serve(dataset, &config, &shutdown, |addr| {
+                tx.send(addr).expect("ready channel open")
+            })
+            .expect("server runs")
+        });
+        let addr = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("server became ready");
+        // Catch panics from the test body so the shutdown flag still flips
+        // and the server thread joins -- otherwise the scope would wait on
+        // it forever and a failing assertion would hang the whole test.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(addr)));
+        shutdown.store(true, Ordering::SeqCst);
+        let report = server.join().expect("server thread joins");
+        match result {
+            Ok(result) => (result, report),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    })
+}
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        socket_timeout: Duration::from_millis(500),
+        ..ServeConfig::default()
+    }
+}
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A query body. `eps` scales the work: the city spans ~0.05 degrees, so
+/// 0.002 is a moderate query and 0.01 a heavy one (each segment pulls in
+/// POIs from an 8-block radius) — heavy enough for deadlines to bite, but
+/// still bounded.
+fn soi_body(eps: f64, deadline_ms: f64) -> String {
+    format!(
+        "{{\"keywords\":[\"shop\",\"food\"],\"k\":5,\"eps\":{eps},\"deadline_ms\":{deadline_ms}}}"
+    )
+}
+
+#[test]
+fn roundtrip_soi_describe_status_metrics_explain() {
+    let ((), report) = with_server(test_config(), |addr| {
+        // /status
+        let status = request(addr, "GET", "/status", None, TIMEOUT).expect("status");
+        assert_eq!(status.status, 200);
+        assert!(status.body.contains("\"serving\""), "body: {}", status.body);
+
+        // /soi with a generous deadline: complete (non-partial) results.
+        let soi = request(
+            addr,
+            "POST",
+            "/soi",
+            Some(&soi_body(0.002, 30_000.0)),
+            TIMEOUT,
+        )
+        .expect("soi");
+        assert_eq!(soi.status, 200, "body: {}", soi.body);
+        let doc = parse(&soi.body).expect("valid JSON");
+        assert_eq!(doc.get("partial"), Some(&Json::Bool(false)));
+        let results = doc.get("results").and_then(Json::as_arr).expect("results");
+        assert!(!results.is_empty(), "no streets for shop/food");
+        let street = results[0].get("name").and_then(Json::as_str).expect("name");
+
+        // /describe the top street by name.
+        let body = format!("{{\"street\":{:?},\"k\":3,\"deadline_ms\":30000}}", street);
+        let describe = request(addr, "POST", "/describe", Some(&body), TIMEOUT).expect("describe");
+        assert_eq!(describe.status, 200, "body: {}", describe.body);
+        let doc = parse(&describe.body).expect("valid JSON");
+        assert_eq!(doc.get("partial"), Some(&Json::Bool(false)));
+
+        // /explain inline.
+        let explain =
+            request(addr, "GET", "/explain?keywords=shop&k=3", None, TIMEOUT).expect("explain");
+        assert_eq!(explain.status, 200, "body: {}", explain.body);
+        assert!(explain.body.contains("\"termination\""));
+
+        // /metrics exposes the serve series.
+        let metrics = request(addr, "GET", "/metrics", None, TIMEOUT).expect("metrics");
+        assert_eq!(metrics.status, 200);
+        for series in [
+            "soi_serve_requests_total",
+            "soi_serve_shed_total",
+            "soi_serve_panics_total",
+        ] {
+            assert!(metrics.body.contains(series), "missing {series}");
+        }
+
+        // Unknown route.
+        let missing = request(addr, "GET", "/nope", None, TIMEOUT).expect("404");
+        assert_eq!(missing.status, 404);
+    });
+    assert!(report.drained, "server did not drain cleanly");
+    assert_eq!(report.panics, 0);
+    assert!(report.requests >= 6);
+}
+
+#[test]
+fn undersized_queue_sheds_with_503_and_metrics_show_it() {
+    // Deliberately under-provisioned: one-deep admission queue, one engine
+    // thread, small connection backlog — heavy concurrent traffic must
+    // shed rather than queue unboundedly.
+    let config = ServeConfig {
+        queue_capacity: 1,
+        io_threads: 2,
+        engine_threads: 1,
+        batch_max: 1,
+        ..test_config()
+    };
+    let (sheds_seen, report) = with_server(config, |addr| {
+        let counters = std::sync::Mutex::new((0usize, 0usize, 0usize)); // ok, shed, other
+        std::thread::scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    for _ in 0..3 {
+                        // No retries: a shed must surface as a distinct 503.
+                        match request(
+                            addr,
+                            "POST",
+                            "/soi",
+                            Some(&soi_body(0.01, 5_000.0)),
+                            TIMEOUT,
+                        ) {
+                            Ok(r) if r.status == 200 => counters.lock().unwrap().0 += 1,
+                            Ok(r) if r.status == 503 => {
+                                assert!(
+                                    r.body.contains("shedding load"),
+                                    "503 body lacks shed marker: {}",
+                                    r.body
+                                );
+                                counters.lock().unwrap().1 += 1;
+                            }
+                            _ => counters.lock().unwrap().2 += 1,
+                        }
+                    }
+                });
+            }
+        });
+        let (ok, shed, other) = *counters.lock().unwrap();
+        assert_eq!(other, 0, "unexpected non-200/503 responses");
+        assert!(ok > 0, "nothing was served under overload");
+        // Overload metrics are visible while the server still runs.
+        let metrics = request_with_retry(
+            addr,
+            "GET",
+            "/metrics",
+            None,
+            TIMEOUT,
+            RetryPolicy {
+                retries: 10,
+                backoff: Duration::from_millis(50),
+            },
+        )
+        .0
+        .expect("metrics reachable after load");
+        assert!(metrics.body.contains("soi_serve_shed_total"));
+        shed
+    });
+    assert!(
+        sheds_seen > 0 && report.sheds >= sheds_seen as u64,
+        "expected admission sheds under a size-1 queue (client saw {sheds_seen}, report {})",
+        report.sheds
+    );
+    assert_eq!(report.panics, 0);
+    assert!(report.drained);
+}
+
+#[test]
+fn tiny_deadlines_degrade_to_partial_results_validating_lbk() {
+    let (partials, report) = with_server(test_config(), |addr| {
+        let mut partials = 0usize;
+        for _ in 0..10 {
+            // 50µs of budget: expires during (or before) list access.
+            let r =
+                request(addr, "POST", "/soi", Some(&soi_body(0.002, 0.05)), TIMEOUT).expect("soi");
+            assert_eq!(r.status, 200, "body: {}", r.body);
+            let doc = parse(&r.body).expect("valid JSON");
+            let partial = doc.get("partial") == Some(&Json::Bool(true));
+            let lbk = doc.get("lbk").and_then(Json::as_f64).unwrap_or(0.0);
+            let results = doc.get("results").and_then(Json::as_arr).expect("results");
+            if partial {
+                partials += 1;
+                // The serving contract: every returned score is a sound
+                // lower bound at least the recorded LBk.
+                for entry in results {
+                    let interest = entry
+                        .get("interest")
+                        .and_then(Json::as_f64)
+                        .expect("interest");
+                    assert!(
+                        interest >= lbk,
+                        "partial result score {interest} below recorded LBk {lbk}"
+                    );
+                }
+            }
+        }
+        partials
+    });
+    assert!(
+        partials > 0,
+        "50µs deadlines never produced a partial result"
+    );
+    assert!(report.partials >= partials as u64);
+    assert_eq!(report.panics, 0);
+}
+
+#[test]
+fn accepted_request_p99_stays_within_twice_the_deadline() {
+    let deadline = Duration::from_millis(200);
+    let config = ServeConfig {
+        default_deadline: deadline,
+        max_deadline: deadline,
+        ..test_config()
+    };
+    let (latencies, report) = with_server(config, |addr| {
+        let all = std::sync::Mutex::new(Vec::new());
+        // Concurrency stays at the IO worker count: the budget clock starts
+        // at parse time, so connections queued behind busy workers would add
+        // wait that the deadline cannot bound.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..4 {
+                        let started = Instant::now();
+                        // Ask for far more budget than the cap: the server
+                        // must clamp to max_deadline.
+                        let r = request(
+                            addr,
+                            "POST",
+                            "/soi",
+                            Some(&soi_body(0.01, 60_000.0)),
+                            TIMEOUT,
+                        )
+                        .expect("request");
+                        if r.status == 200 {
+                            all.lock().unwrap().push(started.elapsed());
+                        }
+                    }
+                });
+            }
+        });
+        let mut latencies = all.into_inner().unwrap();
+        latencies.sort();
+        latencies
+    });
+    assert!(!latencies.is_empty(), "no accepted requests");
+    let p99 = latencies[(latencies.len() - 1) * 99 / 100];
+    assert!(
+        p99 <= deadline * 2,
+        "accepted p99 {p99:?} exceeds 2x the {deadline:?} deadline"
+    );
+    assert_eq!(report.panics, 0);
+    assert!(report.drained);
+}
+
+#[test]
+fn drain_answers_queued_work_before_exiting() {
+    // Requests admitted before shutdown must still be answered during the
+    // drain, and the report must say the queue emptied.
+    let ((), report) = with_server(test_config(), |addr| {
+        std::thread::scope(|s| {
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(move || {
+                        request(
+                            addr,
+                            "POST",
+                            "/soi",
+                            Some(&soi_body(0.002, 2_000.0)),
+                            TIMEOUT,
+                        )
+                    })
+                })
+                .collect();
+            for w in workers {
+                let r = w.join().expect("join").expect("response");
+                assert!(r.status == 200 || r.status == 503, "status {}", r.status);
+            }
+        });
+    });
+    assert!(report.drained, "drain left work behind");
+    assert_eq!(report.panics, 0);
+}
