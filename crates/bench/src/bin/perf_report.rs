@@ -16,13 +16,22 @@
 //!    queries (keyword subsets × k × ε), with per-worker-count speedup
 //!    relative to 1 worker. On a single-core host (CI, this VM) speedups
 //!    ≤ 1.0 are expected — the report records the core count so readers
-//!    can tell scheduler overhead from real scaling regressions.
+//!    can tell scheduler overhead from real scaling regressions;
+//! 5. cold start: fresh index construction vs `soi-snapshot` load. Per
+//!    structure (POI index, photo grid, IR-tree, ε-maps) as interleaved
+//!    in-process medians, and end-to-end for the bundle in *fresh child
+//!    processes* (the report re-executes itself with `--cold-probe`):
+//!    an in-process rebuild reuses the allocator arena the previous rep
+//!    just freed, which understates what a real cold start pays, while
+//!    every snapshot load eats its page faults anew — a fresh process per
+//!    rep is the only symmetric measurement. The bundle load side also
+//!    pays mmap + checksum verification and the dataset fingerprint.
 //!
 //! If `BENCH_PR2.json` is present in the output directory its stored p50s
 //! are parsed (with `soi_obs::json`) and the disabled-instrumentation
 //! overhead vs PR 2 is reported — the PR 3 acceptance bound was ≤2%.
 //!
-//! Writes `BENCH_PR4.json` into the repo root (or the directory given as
+//! Writes `BENCH_PR7.json` into the repo root (or the directory given as
 //! the first argument), appends a compact summary line to
 //! `BENCH_HISTORY.jsonl` in the same directory, and prints the report to
 //! stdout. `bench_diff` compares any two of these artifacts.
@@ -32,9 +41,11 @@ use soi_core::soi::{run_soi, SoiConfig, SoiQuery};
 use soi_data::{Dataset, PoiCollection};
 use soi_engine::{QueryContext, QueryEngine};
 use soi_geo::{Grid, Point, Rect};
-use soi_index::PoiIndex;
+use soi_index::snapshot::{self as snap, BundleParams, ReadOutcome};
+use soi_index::{IrTree, PhotoGrid, PoiIndex};
 use soi_network::RoadNetwork;
 use soi_obs::{json, trace};
+use soi_snapshot::Snapshot;
 use soi_text::InvertedIndex;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -49,9 +60,103 @@ const CELL: f64 = 2.0 * EPS;
 const BUILD_REPS: usize = 9;
 /// Repetitions for the single-query latency distribution.
 const QUERY_REPS: usize = 21;
+/// Interleaved repetitions for the per-structure cold-start comparison.
+const COLD_REPS: usize = 5;
+/// Fresh-process repetitions for the end-to-end bundle comparison. Each
+/// rep forks a child that regenerates the dataset, so reps are expensive.
+const COLD_PROC_REPS: usize = 3;
+/// City scale for the cold-start comparison. Larger than [`SCALE`] on
+/// purpose: at query-bench scale the whole dataset sits in cache and
+/// builds look artificially cheap; snapshots exist for datasets where a
+/// fresh build takes real time, so the comparison runs at the experiment
+/// harness's paper scale.
+const COLD_SCALE: f64 = 1.0;
+
+/// The bundle parameters the cold-start comparison (parent and `--cold-probe`
+/// children) agrees on.
+fn cold_params() -> BundleParams {
+    BundleParams {
+        poi_cell: CELL,
+        pg_cell: CELL,
+        eps: Some(EPS),
+        with_ir: true,
+        threads: 1,
+    }
+}
+
+/// `--cold-probe build|load <snapshot>`: one cold bundle build or load in
+/// this (fresh) process. Prints the measured milliseconds to stdout and
+/// exits without running destructors — freeing a bundle is the caller's
+/// cost on either path, and `exit` keeps the two probes symmetric.
+fn cold_probe(mode: &str, snap_path: &str) -> ! {
+    let (cold, _truth) = soi_datagen::generate(&soi_datagen::berlin(COLD_SCALE));
+    let params = cold_params();
+    let elapsed = match mode {
+        "build" => {
+            let t = Instant::now();
+            let bundle = snap::build_bundle(&cold, &params);
+            let elapsed = t.elapsed();
+            black_box(&bundle);
+            elapsed
+        }
+        // A cache *miss* as `--index-cache` users pay it: build, then
+        // persist the snapshot for the next start.
+        "miss" => {
+            let miss_path = format!("{snap_path}.miss-{}", std::process::id());
+            let t = Instant::now();
+            let bundle = snap::build_bundle(&cold, &params);
+            snap::write_bundle(std::path::Path::new(&miss_path), &cold, &bundle, &params)
+                .expect("write bundle");
+            let elapsed = t.elapsed();
+            black_box(&bundle);
+            let _ = std::fs::remove_file(&miss_path);
+            elapsed
+        }
+        "load" => {
+            let t = Instant::now();
+            let outcome = snap::read_bundle(std::path::Path::new(snap_path), &cold, &params)
+                .expect("read bundle");
+            let elapsed = t.elapsed();
+            assert!(
+                matches!(outcome, ReadOutcome::Loaded(_)),
+                "snapshot must match the dataset it was written from"
+            );
+            black_box(&outcome);
+            elapsed
+        }
+        other => panic!("unknown --cold-probe mode `{other}`"),
+    };
+    println!("{}", ms(elapsed));
+    std::process::exit(0);
+}
+
+/// Runs one `--cold-probe` child and returns its measured milliseconds.
+fn run_cold_probe(mode: &str, snap_path: &std::path::Path) -> f64 {
+    let exe = std::env::current_exe().expect("current exe");
+    let out = std::process::Command::new(exe)
+        .arg("--cold-probe")
+        .arg(mode)
+        .arg(snap_path)
+        .output()
+        .expect("spawn cold probe");
+    assert!(
+        out.status.success(),
+        "cold probe {mode} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout)
+        .trim()
+        .parse()
+        .expect("cold probe output")
+}
 
 fn median(mut xs: Vec<Duration>) -> Duration {
     xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn median_f64(mut xs: Vec<f64>) -> f64 {
+    xs.sort_unstable_by(f64::total_cmp);
     xs[xs.len() / 2]
 }
 
@@ -171,7 +276,14 @@ fn sweep_queries(dataset: &Dataset) -> Vec<SoiQuery> {
 }
 
 fn main() {
-    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--cold-probe") {
+        cold_probe(
+            args.get(1).expect("probe mode"),
+            args.get(2).expect("snapshot path"),
+        );
+    }
+    let out_dir = args.first().cloned().unwrap_or_else(|| ".".to_string());
 
     eprintln!("generating berlin at scale {SCALE}...");
     let (dataset, _truth) = soi_datagen::generate(&soi_datagen::berlin(SCALE));
@@ -312,6 +424,128 @@ fn main() {
     };
     eprintln!("scaling: {host_cpus} host core(s); {scaling_note}");
 
+    // 5. Cold start: fresh construction vs snapshot load. Per structure
+    // (build vs decode from an open snapshot) and end-to-end for the
+    // bundle, where the load side additionally pays `Snapshot::open`
+    // (mmap + header/table/payload checksum verification) and the dataset
+    // fingerprint check. Build and load reps are interleaved so clock
+    // drift on a shared VM hits both sides equally.
+    eprintln!("generating berlin at scale {COLD_SCALE} for the cold-start comparison...");
+    let (cold, _truth) = soi_datagen::generate(&soi_datagen::berlin(COLD_SCALE));
+    eprintln!(
+        "  {} segments, {} POIs, {} photos",
+        cold.network.num_segments(),
+        cold.pois.len(),
+        cold.photos.len()
+    );
+    let params = cold_params();
+    let snap_path =
+        std::env::temp_dir().join(format!("soi-perf-report-{}.soisnap", std::process::id()));
+    let snapshot_bytes = {
+        let bundle = snap::build_bundle(&cold, &params);
+        snap::write_bundle(&snap_path, &cold, &bundle, &params).expect("write snapshot")
+    };
+
+    const STRUCTS: [&str; 4] = ["poi_index", "photo_grid", "ir_tree", "epsilon_maps"];
+    let mut s_build: [Vec<Duration>; 4] = Default::default();
+    let mut s_load: [Vec<Duration>; 4] = Default::default();
+    let mut open_times = Vec::with_capacity(COLD_REPS);
+    for _ in 0..COLD_REPS {
+        // Fresh builds, one structure at a time.
+        let t = Instant::now();
+        let poi = PoiIndex::build_with_threads(&cold.network, &cold.pois, CELL, 1);
+        s_build[0].push(t.elapsed());
+        let t = Instant::now();
+        black_box(PhotoGrid::build_with_threads(
+            &cold.network,
+            &cold.photos,
+            CELL,
+            1,
+        ));
+        s_build[1].push(t.elapsed());
+        let t = Instant::now();
+        black_box(IrTree::build_with_threads(&cold.pois, 1));
+        s_build[2].push(t.elapsed());
+        let t = Instant::now();
+        black_box(poi.epsilon_maps(&cold.network, EPS));
+        s_build[3].push(t.elapsed());
+        drop(poi);
+
+        // Decodes from one open snapshot.
+        let t = Instant::now();
+        let snapshot = Snapshot::open(&snap_path).expect("open snapshot");
+        open_times.push(t.elapsed());
+        let num_pois = cold.pois.len();
+        let num_segments = cold.network.num_segments();
+        let t = Instant::now();
+        black_box(
+            snap::read_poi_index(&snapshot, "poi", num_pois, num_segments, 1).expect("poi decode"),
+        );
+        s_load[0].push(t.elapsed());
+        let t = Instant::now();
+        black_box(snap::read_photo_grid(&snapshot, "pg", cold.photos.len(), 1).expect("pg decode"));
+        s_load[1].push(t.elapsed());
+        let t = Instant::now();
+        black_box(snap::read_ir_tree(&snapshot, "ir", num_pois, 1).expect("ir decode"));
+        s_load[2].push(t.elapsed());
+        let t = Instant::now();
+        black_box(snap::read_epsilon_maps(&snapshot, "eps", num_segments, 1).expect("eps decode"));
+        s_load[3].push(t.elapsed());
+        drop(snapshot);
+    }
+
+    // End-to-end bundle paths, one fresh process per rep (see the module
+    // docs for why in-process rebuild medians are not a cold start).
+    let mut bundle_build = Vec::with_capacity(COLD_PROC_REPS);
+    let mut bundle_miss = Vec::with_capacity(COLD_PROC_REPS);
+    let mut bundle_load = Vec::with_capacity(COLD_PROC_REPS);
+    for _ in 0..COLD_PROC_REPS {
+        bundle_build.push(run_cold_probe("build", &snap_path));
+        bundle_miss.push(run_cold_probe("miss", &snap_path));
+        bundle_load.push(run_cold_probe("load", &snap_path));
+    }
+    let _ = std::fs::remove_file(&snap_path);
+
+    let speedup =
+        |build: Duration, load: Duration| build.as_secs_f64() / load.as_secs_f64().max(1e-12);
+    let mut struct_lines = Vec::new();
+    let mut structures_build = Duration::ZERO;
+    let mut structures_load = Duration::ZERO;
+    for (i, name) in STRUCTS.iter().enumerate() {
+        let b = median(s_build[i].clone());
+        let l = median(s_load[i].clone());
+        structures_build += b;
+        structures_load += l;
+        eprintln!(
+            "cold start: {name}: build {:.1}ms, load {:.1}ms ({:.1}x)",
+            ms(b),
+            ms(l),
+            speedup(b, l)
+        );
+        struct_lines.push(format!(
+            "      {{\"name\": \"{name}\", \"build_ms\": {:.3}, \"load_ms\": {:.3}, \"speedup\": {:.3}}}",
+            ms(b),
+            ms(l),
+            speedup(b, l)
+        ));
+    }
+    let open_med = median(open_times);
+    let bundle_build_ms = median_f64(bundle_build);
+    let bundle_miss_ms = median_f64(bundle_miss);
+    let bundle_load_ms = median_f64(bundle_load);
+    let structures_speedup = speedup(structures_build, structures_load);
+    let bundle_speedup = bundle_build_ms / bundle_load_ms.max(1e-12);
+    let cache_hit_speedup = bundle_miss_ms / bundle_load_ms.max(1e-12);
+    eprintln!(
+        "cold start: structures (in-process): build {:.1}ms, load {:.1}ms ({structures_speedup:.1}x); \
+         bundle (fresh process per rep): build {bundle_build_ms:.1}ms, load {bundle_load_ms:.1}ms \
+         ({bundle_speedup:.1}x); cache miss (build+persist) {bundle_miss_ms:.1}ms \
+         ({cache_hit_speedup:.1}x vs hit); open+verify {:.1}ms, snapshot {snapshot_bytes} bytes",
+        ms(structures_build),
+        ms(structures_load),
+        ms(open_med),
+    );
+
     // Disabled-instrumentation overhead against the stored PR 2 p50s:
     // the observability layer is compiled into every path measured above,
     // so new-p50 / PR2-p50 is the cost of carrying it disabled.
@@ -330,9 +564,19 @@ fn main() {
         }
     };
 
+    let cold_start = format!(
+        "{{\n    \"reps\": {COLD_REPS},\n    \"proc_reps\": {COLD_PROC_REPS},\n    \"scale\": {COLD_SCALE},\n    \"segments\": {},\n    \"pois\": {},\n    \"snapshot_bytes\": {snapshot_bytes},\n    \"open_ms\": {:.3},\n    \"structures\": [\n{}\n    ],\n    \"structures_build_ms\": {:.3},\n    \"structures_load_ms\": {:.3},\n    \"structures_speedup\": {structures_speedup:.3},\n    \"bundle_build_ms\": {bundle_build_ms:.3},\n    \"bundle_load_ms\": {bundle_load_ms:.3},\n    \"bundle_speedup\": {bundle_speedup:.3},\n    \"cache_miss_ms\": {bundle_miss_ms:.3},\n    \"cache_hit_speedup\": {cache_hit_speedup:.3},\n    \"note\": \"single-threaded; structures = interleaved in-process medians decoding from one open snapshot; bundle = one fresh process per rep (a true cold start), where the load side also pays open (mmap + checksum verification of every section) and the dataset fingerprint check; cache_miss = build + persist, what an --index-cache miss pays so the next start can hit\"\n  }}",
+        cold.network.num_segments(),
+        cold.pois.len(),
+        ms(open_med),
+        struct_lines.join(",\n"),
+        ms(structures_build),
+        ms(structures_load),
+    );
+
     let json = format!
     (
-        "{{\n  \"bench\": \"PR4 explain, memory accounting, perf-regression harness\",\n  \"city\": \"berlin\",\n  \"scale\": {SCALE},\n  \"segments\": {},\n  \"pois\": {},\n  \"host_cpus\": {host_cpus},\n  \"index_build\": {{\n    \"old_ms\": {:.3},\n    \"new_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"reps\": {BUILD_REPS},\n    \"note\": \"single-threaded, medians of interleaved reps; old = pre-PR2 hash-map build reconstructed inline\"\n  }},\n  \"single_query\": {{\n    \"direct_p50_ms\": {:.3},\n    \"direct_p95_ms\": {:.3},\n    \"engine_one_worker_p50_ms\": {:.3},\n    \"engine_one_worker_p95_ms\": {:.3},\n    \"reps\": {QUERY_REPS},\n    \"note\": \"instrumentation compiled in, disabled (production default)\"\n  }},\n  \"observability\": {{\n    \"traced_p50_ms\": {:.3},\n    \"traced_overhead_pct\": {:.2},\n    \"trace_events_per_query\": {},\n    \"vs_pr2\": {}\n  }},\n  \"batch\": [\n{}\n  ],\n  \"scaling_note\": \"{scaling_note}\"\n}}\n",
+        "{{\n  \"bench\": \"PR7 index persistence: snapshots and I/O-time cold start\",\n  \"city\": \"berlin\",\n  \"scale\": {SCALE},\n  \"segments\": {},\n  \"pois\": {},\n  \"host_cpus\": {host_cpus},\n  \"index_build\": {{\n    \"old_ms\": {:.3},\n    \"new_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"reps\": {BUILD_REPS},\n    \"note\": \"single-threaded, medians of interleaved reps; old = pre-PR2 hash-map build reconstructed inline\"\n  }},\n  \"single_query\": {{\n    \"direct_p50_ms\": {:.3},\n    \"direct_p95_ms\": {:.3},\n    \"engine_one_worker_p50_ms\": {:.3},\n    \"engine_one_worker_p95_ms\": {:.3},\n    \"reps\": {QUERY_REPS},\n    \"note\": \"instrumentation compiled in, disabled (production default)\"\n  }},\n  \"observability\": {{\n    \"traced_p50_ms\": {:.3},\n    \"traced_overhead_pct\": {:.2},\n    \"trace_events_per_query\": {},\n    \"vs_pr2\": {}\n  }},\n  \"batch\": [\n{}\n  ],\n  \"cold_start\": {cold_start},\n  \"scaling_note\": \"{scaling_note}\"\n}}\n",
         dataset.network.num_segments(),
         dataset.pois.len(),
         ms(build_old),
@@ -350,8 +594,8 @@ fn main() {
     );
 
     let out_dir = out_dir.trim_end_matches('/');
-    let path = format!("{out_dir}/BENCH_PR4.json");
-    std::fs::write(&path, &json).expect("write BENCH_PR4.json");
+    let path = format!("{out_dir}/BENCH_PR7.json");
+    std::fs::write(&path, &json).expect("write BENCH_PR7.json");
     println!("{json}");
     eprintln!("wrote {path}");
 
@@ -360,9 +604,13 @@ fn main() {
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
     let history_line = format!(
-        "{{\"ts_unix\":{ts},\"bench\":\"PR4\",\"host_cpus\":{host_cpus},\
+        "{{\"ts_unix\":{ts},\"bench\":\"PR7\",\"host_cpus\":{host_cpus},\
          \"build_new_ms\":{:.3},\"direct_p50_ms\":{:.3},\
          \"engine_one_worker_p50_ms\":{:.3},\"traced_p50_ms\":{:.3},\
+         \"bundle_build_ms\":{bundle_build_ms:.3},\"bundle_load_ms\":{bundle_load_ms:.3},\
+         \"bundle_speedup\":{bundle_speedup:.3},\
+         \"cache_hit_speedup\":{cache_hit_speedup:.3},\
+         \"structures_speedup\":{structures_speedup:.3},\
          \"batch\":[{}]}}\n",
         ms(build_new),
         ms(percentile(&direct, 0.5)),

@@ -68,6 +68,11 @@ const LATENCY_TOL_PCT: f64 = 10.0;
 const BUILD_TOL_PCT: f64 = 15.0;
 /// Throughput tolerance.
 const QPS_TOL_PCT: f64 = 10.0;
+/// Cold-start tolerance: snapshot loads are a few ms to a few hundred ms
+/// of wall clock dominated by page faults and memcpy, which jitter more
+/// than compute-bound medians on a shared VM; the speedup ratio divides
+/// two such numbers and inherits both jitters.
+const COLD_START_TOL_PCT: f64 = 20.0;
 
 fn num_at(doc: &Json, path: &[&str]) -> Option<f64> {
     let mut node = doc;
@@ -114,6 +119,56 @@ pub fn extract_metrics(doc: &Json) -> Vec<Metric> {
         false,
         LATENCY_TOL_PCT,
     );
+    push(
+        "cold_start.bundle_build_ms",
+        num_at(doc, &["cold_start", "bundle_build_ms"]),
+        false,
+        BUILD_TOL_PCT,
+    );
+    push(
+        "cold_start.bundle_load_ms",
+        num_at(doc, &["cold_start", "bundle_load_ms"]),
+        false,
+        COLD_START_TOL_PCT,
+    );
+    push(
+        "cold_start.bundle_speedup",
+        num_at(doc, &["cold_start", "bundle_speedup"]),
+        true,
+        COLD_START_TOL_PCT,
+    );
+    push(
+        "cold_start.structures_speedup",
+        num_at(doc, &["cold_start", "structures_speedup"]),
+        true,
+        COLD_START_TOL_PCT,
+    );
+    push(
+        "cold_start.cache_hit_speedup",
+        num_at(doc, &["cold_start", "cache_hit_speedup"]),
+        true,
+        COLD_START_TOL_PCT,
+    );
+    if let Some(structures) = doc
+        .get("cold_start")
+        .and_then(|c| c.get("structures"))
+        .and_then(Json::as_arr)
+    {
+        for entry in structures {
+            let (Some(name), Some(load_ms)) = (
+                entry.get("name").and_then(Json::as_str),
+                entry.get("load_ms").and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            metrics.push(Metric {
+                name: format!("cold_start.{name}.load_ms"),
+                value: load_ms,
+                higher_is_better: false,
+                tolerance_pct: COLD_START_TOL_PCT,
+            });
+        }
+    }
     if let Some(batch) = doc.get("batch").and_then(Json::as_arr) {
         for entry in batch {
             let (Some(workers), Some(qps)) = (
@@ -248,6 +303,81 @@ mod tests {
         )
         .unwrap();
         assert!(!diff(&base, &better).has_regressions());
+    }
+
+    #[test]
+    fn cold_start_metrics_compare_with_their_own_tolerance() {
+        let report = r#"{
+            "cold_start": {
+                "structures": [
+                    {"name": "poi_index", "build_ms": 50.0, "load_ms": 10.0, "speedup": 5.0},
+                    {"name": "ir_tree", "build_ms": 80.0, "load_ms": 15.0, "speedup": 5.3}
+                ],
+                "structures_speedup": 5.2,
+                "bundle_build_ms": 140.0,
+                "bundle_load_ms": 30.0,
+                "bundle_speedup": 4.7,
+                "cache_miss_ms": 260.0,
+                "cache_hit_speedup": 8.7
+            }
+        }"#;
+        let base = parse(report).unwrap();
+        let metrics = extract_metrics(&base);
+        let names: Vec<&str> = metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "cold_start.bundle_build_ms",
+                "cold_start.bundle_load_ms",
+                "cold_start.bundle_speedup",
+                "cold_start.structures_speedup",
+                "cold_start.cache_hit_speedup",
+                "cold_start.poi_index.load_ms",
+                "cold_start.ir_tree.load_ms",
+            ]
+        );
+
+        // +15% load jitter stays inside the dedicated 20% tolerance...
+        let noisy = parse(
+            r#"{
+            "cold_start": {
+                "structures": [
+                    {"name": "poi_index", "load_ms": 11.5},
+                    {"name": "ir_tree", "load_ms": 17.0}
+                ],
+                "structures_speedup": 4.4,
+                "bundle_build_ms": 150.0,
+                "bundle_load_ms": 34.0,
+                "bundle_speedup": 4.0
+            }
+        }"#,
+        )
+        .unwrap();
+        assert!(!diff(&base, &noisy).has_regressions());
+
+        // ...while a halved speedup and a 2x load time regress.
+        let degraded = parse(
+            r#"{
+            "cold_start": {
+                "structures": [
+                    {"name": "poi_index", "load_ms": 20.0},
+                    {"name": "ir_tree", "load_ms": 15.0}
+                ],
+                "structures_speedup": 5.2,
+                "bundle_build_ms": 140.0,
+                "bundle_load_ms": 30.0,
+                "bundle_speedup": 2.3
+            }
+        }"#,
+        )
+        .unwrap();
+        let report = diff(&base, &degraded);
+        let regressed: Vec<&str> = report.regressions().map(|d| d.name.as_str()).collect();
+        assert_eq!(
+            regressed,
+            ["cold_start.bundle_speedup", "cold_start.poi_index.load_ms"],
+            "{report:?}"
+        );
     }
 
     #[test]

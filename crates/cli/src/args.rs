@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 
 /// Options that are boolean flags: they take no value, and their presence
 /// means `true`. Every other `--key` consumes the next argument.
-const BOOL_FLAGS: &[&str] = &["log-json", "describe"];
+const BOOL_FLAGS: &[&str] = &["log-json", "describe", "with-ir"];
 
 /// Parsed invocation: a subcommand, at most one positional argument, plus
 /// `--key value` options.

@@ -29,7 +29,7 @@ use soi_core::soi::{
 };
 use soi_data::Dataset;
 use soi_engine::{QueryContext, QueryEngine};
-use soi_index::{IrTree, PhotoGrid, PoiIndex};
+use soi_index::{BundleParams, CacheMode, CacheOutcome, IndexBundle, IndexCache, PoiIndex};
 use soi_network::NetworkStats;
 use soi_obs::log::{self, LogMode, Value};
 use soi_obs::names::{phases, spans};
@@ -93,6 +93,7 @@ fn run(raw: Vec<String>) -> Result<()> {
 fn dispatch(args: &Args) -> Result<()> {
     match args.command.as_str() {
         "generate" => cmd_generate(args),
+        "build-index" => cmd_build_index(args),
         "stats" => cmd_stats(args),
         "query" => cmd_query(args),
         "explain" => cmd_explain(args),
@@ -116,6 +117,7 @@ fn dispatch(args: &Args) -> Result<()> {
 fn command_span_name(command: &str) -> &'static str {
     match command {
         "generate" => "cli.generate",
+        "build-index" => "cli.build_index",
         "stats" => "cli.stats",
         "query" => "cli.query",
         "explain" => "cli.explain",
@@ -159,6 +161,11 @@ fn print_help() -> Result<()> {
          COMMANDS\n\
          generate  --city london|berlin|vienna --out DIR [--scale 0.05] [--seed N]\n\
          \u{20}          Generate a synthetic city dataset and save it.\n\
+         build-index --data DIR (--out FILE | --index-cache DIR) [--eps 0.0005]\n\
+         \u{20}          [--poi-cell C] [--pg-cell C] [--with-ir] [--threads N]\n\
+         \u{20}          Build the index bundle (POI grid, photo grid, \u{3b5}-maps,\n\
+         \u{20}          optional IR-tree) and persist it as a versioned,\n\
+         \u{20}          checksummed snapshot; reports fresh-build vs reload time.\n\
          stats     --data DIR\n\
          \u{20}          Print dataset statistics (paper Table 1 columns).\n\
          query     --data DIR --keywords w1,w2 [--k 10] [--eps 0.0005] [--algo soi|bl]\n\
@@ -188,9 +195,11 @@ fn print_help() -> Result<()> {
          \u{20}          Print process metrics in Prometheus text format (with\n\
          \u{20}          --data, first runs a small workload to populate them).\n\
          check-artifacts [--trace FILE.json] [--stats FILE.json] [--explain FILE.json]\n\
+         \u{20}          [--snapshot FILE.soisnap]\n\
          \u{20}          Validate observability artifacts: a Chrome trace from\n\
-         \u{20}          --trace-out, a telemetry file from --stats-json, and/or\n\
-         \u{20}          an explain artifact from `soi explain --json`.\n\
+         \u{20}          --trace-out, a telemetry file from --stats-json, an\n\
+         \u{20}          explain artifact from `soi explain --json`, and/or an\n\
+         \u{20}          index snapshot (section table + checksums) offline.\n\
          serve     --data DIR [--addr 127.0.0.1:7878] [--threads N] [--io-threads 4]\n\
          \u{20}          [--queue 64] [--deadline-ms 250] [--max-deadline-ms 10000]\n\
          \u{20}          [--batch-max 8] [--eps 0.0005] [--rho 0.0001]\n\
@@ -206,6 +215,12 @@ fn print_help() -> Result<()> {
          \u{20}          describes street S when given) with timeouts, retries,\n\
          \u{20}          and backoff; prints status/latency percentiles and\n\
          \u{20}          writes them with --stats-json FILE.\n\n\
+         INDEX CACHE (query, explain, batch, describe, route, export, poi, serve)\n\
+         --index-cache DIR        Load the index bundle from a versioned snapshot\n\
+         \u{20}                        in DIR (built and cached on first use; stale\n\
+         \u{20}                        snapshots rebuild transparently).\n\
+         --index-cache-mode MODE  lenient (default: corrupt snapshots rebuild) or\n\
+         \u{20}                        strict (corrupt snapshots fail, exit code 3).\n\n\
          OBSERVABILITY (any command)\n\
          --trace-out FILE   Record a Chrome trace_event JSON file of the run\n\
          \u{20}                  (open in chrome://tracing or ui.perfetto.dev).\n\
@@ -242,6 +257,54 @@ fn parse_keywords(dataset: &Dataset, args: &Args) -> Result<soi_text::KeywordSet
         );
     }
     Ok(set)
+}
+
+/// The bundle parameters a query-path command implies: POI grid sized by
+/// the command (usually `2ε`), photo grid at the describe cell size, ε-maps
+/// persisted for the query ε.
+fn bundle_params(poi_cell: f64, eps: f64, with_ir: bool, threads: usize) -> BundleParams {
+    BundleParams {
+        poi_cell,
+        pg_cell: POI_CELL,
+        eps: Some(eps),
+        with_ir,
+        threads,
+    }
+}
+
+/// Index acquisition shared by every query-path command: with
+/// `--index-cache DIR` the bundle is loaded from a versioned snapshot
+/// (built and persisted on a miss, transparently rebuilt when stale or —
+/// in the default lenient mode — corrupt); without it the structures are
+/// built fresh in memory as before.
+fn acquire_bundle(args: &Args, dataset: &Dataset, params: &BundleParams) -> Result<IndexBundle> {
+    let Some(dir) = args.get("index-cache") else {
+        return Ok(soi_index::build_bundle(dataset, params));
+    };
+    let mode = match args.get("index-cache-mode").unwrap_or("lenient") {
+        "lenient" => CacheMode::Lenient,
+        "strict" => CacheMode::Strict,
+        other => {
+            return Err(SoiError::invalid(format!(
+                "unknown --index-cache-mode {other:?} (expected lenient or strict)"
+            )))
+        }
+    };
+    let started = std::time::Instant::now();
+    let (bundle, outcome) = IndexCache::new(dir, mode).load_or_build(dataset, params)?;
+    log::event(
+        "cli.index_cache",
+        match outcome {
+            CacheOutcome::Hit => "index bundle loaded from snapshot cache",
+            CacheOutcome::MissBuilt => "index bundle built and cached",
+            CacheOutcome::RebuiltCorrupt => "corrupt snapshot discarded; index bundle rebuilt",
+        },
+        &[
+            ("dir", Value::Str(dir)),
+            ("ms", Value::F64(started.elapsed().as_secs_f64() * 1e3)),
+        ],
+    );
+    Ok(bundle)
 }
 
 fn cmd_generate(args: &Args) -> Result<()> {
@@ -296,6 +359,76 @@ fn cmd_generate(args: &Args) -> Result<()> {
             names.join(", ")
         )?;
     }
+    Ok(())
+}
+
+fn cmd_build_index(args: &Args) -> Result<()> {
+    let dataset = load(args)?;
+    let eps: f64 = args.get_parsed("eps", DEFAULT_EPS)?;
+    let threads: usize = args.get_parsed("threads", 0)?;
+    let params = BundleParams {
+        poi_cell: args.get_parsed("poi-cell", 2.0 * eps)?,
+        pg_cell: args.get_parsed("pg-cell", POI_CELL)?,
+        eps: Some(eps),
+        with_ir: args.flag("with-ir"),
+        threads,
+    };
+
+    let build_started = std::time::Instant::now();
+    let bundle = soi_index::build_bundle(&dataset, &params);
+    let build = build_started.elapsed();
+
+    let path = match (args.get("out"), args.get("index-cache")) {
+        (Some(out), _) => std::path::PathBuf::from(out),
+        (None, Some(dir)) => {
+            let cache = IndexCache::new(dir, CacheMode::Lenient);
+            std::fs::create_dir_all(cache.dir()).at_path(dir)?;
+            cache.snapshot_path(&dataset, &params)
+        }
+        (None, None) => {
+            return Err(SoiError::invalid(
+                "build-index needs --out FILE or --index-cache DIR",
+            ))
+        }
+    };
+    let bytes = soi_index::write_bundle(&path, &dataset, &bundle, &params)?;
+
+    // Reload immediately: verifies the file end-to-end and measures the
+    // cold-start win over the fresh build. Stop the clock before the
+    // outcome is dropped — tearing down the decoded bundle is not load
+    // time (the fresh-build figure does not include its drop either).
+    let load_started = std::time::Instant::now();
+    let outcome = soi_index::read_bundle(&path, &dataset, &params)?;
+    let loaded = load_started.elapsed();
+    match outcome {
+        soi_index::ReadOutcome::Loaded(_) => {}
+        soi_index::ReadOutcome::Stale(reason) => {
+            return Err(SoiError::invalid(format!(
+                "freshly written snapshot reads back stale: {reason}"
+            )))
+        }
+    }
+
+    let mut out = std::io::stdout().lock();
+    writeln!(
+        out,
+        "wrote {} ({bytes} bytes, {} sections: poi grid{}{})",
+        path.display(),
+        soi_snapshot::Snapshot::open(&path)?.sections().len(),
+        if params.with_ir { " + ir-tree" } else { "" },
+        if params.eps.is_some() {
+            " + photo grid + eps-maps"
+        } else {
+            " + photo grid"
+        },
+    )?;
+    writeln!(
+        out,
+        "build {:.3}s, snapshot load {:.3}s ({:.1}x faster)",
+        build.as_secs_f64(),
+        loaded.as_secs_f64(),
+        build.as_secs_f64() / loaded.as_secs_f64().max(1e-9)
+    )?;
     Ok(())
 }
 
@@ -355,7 +488,7 @@ fn cmd_query(args: &Args) -> Result<()> {
     let k: usize = args.get_parsed("k", 10)?;
     let eps: f64 = args.get_parsed("eps", DEFAULT_EPS)?;
     let query = SoiQuery::new(keywords, k, eps)?;
-    let index = PoiIndex::build(&dataset.network, &dataset.pois, 2.0 * eps);
+    let index = acquire_bundle(args, &dataset, &bundle_params(2.0 * eps, eps, false, 0))?.poi;
     let outcome = match args.get("algo").unwrap_or("soi") {
         "soi" => run_soi(
             &dataset.network,
@@ -501,7 +634,8 @@ fn cmd_explain(args: &Args) -> Result<()> {
     let k: usize = args.get_parsed("k", 10)?;
     let eps: f64 = args.get_parsed("eps", DEFAULT_EPS)?;
     let query = SoiQuery::new(keywords, k, eps)?;
-    let index = PoiIndex::build(&dataset.network, &dataset.pois, 2.0 * eps);
+    let bundle = acquire_bundle(args, &dataset, &bundle_params(2.0 * eps, eps, false, 0))?;
+    let index = bundle.poi;
 
     let mut explain = SoiExplain::default();
     let scope = soi_obs::AllocScope::start();
@@ -526,11 +660,10 @@ fn cmd_explain(args: &Args) -> Result<()> {
                 &[],
             ),
             Some(top) => {
-                let photo_grid = PhotoGrid::build(&dataset.network, &dataset.photos, POI_CELL);
                 let ctx = ContextBuilder {
                     network: &dataset.network,
                     photos: &dataset.photos,
-                    photo_grid: &photo_grid,
+                    photo_grid: &bundle.photo_grid,
                     pois: Some(&dataset.pois),
                     eps,
                     rho: args.get_parsed("rho", DEFAULT_RHO)?,
@@ -684,7 +817,12 @@ fn cmd_batch(args: &Args) -> Result<()> {
         )));
     }
 
-    let index = PoiIndex::build_with_threads(&dataset.network, &dataset.pois, 2.0 * eps, threads);
+    let index = acquire_bundle(
+        args,
+        &dataset,
+        &bundle_params(2.0 * eps, eps, false, threads),
+    )?
+    .poi;
     let engine = QueryEngine::new(threads);
     let ctx = std::sync::Arc::new(QueryContext::new(&dataset.network, &dataset.pois, &index));
     let mut batch = engine.run_soi_batch(&ctx, &queries);
@@ -775,22 +913,21 @@ fn cmd_describe(args: &Args) -> Result<()> {
     let lambda: f64 = args.get_parsed("lambda", 0.5)?;
     let w: f64 = args.get_parsed("w", 0.5)?;
 
+    let bundle = acquire_bundle(args, &dataset, &bundle_params(POI_CELL, eps, false, 0))?;
     let street = match args.get("street") {
         Some(name) => dataset
             .street_by_name(name)
             .ok_or_else(|| SoiError::not_found(format!("street {name:?}")))?,
         None => {
             let keywords = parse_keywords(&dataset, args)?;
-            let index = PoiIndex::build(&dataset.network, &dataset.pois, POI_CELL);
-            top_street(&dataset, &index, keywords, eps)?
+            top_street(&dataset, &bundle.poi, keywords, eps)?
         }
     };
 
-    let photo_grid = PhotoGrid::build(&dataset.network, &dataset.photos, POI_CELL);
     let ctx = ContextBuilder {
         network: &dataset.network,
         photos: &dataset.photos,
-        photo_grid: &photo_grid,
+        photo_grid: &bundle.photo_grid,
         pois: Some(&dataset.pois),
         eps,
         rho,
@@ -840,12 +977,12 @@ fn cmd_export(args: &Args) -> Result<()> {
     let n_photos: usize = args.get_parsed("photos", 5)?;
     let eps: f64 = args.get_parsed("eps", DEFAULT_EPS)?;
 
-    let index = PoiIndex::build(&dataset.network, &dataset.pois, 2.0 * eps);
+    let bundle = acquire_bundle(args, &dataset, &bundle_params(2.0 * eps, eps, false, 0))?;
     let query = SoiQuery::new(keywords, k, eps)?;
     let outcome = run_soi(
         &dataset.network,
         &dataset.pois,
-        &index,
+        &bundle.poi,
         &query,
         &SoiConfig::default(),
     )?;
@@ -860,11 +997,10 @@ fn cmd_export(args: &Args) -> Result<()> {
     writeln!(stdout, "wrote {} streets to {out}", ranked.len())?;
 
     if let Some(&(top, _)) = ranked.first() {
-        let photo_grid = PhotoGrid::build(&dataset.network, &dataset.photos, POI_CELL);
         let ctx = ContextBuilder {
             network: &dataset.network,
             photos: &dataset.photos,
-            photo_grid: &photo_grid,
+            photo_grid: &bundle.photo_grid,
             pois: Some(&dataset.pois),
             eps,
             rho: DEFAULT_RHO,
@@ -899,7 +1035,11 @@ fn cmd_poi(args: &Args) -> Result<()> {
         .ok_or_else(|| SoiError::invalid("--at must be X,Y coordinates"))?;
     let q = soi_geo::Point::new(x, y);
 
-    let tree = IrTree::build(&dataset.pois);
+    let eps: f64 = args.get_parsed("eps", DEFAULT_EPS)?;
+    let bundle = acquire_bundle(args, &dataset, &bundle_params(2.0 * eps, eps, true, 0))?;
+    let tree = bundle
+        .ir
+        .ok_or_else(|| SoiError::invalid("index bundle is missing the IR-tree"))?;
     let hits = match args.get("match").unwrap_or("any") {
         "all" => tree.top_k_containing_all(q, &keywords, k),
         "any" => tree.top_k_relevant(q, &keywords, k),
@@ -1069,16 +1209,37 @@ fn check_explain_file(path: &str) -> Result<u64> {
     Ok(rows.len() as u64)
 }
 
+/// Validates an index snapshot offline: container magic/version/endianness,
+/// the section table (bounds, alignment, overlaps), and every section's
+/// payload checksum — all enforced eagerly by [`soi_snapshot::Snapshot::open`].
+/// Returns (section count, file bytes).
+fn check_snapshot_file(path: &str) -> Result<(u64, u64)> {
+    let snapshot = soi_snapshot::Snapshot::open(path)?;
+    Ok((snapshot.sections().len() as u64, snapshot.file_len()))
+}
+
 fn cmd_check_artifacts(args: &Args) -> Result<()> {
     let trace_path = args.get("trace");
     let stats_path = args.get("stats");
     let explain_path = args.get("explain");
-    if trace_path.is_none() && stats_path.is_none() && explain_path.is_none() {
+    let snapshot_path = args.get("snapshot");
+    if trace_path.is_none()
+        && stats_path.is_none()
+        && explain_path.is_none()
+        && snapshot_path.is_none()
+    {
         return Err(SoiError::invalid(
-            "check-artifacts needs --trace FILE, --stats FILE, and/or --explain FILE",
+            "check-artifacts needs --trace FILE, --stats FILE, --explain FILE, and/or --snapshot FILE",
         ));
     }
     let mut out = std::io::stdout().lock();
+    if let Some(path) = snapshot_path {
+        let (sections, bytes) = check_snapshot_file(path)?;
+        writeln!(
+            out,
+            "snapshot ok: {path} ({sections} sections, {bytes} bytes, all checksums verified)"
+        )?;
+    }
     if let Some(path) = trace_path {
         let events = check_trace_file(path)?;
         writeln!(out, "trace ok: {path} ({events} events)")?;
@@ -1100,7 +1261,7 @@ fn cmd_route(args: &Args) -> Result<()> {
     let k: usize = args.get_parsed("k", 8)?;
     let eps: f64 = args.get_parsed("eps", DEFAULT_EPS)?;
     let query = SoiQuery::new(keywords, k, eps)?;
-    let index = PoiIndex::build(&dataset.network, &dataset.pois, 2.0 * eps);
+    let index = acquire_bundle(args, &dataset, &bundle_params(2.0 * eps, eps, false, 0))?.poi;
     let out = run_soi(
         &dataset.network,
         &dataset.pois,
@@ -1154,8 +1315,17 @@ fn cmd_serve(args: &Args) -> Result<()> {
         batch_max: args.get_parsed("batch-max", 8usize)?,
         eps: args.get_parsed("eps", DEFAULT_EPS)?,
         rho: args.get_parsed("rho", DEFAULT_RHO)?,
+        index_cache: args.get("index-cache").map(std::path::PathBuf::from),
+        index_cache_strict: matches!(args.get("index-cache-mode"), Some("strict")),
         ..soi_serve::ServeConfig::default()
     };
+    if let Some(mode) = args.get("index-cache-mode") {
+        if mode != "strict" && mode != "lenient" {
+            return Err(SoiError::invalid(format!(
+                "unknown --index-cache-mode {mode:?} (expected lenient or strict)"
+            )));
+        }
+    }
     soi_serve::signal::install_handlers();
     let report = soi_serve::serve(
         &dataset,

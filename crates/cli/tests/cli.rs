@@ -698,3 +698,60 @@ fn check_artifacts_rejects_garbage() {
     assert_eq!(code(&none), 2);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn corrupt_snapshot_strict_exits_3_lenient_rebuilds() {
+    let cache = std::env::temp_dir().join(format!("soi_cli_snapcache_{}", std::process::id()));
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "query",
+            "--data",
+            dataset_dir(),
+            "--keywords",
+            "shop",
+            "--k",
+            "5",
+            "--index-cache",
+            cache.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        soi(&args)
+    };
+
+    // Cold run builds the bundle and persists the snapshot.
+    let cold = run(&[]);
+    assert!(cold.status.success(), "{}", stderr(&cold));
+    let snap = std::fs::read_dir(&cache)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|x| x == "soisnap"))
+        .expect("cache dir holds a snapshot");
+
+    // Warm run hits the snapshot and prints the same ranked table.
+    let warm = run(&[]);
+    assert!(warm.status.success(), "{}", stderr(&warm));
+    assert_eq!(stdout(&cold), stdout(&warm));
+
+    // Storage bitrot: flip one payload byte in place.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&snap, &bytes).unwrap();
+
+    // Strict mode refuses with the corrupt-data exit code, naming the file.
+    let strict = run(&["--index-cache-mode", "strict"]);
+    assert_eq!(code(&strict), 3, "{}", stderr(&strict));
+    assert!(
+        stderr(&strict).contains(".soisnap"),
+        "error names the snapshot: {}",
+        stderr(&strict)
+    );
+
+    // Lenient (default) mode rebuilds transparently: same results, and the
+    // rewritten snapshot hits on the next run.
+    let lenient = run(&[]);
+    assert!(lenient.status.success(), "{}", stderr(&lenient));
+    assert_eq!(stdout(&cold), stdout(&lenient));
+
+    std::fs::remove_dir_all(&cache).ok();
+}

@@ -171,6 +171,28 @@ impl DiversificationIndex {
         &self.grid
     }
 
+    /// Snapshot-encode access to the private parts (see [`crate::snapshot`]).
+    pub(crate) fn snapshot_parts(&self) -> (&Grid, &FxHashMap<CellId, DivCell>, &[CellId], usize) {
+        (&self.grid, &self.cells, &self.occupied, self.num_photos)
+    }
+
+    /// Reassembles an index from snapshot-decoded parts (`occupied` must be
+    /// the ascending occupied-cell list and `cells` populated in that order,
+    /// matching the build path).
+    pub(crate) fn from_snapshot_parts(
+        grid: Grid,
+        cells: FxHashMap<CellId, DivCell>,
+        occupied: Vec<CellId>,
+        num_photos: usize,
+    ) -> Self {
+        Self {
+            grid,
+            cells,
+            occupied,
+            num_photos,
+        }
+    }
+
     /// The cell with id `id`, if occupied.
     pub fn cell(&self, id: CellId) -> Option<&DivCell> {
         self.cells.get(&id)

@@ -59,6 +59,26 @@ impl EpsilonMaps {
         self.eps
     }
 
+    /// Snapshot-encode access to the private parts (see [`crate::snapshot`]).
+    pub(crate) fn snapshot_parts(
+        &self,
+    ) -> (f64, &[Vec<CellId>], &FxHashMap<CellId, Vec<SegmentId>>) {
+        (self.eps, &self.segment_to_cells, &self.cell_to_segments)
+    }
+
+    /// Reassembles maps from snapshot-decoded parts.
+    pub(crate) fn from_snapshot_parts(
+        eps: f64,
+        segment_to_cells: Vec<Vec<CellId>>,
+        cell_to_segments: FxHashMap<CellId, Vec<SegmentId>>,
+    ) -> Self {
+        Self {
+            eps,
+            segment_to_cells,
+            cell_to_segments,
+        }
+    }
+
     /// `Cε(ℓ)`: occupied cells within ε of segment `seg`, ascending by id.
     pub fn cells_of_segment(&self, seg: SegmentId) -> &[CellId] {
         &self.segment_to_cells[seg.index()]

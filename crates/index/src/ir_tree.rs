@@ -105,6 +105,16 @@ impl IrTree {
         }
     }
 
+    /// Snapshot-encode access to the inner tree (see [`crate::snapshot`]).
+    pub(crate) fn tree(&self) -> &RTree<PoiEntry, KeywordSummary> {
+        &self.tree
+    }
+
+    /// Wraps a snapshot-reassembled tree.
+    pub(crate) fn from_tree(tree: RTree<PoiEntry, KeywordSummary>) -> Self {
+        Self { tree }
+    }
+
     /// Number of indexed POIs.
     pub fn len(&self) -> usize {
         self.tree.len()

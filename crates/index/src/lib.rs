@@ -37,6 +37,7 @@ pub mod ir_tree;
 pub mod obs;
 pub mod photo_grid;
 pub mod poi_index;
+pub mod snapshot;
 
 pub use bloom::BloomSummary;
 pub use div_index::{DivCell, DiversificationIndex};
@@ -44,3 +45,7 @@ pub use epsilon::EpsilonMaps;
 pub use ir_tree::{IrTree, KeywordSummary, PoiEntry};
 pub use photo_grid::PhotoGrid;
 pub use poi_index::{PoiCell, PoiIndex};
+pub use snapshot::{
+    build_bundle, dataset_fingerprint, read_bundle, read_bundle_with_fingerprint, write_bundle,
+    BundleParams, CacheMode, CacheOutcome, IndexBundle, IndexCache, ReadOutcome,
+};

@@ -35,6 +35,23 @@ pub struct IndexMetrics {
     /// `soi_index_build_peak_live_bytes`: process live-heap high-water mark
     /// observed by the end of the most recent index build.
     pub build_peak_live_bytes: &'static Gauge,
+    /// `soi_snapshot_load_seconds`: wall-clock time of the most recent
+    /// snapshot load (cold start from disk, validation included).
+    pub snapshot_load_seconds: &'static Gauge,
+    /// `soi_snapshot_write_seconds`: wall-clock time of the most recent
+    /// snapshot write (encode + atomic rename).
+    pub snapshot_write_seconds: &'static Gauge,
+    /// `soi_snapshot_bytes`: on-disk size of the most recently
+    /// loaded or written snapshot.
+    pub snapshot_bytes: &'static Gauge,
+    /// `soi_snapshot_loads_total`: successful snapshot loads.
+    pub snapshot_loads: &'static Counter,
+    /// `soi_snapshot_writes_total`: successful snapshot writes.
+    pub snapshot_writes: &'static Counter,
+    /// `soi_snapshot_rebuilds_total`: cache misses resolved by a fresh
+    /// build (stale fingerprint, missing file, or lenient-mode fallback
+    /// after a corrupt snapshot).
+    pub snapshot_rebuilds: &'static Counter,
 }
 
 /// The index instruments (registered on first use).
@@ -70,6 +87,27 @@ pub fn index_metrics() -> &'static IndexMetrics {
         build_peak_live_bytes: register_gauge(
             "soi_index_build_peak_live_bytes",
             "Process live-heap high-water mark at the end of the most recent index build",
+        ),
+        snapshot_load_seconds: register_gauge(
+            "soi_snapshot_load_seconds",
+            "Wall-clock time of the most recent snapshot load",
+        ),
+        snapshot_write_seconds: register_gauge(
+            "soi_snapshot_write_seconds",
+            "Wall-clock time of the most recent snapshot write",
+        ),
+        snapshot_bytes: register_gauge(
+            "soi_snapshot_bytes",
+            "On-disk size of the most recently loaded or written snapshot",
+        ),
+        snapshot_loads: register_counter("soi_snapshot_loads_total", "Successful snapshot loads"),
+        snapshot_writes: register_counter(
+            "soi_snapshot_writes_total",
+            "Successful snapshot writes",
+        ),
+        snapshot_rebuilds: register_counter(
+            "soi_snapshot_rebuilds_total",
+            "Index-cache misses resolved by a fresh build",
         ),
     })
 }

@@ -96,6 +96,17 @@ impl PhotoGrid {
         &self.grid
     }
 
+    /// Snapshot-encode access to the private parts (see [`crate::snapshot`]).
+    pub(crate) fn snapshot_parts(&self) -> (&Grid, &FxHashMap<CellId, Vec<PhotoId>>) {
+        (&self.grid, &self.cells)
+    }
+
+    /// Reassembles a grid from snapshot-decoded parts (ascending-cell
+    /// insertion order, matching the build path).
+    pub(crate) fn from_snapshot_parts(grid: Grid, cells: FxHashMap<CellId, Vec<PhotoId>>) -> Self {
+        Self { grid, cells }
+    }
+
     /// Incrementally inserts a photo added after the grid was built.
     ///
     /// Photos must be inserted in ascending id order; the location must lie

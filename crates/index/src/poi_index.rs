@@ -661,6 +661,54 @@ impl PoiIndex {
         self.eps_cache.lock().insert(key, maps)
     }
 
+    /// Snapshot-encode access to the private parts (see [`crate::snapshot`]).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn snapshot_parts(
+        &self,
+    ) -> (
+        &Grid,
+        &FxHashMap<CellId, PoiCell>,
+        &FxHashMap<KeywordId, Vec<(CellId, f64)>>,
+        &[SegmentId],
+        &FxHashMap<CellId, Vec<SegmentId>>,
+    ) {
+        (
+            &self.grid,
+            &self.cells,
+            &self.global,
+            &self.segments_by_len,
+            &self.raster,
+        )
+    }
+
+    /// Reassembles an index from snapshot-decoded parts. The decoder
+    /// guarantees the maps were populated with the build path's reserve
+    /// calls and ascending-key insertion order, so the result behaves
+    /// identically to a freshly built index.
+    pub(crate) fn from_snapshot_parts(
+        grid: Grid,
+        cells: FxHashMap<CellId, PoiCell>,
+        global: FxHashMap<KeywordId, Vec<(CellId, f64)>>,
+        segments_by_len: Vec<SegmentId>,
+        raster: FxHashMap<CellId, Vec<SegmentId>>,
+    ) -> Self {
+        Self {
+            grid,
+            cells,
+            global,
+            segments_by_len,
+            raster,
+            eps_cache: Mutex::new(EpsCache::default()),
+        }
+    }
+
+    /// Seeds the ε-map cache with snapshot-decoded maps so the first query
+    /// at that ε skips the augmentation pass entirely.
+    pub(crate) fn preload_epsilon_maps(&self, maps: Arc<EpsilonMaps>) {
+        let key = maps.eps().to_bits();
+        drop(self.eps_cache.lock().insert(key, maps));
+    }
+
     /// Drops all cached ε-augmented maps.
     ///
     /// The experiment harness calls this between timed runs so that each

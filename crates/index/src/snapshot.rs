@@ -1,0 +1,1641 @@
+//! Snapshot persistence for the offline index structures.
+//!
+//! Every structure this crate builds offline — [`PoiIndex`], [`PhotoGrid`],
+//! [`IrTree`], and cached [`EpsilonMaps`] — (plus the per-street
+//! [`DiversificationIndex`], persistable standalone) can be encoded into a
+//! [`soi_snapshot`] container and decoded back without re-running the
+//! build. Decoding reproduces the build path's exact map-population order
+//! (same `reserve` calls, ascending-key insertion), so a loaded index
+//! answers every query byte-identically to a freshly built one.
+//!
+//! The module has three layers:
+//!
+//! 1. **Per-structure codecs** (`write_*` / `read_*`): flatten a structure
+//!    into typed sections under a caller-chosen prefix and re-validate every
+//!    invariant on the way back in (CSR shapes, ascending ids, id bounds
+//!    against the dataset), so a corrupt or hand-edited file is a
+//!    categorized [`Data`](soi_common::ErrorCategory::Data) error, never a
+//!    panic.
+//! 2. **The bundle** ([`IndexBundle`], [`build_bundle`], [`write_bundle`],
+//!    [`read_bundle`]): the full set of structures one dataset needs,
+//!    stamped with the dataset content fingerprint and the build parameters
+//!    so staleness is detected before any decode work.
+//! 3. **The cache** ([`IndexCache`]): a directory of bundle snapshots keyed
+//!    by `(dataset fingerprint, format version, params)`. `load_or_build`
+//!    prefers the snapshot, transparently rebuilds on a miss or stale key,
+//!    and — in [`CacheMode::Lenient`] — falls back to a rebuild when the
+//!    snapshot is corrupt instead of failing the command.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use soi_common::{
+    effective_threads, par_chunk_map, CellId, FxHashMap, KeywordId, PhotoId, PoiId, Result,
+    SegmentId, SoiError,
+};
+use soi_data::Dataset;
+use soi_geo::{Grid, Point};
+use soi_snapshot::{corrupt, Fnv64, Snapshot, SnapshotWriter, FORMAT_VERSION};
+use soi_text::snapshot::validate_csr;
+use soi_text::{FlatPostings, InvertedIndex, KeywordSet};
+
+use crate::div_index::{DivCell, DiversificationIndex};
+use crate::epsilon::EpsilonMaps;
+use crate::ir_tree::{IrTree, KeywordSummary, PoiEntry};
+use crate::photo_grid::PhotoGrid;
+use crate::poi_index::{PoiCell, PoiIndex};
+
+// ---------------------------------------------------------------------------
+// Shared decode helpers
+// ---------------------------------------------------------------------------
+
+/// Validates a CSR offset array (`rows + 1` entries, starting at 0,
+/// non-decreasing, ending at `total`) without materialising the ranges.
+/// After this check, `(off[i] as usize, off[i + 1] as usize)` is a valid
+/// in-bounds range for every row `i`.
+fn check_csr_offsets(
+    off: &[u64],
+    rows: usize,
+    total: usize,
+    what: &str,
+) -> std::result::Result<(), String> {
+    if off.len() != rows + 1 {
+        return Err(format!(
+            "{what}: expected {} offsets, found {}",
+            rows + 1,
+            off.len()
+        ));
+    }
+    if off.first() != Some(&0) {
+        return Err(format!("{what}: offsets must start at 0"));
+    }
+    if off.last() != Some(&(total as u64)) {
+        return Err(format!("{what}: offsets must end at {total}"));
+    }
+    if let Some(w) = off.windows(2).find(|w| w[0] > w[1]) {
+        return Err(format!("{what}: offsets decrease at {}", w[1]));
+    }
+    Ok(())
+}
+
+/// Validates a CSR offset array (see [`check_csr_offsets`]) and returns
+/// the per-row ranges.
+fn csr_ranges(
+    off: &[u64],
+    rows: usize,
+    total: usize,
+    what: &str,
+) -> std::result::Result<Vec<(usize, usize)>, String> {
+    check_csr_offsets(off, rows, total, what)?;
+    Ok(off
+        .windows(2)
+        .map(|w| (w[0] as usize, w[1] as usize))
+        .collect())
+}
+
+/// Checks that every id in `ids` is below `bound`.
+fn check_ids_below(ids: &[u32], bound: usize, what: &str) -> std::result::Result<(), String> {
+    match ids.iter().find(|&&id| id as usize >= bound) {
+        Some(&id) => Err(format!("{what}: id {id} out of bounds (limit {bound})")),
+        None => Ok(()),
+    }
+}
+
+/// Checks that `ids` is strictly ascending.
+fn check_strictly_ascending(ids: &[u32], what: &str) -> std::result::Result<(), String> {
+    match ids.windows(2).find(|w| w[0] >= w[1]) {
+        Some(w) => Err(format!("{what}: ids not strictly ascending at {}", w[1])),
+        None => Ok(()),
+    }
+}
+
+/// Decodes a persisted [`KeywordSet`] (stored in canonical iteration order,
+/// so strictly ascending). `None` means the run is out of order — corrupt.
+/// Small sets build straight into inline storage, so the bulk decode paths
+/// (IR-tree items in particular) stay off the allocator.
+fn decode_keyword_set(raw: &[u32]) -> Option<KeywordSet> {
+    KeywordSet::from_ascending_iter(raw.iter().map(|&k| KeywordId(k)))
+}
+
+/// Flattens fallible per-chunk decode results, moving rather than copying
+/// when there is a single chunk (the common case on few-core machines,
+/// where the re-copy would add tens of milliseconds per million items).
+fn concat_parts<T>(
+    mut parts: Vec<std::result::Result<Vec<T>, String>>,
+    total: usize,
+) -> std::result::Result<Vec<T>, String> {
+    if parts.len() == 1 {
+        if let Some(only) = parts.pop() {
+            return only;
+        }
+    }
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    for part in parts {
+        out.extend(part?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Grid codec
+// ---------------------------------------------------------------------------
+
+/// Writes `grid` as two sections: `{p}.gf` (`f64` origin + cell size) and
+/// `{p}.gn` (`u32` cell counts).
+fn write_grid(writer: &mut SnapshotWriter, prefix: &str, grid: &Grid) -> Result<()> {
+    writer.f64s(
+        &format!("{prefix}.gf"),
+        &[grid.origin().x, grid.origin().y, grid.cell_size()],
+    )?;
+    writer.u32s(&format!("{prefix}.gn"), &[grid.nx(), grid.ny()])?;
+    Ok(())
+}
+
+/// Reads the grid stored under `prefix`, pre-validating every
+/// [`Grid::new`] precondition so the constructor cannot panic on
+/// corrupt input.
+fn read_grid(snapshot: &Snapshot, prefix: &str) -> Result<Grid> {
+    let gf = snapshot.f64s(&format!("{prefix}.gf"))?;
+    let gn = snapshot.u32s(&format!("{prefix}.gn"))?;
+    let bad = |msg: String| corrupt(snapshot.path(), msg);
+    let &[ox, oy, cell_size] = gf else {
+        return Err(bad(format!("`{prefix}.gf` must hold exactly 3 values")));
+    };
+    let &[nx, ny] = gn else {
+        return Err(bad(format!("`{prefix}.gn` must hold exactly 2 values")));
+    };
+    if !(cell_size > 0.0 && cell_size.is_finite()) {
+        return Err(bad(format!("`{prefix}`: cell size {cell_size} invalid")));
+    }
+    if !(ox.is_finite() && oy.is_finite()) {
+        return Err(bad(format!("`{prefix}`: non-finite grid origin")));
+    }
+    if nx == 0 || ny == 0 {
+        return Err(bad(format!("`{prefix}`: zero-cell grid axis")));
+    }
+    if (nx as u64) * (ny as u64) > u32::MAX as u64 {
+        return Err(bad(format!("`{prefix}`: grid {nx}x{ny} exceeds CellId")));
+    }
+    Ok(Grid::new(Point::new(ox, oy), cell_size, nx, ny))
+}
+
+// ---------------------------------------------------------------------------
+// PoiIndex codec
+// ---------------------------------------------------------------------------
+
+/// Writes the full [`PoiIndex`] under `prefix`.
+///
+/// # Errors
+/// Writer-side section errors.
+pub fn write_poi_index(writer: &mut SnapshotWriter, prefix: &str, index: &PoiIndex) -> Result<()> {
+    let (grid, cells, global, segments_by_len, raster) = index.snapshot_parts();
+    write_grid(writer, prefix, grid)?;
+
+    // Occupied cells, ascending: ids, weights, POI CSR, and the per-cell
+    // flat postings flattened into one CSR-of-CSR (run directory + docs).
+    let mut cell_ids: Vec<CellId> = cells.keys().copied().collect();
+    cell_ids.sort_unstable();
+    let n = cell_ids.len();
+    let mut ids = Vec::with_capacity(n);
+    let mut weights = Vec::with_capacity(n);
+    let mut poff: Vec<u64> = Vec::with_capacity(n + 1);
+    let mut pois: Vec<u32> = Vec::new();
+    let mut ioff: Vec<u64> = Vec::with_capacity(n + 1);
+    let mut irunk: Vec<u32> = Vec::new();
+    let mut irune: Vec<u32> = Vec::new();
+    let mut idoff: Vec<u64> = Vec::with_capacity(n + 1);
+    let mut idocs: Vec<u32> = Vec::new();
+    poff.push(0);
+    ioff.push(0);
+    idoff.push(0);
+    for cid in &cell_ids {
+        let cell = &cells[cid];
+        ids.push(cid.raw());
+        weights.push(cell.total_weight);
+        pois.extend(cell.pois.iter().map(|p| p.raw()));
+        poff.push(pois.len() as u64);
+        for &(k, e) in cell.inverted.raw_runs() {
+            irunk.push(k.raw());
+            irune.push(e);
+        }
+        ioff.push(irunk.len() as u64);
+        idocs.extend(cell.inverted.raw_docs().iter().map(|d| d.raw()));
+        idoff.push(idocs.len() as u64);
+    }
+    writer.u32s(&format!("{prefix}.cells"), &ids)?;
+    writer.f64s(&format!("{prefix}.cw"), &weights)?;
+    writer.u64s(&format!("{prefix}.poff"), &poff)?;
+    writer.u32s(&format!("{prefix}.pois"), &pois)?;
+    writer.u64s(&format!("{prefix}.ioff"), &ioff)?;
+    writer.u32s(&format!("{prefix}.irunk"), &irunk)?;
+    writer.u32s(&format!("{prefix}.irune"), &irune)?;
+    writer.u64s(&format!("{prefix}.idoff"), &idoff)?;
+    writer.u32s(&format!("{prefix}.idocs"), &idocs)?;
+
+    // Global inverted index: keywords ascending, each with its
+    // (cell, weight) list verbatim (already ordered weight-desc).
+    let mut kws: Vec<KeywordId> = global.keys().copied().collect();
+    kws.sort_unstable();
+    let mut gkw = Vec::with_capacity(kws.len());
+    let mut goff: Vec<u64> = Vec::with_capacity(kws.len() + 1);
+    let mut gcell: Vec<u32> = Vec::new();
+    let mut gwt: Vec<f64> = Vec::new();
+    goff.push(0);
+    for k in &kws {
+        gkw.push(k.raw());
+        for &(c, w) in &global[k] {
+            gcell.push(c.raw());
+            gwt.push(w);
+        }
+        goff.push(gcell.len() as u64);
+    }
+    writer.u32s(&format!("{prefix}.gkw"), &gkw)?;
+    writer.u64s(&format!("{prefix}.goff"), &goff)?;
+    writer.u32s(&format!("{prefix}.gcell"), &gcell)?;
+    writer.f64s(&format!("{prefix}.gwt"), &gwt)?;
+
+    // Length-sorted segment list.
+    let slen: Vec<u32> = segments_by_len.iter().map(|s| s.raw()).collect();
+    writer.u32s(&format!("{prefix}.slen"), &slen)?;
+
+    // Raster cell→segments map: cells ascending, segment CSR.
+    let mut rcells: Vec<CellId> = raster.keys().copied().collect();
+    rcells.sort_unstable();
+    let mut rcell = Vec::with_capacity(rcells.len());
+    let mut roff: Vec<u64> = Vec::with_capacity(rcells.len() + 1);
+    let mut rseg: Vec<u32> = Vec::new();
+    roff.push(0);
+    for c in &rcells {
+        rcell.push(c.raw());
+        rseg.extend(raster[c].iter().map(|s| s.raw()));
+        roff.push(rseg.len() as u64);
+    }
+    writer.u32s(&format!("{prefix}.rcell"), &rcell)?;
+    writer.u64s(&format!("{prefix}.roff"), &roff)?;
+    writer.u32s(&format!("{prefix}.rseg"), &rseg)?;
+    Ok(())
+}
+
+/// Reads a [`PoiIndex`] stored under `prefix`, validating ids against the
+/// dataset bounds (`num_pois` POIs, `num_segments` segments). Decoding is
+/// chunk-parallel over `threads` workers (`0` = resolve automatically) and
+/// produces the identical index for every thread count.
+///
+/// # Errors
+/// Missing sections, violated invariants, or out-of-bounds ids
+/// (`Data` category).
+pub fn read_poi_index(
+    snapshot: &Snapshot,
+    prefix: &str,
+    num_pois: usize,
+    num_segments: usize,
+    threads: usize,
+) -> Result<PoiIndex> {
+    let threads = effective_threads((threads > 0).then_some(threads));
+    let grid = read_grid(snapshot, prefix)?;
+    let bad = |msg: String| corrupt(snapshot.path(), msg);
+
+    let ids = snapshot.u32s(&format!("{prefix}.cells"))?;
+    let weights = snapshot.f64s(&format!("{prefix}.cw"))?;
+    let poff = snapshot.u64s(&format!("{prefix}.poff"))?;
+    let pois = snapshot.u32s(&format!("{prefix}.pois"))?;
+    let ioff = snapshot.u64s(&format!("{prefix}.ioff"))?;
+    let irunk = snapshot.u32s(&format!("{prefix}.irunk"))?;
+    let irune = snapshot.u32s(&format!("{prefix}.irune"))?;
+    let idoff = snapshot.u64s(&format!("{prefix}.idoff"))?;
+    let idocs = snapshot.u32s(&format!("{prefix}.idocs"))?;
+
+    let n = ids.len();
+    check_strictly_ascending(ids, "poi cells").map_err(bad)?;
+    check_ids_below(ids, grid.num_cells(), "poi cells").map_err(bad)?;
+    check_ids_below(pois, num_pois, "poi cell members").map_err(bad)?;
+    check_ids_below(idocs, num_pois, "poi postings docs").map_err(bad)?;
+    if weights.len() != n {
+        return Err(bad(format!(
+            "poi cells: {n} ids but {} weights",
+            weights.len()
+        )));
+    }
+    if irune.len() != irunk.len() {
+        return Err(bad(format!(
+            "poi postings: {} run keywords but {} run ends",
+            irunk.len(),
+            irune.len()
+        )));
+    }
+
+    let pranges = csr_ranges(poff, n, pois.len(), "poi cell members").map_err(bad)?;
+    let iranges = csr_ranges(ioff, n, irunk.len(), "poi postings runs").map_err(bad)?;
+    let dranges = csr_ranges(idoff, n, idocs.len(), "poi postings docs").map_err(bad)?;
+
+    // Per-cell decode is embarrassingly parallel; the map is then filled
+    // serially in ascending cell order, matching the build path's insertion
+    // order exactly.
+    let decoded = par_chunk_map(&pranges, threads, |start, chunk| {
+        let mut part: Vec<(CellId, PoiCell)> = Vec::with_capacity(chunk.len());
+        for (j, &(ps, pe)) in chunk.iter().enumerate() {
+            let i = start + j;
+            let (is, ie) = iranges[i];
+            let (ds, de) = dranges[i];
+            let cell_pois: Vec<PoiId> = pois[ps..pe].iter().map(|&p| PoiId(p)).collect();
+            let runs: Vec<(KeywordId, u32)> = irunk[is..ie]
+                .iter()
+                .zip(&irune[is..ie])
+                .map(|(&k, &e)| (KeywordId(k), e))
+                .collect();
+            let docs_raw = &idocs[ds..de];
+            validate_csr(runs.as_slice(), docs_raw)
+                .map_err(|msg| format!("poi cell {}: {msg}", ids[i]))?;
+            let docs: Vec<PoiId> = docs_raw.iter().map(|&d| PoiId(d)).collect();
+            part.push((
+                CellId(ids[i]),
+                PoiCell {
+                    pois: cell_pois,
+                    total_weight: weights[i],
+                    inverted: FlatPostings::from_raw_parts(pe - ps, runs, docs),
+                },
+            ));
+        }
+        Ok(part)
+    });
+    let mut cells: FxHashMap<CellId, PoiCell> = FxHashMap::default();
+    cells.reserve(n);
+    for part in decoded {
+        let part: Vec<(CellId, PoiCell)> = part.map_err(bad)?;
+        for (id, cell) in part {
+            cells.insert(id, cell);
+        }
+    }
+
+    let gkw = snapshot.u32s(&format!("{prefix}.gkw"))?;
+    let goff = snapshot.u64s(&format!("{prefix}.goff"))?;
+    let gcell = snapshot.u32s(&format!("{prefix}.gcell"))?;
+    let gwt = snapshot.f64s(&format!("{prefix}.gwt"))?;
+    check_strictly_ascending(gkw, "global keywords").map_err(bad)?;
+    check_ids_below(gcell, grid.num_cells(), "global cells").map_err(bad)?;
+    if gwt.len() != gcell.len() {
+        return Err(bad(format!(
+            "global index: {} cells but {} weights",
+            gcell.len(),
+            gwt.len()
+        )));
+    }
+    let granges = csr_ranges(goff, gkw.len(), gcell.len(), "global index").map_err(bad)?;
+    let mut global: FxHashMap<KeywordId, Vec<(CellId, f64)>> = FxHashMap::default();
+    for (i, &k) in gkw.iter().enumerate() {
+        let (s, e) = granges[i];
+        global.insert(
+            KeywordId(k),
+            gcell[s..e]
+                .iter()
+                .zip(&gwt[s..e])
+                .map(|(&c, &w)| (CellId(c), w))
+                .collect(),
+        );
+    }
+
+    let slen = snapshot.u32s(&format!("{prefix}.slen"))?;
+    if slen.len() != num_segments {
+        return Err(bad(format!(
+            "segment length list holds {} ids for {num_segments} segments",
+            slen.len()
+        )));
+    }
+    check_ids_below(slen, num_segments, "segment length list").map_err(bad)?;
+    let segments_by_len: Vec<SegmentId> = slen.iter().map(|&s| SegmentId(s)).collect();
+
+    let rcell = snapshot.u32s(&format!("{prefix}.rcell"))?;
+    let roff = snapshot.u64s(&format!("{prefix}.roff"))?;
+    let rseg = snapshot.u32s(&format!("{prefix}.rseg"))?;
+    check_strictly_ascending(rcell, "raster cells").map_err(bad)?;
+    check_ids_below(rcell, grid.num_cells(), "raster cells").map_err(bad)?;
+    check_ids_below(rseg, num_segments, "raster segments").map_err(bad)?;
+    let rranges = csr_ranges(roff, rcell.len(), rseg.len(), "raster map").map_err(bad)?;
+    let rparts = par_chunk_map(&rranges, threads, |start, chunk| {
+        chunk
+            .iter()
+            .enumerate()
+            .map(|(j, &(s, e))| {
+                let segs: Vec<SegmentId> = rseg[s..e].iter().map(|&v| SegmentId(v)).collect();
+                (CellId(rcell[start + j]), segs)
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut raster: FxHashMap<CellId, Vec<SegmentId>> = FxHashMap::default();
+    for part in rparts {
+        for (c, segs) in part {
+            raster.insert(c, segs);
+        }
+    }
+
+    Ok(PoiIndex::from_snapshot_parts(
+        grid,
+        cells,
+        global,
+        segments_by_len,
+        raster,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// PhotoGrid codec
+// ---------------------------------------------------------------------------
+
+/// Writes the [`PhotoGrid`] under `prefix`.
+///
+/// # Errors
+/// Writer-side section errors.
+pub fn write_photo_grid(writer: &mut SnapshotWriter, prefix: &str, grid: &PhotoGrid) -> Result<()> {
+    let (g, cells) = grid.snapshot_parts();
+    write_grid(writer, prefix, g)?;
+    let mut cell_ids: Vec<CellId> = cells.keys().copied().collect();
+    cell_ids.sort_unstable();
+    let mut ids = Vec::with_capacity(cell_ids.len());
+    let mut poff: Vec<u64> = Vec::with_capacity(cell_ids.len() + 1);
+    let mut photos: Vec<u32> = Vec::new();
+    poff.push(0);
+    for c in &cell_ids {
+        ids.push(c.raw());
+        photos.extend(cells[c].iter().map(|p| p.raw()));
+        poff.push(photos.len() as u64);
+    }
+    writer.u32s(&format!("{prefix}.cells"), &ids)?;
+    writer.u64s(&format!("{prefix}.poff"), &poff)?;
+    writer.u32s(&format!("{prefix}.ph"), &photos)?;
+    Ok(())
+}
+
+/// Reads a [`PhotoGrid`] stored under `prefix` (`num_photos` bounds the
+/// photo ids). Decoding is chunk-parallel over `threads` workers (`0` =
+/// resolve automatically).
+///
+/// # Errors
+/// Missing sections or violated invariants (`Data` category).
+pub fn read_photo_grid(
+    snapshot: &Snapshot,
+    prefix: &str,
+    num_photos: usize,
+    threads: usize,
+) -> Result<PhotoGrid> {
+    let threads = effective_threads((threads > 0).then_some(threads));
+    let grid = read_grid(snapshot, prefix)?;
+    let bad = |msg: String| corrupt(snapshot.path(), msg);
+    let ids = snapshot.u32s(&format!("{prefix}.cells"))?;
+    let poff = snapshot.u64s(&format!("{prefix}.poff"))?;
+    let photos = snapshot.u32s(&format!("{prefix}.ph"))?;
+    check_strictly_ascending(ids, "photo-grid cells").map_err(bad)?;
+    check_ids_below(ids, grid.num_cells(), "photo-grid cells").map_err(bad)?;
+    check_ids_below(photos, num_photos, "photo-grid members").map_err(bad)?;
+    let ranges = csr_ranges(poff, ids.len(), photos.len(), "photo-grid members").map_err(bad)?;
+    let parts = par_chunk_map(&ranges, threads, |start, chunk| {
+        chunk
+            .iter()
+            .enumerate()
+            .map(|(j, &(s, e))| {
+                let members: Vec<PhotoId> = photos[s..e].iter().map(|&p| PhotoId(p)).collect();
+                (CellId(ids[start + j]), members)
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut cells: FxHashMap<CellId, Vec<PhotoId>> = FxHashMap::default();
+    for part in parts {
+        for (c, members) in part {
+            cells.insert(c, members);
+        }
+    }
+    Ok(PhotoGrid::from_snapshot_parts(grid, cells))
+}
+
+// ---------------------------------------------------------------------------
+// DiversificationIndex codec
+// ---------------------------------------------------------------------------
+
+/// Writes the [`DiversificationIndex`] under `prefix`.
+///
+/// # Errors
+/// Writer-side section errors.
+pub fn write_div_index(
+    writer: &mut SnapshotWriter,
+    prefix: &str,
+    index: &DiversificationIndex,
+) -> Result<()> {
+    let (grid, cells, occupied, num_photos) = index.snapshot_parts();
+    write_grid(writer, prefix, grid)?;
+    writer.u64s(&format!("{prefix}.meta"), &[num_photos as u64])?;
+    let n = occupied.len();
+    let mut ids = Vec::with_capacity(n);
+    let mut poff: Vec<u64> = Vec::with_capacity(n + 1);
+    let mut photos: Vec<u32> = Vec::new();
+    let mut pmin = Vec::with_capacity(n);
+    let mut pmax = Vec::with_capacity(n);
+    let mut ivoff: Vec<u64> = Vec::with_capacity(n + 1);
+    let mut ivkw: Vec<u32> = Vec::new();
+    let mut ivph: Vec<u32> = Vec::new();
+    poff.push(0);
+    ivoff.push(0);
+    for c in occupied {
+        let cell = index.cell(*c).ok_or_else(|| {
+            SoiError::invalid(format!("occupied cell {c} missing from the index"))
+        })?;
+        ids.push(c.raw());
+        photos.extend(cell.photos.iter().map(|p| p.raw()));
+        poff.push(photos.len() as u64);
+        pmin.push(cell.psi_min as u32);
+        pmax.push(cell.psi_max as u32);
+        // (keyword, photo) pairs, ascending — exactly what
+        // `InvertedIndex::from_sorted_pairs` consumes on the way back.
+        let mut lists: Vec<(KeywordId, &[PhotoId])> = cell.inverted.iter().collect();
+        lists.sort_unstable_by_key(|&(k, _)| k);
+        for (k, list) in lists {
+            for p in list {
+                ivkw.push(k.raw());
+                ivph.push(p.raw());
+            }
+        }
+        ivoff.push(ivkw.len() as u64);
+    }
+    let _ = cells;
+    writer.u32s(&format!("{prefix}.cells"), &ids)?;
+    writer.u64s(&format!("{prefix}.poff"), &poff)?;
+    writer.u32s(&format!("{prefix}.ph"), &photos)?;
+    writer.u32s(&format!("{prefix}.pmin"), &pmin)?;
+    writer.u32s(&format!("{prefix}.pmax"), &pmax)?;
+    writer.u64s(&format!("{prefix}.ivoff"), &ivoff)?;
+    writer.u32s(&format!("{prefix}.ivkw"), &ivkw)?;
+    writer.u32s(&format!("{prefix}.ivph"), &ivph)?;
+    Ok(())
+}
+
+/// Reads a [`DiversificationIndex`] stored under `prefix` (`num_photos`
+/// bounds the photo ids).
+///
+/// # Errors
+/// Missing sections or violated invariants (`Data` category).
+pub fn read_div_index(
+    snapshot: &Snapshot,
+    prefix: &str,
+    num_photos: usize,
+) -> Result<DiversificationIndex> {
+    let grid = read_grid(snapshot, prefix)?;
+    let bad = |msg: String| corrupt(snapshot.path(), msg);
+    let meta = snapshot.u64s(&format!("{prefix}.meta"))?;
+    let &[total_photos] = meta else {
+        return Err(bad(format!("`{prefix}.meta` must hold exactly one value")));
+    };
+    let ids = snapshot.u32s(&format!("{prefix}.cells"))?;
+    let poff = snapshot.u64s(&format!("{prefix}.poff"))?;
+    let photos = snapshot.u32s(&format!("{prefix}.ph"))?;
+    let pmin = snapshot.u32s(&format!("{prefix}.pmin"))?;
+    let pmax = snapshot.u32s(&format!("{prefix}.pmax"))?;
+    let ivoff = snapshot.u64s(&format!("{prefix}.ivoff"))?;
+    let ivkw = snapshot.u32s(&format!("{prefix}.ivkw"))?;
+    let ivph = snapshot.u32s(&format!("{prefix}.ivph"))?;
+
+    let n = ids.len();
+    check_strictly_ascending(ids, "div cells").map_err(bad)?;
+    check_ids_below(ids, grid.num_cells(), "div cells").map_err(bad)?;
+    check_ids_below(photos, num_photos, "div cell members").map_err(bad)?;
+    check_ids_below(ivph, num_photos, "div postings").map_err(bad)?;
+    if pmin.len() != n || pmax.len() != n {
+        return Err(bad(format!(
+            "div cells: {n} ids but {}/{} psi bounds",
+            pmin.len(),
+            pmax.len()
+        )));
+    }
+    if ivph.len() != ivkw.len() {
+        return Err(bad(format!(
+            "div postings: {} keywords but {} photos",
+            ivkw.len(),
+            ivph.len()
+        )));
+    }
+    let pranges = csr_ranges(poff, n, photos.len(), "div cell members").map_err(bad)?;
+    let ivranges = csr_ranges(ivoff, n, ivkw.len(), "div postings").map_err(bad)?;
+
+    let mut cells: FxHashMap<CellId, DivCell> = FxHashMap::default();
+    cells.reserve(n);
+    let mut occupied: Vec<CellId> = Vec::with_capacity(n);
+    for i in 0..n {
+        let (ps, pe) = pranges[i];
+        let (is, ie) = ivranges[i];
+        if ps == pe {
+            return Err(bad(format!("div cell {} has no photos", ids[i])));
+        }
+        check_strictly_ascending(&photos[ps..pe], "div cell members").map_err(bad)?;
+        let pairs: Vec<(KeywordId, PhotoId)> = ivkw[is..ie]
+            .iter()
+            .zip(&ivph[is..ie])
+            .map(|(&k, &p)| (KeywordId(k), PhotoId(p)))
+            .collect();
+        if pairs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(bad(format!(
+                "div cell {}: postings pairs not strictly ascending",
+                ids[i]
+            )));
+        }
+        let id = CellId(ids[i]);
+        occupied.push(id);
+        cells.insert(
+            id,
+            DivCell {
+                photos: photos[ps..pe].iter().map(|&p| PhotoId(p)).collect(),
+                inverted: InvertedIndex::from_sorted_pairs(pe - ps, &pairs),
+                keywords: KeywordSet::from_ids(pairs.iter().map(|&(k, _)| k)),
+                psi_min: pmin[i] as usize,
+                psi_max: pmax[i] as usize,
+            },
+        );
+    }
+    Ok(DiversificationIndex::from_snapshot_parts(
+        grid,
+        cells,
+        occupied,
+        total_photos as usize,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// IrTree codec
+// ---------------------------------------------------------------------------
+
+/// Writes the [`IrTree`] under `prefix` (tree skeleton via
+/// [`soi_rtree::snapshot`], items and node summaries as keyword CSRs).
+///
+/// # Errors
+/// Writer-side section errors.
+pub fn write_ir_tree(writer: &mut SnapshotWriter, prefix: &str, tree: &IrTree) -> Result<()> {
+    let inner = tree.tree();
+    soi_rtree::snapshot::write_structure(writer, &format!("{prefix}.t"), inner)?;
+    let items = inner.items();
+    let mut ids = Vec::with_capacity(items.len());
+    let mut pos = Vec::with_capacity(2 * items.len());
+    let mut koff: Vec<u64> = Vec::with_capacity(items.len() + 1);
+    let mut kids: Vec<u32> = Vec::new();
+    koff.push(0);
+    for e in items {
+        ids.push(e.id.raw());
+        pos.extend_from_slice(&[e.pos.x, e.pos.y]);
+        kids.extend(e.keywords.iter().map(|k| k.raw()));
+        koff.push(kids.len() as u64);
+    }
+    writer.u32s(&format!("{prefix}.id"), &ids)?;
+    writer.f64s(&format!("{prefix}.pos"), &pos)?;
+    writer.u64s(&format!("{prefix}.koff"), &koff)?;
+    writer.u32s(&format!("{prefix}.kids"), &kids)?;
+
+    let mut soff: Vec<u64> = Vec::with_capacity(inner.num_nodes() + 1);
+    let mut skids: Vec<u32> = Vec::new();
+    soff.push(0);
+    for node in inner.raw_nodes() {
+        skids.extend(node.summary.keywords.iter().map(|k| k.raw()));
+        soff.push(skids.len() as u64);
+    }
+    writer.u64s(&format!("{prefix}.soff"), &soff)?;
+    writer.u32s(&format!("{prefix}.skids"), &skids)?;
+    Ok(())
+}
+
+/// Reads an [`IrTree`] stored under `prefix` (`num_pois` bounds the POI
+/// ids). Item decoding is chunk-parallel over `threads` workers (`0` =
+/// resolve automatically).
+///
+/// # Errors
+/// Missing sections, violated invariants, or a structurally invalid tree
+/// skeleton (`Data` category).
+pub fn read_ir_tree(
+    snapshot: &Snapshot,
+    prefix: &str,
+    num_pois: usize,
+    threads: usize,
+) -> Result<IrTree> {
+    let threads = effective_threads((threads > 0).then_some(threads));
+
+    let structure = soi_rtree::snapshot::read_structure(snapshot, &format!("{prefix}.t"))?;
+    let bad = |msg: String| corrupt(snapshot.path(), msg);
+    let ids = snapshot.u32s(&format!("{prefix}.id"))?;
+    let pos = snapshot.f64s(&format!("{prefix}.pos"))?;
+    let koff = snapshot.u64s(&format!("{prefix}.koff"))?;
+    let kids = snapshot.u32s(&format!("{prefix}.kids"))?;
+    let soff = snapshot.u64s(&format!("{prefix}.soff"))?;
+    let skids = snapshot.u32s(&format!("{prefix}.skids"))?;
+
+    check_ids_below(ids, num_pois, "ir-tree items").map_err(bad)?;
+    if pos.len() != 2 * ids.len() {
+        return Err(bad(format!(
+            "ir-tree: {} items but {} position values",
+            ids.len(),
+            pos.len()
+        )));
+    }
+
+    check_csr_offsets(koff, ids.len(), kids.len(), "ir-tree keywords").map_err(bad)?;
+    let iparts = par_chunk_map(ids, threads, |start, chunk| {
+        let mut part: Vec<PoiEntry> = Vec::with_capacity(chunk.len());
+        for (j, &raw_id) in chunk.iter().enumerate() {
+            let i = start + j;
+            let (s, e) = (koff[i] as usize, koff[i + 1] as usize);
+            let Some(keywords) = decode_keyword_set(&kids[s..e]) else {
+                return Err(format!("ir-tree item {i}: keywords not strictly ascending"));
+            };
+            part.push(PoiEntry {
+                id: PoiId(raw_id),
+                pos: Point::new(pos[2 * i], pos[2 * i + 1]),
+                keywords,
+            });
+        }
+        Ok(part)
+    });
+    let items = concat_parts(iparts, ids.len()).map_err(bad)?;
+    let sranges = csr_ranges(
+        soff,
+        structure.nodes.len(),
+        skids.len(),
+        "ir-tree summaries",
+    )
+    .map_err(bad)?;
+    let mut summaries: Vec<KeywordSummary> = Vec::with_capacity(sranges.len());
+    for (i, &(s, e)) in sranges.iter().enumerate() {
+        let Some(keywords) = decode_keyword_set(&skids[s..e]) else {
+            return Err(bad(format!(
+                "ir-tree summary {i}: keywords not strictly ascending"
+            )));
+        };
+        summaries.push(KeywordSummary { keywords });
+    }
+    let inner = structure
+        .assemble(items, summaries)
+        .map_err(|e| e.at_path(snapshot.path()))?;
+    Ok(IrTree::from_tree(inner))
+}
+
+// ---------------------------------------------------------------------------
+// EpsilonMaps codec
+// ---------------------------------------------------------------------------
+
+/// Writes the ε-augmented maps under `prefix`.
+///
+/// # Errors
+/// Writer-side section errors.
+pub fn write_epsilon_maps(
+    writer: &mut SnapshotWriter,
+    prefix: &str,
+    maps: &EpsilonMaps,
+) -> Result<()> {
+    let (eps, segment_to_cells, cell_to_segments) = maps.snapshot_parts();
+    writer.u64s(
+        &format!("{prefix}.meta"),
+        &[eps.to_bits(), segment_to_cells.len() as u64],
+    )?;
+    let mut s2coff: Vec<u64> = Vec::with_capacity(segment_to_cells.len() + 1);
+    let mut s2c: Vec<u32> = Vec::new();
+    s2coff.push(0);
+    for cells in segment_to_cells {
+        s2c.extend(cells.iter().map(|c| c.raw()));
+        s2coff.push(s2c.len() as u64);
+    }
+    writer.u64s(&format!("{prefix}.s2coff"), &s2coff)?;
+    writer.u32s(&format!("{prefix}.s2c"), &s2c)?;
+
+    let mut keys: Vec<CellId> = cell_to_segments.keys().copied().collect();
+    keys.sort_unstable();
+    let mut c2sc = Vec::with_capacity(keys.len());
+    let mut c2soff: Vec<u64> = Vec::with_capacity(keys.len() + 1);
+    let mut c2ss: Vec<u32> = Vec::new();
+    c2soff.push(0);
+    for c in &keys {
+        c2sc.push(c.raw());
+        c2ss.extend(cell_to_segments[c].iter().map(|s| s.raw()));
+        c2soff.push(c2ss.len() as u64);
+    }
+    writer.u32s(&format!("{prefix}.c2sc"), &c2sc)?;
+    writer.u64s(&format!("{prefix}.c2soff"), &c2soff)?;
+    writer.u32s(&format!("{prefix}.c2ss"), &c2ss)?;
+    Ok(())
+}
+
+/// Reads ε-augmented maps stored under `prefix` (`num_segments` must match
+/// the network the maps will serve). Decoding is chunk-parallel over
+/// `threads` workers (`0` = resolve automatically).
+///
+/// # Errors
+/// Missing sections or violated invariants (`Data` category).
+pub fn read_epsilon_maps(
+    snapshot: &Snapshot,
+    prefix: &str,
+    num_segments: usize,
+    threads: usize,
+) -> Result<EpsilonMaps> {
+    let threads = effective_threads((threads > 0).then_some(threads));
+    let bad = |msg: String| corrupt(snapshot.path(), msg);
+    let meta = snapshot.u64s(&format!("{prefix}.meta"))?;
+    let &[eps_bits, stored_segments] = meta else {
+        return Err(bad(format!("`{prefix}.meta` must hold exactly 2 values")));
+    };
+    let eps = f64::from_bits(eps_bits);
+    if !(eps >= 0.0 && eps.is_finite()) {
+        return Err(bad(format!("eps-map epsilon {eps} invalid")));
+    }
+    if stored_segments as usize != num_segments {
+        return Err(bad(format!(
+            "eps-maps cover {stored_segments} segments, network has {num_segments}"
+        )));
+    }
+    let s2coff = snapshot.u64s(&format!("{prefix}.s2coff"))?;
+    let s2c = snapshot.u32s(&format!("{prefix}.s2c"))?;
+    let sranges = csr_ranges(s2coff, num_segments, s2c.len(), "eps segment map").map_err(bad)?;
+    let sparts = par_chunk_map(&sranges, threads, |_, chunk| {
+        chunk
+            .iter()
+            .map(|&(s, e)| {
+                s2c[s..e]
+                    .iter()
+                    .map(|&c| CellId(c))
+                    .collect::<Vec<CellId>>()
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut segment_to_cells: Vec<Vec<CellId>> = Vec::with_capacity(num_segments);
+    for part in sparts {
+        segment_to_cells.extend(part);
+    }
+
+    let c2sc = snapshot.u32s(&format!("{prefix}.c2sc"))?;
+    let c2soff = snapshot.u64s(&format!("{prefix}.c2soff"))?;
+    let c2ss = snapshot.u32s(&format!("{prefix}.c2ss"))?;
+    check_strictly_ascending(c2sc, "eps cell map").map_err(bad)?;
+    check_ids_below(c2ss, num_segments, "eps cell segments").map_err(bad)?;
+    let cranges = csr_ranges(c2soff, c2sc.len(), c2ss.len(), "eps cell map").map_err(bad)?;
+    let cparts = par_chunk_map(&cranges, threads, |start, chunk| {
+        chunk
+            .iter()
+            .enumerate()
+            .map(|(j, &(s, e))| {
+                let segs: Vec<SegmentId> = c2ss[s..e].iter().map(|&v| SegmentId(v)).collect();
+                (CellId(c2sc[start + j]), segs)
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut cell_to_segments: FxHashMap<CellId, Vec<SegmentId>> = FxHashMap::default();
+    for part in cparts {
+        for (c, segs) in part {
+            cell_to_segments.insert(c, segs);
+        }
+    }
+    Ok(EpsilonMaps::from_snapshot_parts(
+        eps,
+        segment_to_cells,
+        cell_to_segments,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Dataset fingerprint
+// ---------------------------------------------------------------------------
+
+/// Four independent FNV lanes items are striped over by index, folded into
+/// `out` at the end. The xor-multiply chain is latency-bound, so hashing
+/// millions of items through one state serialises on multiply latency;
+/// four states let consecutive items overlap. Striping by index keeps the
+/// result order-sensitive and deterministic.
+fn fingerprint_striped<T>(
+    out: &mut Fnv64,
+    items: impl Iterator<Item = T>,
+    fold: impl Fn(&mut Fnv64, T),
+) {
+    let mut lanes = [Fnv64::new(), Fnv64::new(), Fnv64::new(), Fnv64::new()];
+    for (i, item) in items.enumerate() {
+        fold(&mut lanes[i & 3], item);
+    }
+    for lane in &lanes {
+        out.write_u64(lane.finish());
+    }
+}
+
+/// A content hash over everything the index builds consume: the network
+/// (nodes, segments, streets), the vocabulary, the POIs, and the photos.
+/// Any change to the dataset changes the fingerprint, which invalidates
+/// every snapshot keyed on it.
+pub fn dataset_fingerprint(dataset: &Dataset) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(&dataset.name);
+
+    let net = &dataset.network;
+    h.write_u64(net.num_nodes() as u64);
+    fingerprint_striped(&mut h, net.nodes().iter(), |h, node| {
+        h.write_f64(node.pos.x);
+        h.write_f64(node.pos.y);
+    });
+    h.write_u64(net.num_segments() as u64);
+    fingerprint_striped(&mut h, net.segments().iter(), |h, seg| {
+        h.write_u32(seg.street.raw());
+        h.write_u32(seg.from.raw());
+        h.write_u32(seg.to.raw());
+        h.write_f64(seg.geom.a.x);
+        h.write_f64(seg.geom.a.y);
+        h.write_f64(seg.geom.b.x);
+        h.write_f64(seg.geom.b.y);
+    });
+    h.write_u64(net.num_streets() as u64);
+    for street in net.streets() {
+        h.write_str(&street.name);
+        h.write_u64(street.segments.len() as u64);
+        for s in &street.segments {
+            h.write_u32(s.raw());
+        }
+    }
+
+    h.write_u64(dataset.vocab.len() as u64);
+    for (_, term) in dataset.vocab.iter() {
+        h.write_str(term);
+    }
+
+    h.write_u64(dataset.pois.len() as u64);
+    fingerprint_striped(&mut h, dataset.pois.iter(), |h, poi| {
+        h.write_f64(poi.pos.x);
+        h.write_f64(poi.pos.y);
+        h.write_f64(poi.weight);
+        h.write_u64(poi.keywords.len() as u64);
+        for k in poi.keywords.iter() {
+            h.write_u32(k.raw());
+        }
+    });
+
+    h.write_u64(dataset.photos.len() as u64);
+    fingerprint_striped(&mut h, dataset.photos.iter(), |h, photo| {
+        h.write_f64(photo.pos.x);
+        h.write_f64(photo.pos.y);
+        h.write_u64(photo.tags.len() as u64);
+        for k in photo.tags.iter() {
+            h.write_u32(k.raw());
+        }
+    });
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Bundle
+// ---------------------------------------------------------------------------
+
+/// Parameters that shape an index bundle. Two bundles with equal params
+/// over the same dataset are interchangeable; params are stamped into the
+/// snapshot and folded into the cache key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BundleParams {
+    /// POI-index grid cell size.
+    pub poi_cell: f64,
+    /// Photo-grid cell size.
+    pub pg_cell: f64,
+    /// When set, the ε-augmented maps for this ε are persisted in the
+    /// snapshot and preloaded into the index's ε-cache on load.
+    pub eps: Option<f64>,
+    /// Whether the bundle carries the IR-tree.
+    pub with_ir: bool,
+    /// Worker threads for fresh builds (`0` = automatic). Builds are
+    /// deterministic across thread counts, so this does not key the cache.
+    pub threads: usize,
+}
+
+/// Flag bits stored in the bundle meta section.
+const FLAG_WITH_IR: u64 = 1;
+const FLAG_HAS_EPS: u64 = 2;
+
+/// The structures one dataset needs at query time.
+#[derive(Debug)]
+pub struct IndexBundle {
+    /// The spatio-textual POI grid index.
+    pub poi: PoiIndex,
+    /// The dataset-wide photo grid.
+    pub photo_grid: PhotoGrid,
+    /// The hybrid IR-tree, when requested.
+    pub ir: Option<IrTree>,
+}
+
+/// Outcome of [`read_bundle`]: either the decoded bundle or a reason the
+/// snapshot no longer matches the dataset/params.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// The snapshot matched and decoded cleanly.
+    Loaded(Box<IndexBundle>),
+    /// The snapshot is internally valid but was written for different
+    /// dataset content or build parameters.
+    Stale(String),
+}
+
+/// Builds a fresh bundle from the dataset (no I/O).
+pub fn build_bundle(dataset: &Dataset, params: &BundleParams) -> IndexBundle {
+    let poi = PoiIndex::build_with_threads(
+        &dataset.network,
+        &dataset.pois,
+        params.poi_cell,
+        params.threads,
+    );
+    let photo_grid = PhotoGrid::build_with_threads(
+        &dataset.network,
+        &dataset.photos,
+        params.pg_cell,
+        params.threads,
+    );
+    let ir = params
+        .with_ir
+        .then(|| IrTree::build_with_threads(&dataset.pois, params.threads));
+    if let Some(eps) = params.eps {
+        // Warm the ε-cache so the persisted snapshot carries the maps.
+        drop(poi.epsilon_maps(&dataset.network, eps));
+    }
+    IndexBundle {
+        poi,
+        photo_grid,
+        ir,
+    }
+}
+
+/// Writes `bundle` to `path`, stamped with the dataset fingerprint and
+/// `params`. Returns the file size in bytes.
+///
+/// # Errors
+/// Writer-side section errors or I/O failures.
+pub fn write_bundle(
+    path: &Path,
+    dataset: &Dataset,
+    bundle: &IndexBundle,
+    params: &BundleParams,
+) -> Result<u64> {
+    let _span = soi_obs::trace::span(soi_obs::names::spans::SNAPSHOT_WRITE);
+    let start = Instant::now();
+    let mut flags = 0u64;
+    if bundle.ir.is_some() {
+        flags |= FLAG_WITH_IR;
+    }
+    if params.eps.is_some() {
+        flags |= FLAG_HAS_EPS;
+    }
+    let mut w = SnapshotWriter::new();
+    w.u64s(
+        "cache.meta",
+        &[
+            dataset_fingerprint(dataset),
+            flags,
+            params.poi_cell.to_bits(),
+            params.pg_cell.to_bits(),
+            params.eps.map_or(0, f64::to_bits),
+        ],
+    )?;
+    write_poi_index(&mut w, "poi", &bundle.poi)?;
+    write_photo_grid(&mut w, "pg", &bundle.photo_grid)?;
+    if let Some(ir) = &bundle.ir {
+        write_ir_tree(&mut w, "ir", ir)?;
+    }
+    if let Some(eps) = params.eps {
+        let maps = bundle.poi.epsilon_maps(&dataset.network, eps);
+        write_epsilon_maps(&mut w, "eps", &maps)?;
+    }
+    let bytes = w.write_to(path)?;
+    let m = crate::obs::index_metrics();
+    m.snapshot_write_seconds.set(start.elapsed().as_secs_f64());
+    m.snapshot_bytes.set(bytes as f64);
+    m.snapshot_writes.inc();
+    Ok(bytes)
+}
+
+/// Reads a bundle from `path`, verifying the dataset fingerprint and
+/// `params` stamp before decoding any structure.
+///
+/// # Errors
+/// A corrupt or invalid snapshot (`Data` category, file context attached).
+/// A *stale* snapshot — valid container, different dataset or params — is
+/// not an error: it returns [`ReadOutcome::Stale`].
+pub fn read_bundle(path: &Path, dataset: &Dataset, params: &BundleParams) -> Result<ReadOutcome> {
+    read_bundle_with_fingerprint(path, dataset, params, dataset_fingerprint(dataset))
+}
+
+/// [`read_bundle`] with a precomputed dataset fingerprint.
+///
+/// Fingerprinting walks every node, segment, POI, and photo; callers that
+/// already hold the value — the cache keys snapshot *file names* by the
+/// same fingerprint — skip hashing the dataset a second time.
+///
+/// # Errors
+/// As [`read_bundle`].
+pub fn read_bundle_with_fingerprint(
+    path: &Path,
+    dataset: &Dataset,
+    params: &BundleParams,
+    expected: u64,
+) -> Result<ReadOutcome> {
+    let _span = soi_obs::trace::span(soi_obs::names::spans::SNAPSHOT_LOAD);
+    let start = Instant::now();
+    let snapshot = Snapshot::open(path)?;
+    let meta = snapshot.u64s("cache.meta")?;
+    let &[fingerprint, flags, poi_cell_bits, pg_cell_bits, eps_bits] = meta else {
+        return Err(corrupt(
+            path,
+            format!(
+                "`cache.meta` must hold exactly 5 values, found {}",
+                meta.len()
+            ),
+        ));
+    };
+    if fingerprint != expected {
+        return Ok(ReadOutcome::Stale(format!(
+            "dataset fingerprint {fingerprint:016x} != expected {expected:016x}"
+        )));
+    }
+    let with_ir = flags & FLAG_WITH_IR != 0;
+    let has_eps = flags & FLAG_HAS_EPS != 0;
+    if poi_cell_bits != params.poi_cell.to_bits()
+        || pg_cell_bits != params.pg_cell.to_bits()
+        || with_ir != params.with_ir
+        || has_eps != params.eps.is_some()
+        || eps_bits != params.eps.map_or(0, f64::to_bits)
+    {
+        return Ok(ReadOutcome::Stale(
+            "snapshot was written with different build parameters".to_string(),
+        ));
+    }
+
+    let num_pois = dataset.pois.len();
+    let num_photos = dataset.photos.len();
+    let num_segments = dataset.network.num_segments();
+    let threads = params.threads;
+
+    let poi = read_poi_index(&snapshot, "poi", num_pois, num_segments, threads)?;
+    let photo_grid = read_photo_grid(&snapshot, "pg", num_photos, threads)?;
+    let ir = if with_ir {
+        Some(read_ir_tree(&snapshot, "ir", num_pois, threads)?)
+    } else {
+        None
+    };
+    if has_eps {
+        let maps = read_epsilon_maps(&snapshot, "eps", num_segments, threads)?;
+        poi.preload_epsilon_maps(Arc::new(maps));
+    }
+    let m = crate::obs::index_metrics();
+    m.snapshot_load_seconds.set(start.elapsed().as_secs_f64());
+    m.snapshot_bytes.set(snapshot.file_len() as f64);
+    m.snapshot_loads.inc();
+    Ok(ReadOutcome::Loaded(Box::new(IndexBundle {
+        poi,
+        photo_grid,
+        ir,
+    })))
+}
+
+// ---------------------------------------------------------------------------
+// Index cache
+// ---------------------------------------------------------------------------
+
+/// How the cache reacts to a corrupt snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// A corrupt snapshot fails the command (`Data` error, exit code 3).
+    Strict,
+    /// A corrupt snapshot is discarded and the index rebuilt and re-written
+    /// transparently. The default.
+    Lenient,
+}
+
+/// What [`IndexCache::load_or_build`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The bundle was decoded from an up-to-date snapshot.
+    Hit,
+    /// No usable snapshot existed (missing or stale); the bundle was built
+    /// fresh and a new snapshot written.
+    MissBuilt,
+    /// The snapshot existed but failed validation; lenient mode rebuilt
+    /// and re-wrote it.
+    RebuiltCorrupt,
+}
+
+/// A directory of bundle snapshots keyed by dataset fingerprint, container
+/// format version, and build parameters.
+#[derive(Debug, Clone)]
+pub struct IndexCache {
+    dir: PathBuf,
+    mode: CacheMode,
+}
+
+impl IndexCache {
+    /// A cache rooted at `dir` (created on first use).
+    pub fn new(dir: impl Into<PathBuf>, mode: CacheMode) -> Self {
+        Self {
+            dir: dir.into(),
+            mode,
+        }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The snapshot path for `dataset` under `params`. The file name folds
+    /// in the dataset fingerprint, the container format version, and the
+    /// parameter stamp, so any change produces a different file (stale
+    /// snapshots are simply never opened).
+    pub fn snapshot_path(&self, dataset: &Dataset, params: &BundleParams) -> PathBuf {
+        self.snapshot_path_with(dataset, params, dataset_fingerprint(dataset))
+    }
+
+    /// [`IndexCache::snapshot_path`] with a precomputed dataset fingerprint.
+    fn snapshot_path_with(
+        &self,
+        dataset: &Dataset,
+        params: &BundleParams,
+        fingerprint: u64,
+    ) -> PathBuf {
+        let mut h = Fnv64::new();
+        h.write_u64(fingerprint);
+        h.write_u32(FORMAT_VERSION);
+        h.write_f64(params.poi_cell);
+        h.write_f64(params.pg_cell);
+        h.write_u64(params.eps.map_or(0, f64::to_bits));
+        h.write_u32(params.with_ir as u32);
+        let key = h.finish();
+        let name: String = dataset
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .take(48)
+            .collect();
+        self.dir.join(format!("{name}-{key:016x}.soisnap"))
+    }
+
+    /// Loads the bundle from the cache, or builds (and persists) it.
+    ///
+    /// # Errors
+    /// I/O failures creating the directory or writing the snapshot; in
+    /// [`CacheMode::Strict`], also any corrupt-snapshot error.
+    pub fn load_or_build(
+        &self,
+        dataset: &Dataset,
+        params: &BundleParams,
+    ) -> Result<(IndexBundle, CacheOutcome)> {
+        std::fs::create_dir_all(&self.dir).map_err(|e| SoiError::io(e, self.dir.clone()))?;
+        // One dataset walk covers both the cache key and the staleness
+        // check inside the snapshot: the fingerprint is the expensive part
+        // of a cache hit after the decode itself.
+        let fingerprint = dataset_fingerprint(dataset);
+        let path = self.snapshot_path_with(dataset, params, fingerprint);
+        let mut outcome = CacheOutcome::MissBuilt;
+        if path.exists() {
+            match read_bundle_with_fingerprint(&path, dataset, params, fingerprint) {
+                Ok(ReadOutcome::Loaded(bundle)) => return Ok((*bundle, CacheOutcome::Hit)),
+                Ok(ReadOutcome::Stale(_)) => {
+                    // Key-hashed file names make this near-impossible, but a
+                    // mismatched stamp is still just a miss: rebuild below.
+                }
+                Err(e) => {
+                    if self.mode == CacheMode::Strict {
+                        return Err(e);
+                    }
+                    outcome = CacheOutcome::RebuiltCorrupt;
+                }
+            }
+        }
+        crate::obs::index_metrics().snapshot_rebuilds.inc();
+        let bundle = build_bundle(dataset, params);
+        write_bundle(&path, dataset, &bundle, params)?;
+        Ok((bundle, outcome))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_data::{PhotoCollection, PoiCollection};
+    use soi_network::RoadNetwork;
+    use soi_text::Vocabulary;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("soi-idxsnap-{}-{name}.soisnap", std::process::id()))
+    }
+
+    fn kws(ids: &[u32]) -> KeywordSet {
+        KeywordSet::from_ids(ids.iter().map(|&i| KeywordId(i)))
+    }
+
+    fn sample_dataset() -> Dataset {
+        let mut b = RoadNetwork::builder();
+        b.add_street_from_points(
+            "Alpha",
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(4.0, 0.0),
+                Point::new(4.0, 4.0),
+            ],
+        );
+        b.add_street_from_points("Beta", &[Point::new(0.0, 2.0), Point::new(6.0, 2.0)]);
+        let network = b.build().unwrap();
+
+        let mut vocab = Vocabulary::new();
+        for term in ["cafe", "bar", "museum", "park", "shop"] {
+            vocab.intern(term);
+        }
+        let mut pois = PoiCollection::new();
+        let mut x: u64 = 0x5EED_0123_4567_89AB;
+        for _ in 0..60 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let px = (x % 600) as f64 / 100.0;
+            let py = ((x >> 17) % 400) as f64 / 100.0;
+            let k1 = (x % 5) as u32;
+            let k2 = ((x >> 23) % 5) as u32;
+            pois.add_weighted(Point::new(px, py), kws(&[k1, k2]), 1.0 + (x % 3) as f64);
+        }
+        let mut photos = PhotoCollection::new();
+        for _ in 0..80 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let px = (x % 600) as f64 / 100.0;
+            let py = ((x >> 17) % 400) as f64 / 100.0;
+            let k1 = (x % 5) as u32;
+            photos.add(Point::new(px, py), kws(&[k1]));
+        }
+        Dataset::new("sample", network, vocab, pois, photos)
+    }
+
+    fn params() -> BundleParams {
+        BundleParams {
+            poi_cell: 0.5,
+            pg_cell: 0.5,
+            eps: Some(0.4),
+            with_ir: true,
+            threads: 1,
+        }
+    }
+
+    fn assert_poi_index_equal(ds: &Dataset, a: &PoiIndex, b: &PoiIndex) {
+        assert_eq!(a.grid(), b.grid());
+        assert_eq!(a.num_occupied_cells(), b.num_occupied_cells());
+        let mut ids: Vec<CellId> = a.occupied_cells().map(|(id, _)| id).collect();
+        ids.sort_unstable();
+        for id in ids {
+            let ca = a.cell(id).unwrap();
+            let cb = b.cell(id).unwrap();
+            assert_eq!(ca.pois, cb.pois);
+            assert_eq!(ca.total_weight.to_bits(), cb.total_weight.to_bits());
+            assert_eq!(ca.inverted.raw_runs(), cb.inverted.raw_runs());
+            assert_eq!(ca.inverted.raw_docs(), cb.inverted.raw_docs());
+        }
+        for k in 0..ds.vocab.len() as u32 {
+            let ga = a.global_postings(KeywordId(k));
+            let gb = b.global_postings(KeywordId(k));
+            assert_eq!(ga.len(), gb.len(), "keyword {k}");
+            for (ea, eb) in ga.iter().zip(gb) {
+                assert_eq!(ea.0, eb.0);
+                assert_eq!(ea.1.to_bits(), eb.1.to_bits());
+            }
+        }
+        assert_eq!(a.segments_by_len(), b.segments_by_len());
+        for seg in ds.network.segments() {
+            for eps in [0.0, 0.3, 1.0] {
+                assert_eq!(
+                    a.occupied_cells_near_segment(&seg.geom, eps),
+                    b.occupied_cells_near_segment(&seg.geom, eps)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn poi_index_round_trips() {
+        let ds = sample_dataset();
+        let index = PoiIndex::build(&ds.network, &ds.pois, 0.5);
+        let path = temp_path("poi");
+        let mut w = SnapshotWriter::new();
+        write_poi_index(&mut w, "poi", &index).unwrap();
+        w.write_to(&path).unwrap();
+        let snap = Snapshot::open(&path).unwrap();
+        let back =
+            read_poi_index(&snap, "poi", ds.pois.len(), ds.network.num_segments(), 2).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_poi_index_equal(&ds, &index, &back);
+    }
+
+    #[test]
+    fn photo_grid_round_trips() {
+        let ds = sample_dataset();
+        let grid = PhotoGrid::build(&ds.network, &ds.photos, 0.5);
+        let path = temp_path("pg");
+        let mut w = SnapshotWriter::new();
+        write_photo_grid(&mut w, "pg", &grid).unwrap();
+        w.write_to(&path).unwrap();
+        let snap = Snapshot::open(&path).unwrap();
+        let back = read_photo_grid(&snap, "pg", ds.photos.len(), 2).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(grid.grid(), back.grid());
+        assert_eq!(grid.num_occupied_cells(), back.num_occupied_cells());
+        for street in ds.network.streets() {
+            assert_eq!(
+                grid.photos_near_street(&ds.network, &ds.photos, street.id, 0.4),
+                back.photos_near_street(&ds.network, &ds.photos, street.id, 0.4)
+            );
+        }
+    }
+
+    #[test]
+    fn div_index_round_trips() {
+        let ds = sample_dataset();
+        let members: Vec<PhotoId> = (0..ds.photos.len() as u32)
+            .step_by(2)
+            .map(PhotoId)
+            .collect();
+        let index = DiversificationIndex::build(&ds.photos, &members, 0.8);
+        let path = temp_path("div");
+        let mut w = SnapshotWriter::new();
+        write_div_index(&mut w, "div", &index).unwrap();
+        w.write_to(&path).unwrap();
+        let snap = Snapshot::open(&path).unwrap();
+        let back = read_div_index(&snap, "div", ds.photos.len()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(index.grid(), back.grid());
+        assert_eq!(index.occupied(), back.occupied());
+        assert_eq!(index.num_photos(), back.num_photos());
+        for &id in index.occupied() {
+            let a = index.cell(id).unwrap();
+            let b = back.cell(id).unwrap();
+            assert_eq!(a.photos, b.photos);
+            assert_eq!(a.keywords, b.keywords);
+            assert_eq!(a.psi_min, b.psi_min);
+            assert_eq!(a.psi_max, b.psi_max);
+            assert_eq!(a.inverted.num_documents(), b.inverted.num_documents());
+            assert_eq!(a.inverted.num_keywords(), b.inverted.num_keywords());
+            for k in 0..ds.vocab.len() as u32 {
+                assert_eq!(
+                    a.inverted.postings(KeywordId(k)),
+                    b.inverted.postings(KeywordId(k))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ir_tree_round_trips() {
+        let ds = sample_dataset();
+        let tree = IrTree::build(&ds.pois);
+        let path = temp_path("ir");
+        let mut w = SnapshotWriter::new();
+        write_ir_tree(&mut w, "ir", &tree).unwrap();
+        w.write_to(&path).unwrap();
+        let snap = Snapshot::open(&path).unwrap();
+        let back = read_ir_tree(&snap, "ir", ds.pois.len(), 2).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(tree.len(), back.len());
+        for k in 0..5u32 {
+            let q = Point::new(2.0 + k as f64 * 0.3, 1.0);
+            let a: Vec<(u32, u64)> = tree
+                .top_k_relevant(q, &kws(&[k]), 4)
+                .into_iter()
+                .map(|(id, d)| (id.raw(), d.to_bits()))
+                .collect();
+            let b: Vec<(u32, u64)> = back
+                .top_k_relevant(q, &kws(&[k]), 4)
+                .into_iter()
+                .map(|(id, d)| (id.raw(), d.to_bits()))
+                .collect();
+            assert_eq!(a, b, "keyword {k}");
+            assert_eq!(
+                tree.relevant_within(q, 1.5, &kws(&[k])),
+                back.relevant_within(q, 1.5, &kws(&[k]))
+            );
+        }
+    }
+
+    #[test]
+    fn epsilon_maps_round_trip() {
+        let ds = sample_dataset();
+        let index = PoiIndex::build(&ds.network, &ds.pois, 0.5);
+        let maps = EpsilonMaps::build(&ds.network, &index, 0.4);
+        let path = temp_path("eps");
+        let mut w = SnapshotWriter::new();
+        write_epsilon_maps(&mut w, "eps", &maps).unwrap();
+        w.write_to(&path).unwrap();
+        let snap = Snapshot::open(&path).unwrap();
+        let back = read_epsilon_maps(&snap, "eps", ds.network.num_segments(), 2).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(maps.eps().to_bits(), back.eps().to_bits());
+        assert_eq!(maps.num_segments(), back.num_segments());
+        for seg in ds.network.segments() {
+            assert_eq!(maps.cells_of_segment(seg.id), back.cells_of_segment(seg.id));
+            for &c in maps.cells_of_segment(seg.id) {
+                assert_eq!(maps.segments_of_cell(c), back.segments_of_cell(c));
+            }
+        }
+    }
+
+    #[test]
+    fn bundle_round_trips_and_preloads_eps() {
+        let ds = sample_dataset();
+        let p = params();
+        let bundle = build_bundle(&ds, &p);
+        let path = temp_path("bundle");
+        write_bundle(&path, &ds, &bundle, &p).unwrap();
+        let ReadOutcome::Loaded(back) = read_bundle(&path, &ds, &p).unwrap() else {
+            panic!("freshly written bundle reported stale");
+        };
+        std::fs::remove_file(&path).ok();
+        assert_poi_index_equal(&ds, &bundle.poi, &back.poi);
+        assert!(back.ir.is_some());
+        // The ε-maps were preloaded: the cache already holds one entry.
+        assert_eq!(back.poi.epsilon_cache_len(), 1);
+        let a = bundle.poi.epsilon_maps(&ds.network, 0.4);
+        let b = back.poi.epsilon_maps(&ds.network, 0.4);
+        for seg in ds.network.segments() {
+            assert_eq!(a.cells_of_segment(seg.id), b.cells_of_segment(seg.id));
+        }
+    }
+
+    #[test]
+    fn stale_fingerprint_and_params_detected() {
+        let ds = sample_dataset();
+        let p = params();
+        let bundle = build_bundle(&ds, &p);
+        let path = temp_path("stale");
+        write_bundle(&path, &ds, &bundle, &p).unwrap();
+
+        // Changed dataset content → stale.
+        let mut changed = ds.clone();
+        changed.pois.add(Point::new(1.0, 1.0), kws(&[0]));
+        assert!(matches!(
+            read_bundle(&path, &changed, &p).unwrap(),
+            ReadOutcome::Stale(_)
+        ));
+
+        // Changed params → stale.
+        let p2 = BundleParams { poi_cell: 0.7, ..p };
+        assert!(matches!(
+            read_bundle(&path, &ds, &p2).unwrap(),
+            ReadOutcome::Stale(_)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cache_hit_miss_and_corruption_modes() {
+        let ds = sample_dataset();
+        let p = params();
+        let dir = std::env::temp_dir().join(format!("soi-idxcache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let cache = IndexCache::new(&dir, CacheMode::Lenient);
+        let (_, outcome) = cache.load_or_build(&ds, &p).unwrap();
+        assert_eq!(outcome, CacheOutcome::MissBuilt);
+        let (hit, outcome) = cache.load_or_build(&ds, &p).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_poi_index_equal(&ds, &build_bundle(&ds, &p).poi, &hit.poi);
+
+        // Corrupt one payload byte: lenient rebuilds, strict errors.
+        let path = cache.snapshot_path(&ds, &p);
+        let snap = Snapshot::open(&path).unwrap();
+        let offset = snap.sections()[0].offset as usize;
+        drop(snap);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[offset] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let strict = IndexCache::new(&dir, CacheMode::Strict);
+        let err = strict.load_or_build(&ds, &p).unwrap_err();
+        assert_eq!(err.category(), soi_common::ErrorCategory::Data);
+        assert_eq!(err.category().exit_code(), 3);
+
+        let (_, outcome) = cache.load_or_build(&ds, &p).unwrap();
+        assert_eq!(outcome, CacheOutcome::RebuiltCorrupt);
+        // The rewrite healed the cache.
+        let (_, outcome) = cache.load_or_build(&ds, &p).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let ds = sample_dataset();
+        let base = dataset_fingerprint(&ds);
+        assert_eq!(base, dataset_fingerprint(&ds.clone()));
+        let mut renamed = ds.clone();
+        renamed.name = "other".to_string();
+        assert_ne!(base, dataset_fingerprint(&renamed));
+        let mut more_photos = ds.clone();
+        more_photos.photos.add(Point::new(0.5, 0.5), kws(&[1]));
+        assert_ne!(base, dataset_fingerprint(&more_photos));
+    }
+
+    #[test]
+    fn out_of_bounds_ids_rejected() {
+        let ds = sample_dataset();
+        let index = PoiIndex::build(&ds.network, &ds.pois, 0.5);
+        let path = temp_path("oob");
+        let mut w = SnapshotWriter::new();
+        write_poi_index(&mut w, "poi", &index).unwrap();
+        w.write_to(&path).unwrap();
+        let snap = Snapshot::open(&path).unwrap();
+        // Claim fewer POIs than the postings reference.
+        let err = read_poi_index(&snap, "poi", 1, ds.network.num_segments(), 1).unwrap_err();
+        assert_eq!(err.category(), soi_common::ErrorCategory::Data);
+        std::fs::remove_file(&path).ok();
+    }
+}

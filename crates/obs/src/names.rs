@@ -44,6 +44,10 @@ pub mod spans {
     pub const INDEX_BUILD_LENGTHS: &str = "index.build.lengths";
     /// Query-time ε-augmented map construction (an ε-cache miss).
     pub const EPS_MAPS_BUILD: &str = "index.eps_maps.build";
+    /// Loading an index bundle from a snapshot file (cold start).
+    pub const SNAPSHOT_LOAD: &str = "index.snapshot.load";
+    /// Writing an index bundle to a snapshot file.
+    pub const SNAPSHOT_WRITE: &str = "index.snapshot.write";
     /// A whole CLI command (`cli.query`, `cli.batch`, … are derived by
     /// appending the subcommand to this prefix).
     pub const CLI_PREFIX: &str = "cli.";
@@ -98,6 +102,8 @@ mod tests {
             spans::INDEX_BUILD_RASTER,
             spans::INDEX_BUILD_LENGTHS,
             spans::EPS_MAPS_BUILD,
+            spans::SNAPSHOT_LOAD,
+            spans::SNAPSHOT_WRITE,
             spans::CLI_LOAD,
             spans::SERVE_REQUEST,
             spans::SERVE_DISPATCH,

@@ -1,0 +1,273 @@
+//! Snapshot encode/decode for the R-tree's structural skeleton.
+//!
+//! Items and summaries are domain types the tree is generic over, so this
+//! module splits the work: it persists everything the tree itself owns —
+//! node rectangles, child ranges, the root, the fanout — and the caller
+//! persists items and summaries with their own sections, then reassembles
+//! via [`RTree::from_raw_parts`]. Sections under a caller-chosen prefix:
+//!
+//! | section         | type  | content                                      |
+//! |-----------------|-------|----------------------------------------------|
+//! | `{p}.meta`      | `u64` | `[num_items, num_nodes, root + 1, fanout]`   |
+//! | `{p}.rects`     | `f64` | per node: `min.x, min.y, max.x, max.y`       |
+//! | `{p}.kind`      | `u32` | per node: 1 = leaf, 0 = internal             |
+//! | `{p}.start`     | `u32` | per node: child range start                  |
+//! | `{p}.len`       | `u32` | per node: child range length                 |
+//!
+//! `root + 1` encodes `Option<usize>` with 0 = empty tree. Rect bounds are
+//! stored bit-exact (`f64` byte copies), so a reassembled tree makes
+//! byte-identical pruning decisions.
+
+use soi_common::Result;
+use soi_geo::{Point, Rect};
+use soi_snapshot::{corrupt, Snapshot, SnapshotWriter};
+
+use crate::tree::{RTree, RawNodeOwned};
+
+/// The decoded structural skeleton of a tree.
+#[derive(Debug)]
+pub struct TreeStructure {
+    /// Expected number of items (the caller's item sections must match).
+    pub num_items: usize,
+    /// Per node: rect, leaf flag, child range.
+    pub nodes: Vec<(Rect, bool, usize, usize)>,
+    /// Root node index.
+    pub root: Option<usize>,
+    /// Maximum node fanout.
+    pub fanout: usize,
+}
+
+impl TreeStructure {
+    /// Reassembles the tree from this skeleton plus the caller-decoded
+    /// items and per-node summaries.
+    ///
+    /// # Errors
+    /// Count mismatches and any invariant violation caught by
+    /// [`RTree::from_raw_parts`] (`Data` category).
+    pub fn assemble<T, S>(self, items: Vec<T>, summaries: Vec<S>) -> Result<RTree<T, S>> {
+        let bad = |msg: String| soi_common::SoiError::parse(0, format!("r-tree snapshot: {msg}"));
+        if items.len() != self.num_items {
+            return Err(bad(format!(
+                "expected {} items, caller decoded {}",
+                self.num_items,
+                items.len()
+            )));
+        }
+        if summaries.len() != self.nodes.len() {
+            return Err(bad(format!(
+                "expected {} summaries, caller decoded {}",
+                self.nodes.len(),
+                summaries.len()
+            )));
+        }
+        let nodes = self
+            .nodes
+            .into_iter()
+            .zip(summaries)
+            .map(|((rect, is_leaf, start, len), summary)| RawNodeOwned {
+                rect,
+                summary,
+                is_leaf,
+                start,
+                len,
+            })
+            .collect();
+        RTree::from_raw_parts(items, nodes, self.root, self.fanout)
+    }
+}
+
+/// Writes the structural skeleton of `tree` under `prefix`.
+///
+/// # Errors
+/// Writer-side section errors.
+pub fn write_structure<T: crate::BoundedItem, S: crate::Summary<T>>(
+    writer: &mut SnapshotWriter,
+    prefix: &str,
+    tree: &RTree<T, S>,
+) -> Result<()> {
+    let n = tree.num_nodes();
+    let mut rects = Vec::with_capacity(4 * n);
+    let mut kinds = Vec::with_capacity(n);
+    let mut starts = Vec::with_capacity(n);
+    let mut lens = Vec::with_capacity(n);
+    for node in tree.raw_nodes() {
+        rects.extend_from_slice(&[
+            node.rect.min.x,
+            node.rect.min.y,
+            node.rect.max.x,
+            node.rect.max.y,
+        ]);
+        kinds.push(node.is_leaf as u32);
+        starts.push(node.start as u32);
+        lens.push(node.len as u32);
+    }
+    writer.u64s(
+        &format!("{prefix}.meta"),
+        &[
+            tree.len() as u64,
+            n as u64,
+            tree.root_index().map_or(0, |r| r as u64 + 1),
+            tree.fanout() as u64,
+        ],
+    )?;
+    writer.f64s(&format!("{prefix}.rects"), &rects)?;
+    writer.u32s(&format!("{prefix}.kind"), &kinds)?;
+    writer.u32s(&format!("{prefix}.start"), &starts)?;
+    writer.u32s(&format!("{prefix}.len"), &lens)?;
+    Ok(())
+}
+
+/// Reads the structural skeleton stored under `prefix`.
+///
+/// # Errors
+/// Missing sections or shape mismatches (`Data` category). Child-range
+/// validation happens later, in [`RTree::from_raw_parts`].
+pub fn read_structure(snapshot: &Snapshot, prefix: &str) -> Result<TreeStructure> {
+    let meta = snapshot.u64s(&format!("{prefix}.meta"))?;
+    let rects = snapshot.f64s(&format!("{prefix}.rects"))?;
+    let kinds = snapshot.u32s(&format!("{prefix}.kind"))?;
+    let starts = snapshot.u32s(&format!("{prefix}.start"))?;
+    let lens = snapshot.u32s(&format!("{prefix}.len"))?;
+    let bad = |msg: String| corrupt(snapshot.path(), msg);
+
+    let &[num_items, num_nodes, root_plus_one, fanout] = meta else {
+        return Err(bad(format!("`{prefix}.meta` must hold exactly 4 values")));
+    };
+    let n = num_nodes as usize;
+    if kinds.len() != n || starts.len() != n || lens.len() != n || rects.len() != 4 * n {
+        return Err(bad(format!(
+            "`{prefix}`: node arrays disagree ({n} nodes, {} kinds, {} starts, {} lens, {} rect values)",
+            kinds.len(),
+            starts.len(),
+            lens.len(),
+            rects.len()
+        )));
+    }
+    let nodes = (0..n)
+        .map(|i| {
+            let r = &rects[4 * i..4 * i + 4];
+            (
+                Rect::new(Point::new(r[0], r[1]), Point::new(r[2], r[3])),
+                kinds[i] == 1,
+                starts[i] as usize,
+                lens[i] as usize,
+            )
+        })
+        .collect();
+    Ok(TreeStructure {
+        num_items: num_items as usize,
+        nodes,
+        root: (root_plus_one > 0).then(|| root_plus_one as usize - 1),
+        fanout: fanout as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoSummary;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "soi-rtreesnap-{}-{name}.soisnap",
+            std::process::id()
+        ))
+    }
+
+    fn sample_tree(n: usize) -> RTree<Point> {
+        let pts: Vec<Point> = (0..n)
+            .map(|i| Point::new((i % 17) as f64 * 0.37, (i / 17) as f64 * 0.11))
+            .collect();
+        RTree::bulk_load(pts)
+    }
+
+    fn round_trip(tree: &RTree<Point>, name: &str) -> RTree<Point> {
+        let path = temp_path(name);
+        let mut w = SnapshotWriter::new();
+        write_structure(&mut w, "t", tree).unwrap();
+        // Items: points as flat f64 pairs (the caller's job).
+        let xy: Vec<f64> = tree.items().iter().flat_map(|p| [p.x, p.y]).collect();
+        w.f64s("t.items", &xy).unwrap();
+        w.write_to(&path).unwrap();
+
+        let snap = Snapshot::open(&path).unwrap();
+        let structure = read_structure(&snap, "t").unwrap();
+        let items: Vec<Point> = snap
+            .f64s("t.items")
+            .unwrap()
+            .chunks_exact(2)
+            .map(|c| Point::new(c[0], c[1]))
+            .collect();
+        let summaries = vec![NoSummary; structure.nodes.len()];
+        let back = structure.assemble(items, summaries).unwrap();
+        std::fs::remove_file(&path).ok();
+        back
+    }
+
+    #[test]
+    fn round_trip_preserves_queries() {
+        for n in [0usize, 1, 5, 100, 1000] {
+            let tree = sample_tree(n);
+            let back = round_trip(&tree, &format!("rt{n}"));
+            assert_eq!(back.len(), tree.len());
+            assert_eq!(back.num_nodes(), tree.num_nodes());
+            assert_eq!(back.root_index(), tree.root_index());
+            assert_eq!(back.fanout(), tree.fanout());
+
+            let query = Rect::new(Point::new(0.3, 0.1), Point::new(3.1, 0.9));
+            let collect = |t: &RTree<Point>| {
+                let mut hits: Vec<(u64, u64)> = Vec::new();
+                t.search_rect(&query, |p| hits.push((p.x.to_bits(), p.y.to_bits())));
+                hits
+            };
+            assert_eq!(collect(&back), collect(&tree), "n={n}");
+
+            let near_a: Vec<_> = tree
+                .nearest_k(Point::new(1.0, 0.5), 7)
+                .into_iter()
+                .map(|(p, d)| (p.x.to_bits(), p.y.to_bits(), d.to_bits()))
+                .collect();
+            let near_b: Vec<_> = back
+                .nearest_k(Point::new(1.0, 0.5), 7)
+                .into_iter()
+                .map(|(p, d)| (p.x.to_bits(), p.y.to_bits(), d.to_bits()))
+                .collect();
+            assert_eq!(near_a, near_b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_bad_structure() {
+        // Leaf range past items.
+        let nodes = vec![RawNodeOwned {
+            rect: Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            summary: NoSummary,
+            is_leaf: true,
+            start: 0,
+            len: 5,
+        }];
+        let err = RTree::<Point>::from_raw_parts(vec![Point::new(0.0, 0.0)], nodes, Some(0), 16)
+            .unwrap_err();
+        assert_eq!(err.category(), soi_common::ErrorCategory::Data);
+
+        // Internal node referencing itself (cycle).
+        let nodes = vec![RawNodeOwned {
+            rect: Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            summary: NoSummary,
+            is_leaf: false,
+            start: 0,
+            len: 1,
+        }];
+        assert!(RTree::<Point>::from_raw_parts(Vec::new(), nodes, Some(0), 16).is_err());
+
+        // Root out of range.
+        assert!(
+            RTree::<Point, NoSummary>::from_raw_parts(Vec::new(), Vec::new(), Some(3), 16).is_err()
+        );
+
+        // Empty tree is fine.
+        assert!(
+            RTree::<Point, NoSummary>::from_raw_parts(Vec::new(), Vec::new(), None, 16).is_ok()
+        );
+    }
+}

@@ -75,6 +75,13 @@ pub struct ServeConfig {
     pub eps: f64,
     /// Describe neighbourhood radius ρ.
     pub rho: f64,
+    /// When set, startup loads the index bundle from this snapshot cache
+    /// directory (building and persisting it on a miss) instead of always
+    /// rebuilding, turning cold start into I/O time.
+    pub index_cache: Option<std::path::PathBuf>,
+    /// Fail startup on a corrupt cached snapshot instead of transparently
+    /// rebuilding it.
+    pub index_cache_strict: bool,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +98,8 @@ impl Default for ServeConfig {
             batch_max: 8,
             eps: 5e-4,
             rho: 1e-4,
+            index_cache: None,
+            index_cache_strict: false,
         }
     }
 }
@@ -239,9 +248,46 @@ pub fn serve(
     soi_engine::obs::register_metrics();
 
     let cell = 2.0 * config.eps;
-    let index =
-        PoiIndex::build_with_threads(&dataset.network, &dataset.pois, cell, config.engine_threads);
-    let photo_grid = PhotoGrid::build(&dataset.network, &dataset.photos, cell);
+    let params = soi_index::BundleParams {
+        poi_cell: cell,
+        pg_cell: cell,
+        eps: Some(config.eps),
+        with_ir: false,
+        threads: config.engine_threads,
+    };
+    let index_started = Instant::now();
+    let bundle = match &config.index_cache {
+        None => soi_index::build_bundle(dataset, &params),
+        Some(dir) => {
+            let mode = if config.index_cache_strict {
+                soi_index::CacheMode::Strict
+            } else {
+                soi_index::CacheMode::Lenient
+            };
+            let (bundle, outcome) =
+                soi_index::IndexCache::new(dir.clone(), mode).load_or_build(dataset, &params)?;
+            log::event(
+                "serve.index_cache",
+                match outcome {
+                    soi_index::CacheOutcome::Hit => "index bundle loaded from snapshot cache",
+                    soi_index::CacheOutcome::MissBuilt => "index bundle built and cached",
+                    soi_index::CacheOutcome::RebuiltCorrupt => {
+                        "corrupt snapshot discarded; index bundle rebuilt"
+                    }
+                },
+                &[
+                    ("dir", Value::Str(&dir.display().to_string())),
+                    (
+                        "ms",
+                        Value::F64(index_started.elapsed().as_secs_f64() * 1e3),
+                    ),
+                ],
+            );
+            bundle
+        }
+    };
+    let index = bundle.poi;
+    let photo_grid = bundle.photo_grid;
     let engine = QueryEngine::new(config.engine_threads);
 
     let listener = TcpListener::bind(&config.addr)

@@ -113,6 +113,21 @@ impl<D: Copy + Ord> FlatPostings<D> {
         }
     }
 
+    /// The raw run directory: each distinct keyword (ascending) with the
+    /// **end** offset of its postings in [`raw_docs`](Self::raw_docs).
+    ///
+    /// This is the snapshot-encoding view: together with `raw_docs` and
+    /// [`num_documents`](Self::num_documents) it captures the whole index,
+    /// and [`from_raw_parts`](Self::from_raw_parts) rebuilds it exactly.
+    pub fn raw_runs(&self) -> &[(KeywordId, u32)] {
+        &self.runs
+    }
+
+    /// The raw concatenated postings array (see [`raw_runs`](Self::raw_runs)).
+    pub fn raw_docs(&self) -> &[D] {
+        &self.docs
+    }
+
     /// Adds a document with its keyword set (the maintenance path; the bulk
     /// path is [`from_sorted_pairs`](Self::from_sorted_pairs)).
     ///

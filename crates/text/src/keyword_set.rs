@@ -2,12 +2,32 @@
 
 use soi_common::KeywordId;
 
+/// Sets of at most this many keywords are stored inline, without a heap
+/// allocation. Real POIs and photos carry one to a handful of keywords, so
+/// the inline path covers the overwhelming majority of the millions of
+/// sets an index build or snapshot load materialises; six ids keep the
+/// whole set within 32 bytes (the size the heap variant forces anyway).
+const INLINE_CAP: usize = 6;
+
+/// Backing storage: a fixed inline buffer for small sets, a `Vec` beyond.
+#[derive(Clone)]
+enum Ids {
+    Inline {
+        len: u8,
+        buf: [KeywordId; INLINE_CAP],
+    },
+    Heap(Vec<KeywordId>),
+}
+
 /// A sorted, deduplicated set of keyword ids.
 ///
 /// This is the representation of `Ψp` (POI keywords), `Ψr` (photo tags), and
 /// query keyword sets `Ψ`. Sorted storage makes the hot operations —
 /// emptiness of `Ψp ∩ Ψ` (Definition 1) and the Jaccard distance
-/// (Definition 7) — linear merges without hashing.
+/// (Definition 7) — linear merges without hashing. Small sets (the common
+/// case by far) live inline: constructing or cloning them never touches
+/// the allocator, which is what keeps bulk paths — index builds, IR-tree
+/// entry clones, snapshot decodes — off the malloc floor.
 ///
 /// ```
 /// use soi_common::KeywordId;
@@ -19,10 +39,9 @@ use soi_common::KeywordId;
 /// assert_eq!(a.intersection_size(&b), 1);
 /// assert_eq!(a.jaccard_distance(&b), 1.0 - 1.0 / 4.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone)]
 pub struct KeywordSet {
-    ids: Vec<KeywordId>,
+    ids: Ids,
 }
 
 impl KeywordSet {
@@ -31,44 +50,114 @@ impl KeywordSet {
         Self::default()
     }
 
+    /// Wraps ids that are already strictly ascending, choosing inline or
+    /// heap storage by length. Callers guarantee canonical order.
+    fn from_canonical_vec(ids: Vec<KeywordId>) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        if ids.len() <= INLINE_CAP {
+            let mut buf = [KeywordId(0); INLINE_CAP];
+            buf[..ids.len()].copy_from_slice(&ids);
+            Self {
+                ids: Ids::Inline {
+                    len: ids.len() as u8,
+                    buf,
+                },
+            }
+        } else {
+            Self {
+                ids: Ids::Heap(ids),
+            }
+        }
+    }
+
     /// Builds a set from arbitrary ids (sorted and deduplicated).
     pub fn from_ids<I: IntoIterator<Item = KeywordId>>(ids: I) -> Self {
         let mut ids: Vec<KeywordId> = ids.into_iter().collect();
         ids.sort_unstable();
         ids.dedup();
-        Self { ids }
+        Self::from_canonical_vec(ids)
+    }
+
+    /// Wraps ids that are already strictly ascending (the canonical sorted,
+    /// deduplicated order this type maintains), or returns `None` if they
+    /// are not.
+    ///
+    /// This is the decode-side counterpart of [`Self::iter`]: snapshot
+    /// codecs persist sets in iteration order and reload millions of tiny
+    /// sets, where re-sorting each one is pure overhead and an
+    /// out-of-order run indicates corruption rather than unnormalised
+    /// input.
+    pub fn from_ascending_ids(ids: Vec<KeywordId>) -> Option<Self> {
+        if ids.windows(2).all(|w| w[0] < w[1]) {
+            Some(Self::from_canonical_vec(ids))
+        } else {
+            None
+        }
+    }
+
+    /// Like [`Self::from_ascending_ids`], but from an iterator of known
+    /// length: small sets are written straight into inline storage, so the
+    /// common case allocates nothing at all.
+    pub fn from_ascending_iter<I>(mut ids: I) -> Option<Self>
+    where
+        I: ExactSizeIterator<Item = KeywordId>,
+    {
+        let n = ids.len();
+        if n > INLINE_CAP {
+            return Self::from_ascending_ids(ids.collect());
+        }
+        let mut buf = [KeywordId(0); INLINE_CAP];
+        for i in 0..n {
+            let k = ids.next()?;
+            if i > 0 && buf[i - 1] >= k {
+                return None;
+            }
+            buf[i] = k;
+        }
+        Some(Self {
+            ids: Ids::Inline { len: n as u8, buf },
+        })
     }
 
     /// Number of keywords in the set.
     pub fn len(&self) -> usize {
-        self.ids.len()
+        self.as_slice().len()
     }
 
     /// Returns true if the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.ids.is_empty()
+        self.as_slice().is_empty()
     }
 
     /// The sorted ids.
     pub fn ids(&self) -> &[KeywordId] {
-        &self.ids
+        self.as_slice()
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[KeywordId] {
+        match &self.ids {
+            Ids::Inline { len, buf } => &buf[..*len as usize],
+            Ids::Heap(v) => v,
+        }
     }
 
     /// Iterates over the ids in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = KeywordId> + '_ {
-        self.ids.iter().copied()
+        self.as_slice().iter().copied()
     }
 
     /// Membership test (binary search).
     pub fn contains(&self, id: KeywordId) -> bool {
-        self.ids.binary_search(&id).is_ok()
+        self.as_slice().binary_search(&id).is_ok()
     }
 
     /// Size of the intersection with `other` (linear merge).
     pub fn intersection_size(&self, other: &KeywordSet) -> usize {
+        let (a, b) = (self.as_slice(), other.as_slice());
         let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
-        while i < self.ids.len() && j < other.ids.len() {
-            match self.ids[i].cmp(&other.ids[j]) {
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
@@ -83,15 +172,16 @@ impl KeywordSet {
 
     /// Size of the union with `other`.
     pub fn union_size(&self, other: &KeywordSet) -> usize {
-        self.ids.len() + other.ids.len() - self.intersection_size(other)
+        self.len() + other.len() - self.intersection_size(other)
     }
 
     /// Returns true if the sets share at least one keyword
     /// (`Ψp ∩ Ψ ≠ ∅`, the relevance predicate of Definition 1).
     pub fn intersects(&self, other: &KeywordSet) -> bool {
+        let (a, b) = (self.as_slice(), other.as_slice());
         let (mut i, mut j) = (0usize, 0usize);
-        while i < self.ids.len() && j < other.ids.len() {
-            match self.ids[i].cmp(&other.ids[j]) {
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => return true,
@@ -113,52 +203,103 @@ impl KeywordSet {
 
     /// The intersection as a new set.
     pub fn intersection(&self, other: &KeywordSet) -> KeywordSet {
-        let mut out = Vec::with_capacity(self.ids.len().min(other.ids.len()));
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let mut out = Vec::with_capacity(a.len().min(b.len()));
         let (mut i, mut j) = (0usize, 0usize);
-        while i < self.ids.len() && j < other.ids.len() {
-            match self.ids[i].cmp(&other.ids[j]) {
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    out.push(self.ids[i]);
+                    out.push(a[i]);
                     i += 1;
                     j += 1;
                 }
             }
         }
-        KeywordSet { ids: out }
+        KeywordSet::from_canonical_vec(out)
     }
 
     /// The union as a new set.
     pub fn union(&self, other: &KeywordSet) -> KeywordSet {
-        let mut out = Vec::with_capacity(self.ids.len() + other.ids.len());
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let mut out = Vec::with_capacity(a.len() + b.len());
         let (mut i, mut j) = (0usize, 0usize);
-        while i < self.ids.len() && j < other.ids.len() {
-            match self.ids[i].cmp(&other.ids[j]) {
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
                 std::cmp::Ordering::Less => {
-                    out.push(self.ids[i]);
+                    out.push(a[i]);
                     i += 1;
                 }
                 std::cmp::Ordering::Greater => {
-                    out.push(other.ids[j]);
+                    out.push(b[j]);
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
-                    out.push(self.ids[i]);
+                    out.push(a[i]);
                     i += 1;
                     j += 1;
                 }
             }
         }
-        out.extend_from_slice(&self.ids[i..]);
-        out.extend_from_slice(&other.ids[j..]);
-        KeywordSet { ids: out }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        KeywordSet::from_canonical_vec(out)
+    }
+}
+
+impl Default for KeywordSet {
+    fn default() -> Self {
+        Self {
+            ids: Ids::Inline {
+                len: 0,
+                buf: [KeywordId(0); INLINE_CAP],
+            },
+        }
+    }
+}
+
+// Equality, ordering-sensitive hashing, and debug formatting all go
+// through the id slice, so inline and heap storage of the same ids are
+// indistinguishable.
+impl PartialEq for KeywordSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for KeywordSet {}
+
+impl std::hash::Hash for KeywordSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for KeywordSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.as_slice()).finish()
     }
 }
 
 impl FromIterator<KeywordId> for KeywordSet {
     fn from_iter<T: IntoIterator<Item = KeywordId>>(iter: T) -> Self {
         Self::from_ids(iter)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for KeywordSet {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.as_slice())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for KeywordSet {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let ids = Vec::<KeywordId>::deserialize(deserializer)?;
+        Ok(Self::from_ids(ids))
     }
 }
 
@@ -176,6 +317,61 @@ mod tests {
         assert_eq!(s.len(), 3);
         let raw: Vec<u32> = s.iter().map(u32::from).collect();
         assert_eq!(raw, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn inline_and_heap_storage_agree() {
+        // Small sets stay inline, large ones spill; behaviour and equality
+        // must not depend on which storage a set landed in.
+        let small: Vec<u32> = (0..INLINE_CAP as u32).collect();
+        let large: Vec<u32> = (0..INLINE_CAP as u32 + 3).collect();
+        for raw in [small, large] {
+            let a = set(&raw);
+            assert_eq!(a.len(), raw.len());
+            let b = KeywordSet::from_ascending_ids(raw.iter().map(|&i| KeywordId(i)).collect())
+                .unwrap();
+            let c = KeywordSet::from_ascending_iter(raw.iter().map(|&i| KeywordId(i))).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+            assert_eq!(a.ids(), b.ids());
+            assert!(a.contains(KeywordId(raw[raw.len() - 1])));
+            assert_eq!(a.intersection_size(&b), raw.len());
+            let mut hash = std::collections::hash_map::DefaultHasher::new();
+            use std::hash::{Hash, Hasher};
+            a.hash(&mut hash);
+            let ha = hash.finish();
+            let mut hash = std::collections::hash_map::DefaultHasher::new();
+            b.hash(&mut hash);
+            assert_eq!(ha, hash.finish());
+        }
+    }
+
+    #[test]
+    fn from_ascending_requires_canonical_order() {
+        let ids = |raw: &[u32]| raw.iter().map(|&i| KeywordId(i)).collect::<Vec<_>>();
+        assert_eq!(
+            KeywordSet::from_ascending_ids(ids(&[1, 3, 5])),
+            Some(set(&[1, 3, 5]))
+        );
+        assert_eq!(
+            KeywordSet::from_ascending_ids(Vec::new()),
+            Some(KeywordSet::empty())
+        );
+        assert_eq!(KeywordSet::from_ascending_ids(ids(&[3, 1])), None);
+        assert_eq!(KeywordSet::from_ascending_ids(ids(&[1, 1, 2])), None);
+        // The iterator variant applies the same rules, inline and spilled.
+        assert_eq!(
+            KeywordSet::from_ascending_iter(ids(&[2, 2]).into_iter()),
+            None
+        );
+        assert_eq!(
+            KeywordSet::from_ascending_iter(ids(&[3, 2, 4, 5, 6, 7, 8, 9]).into_iter()),
+            None
+        );
+        assert_eq!(
+            KeywordSet::from_ascending_iter(std::iter::empty()),
+            Some(KeywordSet::empty())
+        );
     }
 
     #[test]
@@ -220,6 +416,11 @@ mod tests {
         assert_eq!(a.union(&b), set(&[1, 2, 3, 4, 5]));
         assert_eq!(a.union(&KeywordSet::empty()), a);
         assert_eq!(a.intersection(&KeywordSet::empty()), KeywordSet::empty());
+        // Unions that cross the inline capacity spill correctly.
+        let big = set(&[10, 11, 12, 13]);
+        let merged = a.union(&big);
+        assert_eq!(merged.len(), 7);
+        assert!(merged.contains(KeywordId(13)));
     }
 
     #[test]

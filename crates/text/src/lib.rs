@@ -27,6 +27,7 @@ pub mod flat;
 pub mod freq;
 pub mod inverted;
 pub mod keyword_set;
+pub mod snapshot;
 pub mod tokenize;
 pub mod vocab;
 

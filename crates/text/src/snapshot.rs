@@ -1,0 +1,239 @@
+//! Snapshot encode/decode for [`FlatPostings`].
+//!
+//! A `FlatPostings` is already the on-disk shape — a run directory plus a
+//! flat postings array — so a snapshot stores exactly four sections under a
+//! caller-chosen prefix:
+//!
+//! | section          | type  | content                                   |
+//! |------------------|-------|-------------------------------------------|
+//! | `{p}.meta`       | `u64` | `[num_docs]`                              |
+//! | `{p}.run_kw`     | `u32` | run keywords, ascending                   |
+//! | `{p}.run_end`    | `u32` | run **end** offsets into `{p}.docs`       |
+//! | `{p}.docs`       | `u32` | concatenated postings (raw document ids)  |
+//!
+//! Decoding validates the CSR invariants (ascending keywords,
+//! non-decreasing ends, final end = docs len, strictly ascending postings
+//! within each run) so a structurally plausible but inconsistent file is a
+//! categorized error, never a later panic.
+
+use soi_common::{KeywordId, PhotoId, PoiId, Result};
+use soi_snapshot::{corrupt, Snapshot, SnapshotWriter};
+
+use crate::FlatPostings;
+
+/// A document id storable in a snapshot as a raw `u32`.
+pub trait SnapshotDoc: Copy + Ord {
+    /// The raw on-disk value.
+    fn to_raw(self) -> u32;
+    /// Rebuilds the id from the raw on-disk value.
+    fn from_raw(raw: u32) -> Self;
+}
+
+impl SnapshotDoc for u32 {
+    fn to_raw(self) -> u32 {
+        self
+    }
+    fn from_raw(raw: u32) -> Self {
+        raw
+    }
+}
+
+impl SnapshotDoc for PoiId {
+    fn to_raw(self) -> u32 {
+        self.raw()
+    }
+    fn from_raw(raw: u32) -> Self {
+        PoiId(raw)
+    }
+}
+
+impl SnapshotDoc for PhotoId {
+    fn to_raw(self) -> u32 {
+        PhotoId::raw(self)
+    }
+    fn from_raw(raw: u32) -> Self {
+        PhotoId(raw)
+    }
+}
+
+/// Writes `postings` under `prefix` into `writer`.
+///
+/// # Errors
+/// Writer-side section errors (duplicate prefix, oversized name).
+pub fn write_flat_postings<D: SnapshotDoc>(
+    writer: &mut SnapshotWriter,
+    prefix: &str,
+    postings: &FlatPostings<D>,
+) -> Result<()> {
+    let runs = postings.raw_runs();
+    let run_kw: Vec<u32> = runs.iter().map(|&(k, _)| k.raw()).collect();
+    let run_end: Vec<u32> = runs.iter().map(|&(_, e)| e).collect();
+    let docs: Vec<u32> = postings.raw_docs().iter().map(|d| d.to_raw()).collect();
+    writer.u64s(
+        &format!("{prefix}.meta"),
+        &[postings.num_documents() as u64],
+    )?;
+    writer.u32s(&format!("{prefix}.run_kw"), &run_kw)?;
+    writer.u32s(&format!("{prefix}.run_end"), &run_end)?;
+    writer.u32s(&format!("{prefix}.docs"), &docs)?;
+    Ok(())
+}
+
+/// Reads the postings stored under `prefix` from `snapshot`.
+///
+/// # Errors
+/// Missing sections or violated CSR invariants (`Data` category).
+pub fn read_flat_postings<D: SnapshotDoc>(
+    snapshot: &Snapshot,
+    prefix: &str,
+) -> Result<FlatPostings<D>> {
+    let meta = snapshot.u64s(&format!("{prefix}.meta"))?;
+    let run_kw = snapshot.u32s(&format!("{prefix}.run_kw"))?;
+    let run_end = snapshot.u32s(&format!("{prefix}.run_end"))?;
+    let docs_raw = snapshot.u32s(&format!("{prefix}.docs"))?;
+    let bad = |msg: String| corrupt(snapshot.path(), msg);
+
+    let &[num_docs] = meta else {
+        return Err(bad(format!("`{prefix}.meta` must hold exactly one value")));
+    };
+    if run_kw.len() != run_end.len() {
+        return Err(bad(format!(
+            "`{prefix}`: {} run keywords but {} run ends",
+            run_kw.len(),
+            run_end.len()
+        )));
+    }
+    let runs: Vec<(KeywordId, u32)> = run_kw
+        .iter()
+        .zip(run_end)
+        .map(|(&k, &e)| (KeywordId(k), e))
+        .collect();
+    validate_csr(&runs, docs_raw).map_err(bad)?;
+    let docs: Vec<D> = docs_raw.iter().map(|&d| D::from_raw(d)).collect();
+    Ok(FlatPostings::from_raw_parts(num_docs as usize, runs, docs))
+}
+
+/// Checks the `FlatPostings` CSR invariants on untrusted arrays: strictly
+/// ascending run keywords, non-decreasing run ends terminating at the docs
+/// length, and non-empty strictly-ascending runs. Exposed so downstream
+/// codecs that flatten many postings lists into one section pair (e.g. the
+/// per-cell postings of `soi-index`) can re-validate each slice on decode.
+pub fn validate_csr(runs: &[(KeywordId, u32)], docs: &[u32]) -> std::result::Result<(), String> {
+    for w in runs.windows(2) {
+        if w[0].0 >= w[1].0 {
+            return Err(format!(
+                "postings run keywords not strictly ascending at {}",
+                w[1].0
+            ));
+        }
+        if w[0].1 > w[1].1 {
+            return Err("postings run ends decrease".to_string());
+        }
+    }
+    if runs.last().map_or(0, |&(_, e)| e as usize) != docs.len() {
+        return Err(format!(
+            "postings runs end at {} but docs array has {} entries",
+            runs.last().map_or(0, |&(_, e)| e),
+            docs.len()
+        ));
+    }
+    let mut start = 0usize;
+    for &(k, end) in runs {
+        let run = &docs[start..end as usize];
+        if run.is_empty() {
+            return Err(format!("empty postings run for keyword {k}"));
+        }
+        if run.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(format!("postings for keyword {k} not strictly ascending"));
+        }
+        start = end as usize;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "soi-textsnap-{}-{name}.soisnap",
+            std::process::id()
+        ))
+    }
+
+    fn sample() -> FlatPostings<PoiId> {
+        let pairs: Vec<(KeywordId, PoiId)> = vec![
+            (KeywordId(0), PoiId(3)),
+            (KeywordId(0), PoiId(9)),
+            (KeywordId(2), PoiId(1)),
+            (KeywordId(5), PoiId(0)),
+            (KeywordId(5), PoiId(1)),
+            (KeywordId(5), PoiId(7)),
+        ];
+        FlatPostings::from_sorted_pairs(10, &pairs)
+    }
+
+    fn round_trip(fp: &FlatPostings<PoiId>, name: &str) -> FlatPostings<PoiId> {
+        let path = temp_path(name);
+        let mut w = SnapshotWriter::new();
+        write_flat_postings(&mut w, "fp", fp).unwrap();
+        w.write_to(&path).unwrap();
+        let snap = Snapshot::open(&path).unwrap();
+        let back = read_flat_postings(&snap, "fp").unwrap();
+        std::fs::remove_file(&path).ok();
+        back
+    }
+
+    #[test]
+    fn round_trip_is_identical() {
+        let fp = sample();
+        let back = round_trip(&fp, "ident");
+        assert_eq!(back.raw_runs(), fp.raw_runs());
+        assert_eq!(back.raw_docs(), fp.raw_docs());
+        assert_eq!(back.num_documents(), fp.num_documents());
+        for k in 0..8 {
+            assert_eq!(back.postings(KeywordId(k)), fp.postings(KeywordId(k)));
+        }
+    }
+
+    #[test]
+    fn empty_round_trips() {
+        let fp = FlatPostings::<PoiId>::new();
+        let back = round_trip(&fp, "empty");
+        assert_eq!(back.num_documents(), 0);
+        assert_eq!(back.num_keywords(), 0);
+    }
+
+    #[test]
+    fn inconsistent_csr_is_rejected() {
+        // Write sections whose checksums are fine but whose CSR shape is
+        // not: run ends exceed the docs array.
+        let path = temp_path("badcsr");
+        let mut w = SnapshotWriter::new();
+        w.u64s("fp.meta", &[4]).unwrap();
+        w.u32s("fp.run_kw", &[0, 1]).unwrap();
+        w.u32s("fp.run_end", &[2, 9]).unwrap();
+        w.u32s("fp.docs", &[1, 2, 3]).unwrap();
+        w.write_to(&path).unwrap();
+        let snap = Snapshot::open(&path).unwrap();
+        let err = read_flat_postings::<PoiId>(&snap, "fp").unwrap_err();
+        assert_eq!(err.category(), soi_common::ErrorCategory::Data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unsorted_postings_are_rejected() {
+        let path = temp_path("unsorted");
+        let mut w = SnapshotWriter::new();
+        w.u64s("fp.meta", &[4]).unwrap();
+        w.u32s("fp.run_kw", &[0]).unwrap();
+        w.u32s("fp.run_end", &[2]).unwrap();
+        w.u32s("fp.docs", &[3, 1]).unwrap();
+        w.write_to(&path).unwrap();
+        let snap = Snapshot::open(&path).unwrap();
+        assert!(read_flat_postings::<PoiId>(&snap, "fp").is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}
