@@ -203,18 +203,25 @@ fn print_help() -> Result<()> {
          serve     --data DIR [--addr 127.0.0.1:7878] [--threads N] [--io-threads 4]\n\
          \u{20}          [--queue 64] [--deadline-ms 250] [--max-deadline-ms 10000]\n\
          \u{20}          [--batch-max 8] [--eps 0.0005] [--rho 0.0001]\n\
-         \u{20}          Serve queries over HTTP (POST /soi, POST /describe,\n\
-         \u{20}          GET /metrics|/status|/explain) with admission control,\n\
-         \u{20}          per-request deadlines (anytime partial results), and\n\
-         \u{20}          graceful drain on SIGTERM. --stats-json FILE writes the\n\
-         \u{20}          final serving report on shutdown.\n\
+         \u{20}          [--trace-sample N] [--slow-query-ms MS] [--ring-capacity 256]\n\
+         \u{20}          Serve queries over HTTP (POST /soi|/describe|/explain,\n\
+         \u{20}          GET /metrics|/status|/explain|/debug/requests) with\n\
+         \u{20}          admission control, per-request deadlines (anytime partial\n\
+         \u{20}          results), and graceful drain on SIGTERM. Every request\n\
+         \u{20}          gets an x-soi-request-id; bodies may set \"trace\"/\n\
+         \u{20}          \"explain\" to capture and embed per-request artifacts,\n\
+         \u{20}          also retrievable at GET /debug/requests/<id>.\n\
+         \u{20}          --trace-sample N traces 1-in-N queries into the ring;\n\
+         \u{20}          --slow-query-ms logs+counts requests over the threshold.\n\
+         \u{20}          --stats-json FILE writes the final report on shutdown.\n\
          bench-serve --addr HOST:PORT --keywords w1,w2 [--requests 100]\n\
          \u{20}          [--concurrency 4] [--k 10] [--deadline-ms 250]\n\
          \u{20}          [--timeout-ms 2000] [--retries 2] [--describe-street S]\n\
          \u{20}          Drive load at a running `soi serve` (every other request\n\
          \u{20}          describes street S when given) with timeouts, retries,\n\
-         \u{20}          and backoff; prints status/latency percentiles and\n\
-         \u{20}          writes them with --stats-json FILE.\n\n\
+         \u{20}          and backoff; prints status/latency percentiles plus\n\
+         \u{20}          request-id integrity (duplicates/gaps) and writes them\n\
+         \u{20}          with --stats-json FILE.\n\n\
          INDEX CACHE (query, explain, batch, describe, route, export, poi, serve)\n\
          --index-cache DIR        Load the index bundle from a versioned snapshot\n\
          \u{20}                        in DIR (built and cached on first use; stale\n\
@@ -1072,6 +1079,9 @@ fn cmd_metrics(args: &Args) -> Result<()> {
     soi_core::obs::register_metrics();
     soi_index::obs::register_metrics();
     soi_engine::obs::register_metrics();
+    // Pins the process epoch and registers the uptime / build-info /
+    // trace-dropped-events series.
+    soi_obs::metrics::publish_process_metrics(env!("CARGO_PKG_VERSION"));
     if args.get("data").is_some() {
         // Populate the instruments with a small real workload: an index
         // build, two ε-map lookups (a miss then a hit), and — when
@@ -1094,8 +1104,10 @@ fn cmd_metrics(args: &Args) -> Result<()> {
             }
         }
     }
-    // Export allocator totals last so the gauges reflect the workload above.
+    // Export allocator totals last so the gauges reflect the workload
+    // above, and refresh the uptime gauge just before the gather.
     soi_obs::alloc::publish_metrics();
+    soi_obs::metrics::publish_process_metrics(env!("CARGO_PKG_VERSION"));
     let mut out = std::io::stdout().lock();
     out.write_all(soi_obs::metrics::gather().as_bytes())?;
     Ok(())
@@ -1305,6 +1317,7 @@ fn cmd_route(args: &Args) -> Result<()> {
 fn cmd_serve(args: &Args) -> Result<()> {
     use std::time::Duration;
     let dataset = load(args)?;
+    let slow_query_ms: u64 = args.get_parsed("slow-query-ms", 0u64)?;
     let config = soi_serve::ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
         engine_threads: args.get_parsed("threads", 0usize)?,
@@ -1317,6 +1330,9 @@ fn cmd_serve(args: &Args) -> Result<()> {
         rho: args.get_parsed("rho", DEFAULT_RHO)?,
         index_cache: args.get("index-cache").map(std::path::PathBuf::from),
         index_cache_strict: matches!(args.get("index-cache-mode"), Some("strict")),
+        trace_sample: args.get_parsed("trace-sample", 0u64)?,
+        slow_query: (slow_query_ms > 0).then(|| Duration::from_millis(slow_query_ms)),
+        ring_capacity: args.get_parsed("ring-capacity", 256usize)?,
         ..soi_serve::ServeConfig::default()
     };
     if let Some(mode) = args.get("index-cache-mode") {
@@ -1357,13 +1373,52 @@ fn cmd_serve(args: &Args) -> Result<()> {
 }
 
 /// One bench-serve observation: terminal status (0 = transport failure),
-/// end-to-end latency including retries, attempts made, and whether the
-/// response body was a deadline-degraded partial result.
+/// end-to-end latency including retries, attempts made, whether the
+/// response body was a deadline-degraded partial result, and the server's
+/// `x-soi-request-id` (absent on transport failure).
 struct BenchSample {
     status: u16,
     latency: std::time::Duration,
     attempts: usize,
     partial: bool,
+    request_id: Option<u64>,
+}
+
+/// Request-id integrity over a bench run: observed ids must be unique
+/// (duplicates mean the server reused an id), and gaps are reported —
+/// retries and concurrent clients legitimately consume server-side ids.
+struct IdStats {
+    seen: u64,
+    distinct: u64,
+    duplicates: u64,
+    gaps: u64,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+fn id_stats(samples: &[BenchSample]) -> IdStats {
+    let mut ids: Vec<u64> = samples.iter().filter_map(|s| s.request_id).collect();
+    ids.sort_unstable();
+    let seen = ids.len() as u64;
+    let mut distinct = 0u64;
+    for (i, id) in ids.iter().enumerate() {
+        if i == 0 || ids[i - 1] != *id {
+            distinct += 1;
+        }
+    }
+    let (min, max) = (ids.first().copied(), ids.last().copied());
+    let span = match (min, max) {
+        (Some(lo), Some(hi)) => hi - lo + 1,
+        _ => 0,
+    };
+    IdStats {
+        seen,
+        distinct,
+        duplicates: seen - distinct,
+        gaps: span.saturating_sub(distinct),
+        min,
+        max,
+    }
 }
 
 fn cmd_bench_serve(args: &Args) -> Result<()> {
@@ -1441,12 +1496,16 @@ fn cmd_bench_serve(args: &Args) -> Result<()> {
                                 latency,
                                 attempts,
                                 partial: response.body.contains("\"partial\":true"),
+                                request_id: response
+                                    .header("x-soi-request-id")
+                                    .and_then(|v| v.parse().ok()),
                             },
                             Err(_) => BenchSample {
                                 status: 0,
                                 latency,
                                 attempts,
                                 partial: false,
+                                request_id: None,
                             },
                         };
                         local.push(sample);
@@ -1512,6 +1571,12 @@ fn cmd_bench_serve(args: &Args) -> Result<()> {
         out,
         "  accepted latency ms: p50 {p50:.2}  p95 {p95:.2}  p99 {p99:.2}"
     )?;
+    let ids = id_stats(&samples);
+    writeln!(
+        out,
+        "  request ids: {} seen, {} distinct, {} duplicates, {} gaps",
+        ids.seen, ids.distinct, ids.duplicates, ids.gaps
+    )?;
 
     if let Some(stats_path) = args.get("stats-json") {
         let mut obj = json::JsonWriter::object();
@@ -1526,6 +1591,18 @@ fn cmd_bench_serve(args: &Args) -> Result<()> {
         obj.field_f64("p50_ms", p50);
         obj.field_f64("p95_ms", p95);
         obj.field_f64("p99_ms", p99);
+        obj.field_u64("id_seen", ids.seen);
+        obj.field_u64("id_distinct", ids.distinct);
+        obj.field_u64("id_duplicates", ids.duplicates);
+        obj.field_u64("id_gaps", ids.gaps);
+        match ids.min {
+            Some(v) => obj.field_u64("id_min", v),
+            None => obj.field_raw("id_min", "null"),
+        }
+        match ids.max {
+            Some(v) => obj.field_u64("id_max", v),
+            None => obj.field_raw("id_max", "null"),
+        }
         std::fs::write(stats_path, obj.finish()).at_path(stats_path)?;
     }
     Ok(())

@@ -32,9 +32,12 @@ pub mod obs;
 
 use soi_common::{effective_threads, Result};
 use soi_core::describe::{
-    st_rel_div_budgeted, DescribeOutcome, DescribeParams, DescribeScratch, StreetContext,
+    st_rel_div_budgeted, st_rel_div_full, DescribeExplain, DescribeOutcome, DescribeParams,
+    DescribeScratch, StreetContext,
 };
-use soi_core::soi::{run_soi_budgeted, QueryStats, SoiConfig, SoiOutcome, SoiQuery, SoiScratch};
+use soi_core::soi::{
+    run_soi_full, QueryStats, SoiConfig, SoiExplain, SoiOutcome, SoiQuery, SoiScratch,
+};
 use soi_core::QueryBudget;
 use soi_data::{PhotoCollection, PoiCollection};
 use soi_index::PoiIndex;
@@ -294,6 +297,41 @@ impl BatchStats {
     }
 }
 
+/// Per-job observability directives: which request the job belongs to and
+/// which artifacts to collect while it runs.
+///
+/// The default (`request_id == 0`, nothing captured) is free: the engine
+/// worker takes the exact same path as before per-request capture existed.
+/// A non-zero `request_id` stamps every trace event the job emits (global
+/// or captured) with the id; `trace`/`explain` additionally collect a
+/// request-scoped Chrome trace / explain report for that one job, without
+/// touching the process-global trace switch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryCapture {
+    /// Request id to stamp into trace events (`0` = none).
+    pub request_id: u64,
+    /// Capture this job's trace events into a private per-request buffer.
+    pub trace: bool,
+    /// Run the job with an explain collector and render it to JSON.
+    pub explain: bool,
+}
+
+impl QueryCapture {
+    /// True when the job needs a capture buffer or an explain collector.
+    pub fn is_active(&self) -> bool {
+        self.trace || self.explain
+    }
+}
+
+/// Artifacts captured for one job whose [`QueryCapture`] asked for them.
+#[derive(Debug, Clone, Default)]
+pub struct CapturedArtifacts {
+    /// Chrome-trace JSON of the events this job emitted on its worker.
+    pub trace_json: Option<String>,
+    /// Rendered explain report (`SoiExplain`/`DescribeExplain` JSON).
+    pub explain_json: Option<String>,
+}
+
 /// The outcome of a k-SOI batch: per-query results in input order plus
 /// aggregated statistics.
 #[derive(Debug)]
@@ -306,6 +344,9 @@ pub struct BatchOutcome {
     /// The machine-readable telemetry snapshot (per-query latencies,
     /// ε-cache counters) superseding the plain `stats`.
     pub telemetry: EngineTelemetry,
+    /// `captures[i]` holds the artifacts requested by `jobs[i]`'s
+    /// [`QueryCapture`]; `None` for jobs that asked for nothing.
+    pub captures: Vec<Option<CapturedArtifacts>>,
 }
 
 /// A batched query executor with a fixed worker count.
@@ -334,7 +375,9 @@ impl QueryEngine {
     /// [`run_soi`](soi_core::soi::run_soi) sequentially, for any worker
     /// count.
     pub fn run_soi_batch(&self, ctx: &Arc<QueryContext<'_>>, queries: &[SoiQuery]) -> BatchOutcome {
-        self.run_soi_batch_inner(ctx, queries, |q| (q, QueryBudget::unlimited()))
+        self.run_soi_batch_inner(ctx, queries, |q| {
+            (q, QueryBudget::unlimited(), QueryCapture::default())
+        })
     }
 
     /// [`run_soi_batch`] with a per-query execution budget: anytime
@@ -350,11 +393,24 @@ impl QueryEngine {
         ctx: &Arc<QueryContext<'_>>,
         jobs: &[(SoiQuery, QueryBudget)],
     ) -> BatchOutcome {
-        self.run_soi_batch_inner(ctx, jobs, |(q, b)| (q, *b))
+        self.run_soi_batch_inner(ctx, jobs, |(q, b)| (q, *b, QueryCapture::default()))
+    }
+
+    /// [`run_soi_batch_with_deadlines`] with per-job observability
+    /// directives: request-id stamping plus optional request-scoped trace
+    /// and explain capture (see [`QueryCapture`]). Artifacts come back in
+    /// [`BatchOutcome::captures`], input order. Jobs with a default
+    /// capture take the plain execution path.
+    pub fn run_soi_batch_captured(
+        &self,
+        ctx: &Arc<QueryContext<'_>>,
+        jobs: &[(SoiQuery, QueryBudget, QueryCapture)],
+    ) -> BatchOutcome {
+        self.run_soi_batch_inner(ctx, jobs, |(q, b, c)| (q, *b, *c))
     }
 
     /// The shared k-SOI batch executor: `get` projects each item to its
-    /// query and budget.
+    /// query, budget, and capture directives.
     fn run_soi_batch_inner<T, G>(
         &self,
         ctx: &Arc<QueryContext<'_>>,
@@ -363,7 +419,7 @@ impl QueryEngine {
     ) -> BatchOutcome
     where
         T: Sync,
-        G: Fn(&T) -> (&SoiQuery, QueryBudget) + Sync,
+        G: Fn(&T) -> (&SoiQuery, QueryBudget, QueryCapture) + Sync,
     {
         let _batch_span = soi_obs::trace::span(soi_obs::names::spans::ENGINE_BATCH);
         let start = Instant::now();
@@ -372,24 +428,46 @@ impl QueryEngine {
             let ctx = Arc::clone(ctx);
             let mut scratch = SoiScratch::default();
             move |item: &T| {
-                let (query, budget) = get(item);
-                let _span = soi_obs::trace::span(soi_obs::names::spans::ENGINE_QUERY);
+                let (query, budget, capture) = get(item);
                 // Per-query memory accounting: the query runs entirely on
                 // this worker thread, so a thread-local scope sees exactly
                 // its allocations (and how well the scratch absorbs them).
                 let scope = AllocScope::start();
                 let started = Instant::now();
-                let result = run_soi_budgeted(
-                    ctx.network,
-                    ctx.pois,
-                    ctx.index,
-                    query,
-                    &ctx.config,
-                    &mut scratch,
-                    budget,
-                );
+                let mut explain = capture.explain.then(SoiExplain::default);
+                // The span lives inside `run` so its Complete event falls
+                // within the capture scope (spans record on drop).
+                let mut run = |explain: Option<&mut SoiExplain>| {
+                    let _span = soi_obs::trace::span(soi_obs::names::spans::ENGINE_QUERY);
+                    run_soi_full(
+                        ctx.network,
+                        ctx.pois,
+                        ctx.index,
+                        query,
+                        &ctx.config,
+                        &mut scratch,
+                        explain,
+                        budget,
+                    )
+                };
+                let (result, trace_json) = if capture.trace {
+                    let (result, events) =
+                        soi_obs::trace::capture(capture.request_id, || run(explain.as_mut()));
+                    (result, Some(soi_obs::trace::chrome_trace_json(&events)))
+                } else if capture.request_id != 0 {
+                    let result = soi_obs::trace::with_request_id(capture.request_id, || {
+                        run(explain.as_mut())
+                    });
+                    (result, None)
+                } else {
+                    (run(explain.as_mut()), None)
+                };
                 let elapsed = started.elapsed();
-                (result, elapsed, scope.finish())
+                let artifacts = capture.is_active().then(|| CapturedArtifacts {
+                    trace_json,
+                    explain_json: explain.map(|e| e.to_json()),
+                });
+                (result, elapsed, scope.finish(), artifacts)
             }
         });
         let mut stats = BatchStats {
@@ -401,12 +479,14 @@ impl QueryEngine {
         let mut query_allocs = Vec::with_capacity(items.len());
         let mut query_alloc_peaks = Vec::with_capacity(items.len());
         let mut results = Vec::with_capacity(items.len());
+        let mut captures = Vec::with_capacity(items.len());
         let mut error_records = Vec::new();
         let metrics = obs::engine_metrics();
         // Every slot is claimed exactly once by the counter protocol, so no
         // `None` survives; `flatten` keeps the invariant checked without
         // panicking.
-        for (index, (result, latency, alloc)) in timed.into_iter().flatten().enumerate() {
+        for (index, (result, latency, alloc, artifacts)) in timed.into_iter().flatten().enumerate()
+        {
             match &result {
                 Ok(outcome) => {
                     stats.absorb(&outcome.stats);
@@ -432,6 +512,7 @@ impl QueryEngine {
                 }
             }
             results.push(result);
+            captures.push(artifacts);
         }
         stats.wall_time = start.elapsed();
         let (eps_cache_hits, eps_cache_misses, eps_cache_evictions) =
@@ -450,6 +531,7 @@ impl QueryEngine {
             results,
             stats,
             telemetry,
+            captures,
         }
     }
 
@@ -498,6 +580,49 @@ impl QueryEngine {
         .into_iter()
         .flatten()
         .collect()
+    }
+
+    /// [`run_describe_batch_with_deadlines`] with per-job observability
+    /// directives (the describe analogue of [`run_soi_batch_captured`]):
+    /// returns results and the per-job artifacts, both in input order.
+    #[allow(clippy::type_complexity)]
+    pub fn run_describe_batch_captured(
+        &self,
+        photos: &PhotoCollection,
+        jobs: &[(&StreetContext, DescribeParams, QueryBudget, QueryCapture)],
+    ) -> (Vec<Result<DescribeOutcome>>, Vec<Option<CapturedArtifacts>>) {
+        let _batch_span = soi_obs::trace::span(soi_obs::names::spans::ENGINE_BATCH);
+        type DescribeJob<'a> = (&'a StreetContext, DescribeParams, QueryBudget, QueryCapture);
+        self.dispatch(jobs, || {
+            let mut scratch = DescribeScratch::default();
+            move |(ctx, params, budget, capture): &DescribeJob<'_>| {
+                let mut explain = capture.explain.then(DescribeExplain::default);
+                let mut run = |explain: Option<&mut DescribeExplain>| {
+                    let _span = soi_obs::trace::span(soi_obs::names::spans::ENGINE_QUERY);
+                    st_rel_div_full(ctx, photos, params, &mut scratch, explain, *budget)
+                };
+                let (result, trace_json) = if capture.trace {
+                    let (result, events) =
+                        soi_obs::trace::capture(capture.request_id, || run(explain.as_mut()));
+                    (result, Some(soi_obs::trace::chrome_trace_json(&events)))
+                } else if capture.request_id != 0 {
+                    let result = soi_obs::trace::with_request_id(capture.request_id, || {
+                        run(explain.as_mut())
+                    });
+                    (result, None)
+                } else {
+                    (run(explain.as_mut()), None)
+                };
+                let artifacts = capture.is_active().then(|| CapturedArtifacts {
+                    trace_json,
+                    explain_json: explain.map(|e| e.to_json()),
+                });
+                (result, artifacts)
+            }
+        })
+        .into_iter()
+        .flatten()
+        .unzip()
     }
 
     /// Fans `items` out over the worker pool: each worker claims the next
@@ -710,6 +835,111 @@ mod tests {
             records[0].get("stage").and_then(|v| v.as_str()),
             Some("query")
         );
+    }
+
+    #[test]
+    fn captured_jobs_return_artifacts_and_match_uncaptured_results() {
+        let (dataset, index) = fixture();
+        let queries = queries(&dataset);
+        let ctx = Arc::new(QueryContext::new(&dataset.network, &dataset.pois, &index));
+        let engine = QueryEngine::new(2);
+        let plain = engine.run_soi_batch(&ctx, &queries);
+        assert!(plain.captures.iter().all(Option::is_none));
+        // Capture trace + explain for job 1 only; stamp ids on the rest.
+        let jobs: Vec<(SoiQuery, QueryBudget, QueryCapture)> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                (
+                    q.clone(),
+                    QueryBudget::unlimited(),
+                    QueryCapture {
+                        request_id: i as u64 + 100,
+                        trace: i == 1,
+                        explain: i == 1,
+                    },
+                )
+            })
+            .collect();
+        let captured = engine.run_soi_batch_captured(&ctx, &jobs);
+        assert_eq!(captured.captures.len(), queries.len());
+        for (i, (got, want)) in captured.results.iter().zip(&plain.results).enumerate() {
+            let (got, want) = (got.as_ref().expect("valid"), want.as_ref().expect("valid"));
+            assert_eq!(got.street_ids(), want.street_ids(), "job {i}");
+            assert!(captured.captures[i].is_some() == (i == 1));
+        }
+        let artifacts = captured.captures[1].as_ref().expect("job 1 captured");
+        let trace_doc = artifacts.trace_json.as_ref().expect("trace json");
+        let parsed = soi_obs::json::parse(trace_doc).expect("trace parses");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .expect("traceEvents");
+        assert!(!events.is_empty(), "captured trace has events");
+        // Every captured event belongs to the requesting job.
+        for ev in events {
+            assert_eq!(
+                ev.get("args")
+                    .and_then(|a| a.get("request_id"))
+                    .and_then(|v| v.as_f64()),
+                Some(101.0)
+            );
+        }
+        assert!(events.iter().any(|ev| {
+            ev.get("name").and_then(|n| n.as_str()) == Some(soi_obs::names::spans::ENGINE_QUERY)
+        }));
+        let explain_doc = artifacts.explain_json.as_ref().expect("explain json");
+        assert!(soi_obs::json::parse(explain_doc).is_ok());
+        // Nothing leaked into the (disabled) global trace.
+        assert!(soi_obs::trace::take_events().is_empty());
+    }
+
+    #[test]
+    fn describe_captured_returns_artifacts() {
+        use soi_core::describe::{ContextBuilder, PhiSource};
+        use soi_index::PhotoGrid;
+
+        let (dataset, _) = fixture();
+        let grid = PhotoGrid::build(&dataset.network, &dataset.photos, 0.001);
+        let ctx = dataset
+            .network
+            .streets()
+            .iter()
+            .find_map(|street| {
+                ContextBuilder {
+                    network: &dataset.network,
+                    photos: &dataset.photos,
+                    photo_grid: &grid,
+                    pois: None,
+                    eps: 0.0005,
+                    rho: 0.0001,
+                    phi_source: PhiSource::Photos,
+                }
+                .build(street.id)
+                .ok()
+                .filter(|c| !c.members.is_empty())
+            })
+            .expect("fixture has a street with photos");
+        let params = DescribeParams::new(5, 0.5, 0.5).expect("valid");
+        let jobs = [(
+            &ctx,
+            params,
+            QueryBudget::unlimited(),
+            QueryCapture {
+                request_id: 7,
+                trace: true,
+                explain: true,
+            },
+        )];
+        let (results, captures) =
+            QueryEngine::new(1).run_describe_batch_captured(&dataset.photos, &jobs);
+        assert!(results[0].is_ok());
+        let artifacts = captures[0].as_ref().expect("captured");
+        assert!(artifacts
+            .trace_json
+            .as_ref()
+            .is_some_and(|t| t.contains("traceEvents")));
+        assert!(artifacts.explain_json.is_some());
     }
 
     #[test]

@@ -17,6 +17,15 @@ use crate::json::write_f64;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// The instant the process metrics clock was first touched. Callers that
+/// care about accurate uptime ([`publish_process_metrics`]) should call
+/// this (or that) once early at startup to pin the epoch.
+pub fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
 
 /// Default histogram buckets for query-scale latencies, in seconds
 /// (100 µs – 10 s, roughly logarithmic; Prometheus-style `le` bounds).
@@ -263,10 +272,245 @@ impl HistogramSnapshot {
     }
 }
 
+/// Sentinel tick marking a wheel slot that has never been written.
+const EMPTY_SLOT: u64 = u64::MAX;
+
+/// One slot of a [`WindowedHistogram`] wheel: a plain bucket array tagged
+/// with the tick it currently belongs to.
+#[derive(Debug)]
+struct HistogramSlot {
+    /// Tick this slot's contents belong to; [`EMPTY_SLOT`] = never used.
+    tick: AtomicU64,
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistogramSlot {
+    fn new(n_counts: usize) -> Self {
+        Self {
+            tick: AtomicU64::new(EMPTY_SLOT),
+            counts: (0..n_counts).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Rotates the slot to `tick` if it still holds an older one. Exactly
+    /// one racing thread wins the CAS and zeroes the slot; observations
+    /// racing with the zeroing may be lost, which is acceptable for a
+    /// rolling-window estimate (never for the cumulative instruments).
+    fn rotate_to(&self, tick: u64) {
+        let held = self.tick.load(Ordering::Acquire);
+        if held == tick {
+            return;
+        }
+        if self
+            .tick
+            .compare_exchange(held, tick, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            for c in &self.counts {
+                c.store(0, Ordering::Relaxed);
+            }
+            self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+            self.count.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A rolling-window latency histogram: a wheel of `slots` sub-histograms,
+/// each covering `slot_secs` seconds. Observations land in the slot for
+/// the current tick (`elapsed / slot_secs`); a snapshot merges only the
+/// slots whose tick is inside the window, so the merged view reflects the
+/// last `slots × slot_secs` seconds rather than process lifetime.
+///
+/// Rotation is lock-free: the first observer of a new tick CAS-claims the
+/// stale slot and zeroes it. Ticks are injectable ([`Self::observe_at`],
+/// [`Self::snapshot_at`]) so rotation and merge behavior are
+/// deterministically testable; the wall-clock entry points derive the
+/// tick from [`process_epoch`].
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    bounds: Vec<f64>,
+    slot_secs: u64,
+    slots: Vec<HistogramSlot>,
+}
+
+impl WindowedHistogram {
+    fn new(bounds: &[f64], slots: usize, slot_secs: u64) -> Self {
+        debug_assert!(slots >= 1 && slot_secs >= 1);
+        let bounds: Vec<f64> = bounds.to_vec();
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        let n_counts = bounds.len() + 1;
+        Self {
+            bounds,
+            slot_secs,
+            slots: (0..slots.max(1))
+                .map(|_| HistogramSlot::new(n_counts))
+                .collect(),
+        }
+    }
+
+    /// Length of the full window in seconds (`slots × slot_secs`).
+    pub fn window_secs(&self) -> u64 {
+        self.slots.len() as u64 * self.slot_secs
+    }
+
+    fn current_tick(&self) -> u64 {
+        process_epoch().elapsed().as_secs() / self.slot_secs
+    }
+
+    /// Records one observation at wall-clock time.
+    pub fn observe(&self, v: f64) {
+        self.observe_at(self.current_tick(), v);
+    }
+
+    /// Records one observation given as a [`std::time::Duration`].
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Records one observation at an explicit tick (tests; monotone ticks
+    /// expected — an observation older than the wheel is simply lost).
+    pub fn observe_at(&self, tick: u64, v: f64) {
+        let slot = &self.slots[(tick % self.slots.len() as u64) as usize];
+        slot.rotate_to(tick);
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        slot.counts[idx].fetch_add(1, Ordering::Relaxed);
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        let _ = slot
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v).to_bits())
+            });
+    }
+
+    /// Merged snapshot of the window ending at wall-clock now.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.snapshot_at(self.current_tick())
+    }
+
+    /// Merged snapshot of the window `(now_tick - slots, now_tick]`: slots
+    /// holding a tick outside that range are stale and excluded.
+    pub fn snapshot_at(&self, now_tick: u64) -> HistogramSnapshot {
+        let n = self.slots.len() as u64;
+        let oldest = now_tick.saturating_sub(n - 1);
+        let mut counts = vec![0u64; self.bounds.len() + 1];
+        let mut sum = 0.0f64;
+        let mut count = 0u64;
+        for slot in &self.slots {
+            let tick = slot.tick.load(Ordering::Acquire);
+            if tick == EMPTY_SLOT || tick < oldest || tick > now_tick {
+                continue;
+            }
+            for (acc, c) in counts.iter_mut().zip(&slot.counts) {
+                *acc += c.load(Ordering::Relaxed);
+            }
+            sum += f64::from_bits(slot.sum_bits.load(Ordering::Relaxed));
+            count += slot.count.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts,
+            sum,
+            count,
+        }
+    }
+}
+
+/// A rolling-window counter: the windowed sibling of [`Counter`], built on
+/// the same tick wheel as [`WindowedHistogram`]. [`Self::sum`] reports
+/// events inside the last `slots × slot_secs` seconds and therefore moves
+/// both ways — it renders as a Prometheus gauge.
+#[derive(Debug)]
+pub struct WindowedCounter {
+    slot_secs: u64,
+    slots: Vec<(AtomicU64, AtomicU64)>, // (tick, value)
+}
+
+impl WindowedCounter {
+    fn new(slots: usize, slot_secs: u64) -> Self {
+        debug_assert!(slots >= 1 && slot_secs >= 1);
+        Self {
+            slot_secs,
+            slots: (0..slots.max(1))
+                .map(|_| (AtomicU64::new(EMPTY_SLOT), AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Length of the full window in seconds (`slots × slot_secs`).
+    pub fn window_secs(&self) -> u64 {
+        self.slots.len() as u64 * self.slot_secs
+    }
+
+    fn current_tick(&self) -> u64 {
+        process_epoch().elapsed().as_secs() / self.slot_secs
+    }
+
+    /// Adds one at wall-clock time.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` at wall-clock time.
+    pub fn add(&self, n: u64) {
+        self.add_at(self.current_tick(), n);
+    }
+
+    /// Adds `n` at an explicit tick (tests).
+    pub fn add_at(&self, tick: u64, n: u64) {
+        let (slot_tick, value) = &self.slots[(tick % self.slots.len() as u64) as usize];
+        let held = slot_tick.load(Ordering::Acquire);
+        if held != tick
+            && slot_tick
+                .compare_exchange(held, tick, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            value.store(0, Ordering::Relaxed);
+        }
+        value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Events within the window ending at wall-clock now.
+    pub fn sum(&self) -> u64 {
+        self.sum_at(self.current_tick())
+    }
+
+    /// Events within the window `(now_tick - slots, now_tick]`.
+    pub fn sum_at(&self, now_tick: u64) -> u64 {
+        let n = self.slots.len() as u64;
+        let oldest = now_tick.saturating_sub(n - 1);
+        self.slots
+            .iter()
+            .filter(|(tick, _)| {
+                let t = tick.load(Ordering::Acquire);
+                t != EMPTY_SLOT && t >= oldest && t <= now_tick
+            })
+            .map(|(_, v)| v.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A constant "info" metric: a gauge fixed at `1` whose payload is its
+/// label set (the `soi_build_info{version="…"} 1` idiom).
+#[derive(Debug)]
+pub struct Info {
+    labels: Vec<(&'static str, String)>,
+}
+
 enum Instrument {
     Counter(&'static Counter),
     Gauge(&'static Gauge),
     Histogram(&'static Histogram),
+    WindowedHistogram(&'static WindowedHistogram),
+    WindowedCounter(&'static WindowedCounter),
+    Info(&'static Info),
 }
 
 struct Entry {
@@ -356,6 +600,113 @@ pub fn register_histogram(
     })
 }
 
+/// Registers (or fetches) the rolling-window histogram `name`: a wheel of
+/// `slots` sub-histograms of `slot_secs` seconds each.
+pub fn register_windowed_histogram(
+    name: &'static str,
+    help: &'static str,
+    buckets: &[f64],
+    slots: usize,
+    slot_secs: u64,
+) -> &'static WindowedHistogram {
+    with_registry(|entries| {
+        for e in entries.iter() {
+            if e.name == name {
+                if let Instrument::WindowedHistogram(h) = e.instrument {
+                    return h;
+                }
+            }
+        }
+        let h: &'static WindowedHistogram =
+            Box::leak(Box::new(WindowedHistogram::new(buckets, slots, slot_secs)));
+        entries.push(Entry {
+            name,
+            help,
+            instrument: Instrument::WindowedHistogram(h),
+        });
+        h
+    })
+}
+
+/// Registers (or fetches) the rolling-window counter `name` (rendered as a
+/// gauge: the windowed sum moves both ways).
+pub fn register_windowed_counter(
+    name: &'static str,
+    help: &'static str,
+    slots: usize,
+    slot_secs: u64,
+) -> &'static WindowedCounter {
+    with_registry(|entries| {
+        for e in entries.iter() {
+            if e.name == name {
+                if let Instrument::WindowedCounter(c) = e.instrument {
+                    return c;
+                }
+            }
+        }
+        let c: &'static WindowedCounter =
+            Box::leak(Box::new(WindowedCounter::new(slots, slot_secs)));
+        entries.push(Entry {
+            name,
+            help,
+            instrument: Instrument::WindowedCounter(c),
+        });
+        c
+    })
+}
+
+/// Registers (or fetches) the info metric `name`: a constant `1` gauge
+/// whose payload is its label set. The first registration's labels win.
+pub fn register_info(name: &'static str, help: &'static str, labels: &[(&'static str, &str)]) {
+    with_registry(|entries| {
+        if entries.iter().any(|e| e.name == name) {
+            return;
+        }
+        let info: &'static Info = Box::leak(Box::new(Info {
+            labels: labels.iter().map(|&(k, v)| (k, v.to_string())).collect(),
+        }));
+        entries.push(Entry {
+            name,
+            help,
+            instrument: Instrument::Info(info),
+        });
+    });
+}
+
+/// Publishes (and refreshes) process-level metrics: uptime since
+/// [`process_epoch`], a `soi_build_info{version=…}` info gauge, and the
+/// cumulative trace-drop counter mirrored from
+/// [`crate::trace::dropped_events`]. Call once early at startup to pin the
+/// uptime epoch, then again right before each [`gather`] so the snapshot
+/// values are current.
+pub fn publish_process_metrics(version: &str) {
+    let uptime = register_gauge(
+        "soi_process_uptime_seconds",
+        "Seconds since the process metrics epoch was pinned.",
+    );
+    uptime.set(process_epoch().elapsed().as_secs_f64());
+    // `register_info` requires 'static label values; leak the version
+    // once (idempotent registration means at most one leak per name).
+    with_registry(|entries| {
+        if !entries.iter().any(|e| e.name == "soi_build_info") {
+            let info: &'static Info = Box::leak(Box::new(Info {
+                labels: vec![("version", version.to_string())],
+            }));
+            entries.push(Entry {
+                name: "soi_build_info",
+                help: "Build information (constant 1; payload is the labels).",
+                instrument: Instrument::Info(info),
+            });
+        }
+    });
+    let dropped = register_counter(
+        "soi_trace_dropped_events_total",
+        "Trace events dropped by backpressure caps (global drain or per-request capture).",
+    );
+    let seen = crate::trace::dropped_events();
+    dropped.add(seen.saturating_sub(dropped.get()));
+}
+
 fn fmt_bound(b: f64) -> String {
     let mut s = String::new();
     write_f64(&mut s, b);
@@ -377,28 +728,57 @@ fn render_entry(out: &mut String, e: &Entry) {
         }
         Instrument::Histogram(h) => {
             let _ = writeln!(out, "# TYPE {} histogram", e.name);
-            let snap = h.snapshot();
-            let mut cumulative = 0u64;
-            for (i, &b) in snap.bounds.iter().enumerate() {
-                cumulative += snap.counts[i];
-                let _ = writeln!(
-                    out,
-                    "{}_bucket{{le=\"{}\"}} {}",
-                    e.name,
-                    fmt_bound(b),
-                    cumulative
+            render_histogram_snapshot(out, e.name, &h.snapshot());
+        }
+        Instrument::WindowedHistogram(h) => {
+            // Windowed contents shrink as slots expire, so strictly this
+            // is a gauge histogram; the classic text format has no such
+            // type, and `histogram` keeps scrapers working.
+            let _ = writeln!(out, "# TYPE {} histogram", e.name);
+            render_histogram_snapshot(out, e.name, &h.snapshot());
+        }
+        Instrument::WindowedCounter(c) => {
+            let _ = writeln!(out, "# TYPE {} gauge", e.name);
+            let _ = writeln!(out, "{} {}", e.name, c.sum());
+        }
+        Instrument::Info(info) => {
+            let _ = writeln!(out, "# TYPE {} gauge", e.name);
+            let mut labels = String::new();
+            for (i, (k, v)) in info.labels.iter().enumerate() {
+                if i > 0 {
+                    labels.push(',');
+                }
+                let _ = write!(
+                    labels,
+                    "{k}=\"{}\"",
+                    v.replace('\\', "\\\\").replace('"', "\\\"")
                 );
             }
-            let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", e.name, snap.count);
-            let mut sum = String::new();
-            write_f64(&mut sum, snap.sum);
-            let _ = writeln!(out, "{}_sum {}", e.name, sum);
-            let _ = writeln!(out, "{}_count {}", e.name, snap.count);
-            // Saturation guard: how many observations exceeded the top
-            // finite bucket (quantiles are clamped for these).
-            let _ = writeln!(out, "{}_overflow {}", e.name, snap.overflow());
+            let _ = writeln!(out, "{}{{{labels}}} 1", e.name);
         }
     }
+}
+
+fn render_histogram_snapshot(out: &mut String, name: &str, snap: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (i, &b) in snap.bounds.iter().enumerate() {
+        cumulative += snap.counts[i];
+        let _ = writeln!(
+            out,
+            "{}_bucket{{le=\"{}\"}} {}",
+            name,
+            fmt_bound(b),
+            cumulative
+        );
+    }
+    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", name, snap.count);
+    let mut sum = String::new();
+    write_f64(&mut sum, snap.sum);
+    let _ = writeln!(out, "{name}_sum {sum}");
+    let _ = writeln!(out, "{name}_count {}", snap.count);
+    // Saturation guard: how many observations exceeded the top finite
+    // bucket (quantiles are clamped for these).
+    let _ = writeln!(out, "{name}_overflow {}", snap.overflow());
 }
 
 /// Renders every registered metric in the Prometheus text exposition
@@ -537,6 +917,143 @@ obs_fmt_requests_total 7
         let text = gather_prefixed("obs_filter_a");
         assert!(text.contains("obs_filter_a_total"));
         assert!(!text.contains("obs_filter_b_total"));
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let snap = Histogram::new(&[1.0, 2.0]).snapshot();
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(snap.quantile(q), None);
+        }
+        assert_eq!(snap.overflow(), 0);
+    }
+
+    #[test]
+    fn quantile_of_single_observation_interpolates_its_bucket() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        h.observe(1.5);
+        let snap = h.snapshot();
+        // The single observation lives in (1,2]: every quantile must land
+        // inside that bucket, whatever the interpolated fraction.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            let v = snap.quantile(q).unwrap();
+            assert!((1.0..=2.0).contains(&v), "q={q} -> {v}");
+        }
+        assert_eq!(snap.quantile(1.0), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_with_all_mass_in_overflow_clamps_to_top_bound() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(50.0);
+        h.observe(60.0);
+        let snap = h.snapshot();
+        assert_eq!(snap.overflow(), 2);
+        // Everything saturated: the honest clamp is the top finite bound,
+        // for every quantile.
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(snap.quantile(q), Some(2.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn windowed_histogram_merges_live_slots() {
+        let w = WindowedHistogram::new(&[1.0, 10.0], 4, 15);
+        assert_eq!(w.window_secs(), 60);
+        w.observe_at(100, 0.5);
+        w.observe_at(101, 5.0);
+        w.observe_at(103, 20.0);
+        let snap = w.snapshot_at(103);
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.counts, vec![1, 1, 1]);
+        assert!((snap.sum - 25.5).abs() < 1e-9);
+        assert_eq!(snap.overflow(), 1);
+        // Quantile machinery is shared with the cumulative histogram.
+        assert!(snap.p50().is_some());
+    }
+
+    #[test]
+    fn windowed_histogram_expires_stale_slots() {
+        let w = WindowedHistogram::new(&[1.0], 4, 15);
+        w.observe_at(100, 0.5);
+        w.observe_at(100, 0.5);
+        // Still visible while tick 100 is inside (now-4, now].
+        assert_eq!(w.snapshot_at(103).count, 2);
+        // One tick later the slot has aged out, even though its wheel
+        // position has not yet been reclaimed by a new observation.
+        assert_eq!(w.snapshot_at(104).count, 0);
+    }
+
+    #[test]
+    fn windowed_histogram_rotation_zeroes_reused_slots() {
+        let w = WindowedHistogram::new(&[1.0], 2, 1);
+        w.observe_at(10, 0.5);
+        w.observe_at(11, 0.5);
+        assert_eq!(w.snapshot_at(11).count, 2);
+        // Tick 12 reuses tick 10's wheel position; the old contents must
+        // not bleed into the fresh slot.
+        w.observe_at(12, 2.0);
+        let snap = w.snapshot_at(12);
+        assert_eq!(snap.count, 2, "tick 11 + tick 12 only");
+        assert_eq!(snap.counts, vec![1, 1]);
+    }
+
+    #[test]
+    fn windowed_counter_rolls_off() {
+        let c = WindowedCounter::new(3, 15);
+        assert_eq!(c.window_secs(), 45);
+        c.add_at(50, 2);
+        c.add_at(51, 1);
+        assert_eq!(c.sum_at(51), 3);
+        assert_eq!(c.sum_at(52), 3);
+        // Tick 50 ages out of the 3-slot window…
+        assert_eq!(c.sum_at(53), 1);
+        // …and its position is zeroed on reuse.
+        c.add_at(53, 5);
+        assert_eq!(c.sum_at(53), 6);
+        assert_eq!(c.sum_at(60), 0);
+    }
+
+    #[test]
+    fn windowed_and_info_render_in_text_format() {
+        let w = register_windowed_histogram("obs_win_latency_seconds", "windowed", &[0.1], 8, 15);
+        w.observe_at(0, 0.05);
+        let c = register_windowed_counter("obs_win_sheds", "windowed sheds", 8, 15);
+        c.add_at(0, 4);
+        register_info(
+            "obs_win_info",
+            "info",
+            &[("version", "1.2.3"), ("q", "a\"b")],
+        );
+        let text = gather_prefixed("obs_win_");
+        assert!(text.contains("# TYPE obs_win_latency_seconds histogram"));
+        assert!(text.contains("obs_win_latency_seconds_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("obs_win_latency_seconds_count 1"));
+        assert!(text.contains("# TYPE obs_win_sheds gauge"));
+        assert!(text.contains("obs_win_sheds 4"));
+        assert!(
+            text.contains("obs_win_info{version=\"1.2.3\",q=\"a\\\"b\"} 1"),
+            "info line missing or mis-escaped:\n{text}"
+        );
+    }
+
+    #[test]
+    fn process_metrics_publish_and_refresh() {
+        publish_process_metrics("0.0-test");
+        let text = gather_prefixed("soi_process_uptime_seconds");
+        assert!(text.contains("# TYPE soi_process_uptime_seconds gauge"));
+        let info = gather_prefixed("soi_build_info");
+        assert!(
+            info.contains("soi_build_info{version=\"0.0-test\"} 1"),
+            "{info}"
+        );
+        let dropped = gather_prefixed("soi_trace_dropped_events_total");
+        assert!(dropped.contains("# TYPE soi_trace_dropped_events_total counter"));
+        // Re-publishing is idempotent and keeps the first build label.
+        publish_process_metrics("9.9-other");
+        let info = gather_prefixed("soi_build_info");
+        assert!(info.contains("version=\"0.0-test\""));
+        assert!(!info.contains("9.9-other"));
     }
 
     #[test]

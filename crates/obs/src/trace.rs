@@ -19,6 +19,18 @@
 //! Span guards emit complete (`"X"`) events; [`begin`]/[`end`] emit `"B"`/
 //! `"E"` pairs (used by `PhaseTimer`, whose phases are not lexically
 //! scoped); [`counter`] emits `"C"` counter tracks (sampled UB/LBk values).
+//!
+//! ### Per-request capture
+//!
+//! Besides the process-wide switch, a caller can scope recording to one
+//! unit of work with [`capture`]: events recorded on the calling thread
+//! inside the closure go into a private buffer returned to the caller,
+//! without touching the global enable flag — concurrent threads that are
+//! not capturing keep paying only the single relaxed load of the disabled
+//! path. The serving layer uses this for `"trace": true` requests, so one
+//! traced request never taxes its neighbours. While capturing (or inside
+//! [`with_request_id`]), recorded events carry the request id in
+//! [`TraceEvent::req`], rendered as `args.request_id` in the Chrome JSON.
 
 use crate::json::JsonWriter;
 use std::cell::{Cell, RefCell};
@@ -30,6 +42,11 @@ use std::time::Instant;
 /// counted in [`dropped_events`] (a runaway trace must not OOM the
 /// process).
 const MAX_EVENTS_PER_THREAD: usize = 1 << 21;
+
+/// Cap on events buffered by one [`capture`] scope; beyond it events are
+/// dropped and counted in [`dropped_events`] (a single traced request must
+/// stay bounded in memory).
+const MAX_EVENTS_PER_CAPTURE: usize = 1 << 16;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static DROPPED: AtomicU64 = AtomicU64::new(0);
@@ -100,6 +117,9 @@ pub struct TraceEvent {
     pub ts_ns: u64,
     /// Recording thread (small dense ids, 1 = first recording thread).
     pub tid: u64,
+    /// Request id in effect when the event was recorded (see
+    /// [`with_request_id`] / [`capture`]); `0` = no request association.
+    pub req: u64,
     /// Payload.
     pub kind: EventKind,
 }
@@ -138,17 +158,99 @@ thread_local! {
         depth: Cell::new(0),
         events: RefCell::new(Vec::new()),
     };
+    /// Request id stamped into events recorded on this thread (0 = none).
+    /// Const-initialised `Cell`s: reading them costs a TLS address load,
+    /// no lazy-init branch and no destructor registration.
+    static CURRENT_REQ: Cell<u64> = const { Cell::new(0) };
+    /// Whether a [`capture`] scope is active on this thread.
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+    /// The active capture scope's private event buffer.
+    static CAPTURED: RefCell<Vec<TraceEvent>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Whether the calling thread is inside a [`capture`] scope.
+#[inline]
+fn capturing() -> bool {
+    CAPTURING.with(Cell::get)
+}
+
+/// Whether the record path is live for the calling thread: the global
+/// switch first (one relaxed load — the only cost of the fully disabled
+/// path), then the thread's capture flag.
+#[inline]
+fn recording() -> bool {
+    enabled() || capturing()
 }
 
 fn record(name: &'static str, kind: EventKind, ts_ns: u64) {
-    LOCAL.with(|local| {
-        local.push(TraceEvent {
-            name,
-            ts_ns,
-            tid: local.tid,
-            kind,
+    let req = CURRENT_REQ.with(Cell::get);
+    let tid = LOCAL.with(|local| local.tid);
+    let ev = TraceEvent {
+        name,
+        ts_ns,
+        tid,
+        req,
+        kind,
+    };
+    if capturing() {
+        CAPTURED.with(|captured| {
+            let mut events = captured.borrow_mut();
+            if events.len() >= MAX_EVENTS_PER_CAPTURE {
+                DROPPED.fetch_add(1, Ordering::Relaxed);
+            } else {
+                events.push(ev.clone());
+            }
         });
-    });
+    }
+    if enabled() {
+        LOCAL.with(|local| local.push(ev));
+    }
+}
+
+/// Runs `f` with `request_id` stamped into every event the calling thread
+/// records (global trace or capture) for the duration of the call.
+///
+/// Scopes nest: the previous id is restored on exit. When recording is
+/// fully off this is two thread-local stores around the call.
+pub fn with_request_id<R>(request_id: u64, f: impl FnOnce() -> R) -> R {
+    let previous = CURRENT_REQ.with(|cell| cell.replace(request_id));
+    let out = f();
+    CURRENT_REQ.with(|cell| cell.set(previous));
+    out
+}
+
+/// The request id currently stamped on the calling thread (0 = none).
+pub fn current_request_id() -> u64 {
+    CURRENT_REQ.with(Cell::get)
+}
+
+/// Runs `f` with per-request trace capture active on the calling thread
+/// and returns its result alongside the events recorded inside the scope.
+///
+/// Capture is independent of the global [`set_enabled`] switch: it records
+/// even while the process-wide trace is off, and its events go into a
+/// private buffer (bounded by an internal cap, overflow counted in
+/// [`dropped_events`]) — they are *not* added to the global drain list
+/// unless the global trace is also enabled. Events carry `request_id` in
+/// [`TraceEvent::req`]. Scopes do not nest (the work of one request is a
+/// single scope); a nested call records into the outer scope's buffer.
+///
+/// Other threads are untouched: a thread that is neither capturing nor
+/// globally enabled still pays only one relaxed atomic load per probe.
+pub fn capture<R>(request_id: u64, f: impl FnOnce() -> R) -> (R, Vec<TraceEvent>) {
+    // Pin the epoch so captured timestamps are meaningful even when the
+    // global trace was never enabled.
+    let _ = epoch();
+    let nested = CAPTURING.with(|cell| cell.replace(true));
+    let out = with_request_id(request_id, f);
+    if nested {
+        // Outer scope owns the buffer; report no events here.
+        return (out, Vec::new());
+    }
+    CAPTURING.with(|cell| cell.set(false));
+    let mut events = CAPTURED.with(|captured| std::mem::take(&mut *captured.borrow_mut()));
+    events.sort_by_key(|e| e.ts_ns);
+    (out, events)
 }
 
 /// An RAII span guard: records a complete event from creation to drop.
@@ -180,25 +282,19 @@ impl Drop for Span {
             return;
         };
         let dur_ns = now_ns().saturating_sub(start_ns);
-        LOCAL.with(|local| {
-            local.depth.set(local.depth.get().saturating_sub(1));
-            local.push(TraceEvent {
-                name: self.name,
-                ts_ns: start_ns,
-                tid: local.tid,
-                kind: EventKind::Complete { dur_ns },
-            });
-        });
+        LOCAL.with(|local| local.depth.set(local.depth.get().saturating_sub(1)));
+        record(self.name, EventKind::Complete { dur_ns }, start_ns);
     }
 }
 
 /// Opens a span named `name`, measured until the returned guard drops.
 ///
-/// When tracing is disabled this is one relaxed atomic load and returns an
-/// inert guard.
+/// When tracing is disabled (globally and for this thread's capture
+/// scope) this is one relaxed atomic load plus a thread-local read and
+/// returns an inert guard.
 #[inline]
 pub fn span(name: &'static str) -> Span {
-    if !enabled() {
+    if !recording() {
         return Span {
             name,
             start_ns: None,
@@ -221,7 +317,7 @@ pub fn current_depth() -> usize {
 /// the next `enter` rather than at scope exit.
 #[inline]
 pub fn begin(name: &'static str) {
-    if !enabled() {
+    if !recording() {
         return;
     }
     record(name, EventKind::Begin, now_ns());
@@ -230,7 +326,7 @@ pub fn begin(name: &'static str) {
 /// Records the closing of a non-lexical span (Chrome `"E"`).
 #[inline]
 pub fn end(name: &'static str) {
-    if !enabled() {
+    if !recording() {
         return;
     }
     record(name, EventKind::End, now_ns());
@@ -240,7 +336,7 @@ pub fn end(name: &'static str) {
 /// convergence during Alg. 1 filtering.
 #[inline]
 pub fn counter(name: &'static str, value: f64) {
-    if !enabled() {
+    if !recording() {
         return;
     }
     record(name, EventKind::Counter { value }, now_ns());
@@ -296,9 +392,17 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
         }
         obj.field_u64("pid", 1);
         obj.field_u64("tid", ev.tid);
+        let mut args = JsonWriter::object();
+        let mut has_args = false;
         if let EventKind::Counter { value } = ev.kind {
-            let mut args = JsonWriter::object();
             args.field_f64("value", value);
+            has_args = true;
+        }
+        if ev.req != 0 {
+            args.field_u64("request_id", ev.req);
+            has_args = true;
+        }
+        if has_args {
             obj.field_raw("args", &args.finish());
         }
         arr.elem_raw(&obj.finish());
@@ -324,15 +428,27 @@ mod tests {
     use super::*;
     use crate::json;
 
+    static GUARD: Mutex<()> = Mutex::new(());
+
     // Tracing state is process-global; every test here serializes on this
     // lock and drains before and after to stay independent of its siblings.
     fn with_tracing<R>(f: impl FnOnce() -> R) -> R {
-        static GUARD: Mutex<()> = Mutex::new(());
         let _guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
         let _ = take_events();
         set_enabled(true);
         let out = f();
         set_enabled(false);
+        let _ = take_events();
+        out
+    }
+
+    // Same serialization, but with the global trace left *off* — the
+    // capture tests assert exactly that scoped capture works without it.
+    fn without_tracing<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(false);
+        let _ = take_events();
+        let out = f();
         let _ = take_events();
         out
     }
@@ -461,6 +577,100 @@ mod tests {
                     .and_then(|a| a.get("value"))
                     .and_then(|v| v.as_f64()),
                 Some(3.25)
+            );
+        });
+    }
+
+    #[test]
+    fn capture_scopes_events_to_the_caller() {
+        without_tracing(|| {
+            let ((), events) = capture(42, || {
+                let _s = span("soi.query");
+                counter("soi.UB", 2.0);
+            });
+            assert_eq!(events.len(), 2);
+            assert!(events.iter().all(|e| e.req == 42));
+            assert!(events.iter().any(|e| e.name == "soi.query"));
+            // Nothing leaked into the global drain while tracing was off.
+            assert!(take_events().is_empty());
+        });
+    }
+
+    #[test]
+    fn capture_and_global_trace_both_see_events() {
+        with_tracing(|| {
+            let ((), events) = capture(7, || {
+                let _s = span("engine.query");
+            });
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].req, 7);
+            let global = take_events();
+            assert_eq!(global.len(), 1, "global trace keeps its own copy");
+            assert_eq!(global[0].req, 7);
+        });
+    }
+
+    #[test]
+    fn nested_capture_yields_outer_buffer_only() {
+        without_tracing(|| {
+            let ((), outer) = capture(1, || {
+                let ((), inner) = capture(2, || {
+                    let _s = span("soi.query");
+                });
+                assert!(inner.is_empty(), "nested capture defers to the outer");
+            });
+            assert_eq!(outer.len(), 1);
+            // The inner scope still re-stamps the request id for its extent.
+            assert_eq!(outer[0].req, 2);
+        });
+    }
+
+    #[test]
+    fn capture_overflow_counts_dropped_events() {
+        without_tracing(|| {
+            let before = dropped_events();
+            let ((), events) = capture(9, || {
+                for _ in 0..(MAX_EVENTS_PER_CAPTURE + 5) {
+                    counter("soi.UB", 1.0);
+                }
+            });
+            assert_eq!(events.len(), MAX_EVENTS_PER_CAPTURE);
+            assert_eq!(dropped_events() - before, 5);
+        });
+    }
+
+    #[test]
+    fn with_request_id_restores_previous_id() {
+        without_tracing(|| {
+            assert_eq!(current_request_id(), 0);
+            with_request_id(5, || {
+                assert_eq!(current_request_id(), 5);
+                with_request_id(6, || assert_eq!(current_request_id(), 6));
+                assert_eq!(current_request_id(), 5);
+            });
+            assert_eq!(current_request_id(), 0);
+        });
+    }
+
+    #[test]
+    fn chrome_json_carries_request_id_args() {
+        without_tracing(|| {
+            let ((), events) = capture(31, || {
+                let _s = span("soi.query");
+            });
+            let doc = chrome_trace_json(&events);
+            let parsed = json::parse(&doc).expect("chrome trace parses");
+            let items = parsed
+                .get("traceEvents")
+                .and_then(|v| v.as_arr())
+                .expect("traceEvents array");
+            assert_eq!(items.len(), 1);
+            assert_eq!(
+                items[0]
+                    .get("args")
+                    .and_then(|a| a.get("request_id"))
+                    .and_then(|v| v.as_f64()),
+                Some(31.0)
             );
         });
     }

@@ -14,8 +14,21 @@ use std::time::Duration;
 pub struct Response {
     /// Status code.
     pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
     /// Response body.
     pub body: String,
+}
+
+impl Response {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Sends one request and reads the full response, bounded by `timeout`.
@@ -69,8 +82,17 @@ fn parse_response(raw: &[u8]) -> Result<Response> {
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| SoiError::invalid(format!("bad status line {status_line:?}")))?;
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| {
+            line.split_once(':')
+                .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        })
+        .collect();
     Ok(Response {
         status,
+        headers,
         body: body.to_string(),
     })
 }
@@ -133,10 +155,13 @@ mod tests {
 
     #[test]
     fn parses_response() {
-        let raw = b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 2\r\n\r\n{}";
+        let raw =
+            b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 2\r\nX-Soi-Request-Id: 42\r\n\r\n{}";
         let response = parse_response(raw).expect("parses");
         assert_eq!(response.status, 503);
         assert_eq!(response.body, "{}");
+        assert_eq!(response.header("x-soi-request-id"), Some("42"));
+        assert_eq!(response.header("X-SOI-REQUEST-ID"), Some("42"));
     }
 
     #[test]

@@ -8,15 +8,24 @@
 //! anytime *partial* results instead of blowing their latency target), and
 //! graceful drain on `SIGTERM`.
 //!
+//! Every accepted request is assigned a monotonic request id (returned in
+//! the `x-soi-request-id` response header and stamped into trace events),
+//! can opt into a request-scoped trace/explain capture via `"trace": true`
+//! / `"explain": true` body fields, and leaves a record in a bounded
+//! recent-requests ring inspectable at `GET /debug/requests`.
+//!
 //! Routes:
 //!
-//! | Route            | Semantics                                        |
-//! |------------------|--------------------------------------------------|
-//! | `POST /soi`      | k-SOI query (queued, deadline-bounded)           |
-//! | `POST /describe` | street description (queued, deadline-bounded)    |
-//! | `GET /metrics`   | Prometheus text exposition                       |
-//! | `GET /status`    | liveness + queue/drain state                     |
-//! | `GET /explain`   | inline explained query (debugging)               |
+//! | Route                     | Semantics                                     |
+//! |---------------------------|-----------------------------------------------|
+//! | `POST /soi`               | k-SOI query (queued, deadline-bounded)        |
+//! | `POST /describe`          | street description (queued, deadline-bounded) |
+//! | `POST /explain`           | inline explained k-SOI query (same body)      |
+//! | `GET /metrics`            | Prometheus text exposition                    |
+//! | `GET /status`             | liveness + queue/drain state + SLO windows    |
+//! | `GET /explain`            | inline explained query (query string)         |
+//! | `GET /debug/requests`     | recent-requests ring summary                  |
+//! | `GET /debug/requests/<id>`| one request record, artifacts embedded        |
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![deny(unsafe_code)]
@@ -26,6 +35,7 @@ pub mod client;
 pub mod http;
 pub mod obs;
 pub mod queue;
+pub mod ring;
 pub mod server;
 pub mod signal;
 

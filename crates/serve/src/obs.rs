@@ -4,12 +4,23 @@
 //! so `GET /metrics` gathers one coherent Prometheus text exposition:
 //! query-level counters from `soi-core`, batch instruments from
 //! `soi-engine`, and the request/overload series here.
+//!
+//! Alongside the cumulative series, the serving layer exports
+//! rolling-window instruments (`*_window_*`, an 8 × 15 s wheel — a two
+//! minute window) so dashboards and `/status` can answer "what is the
+//! latency/shed rate *right now*" without deriving rates from counters.
 
 use soi_obs::metrics::{
-    register_counter, register_gauge, register_histogram, Counter, Gauge, Histogram,
+    register_counter, register_gauge, register_histogram, register_windowed_counter,
+    register_windowed_histogram, Counter, Gauge, Histogram, WindowedCounter, WindowedHistogram,
     DEFAULT_LATENCY_BUCKETS,
 };
 use std::sync::OnceLock;
+
+/// Slots in the rolling-window wheel.
+pub const WINDOW_SLOTS: usize = 8;
+/// Seconds per rolling-window slot.
+pub const WINDOW_SLOT_SECS: u64 = 15;
 
 /// Global instruments fed by the HTTP serving layer.
 pub struct ServeMetrics {
@@ -29,11 +40,31 @@ pub struct ServeMetrics {
     /// `soi_serve_panics_total`: worker panics caught by the isolation
     /// guard (always expected to be zero; the overload suite asserts it).
     pub panics: &'static Counter,
+    /// `soi_serve_slow_queries_total`: requests whose total latency
+    /// crossed the `--slow-query-ms` threshold and were logged.
+    pub slow_queries: &'static Counter,
     /// `soi_serve_queue_depth`: current admission-queue depth.
     pub queue_depth: &'static Gauge,
     /// `soi_serve_request_latency_seconds`: accepted-request latency from
     /// parse completion to response written.
     pub latency: &'static Histogram,
+    /// `soi_serve_request_latency_window_seconds`: rolling-window latency,
+    /// all endpoints.
+    pub latency_window: &'static WindowedHistogram,
+    /// `soi_serve_soi_latency_window_seconds`: rolling-window latency of
+    /// `POST /soi` requests.
+    pub soi_latency_window: &'static WindowedHistogram,
+    /// `soi_serve_describe_latency_window_seconds`: rolling-window latency
+    /// of `POST /describe` requests.
+    pub describe_latency_window: &'static WindowedHistogram,
+    /// `soi_serve_requests_window`: requests completed inside the window.
+    pub requests_window: &'static WindowedCounter,
+    /// `soi_serve_shed_window`: requests shed inside the window.
+    pub shed_window: &'static WindowedCounter,
+    /// `soi_serve_errors_window`: error responses inside the window.
+    pub errors_window: &'static WindowedCounter,
+    /// `soi_serve_partials_window`: partial responses inside the window.
+    pub partials_window: &'static WindowedCounter,
 }
 
 /// The serving instruments (registered on first use).
@@ -58,11 +89,60 @@ pub fn serve_metrics() -> &'static ServeMetrics {
             "soi_serve_panics_total",
             "Worker panics caught by the isolation guard",
         ),
+        slow_queries: register_counter(
+            "soi_serve_slow_queries_total",
+            "Requests slower than the slow-query threshold",
+        ),
         queue_depth: register_gauge("soi_serve_queue_depth", "Current admission-queue depth"),
         latency: register_histogram(
             "soi_serve_request_latency_seconds",
             "Accepted-request latency, parse to response",
             DEFAULT_LATENCY_BUCKETS,
+        ),
+        latency_window: register_windowed_histogram(
+            "soi_serve_request_latency_window_seconds",
+            "Rolling-window accepted-request latency (all endpoints)",
+            DEFAULT_LATENCY_BUCKETS,
+            WINDOW_SLOTS,
+            WINDOW_SLOT_SECS,
+        ),
+        soi_latency_window: register_windowed_histogram(
+            "soi_serve_soi_latency_window_seconds",
+            "Rolling-window POST /soi latency",
+            DEFAULT_LATENCY_BUCKETS,
+            WINDOW_SLOTS,
+            WINDOW_SLOT_SECS,
+        ),
+        describe_latency_window: register_windowed_histogram(
+            "soi_serve_describe_latency_window_seconds",
+            "Rolling-window POST /describe latency",
+            DEFAULT_LATENCY_BUCKETS,
+            WINDOW_SLOTS,
+            WINDOW_SLOT_SECS,
+        ),
+        requests_window: register_windowed_counter(
+            "soi_serve_requests_window",
+            "Requests completed inside the rolling window",
+            WINDOW_SLOTS,
+            WINDOW_SLOT_SECS,
+        ),
+        shed_window: register_windowed_counter(
+            "soi_serve_shed_window",
+            "Requests shed inside the rolling window",
+            WINDOW_SLOTS,
+            WINDOW_SLOT_SECS,
+        ),
+        errors_window: register_windowed_counter(
+            "soi_serve_errors_window",
+            "Error responses inside the rolling window",
+            WINDOW_SLOTS,
+            WINDOW_SLOT_SECS,
+        ),
+        partials_window: register_windowed_counter(
+            "soi_serve_partials_window",
+            "Partial responses inside the rolling window",
+            WINDOW_SLOTS,
+            WINDOW_SLOT_SECS,
         ),
     })
 }
@@ -86,8 +166,16 @@ mod tests {
             "soi_serve_requests_total",
             "soi_serve_shed_total",
             "soi_serve_panics_total",
+            "soi_serve_slow_queries_total",
             "soi_serve_queue_depth",
             "soi_serve_request_latency_seconds",
+            "soi_serve_request_latency_window_seconds",
+            "soi_serve_soi_latency_window_seconds",
+            "soi_serve_describe_latency_window_seconds",
+            "soi_serve_requests_window",
+            "soi_serve_shed_window",
+            "soi_serve_errors_window",
+            "soi_serve_partials_window",
         ] {
             assert!(text.contains(name), "{name} missing from gather");
         }

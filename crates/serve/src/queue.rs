@@ -26,25 +26,55 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     }
 }
 
+/// Execution metadata the dispatcher publishes alongside a response — the
+/// per-request record the IO worker folds into the recent-requests ring
+/// (queue/exec split, outcome flags, work counters, captured artifacts).
+#[derive(Debug, Default, Clone)]
+pub struct SlotMeta {
+    /// Time the job sat in the admission queue before dispatch.
+    pub queue: Duration,
+    /// Time executing on the engine.
+    pub exec: Duration,
+    /// The deadline expired and the response is partial.
+    pub partial: bool,
+    /// The response is an error body.
+    pub error: bool,
+    /// Source-list accesses performed (k-SOI work counter).
+    pub accesses: u64,
+    /// ε-map cache hits attributed to this job's dispatch batch.
+    pub eps_cache_hits: u64,
+    /// ε-map cache misses attributed to this job's dispatch batch.
+    pub eps_cache_misses: u64,
+    /// Chrome-trace JSON captured for this request, when asked for.
+    pub trace_json: Option<String>,
+    /// Explain JSON captured for this request, when asked for.
+    pub explain_json: Option<String>,
+}
+
 /// A single-use rendezvous for one request's response: the IO worker waits
 /// on it while the dispatcher computes and [`put`](Slot::put)s the
-/// `(status, body)` pair.
+/// `(status, body)` pair plus its [`SlotMeta`].
 #[derive(Debug, Default)]
 pub struct Slot {
-    state: Mutex<Option<(u16, String)>>,
+    state: Mutex<Option<(u16, String, SlotMeta)>>,
     cv: Condvar,
 }
 
 impl Slot {
     /// Publishes the response and wakes the waiting worker.
     pub fn put(&self, status: u16, body: String) {
-        *lock(&self.state) = Some((status, body));
+        self.put_with_meta(status, body, SlotMeta::default());
+    }
+
+    /// [`put`](Slot::put) with execution metadata for the request ring.
+    pub fn put_with_meta(&self, status: u16, body: String, meta: SlotMeta) {
+        *lock(&self.state) = Some((status, body, meta));
         self.cv.notify_all();
     }
 
     /// Waits up to `timeout` for the response; `None` on timeout (the
     /// backstop — the dispatcher always answers deadline-bounded jobs).
-    pub fn wait(&self, timeout: Duration) -> Option<(u16, String)> {
+    pub fn wait(&self, timeout: Duration) -> Option<(u16, String, SlotMeta)> {
         let deadline = Instant::now() + timeout;
         let mut state = lock(&self.state);
         loop {
@@ -89,6 +119,12 @@ pub struct Job {
     pub slot: Arc<Slot>,
     /// When the job was admitted (for queue-wait accounting).
     pub enqueued: Instant,
+    /// The request id assigned at admission (stamped into trace events).
+    pub request_id: u64,
+    /// Capture a request-scoped trace while the job runs.
+    pub trace: bool,
+    /// Run the job with an explain collector.
+    pub explain: bool,
 }
 
 struct QueueState {
@@ -194,6 +230,9 @@ mod tests {
             budget: QueryBudget::unlimited(),
             slot: Arc::new(Slot::default()),
             enqueued: Instant::now(),
+            request_id: 0,
+            trace: false,
+            explain: false,
         }
     }
 
@@ -225,11 +264,32 @@ mod tests {
     #[test]
     fn slot_roundtrip_and_timeout() {
         let slot = Arc::new(Slot::default());
-        assert_eq!(slot.wait(Duration::from_millis(5)), None);
+        assert!(slot.wait(Duration::from_millis(5)).is_none());
         slot.put(200, "ok".to_string());
-        assert_eq!(
-            slot.wait(Duration::from_millis(5)),
-            Some((200, "ok".to_string()))
+        let (status, body, meta) = slot.wait(Duration::from_millis(5)).expect("published");
+        assert_eq!((status, body.as_str()), (200, "ok"));
+        assert!(!meta.partial && meta.trace_json.is_none());
+    }
+
+    #[test]
+    fn slot_meta_roundtrip() {
+        let slot = Slot::default();
+        slot.put_with_meta(
+            200,
+            "{}".to_string(),
+            SlotMeta {
+                queue: Duration::from_millis(3),
+                exec: Duration::from_millis(7),
+                partial: true,
+                accesses: 42,
+                trace_json: Some("{\"traceEvents\":[]}".to_string()),
+                ..SlotMeta::default()
+            },
         );
+        let (_, _, meta) = slot.wait(Duration::from_millis(5)).expect("published");
+        assert_eq!(meta.exec, Duration::from_millis(7));
+        assert!(meta.partial);
+        assert_eq!(meta.accesses, 42);
+        assert!(meta.trace_json.is_some());
     }
 }

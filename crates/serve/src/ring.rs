@@ -1,0 +1,214 @@
+//! The recent-requests ring: a lock-light bounded buffer of per-request
+//! records powering `GET /debug/requests`, `GET /debug/requests/<id>`,
+//! and the slow-query log.
+//!
+//! Each completed request (including sheds and errors — anything that
+//! parsed far enough to get an id) pushes one [`RequestRecord`]. The ring
+//! holds the most recent `capacity` records; each slot is an independent
+//! `Mutex<Option<Arc<..>>>`, so a push touches exactly one slot mutex for
+//! a few pointer writes and readers clone `Arc`s without copying captured
+//! trace payloads. Lookups scan — the ring is a debugging surface sized in
+//! the hundreds, not a database.
+
+use soi_obs::json::JsonWriter;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Everything the server remembers about one completed request.
+#[derive(Debug, Default, Clone)]
+pub struct RequestRecord {
+    /// The request id (monotonic per server run, starts at 1).
+    pub id: u64,
+    /// The endpoint that handled it (`/soi`, `/describe`, …).
+    pub endpoint: String,
+    /// A short human-readable digest of the request parameters.
+    pub params: String,
+    /// HTTP status answered.
+    pub status: u16,
+    /// Time spent in the admission queue (zero for inline endpoints).
+    pub queue_ms: f64,
+    /// Time executing on the engine (zero for inline endpoints).
+    pub exec_ms: f64,
+    /// Total latency from parse completion to response written.
+    pub total_ms: f64,
+    /// The query hit its deadline and returned partial results.
+    pub partial: bool,
+    /// The request was shed by admission control (503).
+    pub shed: bool,
+    /// The query answered an error response.
+    pub error: bool,
+    /// Source-list accesses performed (k-SOI work counter).
+    pub accesses: u64,
+    /// ε-map cache hits attributed to this request's dispatch batch.
+    pub eps_cache_hits: u64,
+    /// ε-map cache misses attributed to this request's dispatch batch.
+    pub eps_cache_misses: u64,
+    /// Chrome-trace JSON captured for this request, when asked for.
+    pub trace_json: Option<String>,
+    /// Explain JSON captured for this request, when asked for.
+    pub explain_json: Option<String>,
+}
+
+impl RequestRecord {
+    /// Renders the record as JSON. `with_artifacts` embeds the captured
+    /// trace/explain payloads (the by-id route); the list route omits them
+    /// and reports only their presence.
+    pub fn to_json(&self, with_artifacts: bool) -> String {
+        let mut obj = JsonWriter::object();
+        obj.field_u64("id", self.id);
+        obj.field_str("endpoint", &self.endpoint);
+        obj.field_str("params", &self.params);
+        obj.field_u64("status", u64::from(self.status));
+        obj.field_f64("queue_ms", self.queue_ms);
+        obj.field_f64("exec_ms", self.exec_ms);
+        obj.field_f64("total_ms", self.total_ms);
+        obj.field_bool("partial", self.partial);
+        obj.field_bool("shed", self.shed);
+        obj.field_bool("error", self.error);
+        obj.field_u64("accesses", self.accesses);
+        let mut eps = JsonWriter::object();
+        eps.field_u64("hits", self.eps_cache_hits);
+        eps.field_u64("misses", self.eps_cache_misses);
+        obj.field_raw("eps_cache", &eps.finish());
+        obj.field_bool("traced", self.trace_json.is_some());
+        obj.field_bool("explained", self.explain_json.is_some());
+        if with_artifacts {
+            if let Some(trace) = &self.trace_json {
+                obj.field_raw("trace", trace);
+            }
+            if let Some(explain) = &self.explain_json {
+                obj.field_raw("explain", explain);
+            }
+        }
+        obj.finish()
+    }
+}
+
+/// The bounded ring of recent [`RequestRecord`]s.
+#[derive(Debug)]
+pub struct RequestRing {
+    slots: Vec<Mutex<Option<Arc<RequestRecord>>>>,
+    cursor: AtomicUsize,
+}
+
+impl RequestRing {
+    /// Creates a ring remembering the most recent `capacity` requests.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records one completed request, evicting the oldest when full.
+    pub fn push(&self, record: RequestRecord) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[seq % self.slots.len()];
+        let mut guard = match slot.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *guard = Some(Arc::new(record));
+    }
+
+    /// Finds a record by request id (linear scan over the ring).
+    pub fn get(&self, id: u64) -> Option<Arc<RequestRecord>> {
+        self.slots.iter().find_map(|slot| {
+            let guard = match slot.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.as_ref().filter(|r| r.id == id).map(Arc::clone)
+        })
+    }
+
+    /// The retained records, most recent first.
+    pub fn recent(&self) -> Vec<Arc<RequestRecord>> {
+        let mut records: Vec<Arc<RequestRecord>> = self
+            .slots
+            .iter()
+            .filter_map(|slot| {
+                let guard = match slot.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                guard.as_ref().map(Arc::clone)
+            })
+            .collect();
+        records.sort_by_key(|r| std::cmp::Reverse(r.id));
+        records
+    }
+
+    /// Renders the `GET /debug/requests` body: a summary list (artifacts
+    /// omitted), most recent first.
+    pub fn list_json(&self) -> String {
+        let records = self.recent();
+        let mut obj = JsonWriter::object();
+        obj.field_u64("capacity", self.capacity() as u64);
+        obj.field_u64("count", records.len() as u64);
+        let mut arr = JsonWriter::array();
+        for record in &records {
+            arr.elem_raw(&record.to_json(false));
+        }
+        obj.field_raw("requests", &arr.finish());
+        obj.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64) -> RequestRecord {
+        RequestRecord {
+            id,
+            endpoint: "/soi".to_string(),
+            params: format!("q{id}"),
+            status: 200,
+            total_ms: id as f64,
+            ..RequestRecord::default()
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_finds_by_id() {
+        let ring = RequestRing::new(3);
+        for id in 1..=5 {
+            ring.push(record(id));
+        }
+        assert_eq!(ring.capacity(), 3);
+        assert!(ring.get(1).is_none(), "evicted");
+        assert!(ring.get(2).is_none(), "evicted");
+        for id in 3..=5 {
+            assert_eq!(ring.get(id).expect("retained").id, id);
+        }
+        let recent: Vec<u64> = ring.recent().iter().map(|r| r.id).collect();
+        assert_eq!(recent, vec![5, 4, 3], "most recent first");
+    }
+
+    #[test]
+    fn list_json_summarizes_without_artifacts() {
+        let ring = RequestRing::new(4);
+        let mut traced = record(7);
+        traced.trace_json = Some("{\"traceEvents\":[]}".to_string());
+        ring.push(traced);
+        let doc = ring.list_json();
+        let parsed = soi_obs::json::parse(&doc).expect("parses");
+        assert_eq!(parsed.get("count").and_then(|v| v.as_f64()), Some(1.0));
+        let items = parsed
+            .get("requests")
+            .and_then(|v| v.as_arr())
+            .expect("requests array");
+        assert_eq!(items[0].get("traced").and_then(|v| v.as_bool()), Some(true));
+        assert!(items[0].get("trace").is_none(), "list omits payloads");
+        // The by-id rendering embeds the artifact.
+        let full = ring.get(7).expect("found").to_json(true);
+        let parsed = soi_obs::json::parse(&full).expect("parses");
+        assert!(parsed.get("trace").is_some());
+    }
+}

@@ -6,7 +6,8 @@
 //! ```text
 //! accept loop (caller thread, nonblocking, polls the shutdown flag)
 //!   └─> bounded connection queue ──> IO workers (parse, route, respond)
-//!                                       ├─ /metrics /status /explain: inline
+//!                                       ├─ /metrics /status /explain
+//!                                       │  /debug/requests: inline
 //!                                       └─ /soi /describe: admission queue
 //!                                            └─> dispatcher (one thread)
 //!                                                  batches jobs into the
@@ -24,6 +25,20 @@
 //! [`QueryBudget`] deadline into the algorithms and degrade to anytime
 //! *partial* results instead of missing their latency target.
 //!
+//! ### Request-scoped observability
+//!
+//! Every request that parses is assigned a monotonic id, returned in the
+//! `x-soi-request-id` header and stamped into trace events emitted while
+//! it runs. `/soi` and `/describe` bodies may set `"trace": true` /
+//! `"explain": true` to capture a request-scoped Chrome trace or explain
+//! report — captured into a private per-request buffer (concurrent
+//! untraced requests pay nothing), embedded in the response, and retained
+//! in the recent-requests ring behind `GET /debug/requests/<id>`.
+//! `trace_sample` additionally captures every Nth query into the ring
+//! without embedding. Requests slower than `slow_query` emit a structured
+//! `serve.slow_query` log line and count
+//! `soi_serve_slow_queries_total`.
+//!
 //! ### Drain
 //!
 //! When the shutdown flag flips (SIGTERM/SIGINT or programmatic), the
@@ -32,13 +47,14 @@
 //! [`serve`] returns a final [`ServeReport`].
 
 use crate::http::{self, Limits};
-use crate::queue::{AdmissionQueue, Job, JobKind, Slot};
+use crate::queue::{AdmissionQueue, Job, JobKind, Slot, SlotMeta};
+use crate::ring::{RequestRecord, RequestRing};
 use soi_common::{ErrorCategory, Result, SoiError};
 use soi_core::describe::{ContextBuilder, DescribeParams, PhiSource, StreetContext};
 use soi_core::soi::{run_soi_explained, SoiExplain, SoiOutcome, SoiQuery, SoiScratch};
 use soi_core::QueryBudget;
 use soi_data::Dataset;
-use soi_engine::{QueryContext, QueryEngine};
+use soi_engine::{CapturedArtifacts, QueryCapture, QueryContext, QueryEngine};
 use soi_index::{PhotoGrid, PoiIndex};
 use soi_obs::json::{Json, JsonWriter};
 use soi_obs::log::{self, Value};
@@ -82,6 +98,14 @@ pub struct ServeConfig {
     /// Fail startup on a corrupt cached snapshot instead of transparently
     /// rebuilding it.
     pub index_cache_strict: bool,
+    /// Capture a request-scoped trace for one in every N queued queries
+    /// into the recent-requests ring (0 = off). Sampled traces are not
+    /// embedded in responses — only `"trace": true` embeds.
+    pub trace_sample: u64,
+    /// Log and count requests slower than this threshold (`None` = off).
+    pub slow_query: Option<Duration>,
+    /// Recent-requests ring capacity.
+    pub ring_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -100,6 +124,9 @@ impl Default for ServeConfig {
             rho: 1e-4,
             index_cache: None,
             index_cache_strict: false,
+            trace_sample: 0,
+            slow_query: None,
+            ring_capacity: 256,
         }
     }
 }
@@ -226,6 +253,9 @@ struct Shared<'a> {
     queue: &'a AdmissionQueue,
     config: &'a ServeConfig,
     counters: &'a Counters,
+    ring: &'a RequestRing,
+    next_request_id: &'a AtomicU64,
+    trace_tick: &'a AtomicU64,
     shutdown: &'a AtomicBool,
     started: Instant,
 }
@@ -246,6 +276,9 @@ pub fn serve(
 ) -> Result<ServeReport> {
     crate::obs::register_metrics();
     soi_engine::obs::register_metrics();
+    // Pins the process epoch and registers uptime/build-info/dropped-event
+    // series before the first scrape.
+    soi_obs::metrics::publish_process_metrics(env!("CARGO_PKG_VERSION"));
 
     let cell = 2.0 * config.eps;
     let params = soi_index::BundleParams {
@@ -302,6 +335,9 @@ pub fn serve(
     let queue = AdmissionQueue::new(config.queue_capacity);
     let conns = ConnQueue::new(config.io_threads.max(1) * 2);
     let counters = Counters::default();
+    let ring = RequestRing::new(config.ring_capacity);
+    let next_request_id = AtomicU64::new(0);
+    let trace_tick = AtomicU64::new(0);
     let shared = Shared {
         dataset,
         index: &index,
@@ -310,6 +346,9 @@ pub fn serve(
         queue: &queue,
         config,
         counters: &counters,
+        ring: &ring,
+        next_request_id: &next_request_id,
+        trace_tick: &trace_tick,
         shutdown,
         started: Instant::now(),
     };
@@ -322,6 +361,8 @@ pub fn serve(
             ("queue_capacity", Value::U64(config.queue_capacity as u64)),
             ("io_threads", Value::U64(config.io_threads as u64)),
             ("engine_threads", Value::U64(engine.threads() as u64)),
+            ("trace_sample", Value::U64(config.trace_sample)),
+            ("ring_capacity", Value::U64(config.ring_capacity as u64)),
         ],
     );
     on_ready(local_addr);
@@ -418,6 +459,7 @@ fn accept_loop(listener: &TcpListener, conns: &ConnQueue, shared: &Shared<'_>) {
                 let _ = stream.set_write_timeout(Some(shared.config.socket_timeout));
                 if let Err(mut stream) = conns.try_push(stream) {
                     metrics.shed.inc();
+                    metrics.shed_window.inc();
                     shared.counters.sheds.fetch_add(1, Ordering::Relaxed);
                     let _ = http::write_error(
                         &mut stream,
@@ -465,9 +507,37 @@ fn io_worker_loop(shared: &Shared<'_>, conns: &ConnQueue) {
     }
 }
 
+/// The HTTP response tuple the router produces.
+type HttpTuple = (u16, &'static str, &'static str, String);
+
+/// Per-request observability the router returns alongside the response:
+/// what [`finish_request`] folds into the ring record, the windowed
+/// instruments, and the slow-query check.
+#[derive(Debug, Default)]
+struct RequestMeta {
+    endpoint: &'static str,
+    params: String,
+    queue: Duration,
+    exec: Duration,
+    partial: bool,
+    shed: bool,
+    error: bool,
+    accesses: u64,
+    eps_cache_hits: u64,
+    eps_cache_misses: u64,
+    trace_json: Option<String>,
+    explain_json: Option<String>,
+}
+
+fn meta_for(endpoint: &'static str) -> RequestMeta {
+    RequestMeta {
+        endpoint,
+        ..RequestMeta::default()
+    }
+}
+
 /// Parses and answers one connection (one request: `Connection: close`).
 fn handle_connection(shared: &Shared<'_>, stream: &mut TcpStream, scratch: &mut SoiScratch) {
-    let _span = soi_obs::trace::span(soi_obs::names::spans::SERVE_REQUEST);
     let metrics = crate::obs::serve_metrics();
     let limits = Limits {
         max_body_bytes: shared.config.max_body_bytes,
@@ -490,10 +560,92 @@ fn handle_connection(shared: &Shared<'_>, stream: &mut TcpStream, scratch: &mut 
     };
     metrics.requests.inc();
     shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    // Ids start at 1; 0 means "no request" in the capture plumbing.
+    let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
     let started = Instant::now();
-    let (status, reason, content_type, body) = route(shared, &request, scratch);
-    let _ = http::write_response(stream, status, reason, content_type, body.as_bytes());
-    metrics.latency.observe_duration(started.elapsed());
+    let ((status, reason, content_type, body), meta) =
+        soi_obs::trace::with_request_id(request_id, || {
+            let _span = soi_obs::trace::span(soi_obs::names::spans::SERVE_REQUEST);
+            route(shared, &request, scratch, request_id)
+        });
+    let id_value = request_id.to_string();
+    let _ = http::write_response_with_headers(
+        stream,
+        status,
+        reason,
+        content_type,
+        body.as_bytes(),
+        &[("x-soi-request-id", &id_value)],
+    );
+    finish_request(shared, request_id, status, started.elapsed(), meta);
+}
+
+/// Folds one finished request into the observability surfaces: cumulative
+/// and windowed instruments, the recent-requests ring, and the slow-query
+/// log.
+fn finish_request(
+    shared: &Shared<'_>,
+    request_id: u64,
+    status: u16,
+    total: Duration,
+    meta: RequestMeta,
+) {
+    let metrics = crate::obs::serve_metrics();
+    metrics.latency.observe_duration(total);
+    metrics.latency_window.observe_duration(total);
+    match meta.endpoint {
+        "/soi" => metrics.soi_latency_window.observe_duration(total),
+        "/describe" => metrics.describe_latency_window.observe_duration(total),
+        _ => {}
+    }
+    metrics.requests_window.inc();
+    let error = meta.error || (status >= 400 && !meta.shed);
+    if meta.shed {
+        metrics.shed_window.inc();
+    }
+    if error {
+        metrics.errors_window.inc();
+    }
+    if meta.partial {
+        metrics.partials_window.inc();
+    }
+    let total_ms = total.as_secs_f64() * 1e3;
+    let queue_ms = meta.queue.as_secs_f64() * 1e3;
+    let exec_ms = meta.exec.as_secs_f64() * 1e3;
+    if shared.config.slow_query.is_some_and(|t| total >= t) {
+        metrics.slow_queries.inc();
+        log::event(
+            "serve.slow_query",
+            "request crossed the slow-query threshold",
+            &[
+                ("request_id", Value::U64(request_id)),
+                ("endpoint", Value::Str(meta.endpoint)),
+                ("params", Value::Str(&meta.params)),
+                ("status", Value::U64(u64::from(status))),
+                ("total_ms", Value::F64(total_ms)),
+                ("queue_ms", Value::F64(queue_ms)),
+                ("exec_ms", Value::F64(exec_ms)),
+                ("partial", Value::Bool(meta.partial)),
+            ],
+        );
+    }
+    shared.ring.push(RequestRecord {
+        id: request_id,
+        endpoint: meta.endpoint.to_string(),
+        params: meta.params,
+        status,
+        queue_ms,
+        exec_ms,
+        total_ms,
+        partial: meta.partial,
+        shed: meta.shed,
+        error,
+        accesses: meta.accesses,
+        eps_cache_hits: meta.eps_cache_hits,
+        eps_cache_misses: meta.eps_cache_misses,
+        trace_json: meta.trace_json,
+        explain_json: meta.explain_json,
+    });
 }
 
 /// Routes one parsed request to its handler.
@@ -501,45 +653,108 @@ fn route(
     shared: &Shared<'_>,
     request: &crate::http::Request,
     scratch: &mut SoiScratch,
-) -> (u16, &'static str, &'static str, String) {
+    request_id: u64,
+) -> (HttpTuple, RequestMeta) {
     const JSON: &str = "application/json";
     match (request.method.as_str(), request.path()) {
-        ("GET", "/metrics") => (
-            200,
-            "OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            soi_obs::metrics::gather(),
+        ("GET", "/metrics") => {
+            // Refresh uptime and the trace dropped-event counter so the
+            // scrape reflects now, not startup.
+            soi_obs::metrics::publish_process_metrics(env!("CARGO_PKG_VERSION"));
+            (
+                (
+                    200,
+                    "OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    soi_obs::metrics::gather(),
+                ),
+                meta_for("/metrics"),
+            )
+        }
+        ("GET", "/status") => ((200, "OK", JSON, status_body(shared)), meta_for("/status")),
+        ("GET", "/debug/requests") => (
+            (200, "OK", JSON, shared.ring.list_json()),
+            meta_for("/debug/requests"),
         ),
-        ("GET", "/status") => (200, "OK", JSON, status_body(shared)),
-        ("GET", "/explain") => match explain_inline(shared, request, scratch) {
-            Ok(body) => (200, "OK", JSON, body),
-            Err(e) => error_tuple(&e),
+        ("GET", path) if path.starts_with("/debug/requests/") => (
+            debug_request_by_id(shared, path),
+            meta_for("/debug/requests/<id>"),
+        ),
+        ("GET", "/explain") => {
+            let mut meta = meta_for("/explain");
+            meta.params = request.query().unwrap_or("").to_string();
+            match explain_inline(shared, request, scratch, request_id) {
+                Ok(body) => ((200, "OK", JSON, body), meta),
+                Err(e) => (error_tuple(&e), meta),
+            }
+        }
+        ("POST", "/explain") => {
+            let mut meta = meta_for("/explain");
+            match explain_post(shared, request, scratch, request_id) {
+                Ok((body, params)) => {
+                    meta.params = params;
+                    ((200, "OK", JSON, body), meta)
+                }
+                Err(e) => (error_tuple(&e), meta),
+            }
+        }
+        ("POST", "/soi") => match submit_soi(shared, request, request_id) {
+            Ok(pair) => pair,
+            Err(e) => (error_tuple(&e), meta_for("/soi")),
         },
-        ("POST", "/soi") => match submit_soi(shared, request) {
-            Ok(tuple) => tuple,
-            Err(e) => error_tuple(&e),
-        },
-        ("POST", "/describe") => match submit_describe(shared, request) {
-            Ok(tuple) => tuple,
-            Err(e) => error_tuple(&e),
+        ("POST", "/describe") => match submit_describe(shared, request, request_id) {
+            Ok(pair) => pair,
+            Err(e) => (error_tuple(&e), meta_for("/describe")),
         },
         ("GET" | "POST", _) => (
-            404,
-            "Not Found",
-            JSON,
-            error_body("no such route", "not-found"),
+            (
+                404,
+                "Not Found",
+                JSON,
+                error_body("no such route", "not-found"),
+            ),
+            RequestMeta::default(),
         ),
         _ => (
-            405,
-            "Method Not Allowed",
+            (
+                405,
+                "Method Not Allowed",
+                JSON,
+                error_body("unsupported method", "usage"),
+            ),
+            RequestMeta::default(),
+        ),
+    }
+}
+
+/// `GET /debug/requests/<id>`: one ring record with artifacts embedded.
+fn debug_request_by_id(shared: &Shared<'_>, path: &str) -> HttpTuple {
+    const JSON: &str = "application/json";
+    let raw = &path["/debug/requests/".len()..];
+    match raw.parse::<u64>() {
+        Ok(id) => match shared.ring.get(id) {
+            Some(record) => (200, "OK", JSON, record.to_json(true)),
+            None => (
+                404,
+                "Not Found",
+                JSON,
+                error_body(
+                    "request not in the ring (evicted or never seen)",
+                    "not-found",
+                ),
+            ),
+        },
+        Err(_) => (
+            400,
+            "Bad Request",
             JSON,
-            error_body("unsupported method", "usage"),
+            error_body("request id must be an integer", "usage"),
         ),
     }
 }
 
 /// Maps a [`SoiError`] to an HTTP response tuple.
-fn error_tuple(e: &SoiError) -> (u16, &'static str, &'static str, String) {
+fn error_tuple(e: &SoiError) -> HttpTuple {
     let (status, reason) = match e.category() {
         ErrorCategory::Usage | ErrorCategory::Data => (400, "Bad Request"),
         ErrorCategory::NotFound => (404, "Not Found"),
@@ -562,6 +777,7 @@ fn error_body(message: &str, category: &str) -> String {
 
 fn status_body(shared: &Shared<'_>) -> String {
     let draining = shared.shutdown.load(Ordering::SeqCst);
+    let metrics = crate::obs::serve_metrics();
     let mut obj = JsonWriter::object();
     obj.field_str("status", if draining { "draining" } else { "serving" });
     obj.field_str("dataset", &shared.dataset.name);
@@ -572,6 +788,26 @@ fn status_body(shared: &Shared<'_>) -> String {
     obj.field_u64("sheds", shared.counters.sheds.load(Ordering::Relaxed));
     obj.field_u64("partials", shared.counters.partials.load(Ordering::Relaxed));
     obj.field_f64("uptime_seconds", shared.started.elapsed().as_secs_f64());
+    // The rolling-window SLO summary (what is happening *now*, as opposed
+    // to the cumulative counters above).
+    let mut window = JsonWriter::object();
+    window.field_u64("window_seconds", metrics.latency_window.window_secs());
+    window.field_u64("requests", metrics.requests_window.sum());
+    window.field_u64("sheds", metrics.shed_window.sum());
+    window.field_u64("errors", metrics.errors_window.sum());
+    window.field_u64("partials", metrics.partials_window.sum());
+    let snap = metrics.latency_window.snapshot();
+    for (key, q) in [
+        ("latency_p50_ms", 0.5),
+        ("latency_p95_ms", 0.95),
+        ("latency_p99_ms", 0.99),
+    ] {
+        match snap.quantile(q) {
+            Some(v) => window.field_f64(key, v * 1e3),
+            None => window.field_raw(key, "null"),
+        }
+    }
+    obj.field_raw("window", &window.finish());
     obj.finish()
 }
 
@@ -581,21 +817,48 @@ fn explain_inline(
     shared: &Shared<'_>,
     request: &crate::http::Request,
     scratch: &mut SoiScratch,
+    request_id: u64,
 ) -> Result<String> {
     let query = shared
         .config
         .parse_query_string(shared.dataset, request.query().unwrap_or(""))?;
+    explain_response(shared, &query, scratch, request_id)
+}
+
+/// `POST /explain`: the same JSON body schema as `/soi` (one parse path),
+/// run inline with the explain collector.
+fn explain_post(
+    shared: &Shared<'_>,
+    request: &crate::http::Request,
+    scratch: &mut SoiScratch,
+    request_id: u64,
+) -> Result<(String, String)> {
+    let body = parse_body(&request.body)?;
+    let (query, digest) = parse_soi_query(shared, &body)?;
+    let response = explain_response(shared, &query, scratch, request_id)?;
+    Ok((response, digest))
+}
+
+/// Runs `query` inline with the explain collector and renders the shared
+/// `/explain` response shape.
+fn explain_response(
+    shared: &Shared<'_>,
+    query: &SoiQuery,
+    scratch: &mut SoiScratch,
+    request_id: u64,
+) -> Result<String> {
     let mut explain = SoiExplain::default();
     let outcome = run_soi_explained(
         &shared.dataset.network,
         &shared.dataset.pois,
         shared.index,
-        &query,
+        query,
         &Default::default(),
         scratch,
         Some(&mut explain),
     )?;
     let mut obj = JsonWriter::object();
+    obj.field_u64("request_id", request_id);
     obj.field_raw("explain", &explain.to_json());
     obj.field_raw("outcome", &soi_outcome_body(shared.dataset, &outcome, None));
     Ok(obj.finish())
@@ -655,19 +918,16 @@ fn request_budget(config: &ServeConfig, body: &Json) -> Result<QueryBudget> {
     Ok(QueryBudget::from_timeout(timeout))
 }
 
-/// Parses the body, admits a k-SOI job, and waits for its response.
-fn submit_soi(
-    shared: &Shared<'_>,
-    request: &crate::http::Request,
-) -> Result<(u16, &'static str, &'static str, String)> {
-    let body = parse_body(&request.body)?;
-    let keywords = match body.get("keywords").and_then(|v| v.as_arr()) {
+/// Parses the `/soi` (and `POST /explain`) JSON body into a validated
+/// query plus a short human-readable parameter digest for the ring.
+fn parse_soi_query(shared: &Shared<'_>, body: &Json) -> Result<(SoiQuery, String)> {
+    let words: Vec<&str> = match body.get("keywords").and_then(|v| v.as_arr()) {
         Some(items) if !items.is_empty() => {
             let words: Vec<&str> = items.iter().filter_map(|v| v.as_str()).collect();
             if words.len() != items.len() {
                 return Err(SoiError::invalid("keywords must be an array of strings"));
             }
-            shared.dataset.query_keywords(&words)
+            words
         }
         _ => return Err(SoiError::invalid("body needs a keywords array")),
     };
@@ -685,16 +945,59 @@ fn submit_soi(
             .as_f64()
             .ok_or_else(|| SoiError::invalid("eps must be a number"))?,
     };
-    let query = SoiQuery::new(keywords, k, eps)?;
+    let digest = format!("keywords=[{}] k={k} eps={eps}", words.join(","));
+    let keywords = shared.dataset.query_keywords(&words);
+    Ok((SoiQuery::new(keywords, k, eps)?, digest))
+}
+
+/// Reads an optional boolean capture flag (`"trace"` / `"explain"`).
+fn capture_flag(body: &Json, name: &str) -> Result<bool> {
+    match body.get(name) {
+        None => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| SoiError::invalid(format!("{name} must be a boolean"))),
+    }
+}
+
+/// Advances the sampling tick; true when this query is the 1-in-N sample.
+fn sampled_trace(shared: &Shared<'_>) -> bool {
+    let n = shared.config.trace_sample;
+    n > 0
+        && shared
+            .trace_tick
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(n)
+}
+
+/// Parses the body, admits a k-SOI job, and waits for its response.
+fn submit_soi(
+    shared: &Shared<'_>,
+    request: &crate::http::Request,
+    request_id: u64,
+) -> Result<(HttpTuple, RequestMeta)> {
+    let body = parse_body(&request.body)?;
+    let (query, params) = parse_soi_query(shared, &body)?;
     let budget = request_budget(shared.config, &body)?;
-    submit_and_wait(shared, JobKind::Soi(query), budget)
+    let submission = Submission {
+        endpoint: "/soi",
+        params,
+        kind: JobKind::Soi(query),
+        budget,
+        request_id,
+        embed_trace: capture_flag(&body, "trace")?,
+        embed_explain: capture_flag(&body, "explain")?,
+        sampled: sampled_trace(shared),
+    };
+    Ok(submit_and_wait(shared, submission))
 }
 
 /// Parses the body, admits a describe job, and waits for its response.
 fn submit_describe(
     shared: &Shared<'_>,
     request: &crate::http::Request,
-) -> Result<(u16, &'static str, &'static str, String)> {
+    request_id: u64,
+) -> Result<(HttpTuple, RequestMeta)> {
     let body = parse_body(&request.body)?;
     let street = match body.get("street") {
         Some(Json::Str(name)) => shared
@@ -722,9 +1025,24 @@ fn submit_describe(
     if k < 1.0 || k.fract() != 0.0 {
         return Err(SoiError::invalid("k must be a positive integer"));
     }
-    let params = DescribeParams::new(k as usize, number("lambda", 0.5)?, number("w", 0.5)?)?;
+    let lambda = number("lambda", 0.5)?;
+    let w = number("w", 0.5)?;
+    let params = DescribeParams::new(k as usize, lambda, w)?;
     let budget = request_budget(shared.config, &body)?;
-    submit_and_wait(shared, JobKind::Describe { street, params }, budget)
+    let submission = Submission {
+        endpoint: "/describe",
+        params: format!(
+            "street={} k={k} lambda={lambda} w={w}",
+            u64::from(street.raw())
+        ),
+        kind: JobKind::Describe { street, params },
+        budget,
+        request_id,
+        embed_trace: capture_flag(&body, "trace")?,
+        embed_explain: capture_flag(&body, "explain")?,
+        sampled: sampled_trace(shared),
+    };
+    Ok(submit_and_wait(shared, submission))
 }
 
 fn parse_body(bytes: &[u8]) -> Result<Json> {
@@ -736,50 +1054,141 @@ fn parse_body(bytes: &[u8]) -> Result<Json> {
     soi_obs::json::parse(text).map_err(|e| SoiError::invalid(format!("bad JSON body: {e}")))
 }
 
-/// Admits the job (shedding with 503 when the queue is full) and waits for
-/// the dispatcher's response.
-fn submit_and_wait(
-    shared: &Shared<'_>,
+/// One parsed query request on its way into the admission queue.
+struct Submission {
+    endpoint: &'static str,
+    params: String,
     kind: JobKind,
     budget: QueryBudget,
-) -> Result<(u16, &'static str, &'static str, String)> {
+    request_id: u64,
+    /// `"trace": true` — capture a request trace and embed it.
+    embed_trace: bool,
+    /// `"explain": true` — run the explain collector and embed its rows.
+    embed_explain: bool,
+    /// The 1-in-N sample: capture a trace into the ring, don't embed.
+    sampled: bool,
+}
+
+/// Splices `request_id` (and, when explicitly requested, the captured
+/// trace/explain artifacts) into an already-rendered JSON object body.
+fn embed_response_fields(
+    body: String,
+    request_id: u64,
+    trace: Option<&str>,
+    explain: Option<&str>,
+) -> String {
+    let Some(pos) = body.rfind('}') else {
+        return body;
+    };
+    let mut fields = format!("\"request_id\":{request_id}");
+    if let Some(trace) = trace {
+        fields.push_str(",\"trace\":");
+        fields.push_str(trace);
+    }
+    if let Some(explain) = explain {
+        fields.push_str(",\"explain\":");
+        fields.push_str(explain);
+    }
+    let insert = if body[..pos].trim_end().ends_with('{') {
+        fields
+    } else {
+        format!(",{fields}")
+    };
+    let mut out = body;
+    out.insert_str(pos, &insert);
+    out
+}
+
+/// Admits the job (shedding with 503 when the queue is full) and waits for
+/// the dispatcher's response.
+fn submit_and_wait(shared: &Shared<'_>, submission: Submission) -> (HttpTuple, RequestMeta) {
     const JSON: &str = "application/json";
     let metrics = crate::obs::serve_metrics();
     let slot = Arc::new(Slot::default());
+    let budget = submission.budget;
     let job = Job {
-        kind,
+        kind: submission.kind,
         budget,
         slot: Arc::clone(&slot),
         enqueued: Instant::now(),
+        request_id: submission.request_id,
+        trace: submission.embed_trace || submission.sampled,
+        explain: submission.embed_explain,
     };
     if shared.queue.try_push(job).is_err() {
         metrics.shed.inc();
         shared.counters.sheds.fetch_add(1, Ordering::Relaxed);
         let mut obj = JsonWriter::object();
         obj.field_str("error", "admission queue full, shedding load");
+        obj.field_u64("request_id", submission.request_id);
         obj.field_u64("queue_depth", shared.queue.depth() as u64);
         obj.field_u64("queue_capacity", shared.queue.capacity() as u64);
-        return Ok((503, "Service Unavailable", JSON, obj.finish()));
+        let meta = RequestMeta {
+            endpoint: submission.endpoint,
+            params: submission.params,
+            shed: true,
+            ..RequestMeta::default()
+        };
+        return ((503, "Service Unavailable", JSON, obj.finish()), meta);
     }
     // Backstop only: the dispatcher answers every admitted job (deadlines
     // bound the work), so this grace window fires only if it died.
     let grace = budget.remaining().unwrap_or(shared.config.max_deadline) + Duration::from_secs(30);
     match slot.wait(grace) {
-        Some((status, body)) => {
+        Some((status, body, slot_meta)) => {
             let reason = match status {
                 200 => "OK",
                 400 => "Bad Request",
                 404 => "Not Found",
                 _ => "Internal Server Error",
             };
-            Ok((status, reason, JSON, body))
+            // Sampled captures stay ring-only; explicit asks embed.
+            let body = if status == 200 {
+                embed_response_fields(
+                    body,
+                    submission.request_id,
+                    submission
+                        .embed_trace
+                        .then_some(slot_meta.trace_json.as_deref())
+                        .flatten(),
+                    submission
+                        .embed_explain
+                        .then_some(slot_meta.explain_json.as_deref())
+                        .flatten(),
+                )
+            } else {
+                body
+            };
+            let meta = RequestMeta {
+                endpoint: submission.endpoint,
+                params: submission.params,
+                queue: slot_meta.queue,
+                exec: slot_meta.exec,
+                partial: slot_meta.partial,
+                shed: false,
+                error: slot_meta.error,
+                accesses: slot_meta.accesses,
+                eps_cache_hits: slot_meta.eps_cache_hits,
+                eps_cache_misses: slot_meta.eps_cache_misses,
+                trace_json: slot_meta.trace_json,
+                explain_json: slot_meta.explain_json,
+            };
+            ((status, reason, JSON, body), meta)
         }
-        None => Ok((
-            500,
-            "Internal Server Error",
-            JSON,
-            error_body("dispatcher did not answer in time", "io"),
-        )),
+        None => (
+            (
+                500,
+                "Internal Server Error",
+                JSON,
+                error_body("dispatcher did not answer in time", "io"),
+            ),
+            RequestMeta {
+                endpoint: submission.endpoint,
+                params: submission.params,
+                error: true,
+                ..RequestMeta::default()
+            },
+        ),
     }
 }
 
@@ -802,28 +1211,65 @@ fn dispatcher_loop(shared: &Shared<'_>) {
             continue;
         }
         let _span = soi_obs::trace::span(soi_obs::names::spans::SERVE_DISPATCH);
-        let mut soi_jobs: Vec<(SoiQuery, QueryBudget)> = Vec::new();
-        let mut soi_slots: Vec<Arc<Slot>> = Vec::new();
-        let mut describe_jobs: Vec<(soi_common::StreetId, DescribeParams, QueryBudget)> =
-            Vec::new();
-        let mut describe_slots: Vec<Arc<Slot>> = Vec::new();
+        let claimed = Instant::now();
+        let mut soi_jobs: Vec<(SoiQuery, QueryBudget, QueryCapture)> = Vec::new();
+        let mut soi_slots: Vec<(Arc<Slot>, Duration)> = Vec::new();
+        let mut describe_jobs: Vec<(
+            soi_common::StreetId,
+            DescribeParams,
+            QueryBudget,
+            QueryCapture,
+        )> = Vec::new();
+        let mut describe_slots: Vec<(Arc<Slot>, Duration)> = Vec::new();
         for job in batch {
+            let queue_wait = claimed.saturating_duration_since(job.enqueued);
+            let capture = QueryCapture {
+                request_id: job.request_id,
+                trace: job.trace,
+                explain: job.explain,
+            };
             match job.kind {
                 JobKind::Soi(query) => {
-                    soi_jobs.push((query, job.budget));
-                    soi_slots.push(job.slot);
+                    soi_jobs.push((query, job.budget, capture));
+                    soi_slots.push((job.slot, queue_wait));
                 }
                 JobKind::Describe { street, params } => {
-                    describe_jobs.push((street, params, job.budget));
-                    describe_slots.push(job.slot);
+                    describe_jobs.push((street, params, job.budget, capture));
+                    describe_slots.push((job.slot, queue_wait));
                 }
             }
         }
 
         if !soi_jobs.is_empty() {
-            let outcome = shared.engine.run_soi_batch_with_deadlines(&ctx, &soi_jobs);
-            for (result, slot) in outcome.results.into_iter().zip(&soi_slots) {
-                publish_soi(shared, result, slot);
+            // ε-cache deltas are batch-granular: the cache is shared across
+            // the batch's worker threads, so the delta is attributed to
+            // every job dispatched in it.
+            let (hits_before, misses_before, _) = soi_index::obs::epsilon_cache_counters();
+            let outcome = shared.engine.run_soi_batch_captured(&ctx, &soi_jobs);
+            let (hits_after, misses_after, _) = soi_index::obs::epsilon_cache_counters();
+            let eps_cache_hits = hits_after.saturating_sub(hits_before);
+            let eps_cache_misses = misses_after.saturating_sub(misses_before);
+            // `query_latencies` holds successes only, in input order.
+            let mut latencies = outcome.telemetry.query_latencies.iter();
+            for ((result, artifacts), (slot, queue_wait)) in outcome
+                .results
+                .into_iter()
+                .zip(outcome.captures)
+                .zip(&soi_slots)
+            {
+                let exec = if result.is_ok() {
+                    latencies.next().copied().unwrap_or_default()
+                } else {
+                    Duration::ZERO
+                };
+                let meta = SlotMeta {
+                    queue: *queue_wait,
+                    exec,
+                    eps_cache_hits,
+                    eps_cache_misses,
+                    ..SlotMeta::default()
+                };
+                publish_soi(shared, result, slot, meta, artifacts);
             }
         }
         if !describe_jobs.is_empty() {
@@ -836,13 +1282,18 @@ fn dispatcher_loop(shared: &Shared<'_>) {
 /// context cannot be built answer their error individually.
 fn run_describe_jobs(
     shared: &Shared<'_>,
-    jobs: &[(soi_common::StreetId, DescribeParams, QueryBudget)],
-    slots: &[Arc<Slot>],
+    jobs: &[(
+        soi_common::StreetId,
+        DescribeParams,
+        QueryBudget,
+        QueryCapture,
+    )],
+    slots: &[(Arc<Slot>, Duration)],
 ) {
     // Context construction can fail per street (no photos in range); build
     // first, answer failures immediately, and batch the rest.
     let mut contexts: Vec<Option<StreetContext>> = Vec::with_capacity(jobs.len());
-    for ((street, _, _), slot) in jobs.iter().zip(slots) {
+    for ((street, _, _, _), (slot, queue_wait)) in jobs.iter().zip(slots) {
         let built = ContextBuilder {
             network: &shared.dataset.network,
             photos: &shared.dataset.photos,
@@ -857,35 +1308,67 @@ fn run_describe_jobs(
             Ok(ctx) => contexts.push(Some(ctx)),
             Err(e) => {
                 let (status, _, _, body) = error_tuple(&e);
-                slot.put(status, body);
+                slot.put_with_meta(
+                    status,
+                    body,
+                    SlotMeta {
+                        queue: *queue_wait,
+                        error: true,
+                        ..SlotMeta::default()
+                    },
+                );
                 shared.counters.errors.fetch_add(1, Ordering::Relaxed);
                 contexts.push(None);
             }
         }
     }
-    let engine_jobs: Vec<(&StreetContext, DescribeParams, QueryBudget)> = jobs
+    let engine_jobs: Vec<(&StreetContext, DescribeParams, QueryBudget, QueryCapture)> = jobs
         .iter()
         .zip(&contexts)
-        .filter_map(|((_, params, budget), ctx)| ctx.as_ref().map(|c| (c, *params, *budget)))
+        .filter_map(|((_, params, budget, capture), ctx)| {
+            ctx.as_ref().map(|c| (c, *params, *budget, *capture))
+        })
         .collect();
     if engine_jobs.is_empty() {
         return;
     }
-    let results = shared
+    let (hits_before, misses_before, _) = soi_index::obs::epsilon_cache_counters();
+    let batch_started = Instant::now();
+    let (results, captures) = shared
         .engine
-        .run_describe_batch_with_deadlines(&shared.dataset.photos, &engine_jobs);
+        .run_describe_batch_captured(&shared.dataset.photos, &engine_jobs);
+    // The describe engine reports no per-job latencies; the sub-batch wall
+    // clock is the best (batch-granular) exec estimate available.
+    let exec = batch_started.elapsed();
+    let (hits_after, misses_after, _) = soi_index::obs::epsilon_cache_counters();
+    let eps_cache_hits = hits_after.saturating_sub(hits_before);
+    let eps_cache_misses = misses_after.saturating_sub(misses_before);
     let live_slots = jobs
         .iter()
         .zip(slots)
         .zip(&contexts)
         .filter(|(_, ctx)| ctx.is_some())
         .map(|((_, slot), _)| slot);
-    for (result, slot) in results.into_iter().zip(live_slots) {
+    for ((result, artifacts), (slot, queue_wait)) in
+        results.into_iter().zip(captures).zip(live_slots)
+    {
+        let mut meta = SlotMeta {
+            queue: *queue_wait,
+            exec,
+            eps_cache_hits,
+            eps_cache_misses,
+            ..SlotMeta::default()
+        };
+        if let Some(artifacts) = artifacts {
+            meta.trace_json = artifacts.trace_json;
+            meta.explain_json = artifacts.explain_json;
+        }
         match result {
             Ok(outcome) => {
                 if outcome.partial {
                     crate::obs::serve_metrics().deadline_expired.inc();
                     shared.counters.partials.fetch_add(1, Ordering::Relaxed);
+                    meta.partial = true;
                 }
                 let mut obj = JsonWriter::object();
                 obj.field_bool("partial", outcome.partial);
@@ -895,31 +1378,45 @@ fn run_describe_jobs(
                     selected.elem_f64(f64::from(pid.raw()));
                 }
                 obj.field_raw("selected", &selected.finish());
-                slot.put(200, obj.finish());
+                slot.put_with_meta(200, obj.finish(), meta);
             }
             Err(e) => {
                 let (status, _, _, body) = error_tuple(&e);
                 shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-                slot.put(status, body);
+                meta.error = true;
+                slot.put_with_meta(status, body, meta);
             }
         }
     }
 }
 
 /// Publishes one k-SOI result (or its error) to the waiting worker.
-fn publish_soi(shared: &Shared<'_>, result: Result<SoiOutcome>, slot: &Arc<Slot>) {
+fn publish_soi(
+    shared: &Shared<'_>,
+    result: Result<SoiOutcome>,
+    slot: &Arc<Slot>,
+    mut meta: SlotMeta,
+    artifacts: Option<CapturedArtifacts>,
+) {
+    if let Some(artifacts) = artifacts {
+        meta.trace_json = artifacts.trace_json;
+        meta.explain_json = artifacts.explain_json;
+    }
     match result {
         Ok(outcome) => {
             if outcome.partial {
                 crate::obs::serve_metrics().deadline_expired.inc();
                 shared.counters.partials.fetch_add(1, Ordering::Relaxed);
+                meta.partial = true;
             }
-            slot.put(200, soi_outcome_body(shared.dataset, &outcome, None));
+            meta.accesses = outcome.stats.accesses as u64;
+            slot.put_with_meta(200, soi_outcome_body(shared.dataset, &outcome, None), meta);
         }
         Err(e) => {
             let (status, _, _, body) = error_tuple(&e);
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            slot.put(status, body);
+            meta.error = true;
+            slot.put_with_meta(status, body, meta);
         }
     }
 }

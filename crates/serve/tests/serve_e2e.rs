@@ -285,6 +285,218 @@ fn accepted_request_p99_stays_within_twice_the_deadline() {
 }
 
 #[test]
+fn request_scoped_observability_end_to_end() {
+    // Zero threshold: every request is "slow", so the log and counter
+    // must fire deterministically.
+    let config = ServeConfig {
+        slow_query: Some(Duration::ZERO),
+        ..test_config()
+    };
+    let ((), report) = with_server(config, |addr| {
+        // A traced + explained query embeds both artifacts and its id.
+        let body = "{\"keywords\":[\"shop\",\"food\"],\"k\":5,\"eps\":0.002,\
+                    \"deadline_ms\":30000,\"trace\":true,\"explain\":true}";
+        let traced = request(addr, "POST", "/soi", Some(body), TIMEOUT).expect("traced soi");
+        assert_eq!(traced.status, 200, "body: {}", traced.body);
+        let header_id: u64 = traced
+            .header("x-soi-request-id")
+            .expect("x-soi-request-id header")
+            .parse()
+            .expect("numeric request id");
+        assert!(header_id >= 1);
+        let doc = parse(&traced.body).expect("valid JSON");
+        assert_eq!(
+            doc.get("request_id").and_then(Json::as_f64),
+            Some(header_id as f64),
+            "body id must match the header"
+        );
+        let trace = doc.get("trace").expect("embedded trace");
+        let events = trace
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents");
+        assert!(!events.is_empty(), "captured trace has no events");
+        let stamped = events
+            .iter()
+            .filter_map(|ev| ev.get("args").and_then(|a| a.get("request_id")))
+            .filter_map(Json::as_f64)
+            .collect::<Vec<_>>();
+        assert!(!stamped.is_empty(), "no event carries a request id");
+        assert!(
+            stamped.iter().all(|id| *id == header_id as f64),
+            "trace events stamped with a foreign request id: {stamped:?}"
+        );
+        assert!(doc.get("explain").is_some(), "explain rows not embedded");
+
+        // Concurrent untraced requests: no embedded artifacts, and nothing
+        // leaks into the process-global trace buffer (capture is private).
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let r = request(
+                        addr,
+                        "POST",
+                        "/soi",
+                        Some(&soi_body(0.002, 30_000.0)),
+                        TIMEOUT,
+                    )
+                    .expect("untraced soi");
+                    assert_eq!(r.status, 200, "body: {}", r.body);
+                    assert!(r.header("x-soi-request-id").is_some());
+                    let doc = parse(&r.body).expect("valid JSON");
+                    assert!(
+                        doc.get("trace").is_none() && doc.get("explain").is_none(),
+                        "untraced response embedded artifacts: {}",
+                        r.body
+                    );
+                    assert!(doc.get("request_id").is_some());
+                });
+            }
+        });
+        assert!(
+            soi_obs::trace::take_events().is_empty(),
+            "request capture leaked events into the global trace buffer"
+        );
+
+        // The traced record is retrievable by id, artifacts embedded.
+        let by_id = request(
+            addr,
+            "GET",
+            &format!("/debug/requests/{header_id}"),
+            None,
+            TIMEOUT,
+        )
+        .expect("debug by id");
+        assert_eq!(by_id.status, 200, "body: {}", by_id.body);
+        let record = parse(&by_id.body).expect("valid JSON");
+        assert_eq!(
+            record.get("id").and_then(Json::as_f64),
+            Some(header_id as f64)
+        );
+        assert_eq!(record.get("endpoint").and_then(Json::as_str), Some("/soi"));
+        assert_eq!(record.get("traced"), Some(&Json::Bool(true)));
+        assert!(
+            record.get("trace").is_some() && record.get("explain").is_some(),
+            "by-id record must embed artifacts: {}",
+            by_id.body
+        );
+
+        // The ring list summarizes every request without payloads.
+        let list = request(addr, "GET", "/debug/requests", None, TIMEOUT).expect("debug list");
+        assert_eq!(list.status, 200);
+        let listing = parse(&list.body).expect("valid JSON");
+        let entries = listing
+            .get("requests")
+            .and_then(Json::as_arr)
+            .expect("requests array");
+        let mine = entries
+            .iter()
+            .find(|e| e.get("id").and_then(Json::as_f64) == Some(header_id as f64))
+            .expect("traced request listed");
+        assert_eq!(mine.get("traced"), Some(&Json::Bool(true)));
+        assert!(mine.get("trace").is_none(), "list view embeds payloads");
+
+        // Unknown and malformed ids answer 404/400.
+        let missing = request(addr, "GET", "/debug/requests/999999", None, TIMEOUT).expect("404");
+        assert_eq!(missing.status, 404);
+        let bad = request(addr, "GET", "/debug/requests/xyz", None, TIMEOUT).expect("400");
+        assert_eq!(bad.status, 400);
+
+        // POST /explain shares the /soi body schema.
+        let explain = request(
+            addr,
+            "POST",
+            "/explain",
+            Some("{\"keywords\":[\"shop\"],\"k\":3}"),
+            TIMEOUT,
+        )
+        .expect("post explain");
+        assert_eq!(explain.status, 200, "body: {}", explain.body);
+        assert!(explain.body.contains("\"termination\""));
+        assert!(explain.body.contains("\"request_id\""));
+
+        // /status carries the rolling-window SLO summary.
+        let status = request(addr, "GET", "/status", None, TIMEOUT).expect("status");
+        let doc = parse(&status.body).expect("valid JSON");
+        let window = doc.get("window").expect("window summary");
+        assert!(
+            window.get("requests").and_then(Json::as_f64).unwrap_or(0.0) >= 1.0,
+            "window saw no requests: {}",
+            status.body
+        );
+        assert!(window.get("latency_p50_ms").is_some());
+
+        // The zero-threshold slow-query counter fired, and the process /
+        // windowed series are exported.
+        let metrics = request(addr, "GET", "/metrics", None, TIMEOUT).expect("metrics");
+        let slow = metrics
+            .body
+            .lines()
+            .find(|l| l.starts_with("soi_serve_slow_queries_total "))
+            .expect("slow-query series");
+        let fired: f64 = slow
+            .split_whitespace()
+            .nth(1)
+            .expect("value")
+            .parse()
+            .expect("numeric");
+        assert!(fired >= 1.0, "slow-query counter never fired: {slow}");
+        for series in [
+            "soi_process_uptime_seconds",
+            "soi_build_info",
+            "soi_trace_dropped_events_total",
+            "soi_serve_request_latency_window_seconds",
+            "soi_serve_requests_window",
+        ] {
+            assert!(metrics.body.contains(series), "missing {series}");
+        }
+    });
+    assert!(report.drained);
+    assert_eq!(report.panics, 0);
+}
+
+#[test]
+fn trace_sampling_captures_into_the_ring_without_embedding() {
+    let config = ServeConfig {
+        trace_sample: 1, // every queued query is sampled
+        ..test_config()
+    };
+    let ((), report) = with_server(config, |addr| {
+        let r = request(
+            addr,
+            "POST",
+            "/soi",
+            Some(&soi_body(0.002, 30_000.0)),
+            TIMEOUT,
+        )
+        .expect("sampled soi");
+        assert_eq!(r.status, 200, "body: {}", r.body);
+        let id: u64 = r
+            .header("x-soi-request-id")
+            .expect("id header")
+            .parse()
+            .expect("numeric");
+        // Sampled: the response does NOT embed the trace...
+        let doc = parse(&r.body).expect("valid JSON");
+        assert!(doc.get("trace").is_none(), "sampled trace was embedded");
+        // ...but the ring record holds it.
+        let by_id = request(addr, "GET", &format!("/debug/requests/{id}"), None, TIMEOUT)
+            .expect("debug by id");
+        assert_eq!(by_id.status, 200, "body: {}", by_id.body);
+        let record = parse(&by_id.body).expect("valid JSON");
+        assert_eq!(record.get("traced"), Some(&Json::Bool(true)));
+        let events = record
+            .get("trace")
+            .and_then(|t| t.get("traceEvents"))
+            .and_then(Json::as_arr)
+            .expect("sampled trace in ring");
+        assert!(!events.is_empty());
+    });
+    assert!(report.drained);
+    assert_eq!(report.panics, 0);
+}
+
+#[test]
 fn drain_answers_queued_work_before_exiting() {
     // Requests admitted before shutdown must still be answered during the
     // drain, and the report must say the queue emptied.
