@@ -356,6 +356,8 @@ pub fn run_soi_full(
     states.clear();
     street_best.clear();
 
+    let sources_span = soi_obs::trace::span(soi_obs::names::spans::SOI_SOURCES);
+
     // --- SL1: cells by relevant-POI weight, descending (Alg. 1 lines 1–3).
     for k in query.keywords.iter() {
         for &(cell, w) in index.global_postings(k) {
@@ -403,6 +405,7 @@ pub fn run_soi_full(
         (s.id, f)
     }));
     slf.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    drop(sources_span);
 
     if let Some(ex) = explain.as_deref_mut() {
         ex.record_lists(sl1.len(), sl2.len(), sl3.len());
@@ -671,6 +674,7 @@ pub fn run_soi_full(
     // Street-level aggregation (Definition 3: max over segments) restricted
     // to seen segments — unseen ones have interest ≤ UB ≤ LBk and cannot
     // change the top-k membership.
+    let rank_span = soi_obs::trace::span(soi_obs::names::spans::SOI_RANK);
     let mut best: FxHashMap<StreetId, (f64, SegmentId, f64)> = FxHashMap::default();
     for (&seg, state) in &fil.states {
         let s = network.segment(seg);
@@ -698,6 +702,7 @@ pub fn run_soi_full(
             }
         })
         .collect();
+    drop(rank_span);
 
     stats.timer.stop();
 

@@ -1,6 +1,7 @@
 //! Work-counter diagnostics for the SOI algorithm (development tool).
 
 fn main() {
+    let _profile = soi_experiments::profile_from_env();
     let cities = soi_experiments::standard_cities(soi_experiments::default_scale());
     let f = &cities[0];
     for k in [10usize, 50, 100, 200] {

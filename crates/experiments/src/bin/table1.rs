@@ -3,6 +3,7 @@
 fn main() {
     let scale = soi_experiments::default_scale();
     soi_experiments::announce_loading(scale);
+    let _profile = soi_experiments::profile_from_env();
     let cities = soi_experiments::standard_cities(scale);
     let report = soi_experiments::experiments::table1::run(&cities);
     println!("{}", report.to_markdown());

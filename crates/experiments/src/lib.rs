@@ -33,3 +33,60 @@ pub fn announce_loading(scale: f64) {
         &[("scale", soi_obs::log::Value::F64(scale))],
     );
 }
+
+/// Profiles the whole experiment run when `SOI_PROFILE_OUT=FILE` is set
+/// (rate from `SOI_PROFILE_HZ`, default 99), mirroring the CLI's
+/// `--profile-out`: on drop, writes `FILE` (JSON), `FILE.folded`, and
+/// `FILE.svg`. Every experiment binary holds the returned guard for its
+/// whole `main`, so `SOI_PROFILE_OUT=/tmp/f4.json figure4` yields a
+/// flamegraph of the experiment with zero extra flags.
+pub fn profile_from_env() -> Option<ProfileGuard> {
+    let path = std::env::var("SOI_PROFILE_OUT").ok()?;
+    if path.is_empty() {
+        return None;
+    }
+    let hz = std::env::var("SOI_PROFILE_HZ")
+        .ok()
+        .and_then(|raw| raw.parse::<u32>().ok())
+        .unwrap_or(soi_obs::profile::DEFAULT_HZ);
+    match soi_obs::profile::start(hz) {
+        Ok(()) => Some(ProfileGuard { path }),
+        Err(e) => {
+            eprintln!("warning: SOI_PROFILE_OUT set but profiler failed to start: {e}");
+            None
+        }
+    }
+}
+
+/// Stops the profiling session started by [`profile_from_env`] and writes
+/// its artifacts when dropped (i.e. when the experiment's `main` returns).
+pub struct ProfileGuard {
+    path: String,
+}
+
+impl Drop for ProfileGuard {
+    fn drop(&mut self) {
+        let Some(report) = soi_obs::profile::stop() else {
+            return;
+        };
+        let write = |path: &str, contents: String| {
+            if let Err(e) = std::fs::write(path, contents) {
+                eprintln!("warning: could not write profile artifact {path}: {e}");
+            }
+        };
+        write(&self.path, report.to_json());
+        write(&format!("{}.folded", self.path), report.folded_text());
+        write(&format!("{}.svg", self.path), report.flamegraph_svg());
+        soi_obs::log::event(
+            "exp.profile",
+            &format!("wrote profile to {} (+.folded, +.svg)", self.path),
+            &[
+                ("samples", soi_obs::log::Value::U64(report.samples)),
+                (
+                    "stacks",
+                    soi_obs::log::Value::U64(report.stacks.len() as u64),
+                ),
+            ],
+        );
+    }
+}

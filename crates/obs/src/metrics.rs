@@ -777,7 +777,13 @@ fn render_histogram_snapshot(out: &mut String, name: &str, snap: &HistogramSnaps
     let _ = writeln!(out, "{name}_sum {sum}");
     let _ = writeln!(out, "{name}_count {}", snap.count);
     // Saturation guard: how many observations exceeded the top finite
-    // bucket (quantiles are clamped for these).
+    // bucket (quantiles are clamped for these). `_overflow` is not a
+    // standard histogram sub-series, so it carries its own HELP/TYPE.
+    let _ = writeln!(
+        out,
+        "# HELP {name}_overflow Observations above the top finite bucket of {name}"
+    );
+    let _ = writeln!(out, "# TYPE {name}_overflow counter");
     let _ = writeln!(out, "{name}_overflow {}", snap.overflow());
 }
 
@@ -804,6 +810,77 @@ pub fn gather_prefixed(prefix: &str) -> String {
     })
 }
 
+/// Lints a Prometheus text exposition: every sample must be preceded by
+/// `# HELP` and `# TYPE` lines for its metric (histogram `_bucket` /
+/// `_sum` / `_count` sub-series inherit their base series' metadata).
+/// Returns one message per violation; empty means the export is clean.
+///
+/// Used by the metrics-hygiene golden test and by the serve e2e suite
+/// against a live `/metrics` scrape, so a new series registered without
+/// documentation fails CI instead of shipping untyped.
+pub fn lint_exposition(text: &str) -> Vec<String> {
+    use std::collections::HashSet;
+    let mut helped: HashSet<&str> = HashSet::new();
+    let mut typed: HashSet<&str> = HashSet::new();
+    let mut problems = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            if rest.split_whitespace().nth(1).is_none() {
+                problems.push(format!("line {lineno}: HELP for {name} has no text"));
+            }
+            helped.insert(name);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                problems.push(format!("line {lineno}: {name} has invalid type {kind:?}"));
+            }
+            typed.insert(name);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        // A sample: `name{labels} value` or `name value`.
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_whitespace())
+            .unwrap_or(line.len());
+        let sample = &line[..name_end];
+        if sample.is_empty() {
+            problems.push(format!("line {lineno}: unparsable sample line {line:?}"));
+            continue;
+        }
+        let base = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let stripped = sample.strip_suffix(suffix)?;
+                // Only inherit when the stripped name is itself a
+                // documented series (e.g. a histogram base).
+                (helped.contains(stripped) || typed.contains(stripped)).then_some(stripped)
+            })
+            .unwrap_or(sample);
+        if !helped.contains(base) {
+            problems.push(format!("line {lineno}: {sample} has no # HELP"));
+        }
+        if !typed.contains(base) {
+            problems.push(format!("line {lineno}: {sample} has no # TYPE"));
+        }
+    }
+    problems
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -816,6 +893,31 @@ mod tests {
         a.inc();
         b.add(2);
         assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn lint_accepts_documented_series_and_histogram_suffixes() {
+        let clean = "# HELP soi_x_total things\n# TYPE soi_x_total counter\nsoi_x_total 3\n\
+                     # HELP soi_lat_seconds latency\n# TYPE soi_lat_seconds histogram\n\
+                     soi_lat_seconds_bucket{le=\"+Inf\"} 1\nsoi_lat_seconds_sum 0.5\n\
+                     soi_lat_seconds_count 1\n";
+        assert!(lint_exposition(clean).is_empty());
+    }
+
+    #[test]
+    fn lint_flags_untyped_undocumented_and_bogus_series() {
+        let problems = lint_exposition("soi_mystery 1\n");
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        let problems = lint_exposition("# TYPE soi_y gauge\nsoi_y 1\n");
+        assert_eq!(problems.len(), 1, "missing HELP: {problems:?}");
+        let problems = lint_exposition("# HELP soi_z z\n# TYPE soi_z flavour\nsoi_z 1\n");
+        assert!(
+            problems.iter().any(|p| p.contains("invalid type")),
+            "{problems:?}"
+        );
+        // `_sum` does not inherit from an undocumented base.
+        let problems = lint_exposition("soi_w_sum 1\n");
+        assert_eq!(problems.len(), 2, "{problems:?}");
     }
 
     #[test]
@@ -902,6 +1004,8 @@ obs_fmt_latency_seconds_bucket{le=\"0.1\"} 2
 obs_fmt_latency_seconds_bucket{le=\"+Inf\"} 3
 obs_fmt_latency_seconds_sum 3.0505
 obs_fmt_latency_seconds_count 3
+# HELP obs_fmt_latency_seconds_overflow Observations above the top finite bucket of obs_fmt_latency_seconds
+# TYPE obs_fmt_latency_seconds_overflow counter
 obs_fmt_latency_seconds_overflow 1
 # HELP obs_fmt_requests_total requests seen
 # TYPE obs_fmt_requests_total counter

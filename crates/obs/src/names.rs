@@ -26,10 +26,18 @@ pub mod spans {
     pub const SOI_QUERY: &str = "soi.query";
     /// One diversified-description query (`st_rel_div`), all steps.
     pub const DESCRIBE_QUERY: &str = "describe.query";
+    /// Alg. 1 source-list assembly inside construction (SL1/SL2/SL3/SLf).
+    pub const SOI_SOURCES: &str = "soi.sources";
+    /// Alg. 1 street-level aggregation and top-k ranking after refinement.
+    pub const SOI_RANK: &str = "soi.rank";
+    /// One greedy diversification round of Alg. 2 (per selected photo).
+    pub const DESCRIBE_ROUND: &str = "describe.round";
     /// One engine batch, fan-out to join.
     pub const ENGINE_BATCH: &str = "engine.batch";
     /// One query inside an engine batch (per worker thread).
     pub const ENGINE_QUERY: &str = "engine.query";
+    /// One engine worker thread's chunk-claim loop inside a batch.
+    pub const ENGINE_WORKER: &str = "engine.worker";
     /// Offline POI index construction, all phases.
     pub const INDEX_BUILD: &str = "index.build";
     /// Index build phase 1: per-POI flatten into packed keys + CSR sidecar.
@@ -57,6 +65,40 @@ pub mod spans {
     pub const SERVE_REQUEST: &str = "serve.request";
     /// One admission-queue drain: dequeue, batch, execute, publish.
     pub const SERVE_DISPATCH: &str = "serve.dispatch";
+}
+
+/// Whether `name` belongs to the canonical span taxonomy: a phase name, a
+/// span constant, or a CLI command span (`cli.<command>`). The profiler
+/// artifact validator (`soi check-artifacts --profile`) uses this to
+/// reject artifacts whose frames drifted from the taxonomy.
+pub fn is_known_span(name: &str) -> bool {
+    let fixed = [
+        phases::CONSTRUCTION,
+        phases::FILTERING,
+        phases::REFINEMENT,
+        phases::SCAN,
+        spans::SOI_QUERY,
+        spans::DESCRIBE_QUERY,
+        spans::SOI_SOURCES,
+        spans::SOI_RANK,
+        spans::DESCRIBE_ROUND,
+        spans::ENGINE_BATCH,
+        spans::ENGINE_QUERY,
+        spans::ENGINE_WORKER,
+        spans::INDEX_BUILD,
+        spans::INDEX_BUILD_FLATTEN,
+        spans::INDEX_BUILD_CELLS,
+        spans::INDEX_BUILD_GLOBAL,
+        spans::INDEX_BUILD_RASTER,
+        spans::INDEX_BUILD_LENGTHS,
+        spans::EPS_MAPS_BUILD,
+        spans::SNAPSHOT_LOAD,
+        spans::SNAPSHOT_WRITE,
+        spans::CLI_LOAD,
+        spans::SERVE_REQUEST,
+        spans::SERVE_DISPATCH,
+    ];
+    fixed.contains(&name) || name.starts_with(spans::CLI_PREFIX)
 }
 
 /// Counter-track names (sampled values plotted over time in a trace).
@@ -107,8 +149,22 @@ mod tests {
             spans::CLI_LOAD,
             spans::SERVE_REQUEST,
             spans::SERVE_DISPATCH,
+            spans::SOI_SOURCES,
+            spans::SOI_RANK,
+            spans::DESCRIBE_ROUND,
+            spans::ENGINE_WORKER,
         ] {
             assert!(name.contains('.'), "{name} is not dotted");
+            assert!(is_known_span(name), "{name} missing from is_known_span");
         }
+    }
+
+    #[test]
+    fn known_span_covers_phases_and_cli_commands() {
+        assert!(is_known_span(phases::FILTERING));
+        assert!(is_known_span("cli.batch"));
+        assert!(is_known_span("cli.command"));
+        assert!(!is_known_span("mystery.frame"));
+        assert!(!is_known_span(""));
     }
 }

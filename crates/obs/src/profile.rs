@@ -1,0 +1,995 @@
+//! Continuous span-stack sampling profiler.
+//!
+//! Answers "where does wall-clock time go across the whole workload" —
+//! the aggregate complement to per-request traces (`trace.rs`). It rides
+//! the existing RAII span machinery: every [`crate::trace::span`] /
+//! [`crate::trace::begin`] call pushes its span name onto a per-thread
+//! **published stack** while a profiling session is active, and a sampler
+//! thread snapshots every published stack at a fixed rate (default 99 Hz)
+//! into folded-stack counts keyed by the span-name path.
+//!
+//! ### Publication: slot pool + seqlock
+//!
+//! Each thread that records a span while profiling is on claims one slot
+//! from a fixed pool ([`MAX_THREADS`] entries, allocated once). A slot
+//! holds the thread's live span stack as interned name ids behind a
+//! seqlock-style sequence counter: the owning thread bumps the counter to
+//! odd, mutates, bumps back to even; the sampler retries reads that
+//! observe an odd or changed counter. Every field is an atomic, so a
+//! torn read is impossible at the language level and an inconsistent one
+//! is caught by the sequence check (a bounded number of retries, then the
+//! sample is counted as dropped). The span hot path therefore stays
+//! lock-free, and **pays one relaxed atomic load when profiling is off**
+//! — the disabled-profiler overhead guard in `tests/profile.rs` enforces
+//! that, like the trace guard before it.
+//!
+//! Allocation attribution rides the counting allocator: while a session
+//! is active, [`note_alloc`] adds each allocation's bytes to the owning
+//! thread's slot, and the sampler attributes the delta since its previous
+//! pass to the leaf frame of the sampled stack. Best-effort by design —
+//! a slot reused by a new thread mid-window contributes one noisy delta.
+//!
+//! ### Artifacts
+//!
+//! A finished session yields a [`ProfileReport`]: folded stacks with
+//! per-frame self/total sample counts (and estimated seconds at the
+//! sampling rate) plus allocation deltas. Render it as a JSON artifact
+//! ([`ProfileReport::to_json`]), Brendan-Gregg folded text
+//! ([`ProfileReport::folded_text`], `a;b;c 42` per line — pipe into any
+//! flamegraph toolchain), or a self-contained SVG flamegraph
+//! ([`ProfileReport::flamegraph_svg`], hand-rolled, no scripts, hover
+//! titles). The CLI exposes this as `--profile-out FILE` on every
+//! command; `soi serve` exposes `GET /debug/profile?seconds=N`.
+
+use crate::json::JsonWriter;
+use crate::metrics::{register_counter, Counter};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Deepest span stack a slot can publish; deeper frames are dropped and
+/// counted in [`ProfileReport::truncated_frames`].
+pub const MAX_DEPTH: usize = 32;
+
+/// Slots in the registration pool — the most threads that can publish
+/// stacks concurrently. Far above any engine worker count; threads beyond
+/// it simply go unprofiled (counted, never blocked).
+pub const MAX_THREADS: usize = 256;
+
+/// The default sampling rate (the classic off-by-one-from-100 that keeps
+/// samples out of lockstep with 10ms-periodic work).
+pub const DEFAULT_HZ: u32 = 99;
+
+/// Sampling-rate bounds accepted by [`start`].
+pub const MIN_HZ: u32 = 1;
+/// See [`MIN_HZ`].
+pub const MAX_HZ: u32 = 1000;
+
+/// Sentinel for "this thread holds no slot".
+const NO_SLOT: u32 = u32::MAX;
+
+/// Seqlock read retries before the sampler counts a dropped sample.
+const READ_RETRIES: usize = 8;
+
+/// Whether a profiling session is active (the only cost on the span hot
+/// path while profiling is off is one relaxed load of this flag).
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Session generation: bumped by every [`start`] so slots whose published
+/// stack belongs to a previous session are reset on first touch instead
+/// of leaking stale frames into the new one.
+static SESSION_GEN: AtomicU64 = AtomicU64::new(0);
+
+/// Frames not pushed because a stack hit [`MAX_DEPTH`].
+static TRUNCATED: AtomicU64 = AtomicU64::new(0);
+
+/// Pushes that found the slot pool exhausted.
+static UNREGISTERED: AtomicU64 = AtomicU64::new(0);
+
+/// One thread's published span stack.
+struct StackSlot {
+    /// Seqlock sequence: odd while the owner is writing.
+    seq: AtomicU64,
+    /// Live stack depth (prefix of `frames`).
+    len: AtomicU32,
+    /// Interned span-name ids, bottom of the stack first.
+    frames: [AtomicU32; MAX_DEPTH],
+    /// Cumulative bytes allocated by the owning thread while profiling
+    /// (fed by [`note_alloc`]; the sampler differences successive reads).
+    alloc_bytes: AtomicU64,
+    /// Session generation the published stack belongs to.
+    session: AtomicU64,
+    /// Slot ownership flag (claimed by CAS, released on thread exit).
+    in_use: AtomicBool,
+}
+
+impl StackSlot {
+    fn new() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            len: AtomicU32::new(0),
+            frames: std::array::from_fn(|_| AtomicU32::new(0)),
+            alloc_bytes: AtomicU64::new(0),
+            session: AtomicU64::new(0),
+            in_use: AtomicBool::new(false),
+        }
+    }
+}
+
+/// The slot pool storage. [`start`] initialises it before flipping
+/// [`ACTIVE`]; the allocator hook only ever calls the non-initialising
+/// accessor [`slots_if_init`].
+static SLOTS: OnceLock<Vec<StackSlot>> = OnceLock::new();
+
+/// The slot pool, allocated on first use (never from inside the
+/// allocator: [`note_alloc`] only reads an already-initialised pool).
+fn slots() -> &'static [StackSlot] {
+    SLOTS.get_or_init(|| (0..MAX_THREADS).map(|_| StackSlot::new()).collect())
+}
+
+/// The already-initialised slot pool, if any (allocation-free accessor
+/// for the allocator hook; `OnceLock::get` never allocates).
+fn slots_if_init() -> Option<&'static [StackSlot]> {
+    SLOTS.get().map(Vec::as_slice)
+}
+
+/// Interned span names, id = index. Names are `&'static str`, so the
+/// table never copies; the per-thread cache below keeps the hot path off
+/// this lock.
+fn names() -> &'static Mutex<Vec<&'static str>> {
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn intern_global(name: &'static str) -> u32 {
+    let mut table = match names().lock() {
+        Ok(t) => t,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(pos) = table.iter().position(|n| *n == name) {
+        return pos as u32;
+    }
+    table.push(name);
+    (table.len() - 1) as u32
+}
+
+thread_local! {
+    /// This thread's slot index (`NO_SLOT` = none). Const-initialised so
+    /// the allocator hook can read it without a lazy-init branch.
+    static SLOT_ID: Cell<u32> = const { Cell::new(NO_SLOT) };
+    /// Releases the slot when the thread exits.
+    static SLOT_GUARD: RefCell<Option<SlotGuard>> = const { RefCell::new(None) };
+    /// Per-thread intern cache keyed by the name's pointer identity
+    /// (distinct static strings with equal text resolve to one id via the
+    /// global table; duplicate pointers just cost one extra cache entry).
+    static NAME_CACHE: RefCell<Vec<(usize, u32)>> = const { RefCell::new(Vec::new()) };
+}
+
+struct SlotGuard {
+    idx: u32,
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        // Stop the allocator hook first, then zero the published stack
+        // under the seqlock, then release ownership.
+        let _ = SLOT_ID.try_with(|id| id.set(NO_SLOT));
+        if let Some(slots) = slots_if_init() {
+            let slot = &slots[self.idx as usize];
+            slot.seq.fetch_add(1, Ordering::Release);
+            slot.len.store(0, Ordering::Relaxed);
+            slot.seq.fetch_add(1, Ordering::Release);
+            slot.in_use.store(false, Ordering::Release);
+        }
+    }
+}
+
+fn intern(name: &'static str) -> u32 {
+    let key = name.as_ptr() as usize;
+    NAME_CACHE
+        .try_with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(&(_, id)) = cache.iter().find(|(k, _)| *k == key) {
+                return id;
+            }
+            let id = intern_global(name);
+            cache.push((key, id));
+            id
+        })
+        .unwrap_or_else(|_| intern_global(name))
+}
+
+/// Claims (or returns) the calling thread's slot index.
+fn my_slot() -> Option<u32> {
+    let current = SLOT_ID.try_with(Cell::get).ok()?;
+    if current != NO_SLOT {
+        return Some(current);
+    }
+    let pool = slots();
+    for (i, slot) in pool.iter().enumerate() {
+        if slot
+            .in_use
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            let idx = i as u32;
+            // Fresh ownership: reset the allocation odometer so the
+            // sampler's first delta for this slot starts from zero.
+            slot.alloc_bytes.store(0, Ordering::Relaxed);
+            slot.session.store(0, Ordering::Relaxed);
+            let installed = SLOT_GUARD
+                .try_with(|guard| {
+                    *guard.borrow_mut() = Some(SlotGuard { idx });
+                })
+                .is_ok();
+            if !installed {
+                // Thread is tearing down; hand the slot straight back.
+                slot.in_use.store(false, Ordering::Release);
+                return None;
+            }
+            let _ = SLOT_ID.try_with(|id| id.set(idx));
+            return Some(idx);
+        }
+    }
+    UNREGISTERED.fetch_add(1, Ordering::Relaxed);
+    None
+}
+
+/// Pushes `name` onto the calling thread's published stack. Returns
+/// whether a frame was actually pushed (the span guard pops only then).
+///
+/// When no session is active this is one relaxed load and a branch.
+#[inline]
+pub(crate) fn push_frame(name: &'static str) -> bool {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return false;
+    }
+    push_frame_slow(name)
+}
+
+#[cold]
+fn push_frame_slow(name: &'static str) -> bool {
+    let Some(idx) = my_slot() else {
+        return false;
+    };
+    let slot = &slots()[idx as usize];
+    // Stale stack from a previous session: reset before the first push.
+    let gen = SESSION_GEN.load(Ordering::Relaxed);
+    let mut len = slot.len.load(Ordering::Relaxed);
+    if slot.session.load(Ordering::Relaxed) != gen {
+        slot.session.store(gen, Ordering::Relaxed);
+        len = 0;
+    }
+    if len as usize >= MAX_DEPTH {
+        TRUNCATED.fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
+    let name_id = intern(name);
+    slot.seq.fetch_add(1, Ordering::Release);
+    slot.frames[len as usize].store(name_id, Ordering::Relaxed);
+    slot.len.store(len + 1, Ordering::Relaxed);
+    slot.seq.fetch_add(1, Ordering::Release);
+    true
+}
+
+/// Pops the most recent frame named `name` from the published stack
+/// (truncating anything above it — tolerant of unbalanced `begin`/`end`
+/// pairs and of frames pushed before the session started).
+#[inline]
+pub(crate) fn pop_frame(name: &'static str) {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    pop_frame_slow(name);
+}
+
+#[cold]
+fn pop_frame_slow(name: &'static str) {
+    let Ok(idx) = SLOT_ID.try_with(Cell::get) else {
+        return;
+    };
+    if idx == NO_SLOT {
+        return;
+    }
+    let slot = &slots()[idx as usize];
+    if slot.session.load(Ordering::Relaxed) != SESSION_GEN.load(Ordering::Relaxed) {
+        return;
+    }
+    let name_id = intern(name);
+    let len = slot.len.load(Ordering::Relaxed);
+    let mut new_len = len;
+    for i in (0..len).rev() {
+        if slot.frames[i as usize].load(Ordering::Relaxed) == name_id {
+            new_len = i;
+            break;
+        }
+    }
+    if new_len == len {
+        return; // no matching open frame (pushed before the session began)
+    }
+    slot.seq.fetch_add(1, Ordering::Release);
+    slot.len.store(new_len, Ordering::Relaxed);
+    slot.seq.fetch_add(1, Ordering::Release);
+}
+
+/// Adds an allocation's bytes to the calling thread's slot while a
+/// session is active. Called from inside the global allocator: must not
+/// allocate, take locks, or lazily initialise anything.
+#[inline]
+pub(crate) fn note_alloc(bytes: usize) {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    let Ok(idx) = SLOT_ID.try_with(Cell::get) else {
+        return;
+    };
+    if idx == NO_SLOT {
+        return;
+    }
+    if let Some(slots) = slots_if_init() {
+        slots[idx as usize]
+            .alloc_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+/// Profiler metric instruments (`soi_profile_*`).
+pub struct ProfileMetrics {
+    /// `soi_profile_samples_total`: stack snapshots taken by the sampler
+    /// (busy and idle).
+    pub samples: &'static Counter,
+    /// `soi_profile_dropped_samples_total`: snapshots abandoned after the
+    /// seqlock retry budget.
+    pub dropped: &'static Counter,
+}
+
+/// Registers (idempotently) and returns the profiler metrics.
+pub fn metrics() -> &'static ProfileMetrics {
+    static METRICS: OnceLock<ProfileMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ProfileMetrics {
+        samples: register_counter(
+            "soi_profile_samples_total",
+            "Span-stack snapshots taken by the sampling profiler",
+        ),
+        dropped: register_counter(
+            "soi_profile_dropped_samples_total",
+            "Profiler snapshots dropped after exhausting seqlock read retries",
+        ),
+    })
+}
+
+/// Why [`start`] refused to begin a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartError {
+    /// Another session is already running (one window at a time).
+    AlreadyRunning,
+    /// The requested rate is outside `[MIN_HZ, MAX_HZ]`.
+    BadRate(u32),
+}
+
+impl std::fmt::Display for StartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StartError::AlreadyRunning => write!(f, "a profiling session is already running"),
+            StartError::BadRate(hz) => {
+                write!(f, "profile rate {hz} Hz outside [{MIN_HZ}, {MAX_HZ}]")
+            }
+        }
+    }
+}
+
+/// What the sampler accumulated for one folded stack.
+#[derive(Debug, Default, Clone, Copy)]
+struct StackAgg {
+    count: u64,
+    alloc_bytes: u64,
+}
+
+/// Everything the sampler thread counts over a session.
+#[derive(Debug, Default)]
+struct Accum {
+    stacks: HashMap<Vec<u32>, StackAgg>,
+    samples: u64,
+    idle_samples: u64,
+    dropped_samples: u64,
+}
+
+struct Session {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<Accum>,
+    hz: u32,
+    started: Instant,
+}
+
+fn session_cell() -> &'static Mutex<Option<Session>> {
+    static SESSION: OnceLock<Mutex<Option<Session>>> = OnceLock::new();
+    SESSION.get_or_init(|| Mutex::new(None))
+}
+
+fn last_report_cell() -> &'static Mutex<Option<Arc<ProfileReport>>> {
+    static LAST: OnceLock<Mutex<Option<Arc<ProfileReport>>>> = OnceLock::new();
+    LAST.get_or_init(|| Mutex::new(None))
+}
+
+/// Whether a profiling session is currently active.
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Starts a profiling session sampling every published span stack at
+/// `hz`. One session at a time, process-wide.
+///
+/// # Errors
+/// [`StartError::AlreadyRunning`] when a session is in progress (the
+/// serve layer maps this to 503); [`StartError::BadRate`] for an
+/// out-of-range rate.
+pub fn start(hz: u32) -> Result<(), StartError> {
+    if !(MIN_HZ..=MAX_HZ).contains(&hz) {
+        return Err(StartError::BadRate(hz));
+    }
+    let mut session = match session_cell().lock() {
+        Ok(s) => s,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if session.is_some() {
+        return Err(StartError::AlreadyRunning);
+    }
+    // Initialise the pool and the metrics outside the hot path (the
+    // allocator hook relies on the pool existing before ACTIVE flips).
+    let _ = slots();
+    let _ = metrics();
+    SESSION_GEN.fetch_add(1, Ordering::Relaxed);
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler_stop = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("soi-profiler".to_string())
+        .spawn(move || sampler_loop(&sampler_stop, hz))
+        .map_err(|_| StartError::AlreadyRunning)?;
+    *session = Some(Session {
+        stop,
+        handle,
+        hz,
+        started: Instant::now(),
+    });
+    // Only now do spans start publishing: the sampler exists, the pool is
+    // initialised.
+    ACTIVE.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// Stops the active session and returns its report (also retained for
+/// [`last_report`]). `None` when no session was running.
+pub fn stop() -> Option<Arc<ProfileReport>> {
+    let taken = {
+        let mut session = match session_cell().lock() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        session.take()?
+    };
+    // Order matters: silence the hot path, then stop the sampler.
+    ACTIVE.store(false, Ordering::Release);
+    taken.stop.store(true, Ordering::Release);
+    let accum = taken.handle.join().unwrap_or_default();
+    let report = Arc::new(ProfileReport::build(
+        taken.hz,
+        taken.started.elapsed(),
+        &accum,
+    ));
+    if let Ok(mut last) = last_report_cell().lock() {
+        *last = Some(Arc::clone(&report));
+    }
+    Some(report)
+}
+
+/// The most recent completed session's report, if any (powers the
+/// `/status` self-time table).
+pub fn last_report() -> Option<Arc<ProfileReport>> {
+    last_report_cell().lock().ok()?.clone()
+}
+
+/// One seqlock-consistent snapshot of a slot: (frames, alloc odometer).
+fn read_slot(slot: &StackSlot, buf: &mut Vec<u32>) -> Option<u64> {
+    for _ in 0..READ_RETRIES {
+        let s1 = slot.seq.load(Ordering::Acquire);
+        if !s1.is_multiple_of(2) {
+            std::hint::spin_loop();
+            continue;
+        }
+        buf.clear();
+        let len = (slot.len.load(Ordering::Relaxed) as usize).min(MAX_DEPTH);
+        for frame in &slot.frames[..len] {
+            buf.push(frame.load(Ordering::Relaxed));
+        }
+        let alloc = slot.alloc_bytes.load(Ordering::Relaxed);
+        let s2 = slot.seq.load(Ordering::Acquire);
+        if s1 == s2 {
+            return Some(alloc);
+        }
+    }
+    None
+}
+
+fn sampler_loop(stop: &AtomicBool, hz: u32) -> Accum {
+    let period = Duration::from_secs_f64(1.0 / f64::from(hz));
+    let mut accum = Accum::default();
+    let mut buf: Vec<u32> = Vec::with_capacity(MAX_DEPTH);
+    // Per-slot allocation odometer reading from the previous pass.
+    let mut last_alloc: Vec<Option<u64>> = vec![None; MAX_THREADS];
+    let gen = SESSION_GEN.load(Ordering::Relaxed);
+    let m = metrics();
+    let mut next = Instant::now() + period;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return accum;
+        }
+        let now = Instant::now();
+        if now < next {
+            std::thread::sleep(next - now);
+        }
+        next += period;
+        for (i, slot) in slots().iter().enumerate() {
+            if !slot.in_use.load(Ordering::Acquire) {
+                last_alloc[i] = None;
+                continue;
+            }
+            if slot.session.load(Ordering::Relaxed) != gen {
+                continue; // registered, but has not pushed this session
+            }
+            match read_slot(slot, &mut buf) {
+                None => {
+                    accum.dropped_samples += 1;
+                    m.dropped.inc();
+                }
+                Some(alloc) => {
+                    m.samples.inc();
+                    let delta = match last_alloc[i] {
+                        // `saturating_sub` guards slot reuse between passes.
+                        Some(prev) => alloc.saturating_sub(prev),
+                        None => 0,
+                    };
+                    last_alloc[i] = Some(alloc);
+                    if buf.is_empty() {
+                        accum.idle_samples += 1;
+                    } else {
+                        accum.samples += 1;
+                        let agg = accum.stacks.entry(buf.clone()).or_default();
+                        agg.count += 1;
+                        agg.alloc_bytes += delta;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One folded stack: the span-name path root-first, how many samples
+/// landed on it, and the allocation bytes attributed to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldedStack {
+    /// Span names, root (outermost) first.
+    pub frames: Vec<String>,
+    /// Samples observed with exactly this stack.
+    pub count: u64,
+    /// Allocation bytes attributed to this stack's leaf.
+    pub alloc_bytes: u64,
+}
+
+/// Aggregate attribution for one span name across all stacks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameStat {
+    /// The span name.
+    pub name: String,
+    /// Samples where this frame was the leaf (own time).
+    pub self_samples: u64,
+    /// Samples where this frame was anywhere on the stack.
+    pub total_samples: u64,
+    /// Allocation bytes attributed while this frame was the leaf.
+    pub self_alloc_bytes: u64,
+}
+
+/// A finished profiling session.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Sampling rate the session ran at.
+    pub hz: u32,
+    /// Session wall-clock length in seconds.
+    pub duration_secs: f64,
+    /// Samples that landed on a non-empty stack.
+    pub samples: u64,
+    /// Samples of registered threads with an empty stack (between spans).
+    pub idle_samples: u64,
+    /// Samples abandoned after the seqlock retry budget.
+    pub dropped_samples: u64,
+    /// Frames not published because a stack hit [`MAX_DEPTH`]
+    /// (process-lifetime counter snapshot).
+    pub truncated_frames: u64,
+    /// Folded stacks, most sampled first.
+    pub stacks: Vec<FoldedStack>,
+    /// Per-frame attribution, largest self time first.
+    pub frames: Vec<FrameStat>,
+}
+
+impl ProfileReport {
+    fn build(hz: u32, duration: Duration, accum: &Accum) -> Self {
+        let table: Vec<&'static str> = match names().lock() {
+            Ok(t) => t.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        };
+        let resolve = |id: u32| -> String {
+            table
+                .get(id as usize)
+                .copied()
+                .unwrap_or("<unknown>")
+                .to_string()
+        };
+        let mut stacks: Vec<FoldedStack> = accum
+            .stacks
+            .iter()
+            .map(|(ids, agg)| FoldedStack {
+                frames: ids.iter().map(|&id| resolve(id)).collect(),
+                count: agg.count,
+                alloc_bytes: agg.alloc_bytes,
+            })
+            .collect();
+        stacks.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.frames.cmp(&b.frames)));
+
+        let mut by_name: HashMap<&str, FrameStat> = HashMap::new();
+        for stack in &stacks {
+            for (depth, name) in stack.frames.iter().enumerate() {
+                // Count each name once per stack for total time, even if
+                // it appears at several depths (recursion).
+                if stack.frames[..depth].iter().any(|n| n == name) {
+                    continue;
+                }
+                let entry = by_name.entry(name).or_insert_with(|| FrameStat {
+                    name: name.clone(),
+                    self_samples: 0,
+                    total_samples: 0,
+                    self_alloc_bytes: 0,
+                });
+                entry.total_samples += stack.count;
+            }
+            if let Some(leaf) = stack.frames.last() {
+                if let Some(entry) = by_name.get_mut(leaf.as_str()) {
+                    entry.self_samples += stack.count;
+                    entry.self_alloc_bytes += stack.alloc_bytes;
+                }
+            }
+        }
+        let mut frames: Vec<FrameStat> = by_name.into_values().collect();
+        frames.sort_by(|a, b| {
+            b.self_samples
+                .cmp(&a.self_samples)
+                .then_with(|| b.total_samples.cmp(&a.total_samples))
+                .then_with(|| a.name.cmp(&b.name))
+        });
+
+        Self {
+            hz,
+            duration_secs: duration.as_secs_f64(),
+            samples: accum.samples,
+            idle_samples: accum.idle_samples,
+            dropped_samples: accum.dropped_samples,
+            truncated_frames: TRUNCATED.load(Ordering::Relaxed),
+            stacks,
+            frames,
+        }
+    }
+
+    /// Estimated seconds represented by `samples` at this session's rate.
+    pub fn samples_to_secs(&self, samples: u64) -> f64 {
+        samples as f64 / f64::from(self.hz)
+    }
+
+    /// Renders the JSON artifact (what `--profile-out FILE` writes and
+    /// `soi check-artifacts --profile` validates).
+    pub fn to_json(&self) -> String {
+        let mut prof = JsonWriter::object();
+        prof.field_u64("hz", u64::from(self.hz));
+        prof.field_f64("duration_secs", self.duration_secs);
+        prof.field_u64("samples", self.samples);
+        prof.field_u64("idle_samples", self.idle_samples);
+        prof.field_u64("dropped_samples", self.dropped_samples);
+        prof.field_u64("truncated_frames", self.truncated_frames);
+        let mut stacks = JsonWriter::array();
+        for stack in &self.stacks {
+            let mut obj = JsonWriter::object();
+            obj.field_str("stack", &stack.frames.join(";"));
+            obj.field_u64("count", stack.count);
+            obj.field_u64("alloc_bytes", stack.alloc_bytes);
+            stacks.elem_raw(&obj.finish());
+        }
+        prof.field_raw("stacks", &stacks.finish());
+        let mut frames = JsonWriter::array();
+        for frame in &self.frames {
+            let mut obj = JsonWriter::object();
+            obj.field_str("name", &frame.name);
+            obj.field_u64("self_samples", frame.self_samples);
+            obj.field_u64("total_samples", frame.total_samples);
+            obj.field_f64("self_secs", self.samples_to_secs(frame.self_samples));
+            obj.field_f64("total_secs", self.samples_to_secs(frame.total_samples));
+            obj.field_u64("self_alloc_bytes", frame.self_alloc_bytes);
+            frames.elem_raw(&obj.finish());
+        }
+        prof.field_raw("frames", &frames.finish());
+        let mut doc = JsonWriter::object();
+        doc.field_raw("profile", &prof.finish());
+        doc.finish()
+    }
+
+    /// Renders Brendan-Gregg folded text: one `root;...;leaf count` line
+    /// per stack, ready for any flamegraph toolchain.
+    pub fn folded_text(&self) -> String {
+        let mut out = String::new();
+        for stack in &self.stacks {
+            out.push_str(&stack.frames.join(";"));
+            out.push(' ');
+            out.push_str(&stack.count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a self-contained SVG flamegraph (icicle layout, root at
+    /// the top; hover a frame for name, samples, and share). No external
+    /// assets, no scripts — viewable in any browser.
+    pub fn flamegraph_svg(&self) -> String {
+        flamegraph_svg(self)
+    }
+}
+
+// --- SVG flamegraph rendering -------------------------------------------
+
+struct FlameNode {
+    name: String,
+    total: u64,
+    children: Vec<FlameNode>,
+}
+
+impl FlameNode {
+    fn child(&mut self, name: &str) -> &mut FlameNode {
+        // Positional find to keep the borrow checker out of recursion.
+        if let Some(pos) = self.children.iter().position(|c| c.name == name) {
+            return &mut self.children[pos];
+        }
+        self.children.push(FlameNode {
+            name: name.to_string(),
+            total: 0,
+            children: Vec::new(),
+        });
+        let last = self.children.len() - 1;
+        &mut self.children[last]
+    }
+
+    fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(FlameNode::depth)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A warm, deterministic fill colour derived from the frame name.
+fn frame_color(name: &str) -> String {
+    let mut hash: u32 = 2166136261;
+    for byte in name.bytes() {
+        hash ^= u32::from(byte);
+        hash = hash.wrapping_mul(16777619);
+    }
+    let r = 205 + (hash % 50);
+    let g = 80 + ((hash >> 8) % 120);
+    let b = (hash >> 16) % 60;
+    format!("rgb({r},{g},{b})")
+}
+
+fn xml_escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+const SVG_WIDTH: f64 = 1200.0;
+const FRAME_HEIGHT: f64 = 17.0;
+const HEADER_HEIGHT: f64 = 34.0;
+
+fn flamegraph_svg(report: &ProfileReport) -> String {
+    let mut root = FlameNode {
+        name: "all".to_string(),
+        total: 0,
+        children: Vec::new(),
+    };
+    root.total = report.stacks.iter().map(|s| s.count).sum();
+    for stack in &report.stacks {
+        let mut node = &mut root;
+        for frame in &stack.frames {
+            node = node.child(frame);
+            node.total += stack.count;
+        }
+    }
+    let depth = root.depth();
+    let height = HEADER_HEIGHT + depth as f64 * FRAME_HEIGHT + 10.0;
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{SVG_WIDTH:.0}\" \
+         height=\"{height:.0}\" viewBox=\"0 0 {SVG_WIDTH:.0} {height:.0}\" \
+         font-family=\"monospace\" font-size=\"11\">\n"
+    ));
+    svg.push_str(&format!(
+        "<rect x=\"0\" y=\"0\" width=\"{SVG_WIDTH:.0}\" height=\"{height:.0}\" \
+         fill=\"#f8f8f8\"/>\n"
+    ));
+    svg.push_str(&format!(
+        "<text x=\"8\" y=\"16\">soi profile: {} samples at {} Hz over {:.2}s \
+         ({} idle, {} dropped)</text>\n",
+        report.samples,
+        report.hz,
+        report.duration_secs,
+        report.idle_samples,
+        report.dropped_samples
+    ));
+    if root.total > 0 {
+        render_node(&mut svg, &root, 0.0, SVG_WIDTH, 0, root.total);
+    } else {
+        svg.push_str("<text x=\"8\" y=\"48\">no samples landed on a span stack</text>\n");
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn render_node(svg: &mut String, node: &FlameNode, x: f64, width: f64, depth: usize, total: u64) {
+    if width < 0.5 {
+        return;
+    }
+    let y = HEADER_HEIGHT + depth as f64 * FRAME_HEIGHT;
+    let pct = 100.0 * node.total as f64 / total as f64;
+    let name = xml_escape(&node.name);
+    svg.push_str(&format!(
+        "<g><title>{name}: {} samples ({pct:.1}%)</title>\
+         <rect x=\"{x:.2}\" y=\"{y:.1}\" width=\"{width:.2}\" height=\"{:.1}\" \
+         fill=\"{}\" stroke=\"#f8f8f8\" stroke-width=\"0.5\"/>",
+        node.total,
+        FRAME_HEIGHT - 1.0,
+        frame_color(&node.name),
+    ));
+    // Label only frames wide enough to hold a few characters.
+    if width >= 40.0 {
+        let max_chars = ((width - 6.0) / 6.7) as usize;
+        let label: String = if name.len() > max_chars {
+            name.chars()
+                .take(max_chars.saturating_sub(1))
+                .chain("…".chars())
+                .collect()
+        } else {
+            name.clone()
+        };
+        svg.push_str(&format!(
+            "<text x=\"{:.2}\" y=\"{:.1}\" fill=\"#222\">{label}</text>",
+            x + 3.0,
+            y + FRAME_HEIGHT - 5.0,
+        ));
+    }
+    svg.push_str("</g>\n");
+    let mut child_x = x;
+    for child in &node.children {
+        let child_width = width * child.total as f64 / node.total as f64;
+        render_node(svg, child, child_x, child_width, depth + 1, total);
+        child_x += child_width;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_from(stacks: Vec<(Vec<&str>, u64, u64)>) -> ProfileReport {
+        // Build through the public path: intern names, fold, then build.
+        let mut accum = Accum::default();
+        for (frames, count, alloc) in stacks {
+            let ids: Vec<u32> = frames.iter().map(|n| intern_global(leak(n))).collect();
+            let agg = accum.stacks.entry(ids).or_default();
+            agg.count += count;
+            agg.alloc_bytes += alloc;
+            accum.samples += count;
+        }
+        ProfileReport::build(99, Duration::from_secs(1), &accum)
+    }
+
+    fn leak(s: &str) -> &'static str {
+        Box::leak(s.to_string().into_boxed_str())
+    }
+
+    #[test]
+    fn folded_text_and_self_total_attribution() {
+        let report = report_from(vec![
+            (vec!["cli.query", "soi.query", "filtering"], 30, 300),
+            (vec!["cli.query", "soi.query", "refinement"], 10, 0),
+            (vec!["cli.query", "soi.query"], 10, 0),
+        ]);
+        assert_eq!(report.samples, 50);
+        let folded = report.folded_text();
+        assert!(folded.contains("cli.query;soi.query;filtering 30"));
+        assert!(folded.contains("cli.query;soi.query;refinement 10"));
+        let soi = report
+            .frames
+            .iter()
+            .find(|f| f.name == "soi.query")
+            .expect("soi.query frame");
+        assert_eq!(soi.total_samples, 50);
+        assert_eq!(soi.self_samples, 10);
+        let filtering = report
+            .frames
+            .iter()
+            .find(|f| f.name == "filtering")
+            .expect("filtering frame");
+        assert_eq!(filtering.self_samples, 30);
+        assert_eq!(filtering.total_samples, 30);
+        assert_eq!(filtering.self_alloc_bytes, 300);
+        // Self times partition the samples.
+        let self_sum: u64 = report.frames.iter().map(|f| f.self_samples).sum();
+        assert_eq!(self_sum, report.samples);
+    }
+
+    #[test]
+    fn json_artifact_is_valid_and_consistent() {
+        let report = report_from(vec![
+            (vec!["cli.batch", "engine.batch"], 7, 0),
+            (vec!["cli.batch"], 3, 128),
+        ]);
+        let doc = crate::json::parse(&report.to_json()).expect("profile JSON parses");
+        let prof = doc.get("profile").expect("profile object");
+        assert_eq!(prof.get("samples").and_then(|v| v.as_f64()), Some(10.0));
+        let stacks = prof
+            .get("stacks")
+            .and_then(|v| v.as_arr())
+            .expect("stacks array");
+        let total: f64 = stacks
+            .iter()
+            .map(|s| s.get("count").and_then(|v| v.as_f64()).unwrap_or(0.0))
+            .sum();
+        assert_eq!(total, 10.0);
+        assert!(prof.get("frames").and_then(|v| v.as_arr()).is_some());
+    }
+
+    #[test]
+    fn svg_renders_nested_frames() {
+        let report = report_from(vec![
+            (vec!["serve.request", "engine.query", "soi.query"], 90, 0),
+            (vec!["serve.request"], 10, 0),
+        ]);
+        let svg = report.flamegraph_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("soi.query"));
+        assert!(svg.contains("<title>serve.request: 100 samples (100.0%)</title>"));
+    }
+
+    #[test]
+    fn recursion_counts_total_once_per_stack() {
+        let report = report_from(vec![(vec!["a", "b", "a"], 5, 0)]);
+        let a = report.frames.iter().find(|f| f.name == "a").unwrap();
+        assert_eq!(a.total_samples, 5, "recursive frame counted once");
+        assert_eq!(a.self_samples, 5, "leaf self time still attributed");
+    }
+
+    #[test]
+    fn start_rejects_bad_rates_and_overlap() {
+        assert_eq!(start(0), Err(StartError::BadRate(0)));
+        assert_eq!(start(MAX_HZ + 1), Err(StartError::BadRate(MAX_HZ + 1)));
+        // Overlap behaviour is exercised end-to-end in tests/profile.rs
+        // (session state is process-global; unit tests stay session-free).
+    }
+
+    #[test]
+    fn empty_report_renders_everywhere() {
+        let report = report_from(Vec::new());
+        assert_eq!(report.samples, 0);
+        assert!(report.folded_text().is_empty());
+        assert!(report.flamegraph_svg().contains("no samples"));
+        assert!(crate::json::parse(&report.to_json()).is_ok());
+    }
+}

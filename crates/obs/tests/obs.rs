@@ -157,6 +157,88 @@ fn histogram_percentiles_track_a_known_distribution() {
     assert!(text.contains("obs_it_latency_seconds_count 100"));
 }
 
+/// Metrics hygiene golden test: one instrument of every kind goes into
+/// the registry, then the full export (including everything other tests
+/// and `publish_process_metrics` registered) must lint clean — every
+/// sample preceded by `# HELP` and `# TYPE`. Catches any new instrument
+/// kind or sub-series (like the histogram `_overflow` guard) that ships
+/// without documentation.
+#[test]
+fn full_exposition_lints_clean() {
+    metrics::register_counter("obs_lint_events_total", "lint-test counter").inc();
+    metrics::register_gauge("obs_lint_depth", "lint-test gauge").set(2.0);
+    metrics::register_histogram(
+        "obs_lint_latency_seconds",
+        "lint-test histogram",
+        DEFAULT_LATENCY_BUCKETS,
+    )
+    .observe(0.003);
+    metrics::register_windowed_histogram(
+        "obs_lint_latency_window_seconds",
+        "lint-test windowed histogram",
+        DEFAULT_LATENCY_BUCKETS,
+        4,
+        10,
+    )
+    .observe(0.004);
+    metrics::register_windowed_counter(
+        "obs_lint_events_window",
+        "lint-test windowed counter",
+        4,
+        10,
+    )
+    .inc();
+    metrics::register_info("obs_lint_info", "lint-test info", &[("flavour", "golden")]);
+    metrics::publish_process_metrics("lint-test");
+    let text = metrics::gather();
+    let problems = metrics::lint_exposition(&text);
+    assert!(
+        problems.is_empty(),
+        "metrics export has undocumented series:\n{}",
+        problems.join("\n")
+    );
+    // The lint must have real samples to walk, including the overflow
+    // sub-series that historically shipped untyped.
+    assert!(text.contains("obs_lint_latency_seconds_overflow"));
+    assert!(text.contains("# TYPE obs_lint_latency_seconds_overflow counter"));
+}
+
+/// `WindowedHistogram` after a long idle gap (several whole wheel
+/// revolutions between observations): old observations must be excluded
+/// from the merged snapshot even though their slots were never rotated
+/// by intervening traffic.
+#[test]
+fn windowed_histogram_survives_long_idle_gaps() {
+    let h = metrics::register_windowed_histogram(
+        "obs_it_idle_gap_window_seconds",
+        "idle-gap windowed histogram",
+        DEFAULT_LATENCY_BUCKETS,
+        4,
+        10,
+    );
+    // Fill every slot of the wheel at ticks 0..4.
+    for tick in 0..4u64 {
+        h.observe_at(tick, 0.002);
+    }
+    assert_eq!(h.snapshot_at(3).count, 4, "wheel full before the gap");
+    // Idle for three whole revolutions, then a single observation.
+    let late = 3 * 4 * 4 + 1; // tick 49: slots still hold ticks 0..4
+    h.observe_at(late, 0.08);
+    let snap = h.snapshot_at(late);
+    assert_eq!(
+        snap.count, 1,
+        "stale slots from before the gap must be excluded"
+    );
+    assert!((snap.sum - 0.08).abs() < 1e-12, "sum {} is stale", snap.sum);
+    // A snapshot strictly after the window drains back to empty.
+    assert_eq!(h.snapshot_at(late + 4).count, 0);
+    // And traffic resumes normally: the next revolution refills cleanly.
+    for tick in (late + 10)..(late + 14) {
+        h.observe_at(tick, 0.001);
+    }
+    assert_eq!(h.snapshot_at(late + 13).count, 4);
+}
+
 /// Disabled instrumentation must be within noise of no instrumentation.
 /// This bounds the *absolute* cost of a disabled span pair (create+drop)
 /// instead of comparing two timed loops, which is robust to scheduler

@@ -1,0 +1,171 @@
+//! End-to-end tests for the sampling profiler: a live session over
+//! multi-threaded span-stack traffic, session exclusivity, and the
+//! disabled-profiler overhead guard (the profiling sibling of the
+//! disabled-tracing guard in `obs.rs`).
+
+use soi_obs::{profile, trace};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Profiler sessions are process-global; every test that starts one (or
+/// asserts none is running) serializes here.
+fn with_profiler_lock<R>(f: impl FnOnce() -> R) -> R {
+    static GUARD: Mutex<()> = Mutex::new(());
+    let _guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    f()
+}
+
+/// Engine-shaped worker: an outer span per iteration with begin/end
+/// phases nested inside, plus allocation traffic for the odometer.
+fn busy_worker(stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        let _q = trace::span("engine.query");
+        trace::begin("filtering");
+        let v: Vec<u64> = (0..32_768).collect(); // ~256 KiB
+        std::hint::black_box(&v);
+        trace::end("filtering");
+        trace::begin("refinement");
+        let mut acc = 0u64;
+        for i in 0..20_000u64 {
+            acc = acc.wrapping_add(i.wrapping_mul(i));
+        }
+        std::hint::black_box(acc);
+        trace::end("refinement");
+    }
+}
+
+#[test]
+fn profiled_session_resolves_nested_spans() {
+    with_profiler_lock(|| {
+        profile::start(500).expect("session starts");
+        // One window at a time: a second start must refuse.
+        assert_eq!(profile::start(99), Err(profile::StartError::AlreadyRunning));
+        assert!(profile::active());
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || busy_worker(&stop))
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(600));
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            w.join().expect("worker joins");
+        }
+
+        let report = profile::stop().expect("session was running");
+        assert!(!profile::active());
+        assert!(profile::stop().is_none(), "second stop is a no-op");
+        assert_eq!(
+            profile::last_report().expect("report retained").samples,
+            report.samples
+        );
+
+        assert!(report.samples > 0, "no samples over a 600ms busy window");
+        // Resolution below the outer span: some stack must show a phase
+        // nested under engine.query.
+        assert!(
+            report
+                .stacks
+                .iter()
+                .any(|s| s.frames.len() >= 2 && s.frames[0] == "engine.query"),
+            "no nested stack in {:?}",
+            report.stacks
+        );
+        // Self times partition the busy samples.
+        let self_sum: u64 = report.frames.iter().map(|f| f.self_samples).sum();
+        assert_eq!(self_sum, report.samples);
+        // Every sampled frame belongs to the canonical taxonomy.
+        for frame in &report.frames {
+            assert!(
+                soi_obs::names::is_known_span(&frame.name),
+                "unknown frame {}",
+                frame.name
+            );
+        }
+        // The filtering phase allocates ~256 KiB per iteration; the
+        // odometer must have attributed some of it.
+        let total_alloc: u64 = report.frames.iter().map(|f| f.self_alloc_bytes).sum();
+        assert!(total_alloc > 0, "allocation deltas never attributed");
+
+        // All three artifact formats render from the same report.
+        let folded = report.folded_text();
+        assert!(folded.lines().count() == report.stacks.len());
+        assert!(folded.contains("engine.query"));
+        let svg = report.flamegraph_svg();
+        assert!(svg.starts_with("<svg") && svg.contains("engine.query"));
+        let json = soi_obs::json::parse(&report.to_json()).expect("JSON artifact parses");
+        let prof = json.get("profile").expect("profile object");
+        assert_eq!(
+            prof.get("samples").and_then(|v| v.as_f64()),
+            Some(report.samples as f64)
+        );
+
+        // The sampler also feeds the metrics registry.
+        let metrics = soi_obs::metrics::gather_prefixed("soi_profile_");
+        assert!(metrics.contains("soi_profile_samples_total"));
+        assert!(metrics.contains("soi_profile_dropped_samples_total"));
+    });
+}
+
+/// A second session must not inherit stale stacks from the first: frames
+/// pushed during (or before) session A are invisible to session B.
+#[test]
+fn sessions_do_not_leak_stale_stacks() {
+    with_profiler_lock(|| {
+        profile::start(200).expect("first session starts");
+        let leaked = trace::span("engine.batch"); // held across the boundary
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        profile::stop().expect("first session stops");
+
+        profile::start(200).expect("second session starts");
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let report = profile::stop().expect("second session stops");
+        drop(leaked);
+        // This thread's published stack came from session one; session
+        // two must see it as idle, not as a phantom engine.batch.
+        assert!(
+            report
+                .stacks
+                .iter()
+                .all(|s| !s.frames.contains(&"engine.batch".to_string())),
+            "stale frame leaked across sessions: {:?}",
+            report.stacks
+        );
+    });
+}
+
+/// The profiling-off span path must stay trivial: one relaxed atomic load
+/// and a branch on top of the (already guarded) disabled-tracing cost.
+/// Same absolute-bound style as `disabled_instrumentation_is_near_free`.
+#[test]
+fn disabled_profiler_is_near_free() {
+    with_profiler_lock(|| {
+        assert!(!profile::active(), "test assumes no session");
+        assert!(!trace::enabled(), "test assumes tracing off");
+        const ITERS: u32 = 200_000;
+        for _ in 0..1000 {
+            let s = trace::span("soi.query");
+            std::hint::black_box(&s);
+        }
+        let start = std::time::Instant::now();
+        for _ in 0..ITERS {
+            let s = trace::span("soi.query");
+            trace::begin("filtering");
+            trace::end("filtering");
+            std::hint::black_box(&s);
+        }
+        let per_iter_ns = start.elapsed().as_nanos() as f64 / ITERS as f64;
+        assert!(
+            per_iter_ns < 1000.0,
+            "span+begin/end with profiler off costs {per_iter_ns:.1} ns/iter; \
+             the off path must stay one load and a branch"
+        );
+        assert!(
+            trace::take_events().is_empty(),
+            "disabled path recorded trace events"
+        );
+    });
+}

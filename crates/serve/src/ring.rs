@@ -145,11 +145,21 @@ impl RequestRing {
     }
 
     /// Renders the `GET /debug/requests` body: a summary list (artifacts
-    /// omitted), most recent first.
-    pub fn list_json(&self) -> String {
-        let records = self.recent();
+    /// omitted), most recent first. `endpoint` keeps only records handled
+    /// by that endpoint; `limit` truncates after filtering (both applied
+    /// here so a filtered listing still returns up to `limit` matches).
+    pub fn list_json(&self, limit: Option<usize>, endpoint: Option<&str>) -> String {
+        let mut records = self.recent();
+        if let Some(endpoint) = endpoint {
+            records.retain(|r| r.endpoint == endpoint);
+        }
+        let matched = records.len();
+        if let Some(limit) = limit {
+            records.truncate(limit);
+        }
         let mut obj = JsonWriter::object();
         obj.field_u64("capacity", self.capacity() as u64);
+        obj.field_u64("matched", matched as u64);
         obj.field_u64("count", records.len() as u64);
         let mut arr = JsonWriter::array();
         for record in &records {
@@ -192,12 +202,90 @@ mod tests {
     }
 
     #[test]
+    fn list_json_filters_by_endpoint_and_limit() {
+        let ring = RequestRing::new(8);
+        for id in 1..=6 {
+            let mut r = record(id);
+            if id % 2 == 0 {
+                r.endpoint = "/describe".to_string();
+            }
+            ring.push(r);
+        }
+        // Endpoint filter keeps only matching records, most recent first.
+        let doc = ring.list_json(None, Some("/describe"));
+        let parsed = soi_obs::json::parse(&doc).expect("parses");
+        assert_eq!(parsed.get("matched").and_then(|v| v.as_f64()), Some(3.0));
+        let ids: Vec<f64> = parsed
+            .get("requests")
+            .and_then(|v| v.as_arr())
+            .expect("requests array")
+            .iter()
+            .map(|r| r.get("id").and_then(|v| v.as_f64()).unwrap_or(0.0))
+            .collect();
+        assert_eq!(ids, vec![6.0, 4.0, 2.0]);
+        // Limit truncates after filtering; `matched` still reports the
+        // pre-truncation count.
+        let doc = ring.list_json(Some(2), Some("/soi"));
+        let parsed = soi_obs::json::parse(&doc).expect("parses");
+        assert_eq!(parsed.get("matched").and_then(|v| v.as_f64()), Some(3.0));
+        assert_eq!(parsed.get("count").and_then(|v| v.as_f64()), Some(2.0));
+        // limit=0 is a valid "just the counts" probe.
+        let doc = ring.list_json(Some(0), None);
+        let parsed = soi_obs::json::parse(&doc).expect("parses");
+        assert_eq!(parsed.get("count").and_then(|v| v.as_f64()), Some(0.0));
+        assert_eq!(parsed.get("matched").and_then(|v| v.as_f64()), Some(6.0));
+    }
+
+    #[test]
+    fn concurrent_writers_across_cursor_wraparound() {
+        use std::sync::Arc;
+        // Capacity 16, 8 writers × 100 pushes = 50 wraparounds. Afterwards
+        // the ring must hold exactly `capacity` records, all distinct ids,
+        // each slot internally consistent (id matches its params digest).
+        let ring = Arc::new(RequestRing::new(16));
+        let next_id = Arc::new(std::sync::atomic::AtomicUsize::new(1));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let ring = Arc::clone(&ring);
+                let next_id = Arc::clone(&next_id);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let id = next_id.fetch_add(1, Ordering::Relaxed) as u64;
+                        ring.push(record(id));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer joins");
+        }
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 16, "ring full after wraparounds");
+        let mut ids: Vec<u64> = recent.iter().map(|r| r.id).collect();
+        let mut deduped = ids.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), 16, "duplicate ids retained: {ids:?}");
+        ids.sort_unstable();
+        assert!(*ids.iter().max().unwrap() <= 800);
+        for r in &recent {
+            assert_eq!(r.params, format!("q{}", r.id), "torn record {r:?}");
+            assert!(ring.get(r.id).is_some(), "retained id not findable");
+        }
+        // recent() stays sorted most recent first under concurrency too.
+        let listed: Vec<u64> = recent.iter().map(|r| r.id).collect();
+        let mut sorted = listed.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(listed, sorted);
+    }
+
+    #[test]
     fn list_json_summarizes_without_artifacts() {
         let ring = RequestRing::new(4);
         let mut traced = record(7);
         traced.trace_json = Some("{\"traceEvents\":[]}".to_string());
         ring.push(traced);
-        let doc = ring.list_json();
+        let doc = ring.list_json(None, None);
         let parsed = soi_obs::json::parse(&doc).expect("parses");
         assert_eq!(parsed.get("count").and_then(|v| v.as_f64()), Some(1.0));
         let items = parsed

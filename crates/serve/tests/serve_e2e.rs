@@ -497,6 +497,211 @@ fn trace_sampling_captures_into_the_ring_without_embedding() {
 }
 
 #[test]
+fn debug_filters_profile_window_and_metrics_hygiene() {
+    // Zero slow-query threshold: every request logs with its endpoint and
+    // params digest, and the ring record joins on the same fields.
+    let config = ServeConfig {
+        slow_query: Some(Duration::ZERO),
+        ..test_config()
+    };
+    let ((), report) = with_server(config, |addr| {
+        // Mixed traffic so the endpoint filter has something to separate.
+        let mut soi_id = 0u64;
+        for _ in 0..3 {
+            let r = request(
+                addr,
+                "POST",
+                "/soi",
+                Some(&soi_body(0.002, 30_000.0)),
+                TIMEOUT,
+            )
+            .expect("soi");
+            assert_eq!(r.status, 200, "body: {}", r.body);
+            soi_id = r
+                .header("x-soi-request-id")
+                .expect("id header")
+                .parse()
+                .expect("numeric id");
+        }
+        let r = request(
+            addr,
+            "POST",
+            "/describe",
+            Some("{\"street\":\"no-such-street\",\"k\":3}"),
+            TIMEOUT,
+        )
+        .expect("describe");
+        assert!(r.status == 200 || r.status == 404, "status {}", r.status);
+
+        // /debug/requests?endpoint=soi keeps only /soi records;
+        // limit truncates after filtering and `matched` reports the
+        // pre-truncation count.
+        let list = request(
+            addr,
+            "GET",
+            "/debug/requests?endpoint=soi&limit=2",
+            None,
+            TIMEOUT,
+        )
+        .expect("filtered list");
+        assert_eq!(list.status, 200, "body: {}", list.body);
+        let doc = parse(&list.body).expect("valid JSON");
+        assert_eq!(doc.get("matched").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(doc.get("count").and_then(Json::as_f64), Some(2.0));
+        let entries = doc
+            .get("requests")
+            .and_then(Json::as_arr)
+            .expect("requests array");
+        assert_eq!(entries.len(), 2);
+        for e in entries {
+            assert_eq!(e.get("endpoint").and_then(Json::as_str), Some("/soi"));
+        }
+        // Malformed filter values answer 400.
+        for bad in [
+            "/debug/requests?limit=minus-one",
+            "/debug/requests?endpoint=nope",
+            "/debug/requests?frobnicate=1",
+        ] {
+            let r = request(addr, "GET", bad, None, TIMEOUT).expect("bad filter");
+            assert_eq!(r.status, 400, "{bad} answered {}", r.status);
+        }
+
+        // Slow-query join: the zero threshold logged every request with
+        // endpoint= and params=; the by-id record carries the same fields
+        // so a log line joins against `/debug/requests/<id>`.
+        let by_id = request(
+            addr,
+            "GET",
+            &format!("/debug/requests/{soi_id}"),
+            None,
+            TIMEOUT,
+        )
+        .expect("by id");
+        assert_eq!(by_id.status, 200, "body: {}", by_id.body);
+        let record = parse(&by_id.body).expect("valid JSON");
+        assert_eq!(record.get("endpoint").and_then(Json::as_str), Some("/soi"));
+        let params = record
+            .get("params")
+            .and_then(Json::as_str)
+            .expect("params digest");
+        assert!(
+            params.contains("k=5") && params.contains("eps="),
+            "params digest missing query shape: {params}"
+        );
+
+        // /debug/profile under live load: background /soi traffic while a
+        // one-second window runs, then the folded artifact must resolve
+        // known span names.
+        let stop = AtomicBool::new(false);
+        let (folded, overlap, json_profile) = std::thread::scope(|s| {
+            let loader = s.spawn(|| {
+                while !stop.load(Ordering::SeqCst) {
+                    let _ = request(
+                        addr,
+                        "POST",
+                        "/soi",
+                        Some(&soi_body(0.002, 30_000.0)),
+                        TIMEOUT,
+                    );
+                }
+            });
+            let window = s.spawn(|| {
+                request(
+                    addr,
+                    "GET",
+                    "/debug/profile?seconds=2&hz=200",
+                    None,
+                    TIMEOUT,
+                )
+                .expect("profile window")
+            });
+            // Overlapping window while the first is live: 503 overload.
+            std::thread::sleep(Duration::from_millis(500));
+            let overlap = request(addr, "GET", "/debug/profile?seconds=1", None, TIMEOUT)
+                .expect("overlapping window");
+            let folded = window.join().expect("window thread");
+            // A second, non-overlapping window in JSON form.
+            let json_profile = request(
+                addr,
+                "GET",
+                "/debug/profile?seconds=1&hz=200&format=json",
+                None,
+                TIMEOUT,
+            )
+            .expect("json window");
+            stop.store(true, Ordering::SeqCst);
+            loader.join().expect("loader thread");
+            (folded, overlap, json_profile)
+        });
+        assert_eq!(overlap.status, 503, "body: {}", overlap.body);
+        assert!(overlap.body.contains("overload"), "body: {}", overlap.body);
+        assert_eq!(folded.status, 200, "body: {}", folded.body);
+        assert!(
+            folded
+                .header("content-type")
+                .unwrap_or("")
+                .contains("text/plain"),
+            "folded content type"
+        );
+        // Every folded line is `frame;frame;... count` over known spans,
+        // and the load resolves at least one level below `soi.query`.
+        let mut saw_below_query = false;
+        for line in folded.body.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("folded line shape");
+            count.parse::<u64>().expect("folded count");
+            for frame in stack.split(';') {
+                assert!(
+                    soi_obs::names::is_known_span(frame),
+                    "unknown frame {frame:?} in {line:?}"
+                );
+            }
+            if let Some((_, below)) = stack.split_once("soi.query;") {
+                if !below.is_empty() {
+                    saw_below_query = true;
+                }
+            }
+        }
+        assert!(
+            saw_below_query,
+            "no stack resolves below soi.query under load:\n{}",
+            folded.body
+        );
+        assert_eq!(json_profile.status, 200, "body: {}", json_profile.body);
+        let doc = parse(&json_profile.body).expect("valid profile JSON");
+        let profile = doc.get("profile").expect("profile object");
+        assert!(profile.get("samples").and_then(Json::as_f64).unwrap_or(0.0) > 0.0);
+        assert!(profile.get("frames").and_then(Json::as_arr).is_some());
+
+        // /status reports the retained window and that profiling is off.
+        let status = request(addr, "GET", "/status", None, TIMEOUT).expect("status");
+        let doc = parse(&status.body).expect("valid JSON");
+        assert_eq!(doc.get("profiling"), Some(&Json::Bool(false)));
+        let prof = doc.get("profile").expect("retained profile summary");
+        assert!(prof.get("samples").and_then(Json::as_f64).unwrap_or(0.0) > 0.0);
+        assert!(
+            prof.get("top_self").and_then(Json::as_arr).is_some(),
+            "top_self table missing: {}",
+            status.body
+        );
+
+        // Metrics hygiene: the full exposition lints clean (every series
+        // typed and documented) and the profiler counters are exported.
+        let metrics = request(addr, "GET", "/metrics", None, TIMEOUT).expect("metrics");
+        assert_eq!(metrics.status, 200);
+        let problems = soi_obs::metrics::lint_exposition(&metrics.body);
+        assert!(problems.is_empty(), "exposition lint: {problems:?}");
+        for series in [
+            "soi_profile_samples_total",
+            "soi_profile_dropped_samples_total",
+        ] {
+            assert!(metrics.body.contains(series), "missing {series}");
+        }
+    });
+    assert!(report.drained);
+    assert_eq!(report.panics, 0);
+}
+
+#[test]
 fn drain_answers_queued_work_before_exiting() {
     // Requests admitted before shutdown must still be answered during the
     // drain, and the report must say the queue emptied.
