@@ -126,6 +126,8 @@ fn dispatch(args: &Args) -> Result<()> {
         "check-artifacts" => cmd_check_artifacts(args),
         "serve" => cmd_serve(args),
         "bench-serve" => cmd_bench_serve(args),
+        "ingest" => cmd_ingest(args),
+        "gen-deltas" => cmd_gen_deltas(args),
         other => Err(SoiError::invalid(format!(
             "unknown command {other:?}; try `soi help`"
         ))),
@@ -150,6 +152,8 @@ fn command_span_name(command: &str) -> &'static str {
         "check-artifacts" => "cli.check_artifacts",
         "serve" => "cli.serve",
         "bench-serve" => "cli.bench_serve",
+        "ingest" => "cli.ingest",
+        "gen-deltas" => "cli.gen_deltas",
         _ => "cli.command",
     }
 }
@@ -254,7 +258,8 @@ fn print_help() -> Result<()> {
          \u{20}          [--queue 64] [--deadline-ms 250] [--max-deadline-ms 10000]\n\
          \u{20}          [--batch-max 8] [--eps 0.0005] [--rho 0.0001]\n\
          \u{20}          [--trace-sample N] [--slow-query-ms MS] [--ring-capacity 256]\n\
-         \u{20}          Serve queries over HTTP (POST /soi|/describe|/explain,\n\
+         \u{20}          [--ingest-log FILE] [--epoch-max-delta 4096]\n\
+         \u{20}          Serve queries over HTTP (POST /soi|/describe|/explain|/ingest,\n\
          \u{20}          GET /metrics|/status|/explain|/debug/requests) with\n\
          \u{20}          admission control, per-request deadlines (anytime partial\n\
          \u{20}          results), and graceful drain on SIGTERM. Every request\n\
@@ -264,14 +269,27 @@ fn print_help() -> Result<()> {
          \u{20}          --trace-sample N traces 1-in-N queries into the ring;\n\
          \u{20}          --slow-query-ms logs+counts requests over the threshold.\n\
          \u{20}          --stats-json FILE writes the final report on shutdown.\n\
+         \u{20}          --ingest-log FILE accepts live deltas at POST /ingest,\n\
+         \u{20}          journals them, and folds a fresh epoch every\n\
+         \u{20}          --epoch-max-delta pending ops (0 = never fold).\n\
          bench-serve --addr HOST:PORT --keywords w1,w2 [--requests 100]\n\
          \u{20}          [--concurrency 4] [--k 10] [--deadline-ms 250]\n\
          \u{20}          [--timeout-ms 2000] [--retries 2] [--describe-street S]\n\
+         \u{20}          [--ingest FILE] [--ingest-batch 16] [--ingest-interval-ms 50]\n\
          \u{20}          Drive load at a running `soi serve` (every other request\n\
          \u{20}          describes street S when given) with timeouts, retries,\n\
          \u{20}          and backoff; prints status/latency percentiles plus\n\
          \u{20}          request-id integrity (duplicates/gaps) and writes them\n\
-         \u{20}          with --stats-json FILE.\n\n\
+         \u{20}          with --stats-json FILE. --ingest streams delta batches\n\
+         \u{20}          to POST /ingest alongside the query load (mixed\n\
+         \u{20}          read/write bench).\n\
+         ingest    FILE --addr HOST:PORT [--batch 256] [--timeout-ms 5000]\n\
+         \u{20}          Stream a JSON-lines delta file to a running server's\n\
+         \u{20}          POST /ingest and report the resulting epoch.\n\
+         gen-deltas --data DIR --out FILE [--ops 256] [--seed 42]\n\
+         \u{20}          [--del-ratio 0.2] [--photo-ratio 0.3]\n\
+         \u{20}          Generate a deterministic JSON-lines delta stream (POI/\n\
+         \u{20}          photo inserts and deletes) valid against DIR's dataset.\n\n\
          INDEX CACHE (query, explain, batch, describe, route, export, poi, serve)\n\
          --index-cache DIR        Load the index bundle from a versioned snapshot\n\
          \u{20}                        in DIR (built and cached on first use; stale\n\
@@ -1494,6 +1512,8 @@ fn cmd_serve(args: &Args) -> Result<()> {
         trace_sample: args.get_parsed("trace-sample", 0u64)?,
         slow_query: (slow_query_ms > 0).then(|| Duration::from_millis(slow_query_ms)),
         ring_capacity: args.get_parsed("ring-capacity", 256usize)?,
+        epoch_max_delta: args.get_parsed("epoch-max-delta", 4096usize)?,
+        ingest_log: args.get("ingest-log").map(std::path::PathBuf::from),
         ..soi_serve::ServeConfig::default()
     };
     if let Some(mode) = args.get("index-cache-mode") {
@@ -1534,15 +1554,32 @@ fn cmd_serve(args: &Args) -> Result<()> {
 }
 
 /// One bench-serve observation: terminal status (0 = transport failure),
-/// end-to-end latency including retries, attempts made, whether the
-/// response body was a deadline-degraded partial result, and the server's
-/// `x-soi-request-id` (absent on transport failure).
+/// the latency of the final attempt alone (a request accepted after N
+/// sheds contributes one accepted-latency sample timed from the accepted
+/// attempt, not from the first try — shed handling and backoff sleeps are
+/// overload accounting, counted in `sheds`), attempts made, shed 503s
+/// observed along the way, whether the response body was a
+/// deadline-degraded partial result, and the server's `x-soi-request-id`
+/// (absent on transport failure).
 struct BenchSample {
     status: u16,
     latency: std::time::Duration,
     attempts: usize,
+    sheds: usize,
     partial: bool,
     request_id: Option<u64>,
+}
+
+/// Progress of the optional background ingest stream a mixed
+/// read/write bench drives alongside the query load.
+#[derive(Default)]
+struct IngestDrive {
+    batches: u64,
+    accepted_batches: u64,
+    ops: u64,
+    rejected: u64,
+    folds: u64,
+    last_epoch: u64,
 }
 
 /// Request-id integrity over a bench run: observed ids must be unique
@@ -1599,6 +1636,20 @@ fn cmd_bench_serve(args: &Args) -> Result<()> {
         backoff: Duration::from_millis(args.get_parsed("backoff-ms", 25u64)?),
     };
     let describe_street = args.get("describe-street");
+    // Mixed read/write mode: stream delta batches from --ingest FILE at
+    // POST /ingest while the query load runs.
+    let ingest_lines: Vec<String> = match args.get("ingest") {
+        Some(path) => std::fs::read_to_string(path)
+            .at_path(path)?
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(String::from)
+            .collect(),
+        None => Vec::new(),
+    };
+    let ingest_interval = Duration::from_millis(args.get_parsed("ingest-interval-ms", 50u64)?);
+    let ingest_batch: usize = args.get_parsed("ingest-batch", 16usize)?;
 
     let soi_body = {
         let mut obj = json::JsonWriter::object();
@@ -1626,7 +1677,41 @@ fn cmd_bench_serve(args: &Args) -> Result<()> {
 
     let started = Instant::now();
     let mut samples: Vec<BenchSample> = Vec::with_capacity(n);
+    let mut ingest_drive: Option<IngestDrive> = None;
+    let query_load_done = std::sync::atomic::AtomicBool::new(false);
     std::thread::scope(|s| {
+        let ingest_worker = (!ingest_lines.is_empty()).then(|| {
+            let lines = &ingest_lines;
+            let done = &query_load_done;
+            s.spawn(move || {
+                let mut drive = IngestDrive::default();
+                for chunk in lines.chunks(ingest_batch.max(1)) {
+                    if done.load(std::sync::atomic::Ordering::Relaxed) {
+                        break;
+                    }
+                    let body = chunk.join("\n");
+                    drive.batches += 1;
+                    match soi_serve::client::request(addr, "POST", "/ingest", Some(&body), timeout)
+                    {
+                        Ok(response) if response.status == 200 => {
+                            drive.accepted_batches += 1;
+                            drive.ops += chunk.len() as u64;
+                            if let Ok(doc) = json::parse(&response.body) {
+                                if let Some(e) = doc.get("epoch").and_then(|v| v.as_f64()) {
+                                    drive.last_epoch = e as u64;
+                                }
+                                if doc.get("folded").and_then(|v| v.as_bool()) == Some(true) {
+                                    drive.folds += 1;
+                                }
+                            }
+                        }
+                        _ => drive.rejected += 1,
+                    }
+                    std::thread::sleep(ingest_interval);
+                }
+                drive
+            })
+        });
         let workers: Vec<_> = (0..concurrency.max(1))
             .map(|tid| {
                 let soi_body = &soi_body;
@@ -1641,8 +1726,7 @@ fn cmd_bench_serve(args: &Args) -> Result<()> {
                             Some(describe) if j % 2 == 1 => ("/describe", describe.as_str()),
                             _ => ("/soi", soi_body.as_str()),
                         };
-                        let sent = Instant::now();
-                        let (outcome, attempts) = soi_serve::client::request_with_retry(
+                        let outcome = soi_serve::client::request_with_retry(
                             addr,
                             "POST",
                             path,
@@ -1650,12 +1734,16 @@ fn cmd_bench_serve(args: &Args) -> Result<()> {
                             timeout,
                             policy,
                         );
-                        let latency = sent.elapsed();
-                        let sample = match outcome {
+                        // Latency is the final attempt alone: a request
+                        // accepted after N sheds contributes one accepted
+                        // sample timed from the accepted attempt, plus N
+                        // shed events — not one sample inflated by backoff.
+                        let sample = match &outcome.response {
                             Ok(response) => BenchSample {
                                 status: response.status,
-                                latency,
-                                attempts,
+                                latency: outcome.last_attempt,
+                                attempts: outcome.attempts,
+                                sheds: outcome.sheds,
                                 partial: response.body.contains("\"partial\":true"),
                                 request_id: response
                                     .header("x-soi-request-id")
@@ -1663,8 +1751,9 @@ fn cmd_bench_serve(args: &Args) -> Result<()> {
                             },
                             Err(_) => BenchSample {
                                 status: 0,
-                                latency,
-                                attempts,
+                                latency: outcome.last_attempt,
+                                attempts: outcome.attempts,
+                                sheds: outcome.sheds,
                                 partial: false,
                                 request_id: None,
                             },
@@ -1681,10 +1770,22 @@ fn cmd_bench_serve(args: &Args) -> Result<()> {
                 samples.extend(local);
             }
         }
+        // Query load finished: tell the ingest driver to stop at its next
+        // chunk boundary rather than draining a large file unobserved.
+        query_load_done.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(worker) = ingest_worker {
+            if let Ok(drive) = worker.join() {
+                ingest_drive = Some(drive);
+            }
+        }
     });
     let wall = started.elapsed();
 
     let ok = samples.iter().filter(|s| s.status == 200).count();
+    // Shed accounting distinguishes *events* (every 503 answered across all
+    // attempts, the overload signal) from *terminal* sheds (requests that
+    // exhausted retries still shed — those failed outright).
+    let shed_events: u64 = samples.iter().map(|s| s.sheds as u64).sum();
     let sheds = samples.iter().filter(|s| s.status == 503).count();
     let errors = samples
         .iter()
@@ -1726,11 +1827,11 @@ fn cmd_bench_serve(args: &Args) -> Result<()> {
     )?;
     writeln!(
         out,
-        "  ok {ok}  shed {sheds}  error {errors}  transport-error {transport_errors}  partial {partials}  retried {retried}"
+        "  ok {ok}  shed-events {shed_events} (terminal {sheds})  error {errors}  transport-error {transport_errors}  partial {partials}  retried {retried}"
     )?;
     writeln!(
         out,
-        "  accepted latency ms: p50 {p50:.2}  p95 {p95:.2}  p99 {p99:.2}"
+        "  accepted latency ms (final attempt): p50 {p50:.2}  p95 {p95:.2}  p99 {p99:.2}"
     )?;
     let ids = id_stats(&samples);
     writeln!(
@@ -1738,12 +1839,25 @@ fn cmd_bench_serve(args: &Args) -> Result<()> {
         "  request ids: {} seen, {} distinct, {} duplicates, {} gaps",
         ids.seen, ids.distinct, ids.duplicates, ids.gaps
     )?;
+    if let Some(drive) = &ingest_drive {
+        writeln!(
+            out,
+            "  ingest: {} batches ({} accepted, {} rejected), {} ops, {} folds, last epoch {}",
+            drive.batches,
+            drive.accepted_batches,
+            drive.rejected,
+            drive.ops,
+            drive.folds,
+            drive.last_epoch
+        )?;
+    }
 
     if let Some(stats_path) = args.get("stats-json") {
         let mut obj = json::JsonWriter::object();
         obj.field_u64("requests", samples.len() as u64);
         obj.field_u64("ok", ok as u64);
-        obj.field_u64("sheds", sheds as u64);
+        obj.field_u64("sheds", shed_events);
+        obj.field_u64("sheds_terminal", sheds as u64);
         obj.field_u64("errors", errors as u64);
         obj.field_u64("transport_errors", transport_errors as u64);
         obj.field_u64("partials", partials as u64);
@@ -1764,7 +1878,233 @@ fn cmd_bench_serve(args: &Args) -> Result<()> {
             Some(v) => obj.field_u64("id_max", v),
             None => obj.field_raw("id_max", "null"),
         }
+        if let Some(drive) = &ingest_drive {
+            let mut ingest = json::JsonWriter::object();
+            ingest.field_u64("batches", drive.batches);
+            ingest.field_u64("accepted_batches", drive.accepted_batches);
+            ingest.field_u64("rejected", drive.rejected);
+            ingest.field_u64("ops", drive.ops);
+            ingest.field_u64("folds", drive.folds);
+            ingest.field_u64("last_epoch", drive.last_epoch);
+            obj.field_raw("ingest", &ingest.finish());
+        }
         std::fs::write(stats_path, obj.finish()).at_path(stats_path)?;
     }
+    Ok(())
+}
+
+/// `soi ingest FILE --addr HOST:PORT`: streams a JSON-lines delta file to
+/// a running server's `POST /ingest`, in batches.
+fn cmd_ingest(args: &Args) -> Result<()> {
+    use std::time::Duration;
+    let path = args.positional().or(args.get("file")).ok_or_else(|| {
+        SoiError::invalid("ingest needs a delta file: soi ingest FILE --addr ...")
+    })?;
+    let addr: std::net::SocketAddr = args
+        .require("addr")?
+        .parse()
+        .map_err(|_| SoiError::invalid("--addr must be HOST:PORT"))?;
+    let timeout = Duration::from_millis(args.get_parsed("timeout-ms", 5000u64)?);
+    let batch: usize = args.get_parsed("batch", 256usize)?;
+    let text = std::fs::read_to_string(path).at_path(path)?;
+    let lines: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    if lines.is_empty() {
+        return Err(SoiError::invalid(format!("no delta lines in {path}")));
+    }
+    let mut out = std::io::stdout().lock();
+    let mut sent = 0usize;
+    let mut folds = 0u64;
+    let mut last_epoch = 0u64;
+    for chunk in lines.chunks(batch.max(1)) {
+        let body = chunk.join("\n");
+        let response = soi_serve::client::request(addr, "POST", "/ingest", Some(&body), timeout)?;
+        if response.status != 200 {
+            return Err(SoiError::invalid(format!(
+                "/ingest answered {} after {} of {} ops accepted: {}",
+                response.status,
+                sent,
+                lines.len(),
+                response.body
+            )));
+        }
+        sent += chunk.len();
+        if let Ok(doc) = json::parse(&response.body) {
+            if let Some(e) = doc.get("epoch").and_then(|v| v.as_f64()) {
+                last_epoch = e as u64;
+            }
+            if doc.get("folded").and_then(|v| v.as_bool()) == Some(true) {
+                folds += 1;
+            }
+        }
+    }
+    writeln!(
+        out,
+        "ingested {} ops in {} batches ({} folds); server epoch {}",
+        sent,
+        lines.len().div_ceil(batch.max(1)),
+        folds,
+        last_epoch
+    )?;
+    Ok(())
+}
+
+/// A tiny deterministic RNG (splitmix64) so `gen-deltas` needs no
+/// external dependency and the same seed always emits the same stream.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)` (0 when `n` is 0).
+    fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// `soi gen-deltas --data DIR --out FILE`: writes a deterministic
+/// JSON-lines delta stream (POI/photo inserts and deletes) valid against
+/// the dataset regardless of where the server folds epochs: insert
+/// positions are convex combinations of existing POI positions (always
+/// inside the index extent), and delete ids are distinct values below
+/// `len - total_deletes`, so they stay in range however the dense-id
+/// reassignment of intervening folds lands.
+fn cmd_gen_deltas(args: &Args) -> Result<()> {
+    let dataset = load(args)?;
+    let out_path = args.require("out")?;
+    let total: usize = args.get_parsed("ops", 256usize)?;
+    let seed: u64 = args.get_parsed("seed", 42u64)?;
+    let del_ratio: f64 = args.get_parsed("del-ratio", 0.2f64)?;
+    let photo_ratio: f64 = args.get_parsed("photo-ratio", 0.3f64)?;
+    if !(0.0..=1.0).contains(&del_ratio) || !(0.0..=1.0).contains(&photo_ratio) {
+        return Err(SoiError::invalid(
+            "--del-ratio and --photo-ratio must lie in [0, 1]",
+        ));
+    }
+    if dataset.pois.is_empty() {
+        return Err(SoiError::invalid(
+            "gen-deltas needs a dataset with POIs to sample positions from",
+        ));
+    }
+    let mut rng = SplitMix64(seed);
+
+    // Budget the deletes up front so ids can be chosen distinct and
+    // fold-proof: any delete id stays below the smallest size the
+    // collection can shrink to.
+    let dels = ((total as f64) * del_ratio) as usize;
+    let photo_dels = (((dels as f64) * photo_ratio) as usize).min(dataset.photos.len() / 2);
+    let poi_dels = (dels - ((dels as f64) * photo_ratio) as usize).min(dataset.pois.len() / 2);
+    let pick_distinct = |rng: &mut SplitMix64, count: usize, bound: usize| -> Vec<usize> {
+        let mut taken = std::collections::HashSet::new();
+        let mut ids = Vec::with_capacity(count);
+        while ids.len() < count {
+            let id = rng.below(bound);
+            if taken.insert(id) {
+                ids.push(id);
+            }
+        }
+        ids
+    };
+    let mut poi_del_ids = pick_distinct(&mut rng, poi_dels, dataset.pois.len() - poi_dels);
+    let mut photo_del_ids = pick_distinct(
+        &mut rng,
+        photo_dels,
+        (dataset.photos.len() - photo_dels).max(1),
+    );
+
+    let sample_pos = |rng: &mut SplitMix64| {
+        let a = dataset
+            .pois
+            .get(soi_common::PoiId::from_index(rng.below(dataset.pois.len())));
+        let b = dataset
+            .pois
+            .get(soi_common::PoiId::from_index(rng.below(dataset.pois.len())));
+        let t = rng.next_f64();
+        soi_geo::Point::new(
+            a.pos.x + (b.pos.x - a.pos.x) * t,
+            a.pos.y + (b.pos.y - a.pos.y) * t,
+        )
+    };
+    let sample_terms = |rng: &mut SplitMix64| -> Vec<usize> {
+        let vocab = dataset.vocab.len();
+        (0..1 + rng.below(3))
+            .map(|_| rng.below(vocab.max(1)))
+            .filter(|_| vocab > 0)
+            .collect()
+    };
+    let render_ids = |ids: &[usize]| {
+        let body: Vec<String> = ids.iter().map(usize::to_string).collect();
+        format!("[{}]", body.join(","))
+    };
+
+    let mut lines = Vec::with_capacity(total);
+    let mut counts = [0u64; 4];
+    for _ in 0..total {
+        // Spend the delete budgets uniformly across the stream, adds fill
+        // the rest (photo adds at --photo-ratio).
+        let remaining = total - lines.len();
+        let budget = poi_del_ids.len() + photo_del_ids.len();
+        let line = if budget > 0 && rng.below(remaining) < budget {
+            let take_photo = rng.below(budget) < photo_del_ids.len();
+            if take_photo {
+                counts[3] += 1;
+                let id = photo_del_ids.pop().unwrap_or_default();
+                format!("{{\"op\":\"del_photo\",\"id\":{id}}}")
+            } else {
+                counts[2] += 1;
+                let id = poi_del_ids.pop().unwrap_or_default();
+                format!("{{\"op\":\"del_poi\",\"id\":{id}}}")
+            }
+        } else {
+            let pos = sample_pos(&mut rng);
+            let terms = render_ids(&sample_terms(&mut rng));
+            if rng.next_f64() < photo_ratio {
+                counts[1] += 1;
+                format!(
+                    "{{\"op\":\"add_photo\",\"x\":{},\"y\":{},\"tags\":{terms}}}",
+                    pos.x, pos.y
+                )
+            } else {
+                counts[0] += 1;
+                format!(
+                    "{{\"op\":\"add_poi\",\"x\":{},\"y\":{},\"kw\":{terms},\"weight\":1.0}}",
+                    pos.x, pos.y
+                )
+            }
+        };
+        lines.push(line);
+    }
+    // Every line must round-trip the real parser before it is written —
+    // a generator that emits rejectable ops poisons whole ingest batches.
+    for (i, line) in lines.iter().enumerate() {
+        soi_index::DeltaOp::parse_line(line, &dataset.vocab)
+            .map_err(|e| SoiError::invalid(format!("generated line {}: {e}", i + 1)))?;
+    }
+    let mut doc = lines.join("\n");
+    doc.push('\n');
+    std::fs::write(out_path, doc).at_path(out_path)?;
+    let mut out = std::io::stdout().lock();
+    writeln!(
+        out,
+        "wrote {} delta ops to {out_path} (add_poi {}, add_photo {}, del_poi {}, del_photo {}; seed {seed})",
+        total, counts[0], counts[1], counts[2], counts[3]
+    )?;
     Ok(())
 }

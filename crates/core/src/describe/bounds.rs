@@ -9,7 +9,7 @@
 use crate::describe::context::StreetContext;
 use crate::describe::DescribeParams;
 use soi_common::{CellId, PhotoId};
-use soi_data::PhotoCollection;
+use soi_data::PhotoView;
 use soi_index::DivCell;
 use soi_text::KeywordSet;
 
@@ -67,7 +67,7 @@ fn textual_rel_bounds(ctx: &StreetContext, id: CellId) -> (f64, f64) {
 /// `id` (Eqs. 15–16): min/max point-to-rect distance over `maxD(s)`.
 fn spatial_div_bounds(
     ctx: &StreetContext,
-    photos: &PhotoCollection,
+    photos: PhotoView<'_>,
     id: CellId,
     r: PhotoId,
 ) -> (f64, f64) {
@@ -129,13 +129,14 @@ pub fn cell_rel_bounds(ctx: &StreetContext, w: f64, id: CellId) -> (f64, f64) {
 
 /// Bounds on the combined diversity `w·spatial_div + (1−w)·textual_div`
 /// between photo `r` and any photo in cell `id`.
-pub fn cell_div_bounds(
+pub fn cell_div_bounds<'a>(
     ctx: &StreetContext,
-    photos: &PhotoCollection,
+    photos: impl Into<PhotoView<'a>>,
     w: f64,
     id: CellId,
     r: PhotoId,
 ) -> (f64, f64) {
+    let photos: PhotoView<'a> = photos.into();
     let (sl, su) = spatial_div_bounds(ctx, photos, id, r);
     let Some(cell) = ctx.index.cell(id) else {
         return (0.0, 0.0); // unoccupied cell: no photos to bound
@@ -146,13 +147,14 @@ pub fn cell_div_bounds(
 
 /// Bounds on the `mmr` score (Eq. 10) of any photo in cell `id` against the
 /// partially built selection.
-pub fn cell_mmr_bounds(
+pub fn cell_mmr_bounds<'a>(
     ctx: &StreetContext,
-    photos: &PhotoCollection,
+    photos: impl Into<PhotoView<'a>>,
     params: &DescribeParams,
     id: CellId,
     selected: &[PhotoId],
 ) -> (f64, f64) {
+    let photos: PhotoView<'a> = photos.into();
     let (rl, ru) = cell_rel_bounds(ctx, params.w, id);
     let mut lower = (1.0 - params.lambda) * rl;
     let mut upper = (1.0 - params.lambda) * ru;
@@ -173,6 +175,7 @@ mod tests {
     use crate::describe::context::{ContextBuilder, PhiSource};
     use crate::describe::{measures, objective};
     use soi_common::{KeywordId, StreetId};
+    use soi_data::PhotoCollection;
     use soi_geo::Point;
     use soi_index::PhotoGrid;
     use soi_network::RoadNetwork;

@@ -5,9 +5,9 @@
 //! `maxD(s)` (diagonal of the ε-buffered street MBR, Definition 5), the
 //! neighbourhood radius ρ, and the per-street diversification grid index.
 
-use soi_common::{PhotoId, Result, SoiError, StreetId};
-use soi_data::{PhotoCollection, PoiCollection};
-use soi_index::{DiversificationIndex, PhotoGrid};
+use soi_common::{PhotoId, PoiId, Result, SoiError, StreetId};
+use soi_data::{PhotoCollection, PhotoView, PoiCollection};
+use soi_index::{DeltaIndex, DiversificationIndex, PhotoGrid};
 use soi_network::RoadNetwork;
 use soi_text::FreqVector;
 
@@ -82,6 +82,27 @@ impl ContextBuilder<'_> {
     /// `eps`/`rho`, and a `phi_source` that requires POIs when none were
     /// provided.
     pub fn build(&self, street: StreetId) -> Result<StreetContext> {
+        self.build_with_delta(street, None)
+    }
+
+    /// Builds the description context for `street` with a sealed ingestion
+    /// delta overlaid (deleted photos leave `Rs`, added photos within ε
+    /// join it, and `Φs` draws on the merged POI/photo populations).
+    ///
+    /// With `delta = None` this is exactly [`build`](Self::build). The
+    /// merged iteration order (base survivors ascending, then adds
+    /// ascending) matches a rebuild over the folded collections, so `Φs`,
+    /// `maxD(s)` and every per-photo measure are bit-identical to the
+    /// post-compaction context (photo *ids* differ: the fold reassigns
+    /// dense ids, while the live view keeps epoch ids).
+    ///
+    /// # Errors
+    /// Same conditions as [`build`](Self::build).
+    pub fn build_with_delta(
+        &self,
+        street: StreetId,
+        delta: Option<&DeltaIndex>,
+    ) -> Result<StreetContext> {
         if street.index() >= self.network.num_streets() {
             return Err(SoiError::not_found(format!(
                 "street {street} (network has {} streets)",
@@ -100,9 +121,28 @@ impl ContextBuilder<'_> {
                 self.rho
             )));
         }
-        let members =
+        let photos: PhotoView<'_> = match delta {
+            Some(d) => d.photo_view(self.photos),
+            None => self.photos.into(),
+        };
+        // Base members (ascending), minus this epoch's deleted photos, plus
+        // its added photos within ε (their ids follow all base ids, so the
+        // list stays ascending).
+        let mut members =
             self.photo_grid
                 .photos_near_street(self.network, self.photos, street, self.eps);
+        if let Some(d) = delta {
+            if d.num_deleted_photos() > 0 {
+                members.retain(|&pid| !d.photo_deleted(pid));
+            }
+            for photo in d.added_photos() {
+                if !d.photo_deleted(photo.id)
+                    && self.network.dist_point_to_street(photo.pos, street) <= self.eps
+                {
+                    members.push(photo.id);
+                }
+            }
+        }
 
         let mut phi = FreqVector::new();
         if matches!(
@@ -110,7 +150,7 @@ impl ContextBuilder<'_> {
             PhiSource::Photos | PhiSource::PhotosAndPois
         ) {
             for &pid in &members {
-                for tag in self.photos.get(pid).tags.iter() {
+                for tag in photos.get(pid).tags.iter() {
                     phi.increment(tag);
                 }
             }
@@ -122,10 +162,28 @@ impl ContextBuilder<'_> {
                     self.phi_source.name()
                 )));
             };
-            for poi in pois.iter() {
+            // Merged order: base survivors ascending, then adds ascending —
+            // the same accumulation order a rebuild over the folded
+            // collection uses.
+            for (i, poi) in pois.iter().enumerate() {
+                if delta.is_some_and(|d| d.poi_deleted(PoiId::from_index(i))) {
+                    continue;
+                }
                 if self.network.dist_point_to_street(poi.pos, street) <= self.eps {
                     for k in poi.keywords.iter() {
                         phi.add(k, poi.weight);
+                    }
+                }
+            }
+            if let Some(d) = delta {
+                for poi in d.added_pois() {
+                    if d.poi_deleted(poi.id) {
+                        continue;
+                    }
+                    if self.network.dist_point_to_street(poi.pos, street) <= self.eps {
+                        for k in poi.keywords.iter() {
+                            phi.add(k, poi.weight);
+                        }
                     }
                 }
             }
@@ -137,7 +195,7 @@ impl ContextBuilder<'_> {
             .map(|mbr| mbr.expand(self.eps).diagonal())
             .unwrap_or(0.0);
 
-        let index = DiversificationIndex::build(self.photos, &members, self.rho);
+        let index = DiversificationIndex::build(photos, &members, self.rho);
 
         Ok(StreetContext {
             street,

@@ -9,7 +9,7 @@ use crate::describe::context::StreetContext;
 use crate::describe::objective::objective;
 use crate::describe::DescribeParams;
 use soi_common::{PhotoId, Result, SoiError};
-use soi_data::PhotoCollection;
+use soi_data::PhotoView;
 
 /// Hard cap on `|Rs|` for exhaustive search.
 pub const MAX_EXACT_MEMBERS: usize = 20;
@@ -21,11 +21,12 @@ pub const MAX_EXACT_MEMBERS: usize = 20;
 ///
 /// # Errors
 /// Refuses inputs with more than [`MAX_EXACT_MEMBERS`] member photos.
-pub fn exact_select(
+pub fn exact_select<'a>(
     ctx: &StreetContext,
-    photos: &PhotoCollection,
+    photos: impl Into<PhotoView<'a>>,
     params: &DescribeParams,
 ) -> Result<(Vec<PhotoId>, f64)> {
+    let photos: PhotoView<'a> = photos.into();
     let n = ctx.members.len();
     if n > MAX_EXACT_MEMBERS {
         return Err(SoiError::invalid(format!(
@@ -85,6 +86,7 @@ mod tests {
     use crate::describe::context::{ContextBuilder, PhiSource};
     use crate::describe::greedy::greedy_select;
     use soi_common::{KeywordId, StreetId};
+    use soi_data::PhotoCollection;
     use soi_geo::Point;
     use soi_index::PhotoGrid;
     use soi_network::RoadNetwork;

@@ -11,14 +11,15 @@ use crate::describe::context::StreetContext;
 use crate::describe::objective::{mmr, objective};
 use crate::describe::{DescribeOutcome, DescribeParams, DescribeStats};
 use soi_common::{FxHashSet, PhotoId};
-use soi_data::PhotoCollection;
+use soi_data::PhotoView;
 
 /// Greedily selects up to `params.k` photos maximising `mmr` at each step.
-pub fn greedy_select(
+pub fn greedy_select<'a>(
     ctx: &StreetContext,
-    photos: &PhotoCollection,
+    photos: impl Into<PhotoView<'a>>,
     params: &DescribeParams,
 ) -> DescribeOutcome {
+    let photos: PhotoView<'a> = photos.into();
     let mut stats = DescribeStats::default();
     stats.timer.enter("select");
 
@@ -64,6 +65,7 @@ mod tests {
     use crate::describe::context::{ContextBuilder, PhiSource};
     use crate::describe::measures;
     use soi_common::{KeywordId, StreetId};
+    use soi_data::PhotoCollection;
     use soi_geo::Point;
     use soi_index::PhotoGrid;
     use soi_network::RoadNetwork;

@@ -2,13 +2,14 @@
 
 use crate::describe::context::StreetContext;
 use soi_common::PhotoId;
-use soi_data::PhotoCollection;
+use soi_data::PhotoView;
 
 /// Spatial relevance (Definition 4): the fraction of `Rs` within
 /// neighbourhood radius ρ of photo `r` (including `r` itself, per Eq. 6).
 ///
 /// Returns 0 for an empty `Rs`.
-pub fn spatial_rel(ctx: &StreetContext, photos: &PhotoCollection, r: PhotoId) -> f64 {
+pub fn spatial_rel<'a>(ctx: &StreetContext, photos: impl Into<PhotoView<'a>>, r: PhotoId) -> f64 {
+    let photos: PhotoView<'a> = photos.into();
     let n = ctx.index.num_photos();
     if n == 0 {
         return 0.0;
@@ -20,7 +21,8 @@ pub fn spatial_rel(ctx: &StreetContext, photos: &PhotoCollection, r: PhotoId) ->
 /// Textual relevance (Definition 6): `Σ_{ψ∈Ψr} Φs(ψ) / ‖Φs‖₁`.
 ///
 /// Returns 0 when `Φs` is all-zero.
-pub fn textual_rel(ctx: &StreetContext, photos: &PhotoCollection, r: PhotoId) -> f64 {
+pub fn textual_rel<'a>(ctx: &StreetContext, photos: impl Into<PhotoView<'a>>, r: PhotoId) -> f64 {
+    let photos: PhotoView<'a> = photos.into();
     let l1 = ctx.phi.l1_norm();
     if l1 == 0.0 {
         return 0.0;
@@ -31,7 +33,13 @@ pub fn textual_rel(ctx: &StreetContext, photos: &PhotoCollection, r: PhotoId) ->
 /// Spatial diversity (Definition 5): `dist(r, r′) / maxD(s)`.
 ///
 /// Returns 0 when `maxD(s)` is 0 (degenerate street).
-pub fn spatial_div(ctx: &StreetContext, photos: &PhotoCollection, r: PhotoId, r2: PhotoId) -> f64 {
+pub fn spatial_div<'a>(
+    ctx: &StreetContext,
+    photos: impl Into<PhotoView<'a>>,
+    r: PhotoId,
+    r2: PhotoId,
+) -> f64 {
+    let photos: PhotoView<'a> = photos.into();
     if ctx.max_d == 0.0 {
         return 0.0;
     }
@@ -39,19 +47,28 @@ pub fn spatial_div(ctx: &StreetContext, photos: &PhotoCollection, r: PhotoId, r2
 }
 
 /// Textual diversity (Definition 7): the Jaccard distance of the tag sets.
-pub fn textual_div(photos: &PhotoCollection, r: PhotoId, r2: PhotoId) -> f64 {
+pub fn textual_div<'a>(photos: impl Into<PhotoView<'a>>, r: PhotoId, r2: PhotoId) -> f64 {
+    let photos: PhotoView<'a> = photos.into();
     photos.get(r).tags.jaccard_distance(&photos.get(r2).tags)
 }
 
 /// Combined per-photo relevance: `w·spatial_rel + (1−w)·textual_rel`
 /// (the per-item summand of Eq. 4).
-pub fn rel(ctx: &StreetContext, photos: &PhotoCollection, w: f64, r: PhotoId) -> f64 {
+pub fn rel<'a>(ctx: &StreetContext, photos: impl Into<PhotoView<'a>>, w: f64, r: PhotoId) -> f64 {
+    let photos: PhotoView<'a> = photos.into();
     w * spatial_rel(ctx, photos, r) + (1.0 - w) * textual_rel(ctx, photos, r)
 }
 
 /// Combined pairwise diversity: `w·spatial_div + (1−w)·textual_div`
 /// (the per-pair summand of Eq. 5).
-pub fn div(ctx: &StreetContext, photos: &PhotoCollection, w: f64, r: PhotoId, r2: PhotoId) -> f64 {
+pub fn div<'a>(
+    ctx: &StreetContext,
+    photos: impl Into<PhotoView<'a>>,
+    w: f64,
+    r: PhotoId,
+    r2: PhotoId,
+) -> f64 {
+    let photos: PhotoView<'a> = photos.into();
     w * spatial_div(ctx, photos, r, r2) + (1.0 - w) * textual_div(photos, r, r2)
 }
 
@@ -60,6 +77,7 @@ mod tests {
     use super::*;
     use crate::describe::context::{ContextBuilder, PhiSource};
     use soi_common::{KeywordId, StreetId};
+    use soi_data::PhotoCollection;
     use soi_geo::Point;
     use soi_index::PhotoGrid;
     use soi_network::RoadNetwork;

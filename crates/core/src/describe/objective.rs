@@ -4,17 +4,18 @@ use crate::describe::context::StreetContext;
 use crate::describe::measures;
 use crate::describe::DescribeParams;
 use soi_common::PhotoId;
-use soi_data::PhotoCollection;
+use soi_data::PhotoView;
 
 /// Set relevance (Eq. 4): the mean combined relevance of the set's photos.
 ///
 /// Returns 0 for an empty set.
-pub fn set_relevance(
+pub fn set_relevance<'a>(
     ctx: &StreetContext,
-    photos: &PhotoCollection,
+    photos: impl Into<PhotoView<'a>>,
     w: f64,
     set: &[PhotoId],
 ) -> f64 {
+    let photos: PhotoView<'a> = photos.into();
     if set.is_empty() {
         return 0.0;
     }
@@ -28,12 +29,13 @@ pub fn set_relevance(
 /// `2/(k(k−1)) Σ_{r,r′} div(r, r′)` over unordered pairs.
 ///
 /// Returns 0 for sets with fewer than two photos.
-pub fn set_diversity(
+pub fn set_diversity<'a>(
     ctx: &StreetContext,
-    photos: &PhotoCollection,
+    photos: impl Into<PhotoView<'a>>,
     w: f64,
     set: &[PhotoId],
 ) -> f64 {
+    let photos: PhotoView<'a> = photos.into();
     let k = set.len();
     if k < 2 {
         return 0.0;
@@ -49,12 +51,13 @@ pub fn set_diversity(
 
 /// The bi-criteria objective (Eq. 2):
 /// `F(Rk) = (1−λ)·rel(Rk) + λ·div(Rk)`.
-pub fn objective(
+pub fn objective<'a>(
     ctx: &StreetContext,
-    photos: &PhotoCollection,
+    photos: impl Into<PhotoView<'a>>,
     params: &DescribeParams,
     set: &[PhotoId],
 ) -> f64 {
+    let photos: PhotoView<'a> = photos.into();
     (1.0 - params.lambda) * set_relevance(ctx, photos, params.w, set)
         + params.lambda * set_diversity(ctx, photos, params.w, set)
 }
@@ -64,13 +67,14 @@ pub fn objective(
 /// `mmr(r) = (1−λ)·rel(r) + λ/(k−1)·Σ_{r′∈R} div(r, r′)`.
 ///
 /// For `k = 1` the diversity term is absent.
-pub fn mmr(
+pub fn mmr<'a>(
     ctx: &StreetContext,
-    photos: &PhotoCollection,
+    photos: impl Into<PhotoView<'a>>,
     params: &DescribeParams,
     r: PhotoId,
     selected: &[PhotoId],
 ) -> f64 {
+    let photos: PhotoView<'a> = photos.into();
     let mut score = (1.0 - params.lambda) * measures::rel(ctx, photos, params.w, r);
     if params.k > 1 && !selected.is_empty() {
         let div_sum: f64 = selected
@@ -87,6 +91,7 @@ mod tests {
     use super::*;
     use crate::describe::context::{ContextBuilder, PhiSource};
     use soi_common::{KeywordId, StreetId};
+    use soi_data::PhotoCollection;
     use soi_geo::Point;
     use soi_index::PhotoGrid;
     use soi_network::RoadNetwork;

@@ -30,7 +30,7 @@ use crate::describe::measures;
 use crate::describe::objective::objective;
 use crate::describe::{DescribeOutcome, DescribeParams, DescribeStats};
 use soi_common::{CellId, FxHashMap, PhotoId, Result, SoiError};
-use soi_data::PhotoCollection;
+use soi_data::PhotoView;
 use soi_obs::names::phases;
 
 /// Per-cell incremental bound state.
@@ -88,9 +88,9 @@ impl std::fmt::Debug for DescribeScratch {
 /// Returns [`SoiError::InvalidInput`] when `params` violates its invariants
 /// (`k = 0`, λ or w outside `[0, 1]`; see [`DescribeParams::validate`]) or
 /// when `ctx` references photo ids outside `photos`.
-pub fn st_rel_div(
+pub fn st_rel_div<'a>(
     ctx: &StreetContext,
-    photos: &PhotoCollection,
+    photos: impl Into<PhotoView<'a>>,
     params: &DescribeParams,
 ) -> Result<DescribeOutcome> {
     st_rel_div_with_scratch(ctx, photos, params, &mut DescribeScratch::default())
@@ -101,9 +101,9 @@ pub fn st_rel_div(
 ///
 /// # Errors
 /// Same contract as [`st_rel_div`].
-pub fn st_rel_div_with_scratch(
+pub fn st_rel_div_with_scratch<'a>(
     ctx: &StreetContext,
-    photos: &PhotoCollection,
+    photos: impl Into<PhotoView<'a>>,
     params: &DescribeParams,
     scratch: &mut DescribeScratch,
 ) -> Result<DescribeOutcome> {
@@ -120,9 +120,9 @@ pub fn st_rel_div_with_scratch(
 ///
 /// # Errors
 /// Same contract as [`st_rel_div`].
-pub fn st_rel_div_explained(
+pub fn st_rel_div_explained<'a>(
     ctx: &StreetContext,
-    photos: &PhotoCollection,
+    photos: impl Into<PhotoView<'a>>,
     params: &DescribeParams,
     scratch: &mut DescribeScratch,
     explain: Option<&mut DescribeExplain>,
@@ -148,9 +148,9 @@ pub fn st_rel_div_explained(
 ///
 /// # Errors
 /// Same contract as [`st_rel_div`] — a deadline hit is *not* an error.
-pub fn st_rel_div_budgeted(
+pub fn st_rel_div_budgeted<'a>(
     ctx: &StreetContext,
-    photos: &PhotoCollection,
+    photos: impl Into<PhotoView<'a>>,
     params: &DescribeParams,
     scratch: &mut DescribeScratch,
     budget: QueryBudget,
@@ -163,14 +163,15 @@ pub fn st_rel_div_budgeted(
 ///
 /// # Errors
 /// Same contract as [`st_rel_div`].
-pub fn st_rel_div_full(
+pub fn st_rel_div_full<'a>(
     ctx: &StreetContext,
-    photos: &PhotoCollection,
+    photos: impl Into<PhotoView<'a>>,
     params: &DescribeParams,
     scratch: &mut DescribeScratch,
     mut explain: Option<&mut DescribeExplain>,
     budget: QueryBudget,
 ) -> Result<DescribeOutcome> {
+    let photos: PhotoView<'a> = photos.into();
     params.validate()?;
     if let Some(&max_member) = ctx.members.iter().max() {
         if max_member.index() >= photos.len() {
@@ -392,6 +393,7 @@ mod tests {
     use crate::describe::context::{ContextBuilder, PhiSource};
     use crate::describe::greedy::greedy_select;
     use soi_common::{KeywordId, StreetId};
+    use soi_data::PhotoCollection;
     use soi_geo::Point;
     use soi_index::PhotoGrid;
     use soi_network::RoadNetwork;

@@ -12,7 +12,7 @@ use crate::describe::objective::{set_diversity, set_relevance};
 use crate::describe::st_rel_div::st_rel_div;
 use crate::describe::DescribeParams;
 use soi_common::{Result, SoiError};
-use soi_data::PhotoCollection;
+use soi_data::PhotoView;
 
 /// One point of the trade-off curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,13 +30,14 @@ pub struct TradeoffPoint {
 ///
 /// # Errors
 /// Propagates parameter validation errors; requires at least one λ.
-pub fn sweep_lambda(
+pub fn sweep_lambda<'a>(
     ctx: &StreetContext,
-    photos: &PhotoCollection,
+    photos: impl Into<PhotoView<'a>>,
     k: usize,
     w: f64,
     lambdas: &[f64],
 ) -> Result<Vec<TradeoffPoint>> {
+    let photos: PhotoView<'a> = photos.into();
     if lambdas.is_empty() {
         return Err(SoiError::invalid("need at least one lambda"));
     }

@@ -12,19 +12,26 @@ use soi_geo::Point;
 use soi_network::RoadNetwork;
 
 /// Total walking length of a route: the sum of street-MBR-center distances
-/// between consecutive stops (streets without geometry contribute 0).
+/// between consecutive *located* stops.
+///
+/// Streets without geometry (no segments, hence no MBR) have no position
+/// on the map, so they are skipped entirely: the walk proceeds from the
+/// last located stop straight to the next located one. They never truncate
+/// the hops around them to zero — a route `[A, ghost, B]` is exactly as
+/// long as `[A, B]`.
 pub fn route_length(network: &RoadNetwork, route: &[StreetId]) -> f64 {
-    let centers: Vec<Option<Point>> = route
-        .iter()
-        .map(|&s| network.street_mbr(s).map(|m| m.center()))
-        .collect();
-    centers
-        .windows(2)
-        .map(|w| match (w[0], w[1]) {
-            (Some(a), Some(b)) => a.dist(b),
-            _ => 0.0,
-        })
-        .sum()
+    let mut total = 0.0;
+    let mut prev: Option<Point> = None;
+    for &s in route {
+        let Some(center) = network.street_mbr(s).map(|m| m.center()) else {
+            continue; // geometry-less stop: bridge to the next located one
+        };
+        if let Some(p) = prev {
+            total += p.dist(center);
+        }
+        prev = Some(center);
+    }
+    total
 }
 
 /// Improves a route in place with 2-opt moves (reversing sub-tours that
@@ -32,12 +39,15 @@ pub fn route_length(network: &RoadNetwork, route: &[StreetId]) -> f64 {
 ///
 /// Returns the final route length. Deterministic: moves are applied
 /// first-improvement in scan order, and the loop ends at a local optimum.
+///
+/// Streets without geometry have no position to optimise against: the
+/// route order is left untouched and the returned length is
+/// [`route_length`]'s bridged walk over the located stops only.
 pub fn improve_route_2opt(network: &RoadNetwork, route: &mut [StreetId]) -> f64 {
     let centers: Vec<Option<Point>> = route
         .iter()
         .map(|&s| network.street_mbr(s).map(|m| m.center()))
         .collect();
-    // Streets without geometry make distances ill-defined; skip optimisation.
     if centers.iter().any(Option::is_none) || route.len() < 4 {
         return route_length(network, route);
     }
@@ -185,6 +195,43 @@ mod tests {
         assert!((len - 10.0).abs() < 1e-12);
         assert_eq!(route_length(&net, &[StreetId(0)]), 0.0);
         assert_eq!(route_length(&net, &[]), 0.0);
+    }
+
+    #[test]
+    fn geometry_less_stops_are_bridged_not_zeroed() {
+        // Square-corner streets plus one street with no segments at all.
+        let mut b = RoadNetwork::builder();
+        for &(x, y) in &[(0.0, 0.0), (10.0, 0.0)] {
+            b.add_street_from_points(
+                format!("s{x}-{y}"),
+                &[Point::new(x, y), Point::new(x + 1.0, y)],
+            );
+        }
+        let ghost = b.add_street("ghost");
+        let net = b.build().unwrap();
+        assert!(net.street_mbr(ghost).is_none());
+
+        // The ghost sits between two located stops 10 apart: the walk must
+        // still cover those 10 units, not drop both adjacent hops to zero.
+        let mixed = [StreetId(0), ghost, StreetId(1)];
+        let len = route_length(&net, &mixed);
+        assert!((len - 10.0).abs() < 1e-12, "got {len}");
+        // Same length as the route without the ghost.
+        let plain = route_length(&net, &[StreetId(0), StreetId(1)]);
+        assert_eq!(len, plain);
+
+        // Leading/trailing ghosts contribute nothing either.
+        let padded = [ghost, StreetId(0), StreetId(1), ghost];
+        assert_eq!(route_length(&net, &padded), plain);
+        // All-ghost and all-empty routes have zero length.
+        assert_eq!(route_length(&net, &[ghost, ghost]), 0.0);
+
+        // 2-opt leaves mixed routes untouched and reports the bridged length.
+        let mut route = vec![StreetId(0), ghost, StreetId(1), StreetId(0), StreetId(1)];
+        let expect = route.clone();
+        let out = improve_route_2opt(&net, &mut route);
+        assert_eq!(route, expect);
+        assert!((out - route_length(&net, &expect)).abs() < 1e-12);
     }
 
     #[test]

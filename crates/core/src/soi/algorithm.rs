@@ -43,8 +43,8 @@ use crate::soi::strategy::Source;
 use soi_common::{
     top_k_by_score, CellId, FxHashMap, Result, ScoredItem, SegmentId, StreetId, TopKTracker,
 };
-use soi_data::PoiCollection;
-use soi_index::PoiIndex;
+use soi_data::PoiView;
+use soi_index::IndexView;
 use soi_network::RoadNetwork;
 
 /// Source accesses between sampled UB/LBk trace-counter emissions: dense
@@ -217,21 +217,27 @@ impl std::fmt::Debug for SoiScratch {
 /// keyword set matching nothing) produce an empty result rather than a
 /// panic.
 ///
+/// `pois` and `index` accept either the plain base structures (`&PoiCollection`,
+/// `&PoiIndex`) or live base+delta views ([`PoiView`], [`IndexView`]); the
+/// algorithm reads exclusively through the views, so an epoch's pending
+/// delta participates in every bound and mass with rebuild-identical
+/// values.
+///
 /// # Errors
 /// Returns [`SoiError::InvalidInput`](soi_common::SoiError::InvalidInput)
 /// when the query violates its invariants (`k = 0`, non-positive or
 /// non-finite ε) — see [`SoiQuery::validate`].
-pub fn run_soi(
+pub fn run_soi<'a>(
     network: &RoadNetwork,
-    pois: &PoiCollection,
-    index: &PoiIndex,
+    pois: impl Into<PoiView<'a>>,
+    index: impl Into<IndexView<'a>>,
     query: &SoiQuery,
     config: &SoiConfig,
 ) -> Result<SoiOutcome> {
     run_soi_with_scratch(
         network,
-        pois,
-        index,
+        pois.into(),
+        index.into(),
         query,
         config,
         &mut SoiScratch::default(),
@@ -242,15 +248,23 @@ pub fn run_soi(
 ///
 /// # Errors
 /// Same contract as [`run_soi`].
-pub fn run_soi_with_scratch(
+pub fn run_soi_with_scratch<'a>(
     network: &RoadNetwork,
-    pois: &PoiCollection,
-    index: &PoiIndex,
+    pois: impl Into<PoiView<'a>>,
+    index: impl Into<IndexView<'a>>,
     query: &SoiQuery,
     config: &SoiConfig,
     scratch: &mut SoiScratch,
 ) -> Result<SoiOutcome> {
-    run_soi_explained(network, pois, index, query, config, scratch, None)
+    run_soi_explained(
+        network,
+        pois.into(),
+        index.into(),
+        query,
+        config,
+        scratch,
+        None,
+    )
 }
 
 /// [`run_soi_with_scratch`] with an opt-in explain collector.
@@ -263,10 +277,10 @@ pub fn run_soi_with_scratch(
 ///
 /// # Errors
 /// Same contract as [`run_soi`].
-pub fn run_soi_explained(
+pub fn run_soi_explained<'a>(
     network: &RoadNetwork,
-    pois: &PoiCollection,
-    index: &PoiIndex,
+    pois: impl Into<PoiView<'a>>,
+    index: impl Into<IndexView<'a>>,
     query: &SoiQuery,
     config: &SoiConfig,
     scratch: &mut SoiScratch,
@@ -274,8 +288,8 @@ pub fn run_soi_explained(
 ) -> Result<SoiOutcome> {
     run_soi_full(
         network,
-        pois,
-        index,
+        pois.into(),
+        index.into(),
         query,
         config,
         scratch,
@@ -298,16 +312,25 @@ pub fn run_soi_explained(
 ///
 /// # Errors
 /// Same contract as [`run_soi`] — a deadline hit is *not* an error.
-pub fn run_soi_budgeted(
+pub fn run_soi_budgeted<'a>(
     network: &RoadNetwork,
-    pois: &PoiCollection,
-    index: &PoiIndex,
+    pois: impl Into<PoiView<'a>>,
+    index: impl Into<IndexView<'a>>,
     query: &SoiQuery,
     config: &SoiConfig,
     scratch: &mut SoiScratch,
     budget: QueryBudget,
 ) -> Result<SoiOutcome> {
-    run_soi_full(network, pois, index, query, config, scratch, None, budget)
+    run_soi_full(
+        network,
+        pois.into(),
+        index.into(),
+        query,
+        config,
+        scratch,
+        None,
+        budget,
+    )
 }
 
 /// The full-surface entry point: explain collector *and* execution budget
@@ -316,16 +339,18 @@ pub fn run_soi_budgeted(
 /// # Errors
 /// Same contract as [`run_soi`].
 #[allow(clippy::too_many_arguments)]
-pub fn run_soi_full(
+pub fn run_soi_full<'a>(
     network: &RoadNetwork,
-    pois: &PoiCollection,
-    index: &PoiIndex,
+    pois: impl Into<PoiView<'a>>,
+    index: impl Into<IndexView<'a>>,
     query: &SoiQuery,
     config: &SoiConfig,
     scratch: &mut SoiScratch,
     mut explain: Option<&mut SoiExplain>,
     budget: QueryBudget,
 ) -> Result<SoiOutcome> {
+    let pois: PoiView<'a> = pois.into();
+    let index: IndexView<'a> = index.into();
     query.validate()?;
     let _query_span = soi_obs::trace::span(soi_obs::names::spans::SOI_QUERY);
     if let Some(ex) = explain.as_deref_mut() {
@@ -365,7 +390,7 @@ pub fn run_soi_full(
         }
     }
     for (cell, sum) in cell_weights.iter_mut() {
-        let cap = index.cell(*cell).map_or(0.0, |c| c.total_weight);
+        let cap = index.cell_total_weight(*cell);
         *sum = sum.min(cap);
     }
     // relcount(c): upper bound on the relevant weight a cell can contribute
@@ -742,8 +767,8 @@ pub fn run_soi_full(
 fn finalize_segment(
     seg: SegmentId,
     network: &RoadNetwork,
-    pois: &PoiCollection,
-    index: &PoiIndex,
+    pois: PoiView<'_>,
+    index: IndexView<'_>,
     query: &SoiQuery,
     eps: f64,
     lbk: f64,

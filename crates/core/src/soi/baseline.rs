@@ -12,8 +12,8 @@ use crate::soi::interest::{segment_interest, StreetAggregate};
 use crate::soi::query::{SoiOutcome, SoiQuery, StreetResult};
 use crate::soi::stats::{phases, QueryStats};
 use soi_common::{top_k_by_score, FxHashMap, ScoredItem, SegmentId, StreetId};
-use soi_data::PoiCollection;
-use soi_index::PoiIndex;
+use soi_data::PoiView;
+use soi_index::IndexView;
 use soi_network::RoadNetwork;
 
 /// Evaluates a k-SOI query by scanning every segment through the grid.
@@ -21,13 +21,15 @@ use soi_network::RoadNetwork;
 /// `aggregate` selects the street-level aggregation; the paper's
 /// Definition 3 is [`StreetAggregate::Max`]. Streets with zero interest are
 /// omitted from the result, mirroring [`run_soi`](crate::soi::run_soi).
-pub fn run_baseline(
+pub fn run_baseline<'a>(
     network: &RoadNetwork,
-    pois: &PoiCollection,
-    index: &PoiIndex,
+    pois: impl Into<PoiView<'a>>,
+    index: impl Into<IndexView<'a>>,
     query: &SoiQuery,
     aggregate: StreetAggregate,
 ) -> SoiOutcome {
+    let pois: PoiView<'a> = pois.into();
+    let index: IndexView<'a> = index.into();
     let mut stats = QueryStats::default();
     stats.timer.enter(phases::SCAN);
     // Per street: collected (interest, len) pairs plus the best segment.
@@ -76,11 +78,12 @@ pub fn run_baseline(
 
 /// Index-free exact street interests (Definition 3, `Max` aggregation) for
 /// *every* street, including zero-interest ones. Test oracle.
-pub fn exact_street_interests(
+pub fn exact_street_interests<'a>(
     network: &RoadNetwork,
-    pois: &PoiCollection,
+    pois: impl Into<PoiView<'a>>,
     query: &SoiQuery,
 ) -> FxHashMap<StreetId, f64> {
+    let pois: PoiView<'a> = pois.into();
     let eps_sq = query.eps * query.eps;
     let relevant: Vec<(soi_geo::Point, f64)> = pois
         .iter()
@@ -109,7 +112,12 @@ pub fn exact_street_interests(
 /// Index-free exact evaluation: every (POI, segment) pair is tested.
 ///
 /// Only intended for tests and tiny datasets.
-pub fn brute_force(network: &RoadNetwork, pois: &PoiCollection, query: &SoiQuery) -> SoiOutcome {
+pub fn brute_force<'a>(
+    network: &RoadNetwork,
+    pois: impl Into<PoiView<'a>>,
+    query: &SoiQuery,
+) -> SoiOutcome {
+    let pois: PoiView<'a> = pois.into();
     let mut stats = QueryStats::default();
     stats.timer.enter(phases::SCAN);
     let eps_sq = query.eps * query.eps;

@@ -17,7 +17,9 @@ pub mod geojson;
 pub mod io;
 pub mod photo;
 pub mod poi;
+pub mod view;
 
 pub use dataset::Dataset;
 pub use photo::{Photo, PhotoCollection};
 pub use poi::{Poi, PoiCollection};
+pub use view::{PhotoView, PoiView};

@@ -39,8 +39,8 @@ use soi_core::soi::{
     run_soi_full, QueryStats, SoiConfig, SoiExplain, SoiOutcome, SoiQuery, SoiScratch,
 };
 use soi_core::QueryBudget;
-use soi_data::{PhotoCollection, PoiCollection};
-use soi_index::PoiIndex;
+use soi_data::{PhotoView, PoiCollection, PoiView};
+use soi_index::{DeltaIndex, IndexView, PoiIndex};
 use soi_network::RoadNetwork;
 use soi_obs::AllocScope;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -60,19 +60,60 @@ pub struct QueryContext<'a> {
     pub pois: &'a PoiCollection,
     /// The spatio-textual POI index.
     pub index: &'a PoiIndex,
+    /// The sealed live-ingestion delta overlaid on the base structures for
+    /// every query of the batch (`None` = base only). The batch pins this
+    /// one delta for its whole run: queries within a batch always see a
+    /// single consistent epoch.
+    pub delta: Option<&'a DeltaIndex>,
+    /// The epoch id the batch is pinned to (0 before any ingestion).
+    pub epoch: u64,
     /// Algorithm configuration applied to every query of the batch.
     pub config: SoiConfig,
 }
 
 impl<'a> QueryContext<'a> {
-    /// Creates a context with the default [`SoiConfig`].
+    /// Creates a context with the default [`SoiConfig`] and no delta.
     pub fn new(network: &'a RoadNetwork, pois: &'a PoiCollection, index: &'a PoiIndex) -> Self {
         Self {
             network,
             pois,
             index,
+            delta: None,
+            epoch: 0,
             config: SoiConfig::default(),
         }
+    }
+
+    /// Creates a context pinned to epoch `epoch` with `delta` overlaid on
+    /// the base structures.
+    pub fn with_delta(
+        network: &'a RoadNetwork,
+        pois: &'a PoiCollection,
+        index: &'a PoiIndex,
+        delta: Option<&'a DeltaIndex>,
+        epoch: u64,
+    ) -> Self {
+        Self {
+            network,
+            pois,
+            index,
+            delta,
+            epoch,
+            config: SoiConfig::default(),
+        }
+    }
+
+    /// The POI read view of this context (base + delta adds).
+    pub fn poi_view(&self) -> PoiView<'a> {
+        match self.delta {
+            Some(d) => d.poi_view(self.pois),
+            None => self.pois.into(),
+        }
+    }
+
+    /// The index read view of this context (base + delta overlay).
+    pub fn index_view(&self) -> IndexView<'a> {
+        IndexView::new(self.index, self.delta)
     }
 }
 
@@ -163,6 +204,15 @@ pub struct EngineTelemetry {
     pub eps_cache_misses: u64,
     /// `soi_epsilon_cache_evictions_total` at batch completion.
     pub eps_cache_evictions: u64,
+    /// The epoch id the batch was pinned to (0 before any ingestion).
+    pub epoch: u64,
+    /// Pending delta ops overlaid on the base index during the batch
+    /// (0 when the batch ran on a compacted base).
+    pub delta_ops: u64,
+    /// Delta POI inserts visible to the batch.
+    pub delta_added_pois: u64,
+    /// Delta POI deletes visible to the batch.
+    pub delta_deleted_pois: u64,
     /// One record per failed query, input order — the engine emits
     /// `stage == "query"` entries; callers may prepend their own stages.
     pub error_records: Vec<BatchErrorRecord>,
@@ -255,6 +305,12 @@ impl EngineTelemetry {
         eps.field_u64("misses", self.eps_cache_misses);
         eps.field_u64("evictions", self.eps_cache_evictions);
         obj.field_raw("eps_cache", &eps.finish());
+        let mut epoch = soi_obs::json::JsonWriter::object();
+        epoch.field_u64("id", self.epoch);
+        epoch.field_u64("delta_ops", self.delta_ops);
+        epoch.field_u64("delta_added_pois", self.delta_added_pois);
+        epoch.field_u64("delta_deleted_pois", self.delta_deleted_pois);
+        obj.field_raw("epoch", &epoch.finish());
         let mut records = soi_obs::json::JsonWriter::array();
         for rec in &self.error_records {
             records.elem_raw(&rec.to_json());
@@ -441,8 +497,8 @@ impl QueryEngine {
                     let _span = soi_obs::trace::span(soi_obs::names::spans::ENGINE_QUERY);
                     run_soi_full(
                         ctx.network,
-                        ctx.pois,
-                        ctx.index,
+                        ctx.poi_view(),
+                        ctx.index_view(),
                         query,
                         &ctx.config,
                         &mut scratch,
@@ -525,6 +581,10 @@ impl QueryEngine {
             eps_cache_hits,
             eps_cache_misses,
             eps_cache_evictions,
+            epoch: ctx.epoch,
+            delta_ops: ctx.delta.map_or(0, |d| d.num_ops() as u64),
+            delta_added_pois: ctx.delta.map_or(0, |d| d.added_pois().len() as u64),
+            delta_deleted_pois: ctx.delta.map_or(0, |d| d.num_deleted_pois() as u64),
             error_records,
         };
         BatchOutcome {
@@ -541,11 +601,12 @@ impl QueryEngine {
     /// Results come back in input order and are bit-identical to calling
     /// [`st_rel_div`](soi_core::describe::st_rel_div) sequentially, for any
     /// worker count.
-    pub fn run_describe_batch(
+    pub fn run_describe_batch<'p>(
         &self,
-        photos: &PhotoCollection,
+        photos: impl Into<PhotoView<'p>>,
         jobs: &[(&StreetContext, DescribeParams)],
     ) -> Vec<Result<DescribeOutcome>> {
+        let photos: PhotoView<'p> = photos.into();
         let _batch_span = soi_obs::trace::span(soi_obs::names::spans::ENGINE_BATCH);
         self.dispatch(jobs, || {
             let mut scratch = DescribeScratch::default();
@@ -564,11 +625,12 @@ impl QueryEngine {
     /// [`partial`](DescribeOutcome::partial) set (a success, not an error).
     /// Jobs with an unlimited budget are bit-identical to
     /// [`run_describe_batch`].
-    pub fn run_describe_batch_with_deadlines(
+    pub fn run_describe_batch_with_deadlines<'p>(
         &self,
-        photos: &PhotoCollection,
+        photos: impl Into<PhotoView<'p>>,
         jobs: &[(&StreetContext, DescribeParams, QueryBudget)],
     ) -> Vec<Result<DescribeOutcome>> {
+        let photos: PhotoView<'p> = photos.into();
         let _batch_span = soi_obs::trace::span(soi_obs::names::spans::ENGINE_BATCH);
         self.dispatch(jobs, || {
             let mut scratch = DescribeScratch::default();
@@ -586,11 +648,12 @@ impl QueryEngine {
     /// directives (the describe analogue of [`run_soi_batch_captured`]):
     /// returns results and the per-job artifacts, both in input order.
     #[allow(clippy::type_complexity)]
-    pub fn run_describe_batch_captured(
+    pub fn run_describe_batch_captured<'p>(
         &self,
-        photos: &PhotoCollection,
+        photos: impl Into<PhotoView<'p>>,
         jobs: &[(&StreetContext, DescribeParams, QueryBudget, QueryCapture)],
     ) -> (Vec<Result<DescribeOutcome>>, Vec<Option<CapturedArtifacts>>) {
+        let photos: PhotoView<'p> = photos.into();
         let _batch_span = soi_obs::trace::span(soi_obs::names::spans::ENGINE_BATCH);
         type DescribeJob<'a> = (&'a StreetContext, DescribeParams, QueryBudget, QueryCapture);
         self.dispatch(jobs, || {
@@ -1144,5 +1207,97 @@ mod tests {
             .sum();
         assert_eq!(batch.stats.accesses, summed);
         assert!(batch.stats.wall_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn delta_view_matches_folded_rebuild_with_identical_work_counters() {
+        // The tentpole invariant end to end: a batch pinned to a
+        // base+delta epoch must answer every query — results AND work
+        // counters — bit-identically to a batch over the folded rebuild,
+        // at every worker count. Equal counters mean the view's UB/LBk
+        // bounds drove the exact same pruning decisions.
+        let (dataset, index) = fixture();
+        let queries = queries(&dataset);
+
+        // A delta stream: inserts at existing POI positions (inside the
+        // grid extent) using queried keywords, plus a few deletes.
+        let shop = dataset.query_keywords(&["shop", "cafe"]);
+        let mut ops = Vec::new();
+        for i in 0..30usize {
+            let pos = dataset
+                .pois
+                .get(soi_common::PoiId::from_index(i * 7 % dataset.pois.len()))
+                .pos;
+            ops.push(soi_index::DeltaOp::AddPoi {
+                pos,
+                keywords: shop.clone(),
+                weight: 1.0 + (i % 3) as f64,
+            });
+        }
+        for i in 0..10usize {
+            ops.push(soi_index::DeltaOp::DeletePoi {
+                id: soi_common::PoiId::from_index(i * 13),
+            });
+        }
+        let delta =
+            DeltaIndex::seal(&index, &dataset.pois, &dataset.photos, &ops).expect("valid ops");
+        let (folded_pois, _) =
+            soi_index::fold_ops(&dataset.pois, &dataset.photos, &ops).expect("valid ops");
+        let rebuilt = PoiIndex::build(&dataset.network, &folded_pois, 0.001);
+
+        let ctx_delta = Arc::new(QueryContext::with_delta(
+            &dataset.network,
+            &dataset.pois,
+            &index,
+            Some(&delta),
+            1,
+        ));
+        let ctx_fold = Arc::new(QueryContext::new(&dataset.network, &folded_pois, &rebuilt));
+        for workers in [1usize, 2, 8] {
+            let engine = QueryEngine::new(workers);
+            let via_view = engine.run_soi_batch(&ctx_delta, &queries);
+            let via_fold = engine.run_soi_batch(&ctx_fold, &queries);
+            assert_eq!(via_view.stats.errors, 0);
+            for (got, want) in via_view.results.iter().zip(&via_fold.results) {
+                let got = got.as_ref().expect("valid");
+                let want = want.as_ref().expect("valid");
+                assert_eq!(got.results.len(), want.results.len());
+                for (g, w) in got.results.iter().zip(&want.results) {
+                    assert_eq!(g.street, w.street);
+                    assert_eq!(g.interest.to_bits(), w.interest.to_bits());
+                    assert_eq!(g.best_segment, w.best_segment);
+                    assert_eq!(g.best_segment_mass.to_bits(), w.best_segment_mass.to_bits());
+                }
+                assert_eq!(got.stats.accesses, want.stats.accesses, "w{workers}");
+                assert_eq!(
+                    got.stats.cells_popped, want.stats.cells_popped,
+                    "w{workers}"
+                );
+                assert_eq!(
+                    got.stats.segments_popped, want.stats.segments_popped,
+                    "w{workers}"
+                );
+                assert_eq!(got.stats.cell_visits, want.stats.cell_visits, "w{workers}");
+                assert_eq!(
+                    got.stats.segments_seen, want.stats.segments_seen,
+                    "w{workers}"
+                );
+                assert_eq!(
+                    got.stats.segments_bounded_out, want.stats.segments_bounded_out,
+                    "w{workers}"
+                );
+                assert_eq!(
+                    got.stats.segments_finalized(),
+                    want.stats.segments_finalized(),
+                    "w{workers}"
+                );
+            }
+            // Telemetry surfaces the pinned epoch and delta sizes.
+            assert_eq!(via_view.telemetry.epoch, 1);
+            assert_eq!(via_view.telemetry.delta_added_pois, 30);
+            assert_eq!(via_view.telemetry.delta_deleted_pois, 10);
+            assert_eq!(via_fold.telemetry.epoch, 0);
+            assert_eq!(via_fold.telemetry.delta_ops, 0);
+        }
     }
 }

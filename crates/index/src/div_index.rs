@@ -10,7 +10,7 @@ use soi_common::{
     bucket_sort_stable, bucket_sort_worthwhile, effective_threads, par_chunk_map,
     par_sort_unstable_by, CellId, FxHashMap, KeywordId, PhotoId,
 };
-use soi_data::PhotoCollection;
+use soi_data::PhotoView;
 use soi_geo::{Grid, Point, Rect};
 use soi_text::{InvertedIndex, KeywordSet};
 
@@ -48,7 +48,7 @@ impl DiversificationIndex {
     ///
     /// # Panics
     /// Panics if `rho` is not strictly positive.
-    pub fn build(photos: &PhotoCollection, members: &[PhotoId], rho: f64) -> Self {
+    pub fn build<'a>(photos: impl Into<PhotoView<'a>>, members: &[PhotoId], rho: f64) -> Self {
         Self::build_with_threads(photos, members, rho, 0)
     }
 
@@ -63,12 +63,13 @@ impl DiversificationIndex {
     ///
     /// # Panics
     /// Panics if `rho` is not strictly positive.
-    pub fn build_with_threads(
-        photos: &PhotoCollection,
+    pub fn build_with_threads<'a>(
+        photos: impl Into<PhotoView<'a>>,
         members: &[PhotoId],
         rho: f64,
         threads: usize,
     ) -> Self {
+        let photos: PhotoView<'a> = photos.into();
         assert!(rho > 0.0 && rho.is_finite(), "rho must be positive");
         debug_assert!(
             members.windows(2).all(|w| w[0] < w[1]),
@@ -225,7 +226,13 @@ impl DiversificationIndex {
     ///
     /// Correct only for `radius ≤ ρ` (the scan is limited to the radius-2
     /// cell neighbourhood, which covers exactly distances up to ρ = 2·cell).
-    pub fn count_within(&self, photos: &PhotoCollection, center: Point, radius: f64) -> usize {
+    pub fn count_within<'a>(
+        &self,
+        photos: impl Into<PhotoView<'a>>,
+        center: Point,
+        radius: f64,
+    ) -> usize {
+        let photos: PhotoView<'a> = photos.into();
         debug_assert!(
             radius <= self.grid.cell_size() * 2.0 + 1e-12,
             "count_within only valid up to rho"
@@ -248,6 +255,7 @@ impl DiversificationIndex {
 mod tests {
     use super::*;
     use soi_common::KeywordId;
+    use soi_data::PhotoCollection;
 
     fn tags(ids: &[u32]) -> KeywordSet {
         KeywordSet::from_ids(ids.iter().map(|&i| KeywordId(i)))

@@ -31,21 +31,32 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bloom;
+pub mod delta;
 pub mod div_index;
+pub mod epoch;
 pub mod epsilon;
 pub mod ir_tree;
 pub mod obs;
 pub mod photo_grid;
 pub mod poi_index;
 pub mod snapshot;
+pub mod view;
 
 pub use bloom::BloomSummary;
+pub use delta::{fold_ops, DeltaIndex, DeltaOp};
 pub use div_index::{DivCell, DiversificationIndex};
+pub use epoch::EpochedIndex;
 pub use epsilon::EpsilonMaps;
 pub use ir_tree::{IrTree, KeywordSummary, PoiEntry};
 pub use photo_grid::PhotoGrid;
 pub use poi_index::{PoiCell, PoiIndex};
+pub use view::IndexView;
+// Re-exported so downstream crates can resume the [`ops_hasher`] state
+// without a direct soi-snapshot dependency.
 pub use snapshot::{
-    build_bundle, dataset_fingerprint, read_bundle, read_bundle_with_fingerprint, write_bundle,
-    BundleParams, CacheMode, CacheOutcome, IndexBundle, IndexCache, ReadOutcome,
+    build_bundle, dataset_fingerprint, fold_dataset, ops_fingerprint, ops_hasher, read_bundle,
+    read_bundle_with_fingerprint, read_ingest_meta, write_bundle, write_bundle_ingested,
+    BundleParams, CacheMode, CacheOutcome, IndexBundle, IndexCache, IngestMeta, IngestedLoad,
+    ReadOutcome,
 };
+pub use soi_snapshot::Fnv64;

@@ -617,6 +617,11 @@ impl PoiIndex {
         self.cells.get(&id)
     }
 
+    /// Total POI weight in cell `id` (0.0 if unoccupied).
+    pub fn cell_total_weight(&self, id: CellId) -> f64 {
+        self.cells.get(&id).map_or(0.0, |c| c.total_weight)
+    }
+
     /// Number of occupied cells.
     pub fn num_occupied_cells(&self) -> usize {
         self.cells.len()
@@ -1006,6 +1011,57 @@ mod tests {
         assert_eq!(index.epsilon_cache_len(), EPS_CACHE_CAPACITY);
         index.clear_epsilon_cache();
         assert_eq!(index.epsilon_cache_len(), 0);
+    }
+
+    #[test]
+    fn epsilon_cache_reinsert_keeps_first_value_and_counts_no_eviction() {
+        // Two threads racing epsilon_maps() for the same ε both miss and
+        // both call insert(). The loser's insert must (a) return the
+        // winner's maps, (b) leave the cache size unchanged, and (c) not
+        // register an LRU eviction — the eviction counter is incremented
+        // only next to an entries.remove(), so an unchanged entry set
+        // proves the metric stayed flat.
+        let (network, _, index) = setup();
+        let key = 0.37f64.to_bits();
+        let winner = Arc::new(EpsilonMaps::build(&network, &index, 0.37));
+        let loser = Arc::new(EpsilonMaps::build(&network, &index, 0.37));
+
+        let mut cache = EpsCache::default();
+        // Fill to capacity so any spurious eviction on overwrite would be
+        // observable as a shrunken entry set.
+        for i in 0..EPS_CACHE_CAPACITY - 1 {
+            cache.insert(
+                (0.5 + i as f64).to_bits(),
+                Arc::new(EpsilonMaps::build(&network, &index, 0.5 + i as f64)),
+            );
+        }
+        let first = cache.insert(key, Arc::clone(&winner));
+        assert!(Arc::ptr_eq(&first, &winner));
+        assert_eq!(cache.entries.len(), EPS_CACHE_CAPACITY);
+
+        let second = cache.insert(key, Arc::clone(&loser));
+        assert!(
+            Arc::ptr_eq(&second, &winner),
+            "overwrite must keep the first-inserted maps"
+        );
+        assert_eq!(
+            cache.entries.len(),
+            EPS_CACHE_CAPACITY,
+            "overwrite must not change the cache size"
+        );
+        // The overwrite refreshed recency: pushing one new entry over
+        // capacity evicts the stalest *other* key, never the re-inserted one.
+        cache.insert(
+            99.0f64.to_bits(),
+            Arc::new(EpsilonMaps::build(&network, &index, 99.0)),
+        );
+        assert_eq!(cache.entries.len(), EPS_CACHE_CAPACITY);
+        let survivor = cache.get(key).expect("re-inserted key evicted");
+        assert!(Arc::ptr_eq(&survivor, &winner));
+        assert!(
+            !cache.entries.contains_key(&0.5f64.to_bits()),
+            "the LRU victim must be the oldest untouched key"
+        );
     }
 
     /// Asserts full structural equality of two indexes, comparing floats by

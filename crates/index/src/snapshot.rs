@@ -1062,6 +1062,37 @@ pub fn write_bundle(
     bundle: &IndexBundle,
     params: &BundleParams,
 ) -> Result<u64> {
+    write_bundle_with(path, dataset, bundle, params, None)
+}
+
+/// [`write_bundle`] plus an `ingest.meta` section recording which prefix
+/// of a delta-ops log is already folded into `dataset` (see [`IngestMeta`]).
+/// The `cache.meta` stamp keeps its exact 5-value shape, so these
+/// snapshots stay readable by [`read_bundle`].
+///
+/// # Errors
+/// As [`write_bundle`]; additionally rejects an inconsistent `ingest`
+/// stamp (non-ascending boundaries, last boundary ≠ applied ops).
+pub fn write_bundle_ingested(
+    path: &Path,
+    dataset: &Dataset,
+    bundle: &IndexBundle,
+    params: &BundleParams,
+    ingest: &IngestMeta,
+) -> Result<u64> {
+    ingest
+        .validate()
+        .map_err(|m| SoiError::invalid(format!("ingest meta: {m}")))?;
+    write_bundle_with(path, dataset, bundle, params, Some(ingest))
+}
+
+fn write_bundle_with(
+    path: &Path,
+    dataset: &Dataset,
+    bundle: &IndexBundle,
+    params: &BundleParams,
+    ingest: Option<&IngestMeta>,
+) -> Result<u64> {
     let _span = soi_obs::trace::span(soi_obs::names::spans::SNAPSHOT_WRITE);
     let start = Instant::now();
     let mut flags = 0u64;
@@ -1082,6 +1113,17 @@ pub fn write_bundle(
             params.eps.map_or(0, f64::to_bits),
         ],
     )?;
+    if let Some(meta) = ingest {
+        let mut vals = Vec::with_capacity(4 + meta.boundaries.len());
+        vals.extend([
+            meta.epoch,
+            meta.applied_ops,
+            meta.ops_fp,
+            meta.boundaries.len() as u64,
+        ]);
+        vals.extend_from_slice(&meta.boundaries);
+        w.u64s("ingest.meta", &vals)?;
+    }
     write_poi_index(&mut w, "poi", &bundle.poi)?;
     write_photo_grid(&mut w, "pg", &bundle.photo_grid)?;
     if let Some(ir) = &bundle.ir {
@@ -1183,6 +1225,167 @@ pub fn read_bundle_with_fingerprint(
 }
 
 // ---------------------------------------------------------------------------
+// Live ingestion metadata
+// ---------------------------------------------------------------------------
+
+/// Provenance of an ingested (folded) bundle: which prefix of the delta
+/// ops log is already compacted into the base this snapshot carries, and
+/// at which epoch boundaries the folds happened.
+///
+/// Fold boundaries are semantic, not cosmetic: every fold reassigns dense
+/// ids (base survivors first, then added survivors), and delta ops address
+/// the id space of the epoch they were accepted in. Replaying a log over
+/// the original base reproduces the persisted structures only when the
+/// folds happen at exactly the recorded boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestMeta {
+    /// The epoch id the persisted base was materialised at.
+    pub epoch: u64,
+    /// How many leading log lines are folded into the persisted base.
+    /// Lines past this point are still pending deltas at restart.
+    pub applied_ops: u64,
+    /// [`ops_fingerprint`] over the raw log lines `[..applied_ops]`;
+    /// detects a rewritten or truncated log before any fold work.
+    pub ops_fp: u64,
+    /// Ascending fold points within `[..applied_ops]`; when any exist,
+    /// the last one equals `applied_ops`.
+    pub boundaries: Vec<u64>,
+}
+
+impl IngestMeta {
+    fn validate(&self) -> std::result::Result<(), String> {
+        if let Some(w) = self.boundaries.windows(2).find(|w| w[0] >= w[1]) {
+            return Err(format!("fold boundaries not ascending at {}", w[1]));
+        }
+        match self.boundaries.last() {
+            Some(&last) if last != self.applied_ops => Err(format!(
+                "last fold boundary {last} != applied ops {}",
+                self.applied_ops
+            )),
+            None if self.applied_ops != 0 => Err(format!(
+                "{} applied ops but no fold boundaries",
+                self.applied_ops
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// FNV-64 hasher state over a delta-ops log prefix: each raw line
+/// (trimmed, so trailing-newline differences don't matter, and
+/// length-prefixed by `write_str`, so concatenation is unambiguous) in
+/// order. Exposed as a resumable state so a live server can extend the
+/// fingerprint incrementally at each fold without retaining every
+/// applied line.
+pub fn ops_hasher<S: AsRef<str>>(lines: &[S]) -> Fnv64 {
+    let mut h = Fnv64::new();
+    for line in lines {
+        h.write_str(line.as_ref().trim());
+    }
+    h
+}
+
+/// FNV-64 fingerprint of a delta-ops log prefix (see [`ops_hasher`]).
+/// Keys an ingested snapshot to the exact accepted-op sequence it
+/// folded.
+pub fn ops_fingerprint<S: AsRef<str>>(lines: &[S]) -> u64 {
+    ops_hasher(lines).finish()
+}
+
+/// Folds a delta-ops log into `base`, one [`fold_ops`](crate::fold_ops)
+/// batch per recorded epoch boundary (see [`IngestMeta::boundaries`]).
+/// Only lines up to the last boundary are applied; the tail is the next
+/// epoch's pending delta and is left to the caller.
+///
+/// Lines are parsed against the base vocabulary; every line must be one
+/// accepted op (the log is written post-validation, so blank or rejected
+/// lines never reach it).
+///
+/// # Errors
+/// Out-of-range or non-ascending boundaries, unparsable lines, or any
+/// [`fold_ops`](crate::fold_ops) validation failure (with the 1-based log
+/// line attached).
+pub fn fold_dataset<S: AsRef<str>>(
+    base: &Dataset,
+    lines: &[S],
+    boundaries: &[u64],
+) -> Result<Dataset> {
+    let mut pois = base.pois.clone();
+    let mut photos = base.photos.clone();
+    let mut prev = 0usize;
+    for &b in boundaries {
+        let b = b as usize;
+        if b < prev || b > lines.len() {
+            return Err(SoiError::invalid(format!(
+                "fold boundary {b} out of range (previous {prev}, log has {} lines)",
+                lines.len()
+            )));
+        }
+        let mut ops = Vec::with_capacity(b - prev);
+        for (i, line) in lines[prev..b].iter().enumerate() {
+            ops.push(
+                crate::delta::DeltaOp::parse_line(line.as_ref(), &base.vocab).map_err(|e| {
+                    SoiError::invalid(format!("delta log line {}: {e}", prev + i + 1))
+                })?,
+            );
+        }
+        let (next_pois, next_photos) = crate::delta::fold_ops(&pois, &photos, &ops)
+            .map_err(|e| SoiError::invalid(format!("folding log lines {}..{b}: {e}", prev + 1)))?;
+        pois = next_pois;
+        photos = next_photos;
+        prev = b;
+    }
+    Ok(Dataset::new(
+        base.name.clone(),
+        base.network.clone(),
+        base.vocab.clone(),
+        pois,
+        photos,
+    ))
+}
+
+/// Reads the [`IngestMeta`] stamped into the snapshot at `path`, or
+/// `None` for snapshots written without one ([`write_bundle`]). Touches
+/// only the section table plus one small section — cheap enough to probe
+/// at startup before deciding how much of the ops log to replay.
+///
+/// # Errors
+/// A missing or corrupt container, or a malformed `ingest.meta` section.
+pub fn read_ingest_meta(path: &Path) -> Result<Option<IngestMeta>> {
+    read_ingest_meta_from(&Snapshot::open(path)?)
+}
+
+fn read_ingest_meta_from(snapshot: &Snapshot) -> Result<Option<IngestMeta>> {
+    if !snapshot.has("ingest.meta") {
+        return Ok(None);
+    }
+    let vals = snapshot.u64s("ingest.meta")?;
+    let bad = |msg: String| corrupt(snapshot.path(), format!("`ingest.meta`: {msg}"));
+    if vals.len() < 4 {
+        return Err(bad(format!(
+            "must hold at least 4 values, found {}",
+            vals.len()
+        )));
+    }
+    let (head, boundaries) = vals.split_at(4);
+    if boundaries.len() as u64 != head[3] {
+        return Err(bad(format!(
+            "claims {} boundaries, found {}",
+            head[3],
+            boundaries.len()
+        )));
+    }
+    let meta = IngestMeta {
+        epoch: head[0],
+        applied_ops: head[1],
+        ops_fp: head[2],
+        boundaries: boundaries.to_vec(),
+    };
+    meta.validate().map_err(bad)?;
+    Ok(Some(meta))
+}
+
+// ---------------------------------------------------------------------------
 // Index cache
 // ---------------------------------------------------------------------------
 
@@ -1246,21 +1449,22 @@ impl IndexCache {
         params: &BundleParams,
         fingerprint: u64,
     ) -> PathBuf {
-        let mut h = Fnv64::new();
-        h.write_u64(fingerprint);
-        h.write_u32(FORMAT_VERSION);
-        h.write_f64(params.poi_cell);
-        h.write_f64(params.pg_cell);
-        h.write_u64(params.eps.map_or(0, f64::to_bits));
-        h.write_u32(params.with_ir as u32);
-        let key = h.finish();
-        let name: String = dataset
-            .name
-            .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-            .take(48)
-            .collect();
+        let key = snapshot_key(fingerprint, params);
+        let name = sanitised_stem(&dataset.name);
         self.dir.join(format!("{name}-{key:016x}.soisnap"))
+    }
+
+    /// The live-ingestion snapshot path for `base` under `params`.
+    ///
+    /// Keyed by the *base* (pre-fold) dataset fingerprint, unlike
+    /// [`IndexCache::snapshot_path`]: a restarting server knows the base
+    /// dataset and the ops log, but not the folded content — that is
+    /// exactly what the snapshot at this path reconstructs. One live
+    /// snapshot exists per `(base, params)`; every fold overwrites it.
+    pub fn live_snapshot_path(&self, base: &Dataset, params: &BundleParams) -> PathBuf {
+        let key = snapshot_key(dataset_fingerprint(base), params);
+        let name = sanitised_stem(&base.name);
+        self.dir.join(format!("{name}-{key:016x}-live.soisnap"))
     }
 
     /// Loads the bundle from the cache, or builds (and persists) it.
@@ -1300,6 +1504,135 @@ impl IndexCache {
         write_bundle(&path, dataset, &bundle, params)?;
         Ok((bundle, outcome))
     }
+
+    /// Loads the ingested bundle for `base` + ops log, or folds, builds,
+    /// and persists it.
+    ///
+    /// On a hit, the snapshot's [`IngestMeta`] names a prefix of `lines`
+    /// (verified by fingerprint) that is folded into the returned dataset
+    /// at the recorded epoch boundaries; the caller replays only
+    /// `lines[meta.applied_ops..]` as the pending delta. On a miss — no
+    /// snapshot, a rewritten log, or different params — the whole log is
+    /// folded as **one** batch (ids in an unfolded log are batch-relative,
+    /// so this is exact for logs that never saw a runtime fold) and a new
+    /// snapshot is written with `applied_ops = lines.len()`.
+    ///
+    /// # Errors
+    /// I/O failures, invalid ops in the log, and — in
+    /// [`CacheMode::Strict`] — any corrupt-snapshot error.
+    pub fn load_or_build_ingested<S: AsRef<str>>(
+        &self,
+        base: &Dataset,
+        params: &BundleParams,
+        lines: &[S],
+    ) -> Result<IngestedLoad> {
+        std::fs::create_dir_all(&self.dir).map_err(|e| SoiError::io(e, self.dir.clone()))?;
+        let path = self.live_snapshot_path(base, params);
+        let mut outcome = CacheOutcome::MissBuilt;
+        if path.exists() {
+            match self.try_load_ingested(&path, base, params, lines) {
+                Ok(Some(load)) => return Ok(load),
+                Ok(None) => {
+                    // Stale stamp (log rewritten, params changed): a miss.
+                }
+                Err(e) => {
+                    if self.mode == CacheMode::Strict {
+                        return Err(e);
+                    }
+                    outcome = CacheOutcome::RebuiltCorrupt;
+                }
+            }
+        }
+        let applied = lines.len() as u64;
+        let boundaries: Vec<u64> = if applied == 0 {
+            Vec::new()
+        } else {
+            vec![applied]
+        };
+        let meta = IngestMeta {
+            epoch: boundaries.len() as u64,
+            applied_ops: applied,
+            ops_fp: ops_fingerprint(lines),
+            boundaries,
+        };
+        let dataset = fold_dataset(base, lines, &meta.boundaries)?;
+        crate::obs::index_metrics().snapshot_rebuilds.inc();
+        let bundle = build_bundle(&dataset, params);
+        write_bundle_ingested(&path, &dataset, &bundle, params, &meta)?;
+        Ok(IngestedLoad {
+            dataset,
+            bundle,
+            meta,
+            outcome,
+        })
+    }
+
+    /// One attempt to satisfy [`IndexCache::load_or_build_ingested`] from
+    /// the snapshot at `path`. `Ok(None)` means a *stale* snapshot (treat
+    /// as a miss); `Err` means a corrupt one.
+    fn try_load_ingested<S: AsRef<str>>(
+        &self,
+        path: &Path,
+        base: &Dataset,
+        params: &BundleParams,
+        lines: &[S],
+    ) -> Result<Option<IngestedLoad>> {
+        let Some(meta) = read_ingest_meta(path)? else {
+            // A plain bundle under the live name has no provenance; a
+            // rebuild with the proper stamp replaces it.
+            return Ok(None);
+        };
+        let applied = meta.applied_ops as usize;
+        if applied > lines.len() || meta.ops_fp != ops_fingerprint(&lines[..applied]) {
+            return Ok(None);
+        }
+        let dataset = fold_dataset(base, &lines[..applied], &meta.boundaries)?;
+        let fingerprint = dataset_fingerprint(&dataset);
+        match read_bundle_with_fingerprint(path, &dataset, params, fingerprint)? {
+            ReadOutcome::Loaded(bundle) => Ok(Some(IngestedLoad {
+                dataset,
+                bundle: *bundle,
+                meta,
+                outcome: CacheOutcome::Hit,
+            })),
+            ReadOutcome::Stale(_) => Ok(None),
+        }
+    }
+}
+
+/// What [`IndexCache::load_or_build_ingested`] produced.
+#[derive(Debug)]
+pub struct IngestedLoad {
+    /// The base dataset folded through `meta.applied_ops` log lines.
+    pub dataset: Dataset,
+    /// The index bundle over that folded dataset.
+    pub bundle: IndexBundle,
+    /// The provenance stamp persisted with the snapshot; `applied_ops`
+    /// tells the caller where the pending tail of the log starts.
+    pub meta: IngestMeta,
+    /// How the bundle was obtained.
+    pub outcome: CacheOutcome,
+}
+
+/// The content part of a snapshot file key (fingerprint + format version
+/// + build params); shared by the plain and live path schemes.
+fn snapshot_key(fingerprint: u64, params: &BundleParams) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(fingerprint);
+    h.write_u32(FORMAT_VERSION);
+    h.write_f64(params.poi_cell);
+    h.write_f64(params.pg_cell);
+    h.write_u64(params.eps.map_or(0, f64::to_bits));
+    h.write_u32(params.with_ir as u32);
+    h.finish()
+}
+
+/// A dataset name reduced to a filesystem-safe snapshot file stem.
+fn sanitised_stem(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .take(48)
+        .collect()
 }
 
 #[cfg(test)]
@@ -1622,6 +1955,126 @@ mod tests {
         let mut more_photos = ds.clone();
         more_photos.photos.add(Point::new(0.5, 0.5), kws(&[1]));
         assert_ne!(base, dataset_fingerprint(&more_photos));
+    }
+
+    #[test]
+    fn plain_bundles_carry_no_ingest_meta() {
+        let ds = sample_dataset();
+        let p = params();
+        let bundle = build_bundle(&ds, &p);
+        let path = temp_path("noingest");
+        write_bundle(&path, &ds, &bundle, &p).unwrap();
+        assert_eq!(read_ingest_meta(&path).unwrap(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ingest_meta_round_trips() {
+        let ds = sample_dataset();
+        let p = params();
+        let bundle = build_bundle(&ds, &p);
+        let path = temp_path("ingestmeta");
+        let meta = IngestMeta {
+            epoch: 7,
+            applied_ops: 12,
+            ops_fp: 0xDEAD_BEEF,
+            boundaries: vec![5, 12],
+        };
+        write_bundle_ingested(&path, &ds, &bundle, &p, &meta).unwrap();
+        assert_eq!(read_ingest_meta(&path).unwrap(), Some(meta));
+        // The extra section does not disturb the plain read path.
+        assert!(matches!(
+            read_bundle(&path, &ds, &p).unwrap(),
+            ReadOutcome::Loaded(_)
+        ));
+        std::fs::remove_file(&path).ok();
+
+        // Inconsistent stamps are rejected at write time.
+        let bad = IngestMeta {
+            epoch: 1,
+            applied_ops: 12,
+            ops_fp: 0,
+            boundaries: vec![5, 9], // last != applied_ops
+        };
+        assert!(write_bundle_ingested(&path, &ds, &bundle, &p, &bad).is_err());
+    }
+
+    #[test]
+    fn ingested_cache_replays_only_newer_deltas() {
+        let ds = sample_dataset();
+        let p = params();
+        let dir = std::env::temp_dir().join(format!("soi-ingcache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = IndexCache::new(&dir, CacheMode::Lenient);
+
+        let log: Vec<String> = vec![
+            r#"{"op":"add_poi","x":1.0,"y":1.0,"kw":["cafe"],"weight":2.0}"#.into(),
+            r#"{"op":"add_photo","x":2.0,"y":1.0,"tags":["museum"]}"#.into(),
+            r#"{"op":"del_poi","id":3}"#.into(),
+        ];
+
+        // First load folds the whole log in one batch and persists it.
+        let built = cache.load_or_build_ingested(&ds, &p, &log).unwrap();
+        assert_eq!(built.outcome, CacheOutcome::MissBuilt);
+        assert_eq!(built.meta.applied_ops, 3);
+        assert_eq!(built.meta.boundaries, vec![3]);
+        assert_eq!(built.dataset.pois.len(), ds.pois.len()); // +1 add, -1 delete
+        assert_eq!(built.dataset.photos.len(), ds.photos.len() + 1);
+
+        // Same log: a hit, decoding the same folded content.
+        let hit = cache.load_or_build_ingested(&ds, &p, &log).unwrap();
+        assert_eq!(hit.outcome, CacheOutcome::Hit);
+        assert_eq!(hit.meta, built.meta);
+        assert_eq!(
+            dataset_fingerprint(&hit.dataset),
+            dataset_fingerprint(&built.dataset)
+        );
+        assert_poi_index_equal(&built.dataset, &built.bundle.poi, &hit.bundle.poi);
+
+        // A longer log with the same prefix: still a hit; the tail stays
+        // pending for the caller to replay as the live delta.
+        let mut longer = log.clone();
+        longer.push(r#"{"op":"add_photo","x":3.0,"y":1.0,"tags":["park"]}"#.into());
+        let partial = cache.load_or_build_ingested(&ds, &p, &longer).unwrap();
+        assert_eq!(partial.outcome, CacheOutcome::Hit);
+        assert_eq!(partial.meta.applied_ops, 3);
+        assert_eq!(partial.dataset.photos.len(), ds.photos.len() + 1);
+
+        // A rewritten prefix invalidates the snapshot: full refold.
+        let mut rewritten = log.clone();
+        rewritten[0] = r#"{"op":"add_poi","x":1.5,"y":1.0,"kw":["bar"]}"#.into();
+        let rebuilt = cache.load_or_build_ingested(&ds, &p, &rewritten).unwrap();
+        assert_eq!(rebuilt.outcome, CacheOutcome::MissBuilt);
+        assert_ne!(rebuilt.meta.ops_fp, built.meta.ops_fp);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fold_dataset_honours_boundaries() {
+        let ds = sample_dataset();
+        let n = ds.pois.len() as u32;
+        // Epoch 1 adds a POI; epoch 2 deletes it *by its post-fold id*
+        // (fold keeps ascending order, so the add lands at index n).
+        let log = [
+            r#"{"op":"add_poi","x":1.0,"y":1.0,"kw":["cafe"]}"#.to_string(),
+            format!(r#"{{"op":"del_poi","id":{n}}}"#),
+        ];
+        let folded = fold_dataset(&ds, &log, &[1, 2]).unwrap();
+        assert_eq!(folded.pois.len(), ds.pois.len());
+        // As one batch the same two lines also cancel out (the delete
+        // targets the pending add), so both interpretations agree here…
+        let single = fold_dataset(&ds, &log, &[2]).unwrap();
+        assert_eq!(single.pois.len(), ds.pois.len());
+        // No boundaries: nothing is applied — the tail is all pending.
+        assert_eq!(
+            fold_dataset(&ds, &log, &[]).unwrap().pois.len(),
+            ds.pois.len()
+        );
+        // Out-of-range boundary is rejected.
+        assert!(fold_dataset(&ds, &log, &[3]).is_err());
+        // Boundaries that go backwards are rejected.
+        assert!(fold_dataset(&ds, &log, &[2, 1]).is_err());
     }
 
     #[test]

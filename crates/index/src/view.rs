@@ -1,0 +1,193 @@
+//! The base+delta read path: [`IndexView`].
+//!
+//! Algorithms 1 and 2 never touch [`PoiIndex`](crate::PoiIndex) directly
+//! once a delta is live; they read through an [`IndexView`] that overlays a
+//! sealed [`DeltaIndex`] on the base structures. The overlay rules keep
+//! every bound the algorithm relies on *sound and exact*:
+//!
+//! - Street geometry (grid, rasters, segment length order) is static, so
+//!   those methods delegate to the base unchanged.
+//! - Global postings and per-cell weight totals come from the delta's
+//!   replacement aggregates for touched keywords/cells and from the base
+//!   otherwise; the delta recomputed them in merged ascending-POI order,
+//!   so they are bit-identical to a rebuilt index's aggregates.
+//! - Cell occupancy is the union of base-occupied cells and delta-new
+//!   cells. A base cell whose POIs were all deleted stays "occupied" with
+//!   a zero total — a sound superset that contributes nothing.
+//! - Exact masses sum base survivors (ascending id, via the base inverted
+//!   postings with deleted POIs skipped) then delta adds (ascending id) —
+//!   the same physical-POI order a rebuild over the folded collections
+//!   sums in, hence bit-identical masses.
+
+use soi_common::{CellId, KeywordId, SegmentId};
+use soi_data::PoiView;
+use soi_geo::{Grid, LineSeg};
+use soi_network::RoadNetwork;
+use soi_text::KeywordSet;
+
+use crate::delta::DeltaIndex;
+use crate::poi_index::PoiIndex;
+
+/// A read-only overlay of an optional sealed delta on a base index.
+///
+/// `Copy`, and constructible from a plain `&PoiIndex` (empty delta), so
+/// query entry points take `impl Into<IndexView<'_>>` and pre-ingestion
+/// call sites keep passing the index directly.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexView<'a> {
+    base: &'a PoiIndex,
+    delta: Option<&'a DeltaIndex>,
+}
+
+impl<'a> From<&'a PoiIndex> for IndexView<'a> {
+    fn from(base: &'a PoiIndex) -> Self {
+        Self { base, delta: None }
+    }
+}
+
+impl<'a> IndexView<'a> {
+    /// A view of `base` overlaid with `delta` (None = base only).
+    pub fn new(base: &'a PoiIndex, delta: Option<&'a DeltaIndex>) -> Self {
+        Self { base, delta }
+    }
+
+    /// The base index.
+    pub fn base(&self) -> &'a PoiIndex {
+        self.base
+    }
+
+    /// The overlaid delta, if any.
+    pub fn delta(&self) -> Option<&'a DeltaIndex> {
+        self.delta
+    }
+
+    /// The underlying grid (static street/POI extent fixed at build time).
+    pub fn grid(&self) -> &'a Grid {
+        self.base.grid()
+    }
+
+    /// Segment ids sorted increasingly by length (SL3 order; static).
+    pub fn segments_by_len(&self) -> &'a [SegmentId] {
+        self.base.segments_by_len()
+    }
+
+    /// O(1) upper bound on `|Cε(ℓ)|` (pure grid geometry; static).
+    pub fn upper_cell_count(&self, geom: &LineSeg, eps: f64) -> usize {
+        self.base.upper_cell_count(geom, eps)
+    }
+
+    /// Superset of `Lε(c)` from the static raster map (street geometry
+    /// never changes within an epoch lineage).
+    pub fn segments_near_cell_superset_into(&self, id: CellId, eps: f64, out: &mut Vec<SegmentId>) {
+        self.base.segments_near_cell_superset_into(id, eps, out);
+    }
+
+    /// The global inverted list for keyword `k`: the delta's replacement
+    /// list when `k` was touched this epoch, the base list otherwise.
+    pub fn global_postings(&self, k: KeywordId) -> &'a [(CellId, f64)] {
+        if let Some(d) = self.delta {
+            if let Some(list) = d.global_postings(k) {
+                return list;
+            }
+        }
+        self.base.global_postings(k)
+    }
+
+    /// Total POI weight in cell `id` under this view (0.0 if unoccupied).
+    pub fn cell_total_weight(&self, id: CellId) -> f64 {
+        if let Some(d) = self.delta {
+            if let Some(w) = d.cell_total_weight(id) {
+                return w;
+            }
+        }
+        self.base.cell_total_weight(id)
+    }
+
+    /// Lazy `Cε(ℓ)` under this view: cells occupied by the base or newly
+    /// occupied by the delta, within `eps` of `geom`, ascending.
+    pub fn occupied_cells_near_segment_into(
+        &self,
+        geom: &LineSeg,
+        eps: f64,
+        out: &mut Vec<CellId>,
+    ) {
+        match self.delta {
+            None => self.base.occupied_cells_near_segment_into(geom, eps, out),
+            Some(d) => {
+                out.clear();
+                let grid = self.base.grid();
+                grid.for_each_cell_near_segment(geom, eps, |coord| {
+                    let c = grid.cell_id(coord);
+                    if self.base.cell(c).is_some() || d.occupies_new_cell(c) {
+                        out.push(c);
+                    }
+                });
+                out.sort_unstable();
+            }
+        }
+    }
+
+    /// Allocating form of
+    /// [`occupied_cells_near_segment_into`](Self::occupied_cells_near_segment_into).
+    pub fn occupied_cells_near_segment(&self, geom: &LineSeg, eps: f64) -> Vec<CellId> {
+        let mut out = Vec::new();
+        self.occupied_cells_near_segment_into(geom, eps, &mut out);
+        out
+    }
+
+    /// Exact weighted mass contribution of cell `id` to segment
+    /// `seg_geom` under this view: base survivors first (ascending id,
+    /// deleted POIs skipped), then delta adds (ascending id) — the merged
+    /// summation order, so the result is bit-identical to the rebuilt
+    /// index's mass.
+    pub fn cell_mass_for_segment(
+        &self,
+        pois: PoiView<'_>,
+        id: CellId,
+        seg_geom: &LineSeg,
+        query: &KeywordSet,
+        eps: f64,
+    ) -> f64 {
+        let Some(d) = self.delta else {
+            return self
+                .base
+                .cell_mass_for_segment(pois.base(), id, seg_geom, query, eps);
+        };
+        let eps_sq = eps * eps;
+        let mut mass = 0.0;
+        if let Some(cell) = self.base.cell(id) {
+            cell.inverted.for_each_matching(query.ids(), |pid| {
+                if !d.poi_deleted(pid) {
+                    let poi = pois.get(pid);
+                    if seg_geom.dist_sq_to_point(poi.pos) <= eps_sq {
+                        mass += poi.weight;
+                    }
+                }
+            });
+        }
+        for &pid in d.cell_added_pois(id) {
+            let poi = pois.get(pid);
+            if poi.keywords.intersects(query) && seg_geom.dist_sq_to_point(poi.pos) <= eps_sq {
+                mass += poi.weight;
+            }
+        }
+        mass
+    }
+
+    /// Exact weighted mass of a whole segment under this view
+    /// (Definition 1), with the ε-dilation computed on the fly.
+    pub fn segment_mass_lazy(
+        &self,
+        pois: PoiView<'_>,
+        network: &RoadNetwork,
+        seg: SegmentId,
+        query: &KeywordSet,
+        eps: f64,
+    ) -> f64 {
+        let geom = network.segment(seg).geom;
+        self.occupied_cells_near_segment(&geom, eps)
+            .into_iter()
+            .map(|c| self.cell_mass_for_segment(pois, c, &geom, query, eps))
+            .sum()
+    }
+}

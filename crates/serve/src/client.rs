@@ -115,15 +115,40 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Outcome of [`request_with_retry`]: the final response plus how the
+/// attempts went, so callers can attribute latency correctly — the time
+/// a request spent being shed and backed off is overload accounting, not
+/// service latency.
+#[derive(Debug)]
+pub struct RetryOutcome {
+    /// The final response (or transport error) once retries stopped.
+    pub response: Result<Response>,
+    /// Attempts actually made (≥ 1).
+    pub attempts: usize,
+    /// Attempts answered with a shed 503 (including the final one when
+    /// retries ran out while still shed).
+    pub sheds: usize,
+    /// Wall clock of the final attempt alone: connect to response read,
+    /// excluding every earlier attempt and backoff sleep.
+    pub last_attempt: Duration,
+}
+
+impl RetryOutcome {
+    /// True when the final response was an accepted (non-503) success.
+    pub fn accepted(&self) -> bool {
+        self.response
+            .as_ref()
+            .is_ok_and(|response| response.status != 503)
+    }
+}
+
 /// Sends a request, retrying shed (503) responses and transport errors
 /// with exponential backoff. Non-503 responses return immediately.
 ///
-/// Returns the last response (or error) once retries are exhausted, and
-/// the number of attempts actually made.
-///
-/// # Errors
-/// The final transport error when every attempt failed to produce a
-/// response.
+/// The returned [`RetryOutcome`] reports every attempt: a benchmark that
+/// times the whole call would otherwise fold shed handling and backoff
+/// sleeps into the accepted request's latency, skewing tail percentiles
+/// upward on any run that sheds.
 pub fn request_with_retry(
     addr: SocketAddr,
     method: &str,
@@ -131,18 +156,29 @@ pub fn request_with_retry(
     body: Option<&str>,
     timeout: Duration,
     policy: RetryPolicy,
-) -> (Result<Response>, usize) {
+) -> RetryOutcome {
     let mut backoff = policy.backoff;
     let mut attempts = 0;
+    let mut sheds = 0;
     loop {
         attempts += 1;
+        let attempt_started = std::time::Instant::now();
         let outcome = request(addr, method, path, body, timeout);
-        let retryable = match &outcome {
-            Ok(response) => response.status == 503,
-            Err(_) => true,
-        };
+        let last_attempt = attempt_started.elapsed();
+        let shed = outcome
+            .as_ref()
+            .is_ok_and(|response| response.status == 503);
+        if shed {
+            sheds += 1;
+        }
+        let retryable = shed || outcome.is_err();
         if !retryable || attempts > policy.retries {
-            return (outcome, attempts);
+            return RetryOutcome {
+                response: outcome,
+                attempts,
+                sheds,
+                last_attempt,
+            };
         }
         std::thread::sleep(backoff);
         backoff = backoff.saturating_mul(2);

@@ -65,6 +65,20 @@ pub struct ServeMetrics {
     pub errors_window: &'static WindowedCounter,
     /// `soi_serve_partials_window`: partial responses inside the window.
     pub partials_window: &'static WindowedCounter,
+    /// `soi_ingest_batches_total`: accepted `POST /ingest` batches.
+    pub ingest_batches: &'static Counter,
+    /// `soi_ingest_ops_total`: delta ops accepted across all batches.
+    pub ingest_ops: &'static Counter,
+    /// `soi_ingest_rejected_total`: ingest batches rejected whole (parse
+    /// or validation failure; state unchanged).
+    pub ingest_rejected: &'static Counter,
+    /// `soi_ingest_folds_total`: epoch folds (delta compacted into a
+    /// fresh base and the epoch swapped).
+    pub ingest_folds: &'static Counter,
+    /// `soi_ingest_epoch`: current epoch id (monotone across swaps).
+    pub ingest_epoch: &'static Gauge,
+    /// `soi_ingest_pending_ops`: ops in the live (unfolded) delta.
+    pub ingest_pending: &'static Gauge,
 }
 
 /// The serving instruments (registered on first use).
@@ -144,6 +158,24 @@ pub fn serve_metrics() -> &'static ServeMetrics {
             WINDOW_SLOTS,
             WINDOW_SLOT_SECS,
         ),
+        ingest_batches: register_counter(
+            "soi_ingest_batches_total",
+            "Accepted POST /ingest batches",
+        ),
+        ingest_ops: register_counter("soi_ingest_ops_total", "Delta ops accepted via ingestion"),
+        ingest_rejected: register_counter(
+            "soi_ingest_rejected_total",
+            "Ingest batches rejected whole (parse or validation failure)",
+        ),
+        ingest_folds: register_counter(
+            "soi_ingest_folds_total",
+            "Epoch folds: pending delta compacted into a fresh base",
+        ),
+        ingest_epoch: register_gauge("soi_ingest_epoch", "Current serving epoch id"),
+        ingest_pending: register_gauge(
+            "soi_ingest_pending_ops",
+            "Ops in the live (unfolded) ingestion delta",
+        ),
     })
 }
 
@@ -164,7 +196,7 @@ mod tests {
     #[test]
     fn register_exposes_serve_series() {
         register_metrics();
-        let text = soi_obs::metrics::gather_prefixed("soi_serve_");
+        let text = soi_obs::metrics::gather_prefixed("soi_");
         for name in [
             "soi_serve_requests_total",
             "soi_serve_shed_total",
@@ -179,6 +211,12 @@ mod tests {
             "soi_serve_shed_window",
             "soi_serve_errors_window",
             "soi_serve_partials_window",
+            "soi_ingest_batches_total",
+            "soi_ingest_ops_total",
+            "soi_ingest_rejected_total",
+            "soi_ingest_folds_total",
+            "soi_ingest_epoch",
+            "soi_ingest_pending_ops",
         ] {
             assert!(text.contains(name), "{name} missing from gather");
         }

@@ -45,6 +45,8 @@ pub struct SlotMeta {
     pub eps_cache_hits: u64,
     /// ε-map cache misses attributed to this job's dispatch batch.
     pub eps_cache_misses: u64,
+    /// The serving epoch the dispatch batch pinned.
+    pub epoch: u64,
     /// Chrome-trace JSON captured for this request, when asked for.
     pub trace_json: Option<String>,
     /// Explain JSON captured for this request, when asked for.

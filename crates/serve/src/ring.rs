@@ -43,6 +43,8 @@ pub struct RequestRecord {
     pub eps_cache_hits: u64,
     /// ε-map cache misses attributed to this request's dispatch batch.
     pub eps_cache_misses: u64,
+    /// The serving epoch the request executed against.
+    pub epoch: u64,
     /// Chrome-trace JSON captured for this request, when asked for.
     pub trace_json: Option<String>,
     /// Explain JSON captured for this request, when asked for.
@@ -70,6 +72,7 @@ impl RequestRecord {
         eps.field_u64("hits", self.eps_cache_hits);
         eps.field_u64("misses", self.eps_cache_misses);
         obj.field_raw("eps_cache", &eps.finish());
+        obj.field_u64("epoch", self.epoch);
         obj.field_bool("traced", self.trace_json.is_some());
         obj.field_bool("explained", self.explain_json.is_some());
         if with_artifacts {

@@ -55,7 +55,7 @@ use soi_core::soi::{run_soi_explained, SoiExplain, SoiOutcome, SoiQuery, SoiScra
 use soi_core::QueryBudget;
 use soi_data::Dataset;
 use soi_engine::{CapturedArtifacts, QueryCapture, QueryContext, QueryEngine};
-use soi_index::{PhotoGrid, PoiIndex};
+use soi_index::{DeltaIndex, DeltaOp, EpochedIndex, Fnv64, IndexBundle, PhotoGrid, PoiIndex};
 use soi_obs::json::{Json, JsonWriter};
 use soi_obs::log::{self, Value};
 use std::collections::VecDeque;
@@ -106,6 +106,13 @@ pub struct ServeConfig {
     pub slow_query: Option<Duration>,
     /// Recent-requests ring capacity.
     pub ring_capacity: usize,
+    /// Fold (compact) the pending ingestion delta into a fresh base once
+    /// it holds this many ops (0 = never fold; deltas grow unbounded).
+    pub epoch_max_delta: usize,
+    /// Append accepted `POST /ingest` ops to this JSON-lines log. At
+    /// startup the log is replayed: with `index_cache` set, only lines
+    /// newer than the persisted base are re-sealed as the live delta.
+    pub ingest_log: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -127,6 +134,8 @@ impl Default for ServeConfig {
             trace_sample: 0,
             slow_query: None,
             ring_capacity: 256,
+            epoch_max_delta: 4096,
+            ingest_log: None,
         }
     }
 }
@@ -244,11 +253,52 @@ impl ConnQueue {
     }
 }
 
+/// One immutable generation of serving state: the folded base structures
+/// plus the sealed delta of pending ingestion ops. Published through
+/// [`EpochedIndex`]; readers pin one epoch per request (or per dispatch
+/// batch) and never take a lock or observe a torn swap.
+struct EpochState {
+    /// Monotone epoch id (0 = the boot base; +1 per ingest batch or fold).
+    epoch: u64,
+    /// The base dataset this epoch queries against (folded at compaction).
+    dataset: Arc<Dataset>,
+    index: Arc<PoiIndex>,
+    photo_grid: Arc<PhotoGrid>,
+    /// Pending ops sealed into a query-ready overlay (`None` when fresh).
+    delta: Option<Arc<DeltaIndex>>,
+    /// The parsed pending ops; each ingest batch re-seals cumulatively.
+    pending_ops: Vec<DeltaOp>,
+    /// Raw accepted lines of the pending ops (fold fingerprinting).
+    pending_lines: Vec<String>,
+    /// Ops-log lines already folded into `dataset`.
+    applied_ops: u64,
+    /// Fold boundaries within the applied prefix (persisted so a restart
+    /// replays the exact same batch splits — fold id-reassignment makes
+    /// boundaries semantic, not just bookkeeping).
+    boundaries: Vec<u64>,
+    /// Running [`soi_index::ops_hasher`] state over the applied prefix;
+    /// extended at each fold so no applied line needs retaining.
+    applied_hasher: Fnv64,
+}
+
+impl EpochState {
+    /// Pending delta op count (0 when the delta is `None`).
+    fn pending(&self) -> usize {
+        self.pending_ops.len()
+    }
+}
+
 /// Everything the IO workers and dispatcher share.
 struct Shared<'a> {
-    dataset: &'a Dataset,
-    index: &'a PoiIndex,
-    photo_grid: &'a PhotoGrid,
+    /// The epoch-swapped serving state (dataset + indexes + delta).
+    epochs: &'a EpochedIndex<EpochState>,
+    /// Serialises ingest writers; readers never take it.
+    ingest_lock: &'a Mutex<()>,
+    /// Index build parameters (fold-time rebuilds must match startup).
+    params: soi_index::BundleParams,
+    /// Where fold-time compaction persists the live snapshot (set when
+    /// both `index_cache` and `ingest_log` are configured).
+    live_snapshot: Option<std::path::PathBuf>,
     engine: &'a QueryEngine,
     queue: &'a AdmissionQueue,
     config: &'a ServeConfig,
@@ -289,16 +339,41 @@ pub fn serve(
         threads: config.engine_threads,
     };
     let index_started = Instant::now();
-    let bundle = match &config.index_cache {
-        None => soi_index::build_bundle(dataset, &params),
+    let cache_mode = if config.index_cache_strict {
+        soi_index::CacheMode::Strict
+    } else {
+        soi_index::CacheMode::Lenient
+    };
+    // Replay the ingest log (accepted ops from earlier runs). With a
+    // snapshot cache the persisted base records how many leading lines it
+    // already folded (and at which boundaries); only the newer tail is
+    // re-sealed as the live delta. Without a cache the whole log becomes
+    // one pending delta over the raw dataset.
+    let log_lines: Vec<String> = match &config.ingest_log {
+        Some(path) if path.exists() => std::fs::read_to_string(path)
+            .map_err(|e| SoiError::io(e, path.clone()).with_context("reading the ingest log"))?
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(String::from)
+            .collect(),
+        _ => Vec::new(),
+    };
+    let mut applied_ops = 0u64;
+    let mut boundaries: Vec<u64> = Vec::new();
+    let (base_dataset, bundle) = match &config.index_cache {
+        None => (dataset.clone(), soi_index::build_bundle(dataset, &params)),
         Some(dir) => {
-            let mode = if config.index_cache_strict {
-                soi_index::CacheMode::Strict
+            let cache = soi_index::IndexCache::new(dir.clone(), cache_mode);
+            let (folded, bundle, outcome) = if config.ingest_log.is_some() {
+                let load = cache.load_or_build_ingested(dataset, &params, &log_lines)?;
+                applied_ops = load.meta.applied_ops;
+                boundaries = load.meta.boundaries;
+                (load.dataset, load.bundle, load.outcome)
             } else {
-                soi_index::CacheMode::Lenient
+                let (bundle, outcome) = cache.load_or_build(dataset, &params)?;
+                (dataset.clone(), bundle, outcome)
             };
-            let (bundle, outcome) =
-                soi_index::IndexCache::new(dir.clone(), mode).load_or_build(dataset, &params)?;
             log::event(
                 "serve.index_cache",
                 match outcome {
@@ -310,17 +385,70 @@ pub fn serve(
                 },
                 &[
                     ("dir", Value::Str(&dir.display().to_string())),
+                    ("applied_ops", Value::U64(applied_ops)),
                     (
                         "ms",
                         Value::F64(index_started.elapsed().as_secs_f64() * 1e3),
                     ),
                 ],
             );
-            bundle
+            (folded, bundle)
         }
     };
-    let index = bundle.poi;
-    let photo_grid = bundle.photo_grid;
+    let index = Arc::new(bundle.poi);
+    let photo_grid = Arc::new(bundle.photo_grid);
+
+    // Seal the unapplied log tail as the live delta of the boot epoch.
+    let tail = &log_lines[applied_ops as usize..];
+    let mut pending_ops = Vec::with_capacity(tail.len());
+    for (i, line) in tail.iter().enumerate() {
+        let op = DeltaOp::parse_line(line, &base_dataset.vocab).map_err(|e| {
+            SoiError::invalid(format!(
+                "ingest log line {}: {e}",
+                applied_ops as usize + i + 1
+            ))
+        })?;
+        pending_ops.push(op);
+    }
+    let delta = match pending_ops.is_empty() {
+        true => None,
+        false => Some(Arc::new(
+            DeltaIndex::seal(
+                &index,
+                &base_dataset.pois,
+                &base_dataset.photos,
+                &pending_ops,
+            )
+            .map_err(|e| e.with_context("sealing the ingest-log tail"))?,
+        )),
+    };
+    let applied_hasher = soi_index::ops_hasher(&log_lines[..applied_ops as usize]);
+    let state = EpochState {
+        epoch: boundaries.len() as u64 + u64::from(delta.is_some()),
+        dataset: Arc::new(base_dataset),
+        index,
+        photo_grid,
+        delta,
+        pending_ops,
+        pending_lines: tail.to_vec(),
+        applied_ops,
+        boundaries,
+        applied_hasher,
+    };
+    {
+        let metrics = crate::obs::serve_metrics();
+        metrics.ingest_epoch.set(state.epoch as f64);
+        metrics.ingest_pending.set(state.pending() as f64);
+    }
+    let epochs = EpochedIndex::new(state);
+    let ingest_lock = Mutex::new(());
+    let live_snapshot = match (&config.index_cache, &config.ingest_log) {
+        (Some(dir), Some(_)) => Some(
+            soi_index::IndexCache::new(dir.clone(), cache_mode)
+                .live_snapshot_path(dataset, &params),
+        ),
+        _ => None,
+    };
     let engine = QueryEngine::new(config.engine_threads);
 
     let listener = TcpListener::bind(&config.addr)
@@ -339,9 +467,10 @@ pub fn serve(
     let next_request_id = AtomicU64::new(0);
     let trace_tick = AtomicU64::new(0);
     let shared = Shared {
-        dataset,
-        index: &index,
-        photo_grid: &photo_grid,
+        epochs: &epochs,
+        ingest_lock: &ingest_lock,
+        params,
+        live_snapshot,
         engine: &engine,
         queue: &queue,
         config,
@@ -525,6 +654,9 @@ struct RequestMeta {
     accesses: u64,
     eps_cache_hits: u64,
     eps_cache_misses: u64,
+    /// The serving epoch the request executed against (0 when the
+    /// request never touched query state).
+    epoch: u64,
     trace_json: Option<String>,
     explain_json: Option<String>,
 }
@@ -643,6 +775,7 @@ fn finish_request(
         accesses: meta.accesses,
         eps_cache_hits: meta.eps_cache_hits,
         eps_cache_misses: meta.eps_cache_misses,
+        epoch: meta.epoch,
         trace_json: meta.trace_json,
         explain_json: meta.explain_json,
     });
@@ -712,6 +845,20 @@ fn route(
             Ok(pair) => pair,
             Err(e) => (error_tuple(&e), meta_for("/describe")),
         },
+        ("POST", "/ingest") => {
+            let mut meta = meta_for("/ingest");
+            match ingest_post(shared, request, request_id) {
+                Ok((body, params, epoch)) => {
+                    meta.params = params;
+                    meta.epoch = epoch;
+                    ((200, "OK", JSON, body), meta)
+                }
+                Err(e) => {
+                    crate::obs::serve_metrics().ingest_rejected.inc();
+                    (error_tuple(&e), meta)
+                }
+            }
+        }
         ("GET" | "POST", _) => (
             (
                 404,
@@ -955,9 +1102,23 @@ fn error_body(message: &str, category: &str) -> String {
 fn status_body(shared: &Shared<'_>) -> String {
     let draining = shared.shutdown.load(Ordering::SeqCst);
     let metrics = crate::obs::serve_metrics();
+    let state = shared.epochs.pin();
     let mut obj = JsonWriter::object();
     obj.field_str("status", if draining { "draining" } else { "serving" });
-    obj.field_str("dataset", &shared.dataset.name);
+    obj.field_str("dataset", &state.dataset.name);
+    // The live-ingestion epoch: monotone across ingest batches and folds.
+    let mut epoch = JsonWriter::object();
+    epoch.field_u64("id", state.epoch);
+    epoch.field_u64("pending_ops", state.pending() as u64);
+    epoch.field_u64("applied_ops", state.applied_ops);
+    epoch.field_u64("folds", state.boundaries.len() as u64);
+    if let Some(delta) = &state.delta {
+        epoch.field_u64("delta_added_pois", delta.added_pois().len() as u64);
+        epoch.field_u64("delta_added_photos", delta.added_photos().len() as u64);
+        epoch.field_u64("delta_deleted_pois", delta.num_deleted_pois() as u64);
+        epoch.field_u64("delta_deleted_photos", delta.num_deleted_photos() as u64);
+    }
+    obj.field_raw("epoch", &epoch.finish());
     obj.field_u64("queue_depth", shared.queue.depth() as u64);
     obj.field_u64("queue_capacity", shared.queue.capacity() as u64);
     obj.field_u64("engine_threads", shared.engine.threads() as u64);
@@ -1018,9 +1179,12 @@ fn explain_inline(
     scratch: &mut SoiScratch,
     request_id: u64,
 ) -> Result<String> {
-    let query = shared
-        .config
-        .parse_query_string(shared.dataset, request.query().unwrap_or(""))?;
+    let query = {
+        let state = shared.epochs.pin();
+        shared
+            .config
+            .parse_query_string(&state.dataset, request.query().unwrap_or(""))?
+    };
     explain_response(shared, &query, scratch, request_id)
 }
 
@@ -1033,7 +1197,10 @@ fn explain_post(
     request_id: u64,
 ) -> Result<(String, String)> {
     let body = parse_body(&request.body)?;
-    let (query, digest) = parse_soi_query(shared, &body)?;
+    let (query, digest) = {
+        let state = shared.epochs.pin();
+        parse_soi_query(shared.config, &state.dataset, &body)?
+    };
     let response = explain_response(shared, &query, scratch, request_id)?;
     Ok((response, digest))
 }
@@ -1047,10 +1214,17 @@ fn explain_response(
     request_id: u64,
 ) -> Result<String> {
     let mut explain = SoiExplain::default();
+    // Pin one epoch for the whole explained run: base + delta views stay
+    // coherent even if an ingest swap lands mid-query.
+    let state = shared.epochs.pin();
+    let poi_view: soi_data::PoiView<'_> = match &state.delta {
+        Some(delta) => delta.poi_view(&state.dataset.pois),
+        None => (&state.dataset.pois).into(),
+    };
     let outcome = run_soi_explained(
-        &shared.dataset.network,
-        &shared.dataset.pois,
-        shared.index,
+        &state.dataset.network,
+        poi_view,
+        soi_index::IndexView::new(&state.index, state.delta.as_deref()),
         query,
         &Default::default(),
         scratch,
@@ -1058,8 +1232,9 @@ fn explain_response(
     )?;
     let mut obj = JsonWriter::object();
     obj.field_u64("request_id", request_id);
+    obj.field_u64("epoch", state.epoch);
     obj.field_raw("explain", &explain.to_json());
-    obj.field_raw("outcome", &soi_outcome_body(shared.dataset, &outcome, None));
+    obj.field_raw("outcome", &soi_outcome_body(&state.dataset, &outcome, None));
     Ok(obj.finish())
 }
 
@@ -1119,7 +1294,11 @@ fn request_budget(config: &ServeConfig, body: &Json) -> Result<QueryBudget> {
 
 /// Parses the `/soi` (and `POST /explain`) JSON body into a validated
 /// query plus a short human-readable parameter digest for the ring.
-fn parse_soi_query(shared: &Shared<'_>, body: &Json) -> Result<(SoiQuery, String)> {
+fn parse_soi_query(
+    config: &ServeConfig,
+    dataset: &Dataset,
+    body: &Json,
+) -> Result<(SoiQuery, String)> {
     let words: Vec<&str> = match body.get("keywords").and_then(|v| v.as_arr()) {
         Some(items) if !items.is_empty() => {
             let words: Vec<&str> = items.iter().filter_map(|v| v.as_str()).collect();
@@ -1139,13 +1318,13 @@ fn parse_soi_query(shared: &Shared<'_>, body: &Json) -> Result<(SoiQuery, String
             as usize,
     };
     let eps = match body.get("eps") {
-        None => shared.config.eps,
+        None => config.eps,
         Some(v) => v
             .as_f64()
             .ok_or_else(|| SoiError::invalid("eps must be a number"))?,
     };
     let digest = format!("keywords=[{}] k={k} eps={eps}", words.join(","));
-    let keywords = shared.dataset.query_keywords(&words);
+    let keywords = dataset.query_keywords(&words);
     Ok((SoiQuery::new(keywords, k, eps)?, digest))
 }
 
@@ -1176,7 +1355,10 @@ fn submit_soi(
     request_id: u64,
 ) -> Result<(HttpTuple, RequestMeta)> {
     let body = parse_body(&request.body)?;
-    let (query, params) = parse_soi_query(shared, &body)?;
+    let (query, params) = {
+        let state = shared.epochs.pin();
+        parse_soi_query(shared.config, &state.dataset, &body)?
+    };
     let budget = request_budget(shared.config, &body)?;
     let submission = Submission {
         endpoint: "/soi",
@@ -1198,20 +1380,24 @@ fn submit_describe(
     request_id: u64,
 ) -> Result<(HttpTuple, RequestMeta)> {
     let body = parse_body(&request.body)?;
+    // Street ids and names live in the road network, which is static
+    // across epochs — resolving against any pinned epoch is sound.
+    let state = shared.epochs.pin();
     let street = match body.get("street") {
-        Some(Json::Str(name)) => shared
+        Some(Json::Str(name)) => state
             .dataset
             .street_by_name(name)
             .ok_or_else(|| SoiError::not_found(format!("street {name:?}")))?,
         Some(Json::Num(id)) => {
             let idx = *id as usize;
-            if id.fract() != 0.0 || idx >= shared.dataset.network.streets().len() {
+            if id.fract() != 0.0 || idx >= state.dataset.network.streets().len() {
                 return Err(SoiError::not_found(format!("street id {id}")));
             }
-            shared.dataset.network.streets()[idx].id
+            state.dataset.network.streets()[idx].id
         }
         _ => return Err(SoiError::invalid("body needs a street (name or id)")),
     };
+    drop(state);
     let number = |name: &str, default: f64| -> Result<f64> {
         match body.get(name) {
             None => Ok(default),
@@ -1242,6 +1428,213 @@ fn submit_describe(
         sampled: sampled_trace(shared),
     };
     Ok(submit_and_wait(shared, submission))
+}
+
+/// `POST /ingest`: a JSON-lines body of delta ops, accepted or rejected
+/// as one atomic batch.
+///
+/// Writers serialise on `ingest_lock`; readers never block — the new
+/// epoch is published with an `Arc` swap and in-flight queries keep the
+/// epoch they pinned. Each accepted batch re-seals the cumulative
+/// pending ops into a fresh [`DeltaIndex`]; once the pending set reaches
+/// `epoch_max_delta`, the delta is folded into a new base (equivalent to
+/// a full rebuild over the merged data) and the fold is persisted to the
+/// live snapshot when an index cache is configured.
+///
+/// Returns `(response body, ring params digest, epoch id)`.
+fn ingest_post(
+    shared: &Shared<'_>,
+    request: &crate::http::Request,
+    request_id: u64,
+) -> Result<(String, String, u64)> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| SoiError::invalid("ingest body must be UTF-8 JSON lines"))?;
+    let guard = match shared.ingest_lock.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let state = shared.epochs.pin();
+
+    // Parse every line against the (static) vocabulary; one bad line
+    // rejects the whole batch with nothing applied.
+    let mut new_ops = Vec::new();
+    let mut new_lines = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let op = DeltaOp::parse_line(line, &state.dataset.vocab)
+            .map_err(|e| SoiError::invalid(format!("ingest line {}: {e}", i + 1)))?;
+        new_ops.push(op);
+        new_lines.push(line.to_string());
+    }
+    if new_ops.is_empty() {
+        return Err(SoiError::invalid("ingest body contains no ops"));
+    }
+    let accepted = new_ops.len();
+
+    // Re-seal the cumulative pending set. Sealing validates the combined
+    // op stream atomically (unknown ids, double deletes, out-of-extent
+    // adds), so a rejected batch leaves the serving state untouched.
+    let mut ops = state.pending_ops.clone();
+    ops.extend(new_ops);
+    let delta = DeltaIndex::seal(
+        &state.index,
+        &state.dataset.pois,
+        &state.dataset.photos,
+        &ops,
+    )?;
+
+    // Durability before visibility: the accepted lines hit the log before
+    // the epoch swap, so a crash can lose an un-acked batch but never
+    // serve ops a restart would not replay.
+    if let Some(path) = &shared.config.ingest_log {
+        append_ingest_lines(path, &new_lines)?;
+    }
+    let mut lines = state.pending_lines.clone();
+    lines.extend(new_lines);
+
+    let fold_due = shared.config.epoch_max_delta > 0 && ops.len() >= shared.config.epoch_max_delta;
+    let (next, folded) = if fold_due {
+        (fold_epoch(shared, &state, &ops, &lines)?, true)
+    } else {
+        let next = EpochState {
+            epoch: state.epoch + 1,
+            dataset: Arc::clone(&state.dataset),
+            index: Arc::clone(&state.index),
+            photo_grid: Arc::clone(&state.photo_grid),
+            delta: Some(Arc::new(delta)),
+            pending_ops: ops,
+            pending_lines: lines,
+            applied_ops: state.applied_ops,
+            boundaries: state.boundaries.clone(),
+            applied_hasher: state.applied_hasher.clone(),
+        };
+        (next, false)
+    };
+
+    let metrics = crate::obs::serve_metrics();
+    metrics.ingest_batches.inc();
+    metrics.ingest_ops.add(accepted as u64);
+    if folded {
+        metrics.ingest_folds.inc();
+    }
+    metrics.ingest_epoch.set(next.epoch as f64);
+    metrics.ingest_pending.set(next.pending() as f64);
+
+    let mut obj = JsonWriter::object();
+    obj.field_u64("request_id", request_id);
+    obj.field_u64("accepted", accepted as u64);
+    obj.field_u64("epoch", next.epoch);
+    obj.field_u64("pending_ops", next.pending() as u64);
+    obj.field_u64("applied_ops", next.applied_ops);
+    obj.field_bool("folded", folded);
+    let epoch = next.epoch;
+    let digest = format!("ops={accepted} folded={folded}");
+    shared.epochs.swap(Arc::new(next));
+    drop(state);
+    drop(guard);
+    Ok((obj.finish(), digest, epoch))
+}
+
+/// Compacts the cumulative pending ops into a fresh base epoch: fold the
+/// collections, rebuild the indexes with the boot parameters (the result
+/// is bit-identical to a cold build over the merged data), extend the
+/// applied-prefix bookkeeping, and persist the live snapshot so a restart
+/// replays only newer deltas.
+fn fold_epoch(
+    shared: &Shared<'_>,
+    state: &EpochState,
+    ops: &[DeltaOp],
+    lines: &[String],
+) -> Result<EpochState> {
+    let fold_started = Instant::now();
+    let (pois, photos) = soi_index::fold_ops(&state.dataset.pois, &state.dataset.photos, ops)?;
+    let dataset = Dataset::new(
+        state.dataset.name.clone(),
+        state.dataset.network.clone(),
+        state.dataset.vocab.clone(),
+        pois,
+        photos,
+    );
+    let bundle = soi_index::build_bundle(&dataset, &shared.params);
+
+    let mut applied_hasher = state.applied_hasher.clone();
+    for line in lines {
+        applied_hasher.write_str(line.trim());
+    }
+    let applied_ops = state.applied_ops + lines.len() as u64;
+    let mut boundaries = state.boundaries.clone();
+    boundaries.push(applied_ops);
+
+    if let Some(path) = &shared.live_snapshot {
+        let meta = soi_index::IngestMeta {
+            epoch: boundaries.len() as u64,
+            applied_ops,
+            ops_fp: applied_hasher.clone().finish(),
+            boundaries: boundaries.clone(),
+        };
+        // A failed write degrades restart (the whole log replays as one
+        // batch against the last good snapshot) but must not fail the
+        // ingest: the fold already happened in memory.
+        if let Err(e) =
+            soi_index::write_bundle_ingested(path, &dataset, &bundle, &shared.params, &meta)
+        {
+            log::event(
+                "serve.ingest_snapshot_failed",
+                "live snapshot write failed; restart will replay the full log",
+                &[
+                    ("path", Value::Str(&path.display().to_string())),
+                    ("error", Value::Str(&e.to_string())),
+                ],
+            );
+        }
+    }
+    log::event(
+        "serve.epoch_fold",
+        "pending delta folded into a fresh base",
+        &[
+            ("epoch", Value::U64(state.epoch + 1)),
+            ("ops", Value::U64(ops.len() as u64)),
+            ("applied_ops", Value::U64(applied_ops)),
+            ("ms", Value::F64(fold_started.elapsed().as_secs_f64() * 1e3)),
+        ],
+    );
+    let IndexBundle {
+        poi, photo_grid, ..
+    } = bundle;
+    Ok(EpochState {
+        epoch: state.epoch + 1,
+        dataset: Arc::new(dataset),
+        index: Arc::new(poi),
+        photo_grid: Arc::new(photo_grid),
+        delta: None,
+        pending_ops: Vec::new(),
+        pending_lines: Vec::new(),
+        applied_ops,
+        boundaries,
+        applied_hasher,
+    })
+}
+
+/// Appends accepted ingest lines to the durable ops log (fsync'd so an
+/// acked batch survives a crash).
+fn append_ingest_lines(path: &std::path::Path, lines: &[String]) -> Result<()> {
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| SoiError::io(e, path.to_path_buf()).with_context("opening the ingest log"))?;
+    let mut buf = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+    for line in lines {
+        buf.push_str(line);
+        buf.push('\n');
+    }
+    file.write_all(buf.as_bytes())
+        .and_then(|()| file.sync_data())
+        .map_err(|e| SoiError::io(e, path.to_path_buf()).with_context("appending the ingest log"))
 }
 
 fn parse_body(bytes: &[u8]) -> Result<Json> {
@@ -1369,6 +1762,7 @@ fn submit_and_wait(shared: &Shared<'_>, submission: Submission) -> (HttpTuple, R
                 accesses: slot_meta.accesses,
                 eps_cache_hits: slot_meta.eps_cache_hits,
                 eps_cache_misses: slot_meta.eps_cache_misses,
+                epoch: slot_meta.epoch,
                 trace_json: slot_meta.trace_json,
                 explain_json: slot_meta.explain_json,
             };
@@ -1394,11 +1788,6 @@ fn submit_and_wait(shared: &Shared<'_>, submission: Submission) -> (HttpTuple, R
 /// The dispatcher: drains admitted jobs in batches and executes them on
 /// the engine under their per-request deadlines.
 fn dispatcher_loop(shared: &Shared<'_>) {
-    let ctx = Arc::new(QueryContext::new(
-        &shared.dataset.network,
-        &shared.dataset.pois,
-        shared.index,
-    ));
     loop {
         let batch = shared
             .queue
@@ -1439,7 +1828,18 @@ fn dispatcher_loop(shared: &Shared<'_>) {
             }
         }
 
+        // Pin one epoch for the whole batch: every job in it sees one
+        // coherent base+delta state, and an ingest swap landing mid-batch
+        // only affects later batches (in-flight readers keep their Arc).
+        let state = shared.epochs.pin();
         if !soi_jobs.is_empty() {
+            let ctx = Arc::new(QueryContext::with_delta(
+                &state.dataset.network,
+                &state.dataset.pois,
+                &state.index,
+                state.delta.as_deref(),
+                state.epoch,
+            ));
             // ε-cache deltas are batch-granular: the cache is shared across
             // the batch's worker threads, so the delta is attributed to
             // every job dispatched in it.
@@ -1466,13 +1866,14 @@ fn dispatcher_loop(shared: &Shared<'_>) {
                     exec,
                     eps_cache_hits,
                     eps_cache_misses,
+                    epoch: state.epoch,
                     ..SlotMeta::default()
                 };
-                publish_soi(shared, result, slot, meta, artifacts);
+                publish_soi(shared, &state.dataset, result, slot, meta, artifacts);
             }
         }
         if !describe_jobs.is_empty() {
-            run_describe_jobs(shared, &describe_jobs, &describe_slots);
+            run_describe_jobs(shared, &state, &describe_jobs, &describe_slots);
         }
     }
 }
@@ -1481,6 +1882,7 @@ fn dispatcher_loop(shared: &Shared<'_>) {
 /// context cannot be built answer their error individually.
 fn run_describe_jobs(
     shared: &Shared<'_>,
+    state: &EpochState,
     jobs: &[(
         soi_common::StreetId,
         DescribeParams,
@@ -1494,15 +1896,15 @@ fn run_describe_jobs(
     let mut contexts: Vec<Option<StreetContext>> = Vec::with_capacity(jobs.len());
     for ((street, _, _, _), (slot, queue_wait)) in jobs.iter().zip(slots) {
         let built = ContextBuilder {
-            network: &shared.dataset.network,
-            photos: &shared.dataset.photos,
-            photo_grid: shared.photo_grid,
-            pois: Some(&shared.dataset.pois),
+            network: &state.dataset.network,
+            photos: &state.dataset.photos,
+            photo_grid: &state.photo_grid,
+            pois: Some(&state.dataset.pois),
             eps: shared.config.eps,
             rho: shared.config.rho,
             phi_source: PhiSource::Photos,
         }
-        .build(*street);
+        .build_with_delta(*street, state.delta.as_deref());
         match built {
             Ok(ctx) => contexts.push(Some(ctx)),
             Err(e) => {
@@ -1513,6 +1915,7 @@ fn run_describe_jobs(
                     SlotMeta {
                         queue: *queue_wait,
                         error: true,
+                        epoch: state.epoch,
                         ..SlotMeta::default()
                     },
                 );
@@ -1533,9 +1936,13 @@ fn run_describe_jobs(
     }
     let (hits_before, misses_before, _) = soi_index::obs::epsilon_cache_counters();
     let batch_started = Instant::now();
+    let photos: soi_data::PhotoView<'_> = match &state.delta {
+        Some(delta) => delta.photo_view(&state.dataset.photos),
+        None => (&state.dataset.photos).into(),
+    };
     let (results, captures) = shared
         .engine
-        .run_describe_batch_captured(&shared.dataset.photos, &engine_jobs);
+        .run_describe_batch_captured(photos, &engine_jobs);
     // The describe engine reports no per-job latencies; the sub-batch wall
     // clock is the best (batch-granular) exec estimate available.
     let exec = batch_started.elapsed();
@@ -1556,6 +1963,7 @@ fn run_describe_jobs(
             exec,
             eps_cache_hits,
             eps_cache_misses,
+            epoch: state.epoch,
             ..SlotMeta::default()
         };
         if let Some(artifacts) = artifacts {
@@ -1592,6 +2000,7 @@ fn run_describe_jobs(
 /// Publishes one k-SOI result (or its error) to the waiting worker.
 fn publish_soi(
     shared: &Shared<'_>,
+    dataset: &Dataset,
     result: Result<SoiOutcome>,
     slot: &Arc<Slot>,
     mut meta: SlotMeta,
@@ -1609,7 +2018,7 @@ fn publish_soi(
                 meta.partial = true;
             }
             meta.accesses = outcome.stats.accesses as u64;
-            slot.put_with_meta(200, soi_outcome_body(shared.dataset, &outcome, None), meta);
+            slot.put_with_meta(200, soi_outcome_body(dataset, &outcome, None), meta);
         }
         Err(e) => {
             let (status, _, _, body) = error_tuple(&e);

@@ -182,7 +182,7 @@ fn undersized_queue_sheds_with_503_and_metrics_show_it() {
                 backoff: Duration::from_millis(50),
             },
         )
-        .0
+        .response
         .expect("metrics reachable after load");
         assert!(metrics.body.contains("soi_serve_shed_total"));
         shed
@@ -728,4 +728,207 @@ fn drain_answers_queued_work_before_exiting() {
     });
     assert!(report.drained, "drain left work behind");
     assert_eq!(report.panics, 0);
+}
+
+/// A position guaranteed inside the index extent (an existing POI's).
+fn in_extent_pos() -> (f64, f64) {
+    let p = dataset().pois.iter().next().expect("dataset has POIs").pos;
+    (p.x, p.y)
+}
+
+#[test]
+fn ingest_swaps_epochs_folds_at_threshold_and_replays_on_restart() {
+    let dir = std::env::temp_dir().join(format!("soi_serve_ingest_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let log = dir.join("deltas.jsonl");
+    let config = ServeConfig {
+        ingest_log: Some(log.clone()),
+        epoch_max_delta: 4,
+        ..test_config()
+    };
+    let (x, y) = in_extent_pos();
+    let add =
+        format!("{{\"op\":\"add_poi\",\"x\":{x},\"y\":{y},\"kw\":[\"shop\"],\"weight\":1.0}}");
+
+    let ((), report) = with_server(config.clone(), |addr| {
+        // Boot: empty log, epoch 0, nothing pending.
+        let status = request(addr, "GET", "/status", None, TIMEOUT).expect("status");
+        let doc = parse(&status.body).expect("valid JSON");
+        let epoch = doc.get("epoch").expect("epoch object");
+        assert_eq!(epoch.get("id").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(epoch.get("pending_ops").and_then(Json::as_f64), Some(0.0));
+
+        // First batch: two inserts -> epoch 1, pending 2, no fold yet.
+        let body = format!("{add}\n{add}");
+        let r = request(addr, "POST", "/ingest", Some(&body), TIMEOUT).expect("ingest");
+        assert_eq!(r.status, 200, "body: {}", r.body);
+        let doc = parse(&r.body).expect("valid JSON");
+        assert_eq!(doc.get("accepted").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("epoch").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("pending_ops").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("folded"), Some(&Json::Bool(false)));
+
+        // Queries keep answering, reading through base+delta.
+        let soi = request(
+            addr,
+            "POST",
+            "/soi",
+            Some(&soi_body(0.002, 30_000.0)),
+            TIMEOUT,
+        )
+        .expect("soi");
+        assert_eq!(soi.status, 200, "body: {}", soi.body);
+
+        // The inline explain response reports the epoch it pinned.
+        let explain =
+            request(addr, "GET", "/explain?keywords=shop&k=3", None, TIMEOUT).expect("explain");
+        assert_eq!(explain.status, 200);
+        let doc = parse(&explain.body).expect("valid JSON");
+        assert_eq!(doc.get("epoch").and_then(Json::as_f64), Some(1.0));
+
+        // Second batch reaches the 4-op threshold: the server folds a
+        // fresh base and the delta empties.
+        let del = "{\"op\":\"del_poi\",\"id\":0}";
+        let body = format!("{add}\n{del}");
+        let r = request(addr, "POST", "/ingest", Some(&body), TIMEOUT).expect("ingest");
+        assert_eq!(r.status, 200, "body: {}", r.body);
+        let doc = parse(&r.body).expect("valid JSON");
+        assert_eq!(doc.get("folded"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("epoch").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("pending_ops").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(doc.get("applied_ops").and_then(Json::as_f64), Some(4.0));
+
+        // /status agrees after the swap, and queries still answer.
+        let status = request(addr, "GET", "/status", None, TIMEOUT).expect("status");
+        let doc = parse(&status.body).expect("valid JSON");
+        let epoch = doc.get("epoch").expect("epoch object");
+        assert_eq!(epoch.get("id").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(epoch.get("folds").and_then(Json::as_f64), Some(1.0));
+        let soi = request(
+            addr,
+            "POST",
+            "/soi",
+            Some(&soi_body(0.002, 30_000.0)),
+            TIMEOUT,
+        )
+        .expect("soi after fold");
+        assert_eq!(soi.status, 200, "body: {}", soi.body);
+
+        // A malformed batch is rejected atomically: 400, state unchanged.
+        let r = request(addr, "POST", "/ingest", Some("not json"), TIMEOUT).expect("bad ingest");
+        assert_eq!(r.status, 400, "body: {}", r.body);
+        // An op referencing an unknown vocabulary term is rejected too.
+        let r = request(
+            addr,
+            "POST",
+            "/ingest",
+            Some(&format!(
+                "{{\"op\":\"add_poi\",\"x\":{x},\"y\":{y},\"kw\":[\"no-such-term-zzz\"]}}"
+            )),
+            TIMEOUT,
+        )
+        .expect("unknown term");
+        assert_eq!(r.status, 400, "body: {}", r.body);
+        let status = request(addr, "GET", "/status", None, TIMEOUT).expect("status");
+        let doc = parse(&status.body).expect("valid JSON");
+        let epoch = doc.get("epoch").expect("epoch object");
+        assert_eq!(
+            epoch.get("id").and_then(Json::as_f64),
+            Some(2.0),
+            "rejected batches must not advance the epoch"
+        );
+    });
+    assert!(report.drained);
+    assert_eq!(report.panics, 0);
+
+    // The log journalled all four accepted ops (and none of the rejected
+    // ones): a restarted server without an index cache replays them as
+    // one boot delta and serves at epoch 1 with 4 pending ops.
+    let logged = std::fs::read_to_string(&log).expect("ingest log exists");
+    assert_eq!(logged.lines().filter(|l| !l.trim().is_empty()).count(), 4);
+    let ((), report) = with_server(config, |addr| {
+        let status = request(addr, "GET", "/status", None, TIMEOUT).expect("status");
+        let doc = parse(&status.body).expect("valid JSON");
+        let epoch = doc.get("epoch").expect("epoch object");
+        assert_eq!(epoch.get("id").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(epoch.get("pending_ops").and_then(Json::as_f64), Some(4.0));
+        let soi = request(
+            addr,
+            "POST",
+            "/soi",
+            Some(&soi_body(0.002, 30_000.0)),
+            TIMEOUT,
+        )
+        .expect("soi after replay");
+        assert_eq!(soi.status, 200, "body: {}", soi.body);
+    });
+    assert!(report.drained);
+    assert_eq!(report.panics, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ingest_with_index_cache_persists_folds_across_restart() {
+    let dir = std::env::temp_dir().join(format!("soi_serve_ingestc_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let log = dir.join("deltas.jsonl");
+    let cache = dir.join("cache");
+    let config = ServeConfig {
+        ingest_log: Some(log.clone()),
+        index_cache: Some(cache.clone()),
+        epoch_max_delta: 2,
+        ..test_config()
+    };
+    let (x, y) = in_extent_pos();
+    let add =
+        format!("{{\"op\":\"add_poi\",\"x\":{x},\"y\":{y},\"kw\":[\"shop\"],\"weight\":1.0}}");
+
+    let ((), report) = with_server(config.clone(), |addr| {
+        // Two ops hit the threshold immediately: fold + snapshot.
+        let body = format!("{add}\n{add}");
+        let r = request(addr, "POST", "/ingest", Some(&body), TIMEOUT).expect("ingest");
+        assert_eq!(r.status, 200, "body: {}", r.body);
+        let doc = parse(&r.body).expect("valid JSON");
+        assert_eq!(doc.get("folded"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("epoch").and_then(Json::as_f64), Some(1.0));
+        // One more op stays pending past the snapshot.
+        let r = request(addr, "POST", "/ingest", Some(&add), TIMEOUT).expect("ingest");
+        assert_eq!(r.status, 200, "body: {}", r.body);
+        let doc = parse(&r.body).expect("valid JSON");
+        assert_eq!(doc.get("folded"), Some(&Json::Bool(false)));
+        assert_eq!(doc.get("epoch").and_then(Json::as_f64), Some(2.0));
+    });
+    assert!(report.drained);
+    assert_eq!(report.panics, 0);
+
+    // Restart with the cache: the folded snapshot restores the first two
+    // ops as base (one fold boundary) and only the tail replays as a
+    // delta — epoch = 1 boundary + 1 live delta, 1 pending op.
+    let ((), report) = with_server(config, |addr| {
+        let status = request(addr, "GET", "/status", None, TIMEOUT).expect("status");
+        let doc = parse(&status.body).expect("valid JSON");
+        let epoch = doc.get("epoch").expect("epoch object");
+        assert_eq!(
+            epoch.get("applied_ops").and_then(Json::as_f64),
+            Some(2.0),
+            "snapshot must restore the folded ops: {}",
+            status.body
+        );
+        assert_eq!(epoch.get("pending_ops").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(epoch.get("id").and_then(Json::as_f64), Some(2.0));
+        let soi = request(
+            addr,
+            "POST",
+            "/soi",
+            Some(&soi_body(0.002, 30_000.0)),
+            TIMEOUT,
+        )
+        .expect("soi after cached restart");
+        assert_eq!(soi.status, 200, "body: {}", soi.body);
+    });
+    assert!(report.drained);
+    assert_eq!(report.panics, 0);
+    let _ = std::fs::remove_dir_all(&dir);
 }
